@@ -1,0 +1,93 @@
+// E8 (Fig. 3): the cost of reaching native code through generated
+// bindings.
+//
+// The Fig. 3 pipeline makes functions in afunc.o callable from Swift/T
+// through SWIG-generated Tcl wrappers. The layers here:
+//   direct call            — plain C++ call (the floor)
+//   adapter                — NativeLibrary's generated argument adapter
+//   generated Tcl wrapper  — bind_to_tcl command invoked through MiniTcl
+//   hand-written wrapper   — a manually coded MiniTcl command (what you'd
+//                            write without SWIG; the generated one should
+//                            match it)
+// Plus a blob-array call, where per-call overhead amortizes over the
+// array.
+#include <benchmark/benchmark.h>
+
+#include "bind/bindgen.h"
+#include "tcl/interp.h"
+
+namespace {
+
+int add_ints(int a, int b) { return a + b; }
+double vec_sum(const double* data, int n) {
+  double s = 0;
+  for (int i = 0; i < n; ++i) s += data[i];
+  return s;
+}
+
+void BM_DirectCall(benchmark::State& state) {
+  int x = 0;
+  for (auto _ : state) {
+    x = add_ints(x, 1);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_DirectCall);
+
+void BM_NativeAdapter(benchmark::State& state) {
+  ilps::bind::NativeLibrary lib;
+  lib.add("add_ints", &add_ints);
+  const ilps::bind::NativeFn* fn = lib.find("add_ints");
+  for (auto _ : state) {
+    std::vector<ilps::bind::NativeValue> args = {ilps::bind::NativeValue(int64_t{20}),
+                                                 ilps::bind::NativeValue(int64_t{22})};
+    benchmark::DoNotOptimize((*fn)(args));
+  }
+}
+BENCHMARK(BM_NativeAdapter);
+
+void BM_GeneratedTclWrapper(benchmark::State& state) {
+  ilps::tcl::Interp in;
+  ilps::blob::Registry blobs;
+  ilps::bind::NativeLibrary lib;
+  lib.add("add_ints", &add_ints);
+  auto protos = ilps::bind::parse_header("int add_ints(int a, int b);");
+  ilps::bind::bind_to_tcl(in, "lib", protos, lib, blobs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(in.eval("lib::add_ints 20 22"));
+  }
+}
+BENCHMARK(BM_GeneratedTclWrapper);
+
+void BM_HandWrittenTclWrapper(benchmark::State& state) {
+  ilps::tcl::Interp in;
+  in.register_command("hand_add", [](ilps::tcl::Interp&, std::vector<std::string>& a) {
+    return std::to_string(add_ints(std::stoi(a[1]), std::stoi(a[2])));
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(in.eval("hand_add 20 22"));
+  }
+}
+BENCHMARK(BM_HandWrittenTclWrapper);
+
+void BM_GeneratedBlobCall(benchmark::State& state) {
+  ilps::tcl::Interp in;
+  ilps::blob::Registry blobs;
+  ilps::blob::register_blobutils(in, blobs);
+  ilps::bind::NativeLibrary lib;
+  lib.add("vec_sum", &vec_sum);
+  auto protos = ilps::bind::parse_header("double vec_sum(const double* data, int n);");
+  ilps::bind::bind_to_tcl(in, "lib", protos, lib, blobs);
+  int64_t n = state.range(0);
+  in.eval("set h [blobutils::zeroes_float " + std::to_string(n) + "]");
+  std::string call = "lib::vec_sum $h " + std::to_string(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(in.eval(call));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GeneratedBlobCall)->Range(1 << 8, 1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

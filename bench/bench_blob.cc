@@ -1,0 +1,84 @@
+// E7 (§III.B): blob transport vs string marshaling for bulk numeric data.
+//
+// "...scientific users of native code languages often desire to operate on
+// bulk data in arrays. The Swift approach to these is to handle pointers
+// to byte arrays as a novel type: blob."
+//
+// We move arrays of doubles (2^10 .. 2^20 elements) across the language
+// boundary both ways: as blobs (byte copies) and as formatted Tcl list
+// strings (format + parse — what string-only marshaling must do). The
+// benchmark reports per-element cost; the gap is the reason blobs exist.
+#include <benchmark/benchmark.h>
+
+#include <span>
+#include <vector>
+
+#include "blob/blob.h"
+#include "common/strings.h"
+#include "tcl/value.h"
+
+namespace {
+
+std::vector<double> make_data(size_t n) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = 0.5 + static_cast<double>(i) * 1.25;
+  return v;
+}
+
+void BM_BlobPack(benchmark::State& state) {
+  auto data = make_data(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    ilps::blob::Blob b = ilps::blob::Blob::from_values(std::span<const double>(data));
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BlobPack)->Range(1 << 10, 1 << 20);
+
+void BM_BlobUnpack(benchmark::State& state) {
+  auto data = make_data(static_cast<size_t>(state.range(0)));
+  ilps::blob::Blob b = ilps::blob::Blob::from_values(std::span<const double>(data));
+  for (auto _ : state) {
+    double total = 0;
+    for (double v : b.as<const double>()) total += v;
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BlobUnpack)->Range(1 << 10, 1 << 20);
+
+void BM_StringMarshalPack(benchmark::State& state) {
+  auto data = make_data(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::string list;
+    for (double v : data) {
+      if (!list.empty()) list += ' ';
+      list += ilps::str::format_double(v);
+    }
+    benchmark::DoNotOptimize(list.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StringMarshalPack)->Range(1 << 10, 1 << 18);
+
+void BM_StringMarshalUnpack(benchmark::State& state) {
+  auto data = make_data(static_cast<size_t>(state.range(0)));
+  std::string list;
+  for (double v : data) {
+    if (!list.empty()) list += ' ';
+    list += ilps::str::format_double(v);
+  }
+  for (auto _ : state) {
+    double total = 0;
+    for (const auto& tok : ilps::tcl::list_split(list)) {
+      total += *ilps::str::parse_double(tok);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StringMarshalUnpack)->Range(1 << 10, 1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

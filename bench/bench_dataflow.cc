@@ -1,0 +1,93 @@
+// E1 (Fig. 1): implicit dataflow of a Swift loop.
+//
+// The figure shows `foreach i { t=f(i); if (g(t)==0) printf }` expanding
+// into independent pipelines that execute concurrently. We compile and run
+// exactly that program for growing loop sizes and report rule-engine and
+// pipeline metrics; a depth sweep (chains of dependent calls per
+// iteration) shows rule cost scaling with pipeline length.
+#include <string>
+
+#include "bench/bench_util.h"
+#include "runtime/runner.h"
+#include "swift/compiler.h"
+
+using namespace ilps;
+
+namespace {
+
+runtime::RunResult run_fig1(int n, int workers) {
+  std::string src = R"SWIFT(
+    (int o) f (int i) [ "set <<o>> [ expr <<i>> * <<i>> ]" ];
+    (int o) g (int t) [ "set <<o>> [ expr <<t>> % 3 ]" ];
+    foreach i in [0:N_MINUS_1] {
+      int t = f(i);
+      int gt = g(t);
+      if (gt == 0) { printf("g(%d) == 0", t); }
+    }
+  )SWIFT";
+  size_t pos = src.find("N_MINUS_1");
+  src.replace(pos, 9, std::to_string(n - 1));
+  runtime::Config cfg;
+  cfg.engines = 1;
+  cfg.workers = workers;
+  cfg.servers = 1;
+  return runtime::run_program(cfg, swift::compile(src));
+}
+
+runtime::RunResult run_chain(int n, int depth, int workers) {
+  // Each iteration runs a chain of `depth` dependent leaf calls.
+  std::string src = "(int o) step (int i) [ \"set <<o>> [ expr <<i>> + 1 ]\" ];\n";
+  src += "foreach i in [0:" + std::to_string(n - 1) + "] {\n";
+  std::string prev = "i";
+  for (int d = 0; d < depth; ++d) {
+    std::string cur = "v" + std::to_string(d);
+    src += "  int " + cur + " = step(" + prev + ");\n";
+    prev = cur;
+  }
+  src += "  trace(" + prev + ");\n}\n";
+  runtime::Config cfg;
+  cfg.engines = 1;
+  cfg.workers = workers;
+  cfg.servers = 1;
+  return runtime::run_program(cfg, swift::compile(src));
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E1", "implicit dataflow of a Swift loop (Fig. 1)",
+                "each loop iteration forms an independent f->g pipeline; Swift "
+                "constructs and executes these pipelines in parallel");
+
+  {
+    bench::Table t({"iterations", "workers", "rules", "fired", "notifs", "tasks",
+                    "outputs", "elapsed_s", "pipelines/s"});
+    for (int n : {8, 32, 128, 512}) {
+      auto r = run_fig1(n, 4);
+      t.row({std::to_string(n), "4", std::to_string(r.engine_stats.rules_created),
+             std::to_string(r.engine_stats.rules_fired),
+             std::to_string(r.engine_stats.notifications),
+             std::to_string(r.worker_stats.tasks), std::to_string(r.lines.size()),
+             bench::fmt("%.3f", r.elapsed_seconds),
+             bench::fmt("%.0f", n / r.elapsed_seconds)});
+    }
+    t.print();
+  }
+
+  {
+    std::printf("\npipeline depth sweep (64 iterations):\n\n");
+    bench::Table t({"depth", "rules", "fired", "unfired", "elapsed_s", "rules/s"});
+    for (int depth : {1, 2, 4, 8}) {
+      auto r = run_chain(64, depth, 4);
+      t.row({std::to_string(depth), std::to_string(r.engine_stats.rules_created),
+             std::to_string(r.engine_stats.rules_fired), std::to_string(r.unfired_rules),
+             bench::fmt("%.3f", r.elapsed_seconds),
+             bench::fmt("%.0f", r.engine_stats.rules_created / r.elapsed_seconds)});
+    }
+    t.print();
+  }
+  std::printf("\n'outputs' counts iterations whose g(t) == 0 — the i*i %% 3 == 0\n"
+              "cases, i.e. one third of the loop, confirming per-pipeline\n"
+              "dataflow rather than lockstep execution.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E9 (§II.B): ADLB server scalability — "ADLB servers, shown as an opaque
+// subsystem, distribute tasks to workers" with "no bottleneck".
+//
+// Two server-side workloads as a function of server count:
+//  - data ops: each client runs create/store/retrieve cycles against the
+//    sharded store (ids hash across servers);
+//  - task ops: each client puts and gets its own stream of tasks.
+// The metric is aggregate operations per second; more servers should
+// sustain equal or higher rates (shards split the load), not collapse.
+#include <atomic>
+
+#include "adlb/client.h"
+#include "adlb/server.h"
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "mpi/comm.h"
+
+using namespace ilps;
+
+namespace {
+
+double run_data_ops(int clients, int servers, int ops_per_client) {
+  adlb::Config cfg;
+  cfg.nservers = servers;
+  mpi::World world(clients + servers);
+  Timer t;
+  world.run([&](mpi::Comm& comm) {
+    if (adlb::is_server(comm.rank(), comm.size(), cfg)) {
+      adlb::Server server(comm, cfg);
+      server.serve();
+      return;
+    }
+    adlb::Client client(comm, cfg);
+    for (int i = 0; i < ops_per_client; ++i) {
+      int64_t id = client.unique();
+      client.create(id, adlb::DataType::kInteger);
+      client.store(id, std::to_string(i));
+      (void)client.retrieve(id);
+    }
+    (void)client.get(adlb::kTypeWork);  // park for shutdown
+  });
+  return t.elapsed();
+}
+
+double run_task_ops(int clients, int servers, int tasks_per_client) {
+  adlb::Config cfg;
+  cfg.nservers = servers;
+  mpi::World world(clients + servers);
+  Timer t;
+  world.run([&](mpi::Comm& comm) {
+    if (adlb::is_server(comm.rank(), comm.size(), cfg)) {
+      adlb::Server server(comm, cfg);
+      server.serve();
+      return;
+    }
+    adlb::Client client(comm, cfg);
+    for (int i = 0; i < tasks_per_client; ++i) {
+      client.put({adlb::kTypeWork, 0, adlb::kAnyRank, adlb::kAnyRank, "payload"});
+    }
+    int got = 0;
+    while (client.get(adlb::kTypeWork)) ++got;
+  });
+  return t.elapsed();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E9", "ADLB server throughput vs server count",
+                "the server tier distributes work and data without becoming a "
+                "bottleneck; sharding over more servers sustains throughput");
+
+  const int clients = 8;
+  {
+    const int ops = 400;  // x3 RPCs each (create/store/retrieve)
+    bench::Table t({"servers", "clients", "data_ops", "elapsed_s", "ops/s"});
+    for (int servers : {1, 2, 4}) {
+      double elapsed = run_data_ops(clients, servers, ops);
+      double total = 3.0 * ops * clients;
+      t.row({std::to_string(servers), std::to_string(clients), bench::fmt("%.0f", total),
+             bench::fmt("%.3f", elapsed), bench::fmt("%.0f", total / elapsed)});
+    }
+    t.print();
+  }
+  {
+    const int tasks = 500;
+    std::printf("\n");
+    bench::Table t({"servers", "clients", "task_put+get", "elapsed_s", "tasks/s"});
+    for (int servers : {1, 2, 4}) {
+      double elapsed = run_task_ops(clients, servers, tasks);
+      double total = static_cast<double>(tasks) * clients;
+      t.row({std::to_string(servers), std::to_string(clients), bench::fmt("%.0f", total),
+             bench::fmt("%.3f", elapsed), bench::fmt("%.0f", total / elapsed)});
+    }
+    t.print();
+  }
+  return 0;
+}

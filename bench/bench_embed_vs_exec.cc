@@ -1,0 +1,89 @@
+// E4 (§III.C): embedded interpreter evaluation vs launching external
+// interpreter executables.
+//
+// "Previous workflow programming systems call external languages by
+// executing the external interpreter executables. This strategy is
+// undesirable ... at large scale the filesystem overheads are
+// unacceptable. Additionally, on specialized supercomputers such as the
+// Blue Gene/Q, launching external programs is not possible at all."
+//
+// Rows compare the per-call cost of evaluating an equivalent snippet
+// through the embedded MiniPy/MiniR/MiniTcl interpreters against
+// fork+exec of /bin/sh (and python3 when installed) for the same logical
+// work (add two numbers, print nothing).
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include "python/interp.h"
+#include "rlang/interp.h"
+#include "tcl/interp.h"
+#include "turbine/app.h"
+
+namespace {
+
+void BM_EmbeddedPython(benchmark::State& state) {
+  ilps::py::Interpreter py;
+  py.set_print_handler([](const std::string&) {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(py.eval("x = 20 + 22", "x"));
+  }
+}
+BENCHMARK(BM_EmbeddedPython);
+
+void BM_EmbeddedPythonWithImport(benchmark::State& state) {
+  ilps::py::Interpreter py;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(py.eval("import math\nx = math.sqrt(1764)", "x"));
+  }
+}
+BENCHMARK(BM_EmbeddedPythonWithImport);
+
+void BM_EmbeddedR(benchmark::State& state) {
+  ilps::r::Interpreter r;
+  r.set_output_handler([](const std::string&) {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.eval("x <- 20 + 22", "x"));
+  }
+}
+BENCHMARK(BM_EmbeddedR);
+
+void BM_EmbeddedTcl(benchmark::State& state) {
+  ilps::tcl::Interp tcl;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tcl.eval("set x [expr 20 + 22]"));
+  }
+}
+BENCHMARK(BM_EmbeddedTcl);
+
+void BM_ForkExecShell(benchmark::State& state) {
+  for (auto _ : state) {
+    auto result = ilps::turbine::run_app({"/bin/sh", "-c", ": $((20 + 22))"}, false);
+    benchmark::DoNotOptimize(result.exit_code);
+  }
+}
+BENCHMARK(BM_ForkExecShell)->Unit(benchmark::kMicrosecond);
+
+void BM_ForkExecEcho(benchmark::State& state) {
+  for (auto _ : state) {
+    auto result = ilps::turbine::run_app({"/bin/echo", "42"}, false);
+    benchmark::DoNotOptimize(result.output);
+  }
+}
+BENCHMARK(BM_ForkExecEcho)->Unit(benchmark::kMicrosecond);
+
+void BM_ForkExecPython3(benchmark::State& state) {
+  if (access("/usr/bin/python3", X_OK) != 0) {
+    state.SkipWithError("python3 not installed");
+    return;
+  }
+  for (auto _ : state) {
+    auto result =
+        ilps::turbine::run_app({"/usr/bin/python3", "-c", "x = 20 + 22"}, false);
+    benchmark::DoNotOptimize(result.exit_code);
+  }
+}
+BENCHMARK(BM_ForkExecPython3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

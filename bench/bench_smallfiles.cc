@@ -1,0 +1,113 @@
+// E6 (§IV): the many-small-files problem and static packages.
+//
+// "...we showed how the many small file problem common in scripted
+// solutions can be addressed with our static packages."
+//
+// W worker interpreters concurrently `package require` a package split
+// into M small script files. Against the PFS model, every file open is a
+// metadata round trip whose cost rises with concurrency; against a static
+// package image, resolution is an in-memory lookup. We report total
+// simulated metadata time and the observed open counts.
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "pkg/pfs.h"
+#include "tcl/interp.h"
+
+using namespace ilps;
+
+namespace {
+
+pkg::FileTree make_package_tree(int files) {
+  pkg::FileTree tree;
+  std::vector<std::string> names;
+  for (int f = 0; f < files; ++f) {
+    std::string name = "mod" + std::to_string(f) + ".tcl";
+    names.push_back(name);
+    tree.add("lib/app/" + name,
+             "proc app::fn" + std::to_string(f) + " {x} { expr $x + " + std::to_string(f) +
+                 " }\n");
+  }
+  tree.add("lib/app/pkgIndex.tcl", pkg::make_pkg_index("app", "1.0", "lib/app", names));
+  return tree;
+}
+
+struct LoadResult {
+  double wall_s = 0;
+  double simulated_metadata_us = 0;
+  uint64_t opens = 0;
+};
+
+LoadResult load_with_pfs(int files, int workers) {
+  pkg::PfsConfig cfg;
+  cfg.open_latency_us = 50.0;
+  cfg.contention_us_per_client = 25.0;
+  pkg::PfsModel pfs(make_package_tree(files), cfg);
+  Timer t;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&pfs] {
+      tcl::Interp in;
+      pkg::install_script_loader(
+          in, [&pfs](const std::string& p) { return pfs.read(p); }, {"lib/app"});
+      in.eval("package require app");
+      in.eval("app::fn0 1");
+    });
+  }
+  for (auto& th : threads) th.join();
+  LoadResult r;
+  r.wall_s = t.elapsed();
+  r.simulated_metadata_us = pfs.simulated_time_us();
+  r.opens = pfs.stats().opens;
+  return r;
+}
+
+LoadResult load_with_static(int files, int workers) {
+  pkg::StaticPackage image = pkg::StaticPackage::build(make_package_tree(files));
+  Timer t;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&image] {
+      tcl::Interp in;
+      pkg::install_script_loader(
+          in, [&image](const std::string& p) { return image.read(p); }, {"lib/app"});
+      in.eval("package require app");
+      in.eval("app::fn0 1");
+    });
+  }
+  for (auto& th : threads) th.join();
+  LoadResult r;
+  r.wall_s = t.elapsed();
+  r.simulated_metadata_us = 0;  // no PFS involved at all
+  r.opens = 0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E6", "many small files vs static packages",
+                "loading a package of many small script files from a parallel "
+                "filesystem costs metadata operations that grow with file count "
+                "and concurrency; a static in-memory package removes them");
+
+  bench::Table t({"files", "workers", "pfs_opens", "pfs_metadata_ms", "static_opens",
+                  "static_metadata_ms"});
+  for (int files : {4, 16, 64}) {
+    for (int workers : {1, 8, 32}) {
+      LoadResult pfs = load_with_pfs(files, workers);
+      LoadResult st = load_with_static(files, workers);
+      t.row({std::to_string(files), std::to_string(workers), std::to_string(pfs.opens),
+             bench::fmt("%.2f", pfs.simulated_metadata_us / 1000.0), std::to_string(st.opens),
+             bench::fmt("%.2f", st.simulated_metadata_us / 1000.0)});
+    }
+  }
+  t.print();
+  std::printf("\npfs_opens = (index probe + %s files) x workers; metadata time is\n"
+              "simulated server-busy time with contention. Static packages do\n"
+              "zero opens regardless of scale — the paper's fix.\n",
+              "M");
+  return 0;
+}

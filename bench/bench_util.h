@@ -1,0 +1,56 @@
+// Shared helpers for the ILPS benchmark harnesses: aligned table printing
+// so each bench reproduces its experiment as readable rows.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ilps::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& r : rows_) {
+      for (size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (size_t c = 0; c < cells.size(); ++c) {
+        std::printf("%-*s", static_cast<int>(width[c] + 2), cells[c].c_str());
+      }
+      std::printf("\n");
+    };
+    line(headers_);
+    std::string rule;
+    for (size_t c = 0; c < headers_.size(); ++c) rule += std::string(width[c], '-') + "  ";
+    std::printf("%s\n", rule.c_str());
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(const char* spec, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, spec, v);
+  return buf;
+}
+
+inline void banner(const char* id, const char* title, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace ilps::bench

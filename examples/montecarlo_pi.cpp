@@ -1,0 +1,79 @@
+// Monte Carlo estimation of pi with Python leaf tasks.
+//
+// The numerics-in-scripting motif from the paper's introduction: Swift
+// fans a `foreach` out over workers; each iteration runs a *Python*
+// fragment in the embedded interpreter (no python executable is launched —
+// the Blue Gene/Q-compatible path), computing a partial count of points
+// inside the unit circle; a final Python fragment aggregates.
+#include <cstdio>
+#include <string>
+
+#include "runtime/runner.h"
+#include "swift/compiler.h"
+
+int main() {
+  constexpr int kBlocks = 16;
+  constexpr int kSamplesPerBlock = 20000;
+
+  std::string swift_source = R"SWIFT(
+    // Each block seeds its own deterministic RNG stream and counts hits.
+    (string hits) mc_block (int seed, int n) {
+      string NL = "\n";
+      string code = sprintf(
+          "import random%s"
+          "random.seed(%d)%s"
+          "inside = 0%s"
+          "for i in range(%d):%s"
+          "    x = random.random()%s"
+          "    y = random.random()%s"
+          "    if x * x + y * y <= 1.0:%s"
+          "        inside += 1",
+          NL, seed, NL, NL, n, NL, NL, NL, NL);
+      hits = python(code, "inside");
+    }
+  )SWIFT";
+
+  std::string body = R"SWIFT(
+    foreach b in [0:BLOCKS_MINUS_1] {
+      string h = mc_block(b + 1000, SAMPLES);
+      printf("block %d: %s hits", b, h);
+    }
+  )SWIFT";
+
+  // Simple textual parameterization of the workload.
+  auto replace = [](std::string s, const std::string& from, const std::string& to) {
+    size_t pos;
+    while ((pos = s.find(from)) != std::string::npos) s.replace(pos, from.size(), to);
+    return s;
+  };
+  body = replace(body, "BLOCKS_MINUS_1", std::to_string(kBlocks - 1));
+  body = replace(body, "SAMPLES", std::to_string(kSamplesPerBlock));
+
+  std::string program = ilps::swift::compile(swift_source + body);
+
+  ilps::runtime::Config cfg;
+  cfg.engines = 1;
+  cfg.workers = 4;
+  cfg.servers = 1;
+  auto result = ilps::runtime::run_program(cfg, program);
+
+  // Aggregate the per-block counts printed by the workers.
+  long long total_hits = 0;
+  int blocks_seen = 0;
+  for (const auto& line : result.lines) {
+    std::printf("%s\n", line.c_str());
+    size_t colon = line.find(": ");
+    size_t hits_end = line.find(" hits");
+    if (colon != std::string::npos && hits_end != std::string::npos) {
+      total_hits += std::stoll(line.substr(colon + 2, hits_end - colon - 2));
+      ++blocks_seen;
+    }
+  }
+  double pi = 4.0 * static_cast<double>(total_hits) /
+              (static_cast<double>(kBlocks) * kSamplesPerBlock);
+  std::printf("--\n");
+  std::printf("blocks: %d  samples/block: %d  python evals: %llu\n", blocks_seen,
+              kSamplesPerBlock, static_cast<unsigned long long>(result.worker_stats.python_evals));
+  std::printf("pi estimate: %.5f (error %+0.5f)\n", pi, pi - 3.14159265358979);
+  return (pi > 3.0 && pi < 3.3 && blocks_seen == kBlocks) ? 0 : 1;
+}

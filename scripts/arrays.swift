@@ -1,0 +1,13 @@
+// Swift arrays over Turbine containers:
+//   ./build/tools/ilps --workers 4 scripts/arrays.swift
+(int o) work (int i) [ "set <<o>> [ expr <<i>> * 11 ]" ];
+
+int A[];
+foreach i in [0:5] {
+  A[i] = work(i);
+}
+int n = size(A);
+printf("array complete with %d entries", n);
+foreach v, i in A {
+  printf("A[%d] = %d", i, v);
+}

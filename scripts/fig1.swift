@@ -1,0 +1,10 @@
+// The paper's Fig. 1 loop, runnable directly:
+//   ./build/tools/ilps --workers 4 scripts/fig1.swift
+(int o) f (int i) [ "set <<o>> [ expr <<i>> * <<i>> ]" ];
+(int o) g (int t) [ "set <<o>> [ expr <<t>> % 3 ]" ];
+
+foreach i in [0:9] {
+  int t = f(i);
+  int gt = g(t);
+  if (gt == 0) { printf("g(%d) == 0", t); }
+}

@@ -1,0 +1,6 @@
+// Python and R cooperating through Swift futures:
+//   ./build/tools/ilps scripts/interlang.swift
+string py = python("v = sum([i * i for i in range(10)])", "v");
+string rexpr = strcat("x <- ", py, " / 5");
+string res = r(rexpr, "x");
+printf("sum of squares 0..9 = %s; divided by 5 in R = %s", py, res);

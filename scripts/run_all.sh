@@ -1,0 +1,27 @@
+#!/bin/sh
+# Builds everything, runs the test suite, every example, and every
+# benchmark — the full validation pass described in README.md.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build
+
+echo "== examples =="
+for e in quickstart montecarlo_pi param_sweep_r native_blobs \
+         interlang_pipeline mapreduce_words; do
+  echo "-- $e"
+  ./build/examples/$e
+done
+
+echo "== swift scripts through the ilps driver =="
+for s in scripts/*.swift; do
+  echo "-- $s"
+  ./build/tools/ilps --workers 4 "$s"
+done
+
+echo "== benches =="
+for b in build/bench/bench_*; do
+  "$b"
+done

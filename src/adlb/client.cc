@@ -1,0 +1,206 @@
+#include "adlb/client.h"
+
+#include "common/error.h"
+
+namespace ilps::adlb {
+
+Client::Client(mpi::Comm& comm, const Config& cfg) : comm_(comm), cfg_(cfg) {
+  if (is_server(comm.rank(), comm.size(), cfg)) {
+    throw CommError("adlb::Client constructed on a server rank");
+  }
+  home_ = home_server(comm.rank(), comm.size(), cfg);
+}
+
+ser::Reader Client::rpc(int server, const ser::Writer& request, std::vector<std::byte>& storage) {
+  comm_.send(server, kTagRequest, request);
+  mpi::Message reply = comm_.recv(server, kTagResponse);
+  storage = std::move(reply.data);
+  ser::Reader r(storage);
+  return r;
+}
+
+namespace {
+[[noreturn]] void raise_error(ser::Reader& r) {
+  throw DataError(r.get_str());
+}
+
+// Reads an Ack/Error reply.
+void expect_ack(ser::Reader r) {
+  Op op = static_cast<Op>(r.get_u8());
+  if (op == Op::kAck) return;
+  if (op == Op::kError) raise_error(r);
+  throw CommError("adlb: unexpected reply opcode");
+}
+}  // namespace
+
+void Client::put(const WorkUnit& unit) {
+  if (unit.type < 0 || unit.type >= cfg_.ntypes) {
+    throw DataError("adlb: put with invalid work type " + std::to_string(unit.type));
+  }
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kPut));
+  write_work_unit(w, unit);
+  std::vector<std::byte> storage;
+  expect_ack(rpc(home_, w, storage));
+}
+
+std::optional<WorkUnit> Client::get(int type) {
+  if (type < 0 || type >= cfg_.ntypes) {
+    throw DataError("adlb: get with invalid work type " + std::to_string(type));
+  }
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kGet));
+  w.put_i32(type);
+  std::vector<std::byte> storage;
+  ser::Reader r = rpc(home_, w, storage);
+  Op op = static_cast<Op>(r.get_u8());
+  if (op == Op::kShutdownClient) return std::nullopt;
+  if (op == Op::kGotWork) return read_work_unit(r);
+  if (op == Op::kError) raise_error(r);
+  throw CommError("adlb: unexpected reply to Get");
+}
+
+int64_t Client::unique() {
+  // 23 bits of rank, 40 bits of counter: unique without communication.
+  return (static_cast<int64_t>(comm_.rank()) << 40) | next_local_id_++;
+}
+
+void Client::create(int64_t id, DataType type) {
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kCreate));
+  w.put_i64(id);
+  w.put_u8(static_cast<uint8_t>(type));
+  std::vector<std::byte> storage;
+  expect_ack(rpc(owner_server(id, comm_.size(), cfg_), w, storage));
+}
+
+void Client::store(int64_t id, std::string_view value, bool close) {
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kStore));
+  w.put_i64(id);
+  w.put_bool(close);
+  w.put_str(value);
+  std::vector<std::byte> storage;
+  expect_ack(rpc(owner_server(id, comm_.size(), cfg_), w, storage));
+}
+
+std::string Client::retrieve(int64_t id) {
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kRetrieve));
+  w.put_i64(id);
+  std::vector<std::byte> storage;
+  ser::Reader r = rpc(owner_server(id, comm_.size(), cfg_), w, storage);
+  Op op = static_cast<Op>(r.get_u8());
+  if (op == Op::kValue) return r.get_str();
+  if (op == Op::kError) raise_error(r);
+  throw CommError("adlb: unexpected reply to Retrieve");
+}
+
+bool Client::exists(int64_t id) {
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kExists));
+  w.put_i64(id);
+  std::vector<std::byte> storage;
+  ser::Reader r = rpc(owner_server(id, comm_.size(), cfg_), w, storage);
+  Op op = static_cast<Op>(r.get_u8());
+  if (op == Op::kValue) return r.get_bool();
+  if (op == Op::kError) raise_error(r);
+  throw CommError("adlb: unexpected reply to Exists");
+}
+
+DataType Client::type_of(int64_t id) {
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kTypeOf));
+  w.put_i64(id);
+  std::vector<std::byte> storage;
+  ser::Reader r = rpc(owner_server(id, comm_.size(), cfg_), w, storage);
+  Op op = static_cast<Op>(r.get_u8());
+  if (op == Op::kValue) return static_cast<DataType>(r.get_u8());
+  if (op == Op::kError) raise_error(r);
+  throw CommError("adlb: unexpected reply to TypeOf");
+}
+
+void Client::close(int64_t id) {
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kCloseDatum));
+  w.put_i64(id);
+  std::vector<std::byte> storage;
+  expect_ack(rpc(owner_server(id, comm_.size(), cfg_), w, storage));
+}
+
+bool Client::subscribe(int64_t id, int notify_type) {
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kSubscribe));
+  w.put_i64(id);
+  w.put_i32(notify_type);
+  std::vector<std::byte> storage;
+  ser::Reader r = rpc(owner_server(id, comm_.size(), cfg_), w, storage);
+  Op op = static_cast<Op>(r.get_u8());
+  if (op == Op::kValue) return r.get_bool();
+  if (op == Op::kError) raise_error(r);
+  throw CommError("adlb: unexpected reply to Subscribe");
+}
+
+void Client::ref_incr(int64_t id, int delta) {
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kRefIncr));
+  w.put_i64(id);
+  w.put_i32(delta);
+  std::vector<std::byte> storage;
+  expect_ack(rpc(owner_server(id, comm_.size(), cfg_), w, storage));
+}
+
+void Client::write_incr(int64_t id, int delta) {
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kWriteIncr));
+  w.put_i64(id);
+  w.put_i32(delta);
+  std::vector<std::byte> storage;
+  expect_ack(rpc(owner_server(id, comm_.size(), cfg_), w, storage));
+}
+
+void Client::insert(int64_t container_id, std::string_view key, std::string_view value) {
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kInsert));
+  w.put_i64(container_id);
+  w.put_str(key);
+  w.put_str(value);
+  std::vector<std::byte> storage;
+  expect_ack(rpc(owner_server(container_id, comm_.size(), cfg_), w, storage));
+}
+
+std::optional<std::string> Client::lookup(int64_t container_id, std::string_view key) {
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kLookup));
+  w.put_i64(container_id);
+  w.put_str(key);
+  std::vector<std::byte> storage;
+  ser::Reader r = rpc(owner_server(container_id, comm_.size(), cfg_), w, storage);
+  Op op = static_cast<Op>(r.get_u8());
+  if (op == Op::kValue) return r.get_str();
+  if (op == Op::kNoValue) return std::nullopt;
+  if (op == Op::kError) raise_error(r);
+  throw CommError("adlb: unexpected reply to Lookup");
+}
+
+std::vector<std::pair<std::string, std::string>> Client::enumerate(int64_t container_id) {
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kEnumerate));
+  w.put_i64(container_id);
+  std::vector<std::byte> storage;
+  ser::Reader r = rpc(owner_server(container_id, comm_.size(), cfg_), w, storage);
+  Op op = static_cast<Op>(r.get_u8());
+  if (op == Op::kError) raise_error(r);
+  if (op != Op::kValue) throw CommError("adlb: unexpected reply to Enumerate");
+  uint64_t n = r.get_u64();
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string k = r.get_str();
+    std::string v = r.get_str();
+    out.emplace_back(std::move(k), std::move(v));
+  }
+  return out;
+}
+
+}  // namespace ilps::adlb

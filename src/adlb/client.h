@@ -1,0 +1,81 @@
+// The client (engine/worker) side of ADLB: task Put/Get plus the typed
+// data store operations Turbine is built on. Every call is a synchronous
+// RPC to a server; Get blocks until work arrives or the servers detect
+// global quiescence and shut the run down.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adlb/protocol.h"
+#include "mpi/comm.h"
+
+namespace ilps::adlb {
+
+class Client {
+ public:
+  Client(mpi::Comm& comm, const Config& cfg);
+
+  int rank() const { return comm_.rank(); }
+  mpi::Comm& comm() { return comm_; }
+  const Config& config() const { return cfg_; }
+
+  // ---- Tasks ----
+
+  void put(const WorkUnit& unit);
+
+  // Blocks until a unit of `type` is assigned to this rank, or returns
+  // nullopt when the run has terminated.
+  std::optional<WorkUnit> get(int type);
+
+  // ---- Data ----
+
+  // Allocates a globally unique datum id without server communication
+  // (the id space is partitioned by rank).
+  int64_t unique();
+
+  void create(int64_t id, DataType type);
+
+  // Stores a value; by default this also closes the datum (single
+  // assignment) and triggers subscriber notifications.
+  void store(int64_t id, std::string_view value, bool close = true);
+
+  // Retrieves the value of a closed datum. Throws DataError if the datum
+  // is missing or unset.
+  std::string retrieve(int64_t id);
+
+  bool exists(int64_t id);
+  DataType type_of(int64_t id);
+
+  // Explicitly closes a datum (used for containers and void futures).
+  void close(int64_t id);
+
+  // Registers for a close notification, delivered later as a targeted
+  // work unit of `notify_type` whose payload is the decimal id. Returns
+  // true if the datum is already closed (no notification will follow).
+  bool subscribe(int64_t id, int notify_type);
+
+  // Reference counts. Read refs reaching zero delete the datum; write
+  // refs reaching zero close it (container completion).
+  void ref_incr(int64_t id, int delta);
+  void write_incr(int64_t id, int delta);
+
+  // ---- Containers ----
+
+  void insert(int64_t container_id, std::string_view key, std::string_view value);
+  std::optional<std::string> lookup(int64_t container_id, std::string_view key);
+  std::vector<std::pair<std::string, std::string>> enumerate(int64_t container_id);
+
+ private:
+  ser::Reader rpc(int server, const ser::Writer& request, std::vector<std::byte>& storage);
+  int home_;
+
+  mpi::Comm& comm_;
+  Config cfg_;
+  int64_t next_local_id_ = 1;
+};
+
+}  // namespace ilps::adlb

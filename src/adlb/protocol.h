@@ -1,0 +1,142 @@
+// ADLB wire protocol and role layout.
+//
+// This module reimplements the MPI-based Asynchronous Dynamic Load
+// Balancer (Lusk, Pieper & Butler) as used by Swift/T's Turbine engine:
+// the last `nservers` ranks are servers; every other rank is a client
+// (Turbine engine or worker) assigned to one home server. Clients submit
+// work with Put and block in Get; servers match work to parked Gets,
+// rebalance across servers (a hungry-server variant of ADLB's random
+// stealing), own the Turbine data store, and detect global quiescence with
+// a Dijkstra-style token ring, at which point every parked Get is released
+// with a shutdown notice.
+//
+// All client RPCs are synchronous (request then reply): this gives the
+// termination detector the invariant that a parked client has no messages
+// in flight, so only server<->server traffic needs to be counted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/buffer.h"
+#include "mpi/comm.h"
+
+namespace ilps::adlb {
+
+// Work-unit types, by Turbine convention: control tasks run on engines,
+// work tasks on workers. Additional user types are permitted (< ntypes).
+inline constexpr int kTypeWork = 0;
+inline constexpr int kTypeControl = 1;
+
+// Put target meaning "any rank".
+inline constexpr int kAnyRank = -1;
+
+struct Config {
+  int nservers = 1;
+  int ntypes = 2;
+  // Rebalancing batch policy: ship half the queue per Hungry notice (ADLB
+  // steal-half) or a single unit. Ablated in bench_ablation.
+  bool steal_half = true;
+  // Close notifications outrank user work in the queues (keeps dataflow
+  // graphs unfolding ahead of leaf work). Ablated in bench_ablation.
+  bool priority_notifications = true;
+
+  bool operator==(const Config&) const = default;
+};
+
+// A unit of work travelling through ADLB.
+struct WorkUnit {
+  int type = kTypeWork;
+  int priority = 0;
+  int target = kAnyRank;   // specific rank, or kAnyRank
+  int answer = kAnyRank;   // rank to send an application-level answer to
+  std::string payload;
+};
+
+// Typed data store (the ADLB data extension Turbine uses).
+enum class DataType : uint8_t {
+  kVoid = 0,     // a pure signal future
+  kInteger = 1,
+  kFloat = 2,
+  kString = 3,
+  kBlob = 4,
+  kContainer = 5,
+  kFile = 6,
+};
+
+const char* data_type_name(DataType t);
+std::optional<DataType> data_type_from_name(std::string_view name);
+
+// ---- Role layout ----
+
+inline bool is_server(int rank, int size, const Config& cfg) {
+  return rank >= size - cfg.nservers;
+}
+
+inline int server_index(int rank, int size, const Config& cfg) {
+  return rank - (size - cfg.nservers);
+}
+
+inline int server_rank(int index, int size, const Config& cfg) {
+  return size - cfg.nservers + index;
+}
+
+inline int num_clients(int size, const Config& cfg) { return size - cfg.nservers; }
+
+// The home server of a client rank.
+inline int home_server(int client_rank, int size, const Config& cfg) {
+  return server_rank(client_rank % cfg.nservers, size, cfg);
+}
+
+// The server owning a datum id.
+inline int owner_server(int64_t id, int size, const Config& cfg) {
+  return server_rank(static_cast<int>(((id % cfg.nservers) + cfg.nservers) % cfg.nservers), size,
+                     cfg);
+}
+
+// ---- Tags ----
+
+inline constexpr int kTagRequest = 100;   // client -> server
+inline constexpr int kTagResponse = 101;  // server -> client
+inline constexpr int kTagServer = 102;    // server -> server
+
+// ---- Opcodes ----
+
+enum class Op : uint8_t {
+  // client -> server
+  kPut = 1,
+  kGet = 2,
+  kCreate = 10,
+  kStore = 11,
+  kRetrieve = 12,
+  kExists = 13,
+  kCloseDatum = 14,
+  kSubscribe = 15,
+  kRefIncr = 16,   // signed delta; datum deleted at zero read refs
+  kWriteIncr = 17, // signed delta; datum closed at zero write refs
+  kInsert = 20,
+  kLookup = 21,
+  kEnumerate = 22,
+  kTypeOf = 23,
+
+  // server -> client responses
+  kAck = 40,
+  kError = 41,
+  kGotWork = 42,
+  kShutdownClient = 43,
+  kValue = 44,
+  kNoValue = 45,
+
+  // server <-> server
+  kForwardPut = 60,  // targeted or rebalanced work moving between servers
+  kHungry = 61,      // this server has parked Gets and no work of a type
+  kToken = 62,       // termination-detection token
+  kShutdownServer = 63,
+};
+
+// Serialization helpers shared by client and server.
+void write_work_unit(ser::Writer& w, const WorkUnit& unit);
+WorkUnit read_work_unit(ser::Reader& r);
+
+}  // namespace ilps::adlb

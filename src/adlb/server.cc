@@ -1,0 +1,558 @@
+#include "adlb/server.h"
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace ilps::adlb {
+
+Server::Server(mpi::Comm& comm, const Config& cfg) : comm_(comm), cfg_(cfg) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  if (!is_server(rank, size, cfg)) {
+    throw CommError("adlb::Server constructed on a client rank");
+  }
+  if (num_clients(size, cfg) <= 0) {
+    throw CommError("adlb: configuration leaves no client ranks");
+  }
+  index_ = server_index(rank, size, cfg);
+  next_server_ = server_rank((index_ + 1) % cfg.nservers, size, cfg);
+  for (int c = 0; c < num_clients(size, cfg); ++c) {
+    if (home_server(c, size, cfg) == rank) my_clients_.push_back(c);
+  }
+  for (int s = 0; s < cfg.nservers; ++s) {
+    int r = server_rank(s, size, cfg);
+    if (r != rank) peer_servers_.push_back(r);
+  }
+  untargeted_.resize(static_cast<size_t>(cfg.ntypes));
+  parked_.resize(static_cast<size_t>(cfg.ntypes));
+  announced_.assign(static_cast<size_t>(cfg.ntypes), false);
+  hungry_peers_.resize(static_cast<size_t>(cfg.ntypes));
+  rng_ = Rng(0xAD1Bu + static_cast<uint64_t>(index_));
+}
+
+void Server::serve() {
+  // A server with no clients of its own still shards data and rebalances.
+  while (!done_) {
+    mpi::Message m = comm_.recv(mpi::ANY_SOURCE, mpi::ANY_TAG);
+    dispatch(m);
+    if (!done_) after_dispatch();
+  }
+}
+
+void Server::dispatch(const mpi::Message& m) {
+  if (m.tag == kTagRequest) {
+    handle_request(m);
+  } else if (m.tag == kTagServer) {
+    handle_server(m);
+  } else {
+    throw CommError("adlb server: unexpected tag " + std::to_string(m.tag));
+  }
+}
+
+void Server::after_dispatch() {
+  evaluate_hunger();
+  if (pending_token_) try_forward_token();
+  if (index_ == 0 && !token_outstanding_ && quiet()) initiate_token();
+}
+
+// ---- client requests ----
+
+void Server::handle_request(const mpi::Message& m) {
+  ser::Reader r = m.reader();
+  Op op = static_cast<Op>(r.get_u8());
+  switch (op) {
+    case Op::kPut: {
+      WorkUnit unit = read_work_unit(r);
+      ++stats_.puts;
+      handle_put(m.source, unit);
+      break;
+    }
+    case Op::kGet: {
+      int type = r.get_i32();
+      ++stats_.gets;
+      handle_get(m.source, type);
+      break;
+    }
+    default:
+      handle_data_op(m.source, op, r);
+      break;
+  }
+}
+
+void Server::handle_put(int source, const WorkUnit& unit) {
+  if (unit.type < 0 || unit.type >= cfg_.ntypes) {
+    reply_error(source, "put: invalid work type " + std::to_string(unit.type));
+    return;
+  }
+  try {
+    accept_unit(unit);
+  } catch (const DataError& e) {
+    reply_error(source, e.what());
+    return;
+  }
+  reply_ack(source);
+}
+
+void Server::accept_unit(const WorkUnit& unit) {
+  const int size = comm_.size();
+  if (unit.target != kAnyRank) {
+    if (unit.target < 0 || unit.target >= num_clients(size, cfg_)) {
+      throw DataError("put: target rank " + std::to_string(unit.target) + " out of range");
+    }
+    int home = home_server(unit.target, size, cfg_);
+    if (home != comm_.rank()) {
+      // Relay to the target's home server.
+      ser::Writer w;
+      w.put_u8(static_cast<uint8_t>(Op::kForwardPut));
+      w.put_u64(1);
+      write_work_unit(w, unit);
+      send_basic(home, w);
+      ++stats_.forwards;
+      return;
+    }
+    // Match to the target if it is parked with the right type.
+    auto& queue = parked_[static_cast<size_t>(unit.type)];
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (*it == unit.target) {
+        int client = *it;
+        queue.erase(it);
+        parked_clients_.erase(client);
+        deliver(client, unit);
+        return;
+      }
+    }
+    targeted_[{unit.target, unit.type}].push_back(unit);
+    return;
+  }
+
+  // Untargeted: hand to a parked local client if any.
+  announced_[static_cast<size_t>(unit.type)] = false;
+  auto& queue = parked_[static_cast<size_t>(unit.type)];
+  if (!queue.empty()) {
+    int client = queue.front();
+    queue.pop_front();
+    parked_clients_.erase(client);
+    deliver(client, unit);
+    return;
+  }
+  // No local demand: relay to a hungry peer, if one announced itself.
+  auto& hungry = hungry_peers_[static_cast<size_t>(unit.type)];
+  if (!hungry.empty()) {
+    int peer = hungry.front();
+    hungry.pop_front();
+    ser::Writer w;
+    w.put_u8(static_cast<uint8_t>(Op::kForwardPut));
+    w.put_u64(1);
+    write_work_unit(w, unit);
+    send_basic(peer, w);
+    ++stats_.forwards;
+    return;
+  }
+  untargeted_[static_cast<size_t>(unit.type)].emplace(
+      std::make_pair(-unit.priority, seq_++), unit);
+}
+
+void Server::deliver(int client, const WorkUnit& unit) {
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kGotWork));
+  write_work_unit(w, unit);
+  comm_.send(client, kTagResponse, w);
+  ++stats_.matches;
+}
+
+void Server::handle_get(int source, int type) {
+  if (type < 0 || type >= cfg_.ntypes) {
+    reply_error(source, "get: invalid work type " + std::to_string(type));
+    return;
+  }
+  // Targeted work first (ADLB's matching order), then untargeted by
+  // priority.
+  auto targeted_it = targeted_.find({source, type});
+  if (targeted_it != targeted_.end() && !targeted_it->second.empty()) {
+    WorkUnit unit = std::move(targeted_it->second.front());
+    targeted_it->second.pop_front();
+    if (targeted_it->second.empty()) targeted_.erase(targeted_it);
+    deliver(source, unit);
+    return;
+  }
+  auto& queue = untargeted_[static_cast<size_t>(type)];
+  if (!queue.empty()) {
+    WorkUnit unit = std::move(queue.begin()->second);
+    queue.erase(queue.begin());
+    deliver(source, unit);
+    return;
+  }
+  parked_[static_cast<size_t>(type)].push_back(source);
+  parked_clients_.insert(source);
+}
+
+void Server::evaluate_hunger() {
+  for (int t = 0; t < cfg_.ntypes; ++t) {
+    auto ts = static_cast<size_t>(t);
+    if (!parked_[ts].empty() && untargeted_[ts].empty() && !announced_[ts] &&
+        !peer_servers_.empty()) {
+      ser::Writer w;
+      w.put_u8(static_cast<uint8_t>(Op::kHungry));
+      w.put_i32(t);
+      for (int peer : peer_servers_) send_basic(peer, w);
+      announced_[ts] = true;
+      ++stats_.hungry_notices;
+    }
+  }
+}
+
+void Server::send_batch(int peer, int type) {
+  auto& queue = untargeted_[static_cast<size_t>(type)];
+  if (queue.empty()) return;
+  size_t take = cfg_.steal_half ? (queue.size() + 1) / 2 : 1;
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kForwardPut));
+  w.put_u64(take);
+  // Ship the back (lowest-priority) half, keeping urgent work local.
+  for (size_t i = 0; i < take; ++i) {
+    auto last = std::prev(queue.end());
+    write_work_unit(w, last->second);
+    queue.erase(last);
+  }
+  send_basic(peer, w);
+  ++stats_.batches_sent;
+  stats_.units_rebalanced += take;
+}
+
+// ---- server <-> server ----
+
+void Server::handle_server(const mpi::Message& m) {
+  ser::Reader r = m.reader();
+  Op op = static_cast<Op>(r.get_u8());
+  switch (op) {
+    case Op::kForwardPut: {
+      --basic_count_;
+      black_ = true;
+      uint64_t n = r.get_u64();
+      for (uint64_t i = 0; i < n; ++i) accept_unit(read_work_unit(r));
+      break;
+    }
+    case Op::kHungry: {
+      --basic_count_;
+      black_ = true;
+      int type = r.get_i32();
+      if (type < 0 || type >= cfg_.ntypes) break;
+      if (!untargeted_[static_cast<size_t>(type)].empty()) {
+        send_batch(m.source, type);
+      } else {
+        auto& hungry = hungry_peers_[static_cast<size_t>(type)];
+        bool known = false;
+        for (int peer : hungry) {
+          if (peer == m.source) known = true;
+        }
+        if (!known) hungry.push_back(m.source);
+      }
+      break;
+    }
+    case Op::kToken: {
+      ++stats_.tokens;
+      int64_t q = r.get_i64();
+      bool black = r.get_bool();
+      if (index_ == 0) {
+        token_outstanding_ = false;
+        if (quiet() && !black && !black_ && q + basic_count_ == 0) {
+          shutdown_all();
+        }
+        // Otherwise after_dispatch() re-initiates once quiet.
+        black_ = false;
+      } else {
+        pending_token_ = {q, black};
+      }
+      break;
+    }
+    case Op::kShutdownServer: {
+      release_parked();
+      done_ = true;
+      break;
+    }
+    default:
+      throw CommError("adlb server: unexpected server opcode");
+  }
+}
+
+// ---- data store ----
+
+Server::Datum& Server::find_datum(int64_t id, const char* op) {
+  auto it = store_.find(id);
+  if (it == store_.end()) {
+    throw DataError(std::string(op) + ": datum <" + std::to_string(id) + "> does not exist");
+  }
+  return it->second;
+}
+
+void Server::do_close(int64_t id, Datum& datum) {
+  datum.closed = true;
+  for (const auto& [rank, notify_type] : datum.subscribers) {
+    WorkUnit unit;
+    unit.type = notify_type;
+    unit.priority = cfg_.priority_notifications ? 1 << 20 : 0;
+    unit.target = rank;
+    unit.payload = std::to_string(id);
+    accept_unit(unit);
+    ++stats_.notifications;
+  }
+  datum.subscribers.clear();
+}
+
+void Server::handle_data_op(int source, Op op, ser::Reader& r) {
+  ++stats_.data_ops;
+  try {
+    switch (op) {
+      case Op::kCreate: {
+        int64_t id = r.get_i64();
+        auto type = static_cast<DataType>(r.get_u8());
+        if (store_.count(id) > 0) {
+          throw DataError("create: datum <" + std::to_string(id) + "> already exists");
+        }
+        Datum d;
+        d.type = type;
+        store_.emplace(id, std::move(d));
+        reply_ack(source);
+        return;
+      }
+      case Op::kStore: {
+        int64_t id = r.get_i64();
+        bool close = r.get_bool();
+        std::string value = r.get_str();
+        Datum& d = find_datum(id, "store");
+        if (d.closed) {
+          throw DataError("store: datum <" + std::to_string(id) +
+                          "> already closed (double assignment)");
+        }
+        d.value = std::move(value);
+        d.has_value = true;
+        if (close) do_close(id, d);
+        reply_ack(source);
+        return;
+      }
+      case Op::kRetrieve: {
+        int64_t id = r.get_i64();
+        Datum& d = find_datum(id, "retrieve");
+        if (!d.closed) {
+          throw DataError("retrieve: datum <" + std::to_string(id) + "> is not closed");
+        }
+        ser::Writer w;
+        w.put_u8(static_cast<uint8_t>(Op::kValue));
+        w.put_str(d.value);
+        comm_.send(source, kTagResponse, w);
+        return;
+      }
+      case Op::kExists: {
+        int64_t id = r.get_i64();
+        ser::Writer w;
+        w.put_u8(static_cast<uint8_t>(Op::kValue));
+        w.put_bool(store_.count(id) > 0);
+        comm_.send(source, kTagResponse, w);
+        return;
+      }
+      case Op::kTypeOf: {
+        int64_t id = r.get_i64();
+        Datum& d = find_datum(id, "typeof");
+        ser::Writer w;
+        w.put_u8(static_cast<uint8_t>(Op::kValue));
+        w.put_u8(static_cast<uint8_t>(d.type));
+        comm_.send(source, kTagResponse, w);
+        return;
+      }
+      case Op::kCloseDatum: {
+        int64_t id = r.get_i64();
+        Datum& d = find_datum(id, "close");
+        if (d.closed) {
+          throw DataError("close: datum <" + std::to_string(id) + "> already closed");
+        }
+        do_close(id, d);
+        reply_ack(source);
+        return;
+      }
+      case Op::kSubscribe: {
+        int64_t id = r.get_i64();
+        int notify_type = r.get_i32();
+        Datum& d = find_datum(id, "subscribe");
+        ser::Writer w;
+        w.put_u8(static_cast<uint8_t>(Op::kValue));
+        w.put_bool(d.closed);
+        if (!d.closed) d.subscribers.emplace_back(source, notify_type);
+        comm_.send(source, kTagResponse, w);
+        return;
+      }
+      case Op::kRefIncr: {
+        int64_t id = r.get_i64();
+        int delta = r.get_i32();
+        Datum& d = find_datum(id, "refcount");
+        d.read_refs += delta;
+        if (d.read_refs < 0) {
+          throw DataError("refcount: datum <" + std::to_string(id) + "> underflow");
+        }
+        if (d.read_refs == 0) store_.erase(id);
+        reply_ack(source);
+        return;
+      }
+      case Op::kWriteIncr: {
+        int64_t id = r.get_i64();
+        int delta = r.get_i32();
+        Datum& d = find_datum(id, "write refcount");
+        if (d.closed) {
+          throw DataError("write refcount: datum <" + std::to_string(id) + "> already closed");
+        }
+        d.write_refs += delta;
+        if (d.write_refs < 0) {
+          throw DataError("write refcount: datum <" + std::to_string(id) + "> underflow");
+        }
+        if (d.write_refs == 0) do_close(id, d);
+        reply_ack(source);
+        return;
+      }
+      case Op::kInsert: {
+        int64_t id = r.get_i64();
+        std::string key = r.get_str();
+        std::string value = r.get_str();
+        Datum& d = find_datum(id, "insert");
+        if (d.type != DataType::kContainer) {
+          throw DataError("insert: datum <" + std::to_string(id) + "> is not a container");
+        }
+        if (d.closed) {
+          throw DataError("insert: container <" + std::to_string(id) + "> is closed");
+        }
+        if (d.entries.count(key) > 0) {
+          throw DataError("insert: container <" + std::to_string(id) + "> already has key \"" +
+                          key + "\"");
+        }
+        d.entries.emplace(std::move(key), std::move(value));
+        reply_ack(source);
+        return;
+      }
+      case Op::kLookup: {
+        int64_t id = r.get_i64();
+        std::string key = r.get_str();
+        Datum& d = find_datum(id, "lookup");
+        if (d.type != DataType::kContainer) {
+          throw DataError("lookup: datum <" + std::to_string(id) + "> is not a container");
+        }
+        ser::Writer w;
+        auto it = d.entries.find(key);
+        if (it == d.entries.end()) {
+          w.put_u8(static_cast<uint8_t>(Op::kNoValue));
+        } else {
+          w.put_u8(static_cast<uint8_t>(Op::kValue));
+          w.put_str(it->second);
+        }
+        comm_.send(source, kTagResponse, w);
+        return;
+      }
+      case Op::kEnumerate: {
+        int64_t id = r.get_i64();
+        Datum& d = find_datum(id, "enumerate");
+        if (d.type != DataType::kContainer) {
+          throw DataError("enumerate: datum <" + std::to_string(id) + "> is not a container");
+        }
+        ser::Writer w;
+        w.put_u8(static_cast<uint8_t>(Op::kValue));
+        w.put_u64(d.entries.size());
+        for (const auto& [k, v] : d.entries) {
+          w.put_str(k);
+          w.put_str(v);
+        }
+        comm_.send(source, kTagResponse, w);
+        return;
+      }
+      default:
+        reply_error(source, "adlb: unknown opcode " + std::to_string(static_cast<int>(op)));
+        return;
+    }
+  } catch (const DataError& e) {
+    reply_error(source, e.what());
+  }
+}
+
+// ---- termination ----
+
+bool Server::quiet() const {
+  if (parked_clients_.size() != my_clients_.size()) return false;
+  for (const auto& queue : untargeted_) {
+    if (!queue.empty()) return false;
+  }
+  for (const auto& [key, queue] : targeted_) {
+    (void)key;
+    if (!queue.empty()) return false;
+  }
+  return true;
+}
+
+void Server::initiate_token() {
+  if (cfg_.nservers == 1) {
+    shutdown_all();
+    return;
+  }
+  token_outstanding_ = true;
+  black_ = false;
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kToken));
+  w.put_i64(0);  // server 0's own count is added at the conclusion check
+  w.put_bool(false);
+  comm_.send(next_server_, kTagServer, w);
+}
+
+void Server::try_forward_token() {
+  if (!pending_token_ || !quiet()) return;
+  auto [q, black] = *pending_token_;
+  pending_token_.reset();
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kToken));
+  w.put_i64(q + basic_count_);
+  w.put_bool(black || black_);
+  black_ = false;
+  comm_.send(next_server_, kTagServer, w);
+}
+
+void Server::shutdown_all() {
+  for (int peer : peer_servers_) {
+    ser::Writer w;
+    w.put_u8(static_cast<uint8_t>(Op::kShutdownServer));
+    comm_.send(peer, kTagServer, w);
+  }
+  release_parked();
+  done_ = true;
+}
+
+void Server::release_parked() {
+  for (auto& queue : parked_) {
+    for (int client : queue) {
+      ser::Writer w;
+      w.put_u8(static_cast<uint8_t>(Op::kShutdownClient));
+      comm_.send(client, kTagResponse, w);
+    }
+    queue.clear();
+  }
+  parked_clients_.clear();
+  for (const auto& [id, datum] : store_) {
+    (void)id;
+    if (!datum.closed) ++stats_.leftover_data;
+  }
+}
+
+// ---- replies ----
+
+void Server::reply_ack(int dest) {
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kAck));
+  comm_.send(dest, kTagResponse, w);
+}
+
+void Server::reply_error(int dest, const std::string& message) {
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kError));
+  w.put_str(message);
+  comm_.send(dest, kTagResponse, w);
+}
+
+void Server::send_basic(int dest, const ser::Writer& w) {
+  ++basic_count_;
+  comm_.send(dest, kTagServer, w);
+}
+
+}  // namespace ilps::adlb

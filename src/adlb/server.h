@@ -1,0 +1,146 @@
+// The ADLB server: owns work queues and the data store for its shard,
+// matches work to parked Gets, rebalances untargeted work across servers,
+// and participates in Safra's termination-detection ring.
+//
+// Concurrency model: the server is a single message loop; every client RPC
+// is handled atomically (receive -> mutate -> reply), which is what lets
+// termination detection count only server<->server traffic (see
+// protocol.h).
+//
+// Load rebalancing ("stealing"): a server whose clients are parked with an
+// empty queue broadcasts a Hungry notice for that work type. Peers holding
+// surplus untargeted work respond with a batch (half their queue), and
+// remember hungry peers so later Puts with no local taker are forwarded.
+// This is a push-triggered variant of ADLB's random-victim stealing with
+// the same observable behaviour: idle workers drain busy servers.
+//
+// Termination (Safra's algorithm over the server ring): each server keeps
+// a count of server->server "basic" messages sent minus received and a
+// color that blackens on receipt. Server 0, when locally quiet (all its
+// clients parked in Get, queues empty), circulates a token that
+// accumulates counts; a white round with zero total while quiet proves
+// global quiescence, and every parked Get is released with a shutdown
+// notice.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adlb/protocol.h"
+#include "common/rng.h"
+#include "mpi/comm.h"
+
+namespace ilps::adlb {
+
+struct ServerStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t matches = 0;          // work units handed to clients
+  uint64_t forwards = 0;         // targeted units relayed to another server
+  uint64_t hungry_notices = 0;   // notices broadcast by this server
+  uint64_t batches_sent = 0;     // rebalance batches shipped to peers
+  uint64_t units_rebalanced = 0; // work units inside those batches
+  uint64_t notifications = 0;    // close notifications produced
+  uint64_t data_ops = 0;
+  uint64_t tokens = 0;           // termination tokens handled
+  uint64_t leftover_data = 0;    // unclosed data at shutdown (diagnostic)
+};
+
+class Server {
+ public:
+  Server(mpi::Comm& comm, const Config& cfg);
+
+  // Runs the message loop until global termination. Returns normally
+  // after releasing all parked clients.
+  void serve();
+
+  const ServerStats& stats() const { return stats_; }
+
+ private:
+  struct QueuedUnit {
+    int priority;
+    int64_t seq;  // FIFO among equal priorities
+    WorkUnit unit;
+  };
+
+  struct Datum {
+    DataType type = DataType::kVoid;
+    bool closed = false;
+    bool has_value = false;
+    std::string value;
+    std::map<std::string, std::string> entries;
+    int read_refs = 1;
+    int write_refs = 1;
+    std::vector<std::pair<int, int>> subscribers;  // (client rank, notify type)
+  };
+
+  // ---- message dispatch ----
+  void dispatch(const mpi::Message& m);
+  void handle_request(const mpi::Message& m);
+  void handle_server(const mpi::Message& m);
+  void after_dispatch();
+
+  // ---- tasks ----
+  void handle_put(int source, const WorkUnit& unit);
+  // Accepts a unit that belongs on this server (or forwards a targeted
+  // unit to its home server).
+  void accept_unit(const WorkUnit& unit);
+  void deliver(int client, const WorkUnit& unit);
+  void handle_get(int source, int type);
+  void evaluate_hunger();
+  void send_batch(int peer, int type);
+
+  // ---- data ----
+  void handle_data_op(int source, Op op, ser::Reader& r);
+  Datum& find_datum(int64_t id, const char* op);
+  void do_close(int64_t id, Datum& datum);
+
+  // ---- termination ----
+  bool quiet() const;
+  void initiate_token();
+  void try_forward_token();
+  void shutdown_all();
+  void release_parked();
+
+  // ---- replies ----
+  void reply_ack(int dest);
+  void reply_error(int dest, const std::string& message);
+  void send_basic(int dest, const ser::Writer& w);
+
+  mpi::Comm& comm_;
+  Config cfg_;
+  int index_;        // server index in [0, nservers)
+  int next_server_;  // ring successor (server rank)
+  std::vector<int> my_clients_;
+  std::vector<int> peer_servers_;
+
+  // Work state.
+  int64_t seq_ = 0;
+  std::vector<std::map<std::pair<int, int64_t>, WorkUnit>> untargeted_;  // [type]{(-prio,seq)}
+  std::map<std::pair<int, int>, std::deque<WorkUnit>> targeted_;        // (rank, type)
+  std::vector<std::deque<int>> parked_;                                  // [type] client ranks
+  std::set<int> parked_clients_;
+  std::vector<bool> announced_;                 // [type] hungry notice outstanding
+  std::vector<std::deque<int>> hungry_peers_;   // [type] server ranks
+
+  // Data store shard.
+  std::unordered_map<int64_t, Datum> store_;
+
+  // Termination detection.
+  int64_t basic_count_ = 0;  // sent - received server basic messages
+  bool black_ = false;
+  bool token_outstanding_ = false;  // only meaningful on server 0
+  std::optional<std::pair<int64_t, bool>> pending_token_;  // (q, black)
+  bool done_ = false;
+
+  ServerStats stats_;
+  Rng rng_;
+};
+
+}  // namespace ilps::adlb

@@ -1,0 +1,360 @@
+#include "bind/bindgen.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+#include "tcl/interp.h"
+
+namespace ilps::bind {
+
+const char* c_type_name(CType t) {
+  switch (t) {
+    case CType::kVoid: return "void";
+    case CType::kInt: return "int";
+    case CType::kDouble: return "double";
+    case CType::kString: return "const char*";
+    case CType::kDoublePtr: return "double*";
+    case CType::kIntPtr: return "int64_t*";
+    case CType::kVoidPtr: return "void*";
+  }
+  return "?";
+}
+
+namespace {
+
+// Strips // and /* */ comments.
+std::string strip_comments(const std::string& text) {
+  std::string out;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text.compare(i, 2, "//") == 0) {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (text.compare(i, 2, "/*") == 0) {
+      size_t end = text.find("*/", i + 2);
+      if (end == std::string::npos) throw BindError("unterminated /* comment");
+      i = end + 2;
+      out += ' ';
+      continue;
+    }
+    out += text[i++];
+  }
+  return out;
+}
+
+// Parses one C type from a token list starting at `i`; consumes tokens.
+CType parse_type(const std::vector<std::string>& toks, size_t& i) {
+  bool is_const = false;
+  if (i < toks.size() && toks[i] == "const") {
+    is_const = true;
+    ++i;
+  }
+  if (i >= toks.size()) throw BindError("expected a type");
+  std::string base = toks[i++];
+  // Multi-word bases.
+  if (base == "unsigned" || base == "signed" || base == "long") {
+    while (i < toks.size() && (toks[i] == "long" || toks[i] == "int")) {
+      base += " " + toks[i++];
+    }
+  }
+  int stars = 0;
+  while (i < toks.size() && toks[i] == "*") {
+    ++stars;
+    ++i;
+  }
+  (void)is_const;
+  if (base == "void") {
+    if (stars == 0) return CType::kVoid;
+    return CType::kVoidPtr;
+  }
+  if (base == "char") {
+    if (stars == 1) return CType::kString;
+    throw BindError("unsupported char type with " + std::to_string(stars) + " stars");
+  }
+  bool integral = base == "int" || base == "long" || base == "int64_t" || base == "int32_t" ||
+                  base == "size_t" || str::starts_with(base, "unsigned") ||
+                  str::starts_with(base, "long") || str::starts_with(base, "signed");
+  bool floating = base == "double" || base == "float";
+  if (integral && stars == 0) return CType::kInt;
+  if (integral && stars == 1) return CType::kIntPtr;
+  if (floating && stars == 0) return CType::kDouble;
+  if (floating && stars == 1) return CType::kDoublePtr;
+  throw BindError("unsupported C type: " + base + std::string(static_cast<size_t>(stars), '*'));
+}
+
+std::vector<std::string> tokenize_c(const std::string& text) {
+  std::vector<std::string> toks;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) || text[i] == '_')) {
+        ++i;
+      }
+      toks.emplace_back(text.substr(start, i - start));
+      continue;
+    }
+    if (c == '"') {  // skip string literals wholesale (extern "C")
+      size_t end = text.find('"', i + 1);
+      if (end == std::string::npos) throw BindError("unterminated string in header");
+      toks.emplace_back(text.substr(i, end - i + 1));
+      i = end + 1;
+      continue;
+    }
+    toks.emplace_back(1, c);
+    ++i;
+  }
+  return toks;
+}
+
+}  // namespace
+
+std::vector<CFunction> parse_header(const std::string& header_text) {
+  std::vector<std::string> toks = tokenize_c(strip_comments(header_text));
+  std::vector<CFunction> out;
+  size_t i = 0;
+  while (i < toks.size()) {
+    // Skip preprocessor-ish noise, braces from extern "C" blocks, and
+    // stray semicolons.
+    if (toks[i] == "#") {
+      // Consume to the next plausible line start: up to and including the
+      // include target or macro name (headers for BindGen are simple).
+      i += 2;
+      continue;
+    }
+    if (toks[i] == "extern") {
+      ++i;
+      if (i < toks.size() && toks[i].front() == '"') ++i;
+      continue;
+    }
+    if (toks[i] == "{" || toks[i] == "}" || toks[i] == ";") {
+      ++i;
+      continue;
+    }
+
+    CFunction fn;
+    fn.return_type = parse_type(toks, i);
+    if (i >= toks.size()) throw BindError("truncated declaration");
+    fn.name = toks[i++];
+    if (i >= toks.size() || toks[i] != "(") {
+      throw BindError("expected ( after function name " + fn.name);
+    }
+    ++i;
+    if (i < toks.size() && toks[i] == "void" && i + 1 < toks.size() && toks[i + 1] == ")") {
+      i += 1;  // foo(void)
+    }
+    while (i < toks.size() && toks[i] != ")") {
+      CParam p;
+      p.type = parse_type(toks, i);
+      if (i < toks.size() && toks[i] != "," && toks[i] != ")") {
+        p.name = toks[i++];
+        // Array suffix [] reads as a pointer.
+        if (i + 1 < toks.size() && toks[i] == "[" && toks[i + 1] == "]") {
+          i += 2;
+          if (p.type == CType::kDouble) p.type = CType::kDoublePtr;
+          if (p.type == CType::kInt) p.type = CType::kIntPtr;
+        }
+      }
+      fn.params.push_back(std::move(p));
+      if (i < toks.size() && toks[i] == ",") ++i;
+    }
+    if (i >= toks.size()) throw BindError("unterminated parameter list in " + fn.name);
+    ++i;  // ')'
+    if (i < toks.size() && toks[i] == ";") ++i;
+    out.push_back(std::move(fn));
+  }
+  return out;
+}
+
+std::string to_prototype(const CFunction& fn) {
+  std::string out = std::string(c_type_name(fn.return_type)) + " " + fn.name + "(";
+  for (size_t i = 0; i < fn.params.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += c_type_name(fn.params[i].type);
+    if (!fn.params[i].name.empty()) out += " " + fn.params[i].name;
+  }
+  return out + ")";
+}
+
+std::string fortwrap(const std::string& fortran_interface) {
+  // Recognize: subroutine NAME(p1, p2, ...) / function declarations with
+  // type lines `integer :: n`, `real(8) :: x(n)` / `double precision x`.
+  std::vector<std::string> lines = str::split(fortran_interface, '\n');
+  std::string name;
+  std::vector<std::string> params;
+  std::map<std::string, std::string> types;  // param -> C type text
+  bool is_function = false;
+  std::string result_type = "void";
+
+  for (auto& raw : lines) {
+    std::string line = std::string(str::trim(raw));
+    // Strip Fortran comments.
+    size_t bang = line.find('!');
+    if (bang != std::string::npos) line = std::string(str::trim(line.substr(0, bang)));
+    if (line.empty()) continue;
+    std::string lower = str::to_lower(line);
+    if (str::starts_with(lower, "end")) continue;
+    if (str::starts_with(lower, "subroutine") || str::starts_with(lower, "function") ||
+        lower.find(" function ") != std::string::npos) {
+      is_function = !str::starts_with(lower, "subroutine");
+      size_t kw = lower.find(is_function ? "function" : "subroutine");
+      size_t name_start = kw + (is_function ? 8 : 10);
+      // Search for the parameter list after the name: a result-type
+      // prefix like real(8) has parentheses of its own.
+      size_t open = line.find('(', name_start);
+      size_t close = line.rfind(')');
+      if (open == std::string::npos || close == std::string::npos || close < open) {
+        throw BindError("fortwrap: malformed declaration: " + line);
+      }
+      name = std::string(str::trim(line.substr(name_start, open - name_start)));
+      if (is_function) {
+        std::string prefix = std::string(str::trim(lower.substr(0, kw)));
+        if (str::starts_with(prefix, "integer")) result_type = "int";
+        if (str::starts_with(prefix, "real") || str::starts_with(prefix, "double")) {
+          result_type = "double";
+        }
+      }
+      for (const auto& p : str::split(line.substr(open + 1, close - open - 1), ',')) {
+        std::string t = std::string(str::trim(p));
+        if (!t.empty()) params.push_back(t);
+      }
+      continue;
+    }
+    // Type declaration line.
+    std::string ctype;
+    std::string rest;
+    auto take = [&](const char* prefix, const char* mapped) {
+      if (str::starts_with(lower, prefix)) {
+        ctype = mapped;
+        rest = line.substr(std::string(prefix).size());
+        return true;
+      }
+      return false;
+    };
+    if (take("double precision", "double") || take("real(8)", "double") ||
+        take("real*8", "double") || take("real", "double") || take("integer", "int") ||
+        take("character", "const char*") || take("logical", "int")) {
+      size_t colons = rest.find("::");
+      if (colons != std::string::npos) rest = rest.substr(colons + 2);
+      for (const auto& piece : str::split(rest, ',')) {
+        std::string var = std::string(str::trim(piece));
+        if (var.empty()) continue;
+        bool is_array = var.find('(') != std::string::npos;
+        size_t paren = var.find('(');
+        std::string var_name = std::string(str::trim(paren == std::string::npos
+                                                         ? var
+                                                         : var.substr(0, paren)));
+        std::string final_type = ctype;
+        if (is_array) {
+          if (ctype == std::string("double")) final_type = "double*";
+          else if (ctype == std::string("int")) final_type = "int64_t*";
+          else final_type = ctype + std::string("*");
+        }
+        types[str::to_lower(var_name)] = final_type;
+      }
+    }
+  }
+  if (name.empty()) throw BindError("fortwrap: no subroutine or function found");
+  std::string out = result_type + " " + name + "(";
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) out += ", ";
+    auto it = types.find(str::to_lower(params[i]));
+    // Untyped Fortran dummies default to double (real).
+    out += (it == types.end() ? std::string("double") : it->second) + " " + params[i];
+  }
+  return out + ");";
+}
+
+void NativeLibrary::add_raw(const std::string& name, NativeFn fn) { fns_[name] = std::move(fn); }
+
+const NativeFn* NativeLibrary::find(const std::string& name) const {
+  auto it = fns_.find(name);
+  return it == fns_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> NativeLibrary::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, fn] : fns_) {
+    (void)fn;
+    out.push_back(name);
+  }
+  return out;
+}
+
+void bind_to_tcl(tcl::Interp& interp, const std::string& package_name,
+                 const std::vector<CFunction>& prototypes, const NativeLibrary& lib,
+                 blob::Registry& blobs) {
+  for (const auto& proto : prototypes) {
+    const NativeFn* impl = lib.find(proto.name);
+    if (impl == nullptr) {
+      throw BindError("no implementation for " + proto.name + " in native library");
+    }
+    std::string cmd_name = package_name + "::" + proto.name;
+    CFunction sig = proto;
+    NativeFn fn = *impl;
+    interp.register_command(
+        cmd_name, [sig, fn, &blobs](tcl::Interp&, std::vector<std::string>& args) {
+          if (args.size() - 1 != sig.params.size()) {
+            throw tcl::TclError("wrong # args: " + to_prototype(sig));
+          }
+          std::vector<NativeValue> native;
+          for (size_t i = 0; i < sig.params.size(); ++i) {
+            const std::string& raw = args[i + 1];
+            switch (sig.params[i].type) {
+              case CType::kInt: {
+                auto v = str::parse_int(raw);
+                if (!v) throw tcl::TclError(sig.name + ": expected integer for " +
+                                            sig.params[i].name + ", got \"" + raw + "\"");
+                native.emplace_back(*v);
+                break;
+              }
+              case CType::kDouble: {
+                auto v = str::parse_double(raw);
+                if (!v) throw tcl::TclError(sig.name + ": expected number for " +
+                                            sig.params[i].name + ", got \"" + raw + "\"");
+                native.emplace_back(*v);
+                break;
+              }
+              case CType::kString:
+                native.emplace_back(raw);
+                break;
+              case CType::kDoublePtr:
+              case CType::kIntPtr:
+              case CType::kVoidPtr:
+                // blobutils handle -> raw pointer: the conversion SWIG
+                // will not do and blobutils exists for.
+                native.emplace_back(blobs.get(raw));
+                break;
+              case CType::kVoid:
+                throw tcl::TclError("void parameter in " + sig.name);
+            }
+          }
+          NativeValue result = fn(native);
+          switch (sig.return_type) {
+            case CType::kVoid:
+              return std::string();
+            case CType::kInt:
+              return std::to_string(std::get<int64_t>(result));
+            case CType::kDouble: {
+              if (auto* d = std::get_if<double>(&result)) return str::format_double(*d);
+              return std::to_string(std::get<int64_t>(result));
+            }
+            case CType::kString:
+              return std::get<std::string>(result);
+            default:
+              // Pointer returns come back as fresh blob handles.
+              return blobs.insert(std::get<blob::Blob>(result));
+          }
+        });
+  }
+  interp.package_provide(package_name, "1.0");
+}
+
+}  // namespace ilps::bind

@@ -1,0 +1,219 @@
+// BindGen — the SWIG role in Fig. 3 of the paper: given C function
+// prototypes (header text), generate MiniTcl command bindings so the
+// functions become callable from Swift/T code, with argument conversion
+// (numbers, strings) and blob-handle passing for pointer types, plus a
+// FortWrap-lite translator for Fortran interfaces.
+//
+// Pipeline:
+//   1. NativeLibrary: the "compiled object file" — named C/C++ functions
+//      adapted to a uniform calling convention (NativeValue in/out).
+//      The add() template plays the role of compiling afunc.c to afunc.o.
+//   2. parse_header(): reads prototypes out of C header text (SWIG's
+//      interface parsing).
+//   3. bind_to_tcl(): registers one Tcl command per prototype that
+//      converts Tcl strings to C values — int/double parsed, char*
+//      passed through, T* resolved from blobutils handles — and converts
+//      the result back (SWIG's generated wrapper code).
+//   4. fortwrap(): converts Fortran subroutine interfaces to C prototypes
+//      first, as FortWrap does.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "blob/blob.h"
+#include "common/error.h"
+
+namespace ilps::tcl {
+class Interp;
+}
+
+namespace ilps::bind {
+
+class BindError : public Error {
+ public:
+  explicit BindError(const std::string& what) : Error(what) {}
+};
+
+// The uniform value passed across the binding boundary.
+// Pointer arguments travel as blobs (void* + implicit length).
+using NativeValue = std::variant<int64_t, double, std::string, blob::Blob>;
+
+using NativeFn = std::function<NativeValue(std::vector<NativeValue>&)>;
+
+// ---- C type model ----
+
+enum class CType {
+  kVoid,
+  kInt,      // int, long, int64_t
+  kDouble,   // double, float
+  kString,   // const char*, char*
+  kDoublePtr,
+  kIntPtr,
+  kVoidPtr,
+};
+
+const char* c_type_name(CType t);
+
+struct CParam {
+  CType type;
+  std::string name;
+};
+
+struct CFunction {
+  CType return_type = CType::kVoid;
+  std::string name;
+  std::vector<CParam> params;
+};
+
+// Parses function prototypes from C header text. Understands the types
+// above, comments, and extern "C" blocks. Throws BindError on any
+// declaration it cannot handle.
+std::vector<CFunction> parse_header(const std::string& header_text);
+
+// Renders a prototype back to C (used in tests and diagnostics).
+std::string to_prototype(const CFunction& fn);
+
+// ---- FortWrap-lite ----
+// Converts Fortran 90 interface declarations to C prototypes, e.g.
+//   subroutine heat_step(n, dt, u)
+//     integer :: n
+//     real(8) :: dt
+//     real(8) :: u(n)
+//   end subroutine
+// becomes: void heat_step(int n, double dt, double* u);
+std::string fortwrap(const std::string& fortran_interface);
+
+// ---- the "object file" ----
+
+class NativeLibrary {
+ public:
+  // Registers a pre-adapted function.
+  void add_raw(const std::string& name, NativeFn fn);
+
+  // Registers a plain C/C++ function; an adapter converting NativeValue
+  // arguments to the function's parameter types is generated at compile
+  // time. Supported parameter types: int64_t/int/long, double, const
+  // std::string& / std::string, double* (paired with a preceding or
+  // following length by the caller's convention — the raw blob is
+  // reinterpreted), std::span<double>, std::span<const double>.
+  template <typename R, typename... Args>
+  void add(const std::string& name, R (*fn)(Args...));
+
+  const NativeFn* find(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, NativeFn> fns_;
+};
+
+// ---- the generated wrapper ----
+
+// Registers `<package>::<fn>` Tcl commands for every prototype, wired to
+// the library implementations through the blob registry for pointer
+// arguments. Provides Tcl package `package_name` version 1.0.
+// Throws BindError when a prototype has no implementation in `lib`.
+void bind_to_tcl(tcl::Interp& interp, const std::string& package_name,
+                 const std::vector<CFunction>& prototypes, const NativeLibrary& lib,
+                 blob::Registry& blobs);
+
+// ---- template adapter implementation ----
+
+namespace detail {
+
+template <typename T>
+struct ArgCast;
+
+template <>
+struct ArgCast<int64_t> {
+  static int64_t get(NativeValue& v) {
+    if (auto* i = std::get_if<int64_t>(&v)) return *i;
+    if (auto* d = std::get_if<double>(&v)) return static_cast<int64_t>(*d);
+    throw BindError("expected integer argument");
+  }
+};
+template <>
+struct ArgCast<int> {
+  static int get(NativeValue& v) { return static_cast<int>(ArgCast<int64_t>::get(v)); }
+};
+template <>
+struct ArgCast<double> {
+  static double get(NativeValue& v) {
+    if (auto* d = std::get_if<double>(&v)) return *d;
+    if (auto* i = std::get_if<int64_t>(&v)) return static_cast<double>(*i);
+    throw BindError("expected floating-point argument");
+  }
+};
+template <>
+struct ArgCast<std::string> {
+  static std::string get(NativeValue& v) {
+    if (auto* s = std::get_if<std::string>(&v)) return *s;
+    throw BindError("expected string argument");
+  }
+};
+template <>
+struct ArgCast<const std::string&> {
+  static std::string get(NativeValue& v) { return ArgCast<std::string>::get(v); }
+};
+template <>
+struct ArgCast<double*> {
+  static double* get(NativeValue& v) {
+    if (auto* b = std::get_if<blob::Blob>(&v)) return b->as<double>().data();
+    throw BindError("expected blob argument for double*");
+  }
+};
+template <>
+struct ArgCast<const double*> {
+  static const double* get(NativeValue& v) {
+    if (auto* b = std::get_if<blob::Blob>(&v)) return b->as<const double>().data();
+    throw BindError("expected blob argument for const double*");
+  }
+};
+template <>
+struct ArgCast<int64_t*> {
+  static int64_t* get(NativeValue& v) {
+    if (auto* b = std::get_if<blob::Blob>(&v)) return b->as<int64_t>().data();
+    throw BindError("expected blob argument for int64_t*");
+  }
+};
+
+template <typename R>
+struct RetCast {
+  static NativeValue put(R v) { return NativeValue(v); }
+};
+template <>
+struct RetCast<int> {
+  static NativeValue put(int v) { return NativeValue(static_cast<int64_t>(v)); }
+};
+
+}  // namespace detail
+
+template <typename R, typename... Args>
+void NativeLibrary::add(const std::string& name, R (*fn)(Args...)) {
+  fns_[name] = [fn, name](std::vector<NativeValue>& args) -> NativeValue {
+    if (args.size() != sizeof...(Args)) {
+      throw BindError(name + ": expected " + std::to_string(sizeof...(Args)) + " arguments, got " +
+                      std::to_string(args.size()));
+    }
+    size_t i = 0;
+    auto call = [&](auto&&... unpacked) {
+      if constexpr (std::is_void_v<R>) {
+        fn(std::forward<decltype(unpacked)>(unpacked)...);
+        return NativeValue(static_cast<int64_t>(0));
+      } else {
+        return detail::RetCast<R>::put(fn(std::forward<decltype(unpacked)>(unpacked)...));
+      }
+    };
+    // Build the argument pack left to right.
+    return [&]<size_t... I>(std::index_sequence<I...>) {
+      (void)i;
+      return call(detail::ArgCast<Args>::get(args[I])...);
+    }(std::index_sequence_for<Args...>{});
+  };
+}
+
+}  // namespace ilps::bind

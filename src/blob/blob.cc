@@ -1,0 +1,42 @@
+#include "blob/blob.h"
+
+#include "common/strings.h"
+
+namespace ilps::blob {
+
+namespace {
+constexpr std::string_view kPrefix = "blob:";
+}
+
+std::string Registry::insert(Blob b) {
+  uint64_t id = next_++;
+  blobs_.emplace_back(id, std::move(b));
+  return std::string(kPrefix) + std::to_string(id);
+}
+
+Blob& Registry::get(const std::string& handle) {
+  if (!str::starts_with(handle, kPrefix)) {
+    throw DataError("not a blob handle: \"" + handle + "\"");
+  }
+  auto id = str::parse_int(handle.substr(kPrefix.size()));
+  if (!id) throw DataError("malformed blob handle: \"" + handle + "\"");
+  for (auto& [key, blob] : blobs_) {
+    if (key == static_cast<uint64_t>(*id)) return blob;
+  }
+  throw DataError("blob handle not registered: \"" + handle + "\"");
+}
+
+bool Registry::release(const std::string& handle) {
+  if (!str::starts_with(handle, kPrefix)) return false;
+  auto id = str::parse_int(handle.substr(kPrefix.size()));
+  if (!id) return false;
+  for (auto it = blobs_.begin(); it != blobs_.end(); ++it) {
+    if (it->first == static_cast<uint64_t>(*id)) {
+      blobs_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ilps::blob

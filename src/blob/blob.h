@@ -1,0 +1,169 @@
+// The Swift/T `blob` type: a reference-counted buffer of raw bytes used to
+// move bulk binary data (C arrays, Fortran arrays, packed structs) through
+// dataflow scripts without string formatting. Mirrors Swift/T's blobutils
+// library (§III.B of the paper): SWIG-style bindings see a (pointer,
+// length) pair; these helpers do the "simple but myriad" conversions such
+// as void* -> double* that SWIG will not do automatically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ilps::blob {
+
+// Shared-ownership byte buffer. Copies are shallow (like Tcl_Obj refcounts
+// on blob values); use clone() for a deep copy.
+class Blob {
+ public:
+  Blob() : data_(std::make_shared<std::vector<std::byte>>()) {}
+
+  static Blob of_size(size_t bytes) {
+    Blob b;
+    b.data_->resize(bytes);
+    return b;
+  }
+
+  static Blob from_string(std::string_view s) {
+    Blob b;
+    b.data_->resize(s.size());
+    std::memcpy(b.data_->data(), s.data(), s.size());
+    return b;
+  }
+
+  static Blob from_bytes(std::span<const std::byte> bytes) {
+    Blob b;
+    b.data_->assign(bytes.begin(), bytes.end());
+    return b;
+  }
+
+  template <typename T>
+  static Blob from_values(std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Blob b;
+    b.data_->resize(values.size_bytes());
+    std::memcpy(b.data_->data(), values.data(), values.size_bytes());
+    return b;
+  }
+
+  size_t size() const { return data_->size(); }
+  bool empty() const { return data_->empty(); }
+
+  std::byte* data() { return data_->data(); }
+  const std::byte* data() const { return data_->data(); }
+  std::span<std::byte> bytes() { return {data_->data(), data_->size()}; }
+  std::span<const std::byte> bytes() const { return {data_->data(), data_->size()}; }
+
+  std::string to_string() const {
+    return std::string(reinterpret_cast<const char*>(data_->data()), data_->size());
+  }
+
+  Blob clone() const {
+    Blob b;
+    *b.data_ = *data_;
+    return b;
+  }
+
+  // The void* -> T* conversion blobutils exists for. Throws DataError if
+  // the buffer size is not a multiple of sizeof(T).
+  template <typename T>
+  std::span<T> as() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (size() % sizeof(T) != 0) {
+      throw DataError("blob of " + std::to_string(size()) + " bytes is not a whole number of " +
+                      std::to_string(sizeof(T)) + "-byte elements");
+    }
+    return {reinterpret_cast<T*>(data_->data()), size() / sizeof(T)};
+  }
+
+  template <typename T>
+  std::span<const T> as() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (size() % sizeof(T) != 0) {
+      throw DataError("blob of " + std::to_string(size()) + " bytes is not a whole number of " +
+                      std::to_string(sizeof(T)) + "-byte elements");
+    }
+    return {reinterpret_cast<const T*>(data_->data()), size() / sizeof(T)};
+  }
+
+  // Identity of the underlying storage; two shallow copies share it.
+  const void* storage_id() const { return data_.get(); }
+
+ private:
+  std::shared_ptr<std::vector<std::byte>> data_;
+};
+
+// A 2-D view over a blob in Fortran (column-major) element order, the
+// layout FortWrap-wrapped code expects. Indices are 0-based here; the
+// storage order is what distinguishes it from C layout.
+template <typename T>
+class FortranMatrix {
+ public:
+  FortranMatrix(Blob blob, size_t rows, size_t cols)
+      : blob_(std::move(blob)), rows_(rows), cols_(cols) {
+    if (blob_.size() != rows * cols * sizeof(T)) {
+      throw DataError("blob size does not match " + std::to_string(rows) + "x" +
+                      std::to_string(cols) + " matrix of " + std::to_string(sizeof(T)) +
+                      "-byte elements");
+    }
+  }
+
+  static FortranMatrix zeroes(size_t rows, size_t cols) {
+    return FortranMatrix(Blob::of_size(rows * cols * sizeof(T)), rows, cols);
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  T& operator()(size_t i, size_t j) { return blob_.as<T>()[index(i, j)]; }
+  const T& operator()(size_t i, size_t j) const { return blob_.as<const T>()[index(i, j)]; }
+
+  Blob& blob() { return blob_; }
+  const Blob& blob() const { return blob_; }
+
+ private:
+  size_t index(size_t i, size_t j) const {
+    if (i >= rows_ || j >= cols_) {
+      throw DataError("matrix index (" + std::to_string(i) + "," + std::to_string(j) +
+                      ") out of range");
+    }
+    return j * rows_ + i;  // column-major
+  }
+
+  Blob blob_;
+  size_t rows_;
+  size_t cols_;
+};
+
+// Registry mapping handle strings ("blob:N") to blobs. Each Turbine worker
+// owns one; Tcl-level code manipulates blobs only through handles, exactly
+// as Swift/T Tcl code holds SWIG pointer strings.
+class Registry {
+ public:
+  std::string insert(Blob b);
+  Blob& get(const std::string& handle);  // throws DataError on bad handle
+  bool release(const std::string& handle);
+  size_t count() const { return blobs_.size(); }
+
+ private:
+  uint64_t next_ = 1;
+  std::vector<std::pair<uint64_t, Blob>> blobs_;
+};
+
+}  // namespace ilps::blob
+
+// Registered into a MiniTcl interp as the `blobutils` package; see
+// blobutils_tcl.cc for the command list.
+namespace ilps::tcl {
+class Interp;
+}
+namespace ilps::blob {
+void register_blobutils(ilps::tcl::Interp& interp, Registry& registry);
+}

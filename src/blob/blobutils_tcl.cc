@@ -1,0 +1,163 @@
+// The `blobutils` Tcl package: commands over blob handles. This is the
+// MiniTcl face of src/blob; Swift leaf functions and BindGen-generated
+// wrappers use these to move binary data between the Turbine store and
+// native code.
+//
+// Commands (all take/return handles of the form "blob:N"):
+//   blobutils::create_string s          -> handle (bytes of s)
+//   blobutils::to_string h              -> string
+//   blobutils::zeroes_float n           -> handle (n doubles, zeroed)
+//   blobutils::zeroes_int n             -> handle (n int64s, zeroed)
+//   blobutils::from_floats list         -> handle
+//   blobutils::to_floats h              -> Tcl list of doubles
+//   blobutils::from_ints list           -> handle
+//   blobutils::to_ints h                -> Tcl list of ints
+//   blobutils::get_float h i / set_float h i v
+//   blobutils::get_int h i / set_int h i v
+//   blobutils::size h                   -> bytes
+//   blobutils::float_count h            -> element count as doubles
+//   blobutils::release h
+//   blobutils::sizeof_float             -> 8
+//   blobutils::matrix_get h rows i j / matrix_set h rows i j v
+//       (column-major / Fortran order)
+#include "blob/blob.h"
+#include "common/strings.h"
+#include "tcl/interp.h"
+
+namespace ilps::blob {
+
+namespace {
+
+int64_t want_int(const std::string& s, const char* what) {
+  auto v = str::parse_int(s);
+  if (!v) throw tcl::TclError(std::string("blobutils: expected integer ") + what + ", got \"" + s + "\"");
+  return *v;
+}
+
+double want_double(const std::string& s, const char* what) {
+  auto v = str::parse_double(s);
+  if (!v) throw tcl::TclError(std::string("blobutils: expected number ") + what + ", got \"" + s + "\"");
+  return *v;
+}
+
+size_t checked_index(int64_t i, size_t n) {
+  if (i < 0 || static_cast<size_t>(i) >= n) {
+    throw tcl::TclError("blobutils: index " + std::to_string(i) + " out of range [0," +
+                        std::to_string(n) + ")");
+  }
+  return static_cast<size_t>(i);
+}
+
+}  // namespace
+
+void register_blobutils(tcl::Interp& in, Registry& reg) {
+  using Args = std::vector<std::string>;
+
+  in.register_command("blobutils::create_string", [&reg](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "string");
+    return reg.insert(Blob::from_string(a[1]));
+  });
+  in.register_command("blobutils::to_string", [&reg](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "handle");
+    return reg.get(a[1]).to_string();
+  });
+  in.register_command("blobutils::zeroes_float", [&reg](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "count");
+    int64_t n = want_int(a[1], "count");
+    if (n < 0) throw tcl::TclError("blobutils: negative count");
+    return reg.insert(Blob::of_size(static_cast<size_t>(n) * sizeof(double)));
+  });
+  in.register_command("blobutils::zeroes_int", [&reg](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "count");
+    int64_t n = want_int(a[1], "count");
+    if (n < 0) throw tcl::TclError("blobutils: negative count");
+    return reg.insert(Blob::of_size(static_cast<size_t>(n) * sizeof(int64_t)));
+  });
+  in.register_command("blobutils::from_floats", [&reg](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "list");
+    std::vector<double> values;
+    for (const auto& e : tcl::list_split(a[1])) values.push_back(want_double(e, "element"));
+    return reg.insert(Blob::from_values(std::span<const double>(values)));
+  });
+  in.register_command("blobutils::to_floats", [&reg](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "handle");
+    std::vector<std::string> out;
+    for (double v : reg.get(a[1]).as<const double>()) out.push_back(str::format_double(v));
+    return tcl::list_join(out);
+  });
+  in.register_command("blobutils::from_ints", [&reg](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "list");
+    std::vector<int64_t> values;
+    for (const auto& e : tcl::list_split(a[1])) values.push_back(want_int(e, "element"));
+    return reg.insert(Blob::from_values(std::span<const int64_t>(values)));
+  });
+  in.register_command("blobutils::to_ints", [&reg](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "handle");
+    std::vector<std::string> out;
+    for (int64_t v : reg.get(a[1]).as<const int64_t>()) out.push_back(std::to_string(v));
+    return tcl::list_join(out);
+  });
+  in.register_command("blobutils::get_float", [&reg](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 2, 2, "handle index");
+    auto view = reg.get(a[1]).as<const double>();
+    return str::format_double(view[checked_index(want_int(a[2], "index"), view.size())]);
+  });
+  in.register_command("blobutils::set_float", [&reg](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 3, 3, "handle index value");
+    auto view = reg.get(a[1]).as<double>();
+    view[checked_index(want_int(a[2], "index"), view.size())] = want_double(a[3], "value");
+    return std::string();
+  });
+  in.register_command("blobutils::get_int", [&reg](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 2, 2, "handle index");
+    auto view = reg.get(a[1]).as<const int64_t>();
+    return std::to_string(view[checked_index(want_int(a[2], "index"), view.size())]);
+  });
+  in.register_command("blobutils::set_int", [&reg](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 3, 3, "handle index value");
+    auto view = reg.get(a[1]).as<int64_t>();
+    view[checked_index(want_int(a[2], "index"), view.size())] = want_int(a[3], "value");
+    return std::string();
+  });
+  in.register_command("blobutils::size", [&reg](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "handle");
+    return std::to_string(reg.get(a[1]).size());
+  });
+  in.register_command("blobutils::float_count", [&reg](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "handle");
+    return std::to_string(reg.get(a[1]).as<const double>().size());
+  });
+  in.register_command("blobutils::release", [&reg](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "handle");
+    return std::string(reg.release(a[1]) ? "1" : "0");
+  });
+  in.register_command("blobutils::sizeof_float", [](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 0, 0, "");
+    return std::to_string(sizeof(double));
+  });
+  in.register_command("blobutils::matrix_get", [&reg](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 4, 4, "handle rows i j");
+    auto view = reg.get(a[1]).as<const double>();
+    int64_t rows = want_int(a[2], "rows");
+    int64_t i = want_int(a[3], "i");
+    int64_t j = want_int(a[4], "j");
+    if (rows <= 0) throw tcl::TclError("blobutils: rows must be positive");
+    size_t idx = checked_index(j * rows + i, view.size());
+    return str::format_double(view[idx]);
+  });
+  in.register_command("blobutils::matrix_set", [&reg](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 5, 5, "handle rows i j value");
+    auto view = reg.get(a[1]).as<double>();
+    int64_t rows = want_int(a[2], "rows");
+    int64_t i = want_int(a[3], "i");
+    int64_t j = want_int(a[4], "j");
+    if (rows <= 0) throw tcl::TclError("blobutils: rows must be positive");
+    size_t idx = checked_index(j * rows + i, view.size());
+    view[idx] = want_double(a[5], "value");
+    return std::string();
+  });
+
+  in.package_provide("blobutils", "1.0");
+}
+
+}  // namespace ilps::blob

@@ -1,0 +1,3 @@
+// buffer.h is header-only; this TU anchors the library and holds nothing
+// else on purpose.
+#include "common/buffer.h"

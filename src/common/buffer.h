@@ -1,0 +1,122 @@
+// Byte-buffer serialization used for every message that crosses a rank
+// boundary. Ranks in ilps::mpi are threads, but the programming model is
+// distributed memory: only bytes produced by a Writer and consumed by a
+// Reader may travel between ranks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ilps::ser {
+
+// Appends fixed-width little-endian scalars, length-prefixed strings and
+// byte spans to a growable buffer.
+class Writer {
+ public:
+  Writer() = default;
+
+  void put_i32(int32_t v) { put_raw(&v, sizeof v); }
+  void put_u32(uint32_t v) { put_raw(&v, sizeof v); }
+  void put_i64(int64_t v) { put_raw(&v, sizeof v); }
+  void put_u64(uint64_t v) { put_raw(&v, sizeof v); }
+  void put_f64(double v) { put_raw(&v, sizeof v); }
+  void put_u8(uint8_t v) { put_raw(&v, sizeof v); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+
+  void put_str(std::string_view s) {
+    put_u64(s.size());
+    put_raw(s.data(), s.size());
+  }
+
+  void put_bytes(std::span<const std::byte> b) {
+    put_u64(b.size());
+    put_raw(b.data(), b.size());
+  }
+
+  // Hands the accumulated bytes to the caller; the writer is left empty.
+  std::vector<std::byte> take() { return std::move(buf_); }
+
+  const std::vector<std::byte>& bytes() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void put_raw(const void* p, size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<std::byte> buf_;
+};
+
+// Consumes a byte span produced by Writer. Throws ilps::Error on underrun,
+// which indicates a protocol bug, not bad user input.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  int32_t get_i32() { return get_raw<int32_t>(); }
+  uint32_t get_u32() { return get_raw<uint32_t>(); }
+  int64_t get_i64() { return get_raw<int64_t>(); }
+  uint64_t get_u64() { return get_raw<uint64_t>(); }
+  double get_f64() { return get_raw<double>(); }
+  uint8_t get_u8() { return get_raw<uint8_t>(); }
+  bool get_bool() { return get_u8() != 0; }
+
+  std::string get_str() {
+    uint64_t n = get_u64();
+    check(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<std::byte> get_bytes() {
+    uint64_t n = get_u64();
+    check(n);
+    std::vector<std::byte> out(data_.begin() + static_cast<ptrdiff_t>(pos_),
+                               data_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  bool at_end() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T get_raw() {
+    check(sizeof(T));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void check(uint64_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw Error("serialization underrun: need " + std::to_string(n) +
+                  " bytes, have " + std::to_string(data_.size() - pos_));
+    }
+  }
+
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+};
+
+// Convenience: view a string's bytes without copying.
+inline std::span<const std::byte> as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+inline std::string to_string(std::span<const std::byte> b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+}  // namespace ilps::ser

@@ -1,0 +1,44 @@
+// Error types shared by all ILPS modules.
+//
+// ILPS uses exceptions for programming and protocol errors (malformed
+// scripts, double-store of a future, ...) and plain status returns for
+// expected control flow (e.g. ADLB Get observing shutdown).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ilps {
+
+// Base class for all ILPS errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A user script (Swift, Tcl, Python, R) is malformed or failed at runtime.
+class ScriptError : public Error {
+ public:
+  explicit ScriptError(const std::string& what) : Error(what) {}
+};
+
+// The ADLB/Turbine data store was used incorrectly (double store,
+// refcount underflow, type mismatch, unknown id).
+class DataError : public Error {
+ public:
+  explicit DataError(const std::string& what) : Error(what) {}
+};
+
+// A messaging-layer invariant was violated (bad rank, reserved tag, ...).
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& what) : Error(what) {}
+};
+
+// The host OS refused an operation (e.g. fork on a restricted system).
+class OsError : public Error {
+ public:
+  explicit OsError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace ilps

@@ -1,0 +1,46 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace ilps::log {
+
+namespace {
+
+Level initial_level() {
+  const char* env = std::getenv("ILPS_LOG");
+  if (env == nullptr) return Level::kOff;
+  if (std::strcmp(env, "debug") == 0) return Level::kDebug;
+  if (std::strcmp(env, "info") == 0) return Level::kInfo;
+  if (std::strcmp(env, "warn") == 0) return Level::kWarn;
+  return Level::kOff;
+}
+
+std::atomic<Level> g_level{initial_level()};
+std::mutex g_mutex;
+
+const char* name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+void write(Level level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[ilps %s] %s\n", name(level), message.c_str());
+}
+
+}  // namespace ilps::log

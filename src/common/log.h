@@ -1,0 +1,42 @@
+// Minimal leveled logging. Off by default so tests and benches stay quiet;
+// set ILPS_LOG=debug|info|warn in the environment or call set_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ilps::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+
+Level level();
+void set_level(Level level);
+
+// Thread-safe write of one line to stderr, prefixed with the level.
+void write(Level level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string cat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(const Args&... args) {
+  if (level() <= Level::kDebug) write(Level::kDebug, detail::cat(args...));
+}
+
+template <typename... Args>
+void info(const Args&... args) {
+  if (level() <= Level::kInfo) write(Level::kInfo, detail::cat(args...));
+}
+
+template <typename... Args>
+void warn(const Args&... args) {
+  if (level() <= Level::kWarn) write(Level::kWarn, detail::cat(args...));
+}
+
+}  // namespace ilps::log

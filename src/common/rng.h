@@ -1,0 +1,68 @@
+// Deterministic, per-instance random number generation. ILPS never uses
+// global RNG state: every component that needs randomness (steal target
+// selection, workload generators, MiniPy's random module) owns an Rng
+// seeded explicitly, so whole-program runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ilps {
+
+// xoshiro256** by Blackman & Vigna (public domain reference construction),
+// chosen over std::mt19937 for speed and tiny state; statistical quality is
+// ample for load balancing and synthetic workloads.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next_u64() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t next_below(uint64_t bound) { return next_u64() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t next_range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(next_below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Pareto-distributed sample with scale 1 and the given shape; used to
+  // model heavy-tailed task durations.
+  double next_pareto(double shape) {
+    double u = next_double();
+    if (u <= 0.0) u = std::numeric_limits<double>::min();
+    return 1.0 / __builtin_pow(1.0 - u, 1.0 / shape);
+  }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace ilps

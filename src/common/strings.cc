@@ -1,0 +1,241 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace ilps::str {
+
+namespace {
+bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+}  // namespace
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && is_space(s[b])) ++b;
+  while (e > b && is_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && is_space(s[i])) ++i;
+    size_t start = i;
+    while (i < s.size() && !is_space(s[i])) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string to_upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::optional<int64_t> parse_int(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 0);
+  if (errno == ERANGE) return std::nullopt;
+  if (end != buf.c_str() + buf.size()) return std::nullopt;
+  return static_cast<int64_t>(v);
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return std::nullopt;
+  return v;
+}
+
+bool is_numeric(std::string_view s) {
+  return parse_int(s).has_value() || parse_double(s).has_value();
+}
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  // %.17g always round-trips; try shorter representations first so common
+  // values print cleanly (0.1 rather than 0.10000000000000001).
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  std::string out(buf);
+  // Tcl/Swift print integral doubles with a trailing ".0".
+  if (out.find_first_of(".eEnN") == std::string::npos) out += ".0";
+  return out;
+}
+
+namespace {
+
+// Builds a single printf conversion from `spec[i..]` (i at '%') and applies
+// it to `arg`. Returns the formatted piece and advances i past the spec.
+std::string format_one(std::string_view spec, size_t& i, const std::string& arg) {
+  size_t start = i;  // at '%'
+  ++i;
+  std::string flags;
+  while (i < spec.size() && std::strchr("-+ #0", spec[i]) != nullptr) flags += spec[i++];
+  std::string width;
+  while (i < spec.size() && std::isdigit(static_cast<unsigned char>(spec[i]))) width += spec[i++];
+  std::string prec;
+  if (i < spec.size() && spec[i] == '.') {
+    prec += spec[i++];
+    while (i < spec.size() && std::isdigit(static_cast<unsigned char>(spec[i]))) prec += spec[i++];
+  }
+  if (i >= spec.size()) throw ScriptError("format: truncated conversion in \"" + std::string(spec) + "\"");
+  char conv = spec[i++];
+  std::string body = "%" + flags + width + prec;
+  char buf[512];
+  switch (conv) {
+    case 'd':
+    case 'i': {
+      auto v = parse_int(arg);
+      if (!v) {
+        // Tolerate doubles where an int is requested (Tcl coerces).
+        auto d = parse_double(arg);
+        if (!d) throw ScriptError("format: expected integer, got \"" + arg + "\"");
+        v = static_cast<int64_t>(*d);
+      }
+      body += "lld";
+      std::snprintf(buf, sizeof buf, body.c_str(), static_cast<long long>(*v));
+      return buf;
+    }
+    case 'x':
+    case 'X':
+    case 'o': {
+      auto v = parse_int(arg);
+      if (!v) throw ScriptError("format: expected integer, got \"" + arg + "\"");
+      body += "ll";
+      body += conv;
+      std::snprintf(buf, sizeof buf, body.c_str(), static_cast<long long>(*v));
+      return buf;
+    }
+    case 'f':
+    case 'e':
+    case 'E':
+    case 'g':
+    case 'G': {
+      auto v = parse_double(arg);
+      if (!v) throw ScriptError("format: expected number, got \"" + arg + "\"");
+      body += conv;
+      std::snprintf(buf, sizeof buf, body.c_str(), *v);
+      return buf;
+    }
+    case 'c': {
+      auto v = parse_int(arg);
+      if (!v) throw ScriptError("format: expected character code, got \"" + arg + "\"");
+      return std::string(1, static_cast<char>(*v));
+    }
+    case 's': {
+      body += 's';
+      if (arg.size() + 64 > sizeof buf) {
+        // Long strings: apply width/precision via a heap buffer.
+        std::vector<char> big(arg.size() + 64);
+        std::snprintf(big.data(), big.size(), body.c_str(), arg.c_str());
+        return big.data();
+      }
+      std::snprintf(buf, sizeof buf, body.c_str(), arg.c_str());
+      return buf;
+    }
+    default:
+      throw ScriptError("format: unsupported conversion %" + std::string(1, conv) + " in \"" +
+                        std::string(spec.substr(start)) + "\"");
+  }
+}
+
+}  // namespace
+
+std::string printf_format(std::string_view spec, const std::vector<std::string>& args) {
+  std::string out;
+  size_t arg_index = 0;
+  size_t i = 0;
+  while (i < spec.size()) {
+    char c = spec[i];
+    if (c != '%') {
+      out += c;
+      ++i;
+      continue;
+    }
+    if (i + 1 < spec.size() && spec[i + 1] == '%') {
+      out += '%';
+      i += 2;
+      continue;
+    }
+    if (arg_index >= args.size()) {
+      throw ScriptError("format: not enough arguments for \"" + std::string(spec) + "\"");
+    }
+    out += format_one(spec, i, args[arg_index++]);
+  }
+  return out;
+}
+
+std::string replace_all(std::string_view s, std::string_view from, std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  size_t pos = 0;
+  while (true) {
+    size_t hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(s.substr(pos));
+      return out;
+    }
+    out.append(s.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+  }
+}
+
+}  // namespace ilps::str

@@ -1,0 +1,51 @@
+// Small string utilities shared by the interpreters and the Swift
+// front end. All parsing here is strict: numeric conversions succeed only
+// if the whole trimmed token is consumed, which is what Tcl's and Swift's
+// type coercions require.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ilps::str {
+
+std::string_view trim(std::string_view s);
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+// Splits on a single separator character; adjacent separators yield empty
+// fields (like Tcl's `split`).
+std::vector<std::string> split(std::string_view s, char sep);
+
+// Splits on runs of whitespace; never yields empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string to_lower(std::string_view s);
+std::string to_upper(std::string_view s);
+
+// Strict numeric parses: the entire trimmed input must be consumed.
+// parse_int accepts decimal, 0x hex and optional sign.
+std::optional<int64_t> parse_int(std::string_view s);
+std::optional<double> parse_double(std::string_view s);
+
+// True if the string parses as an integer or a double.
+bool is_numeric(std::string_view s);
+
+// Formats a double the way Tcl and Swift print them: integral values keep
+// a trailing ".0", others use shortest round-trip-ish %.17g trimmed.
+std::string format_double(double v);
+
+// printf-style formatting restricted to the conversions the interpreters
+// support: %d %i %f %e %g %s %x %X %o %c %% with width/precision/flags.
+// `args` are raw strings converted per conversion; throws ilps::ScriptError
+// on a malformed spec or non-numeric argument to a numeric conversion.
+std::string printf_format(std::string_view spec, const std::vector<std::string>& args);
+
+// Replaces every occurrence of `from` (must be non-empty) with `to`.
+std::string replace_all(std::string_view s, std::string_view from, std::string_view to);
+
+}  // namespace ilps::str

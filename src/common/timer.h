@@ -1,0 +1,27 @@
+// Wall-clock timing helpers shared by the runtime and the benches.
+#pragma once
+
+#include <chrono>
+
+namespace ilps {
+
+// Seconds since an arbitrary steady epoch; the ilps::mpi analogue of
+// MPI_Wtime.
+inline double wtime() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double>(clock::now() - epoch).count();
+}
+
+// Scoped stopwatch.
+class Timer {
+ public:
+  Timer() : start_(wtime()) {}
+  double elapsed() const { return wtime() - start_; }
+  void reset() { start_ = wtime(); }
+
+ private:
+  double start_;
+};
+
+}  // namespace ilps

@@ -1,0 +1,131 @@
+// ilps::mpi — a message-passing library with MPI semantics whose ranks are
+// OS threads. It exists so the ADLB and Turbine layers above it are written
+// exactly as they would be against real MPI: ranks share nothing, and all
+// communication is explicit sends and receives of serialized byte buffers
+// matched by (source, tag).
+//
+// Differences from real MPI, by design:
+//  - sends are always eager/buffered (never block on the receiver);
+//  - collectives are implemented over point-to-point with reserved tags;
+//  - a rank that throws aborts the world, waking peers blocked in recv.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/buffer.h"
+
+namespace ilps::mpi {
+
+// Wildcards for recv/probe matching, as in MPI.
+inline constexpr int ANY_SOURCE = -1;
+inline constexpr int ANY_TAG = -1;
+
+// User tags must lie in [0, kMaxUserTag); larger tags are reserved for
+// collectives implemented inside this library.
+inline constexpr int kMaxUserTag = 1 << 24;
+
+struct Message {
+  int source = ANY_SOURCE;
+  int tag = ANY_TAG;
+  std::vector<std::byte> data;
+
+  ser::Reader reader() const { return ser::Reader(data); }
+};
+
+// Aggregate traffic counters for a World; read them after run() returns or
+// accept slightly stale values during a run.
+struct TrafficStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+};
+
+class World;
+
+// A rank's handle to the world. Each rank thread receives its own Comm;
+// Comm objects must not be shared across rank threads.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  // Point-to-point. send never blocks; recv blocks until a matching
+  // message arrives or the world aborts (then it throws CommError).
+  void send(int dest, int tag, std::span<const std::byte> data);
+  void send(int dest, int tag, const ser::Writer& w) { send(dest, tag, w.bytes()); }
+  void send_str(int dest, int tag, std::string_view s) { send(dest, tag, ser::as_bytes(s)); }
+
+  Message recv(int source = ANY_SOURCE, int tag = ANY_TAG);
+
+  // Non-blocking receive: returns the message if one matches now.
+  std::optional<Message> try_recv(int source = ANY_SOURCE, int tag = ANY_TAG);
+
+  // Non-blocking probe: reports whether a matching message is queued and,
+  // if so, its envelope.
+  bool iprobe(int source, int tag, int* out_source = nullptr, int* out_tag = nullptr);
+
+  // Collectives. Every rank must call these in the same order.
+  void barrier();
+  void broadcast(std::vector<std::byte>& data, int root);
+  int64_t reduce_sum(int64_t value, int root);
+  int64_t allreduce_sum(int64_t value);
+  double allreduce_sum(double value);
+  std::vector<std::vector<std::byte>> gather(std::span<const std::byte> data, int root);
+
+  // Wall-clock seconds (MPI_Wtime analogue).
+  double wtime() const;
+
+  // Signals all ranks that the program is being torn down abnormally.
+  void abort(const std::string& why);
+
+ private:
+  friend class World;
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+
+  World* world_;
+  int rank_;
+};
+
+// Owns the mailboxes and the rank threads. Usage:
+//
+//   World world(8);
+//   world.run([](Comm& comm) { ... rank body ... });
+//
+// run() joins every rank and rethrows the first rank exception, if any.
+class World {
+ public:
+  explicit World(int size);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const { return size_; }
+
+  void run(const std::function<void(Comm&)>& rank_main);
+
+  TrafficStats stats() const;
+
+ private:
+  friend class Comm;
+  struct Mailbox;
+
+  void post(int source, int dest, int tag, std::span<const std::byte> data);
+  Message wait_match(int self, int source, int tag);
+  std::optional<Message> match_now(int self, int source, int tag);
+  bool probe(int self, int source, int tag, int* out_source, int* out_tag);
+  void abort(const std::string& why);
+  bool aborted() const;
+
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::unique_ptr<struct WorldState> state_;
+};
+
+}  // namespace ilps::mpi

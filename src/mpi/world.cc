@@ -1,0 +1,266 @@
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "common/timer.h"
+#include "mpi/comm.h"
+
+namespace ilps::mpi {
+
+namespace {
+// Internal tags for collectives, outside the user range.
+constexpr int kTagBarrierUp = kMaxUserTag + 1;
+constexpr int kTagBarrierDown = kMaxUserTag + 2;
+constexpr int kTagBcast = kMaxUserTag + 3;
+constexpr int kTagReduce = kMaxUserTag + 4;
+constexpr int kTagGather = kMaxUserTag + 5;
+
+bool matches(const Message& m, int source, int tag) {
+  return (source == ANY_SOURCE || m.source == source) && (tag == ANY_TAG || m.tag == tag);
+}
+}  // namespace
+
+struct World::Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Message> queue;
+};
+
+struct WorldState {
+  std::atomic<bool> aborted{false};
+  std::mutex abort_mutex;
+  std::string abort_reason;
+  std::atomic<uint64_t> messages{0};
+  std::atomic<uint64_t> bytes{0};
+};
+
+World::World(int size) : size_(size), state_(std::make_unique<WorldState>()) {
+  if (size <= 0) throw CommError("world size must be positive");
+  boxes_.reserve(static_cast<size_t>(size));
+  for (int i = 0; i < size; ++i) boxes_.push_back(std::make_unique<Mailbox>());
+}
+
+World::~World() = default;
+
+void World::run(const std::function<void(Comm&)>& rank_main) {
+  state_->aborted.store(false);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &rank_main, &first_error, &error_mutex] {
+      Comm comm(this, r);
+      try {
+        rank_main(comm);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        abort("rank " + std::to_string(r) + " threw");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Clear mailboxes so a World can host several independent runs.
+  for (auto& box : boxes_) {
+    std::lock_guard<std::mutex> lock(box->mutex);
+    box->queue.clear();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  if (state_->aborted.load()) {
+    throw CommError("world aborted: " + state_->abort_reason);
+  }
+}
+
+TrafficStats World::stats() const {
+  return TrafficStats{state_->messages.load(), state_->bytes.load()};
+}
+
+void World::post(int source, int dest, int tag, std::span<const std::byte> data) {
+  if (dest < 0 || dest >= size_) {
+    throw CommError("send to invalid rank " + std::to_string(dest));
+  }
+  state_->messages.fetch_add(1, std::memory_order_relaxed);
+  state_->bytes.fetch_add(data.size(), std::memory_order_relaxed);
+  Mailbox& box = *boxes_[static_cast<size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queue.push_back(Message{source, tag, {data.begin(), data.end()}});
+  }
+  box.cv.notify_all();
+}
+
+std::optional<Message> World::match_now(int self, int source, int tag) {
+  Mailbox& box = *boxes_[static_cast<size_t>(self)];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+    if (matches(*it, source, tag)) {
+      Message m = std::move(*it);
+      box.queue.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+Message World::wait_match(int self, int source, int tag) {
+  Mailbox& box = *boxes_[static_cast<size_t>(self)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  while (true) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        Message m = std::move(*it);
+        box.queue.erase(it);
+        return m;
+      }
+    }
+    if (state_->aborted.load()) {
+      throw CommError("recv interrupted: world aborted (" + state_->abort_reason + ")");
+    }
+    box.cv.wait(lock);
+  }
+}
+
+bool World::probe(int self, int source, int tag, int* out_source, int* out_tag) {
+  Mailbox& box = *boxes_[static_cast<size_t>(self)];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  for (const auto& m : box.queue) {
+    if (matches(m, source, tag)) {
+      if (out_source != nullptr) *out_source = m.source;
+      if (out_tag != nullptr) *out_tag = m.tag;
+      return true;
+    }
+  }
+  return false;
+}
+
+void World::abort(const std::string& why) {
+  {
+    std::lock_guard<std::mutex> lock(state_->abort_mutex);
+    if (state_->abort_reason.empty()) state_->abort_reason = why;
+  }
+  state_->aborted.store(true);
+  for (auto& box : boxes_) {
+    std::lock_guard<std::mutex> lock(box->mutex);
+    box->cv.notify_all();
+  }
+}
+
+bool World::aborted() const { return state_->aborted.load(); }
+
+// ---- Comm ----
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::send(int dest, int tag, std::span<const std::byte> data) {
+  if (tag < 0 || tag >= kMaxUserTag) {
+    throw CommError("user tag out of range: " + std::to_string(tag));
+  }
+  world_->post(rank_, dest, tag, data);
+}
+
+Message Comm::recv(int source, int tag) { return world_->wait_match(rank_, source, tag); }
+
+std::optional<Message> Comm::try_recv(int source, int tag) {
+  return world_->match_now(rank_, source, tag);
+}
+
+bool Comm::iprobe(int source, int tag, int* out_source, int* out_tag) {
+  return world_->probe(rank_, source, tag, out_source, out_tag);
+}
+
+void Comm::barrier() {
+  // Flat fan-in to rank 0, then fan-out. With the thread-backed transport
+  // the constant factors dwarf any tree-topology gain at our rank counts.
+  const std::vector<std::byte> empty;
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) world_->wait_match(0, ANY_SOURCE, kTagBarrierUp);
+    for (int r = 1; r < size(); ++r) world_->post(0, r, kTagBarrierDown, empty);
+  } else {
+    world_->post(rank_, 0, kTagBarrierUp, empty);
+    world_->wait_match(rank_, 0, kTagBarrierDown);
+  }
+}
+
+void Comm::broadcast(std::vector<std::byte>& data, int root) {
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) world_->post(rank_, r, kTagBcast, data);
+    }
+  } else {
+    data = world_->wait_match(rank_, root, kTagBcast).data;
+  }
+}
+
+int64_t Comm::reduce_sum(int64_t value, int root) {
+  if (rank_ == root) {
+    int64_t total = value;
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      Message m = world_->wait_match(rank_, ANY_SOURCE, kTagReduce);
+      total += m.reader().get_i64();
+    }
+    return total;
+  }
+  ser::Writer w;
+  w.put_i64(value);
+  world_->post(rank_, root, kTagReduce, w.bytes());
+  return 0;
+}
+
+int64_t Comm::allreduce_sum(int64_t value) {
+  int64_t total = reduce_sum(value, 0);
+  ser::Writer w;
+  w.put_i64(total);
+  std::vector<std::byte> buf = w.take();
+  broadcast(buf, 0);
+  return ser::Reader(buf).get_i64();
+}
+
+double Comm::allreduce_sum(double value) {
+  // Route through gather so every rank sums in the same order and the
+  // result is bit-identical everywhere.
+  ser::Writer w;
+  w.put_f64(value);
+  auto parts = gather(w.bytes(), 0);
+  std::vector<std::byte> buf;
+  if (rank_ == 0) {
+    double total = 0;
+    for (const auto& p : parts) total += ser::Reader(p).get_f64();
+    ser::Writer out;
+    out.put_f64(total);
+    buf = out.take();
+  }
+  broadcast(buf, 0);
+  return ser::Reader(buf).get_f64();
+}
+
+std::vector<std::vector<std::byte>> Comm::gather(std::span<const std::byte> data, int root) {
+  std::vector<std::vector<std::byte>> out;
+  if (rank_ == root) {
+    out.resize(static_cast<size_t>(size()));
+    out[static_cast<size_t>(root)] = {data.begin(), data.end()};
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      Message m = world_->wait_match(rank_, r, kTagGather);
+      out[static_cast<size_t>(r)] = std::move(m.data);
+    }
+  } else {
+    world_->post(rank_, root, kTagGather, data);
+  }
+  return out;
+}
+
+double Comm::wtime() const { return ilps::wtime(); }
+
+void Comm::abort(const std::string& why) { world_->abort(why); }
+
+}  // namespace ilps::mpi

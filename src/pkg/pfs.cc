@@ -1,0 +1,105 @@
+#include "pkg/pfs.h"
+
+#include "common/strings.h"
+#include "tcl/interp.h"
+
+namespace ilps::pkg {
+
+void FileTree::add(const std::string& path, std::string contents) {
+  files_[path] = std::move(contents);
+}
+
+bool FileTree::contains(const std::string& path) const { return files_.count(path) > 0; }
+
+const std::string* FileTree::get(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> FileTree::list_dir(const std::string& dir) const {
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::vector<std::string> out;
+  for (const auto& [path, contents] : files_) {
+    (void)contents;
+    if (str::starts_with(path, prefix)) out.push_back(path);
+  }
+  return out;
+}
+
+std::optional<std::string> PfsModel::read(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Metadata cost: base latency plus contention from concurrent clients.
+  // in_flight_ approximates concurrency: it counts clients that arrived
+  // while the lock was contended in this window.
+  ++in_flight_;
+  double cost = cfg_.open_latency_us +
+                cfg_.contention_us_per_client * static_cast<double>(in_flight_ - 1);
+  ++stats_.opens;
+  const std::string* contents = tree_.get(path);
+  if (contents == nullptr) {
+    ++stats_.misses;
+    stats_.busy_us += cost;
+    --in_flight_;
+    return std::nullopt;
+  }
+  stats_.busy_us += cost + cfg_.read_us_per_byte * static_cast<double>(contents->size());
+  stats_.bytes_read += contents->size();
+  --in_flight_;
+  return *contents;
+}
+
+double PfsModel::simulated_time_us() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.busy_us;
+}
+
+PfsStats PfsModel::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::optional<std::string> StaticPackage::read(const std::string& path) const {
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  const std::string* contents = tree_.get(path);
+  if (contents == nullptr) return std::nullopt;
+  return *contents;
+}
+
+void install_script_loader(tcl::Interp& interp, ReadFileFn read,
+                           std::vector<std::string> lib_path) {
+  interp.set_source_resolver(read);
+  interp.set_package_unknown(
+      [read = std::move(read), lib_path = std::move(lib_path)](tcl::Interp& in,
+                                                               const std::string& name) {
+        (void)name;
+        bool found_any = false;
+        for (const auto& dir : lib_path) {
+          std::string index_path = dir;
+          if (!index_path.empty() && index_path.back() != '/') index_path += '/';
+          index_path += "pkgIndex.tcl";
+          auto contents = read(index_path);
+          if (!contents) continue;
+          // pkgIndex.tcl scripts refer to their own directory as $dir.
+          in.set_var("dir", dir);
+          in.eval(*contents);
+          found_any = true;
+        }
+        return found_any;
+      });
+}
+
+std::string make_pkg_index(const std::string& name, const std::string& version,
+                           const std::string& dir, const std::vector<std::string>& files) {
+  (void)dir;
+  // Double-quoted so $dir is substituted when the index file is evaluated
+  // (as real pkgIndex.tcl files do), not when the package is required.
+  std::string load_script;
+  for (const auto& f : files) {
+    load_script += "source $dir/" + f + "; ";
+  }
+  load_script += "package provide " + name + " " + version;
+  return "package ifneeded " + name + " " + version + " \"" + load_script + "\"\n";
+}
+
+}  // namespace ilps::pkg

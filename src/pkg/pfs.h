@@ -1,0 +1,127 @@
+// A parallel-filesystem model and the static-package mechanism.
+//
+// The paper's "many small file problem": on a cluster filesystem
+// (GPFS/Lustre), every open() is a metadata operation whose cost grows
+// with the number of clients hammering the metadata server. Script-based
+// applications that `package require` dozens of small .tcl files from
+// thousands of ranks stall on metadata. Swift/T's fix is *static
+// packages*: the script files are baked into one in-memory image, so a
+// worker resolves `source`/`package require` without touching the
+// filesystem at all.
+//
+// PfsModel simulates the metadata cost: a shared metadata server with a
+// configurable base latency and per-concurrent-client contention factor.
+// The simulation is in *simulated time* (an atomic clock advanced by
+// operations), so benches are deterministic and fast regardless of
+// wall-clock speed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ilps::tcl {
+class Interp;
+}
+
+namespace ilps::pkg {
+
+// A bag of named script files (the contents of a TCLLIBPATH directory
+// tree, or of a whole installation).
+class FileTree {
+ public:
+  void add(const std::string& path, std::string contents);
+  bool contains(const std::string& path) const;
+  const std::string* get(const std::string& path) const;
+  std::vector<std::string> list_dir(const std::string& dir) const;
+  size_t file_count() const { return files_.size(); }
+
+ private:
+  std::map<std::string, std::string> files_;
+};
+
+struct PfsConfig {
+  // Metadata latency per open(), in simulated microseconds.
+  double open_latency_us = 50.0;
+  // Extra latency per concurrently-open client (metadata contention).
+  double contention_us_per_client = 10.0;
+  // Streaming cost per byte read (simulated microseconds).
+  double read_us_per_byte = 0.001;
+};
+
+struct PfsStats {
+  uint64_t opens = 0;
+  uint64_t misses = 0;       // opens of nonexistent paths (failed probes)
+  uint64_t bytes_read = 0;
+  double busy_us = 0;        // total simulated metadata-server time
+};
+
+// A shared filesystem with metadata costs. Thread-safe: many worker ranks
+// open files concurrently, which is exactly the contention being modeled.
+class PfsModel {
+ public:
+  PfsModel(FileTree tree, PfsConfig cfg) : tree_(std::move(tree)), cfg_(cfg) {}
+
+  // Opens and reads a file, charging simulated time. Returns nullopt for
+  // missing paths (which still cost a metadata round trip, as on a real
+  // PFS — failed probes are why path searching hurts).
+  std::optional<std::string> read(const std::string& path);
+
+  // Total simulated microseconds consumed by the metadata server so far.
+  double simulated_time_us() const;
+
+  PfsStats stats() const;
+  const FileTree& tree() const { return tree_; }
+
+ private:
+  FileTree tree_;
+  PfsConfig cfg_;
+  mutable std::mutex mutex_;
+  PfsStats stats_;
+  int in_flight_ = 0;
+};
+
+// A static package image: every file of a FileTree frozen into memory.
+// Reads are plain map lookups with no metadata cost — the paper's fix.
+class StaticPackage {
+ public:
+  explicit StaticPackage(FileTree tree) : tree_(std::move(tree)) {}
+
+  // Builds an image from a tree (in Swift/T this happens at job-assembly
+  // time on the login node).
+  static StaticPackage build(const FileTree& tree) { return StaticPackage(tree); }
+
+  std::optional<std::string> read(const std::string& path) const;
+  uint64_t reads() const { return reads_.load(); }
+  size_t file_count() const { return tree_.file_count(); }
+
+ private:
+  FileTree tree_;
+  mutable std::atomic<uint64_t> reads_{0};
+};
+
+// ---- Tcl integration ----
+//
+// Installs a `source` resolver and a `package unknown` handler into a
+// MiniTcl interp, resolving through the given reader function over a
+// TCLLIBPATH-style list of directories. The package-unknown handler
+// mimics Tcl's: it probes each directory for pkgIndex.tcl and evaluates
+// the ones it finds (each probe is an open()).
+using ReadFileFn = std::function<std::optional<std::string>(const std::string& path)>;
+
+void install_script_loader(tcl::Interp& interp, ReadFileFn read, std::vector<std::string> lib_path);
+
+// Convenience: a pkgIndex.tcl body declaring one package whose load
+// script sources `files` from `dir`.
+std::string make_pkg_index(const std::string& name, const std::string& version,
+                           const std::string& dir, const std::vector<std::string>& files);
+
+}  // namespace ilps::pkg

@@ -1,0 +1,107 @@
+// MiniPy abstract syntax. A deliberately flat node design: one Expr struct
+// and one Stmt struct, discriminated by Kind, so the tree-walking
+// evaluator in interp.cc stays compact.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "python/value.h"
+
+namespace ilps::py {
+
+struct Expr;
+using ExprP = std::shared_ptr<Expr>;
+
+struct Expr {
+  enum class Kind {
+    kLiteral,   // literal
+    kName,      // name
+    kUnary,     // op, a
+    kBinary,    // op, a, b
+    kBoolOp,    // op ("and"/"or"), items (short-circuit left to right)
+    kCompare,   // a, ops[i], items[i] (chained: a < b <= c)
+    kTernary,   // a if b else c  (a=value, b=cond, c=orelse)
+    kCall,      // a(items...)
+    kAttribute, // a.name
+    kIndex,     // a[b]
+    kSlice,     // a[b:c] (b or c may be null)
+    kListLit,   // items
+    kDictLit,   // items as flattened k,v pairs
+    kTupleLit,  // items
+    kLambda,    // params, defaults, a (body expression)
+    kListComp,  // a (element), names (loop targets), b (iterable), c (optional condition)
+    kFString,   // strs (n+1 literal segments), items (n expressions), specs (n format specs)
+  };
+
+  Kind kind;
+  int line = 0;
+
+  Ref literal;
+  std::string name;
+  std::string op;
+  ExprP a, b, c;
+  std::vector<ExprP> items;
+  std::vector<std::string> ops;
+  std::vector<std::string> names;
+  std::vector<std::string> strs;
+  std::vector<std::string> specs;
+  std::vector<std::string> params;
+  std::vector<ExprP> defaults;
+};
+
+struct Stmt;
+using StmtP = std::shared_ptr<Stmt>;
+using Block = std::vector<StmtP>;
+
+struct Stmt {
+  enum class Kind {
+    kExpr,      // value
+    kAssign,    // target = value (target: Name/Index/Attribute/TupleLit)
+    kAugAssign, // target op= value
+    kIf,        // value (cond), body, orelse
+    kWhile,     // value (cond), body
+    kFor,       // names (targets), value (iterable), body
+    kDef,       // name, params, defaults, body
+    kReturn,    // value (may be null)
+    kBreak,
+    kContinue,
+    kPass,
+    kImport,    // names
+    kGlobal,    // names
+    kDel,       // target
+    kTry,       // body, handlers, orelse (finally block)
+    kRaise,     // name (exception class), value (optional message expr)
+    kAssert,    // value (condition), target (optional message expr)
+  };
+
+  struct Handler {
+    std::string type;  // empty = catch-all; else a class-name prefix match
+    std::string var;   // `as var` binding (the message string), may be empty
+    Block body;
+  };
+
+  Kind kind;
+  int line = 0;
+
+  ExprP target;
+  ExprP value;
+  std::string op;
+  std::string name;
+  std::vector<std::string> names;
+  std::vector<std::string> params;
+  std::vector<ExprP> defaults;
+  Block body;
+  Block orelse;
+  std::vector<Handler> handlers;
+};
+
+// Parses a fragment into a Block. Throws PyError with a SyntaxError
+// message on malformed input.
+std::shared_ptr<Block> parse_program(std::string_view source);
+
+// Parses a single expression (used by f-strings and the eval API).
+ExprP parse_expression(std::string_view source);
+
+}  // namespace ilps::py

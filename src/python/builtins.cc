@@ -1,0 +1,322 @@
+// MiniPy built-in functions and the math/random modules.
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "python/interp.h"
+
+namespace ilps::py {
+
+namespace {
+
+Ref make_builtin(std::string name, std::function<Ref(std::vector<Ref>&)> fn) {
+  Builtin b;
+  b.name = std::move(name);
+  b.fn = std::move(fn);
+  return std::make_shared<Value>(std::move(b));
+}
+
+void need(const char* name, const std::vector<Ref>& args, size_t lo, size_t hi) {
+  if (args.size() < lo || args.size() > hi) {
+    throw PyError(std::string("TypeError: ") + name + "() got " + std::to_string(args.size()) +
+                  " arguments");
+  }
+}
+
+std::vector<Ref> to_items(const char* what, const Ref& v) {
+  if (is_list(v)) return std::get<Value::List>(v->v);
+  if (is_tuple(v)) return std::get<Value::Tuple>(v->v);
+  if (is_str(v)) {
+    std::vector<Ref> out;
+    for (char c : as_str(v)) out.push_back(string(std::string(1, c)));
+    return out;
+  }
+  if (is_dict(v)) {
+    std::vector<Ref> out;
+    for (const auto& [k, val] : std::get<Value::Dict>(v->v)) {
+      (void)val;
+      out.push_back(k);
+    }
+    return out;
+  }
+  throw PyError(std::string("TypeError: ") + what + "() argument is not iterable");
+}
+
+}  // namespace
+
+void Interpreter::install_builtins() {
+  auto& b = builtins_;
+
+  b["print"] = make_builtin("print", [this](std::vector<Ref>& args) {
+    std::string line;
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) line += ' ';
+      line += to_str(args[i]);
+    }
+    print_(line);
+    return none();
+  });
+
+  b["len"] = make_builtin("len", [](std::vector<Ref>& args) {
+    need("len", args, 1, 1);
+    const Ref& v = args[0];
+    if (is_str(v)) return integer(static_cast<int64_t>(as_str(v).size()));
+    if (is_list(v)) return integer(static_cast<int64_t>(std::get<Value::List>(v->v).size()));
+    if (is_tuple(v)) return integer(static_cast<int64_t>(std::get<Value::Tuple>(v->v).size()));
+    if (is_dict(v)) return integer(static_cast<int64_t>(std::get<Value::Dict>(v->v).size()));
+    throw PyError("TypeError: object of type '" + type_name(v) + "' has no len()");
+  });
+
+  b["range"] = make_builtin("range", [](std::vector<Ref>& args) {
+    need("range", args, 1, 3);
+    int64_t start = 0;
+    int64_t stop;
+    int64_t step = 1;
+    if (args.size() == 1) {
+      stop = as_int(args[0]);
+    } else {
+      start = as_int(args[0]);
+      stop = as_int(args[1]);
+      if (args.size() == 3) step = as_int(args[2]);
+    }
+    if (step == 0) throw PyError("ValueError: range() arg 3 must not be zero");
+    Value::List out;
+    if (step > 0) {
+      for (int64_t i = start; i < stop; i += step) out.push_back(integer(i));
+    } else {
+      for (int64_t i = start; i > stop; i += step) out.push_back(integer(i));
+    }
+    return list(std::move(out));
+  });
+
+  b["abs"] = make_builtin("abs", [](std::vector<Ref>& args) {
+    need("abs", args, 1, 1);
+    if (is_int(args[0]) || is_bool(args[0])) {
+      int64_t v = as_int(args[0]);
+      return integer(v < 0 ? -v : v);
+    }
+    return floating(std::fabs(as_double(args[0])));
+  });
+
+  auto minmax = [](const char* name, std::vector<Ref>& args, int sign) {
+    std::vector<Ref> items = args.size() == 1 ? to_items(name, args[0]) : args;
+    if (items.empty()) throw PyError(std::string("ValueError: ") + name + "() arg is empty");
+    Ref best = items[0];
+    for (size_t i = 1; i < items.size(); ++i) {
+      if (sign * compare(items[i], best) < 0) best = items[i];
+    }
+    return best;
+  };
+  b["min"] = make_builtin("min", [minmax](std::vector<Ref>& args) {
+    need("min", args, 1, 64);
+    return minmax("min", args, 1);
+  });
+  b["max"] = make_builtin("max", [minmax](std::vector<Ref>& args) {
+    need("max", args, 1, 64);
+    return minmax("max", args, -1);
+  });
+
+  b["sum"] = make_builtin("sum", [](std::vector<Ref>& args) {
+    need("sum", args, 1, 2);
+    std::vector<Ref> items = to_items("sum", args[0]);
+    bool any_float = args.size() > 1 && is_float(args[1]);
+    double dacc = args.size() > 1 ? as_double(args[1]) : 0.0;
+    int64_t iacc = args.size() > 1 && !any_float ? as_int(args[1]) : 0;
+    for (const auto& item : items) {
+      if (is_float(item)) any_float = true;
+      dacc += as_double(item);
+      if (!any_float) iacc += as_int(item);
+    }
+    if (any_float) return floating(dacc);
+    return integer(iacc);
+  });
+
+  b["str"] = make_builtin("str", [](std::vector<Ref>& args) {
+    need("str", args, 0, 1);
+    return string(args.empty() ? "" : to_str(args[0]));
+  });
+  b["repr"] = make_builtin("repr", [](std::vector<Ref>& args) {
+    need("repr", args, 1, 1);
+    return string(to_repr(args[0]));
+  });
+
+  b["int"] = make_builtin("int", [](std::vector<Ref>& args) {
+    need("int", args, 0, 1);
+    if (args.empty()) return integer(0);
+    const Ref& v = args[0];
+    if (is_str(v)) {
+      auto i = str::parse_int(as_str(v));
+      if (!i) throw PyError("ValueError: invalid literal for int(): '" + as_str(v) + "'");
+      return integer(*i);
+    }
+    if (is_float(v)) return integer(static_cast<int64_t>(as_double(v)));
+    return integer(as_int(v));
+  });
+
+  b["float"] = make_builtin("float", [](std::vector<Ref>& args) {
+    need("float", args, 0, 1);
+    if (args.empty()) return floating(0.0);
+    const Ref& v = args[0];
+    if (is_str(v)) {
+      auto d = str::parse_double(as_str(v));
+      if (!d) throw PyError("ValueError: could not convert string to float: '" + as_str(v) + "'");
+      return floating(*d);
+    }
+    return floating(as_double(v));
+  });
+
+  b["bool"] = make_builtin("bool", [](std::vector<Ref>& args) {
+    need("bool", args, 0, 1);
+    return boolean(!args.empty() && truthy(args[0]));
+  });
+
+  b["list"] = make_builtin("list", [](std::vector<Ref>& args) {
+    need("list", args, 0, 1);
+    if (args.empty()) return list({});
+    return list(to_items("list", args[0]));
+  });
+
+  b["tuple"] = make_builtin("tuple", [](std::vector<Ref>& args) {
+    need("tuple", args, 0, 1);
+    if (args.empty()) return tuple({});
+    return tuple(Value::Tuple(to_items("tuple", args[0])));
+  });
+
+  b["sorted"] = make_builtin("sorted", [](std::vector<Ref>& args) {
+    need("sorted", args, 1, 1);
+    std::vector<Ref> items = to_items("sorted", args[0]);
+    std::stable_sort(items.begin(), items.end(),
+                     [](const Ref& a, const Ref& b) { return compare(a, b) < 0; });
+    return list(std::move(items));
+  });
+
+  b["reversed"] = make_builtin("reversed", [](std::vector<Ref>& args) {
+    need("reversed", args, 1, 1);
+    std::vector<Ref> items = to_items("reversed", args[0]);
+    std::reverse(items.begin(), items.end());
+    return list(std::move(items));
+  });
+
+  b["round"] = make_builtin("round", [](std::vector<Ref>& args) {
+    need("round", args, 1, 2);
+    double v = as_double(args[0]);
+    if (args.size() == 2) {
+      double scale = std::pow(10.0, static_cast<double>(as_int(args[1])));
+      return floating(std::round(v * scale) / scale);
+    }
+    return integer(static_cast<int64_t>(std::llround(v)));
+  });
+
+  b["enumerate"] = make_builtin("enumerate", [](std::vector<Ref>& args) {
+    need("enumerate", args, 1, 2);
+    int64_t start = args.size() > 1 ? as_int(args[1]) : 0;
+    Value::List out;
+    for (const auto& item : to_items("enumerate", args[0])) {
+      out.push_back(tuple({integer(start++), item}));
+    }
+    return list(std::move(out));
+  });
+
+  b["zip"] = make_builtin("zip", [](std::vector<Ref>& args) {
+    need("zip", args, 1, 8);
+    std::vector<std::vector<Ref>> columns;
+    size_t n = SIZE_MAX;
+    for (const auto& arg : args) {
+      columns.push_back(to_items("zip", arg));
+      n = std::min(n, columns.back().size());
+    }
+    Value::List out;
+    for (size_t i = 0; i < n; ++i) {
+      Value::Tuple row;
+      for (const auto& col : columns) row.push_back(col[i]);
+      out.push_back(tuple(std::move(row)));
+    }
+    return list(std::move(out));
+  });
+
+  b["type"] = make_builtin("type", [](std::vector<Ref>& args) {
+    need("type", args, 1, 1);
+    return string("<class '" + type_name(args[0]) + "'>");
+  });
+}
+
+Ref make_math_module() {
+  Module m;
+  m.name = "math";
+  auto fn1 = [&m](const char* name, double (*f)(double)) {
+    m.members[name] = make_builtin(name, [f, name](std::vector<Ref>& args) {
+      need(name, args, 1, 1);
+      return floating(f(as_double(args[0])));
+    });
+  };
+  fn1("sqrt", std::sqrt);
+  fn1("sin", std::sin);
+  fn1("cos", std::cos);
+  fn1("tan", std::tan);
+  fn1("asin", std::asin);
+  fn1("acos", std::acos);
+  fn1("atan", std::atan);
+  fn1("exp", std::exp);
+  fn1("log", std::log);
+  fn1("log10", std::log10);
+  fn1("log2", std::log2);
+  fn1("fabs", std::fabs);
+  auto fn2 = [&m](const char* name, double (*f)(double, double)) {
+    m.members[name] = make_builtin(name, [f, name](std::vector<Ref>& args) {
+      need(name, args, 2, 2);
+      return floating(f(as_double(args[0]), as_double(args[1])));
+    });
+  };
+  fn2("pow", std::pow);
+  fn2("atan2", std::atan2);
+  fn2("hypot", std::hypot);
+  fn2("fmod", std::fmod);
+  m.members["floor"] = make_builtin("floor", [](std::vector<Ref>& args) {
+    need("floor", args, 1, 1);
+    return integer(static_cast<int64_t>(std::floor(as_double(args[0]))));
+  });
+  m.members["ceil"] = make_builtin("ceil", [](std::vector<Ref>& args) {
+    need("ceil", args, 1, 1);
+    return integer(static_cast<int64_t>(std::ceil(as_double(args[0]))));
+  });
+  m.members["pi"] = floating(3.14159265358979323846);
+  m.members["e"] = floating(2.71828182845904523536);
+  m.members["inf"] = floating(std::numeric_limits<double>::infinity());
+  return std::make_shared<Value>(std::move(m));
+}
+
+Ref make_random_module(Rng& rng) {
+  Module m;
+  m.name = "random";
+  m.members["seed"] = make_builtin("seed", [&rng](std::vector<Ref>& args) {
+    need("seed", args, 1, 1);
+    rng = Rng(static_cast<uint64_t>(as_int(args[0])));
+    return none();
+  });
+  m.members["random"] = make_builtin("random", [&rng](std::vector<Ref>& args) {
+    need("random", args, 0, 0);
+    return floating(rng.next_double());
+  });
+  m.members["uniform"] = make_builtin("uniform", [&rng](std::vector<Ref>& args) {
+    need("uniform", args, 2, 2);
+    double lo = as_double(args[0]);
+    double hi = as_double(args[1]);
+    return floating(lo + (hi - lo) * rng.next_double());
+  });
+  m.members["randint"] = make_builtin("randint", [&rng](std::vector<Ref>& args) {
+    need("randint", args, 2, 2);
+    int64_t lo = as_int(args[0]);
+    int64_t hi = as_int(args[1]);
+    if (hi < lo) throw PyError("ValueError: empty range for randint()");
+    return integer(rng.next_range(lo, hi));
+  });
+  m.members["choice"] = make_builtin("choice", [&rng](std::vector<Ref>& args) {
+    need("choice", args, 1, 1);
+    auto items = to_items("choice", args[0]);
+    if (items.empty()) throw PyError("IndexError: cannot choose from an empty sequence");
+    return items[rng.next_below(items.size())];
+  });
+  return std::make_shared<Value>(std::move(m));
+}
+
+}  // namespace ilps::py

@@ -1,0 +1,270 @@
+#include "python/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace ilps::py {
+
+namespace {
+
+const char* kKeywords[] = {"def",   "return", "if",    "elif",   "else",  "while", "for",
+                           "in",    "not",    "and",   "or",     "break", "continue",
+                           "pass",  "import", "from",  "lambda", "global", "True",  "False",
+                           "None",  "del",    "is",    "try",    "except", "finally",
+                           "raise", "as",    "assert"};
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Multi-char operators, longest first.
+const char* kOps[] = {"**=", "//=", "<<=", ">>=", "==", "!=", "<=", ">=", "->", "+=", "-=",
+                      "*=",  "/=",  "%=",  "**",  "//", "<<", ">>", "(",  ")",  "[",  "]",
+                      "{",   "}",   ",",   ":",   ".",  ";",  "=",  "+",  "-",  "*",  "/",
+                      "%",   "<",   ">",   "&",   "|",  "^",  "~",  "@"};
+
+}  // namespace
+
+bool is_keyword(std::string_view word) {
+  for (const char* k : kKeywords) {
+    if (word == k) return true;
+  }
+  return false;
+}
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::vector<int> indents = {0};
+  size_t i = 0;
+  int line = 1;
+  int paren_depth = 0;
+  bool at_line_start = true;
+
+  auto push = [&](Tok kind, std::string text = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    out.push_back(std::move(t));
+  };
+
+  while (i <= src.size()) {
+    if (at_line_start && paren_depth == 0) {
+      // Measure indentation; skip blank and comment-only lines entirely.
+      size_t start = i;
+      int col = 0;
+      while (i < src.size() && (src[i] == ' ' || src[i] == '\t')) {
+        col += src[i] == '\t' ? 8 - (col % 8) : 1;
+        ++i;
+      }
+      if (i >= src.size()) break;
+      if (src[i] == '\n') {
+        ++i;
+        ++line;
+        continue;
+      }
+      if (src[i] == '#') {
+        while (i < src.size() && src[i] != '\n') ++i;
+        continue;
+      }
+      if (src[i] == '\r') {
+        ++i;
+        continue;
+      }
+      (void)start;
+      if (col > indents.back()) {
+        indents.push_back(col);
+        push(Tok::kIndent);
+      } else {
+        while (col < indents.back()) {
+          indents.pop_back();
+          push(Tok::kDedent);
+        }
+        if (col != indents.back()) {
+          throw PyError("IndentationError: unindent does not match any outer indentation level (line " +
+                        std::to_string(line) + ")");
+        }
+      }
+      at_line_start = false;
+      continue;
+    }
+
+    if (i >= src.size()) break;
+    char c = src[i];
+
+    if (c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '\n') {
+      ++i;
+      ++line;
+      if (paren_depth > 0) continue;  // implicit joining
+      if (!out.empty() && out.back().kind != Tok::kNewline && out.back().kind != Tok::kIndent &&
+          out.back().kind != Tok::kDedent) {
+        push(Tok::kNewline);
+      }
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
+      i += 2;
+      ++line;
+      continue;
+    }
+
+    // String literals (with optional f prefix; '' or "" or triple).
+    bool fprefix = false;
+    size_t save = i;
+    if ((c == 'f' || c == 'F') && i + 1 < src.size() && (src[i + 1] == '"' || src[i + 1] == '\'')) {
+      fprefix = true;
+      ++i;
+      c = src[i];
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      bool triple = src.substr(i).starts_with(std::string(3, quote));
+      i += triple ? 3 : 1;
+      std::string value;
+      while (true) {
+        if (i >= src.size()) throw PyError("SyntaxError: unterminated string (line " +
+                                           std::to_string(line) + ")");
+        if (triple) {
+          if (src.substr(i).starts_with(std::string(3, quote))) {
+            i += 3;
+            break;
+          }
+        } else if (src[i] == quote) {
+          ++i;
+          break;
+        }
+        if (src[i] == '\n') {
+          if (!triple) throw PyError("SyntaxError: EOL in string (line " + std::to_string(line) + ")");
+          ++line;
+          value += '\n';
+          ++i;
+          continue;
+        }
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          char e = src[i + 1];
+          i += 2;
+          switch (e) {
+            case 'n': value += '\n'; break;
+            case 't': value += '\t'; break;
+            case 'r': value += '\r'; break;
+            case '\\': value += '\\'; break;
+            case '\'': value += '\''; break;
+            case '"': value += '"'; break;
+            case '0': value += '\0'; break;
+            case '\n': ++line; break;  // line continuation in string
+            case '{': value += fprefix ? "\\{" : "{"; break;
+            case '}': value += fprefix ? "\\}" : "}"; break;
+            default:
+              value += '\\';
+              value += e;
+          }
+          continue;
+        }
+        value += src[i++];
+      }
+      Token t;
+      t.kind = Tok::kString;
+      t.text = std::move(value);
+      t.fstring = fprefix;
+      t.line = line;
+      out.push_back(std::move(t));
+      continue;
+    }
+    i = save;  // undo the f-prefix lookahead if it was not a string
+    c = src[i];
+
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      if (src.substr(i).starts_with("0x") || src.substr(i).starts_with("0X")) {
+        i += 2;
+        while (i < src.size() && std::isxdigit(static_cast<unsigned char>(src[i]))) ++i;
+      } else {
+        while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+        if (i < src.size() && src[i] == '.' &&
+            !(i + 1 < src.size() && src[i + 1] == '.')) {  // not a slice ".."
+          is_float = true;
+          ++i;
+          while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+        }
+        if (i < src.size() && (src[i] == 'e' || src[i] == 'E')) {
+          size_t exp = i + 1;
+          if (exp < src.size() && (src[exp] == '+' || src[exp] == '-')) ++exp;
+          if (exp < src.size() && std::isdigit(static_cast<unsigned char>(src[exp]))) {
+            is_float = true;
+            i = exp;
+            while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+          }
+        }
+      }
+      std::string text(src.substr(start, i - start));
+      Token t;
+      t.line = line;
+      if (is_float) {
+        t.kind = Tok::kFloat;
+        t.dval = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.kind = Tok::kInt;
+        t.ival = std::strtoll(text.c_str(), nullptr, 0);
+      }
+      t.text = std::move(text);
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    // Identifiers and keywords.
+    if (ident_start(c)) {
+      size_t start = i;
+      while (i < src.size() && ident_char(src[i])) ++i;
+      std::string word(src.substr(start, i - start));
+      // Evaluate the kind before the call: argument evaluation order is
+      // unspecified and std::move(word) may bind first.
+      Tok kind = is_keyword(word) ? Tok::kKeyword : Tok::kName;
+      push(kind, std::move(word));
+      continue;
+    }
+
+    // Operators.
+    bool matched = false;
+    for (const char* op : kOps) {
+      if (src.substr(i).starts_with(op)) {
+        if (op[0] == '(' || op[0] == '[' || op[0] == '{') ++paren_depth;
+        if (op[0] == ')' || op[0] == ']' || op[0] == '}') --paren_depth;
+        push(Tok::kOp, op);
+        i += std::string_view(op).size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      throw PyError("SyntaxError: invalid character '" + std::string(1, c) + "' (line " +
+                    std::to_string(line) + ")");
+    }
+  }
+
+  if (!out.empty() && out.back().kind != Tok::kNewline) push(Tok::kNewline);
+  while (indents.size() > 1) {
+    indents.pop_back();
+    push(Tok::kDedent);
+  }
+  push(Tok::kEnd);
+  return out;
+}
+
+}  // namespace ilps::py

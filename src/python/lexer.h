@@ -1,0 +1,42 @@
+// MiniPy tokenizer: indentation-aware, with implicit line joining inside
+// brackets and explicit backslash continuation, as in CPython's tokenizer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "python/value.h"
+
+namespace ilps::py {
+
+enum class Tok {
+  kEnd,
+  kNewline,
+  kIndent,
+  kDedent,
+  kName,
+  kKeyword,
+  kInt,
+  kFloat,
+  kString,   // text holds the decoded value; fstring flag set for f"..."
+  kOp,       // text holds the operator / delimiter spelling
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  int64_t ival = 0;
+  double dval = 0;
+  bool fstring = false;
+  int line = 0;
+};
+
+// Tokenizes a whole fragment. Throws PyError on bad indentation or
+// malformed literals.
+std::vector<Token> tokenize(std::string_view source);
+
+bool is_keyword(std::string_view word);
+
+}  // namespace ilps::py

@@ -1,0 +1,246 @@
+#include "python/value.h"
+
+#include "common/strings.h"
+
+namespace ilps::py {
+
+Ref none() {
+  static const Ref kNone = std::make_shared<Value>();
+  return kNone;
+}
+
+Ref boolean(bool b) {
+  static const Ref kTrue = std::make_shared<Value>(true);
+  static const Ref kFalse = std::make_shared<Value>(false);
+  return b ? kTrue : kFalse;
+}
+
+Ref integer(int64_t i) { return std::make_shared<Value>(i); }
+Ref floating(double d) { return std::make_shared<Value>(d); }
+Ref string(std::string s) { return std::make_shared<Value>(std::move(s)); }
+Ref list(Value::List items) { return std::make_shared<Value>(std::move(items)); }
+Ref dict(Value::Dict items) { return std::make_shared<Value>(std::move(items)); }
+Ref tuple(Value::Tuple items) { return std::make_shared<Value>(std::move(items)); }
+
+bool is_none(const Ref& v) { return std::holds_alternative<NoneType>(v->v); }
+bool is_bool(const Ref& v) { return std::holds_alternative<bool>(v->v); }
+bool is_int(const Ref& v) { return std::holds_alternative<int64_t>(v->v); }
+bool is_float(const Ref& v) { return std::holds_alternative<double>(v->v); }
+bool is_str(const Ref& v) { return std::holds_alternative<std::string>(v->v); }
+bool is_list(const Ref& v) { return std::holds_alternative<Value::List>(v->v); }
+bool is_dict(const Ref& v) { return std::holds_alternative<Value::Dict>(v->v); }
+bool is_tuple(const Ref& v) { return std::holds_alternative<Value::Tuple>(v->v); }
+
+std::string type_name(const Ref& v) {
+  struct Visitor {
+    std::string operator()(const NoneType&) { return "NoneType"; }
+    std::string operator()(bool) { return "bool"; }
+    std::string operator()(int64_t) { return "int"; }
+    std::string operator()(double) { return "float"; }
+    std::string operator()(const std::string&) { return "str"; }
+    std::string operator()(const Value::List&) { return "list"; }
+    std::string operator()(const Value::Dict&) { return "dict"; }
+    std::string operator()(const Value::Tuple&) { return "tuple"; }
+    std::string operator()(const Function&) { return "function"; }
+    std::string operator()(const Builtin&) { return "builtin_function_or_method"; }
+    std::string operator()(const Module&) { return "module"; }
+  };
+  return std::visit(Visitor{}, v->v);
+}
+
+bool truthy(const Ref& v) {
+  if (is_none(v)) return false;
+  if (is_bool(v)) return std::get<bool>(v->v);
+  if (is_int(v)) return std::get<int64_t>(v->v) != 0;
+  if (is_float(v)) return std::get<double>(v->v) != 0.0;
+  if (is_str(v)) return !std::get<std::string>(v->v).empty();
+  if (is_list(v)) return !std::get<Value::List>(v->v).empty();
+  if (is_dict(v)) return !std::get<Value::Dict>(v->v).empty();
+  if (is_tuple(v)) return !std::get<Value::Tuple>(v->v).empty();
+  return true;
+}
+
+int64_t as_int(const Ref& v) {
+  if (is_bool(v)) return std::get<bool>(v->v) ? 1 : 0;
+  if (is_int(v)) return std::get<int64_t>(v->v);
+  throw PyError("TypeError: expected int, got " + type_name(v));
+}
+
+double as_double(const Ref& v) {
+  if (is_bool(v)) return std::get<bool>(v->v) ? 1.0 : 0.0;
+  if (is_int(v)) return static_cast<double>(std::get<int64_t>(v->v));
+  if (is_float(v)) return std::get<double>(v->v);
+  throw PyError("TypeError: expected float, got " + type_name(v));
+}
+
+const std::string& as_str(const Ref& v) {
+  if (!is_str(v)) throw PyError("TypeError: expected str, got " + type_name(v));
+  return std::get<std::string>(v->v);
+}
+
+namespace {
+std::string float_repr(double d) {
+  // Python prints floats with repr shortest round-trip; format_double's
+  // trailing-.0 convention matches Python for integral floats.
+  return str::format_double(d);
+}
+
+std::string join_items(const std::vector<Ref>& items, const char* open, const char* close,
+                       bool trailing_comma_if_one) {
+  std::string out = open;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += to_repr(items[i]);
+  }
+  if (trailing_comma_if_one && items.size() == 1) out += ",";
+  out += close;
+  return out;
+}
+}  // namespace
+
+std::string to_repr(const Ref& v) {
+  struct Visitor {
+    std::string operator()(const NoneType&) { return "None"; }
+    std::string operator()(bool b) { return b ? "True" : "False"; }
+    std::string operator()(int64_t i) { return std::to_string(i); }
+    std::string operator()(double d) { return float_repr(d); }
+    std::string operator()(const std::string& s) {
+      std::string out = "'";
+      for (char c : s) {
+        switch (c) {
+          case '\'': out += "\\'"; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default: out += c;
+        }
+      }
+      out += "'";
+      return out;
+    }
+    std::string operator()(const Value::List& items) {
+      return join_items(items, "[", "]", false);
+    }
+    std::string operator()(const Value::Dict& d) {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [k, val] : d) {
+        if (!first) out += ", ";
+        first = false;
+        out += to_repr(k) + ": " + to_repr(val);
+      }
+      return out + "}";
+    }
+    std::string operator()(const Value::Tuple& items) {
+      return join_items(items, "(", ")", true);
+    }
+    std::string operator()(const Function& f) { return "<function " + f.name + ">"; }
+    std::string operator()(const Builtin& f) { return "<built-in function " + f.name + ">"; }
+    std::string operator()(const Module& m) { return "<module '" + m.name + "'>"; }
+  };
+  return std::visit(Visitor{}, v->v);
+}
+
+std::string to_str(const Ref& v) {
+  if (is_str(v)) return std::get<std::string>(v->v);
+  return to_repr(v);
+}
+
+bool equal(const Ref& a, const Ref& b) {
+  // Numeric cross-type equality (True == 1, 1 == 1.0).
+  auto numeric = [](const Ref& v) { return is_bool(v) || is_int(v) || is_float(v); };
+  if (numeric(a) && numeric(b)) {
+    if (!is_float(a) && !is_float(b)) return as_int(a) == as_int(b);
+    return as_double(a) == as_double(b);
+  }
+  if (is_none(a) || is_none(b)) return is_none(a) && is_none(b);
+  if (is_str(a) && is_str(b)) return as_str(a) == as_str(b);
+  auto seq_eq = [](const std::vector<Ref>& x, const std::vector<Ref>& y) {
+    if (x.size() != y.size()) return false;
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (!equal(x[i], y[i])) return false;
+    }
+    return true;
+  };
+  if (is_list(a) && is_list(b)) {
+    return seq_eq(std::get<Value::List>(a->v), std::get<Value::List>(b->v));
+  }
+  if (is_tuple(a) && is_tuple(b)) {
+    return seq_eq(std::get<Value::Tuple>(a->v), std::get<Value::Tuple>(b->v));
+  }
+  if (is_dict(a) && is_dict(b)) {
+    const auto& da = std::get<Value::Dict>(a->v);
+    const auto& db = std::get<Value::Dict>(b->v);
+    if (da.size() != db.size()) return false;
+    for (const auto& [k, val] : da) {
+      auto other = dict_get(db, k);
+      if (!other || !equal(val, *other)) return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+int compare(const Ref& a, const Ref& b) {
+  auto numeric = [](const Ref& v) { return is_bool(v) || is_int(v) || is_float(v); };
+  if (numeric(a) && numeric(b)) {
+    if (!is_float(a) && !is_float(b)) {
+      int64_t x = as_int(a);
+      int64_t y = as_int(b);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    double x = as_double(a);
+    double y = as_double(b);
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (is_str(a) && is_str(b)) {
+    int c = as_str(a).compare(as_str(b));
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  auto seq_cmp = [](const std::vector<Ref>& x, const std::vector<Ref>& y) {
+    size_t n = std::min(x.size(), y.size());
+    for (size_t i = 0; i < n; ++i) {
+      int c = compare(x[i], y[i]);
+      if (c != 0) return c;
+    }
+    return x.size() < y.size() ? -1 : (x.size() > y.size() ? 1 : 0);
+  };
+  if (is_list(a) && is_list(b)) {
+    return seq_cmp(std::get<Value::List>(a->v), std::get<Value::List>(b->v));
+  }
+  if (is_tuple(a) && is_tuple(b)) {
+    return seq_cmp(std::get<Value::Tuple>(a->v), std::get<Value::Tuple>(b->v));
+  }
+  throw PyError("TypeError: '<' not supported between instances of '" + type_name(a) + "' and '" +
+                type_name(b) + "'");
+}
+
+std::optional<Ref> dict_get(const Value::Dict& d, const Ref& key) {
+  for (const auto& [k, v] : d) {
+    if (equal(k, key)) return v;
+  }
+  return std::nullopt;
+}
+
+void dict_set(Value::Dict& d, const Ref& key, const Ref& value) {
+  for (auto& [k, v] : d) {
+    if (equal(k, key)) {
+      v = value;
+      return;
+    }
+  }
+  d.emplace_back(key, value);
+}
+
+bool dict_del(Value::Dict& d, const Ref& key) {
+  for (auto it = d.begin(); it != d.end(); ++it) {
+    if (equal(it->first, key)) {
+      d.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ilps::py

@@ -1,0 +1,123 @@
+// MiniPy value model. MiniPy is the stand-in for an embedded CPython: a
+// Python-subset interpreter with the same embedding surface Swift/T uses
+// (initialize, evaluate a code fragment, read back one expression's string
+// value, optionally finalize to clear state).
+//
+// Values: None, bool, int, float, str, list, dict, tuple, function.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ilps::py {
+
+// Raised for Python-level errors; the message mimics CPython ("NameError:
+// name 'x' is not defined").
+class PyError : public ScriptError {
+ public:
+  explicit PyError(const std::string& what) : ScriptError(what) {}
+};
+
+class Value;
+// Refs are shared and mutable so Python aliasing semantics hold: two names
+// bound to one list observe each other's in-place mutations. Only lists
+// and dicts are ever mutated through a Ref.
+using Ref = std::shared_ptr<Value>;
+
+struct NoneType {};
+
+// A user-defined function (def or lambda).
+struct Function {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<Ref> defaults;  // aligned to the tail of params
+  // Body is an opaque, shared-ownership pointer to AST owned by the
+  // defining interpreter (a Block for def, an Expr for lambda).
+  std::shared_ptr<const void> body;
+  bool is_lambda = false;
+};
+
+// A built-in function.
+struct Builtin {
+  std::string name;
+  std::function<Ref(std::vector<Ref>&)> fn;
+};
+
+// A module (math, random): a named bag of members.
+struct Module {
+  std::string name;
+  std::map<std::string, Ref> members;
+};
+
+class Value {
+ public:
+  using List = std::vector<Ref>;
+  using Dict = std::vector<std::pair<Ref, Ref>>;  // insertion-ordered
+  // Distinct type so the variant can discriminate tuple from list.
+  struct Tuple : std::vector<Ref> {
+    using std::vector<Ref>::vector;
+    Tuple() = default;
+    explicit Tuple(std::vector<Ref> items) : std::vector<Ref>(std::move(items)) {}
+  };
+
+  std::variant<NoneType, bool, int64_t, double, std::string, List, Dict, Tuple, Function, Builtin,
+               Module>
+      v;
+
+  Value() : v(NoneType{}) {}
+  template <typename T>
+  explicit Value(T x) : v(std::move(x)) {}
+};
+
+// ---- constructors ----
+Ref none();
+Ref boolean(bool b);
+Ref integer(int64_t i);
+Ref floating(double d);
+Ref string(std::string s);
+Ref list(Value::List items);
+Ref dict(Value::Dict items);
+Ref tuple(Value::Tuple items);
+
+// ---- inspectors ----
+bool is_none(const Ref& v);
+bool is_bool(const Ref& v);
+bool is_int(const Ref& v);
+bool is_float(const Ref& v);
+bool is_str(const Ref& v);
+bool is_list(const Ref& v);
+bool is_dict(const Ref& v);
+bool is_tuple(const Ref& v);
+
+// Python type name ("int", "str", ...).
+std::string type_name(const Ref& v);
+
+// ---- conversions (throw PyError on type mismatch) ----
+bool truthy(const Ref& v);
+int64_t as_int(const Ref& v);      // bool -> 0/1, int only (no float coercion)
+double as_double(const Ref& v);    // bool/int/float
+const std::string& as_str(const Ref& v);
+
+// str(v) and repr(v) per Python conventions (repr quotes strings).
+std::string to_str(const Ref& v);
+std::string to_repr(const Ref& v);
+
+// == comparison (deep, numeric cross-type like Python).
+bool equal(const Ref& a, const Ref& b);
+// Ordering comparison; throws PyError for unorderable types.
+int compare(const Ref& a, const Ref& b);
+
+// Dict key lookup (linear over insertion order, Python-equal semantics).
+std::optional<Ref> dict_get(const Value::Dict& d, const Ref& key);
+void dict_set(Value::Dict& d, const Ref& key, const Ref& value);
+bool dict_del(Value::Dict& d, const Ref& key);
+
+}  // namespace ilps::py

@@ -1,0 +1,54 @@
+// MiniR abstract syntax. R is expression-oriented: blocks, if, for, and
+// function definitions are all expressions.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rlang/value.h"
+
+namespace ilps::r {
+
+struct RExpr {
+  enum class Kind {
+    kNum,       // num
+    kStr,       // str
+    kLogical,   // num != 0
+    kNull,
+    kName,      // str
+    kCall,      // a(items...), arg_names aligned with items ("" = positional)
+    kIndex,     // a[b]
+    kIndex2,    // a[[b]]
+    kDollar,    // a$str
+    kBinary,    // str (op), a, b
+    kUnary,     // str (op), a
+    kAssign,    // a <- b; str is "<-" or "<<-"
+    kIf,        // a (cond), b (then), c (else, may be null)
+    kFor,       // str (var), a (iterable), b (body)
+    kWhile,     // a (cond), b (body)
+    kRepeat,    // a (body)
+    kBlock,     // items
+    kFunction,  // params, a (body)
+    kBreak,
+    kNext,
+  };
+
+  Kind kind;
+  int line = 0;
+  double num = 0;
+  std::string str;
+  std::shared_ptr<RExpr> a, b, c;
+  std::vector<std::shared_ptr<RExpr>> items;
+  std::vector<std::string> arg_names;
+  std::vector<std::pair<std::string, std::shared_ptr<RExpr>>> params;  // default may be null
+};
+
+using RExprP = std::shared_ptr<RExpr>;
+
+// Parses a program: a sequence of expressions separated by newlines or
+// semicolons. Throws RError on syntax errors.
+std::vector<RExprP> parse_r(std::string_view source);
+
+}  // namespace ilps::r

@@ -1,0 +1,839 @@
+// MiniR base library: the R builtins the paper's use cases need —
+// vector construction, statistics, apply-family, string handling, output,
+// and deterministic random number generation.
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "rlang/interp.h"
+
+namespace ilps::r {
+
+namespace {
+
+// Argument accessor for builtins: positional plus named lookup.
+class Args {
+ public:
+  explicit Args(std::vector<NamedArg>& args) : args_(args) {}
+
+  size_t positional_count() const {
+    size_t n = 0;
+    for (const auto& a : args_) {
+      if (!a.name) ++n;
+    }
+    return n;
+  }
+  size_t total() const { return args_.size(); }
+
+  // The i-th positional argument.
+  RRef pos(size_t i) const {
+    size_t n = 0;
+    for (const auto& a : args_) {
+      if (!a.name) {
+        if (n == i) return a.value;
+        ++n;
+      }
+    }
+    throw RError("missing required argument " + std::to_string(i + 1));
+  }
+
+  RRef named(const std::string& name, RRef fallback = nullptr) const {
+    for (const auto& a : args_) {
+      if (a.name && *a.name == name) return a.value;
+    }
+    return fallback;
+  }
+
+  const std::vector<NamedArg>& raw() const { return args_; }
+
+ private:
+  std::vector<NamedArg>& args_;
+};
+
+RRef make_fn(EnvRef env, const std::string& name,
+             std::function<RRef(std::vector<NamedArg>&)> fn) {
+  auto b = std::make_shared<BuiltinFn>();
+  b->name = name;
+  b->fn = std::move(fn);
+  auto v = std::make_shared<RValue>();
+  v->type = RValue::Type::kBuiltin;
+  v->builtin = std::move(b);
+  env->vars[name] = v;
+  return v;
+}
+
+// Gathers every argument's numeric contents (c()-style flattening).
+std::vector<double> gather_numeric(const std::vector<NamedArg>& args) {
+  std::vector<double> out;
+  for (const auto& a : args) {
+    auto v = as_numeric(a.value);
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+double stat_mean(const std::vector<double>& v) {
+  if (v.empty()) throw RError("mean: empty vector");
+  double s = 0;
+  for (double d : v) s += d;
+  return s / static_cast<double>(v.size());
+}
+
+double stat_var(const std::vector<double>& v) {
+  if (v.size() < 2) throw RError("var: need at least two values");
+  double m = stat_mean(v);
+  double s = 0;
+  for (double d : v) s += (d - m) * (d - m);
+  return s / static_cast<double>(v.size() - 1);
+}
+
+}  // namespace
+
+void Interpreter::install_base() {
+  EnvRef env = global_;
+  auto& interp = *this;
+
+  // ---- construction ----
+
+  make_fn(env, "c", [](std::vector<NamedArg>& raw) -> RRef {
+    // Determine the common type: character > numeric > logical; any list
+    // makes the result a list.
+    bool any_list = false;
+    bool any_chr = false;
+    bool any_num = false;
+    for (const auto& a : raw) {
+      switch (a.value->type) {
+        case RValue::Type::kList: any_list = true; break;
+        case RValue::Type::kCharacter: any_chr = true; break;
+        case RValue::Type::kNumeric: any_num = true; break;
+        default: break;
+      }
+    }
+    if (any_list) {
+      std::vector<RRef> out;
+      std::vector<std::string> names;
+      for (const auto& a : raw) {
+        if (a.value->type == RValue::Type::kList) {
+          out.insert(out.end(), a.value->list.begin(), a.value->list.end());
+          names.insert(names.end(), a.value->names.begin(), a.value->names.end());
+          names.resize(out.size());
+        } else {
+          out.push_back(a.value);
+          names.resize(out.size());
+          if (a.name) names.back() = *a.name;
+        }
+      }
+      return r_list(std::move(out), std::move(names));
+    }
+    if (any_chr) {
+      std::vector<std::string> out;
+      for (const auto& a : raw) {
+        auto v = as_character(a.value);
+        out.insert(out.end(), v.begin(), v.end());
+      }
+      return r_character(std::move(out));
+    }
+    if (any_num) return r_numeric(gather_numeric(raw));
+    std::vector<bool> out;
+    for (const auto& a : raw) {
+      auto v = as_logical(a.value);
+      out.insert(out.end(), v.begin(), v.end());
+    }
+    return r_logical(std::move(out));
+  });
+
+  make_fn(env, "list", [](std::vector<NamedArg>& raw) {
+    std::vector<RRef> items;
+    std::vector<std::string> names;
+    for (const auto& a : raw) {
+      items.push_back(a.value);
+      names.push_back(a.name.value_or(""));
+    }
+    return r_list(std::move(items), std::move(names));
+  });
+
+  make_fn(env, "seq", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    double from = 1;
+    double to = 1;
+    RRef by = a.named("by");
+    RRef length_out = a.named("length.out");
+    if (a.positional_count() >= 1) from = scalar_num(a.pos(0), "seq");
+    if (a.positional_count() >= 2) to = scalar_num(a.pos(1), "seq");
+    if (RRef f = a.named("from")) from = scalar_num(f, "seq");
+    if (RRef t = a.named("to")) to = scalar_num(t, "seq");
+    std::vector<double> out;
+    if (length_out) {
+      int64_t n = static_cast<int64_t>(scalar_num(length_out, "seq"));
+      if (n <= 0) return r_numeric({});
+      if (n == 1) return r_numeric({from});
+      double step = (to - from) / static_cast<double>(n - 1);
+      for (int64_t i = 0; i < n; ++i) out.push_back(from + step * static_cast<double>(i));
+      return r_numeric(std::move(out));
+    }
+    double step = by ? scalar_num(by, "seq") : (to >= from ? 1.0 : -1.0);
+    if (step == 0) throw RError("seq: by must be nonzero");
+    if (a.positional_count() >= 3) step = scalar_num(a.pos(2), "seq");
+    if (step > 0) {
+      for (double v = from; v <= to + 1e-9; v += step) out.push_back(v);
+    } else {
+      for (double v = from; v >= to - 1e-9; v += step) out.push_back(v);
+    }
+    return r_numeric(std::move(out));
+  });
+
+  make_fn(env, "seq_len", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    int64_t n = static_cast<int64_t>(scalar_num(a.pos(0), "seq_len"));
+    std::vector<double> out;
+    for (int64_t i = 1; i <= n; ++i) out.push_back(static_cast<double>(i));
+    return r_numeric(std::move(out));
+  });
+
+  make_fn(env, "rep", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    RRef x = a.pos(0);
+    RRef times = a.named("times");
+    if (!times && a.positional_count() >= 2) times = a.pos(1);
+    int64_t n = times ? static_cast<int64_t>(scalar_num(times, "rep")) : 1;
+    if (x->type == RValue::Type::kCharacter) {
+      std::vector<std::string> out;
+      for (int64_t i = 0; i < n; ++i) out.insert(out.end(), x->chr.begin(), x->chr.end());
+      return r_character(std::move(out));
+    }
+    auto vals = as_numeric(x);
+    std::vector<double> out;
+    for (int64_t i = 0; i < n; ++i) out.insert(out.end(), vals.begin(), vals.end());
+    return r_numeric(std::move(out));
+  });
+
+  make_fn(env, "numeric", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    int64_t n = raw.empty() ? 0 : static_cast<int64_t>(scalar_num(a.pos(0), "numeric"));
+    return r_numeric(std::vector<double>(static_cast<size_t>(n), 0.0));
+  });
+
+  make_fn(env, "character", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    int64_t n = raw.empty() ? 0 : static_cast<int64_t>(scalar_num(a.pos(0), "character"));
+    return r_character(std::vector<std::string>(static_cast<size_t>(n)));
+  });
+
+  // ---- inspection ----
+
+  make_fn(env, "length", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    return r_scalar(static_cast<double>(a.pos(0)->length()));
+  });
+
+  make_fn(env, "names", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    RRef x = a.pos(0);
+    if (x->names.empty()) return r_null();
+    return r_character(x->names);
+  });
+
+  make_fn(env, "is.numeric", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    return r_scalar_logical(a.pos(0)->type == RValue::Type::kNumeric);
+  });
+  make_fn(env, "is.character", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    return r_scalar_logical(a.pos(0)->type == RValue::Type::kCharacter);
+  });
+  make_fn(env, "is.logical", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    return r_scalar_logical(a.pos(0)->type == RValue::Type::kLogical);
+  });
+  make_fn(env, "is.list", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    return r_scalar_logical(a.pos(0)->type == RValue::Type::kList);
+  });
+  make_fn(env, "is.null", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    return r_scalar_logical(a.pos(0)->type == RValue::Type::kNull);
+  });
+  make_fn(env, "is.function", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    auto t = a.pos(0)->type;
+    return r_scalar_logical(t == RValue::Type::kClosure || t == RValue::Type::kBuiltin);
+  });
+
+  // ---- coercion ----
+
+  make_fn(env, "as.numeric", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    return r_numeric(as_numeric(a.pos(0)));
+  });
+  make_fn(env, "as.integer", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    auto v = as_numeric(a.pos(0));
+    for (auto& d : v) d = std::trunc(d);
+    return r_numeric(std::move(v));
+  });
+  make_fn(env, "as.character", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    return r_character(as_character(a.pos(0)));
+  });
+  make_fn(env, "as.logical", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    return r_logical(as_logical(a.pos(0)));
+  });
+
+  // ---- math (vectorized) ----
+
+  auto vectorized = [&](const char* name, double (*f)(double)) {
+    make_fn(env, name, [f](std::vector<NamedArg>& raw) {
+      Args a(raw);
+      auto v = as_numeric(a.pos(0));
+      for (auto& d : v) d = f(d);
+      return r_numeric(std::move(v));
+    });
+  };
+  vectorized("sqrt", std::sqrt);
+  vectorized("exp", std::exp);
+  vectorized("log", std::log);
+  vectorized("log2", std::log2);
+  vectorized("log10", std::log10);
+  vectorized("sin", std::sin);
+  vectorized("cos", std::cos);
+  vectorized("tan", std::tan);
+  vectorized("abs", std::fabs);
+  vectorized("floor", std::floor);
+  vectorized("ceiling", std::ceil);
+
+  make_fn(env, "round", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    auto v = as_numeric(a.pos(0));
+    int64_t digits = 0;
+    if (a.positional_count() >= 2) digits = static_cast<int64_t>(scalar_num(a.pos(1), "round"));
+    if (RRef d = a.named("digits")) digits = static_cast<int64_t>(scalar_num(d, "round"));
+    double scale = std::pow(10.0, static_cast<double>(digits));
+    for (auto& d : v) d = std::round(d * scale) / scale;
+    return r_numeric(std::move(v));
+  });
+
+  // ---- reductions and statistics ----
+
+  make_fn(env, "sum", [](std::vector<NamedArg>& raw) {
+    double s = 0;
+    for (double d : gather_numeric(raw)) s += d;
+    return r_scalar(s);
+  });
+  make_fn(env, "prod", [](std::vector<NamedArg>& raw) {
+    double s = 1;
+    for (double d : gather_numeric(raw)) s *= d;
+    return r_scalar(s);
+  });
+  make_fn(env, "mean", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    return r_scalar(stat_mean(as_numeric(a.pos(0))));
+  });
+  make_fn(env, "var", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    return r_scalar(stat_var(as_numeric(a.pos(0))));
+  });
+  make_fn(env, "sd", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    return r_scalar(std::sqrt(stat_var(as_numeric(a.pos(0)))));
+  });
+  make_fn(env, "min", [](std::vector<NamedArg>& raw) {
+    auto v = gather_numeric(raw);
+    if (v.empty()) throw RError("min: no arguments");
+    return r_scalar(*std::min_element(v.begin(), v.end()));
+  });
+  make_fn(env, "max", [](std::vector<NamedArg>& raw) {
+    auto v = gather_numeric(raw);
+    if (v.empty()) throw RError("max: no arguments");
+    return r_scalar(*std::max_element(v.begin(), v.end()));
+  });
+  make_fn(env, "range", [](std::vector<NamedArg>& raw) {
+    auto v = gather_numeric(raw);
+    if (v.empty()) throw RError("range: no arguments");
+    auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+    return r_numeric({*lo, *hi});
+  });
+  make_fn(env, "cumsum", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    auto v = as_numeric(a.pos(0));
+    double s = 0;
+    for (auto& d : v) {
+      s += d;
+      d = s;
+    }
+    return r_numeric(std::move(v));
+  });
+  make_fn(env, "any", [](std::vector<NamedArg>& raw) {
+    for (const auto& a : raw) {
+      for (bool b : as_logical(a.value)) {
+        if (b) return r_scalar_logical(true);
+      }
+    }
+    return r_scalar_logical(false);
+  });
+  make_fn(env, "all", [](std::vector<NamedArg>& raw) {
+    for (const auto& a : raw) {
+      for (bool b : as_logical(a.value)) {
+        if (!b) return r_scalar_logical(false);
+      }
+    }
+    return r_scalar_logical(true);
+  });
+  make_fn(env, "which", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    auto v = as_logical(a.pos(0));
+    std::vector<double> out;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (v[i]) out.push_back(static_cast<double>(i + 1));
+    }
+    return r_numeric(std::move(out));
+  });
+  make_fn(env, "which.max", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    auto v = as_numeric(a.pos(0));
+    if (v.empty()) throw RError("which.max: empty vector");
+    return r_scalar(static_cast<double>(
+        std::max_element(v.begin(), v.end()) - v.begin() + 1));
+  });
+  make_fn(env, "sort", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    bool decreasing = false;
+    if (RRef d = a.named("decreasing")) decreasing = condition(d);
+    RRef x = a.pos(0);
+    if (x->type == RValue::Type::kCharacter) {
+      auto v = x->chr;
+      std::sort(v.begin(), v.end());
+      if (decreasing) std::reverse(v.begin(), v.end());
+      return r_character(std::move(v));
+    }
+    auto v = as_numeric(x);
+    std::sort(v.begin(), v.end());
+    if (decreasing) std::reverse(v.begin(), v.end());
+    return r_numeric(std::move(v));
+  });
+  make_fn(env, "rev", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    RRef x = a.pos(0);
+    if (x->type == RValue::Type::kCharacter) {
+      auto v = x->chr;
+      std::reverse(v.begin(), v.end());
+      return r_character(std::move(v));
+    }
+    auto v = as_numeric(x);
+    std::reverse(v.begin(), v.end());
+    return r_numeric(std::move(v));
+  });
+  make_fn(env, "head", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    auto v = as_numeric(a.pos(0));
+    size_t n = 6;
+    if (a.positional_count() >= 2) n = static_cast<size_t>(scalar_num(a.pos(1), "head"));
+    if (n < v.size()) v.resize(n);
+    return r_numeric(std::move(v));
+  });
+  make_fn(env, "tail", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    auto v = as_numeric(a.pos(0));
+    size_t n = 6;
+    if (a.positional_count() >= 2) n = static_cast<size_t>(scalar_num(a.pos(1), "tail"));
+    if (n < v.size()) v.erase(v.begin(), v.end() - static_cast<ptrdiff_t>(n));
+    return r_numeric(std::move(v));
+  });
+  make_fn(env, "ifelse", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    auto cond = as_logical(a.pos(0));
+    auto yes = as_numeric(a.pos(1));
+    auto no = as_numeric(a.pos(2));
+    std::vector<double> out;
+    for (size_t i = 0; i < cond.size(); ++i) {
+      out.push_back(cond[i] ? yes[i % yes.size()] : no[i % no.size()]);
+    }
+    return r_numeric(std::move(out));
+  });
+  make_fn(env, "identical", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    return r_scalar_logical(deparse(a.pos(0)) == deparse(a.pos(1)));
+  });
+
+  // ---- strings ----
+
+  make_fn(env, "nchar", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    std::vector<double> out;
+    for (const auto& s : as_character(a.pos(0))) out.push_back(static_cast<double>(s.size()));
+    return r_numeric(std::move(out));
+  });
+  make_fn(env, "toupper", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    auto v = as_character(a.pos(0));
+    for (auto& s : v) s = str::to_upper(s);
+    return r_character(std::move(v));
+  });
+  make_fn(env, "tolower", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    auto v = as_character(a.pos(0));
+    for (auto& s : v) s = str::to_lower(s);
+    return r_character(std::move(v));
+  });
+  make_fn(env, "substr", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    auto v = as_character(a.pos(0));
+    int64_t start = static_cast<int64_t>(scalar_num(a.pos(1), "substr"));
+    int64_t stop = static_cast<int64_t>(scalar_num(a.pos(2), "substr"));
+    for (auto& s : v) {
+      int64_t b = std::max<int64_t>(start, 1);
+      int64_t e = std::min<int64_t>(stop, static_cast<int64_t>(s.size()));
+      s = b > e ? "" : s.substr(static_cast<size_t>(b - 1), static_cast<size_t>(e - b + 1));
+    }
+    return r_character(std::move(v));
+  });
+
+  auto paste_impl = [](std::vector<NamedArg>& raw, const std::string& default_sep) {
+    Args a(raw);
+    std::string sep = default_sep;
+    if (RRef s = a.named("sep")) sep = scalar_chr(s, "paste");
+    std::optional<std::string> collapse;
+    if (RRef c = a.named("collapse")) {
+      if (c->type != RValue::Type::kNull) collapse = scalar_chr(c, "paste");
+    }
+    // Element-wise paste with recycling over positional args.
+    std::vector<std::vector<std::string>> cols;
+    size_t n = 0;
+    for (const auto& arg : raw) {
+      if (arg.name) continue;
+      cols.push_back(as_character(arg.value));
+      n = std::max(n, cols.back().size());
+    }
+    std::vector<std::string> rows;
+    for (size_t i = 0; i < n; ++i) {
+      std::string row;
+      for (size_t c = 0; c < cols.size(); ++c) {
+        if (cols[c].empty()) continue;
+        if (!row.empty() || c > 0) {
+          if (c > 0) row += sep;
+        }
+        row += cols[c][i % cols[c].size()];
+      }
+      rows.push_back(std::move(row));
+    }
+    if (collapse) return r_scalar_str(str::join(rows, *collapse));
+    return r_character(std::move(rows));
+  };
+  make_fn(env, "paste",
+          [paste_impl](std::vector<NamedArg>& raw) { return paste_impl(raw, " "); });
+  make_fn(env, "paste0",
+          [paste_impl](std::vector<NamedArg>& raw) { return paste_impl(raw, ""); });
+
+  make_fn(env, "sprintf", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    std::string fmt = scalar_chr(a.pos(0), "sprintf");
+    std::vector<std::string> args;
+    for (size_t i = 1; i < a.positional_count(); ++i) {
+      args.push_back(as_character(a.pos(i)).at(0));
+    }
+    return r_scalar_str(str::printf_format(fmt, args));
+  });
+  make_fn(env, "strsplit", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    auto strings = as_character(a.pos(0));
+    std::string sep = scalar_chr(a.pos(1), "strsplit");
+    std::vector<RRef> out;
+    for (const auto& s : strings) {
+      std::vector<std::string> parts;
+      if (sep.empty()) {
+        for (char ch : s) parts.emplace_back(1, ch);
+      } else {
+        size_t pos = 0;
+        while (true) {
+          size_t hit = s.find(sep, pos);
+          if (hit == std::string::npos) {
+            parts.push_back(s.substr(pos));
+            break;
+          }
+          parts.push_back(s.substr(pos, hit - pos));
+          pos = hit + sep.size();
+        }
+      }
+      out.push_back(r_character(std::move(parts)));
+    }
+    return r_list(std::move(out));
+  });
+
+  // ---- apply family ----
+
+  make_fn(env, "sapply", [&interp](std::vector<NamedArg>& raw) -> RRef {
+    Args a(raw);
+    RRef x = a.pos(0);
+    RRef fn = a.pos(1);
+    std::vector<RRef> results;
+    size_t n = x->length();
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<NamedArg> call_args;
+      NamedArg arg;
+      switch (x->type) {
+        case RValue::Type::kNumeric: arg.value = r_scalar(x->num[i]); break;
+        case RValue::Type::kCharacter: arg.value = r_scalar_str(x->chr[i]); break;
+        case RValue::Type::kLogical: arg.value = r_scalar_logical(x->lgl[i]); break;
+        case RValue::Type::kList: arg.value = x->list[i]; break;
+        default: throw RError("sapply: cannot iterate this type");
+      }
+      call_args.push_back(std::move(arg));
+      results.push_back(call_r_function(interp, fn, call_args));
+    }
+    // Simplify to a vector if every result is a length-1 numeric/logical/
+    // character; otherwise return a list.
+    bool all_num = true;
+    bool all_chr = true;
+    for (const auto& res : results) {
+      if (!(res->type == RValue::Type::kNumeric && res->num.size() == 1) &&
+          !(res->type == RValue::Type::kLogical && res->lgl.size() == 1)) {
+        all_num = false;
+      }
+      if (!(res->type == RValue::Type::kCharacter && res->chr.size() == 1)) all_chr = false;
+    }
+    if (all_num && !results.empty()) {
+      std::vector<double> out;
+      for (const auto& res : results) out.push_back(as_numeric(res)[0]);
+      return r_numeric(std::move(out));
+    }
+    if (all_chr && !results.empty()) {
+      std::vector<std::string> out;
+      for (const auto& res : results) out.push_back(res->chr[0]);
+      return r_character(std::move(out));
+    }
+    return r_list(std::move(results));
+  });
+
+  make_fn(env, "lapply", [&interp](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    RRef x = a.pos(0);
+    RRef fn = a.pos(1);
+    std::vector<RRef> results;
+    size_t n = x->length();
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<NamedArg> call_args;
+      NamedArg arg;
+      switch (x->type) {
+        case RValue::Type::kNumeric: arg.value = r_scalar(x->num[i]); break;
+        case RValue::Type::kCharacter: arg.value = r_scalar_str(x->chr[i]); break;
+        case RValue::Type::kLogical: arg.value = r_scalar_logical(x->lgl[i]); break;
+        case RValue::Type::kList: arg.value = x->list[i]; break;
+        default: throw RError("lapply: cannot iterate this type");
+      }
+      call_args.push_back(std::move(arg));
+      results.push_back(call_r_function(interp, fn, call_args));
+    }
+    return r_list(std::move(results), x->names);
+  });
+
+  make_fn(env, "Map", [&interp](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    RRef fn = a.pos(0);
+    std::vector<RRef> lists;
+    size_t n = SIZE_MAX;
+    for (size_t i = 1; i < a.positional_count(); ++i) {
+      lists.push_back(a.pos(i));
+      n = std::min(n, lists.back()->length());
+    }
+    if (lists.empty()) throw RError("Map: needs at least one vector");
+    std::vector<RRef> out;
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<NamedArg> call_args;
+      for (const auto& v : lists) {
+        NamedArg arg;
+        switch (v->type) {
+          case RValue::Type::kNumeric: arg.value = r_scalar(v->num[i]); break;
+          case RValue::Type::kCharacter: arg.value = r_scalar_str(v->chr[i]); break;
+          case RValue::Type::kLogical: arg.value = r_scalar_logical(v->lgl[i]); break;
+          case RValue::Type::kList: arg.value = v->list[i]; break;
+          default: throw RError("Map: cannot iterate this type");
+        }
+        call_args.push_back(std::move(arg));
+      }
+      out.push_back(call_r_function(interp, fn, call_args));
+    }
+    return r_list(std::move(out));
+  });
+
+  make_fn(env, "Reduce", [&interp](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    RRef fn = a.pos(0);
+    RRef x = a.pos(1);
+    size_t n = x->length();
+    RRef acc;
+    size_t start = 0;
+    if (a.positional_count() >= 3) {
+      acc = a.pos(2);
+    } else {
+      if (n == 0) throw RError("Reduce: empty vector and no initial value");
+      std::vector<NamedArg> noargs;
+      acc = r_scalar(as_numeric(x)[0]);
+      start = 1;
+    }
+    for (size_t i = start; i < n; ++i) {
+      std::vector<NamedArg> call_args(2);
+      call_args[0].value = acc;
+      switch (x->type) {
+        case RValue::Type::kNumeric: call_args[1].value = r_scalar(x->num[i]); break;
+        case RValue::Type::kCharacter: call_args[1].value = r_scalar_str(x->chr[i]); break;
+        case RValue::Type::kLogical: call_args[1].value = r_scalar_logical(x->lgl[i]); break;
+        case RValue::Type::kList: call_args[1].value = x->list[i]; break;
+        default: throw RError("Reduce: cannot iterate this type");
+      }
+      acc = call_r_function(interp, fn, call_args);
+    }
+    return acc;
+  });
+
+  make_fn(env, "do.call", [&interp](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    RRef fn = a.pos(0);
+    RRef args_list = a.pos(1);
+    if (args_list->type != RValue::Type::kList) {
+      throw RError("do.call: second argument must be a list");
+    }
+    std::vector<NamedArg> call_args;
+    for (size_t i = 0; i < args_list->list.size(); ++i) {
+      NamedArg arg;
+      if (i < args_list->names.size() && !args_list->names[i].empty()) {
+        arg.name = args_list->names[i];
+      }
+      arg.value = args_list->list[i];
+      call_args.push_back(std::move(arg));
+    }
+    return call_r_function(interp, fn, call_args);
+  });
+
+  make_fn(env, "append", [](std::vector<NamedArg>& raw) -> RRef {
+    Args a(raw);
+    RRef x = a.pos(0);
+    RRef values = a.pos(1);
+    if (x->type == RValue::Type::kCharacter || values->type == RValue::Type::kCharacter) {
+      auto out = as_character(x);
+      auto add = as_character(values);
+      out.insert(out.end(), add.begin(), add.end());
+      return r_character(std::move(out));
+    }
+    auto out = as_numeric(x);
+    auto add = as_numeric(values);
+    out.insert(out.end(), add.begin(), add.end());
+    return r_numeric(std::move(out));
+  });
+
+  make_fn(env, "unlist", [](std::vector<NamedArg>& raw) -> RRef {
+    Args a(raw);
+    RRef x = a.pos(0);
+    if (x->type != RValue::Type::kList) return x;
+    bool any_chr = false;
+    for (const auto& item : x->list) {
+      if (item->type == RValue::Type::kCharacter) any_chr = true;
+    }
+    if (any_chr) {
+      std::vector<std::string> out;
+      for (const auto& item : x->list) {
+        auto v = as_character(item);
+        out.insert(out.end(), v.begin(), v.end());
+      }
+      return r_character(std::move(out));
+    }
+    std::vector<double> out;
+    for (const auto& item : x->list) {
+      auto v = as_numeric(item);
+      out.insert(out.end(), v.begin(), v.end());
+    }
+    return r_numeric(std::move(out));
+  });
+
+  // ---- control / output ----
+
+  make_fn(env, "return", [](std::vector<NamedArg>& raw) -> RRef {
+    Args a(raw);
+    throw_r_return(raw.empty() ? r_null() : a.pos(0));
+  });
+
+  make_fn(env, "stop", [](std::vector<NamedArg>& raw) -> RRef {
+    Args a(raw);
+    std::string msg;
+    for (size_t i = 0; i < a.positional_count(); ++i) {
+      for (const auto& part : as_character(a.pos(i))) msg += part;
+    }
+    throw RError(msg.empty() ? "error" : msg);
+  });
+
+  make_fn(env, "cat", [this](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    std::string sep = " ";
+    if (RRef s = a.named("sep")) sep = scalar_chr(s, "cat");
+    std::string out;
+    bool first = true;
+    for (const auto& arg : raw) {
+      if (arg.name) continue;
+      for (const auto& piece : as_character(arg.value)) {
+        if (!first) out += sep;
+        first = false;
+        out += piece;
+      }
+    }
+    out_(out);
+    return r_null();
+  });
+
+  make_fn(env, "print", [this](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    RRef x = a.pos(0);
+    if (x->type == RValue::Type::kList || x->type == RValue::Type::kNull) {
+      out_(deparse(x) + "\n");
+    } else {
+      out_("[1] " + str::join(as_character(x), " ") + "\n");
+    }
+    return x;
+  });
+
+  make_fn(env, "toString", [](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    return r_scalar_str(str::join(as_character(a.pos(0)), ", "));
+  });
+
+  // ---- random numbers (deterministic per interpreter) ----
+
+  make_fn(env, "set.seed", [&interp](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    interp.rng() = Rng(static_cast<uint64_t>(scalar_num(a.pos(0), "set.seed")));
+    return r_null();
+  });
+  make_fn(env, "runif", [&interp](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    int64_t n = static_cast<int64_t>(scalar_num(a.pos(0), "runif"));
+    double lo = 0;
+    double hi = 1;
+    if (a.positional_count() >= 2) lo = scalar_num(a.pos(1), "runif");
+    if (a.positional_count() >= 3) hi = scalar_num(a.pos(2), "runif");
+    if (RRef m = a.named("min")) lo = scalar_num(m, "runif");
+    if (RRef m = a.named("max")) hi = scalar_num(m, "runif");
+    std::vector<double> out;
+    for (int64_t i = 0; i < n; ++i) out.push_back(lo + (hi - lo) * interp.rng().next_double());
+    return r_numeric(std::move(out));
+  });
+  make_fn(env, "rnorm", [&interp](std::vector<NamedArg>& raw) {
+    Args a(raw);
+    int64_t n = static_cast<int64_t>(scalar_num(a.pos(0), "rnorm"));
+    double mean = 0;
+    double sdv = 1;
+    if (a.positional_count() >= 2) mean = scalar_num(a.pos(1), "rnorm");
+    if (a.positional_count() >= 3) sdv = scalar_num(a.pos(2), "rnorm");
+    if (RRef m = a.named("mean")) mean = scalar_num(m, "rnorm");
+    if (RRef s = a.named("sd")) sdv = scalar_num(s, "rnorm");
+    std::vector<double> out;
+    for (int64_t i = 0; i < n; ++i) {
+      // Box-Muller.
+      double u1 = interp.rng().next_double();
+      double u2 = interp.rng().next_double();
+      if (u1 <= 0) u1 = 1e-12;
+      out.push_back(mean + sdv * std::sqrt(-2.0 * std::log(u1)) *
+                               std::cos(2.0 * 3.14159265358979323846 * u2));
+    }
+    return r_numeric(std::move(out));
+  });
+}
+
+}  // namespace ilps::r

@@ -1,0 +1,526 @@
+// MiniR lexer and recursive-descent parser.
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "rlang/ast.h"
+
+namespace ilps::r {
+
+namespace {
+
+enum class Tk { kEnd, kNewline, kNum, kStr, kName, kOp };
+
+struct Token {
+  Tk kind;
+  std::string text;
+  double num = 0;
+  int line = 0;
+};
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+  int depth = 0;  // () and [] nesting: newlines inside are not separators
+
+  // Multi-char operators first.
+  // Note: `]]` is deliberately NOT a token — it would mis-lex `x[y[1]]`.
+  // `[[` is safe to merge because `[` cannot start an operand.
+  static const char* kOps[] = {"<<-", "%in%", "%/%", "%%", "<-", "<=", ">=", "==", "!=", "&&", "||",
+                               "[[", "(", ")", "[", "]", "{", "}", ",", ";", "+", "-",
+                               "*",  "/",  "^", "<", ">", "!", "&", "|", "$", ":", "=", "?"};
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '\n') {
+      ++i;
+      ++line;
+      if (depth == 0) {
+        if (!out.empty() && out.back().kind != Tk::kNewline) {
+          out.push_back({Tk::kNewline, "\n", 0, line});
+        }
+      }
+      continue;
+    }
+    if (c == ' ' || c == '\t') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      std::string value;
+      while (i < src.size() && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          char e = src[i + 1];
+          i += 2;
+          switch (e) {
+            case 'n': value += '\n'; break;
+            case 't': value += '\t'; break;
+            case '\\': value += '\\'; break;
+            case '"': value += '"'; break;
+            case '\'': value += '\''; break;
+            default: value += e;
+          }
+          continue;
+        }
+        if (src[i] == '\n') ++line;
+        value += src[i++];
+      }
+      if (i >= src.size()) throw RError("unexpected end of input in string (line " +
+                                        std::to_string(line) + ")");
+      ++i;
+      out.push_back({Tk::kStr, std::move(value), 0, line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      size_t start = i;
+      while (i < src.size() && (std::isdigit(static_cast<unsigned char>(src[i])) || src[i] == '.')) {
+        ++i;
+      }
+      if (i < src.size() && (src[i] == 'e' || src[i] == 'E')) {
+        size_t exp = i + 1;
+        if (exp < src.size() && (src[exp] == '+' || src[exp] == '-')) ++exp;
+        if (exp < src.size() && std::isdigit(static_cast<unsigned char>(src[exp]))) {
+          i = exp;
+          while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+        }
+      }
+      if (i < src.size() && src[i] == 'L') ++i;  // integer literal suffix
+      std::string text(src.substr(start, i - start));
+      Token t{Tk::kNum, text, std::strtod(text.c_str(), nullptr), line};
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.') {
+      size_t start = i;
+      while (i < src.size() && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                                src[i] == '_' || src[i] == '.')) {
+        ++i;
+      }
+      out.push_back({Tk::kName, std::string(src.substr(start, i - start)), 0, line});
+      continue;
+    }
+    bool matched = false;
+    for (const char* op : kOps) {
+      if (src.substr(i).starts_with(op)) {
+        char first = op[0];
+        if (first == '(' || first == '[') ++depth;
+        if (first == ')' || first == ']') --depth;
+        if (std::string_view(op) == "[[") ++depth;  // counts as two opens
+        out.push_back({Tk::kOp, op, 0, line});
+        i += std::string_view(op).size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      throw RError("unexpected character '" + std::string(1, c) + "' (line " +
+                   std::to_string(line) + ")");
+    }
+  }
+  out.push_back({Tk::kNewline, "\n", 0, line});
+  out.push_back({Tk::kEnd, "", 0, line});
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  std::vector<RExprP> program() {
+    std::vector<RExprP> out;
+    skip_seps();
+    while (!at_end()) {
+      out.push_back(expr());
+      if (!at_end() && !at_sep() && !at_op("}")) fail("unexpected token after expression");
+      skip_seps();
+    }
+    return out;
+  }
+
+ private:
+  const Token& cur() const { return toks_[i_]; }
+  bool at_end() const { return cur().kind == Tk::kEnd; }
+  bool at_sep() const {
+    return cur().kind == Tk::kNewline || (cur().kind == Tk::kOp && cur().text == ";");
+  }
+  bool at_op(std::string_view op) const {
+    return cur().kind == Tk::kOp && cur().text == op;
+  }
+  bool at_name(std::string_view n) const {
+    return cur().kind == Tk::kName && cur().text == n;
+  }
+  bool eat_op(std::string_view op) {
+    if (at_op(op)) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+  void expect(std::string_view op) {
+    if (!eat_op(op)) fail("expected '" + std::string(op) + "'");
+  }
+  void skip_seps() {
+    while (at_sep()) ++i_;
+  }
+  void skip_newlines() {
+    while (cur().kind == Tk::kNewline) ++i_;
+  }
+  [[noreturn]] void fail(const std::string& why) const {
+    throw RError("syntax error: " + why + " (line " + std::to_string(cur().line) + ", near '" +
+                 cur().text + "')");
+  }
+
+  RExprP node(RExpr::Kind kind) {
+    auto e = std::make_shared<RExpr>();
+    e->kind = kind;
+    e->line = cur().line;
+    return e;
+  }
+
+  RExprP expr() { return assign(); }
+
+  RExprP assign() {
+    RExprP lhs = right();
+    if (at_op("<-") || at_op("<<-") || at_op("=")) {
+      std::string op = cur().text == "<<-" ? "<<-" : "<-";
+      ++i_;
+      skip_newlines();
+      auto e = node(RExpr::Kind::kAssign);
+      e->str = op;
+      e->a = lhs;
+      e->b = assign();  // right-associative
+      if (lhs->kind != RExpr::Kind::kName && lhs->kind != RExpr::Kind::kIndex &&
+          lhs->kind != RExpr::Kind::kIndex2 && lhs->kind != RExpr::Kind::kDollar) {
+        fail("invalid assignment target");
+      }
+      return e;
+    }
+    return lhs;
+  }
+
+  // Control structures and function literals parse at this level so that
+  // `x <- if (c) 1 else 2` and `f <- function(a) a + 1` work.
+  RExprP right() {
+    if (at_name("if")) return if_expr();
+    if (at_name("for")) return for_expr();
+    if (at_name("while")) return while_expr();
+    if (at_name("repeat")) return repeat_expr();
+    if (at_name("function")) return function_expr();
+    if (at_name("break")) {
+      ++i_;
+      return node(RExpr::Kind::kBreak);
+    }
+    if (at_name("next")) {
+      ++i_;
+      return node(RExpr::Kind::kNext);
+    }
+    return or_expr();
+  }
+
+  RExprP if_expr() {
+    auto e = node(RExpr::Kind::kIf);
+    ++i_;  // if
+    expect("(");
+    skip_newlines();
+    e->a = expr();
+    skip_newlines();
+    expect(")");
+    skip_newlines();
+    e->b = expr();  // a body may itself be an assignment
+    // `else` may appear after a newline (inside blocks).
+    size_t save = i_;
+    skip_seps();
+    if (at_name("else")) {
+      ++i_;
+      skip_newlines();
+      e->c = expr();
+    } else {
+      i_ = save;
+    }
+    return e;
+  }
+
+  RExprP for_expr() {
+    auto e = node(RExpr::Kind::kFor);
+    ++i_;
+    expect("(");
+    if (cur().kind != Tk::kName) fail("expected loop variable");
+    e->str = cur().text;
+    ++i_;
+    if (!at_name("in")) fail("expected 'in'");
+    ++i_;
+    e->a = expr();
+    expect(")");
+    skip_newlines();
+    e->b = expr();  // loop bodies may be assignments
+    return e;
+  }
+
+  RExprP while_expr() {
+    auto e = node(RExpr::Kind::kWhile);
+    ++i_;
+    expect("(");
+    e->a = expr();
+    expect(")");
+    skip_newlines();
+    e->b = expr();
+    return e;
+  }
+
+  RExprP repeat_expr() {
+    auto e = node(RExpr::Kind::kRepeat);
+    ++i_;
+    skip_newlines();
+    e->a = expr();
+    return e;
+  }
+
+  RExprP function_expr() {
+    auto e = node(RExpr::Kind::kFunction);
+    ++i_;
+    expect("(");
+    skip_newlines();
+    if (!at_op(")")) {
+      while (true) {
+        if (cur().kind != Tk::kName) fail("expected parameter name");
+        std::string pname = cur().text;
+        ++i_;
+        RExprP def;
+        if (eat_op("=")) {
+          skip_newlines();
+          def = expr();
+        }
+        e->params.emplace_back(std::move(pname), def);
+        skip_newlines();
+        if (!eat_op(",")) break;
+        skip_newlines();
+      }
+    }
+    expect(")");
+    skip_newlines();
+    e->a = right();
+    return e;
+  }
+
+  RExprP binary_chain(RExprP (Parser::*next)(), std::initializer_list<const char*> ops) {
+    RExprP lhs = (this->*next)();
+    while (true) {
+      bool matched = false;
+      for (const char* op : ops) {
+        if (at_op(op)) {
+          auto e = node(RExpr::Kind::kBinary);
+          ++i_;
+          skip_newlines();
+          e->str = op;
+          e->a = lhs;
+          e->b = (this->*next)();
+          lhs = e;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return lhs;
+    }
+  }
+
+  RExprP or_expr() { return binary_chain(&Parser::and_expr, {"||", "|"}); }
+  RExprP and_expr() { return binary_chain(&Parser::not_expr, {"&&", "&"}); }
+
+  RExprP not_expr() {
+    if (at_op("!")) {
+      auto e = node(RExpr::Kind::kUnary);
+      ++i_;
+      e->str = "!";
+      e->a = not_expr();
+      return e;
+    }
+    return comparison();
+  }
+
+  RExprP comparison() {
+    return binary_chain(&Parser::additive, {"<=", ">=", "==", "!=", "<", ">"});
+  }
+
+  RExprP additive() { return binary_chain(&Parser::multiplicative, {"+", "-"}); }
+  RExprP multiplicative() { return binary_chain(&Parser::special, {"*", "/"}); }
+  RExprP special() { return binary_chain(&Parser::range_expr, {"%%", "%/%", "%in%"}); }
+
+  RExprP range_expr() {
+    RExprP lhs = unary();
+    if (at_op(":")) {
+      auto e = node(RExpr::Kind::kBinary);
+      ++i_;
+      e->str = ":";
+      e->a = lhs;
+      e->b = unary();
+      return e;
+    }
+    return lhs;
+  }
+
+  RExprP unary() {
+    if (at_op("-") || at_op("+")) {
+      auto e = node(RExpr::Kind::kUnary);
+      e->str = cur().text;
+      ++i_;
+      e->a = unary();
+      return e;
+    }
+    return power();
+  }
+
+  RExprP power() {
+    RExprP base = postfix();
+    if (at_op("^")) {
+      auto e = node(RExpr::Kind::kBinary);
+      ++i_;
+      e->str = "^";
+      e->a = base;
+      e->b = unary();  // right-associative
+      return e;
+    }
+    return base;
+  }
+
+  RExprP postfix() {
+    RExprP e = atom();
+    while (true) {
+      if (at_op("(")) {
+        ++i_;
+        skip_newlines();
+        auto call = node(RExpr::Kind::kCall);
+        call->a = e;
+        if (!at_op(")")) {
+          while (true) {
+            std::string aname;
+            // name = value (but not ==).
+            if (cur().kind == Tk::kName && i_ + 1 < toks_.size() &&
+                toks_[i_ + 1].kind == Tk::kOp && toks_[i_ + 1].text == "=") {
+              aname = cur().text;
+              i_ += 2;
+              skip_newlines();
+            }
+            call->arg_names.push_back(aname);
+            call->items.push_back(expr());
+            skip_newlines();
+            if (!eat_op(",")) break;
+            skip_newlines();
+          }
+        }
+        expect(")");
+        e = call;
+      } else if (at_op("[[")) {
+        ++i_;
+        auto idx = node(RExpr::Kind::kIndex2);
+        idx->a = e;
+        idx->b = expr();
+        expect("]");
+        expect("]");
+        e = idx;
+      } else if (at_op("[")) {
+        ++i_;
+        auto idx = node(RExpr::Kind::kIndex);
+        idx->a = e;
+        idx->b = expr();
+        expect("]");
+        e = idx;
+      } else if (at_op("$")) {
+        ++i_;
+        if (cur().kind != Tk::kName) fail("expected name after $");
+        auto d = node(RExpr::Kind::kDollar);
+        d->a = e;
+        d->str = cur().text;
+        ++i_;
+        e = d;
+      } else {
+        return e;
+      }
+    }
+  }
+
+  RExprP atom() {
+    if (cur().kind == Tk::kNum) {
+      auto e = node(RExpr::Kind::kNum);
+      e->num = cur().num;
+      ++i_;
+      return e;
+    }
+    if (cur().kind == Tk::kStr) {
+      auto e = node(RExpr::Kind::kStr);
+      e->str = cur().text;
+      ++i_;
+      return e;
+    }
+    if (cur().kind == Tk::kName) {
+      const std::string& n = cur().text;
+      if (n == "TRUE" || n == "T") {
+        ++i_;
+        auto e = node(RExpr::Kind::kLogical);
+        e->num = 1;
+        return e;
+      }
+      if (n == "FALSE" || n == "F") {
+        ++i_;
+        auto e = node(RExpr::Kind::kLogical);
+        e->num = 0;
+        return e;
+      }
+      if (n == "NULL") {
+        ++i_;
+        return node(RExpr::Kind::kNull);
+      }
+      if (n == "if" || n == "for" || n == "while" || n == "repeat" || n == "function" ||
+          n == "break" || n == "next") {
+        return right();
+      }
+      auto e = node(RExpr::Kind::kName);
+      e->str = n;
+      ++i_;
+      return e;
+    }
+    if (eat_op("(")) {
+      skip_newlines();
+      RExprP e = expr();
+      skip_newlines();
+      expect(")");
+      return e;
+    }
+    if (at_op("{")) {
+      ++i_;
+      auto e = node(RExpr::Kind::kBlock);
+      skip_seps();
+      while (!at_op("}")) {
+        if (at_end()) fail("unexpected end of input in block");
+        e->items.push_back(expr());
+        skip_seps();
+      }
+      ++i_;
+      return e;
+    }
+    fail("unexpected token");
+  }
+
+  std::vector<Token> toks_;
+  size_t i_ = 0;
+};
+
+}  // namespace
+
+std::vector<RExprP> parse_r(std::string_view source) {
+  Parser p(lex(source));
+  return p.program();
+}
+
+}  // namespace ilps::r

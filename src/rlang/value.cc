@@ -1,0 +1,206 @@
+#include "rlang/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace ilps::r {
+
+RRef r_null() {
+  auto v = std::make_shared<RValue>();
+  v->type = RValue::Type::kNull;
+  return v;
+}
+
+RRef r_logical(std::vector<bool> vals) {
+  auto v = std::make_shared<RValue>();
+  v->type = RValue::Type::kLogical;
+  v->lgl = std::move(vals);
+  return v;
+}
+
+RRef r_scalar_logical(bool b) { return r_logical({b}); }
+
+RRef r_numeric(std::vector<double> vals) {
+  auto v = std::make_shared<RValue>();
+  v->type = RValue::Type::kNumeric;
+  v->num = std::move(vals);
+  return v;
+}
+
+RRef r_scalar(double d) { return r_numeric({d}); }
+
+RRef r_character(std::vector<std::string> vals) {
+  auto v = std::make_shared<RValue>();
+  v->type = RValue::Type::kCharacter;
+  v->chr = std::move(vals);
+  return v;
+}
+
+RRef r_scalar_str(std::string s) { return r_character({std::move(s)}); }
+
+RRef r_list(std::vector<RRef> items, std::vector<std::string> names) {
+  auto v = std::make_shared<RValue>();
+  v->type = RValue::Type::kList;
+  v->list = std::move(items);
+  v->names = std::move(names);
+  return v;
+}
+
+const char* type_name(RValue::Type t) {
+  switch (t) {
+    case RValue::Type::kNull: return "NULL";
+    case RValue::Type::kLogical: return "logical";
+    case RValue::Type::kNumeric: return "numeric";
+    case RValue::Type::kCharacter: return "character";
+    case RValue::Type::kList: return "list";
+    case RValue::Type::kClosure: return "closure";
+    case RValue::Type::kBuiltin: return "builtin";
+  }
+  return "?";
+}
+
+std::string format_r_number(double d) {
+  if (std::isnan(d)) return "NaN";
+  if (std::isinf(d)) return d > 0 ? "Inf" : "-Inf";
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    return buf;
+  }
+  // R prints with up to 15 significant digits by default.
+  char buf[64];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  return buf;
+}
+
+std::vector<std::string> as_character(const RRef& v) {
+  std::vector<std::string> out;
+  switch (v->type) {
+    case RValue::Type::kNull:
+      return out;
+    case RValue::Type::kLogical:
+      for (bool b : v->lgl) out.push_back(b ? "TRUE" : "FALSE");
+      return out;
+    case RValue::Type::kNumeric:
+      for (double d : v->num) out.push_back(format_r_number(d));
+      return out;
+    case RValue::Type::kCharacter:
+      return v->chr;
+    default:
+      throw RError("cannot coerce type '" + std::string(type_name(v->type)) + "' to character");
+  }
+}
+
+std::vector<double> as_numeric(const RRef& v) {
+  std::vector<double> out;
+  switch (v->type) {
+    case RValue::Type::kNull:
+      return out;
+    case RValue::Type::kLogical:
+      for (bool b : v->lgl) out.push_back(b ? 1.0 : 0.0);
+      return out;
+    case RValue::Type::kNumeric:
+      return v->num;
+    case RValue::Type::kCharacter:
+      for (const auto& s : v->chr) {
+        auto d = str::parse_double(s);
+        if (!d) throw RError("NAs introduced by coercion: '" + s + "' is not numeric");
+        out.push_back(*d);
+      }
+      return out;
+    default:
+      throw RError("cannot coerce type '" + std::string(type_name(v->type)) + "' to numeric");
+  }
+}
+
+std::vector<bool> as_logical(const RRef& v) {
+  std::vector<bool> out;
+  switch (v->type) {
+    case RValue::Type::kNull:
+      return out;
+    case RValue::Type::kLogical:
+      return v->lgl;
+    case RValue::Type::kNumeric:
+      for (double d : v->num) out.push_back(d != 0.0);
+      return out;
+    case RValue::Type::kCharacter:
+      for (const auto& s : v->chr) {
+        if (s == "TRUE" || s == "T" || s == "true") {
+          out.push_back(true);
+        } else if (s == "FALSE" || s == "F" || s == "false") {
+          out.push_back(false);
+        } else {
+          throw RError("cannot coerce '" + s + "' to logical");
+        }
+      }
+      return out;
+    default:
+      throw RError("cannot coerce type '" + std::string(type_name(v->type)) + "' to logical");
+  }
+}
+
+bool condition(const RRef& v) {
+  auto l = as_logical(v);
+  if (l.empty()) throw RError("argument is of length zero");
+  return l[0];
+}
+
+double scalar_num(const RRef& v, const char* what) {
+  auto n = as_numeric(v);
+  if (n.empty()) throw RError(std::string(what) + ": argument of length zero");
+  return n[0];
+}
+
+std::string scalar_chr(const RRef& v, const char* what) {
+  auto c = as_character(v);
+  if (c.empty()) throw RError(std::string(what) + ": argument of length zero");
+  return c[0];
+}
+
+std::string deparse(const RRef& v) {
+  switch (v->type) {
+    case RValue::Type::kNull:
+      return "NULL";
+    case RValue::Type::kLogical:
+    case RValue::Type::kNumeric: {
+      auto parts = as_character(v);
+      if (parts.size() == 1) return parts[0];
+      std::string out = "c(";
+      for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += parts[i];
+      }
+      return out + ")";
+    }
+    case RValue::Type::kCharacter: {
+      if (v->chr.size() == 1) return "\"" + v->chr[0] + "\"";
+      std::string out = "c(";
+      for (size_t i = 0; i < v->chr.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "\"" + v->chr[i] + "\"";
+      }
+      return out + ")";
+    }
+    case RValue::Type::kList: {
+      std::string out = "list(";
+      for (size_t i = 0; i < v->list.size(); ++i) {
+        if (i > 0) out += ", ";
+        if (i < v->names.size() && !v->names[i].empty()) out += v->names[i] + " = ";
+        out += deparse(v->list[i]);
+      }
+      return out + ")";
+    }
+    case RValue::Type::kClosure:
+      return "<closure>";
+    case RValue::Type::kBuiltin:
+      return "<builtin: " + v->builtin->name + ">";
+  }
+  return "?";
+}
+
+}  // namespace ilps::r

@@ -1,0 +1,120 @@
+// MiniR value model. MiniR stands in for an embedded libR: an R-subset
+// interpreter with R's defining semantics — every value is a vector,
+// arithmetic is vectorized with recycling, indexing is 1-based, functions
+// are closures over lexical environments.
+//
+// Types: NULL, logical, numeric (double vectors; R's default numeric),
+// character, list (optionally named), closure, builtin.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ilps::r {
+
+class RError : public ScriptError {
+ public:
+  explicit RError(const std::string& what) : ScriptError(what) {}
+};
+
+struct RValue;
+using RRef = std::shared_ptr<RValue>;
+
+// A lexical environment: bindings plus a parent scope.
+struct Environment {
+  std::map<std::string, RRef> vars;
+  std::shared_ptr<Environment> parent;
+
+  RRef* find(const std::string& name) {
+    for (Environment* e = this; e != nullptr; e = e->parent.get()) {
+      auto it = e->vars.find(name);
+      if (it != e->vars.end()) return &it->second;
+    }
+    return nullptr;
+  }
+};
+using EnvRef = std::shared_ptr<Environment>;
+
+struct RExpr;  // AST node (ast.h)
+
+// A user function: parameters with optional defaults, a body expression,
+// and the defining environment (R closures).
+struct Closure {
+  std::vector<std::pair<std::string, std::shared_ptr<const RExpr>>> params;
+  std::shared_ptr<const RExpr> body;
+  EnvRef env;
+};
+
+struct NamedArg {
+  std::optional<std::string> name;
+  RRef value;
+};
+
+struct BuiltinFn {
+  std::string name;
+  std::function<RRef(std::vector<NamedArg>&)> fn;
+};
+
+struct RValue {
+  enum class Type { kNull, kLogical, kNumeric, kCharacter, kList, kClosure, kBuiltin };
+  Type type = Type::kNull;
+
+  std::vector<bool> lgl;
+  std::vector<double> num;
+  std::vector<std::string> chr;
+  std::vector<RRef> list;
+  std::vector<std::string> names;  // for named lists / vectors
+  std::shared_ptr<Closure> closure;
+  std::shared_ptr<BuiltinFn> builtin;
+
+  size_t length() const {
+    switch (type) {
+      case Type::kNull: return 0;
+      case Type::kLogical: return lgl.size();
+      case Type::kNumeric: return num.size();
+      case Type::kCharacter: return chr.size();
+      case Type::kList: return list.size();
+      default: return 1;
+    }
+  }
+};
+
+// ---- constructors ----
+RRef r_null();
+RRef r_logical(std::vector<bool> v);
+RRef r_scalar_logical(bool b);
+RRef r_numeric(std::vector<double> v);
+RRef r_scalar(double d);
+RRef r_character(std::vector<std::string> v);
+RRef r_scalar_str(std::string s);
+RRef r_list(std::vector<RRef> items, std::vector<std::string> names = {});
+
+// ---- conversions ----
+// R's number printing: integral numerics print without a decimal point.
+std::string format_r_number(double d);
+// as.character element-wise representation.
+std::vector<std::string> as_character(const RRef& v);
+// Coerce to numeric (logical -> 0/1, character parsed); throws RError.
+std::vector<double> as_numeric(const RRef& v);
+// Coerce to logical; numeric nonzero -> TRUE.
+std::vector<bool> as_logical(const RRef& v);
+// Scalar condition for if/while: first element truthiness; errors on NULL.
+bool condition(const RRef& v);
+// Single numeric scalar.
+double scalar_num(const RRef& v, const char* what);
+// Single string scalar.
+std::string scalar_chr(const RRef& v, const char* what);
+
+// deparse-like display used for eval results and print().
+std::string deparse(const RRef& v);
+
+const char* type_name(RValue::Type t);
+
+}  // namespace ilps::r

@@ -1,0 +1,141 @@
+#include "runtime/runner.h"
+
+#include <cstdio>
+#include <mutex>
+
+#include "adlb/client.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "common/timer.h"
+
+namespace ilps::runtime {
+
+std::string RunResult::output() const {
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+bool RunResult::contains(const std::string& needle) const {
+  for (const auto& line : lines) {
+    if (line.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+double RunResult::time_of(const std::string& needle) const {
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].find(needle) != std::string::npos) {
+      return i < line_times.size() ? line_times[i] : -1.0;
+    }
+  }
+  return -1.0;
+}
+
+RunResult run_program(const Config& cfg, const std::string& program) {
+  // The swift:main convention (see runner.h): load everywhere, run once.
+  const bool has_main = program.find("proc swift:main") != std::string::npos;
+  if (cfg.engines < 1) throw Error("runtime: at least one engine rank is required");
+  if (cfg.workers < 1) throw Error("runtime: at least one worker rank is required");
+  if (cfg.servers < 1) throw Error("runtime: at least one server rank is required");
+
+  adlb::Config acfg = cfg.adlb();
+  mpi::World world(cfg.total_ranks());
+
+  RunResult result;
+  std::mutex mu;
+  std::string pending;  // partial line accumulator across emits
+  Timer timer;
+
+  auto sink = [&](int rank, const std::string& text) {
+    (void)rank;
+    std::lock_guard<std::mutex> lock(mu);
+    if (cfg.echo_output) std::fwrite(text.data(), 1, text.size(), stdout);
+    pending += text;
+    size_t pos;
+    while ((pos = pending.find('\n')) != std::string::npos) {
+      result.lines.push_back(pending.substr(0, pos));
+      result.line_times.push_back(timer.elapsed());
+      pending.erase(0, pos + 1);
+    }
+  };
+  world.run([&](mpi::Comm& comm) {
+    if (adlb::is_server(comm.rank(), comm.size(), acfg)) {
+      adlb::Server server(comm, acfg);
+      server.serve();
+      std::lock_guard<std::mutex> lock(mu);
+      const adlb::ServerStats& s = server.stats();
+      result.server_stats.puts += s.puts;
+      result.server_stats.gets += s.gets;
+      result.server_stats.matches += s.matches;
+      result.server_stats.forwards += s.forwards;
+      result.server_stats.hungry_notices += s.hungry_notices;
+      result.server_stats.batches_sent += s.batches_sent;
+      result.server_stats.units_rebalanced += s.units_rebalanced;
+      result.server_stats.notifications += s.notifications;
+      result.server_stats.data_ops += s.data_ops;
+      result.server_stats.tokens += s.tokens;
+      result.server_stats.leftover_data += s.leftover_data;
+      return;
+    }
+
+    adlb::Client client(comm, acfg);
+    turbine::ContextConfig ccfg;
+    ccfg.policy = cfg.policy;
+    ccfg.restricted_os = cfg.restricted_os;
+    ccfg.output = sink;
+    ccfg.setup_interp = cfg.setup_interp;
+    ccfg.setup_bindings = cfg.setup_bindings;
+
+    if (comm.rank() < cfg.engines) {
+      turbine::Engine engine(client);
+      turbine::Context ctx(client, &engine, ccfg);
+      std::string to_run;
+      if (has_main) {
+        ctx.interp().eval(program);
+        if (comm.rank() == 0) to_run = "swift:main";
+      } else if (comm.rank() == 0) {
+        to_run = program;
+      }
+      size_t unfired = ctx.run_engine(to_run);
+      std::lock_guard<std::mutex> lock(mu);
+      result.unfired_rules += unfired;
+      const turbine::EngineStats& es = engine.stats();
+      result.engine_stats.rules_created += es.rules_created;
+      result.engine_stats.rules_fired += es.rules_fired;
+      result.engine_stats.rules_fired_immediately += es.rules_fired_immediately;
+      result.engine_stats.notifications += es.notifications;
+      result.engine_stats.subscribes += es.subscribes;
+      const turbine::WorkerStats& ws = ctx.stats();
+      result.worker_stats.tasks += ws.tasks;
+      result.worker_stats.python_evals += ws.python_evals;
+      result.worker_stats.r_evals += ws.r_evals;
+      result.worker_stats.app_execs += ws.app_execs;
+      result.worker_stats.interpreter_resets += ws.interpreter_resets;
+    } else {
+      turbine::Context ctx(client, nullptr, ccfg);
+      if (has_main) ctx.interp().eval(program);
+      ctx.run_worker();
+      std::lock_guard<std::mutex> lock(mu);
+      const turbine::WorkerStats& ws = ctx.stats();
+      result.worker_stats.tasks += ws.tasks;
+      result.worker_stats.python_evals += ws.python_evals;
+      result.worker_stats.r_evals += ws.r_evals;
+      result.worker_stats.app_execs += ws.app_execs;
+      result.worker_stats.interpreter_resets += ws.interpreter_resets;
+    }
+  });
+  result.elapsed_seconds = timer.elapsed();
+  result.traffic = world.stats();
+  if (!pending.empty()) {
+    result.lines.push_back(pending);
+    result.line_times.push_back(result.elapsed_seconds);
+    pending.clear();
+  }
+  return result;
+}
+
+}  // namespace ilps::runtime

@@ -1,0 +1,75 @@
+// The ILPS runtime: assembles a World with the Fig. 2 role layout
+// (engines, ADLB servers, workers), runs a Turbine program, and collects
+// output and statistics. At run time an ILPS program is a message-passing
+// program, exactly as a Swift/T program is an MPI program.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "adlb/server.h"
+#include "mpi/comm.h"
+#include "turbine/context.h"
+
+namespace ilps::runtime {
+
+struct Config {
+  int engines = 1;
+  int workers = 2;
+  int servers = 1;
+  turbine::InterpPolicy policy = turbine::InterpPolicy::kRetain;
+  bool restricted_os = false;
+  // Hook run on every rank's interpreter before execution (register
+  // packages, static-package loaders, extra commands, ...).
+  std::function<void(tcl::Interp&)> setup_interp;
+  // Like setup_interp but also receives the rank's blob registry (for
+  // BindGen bindings whose pointer arguments are blob handles).
+  std::function<void(tcl::Interp&, blob::Registry&)> setup_bindings;
+  // If set, output lines stream here as well as into the result.
+  bool echo_output = false;
+
+  // ADLB policy knobs (see adlb::Config; ablated in bench_ablation).
+  bool steal_half = true;
+  bool priority_notifications = true;
+
+  int total_ranks() const { return engines + workers + servers; }
+  adlb::Config adlb() const {
+    adlb::Config cfg;
+    cfg.nservers = servers;
+    cfg.steal_half = steal_half;
+    cfg.priority_notifications = priority_notifications;
+    return cfg;
+  }
+};
+
+struct RunResult {
+  std::vector<std::string> lines;  // every output line, arrival order
+  std::vector<double> line_times;  // arrival time of each line (s since start)
+  size_t unfired_rules = 0;        // > 0 means the program deadlocked
+  turbine::EngineStats engine_stats;
+  turbine::WorkerStats worker_stats;
+  adlb::ServerStats server_stats;
+  mpi::TrafficStats traffic;
+  double elapsed_seconds = 0;
+
+  // All output joined back together (convenience for tests).
+  std::string output() const;
+  bool contains(const std::string& needle) const;
+  // Arrival time of the first line containing `needle` (-1 if absent).
+  double time_of(const std::string& needle) const;
+};
+
+// Runs a Turbine (MiniTcl) program.
+//
+// Two program shapes, as in Swift/T:
+//  - If the program defines `proc swift:main`, the whole program text is
+//    evaluated on EVERY client rank (so procs exist wherever shipped task
+//    fragments may run) and then `swift:main` is invoked on engine rank 0.
+//    This is what the STC compiler emits.
+//  - Otherwise the program runs on engine rank 0 only; task payloads must
+//    be self-contained scripts.
+// Throws on script or configuration errors.
+RunResult run_program(const Config& cfg, const std::string& program);
+
+}  // namespace ilps::runtime

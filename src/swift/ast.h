@@ -1,0 +1,116 @@
+// Swift language AST (the subset of Swift the paper exercises: futures,
+// extern leaf functions with <<·>> Tcl templates, python/R/shell builtins,
+// composite functions, foreach loop splitting, dataflow if).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ilps::swift {
+
+class SwiftError : public ScriptError {
+ public:
+  explicit SwiftError(const std::string& what) : ScriptError(what) {}
+};
+
+enum class Type { kInt, kFloat, kString, kBoolean, kBlob, kVoid };
+
+const char* type_name(Type t);
+// The Turbine data-type name backing a Swift type (boolean -> integer).
+const char* turbine_type(Type t);
+
+struct Expr;
+using ExprP = std::shared_ptr<Expr>;
+
+struct Expr {
+  enum class Kind {
+    kIntLit,     // ival
+    kFloatLit,   // fval
+    kStringLit,  // sval
+    kBoolLit,    // ival
+    kVar,        // name
+    kBinary,     // op, a, b
+    kUnary,      // op, a
+    kCall,       // name, args
+    kIndex,      // name[a] — array element read
+  };
+
+  Kind kind;
+  int line = 0;
+  int64_t ival = 0;
+  double fval = 0;
+  std::string sval;
+  std::string name;
+  std::string op;
+  ExprP a, b;
+  std::vector<ExprP> args;
+};
+
+struct Stmt;
+using StmtP = std::shared_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind {
+    kDecl,        // type name (= value)?; is_array for `type name[];`
+    kAssign,      // name = value
+    kMultiAssign, // names = call (multi-output function)
+    kArrayAssign, // name[index] = value
+    kExprStmt,    // value (a call)
+    kForeach,     // loop_var, from, to, step?, body — range form
+    kForeachArray,// name (value var), index_name?, value (the array), body
+    kIf,          // cond, body, orelse
+  };
+
+  Kind kind;
+  int line = 0;
+  Type type = Type::kVoid;
+  Type key_type = Type::kInt;  // kDecl arrays: index type (int or string)
+  bool is_array = false;
+  std::string name;
+  std::string index_name;  // kForeachArray: optional index variable
+  std::vector<std::string> names;  // kMultiAssign targets
+  ExprP value;
+  ExprP index;             // kArrayAssign: the key expression
+  ExprP from, to, step;
+  std::vector<StmtP> body;
+  std::vector<StmtP> orelse;
+};
+
+struct Param {
+  Type type;
+  std::string name;
+};
+
+// The implementation language of an extern (leaf) function.
+enum class LeafLang { kTcl };
+
+struct FunctionDef {
+  std::string name;
+  std::vector<Param> outputs;
+  std::vector<Param> inputs;
+  int line = 0;
+
+  // Extern leaf (template) form:
+  bool is_leaf = false;
+  LeafLang lang = LeafLang::kTcl;
+  std::string package;          // optional Tcl package to require
+  std::string package_version;
+  std::string template_text;    // with <<name>> placeholders
+
+  // Composite form:
+  std::vector<StmtP> body;
+};
+
+struct Program {
+  std::vector<FunctionDef> functions;
+  std::vector<StmtP> main_statements;
+};
+
+// Parses Swift source. Throws SwiftError with line info on bad input.
+Program parse_swift(std::string_view source);
+
+}  // namespace ilps::swift

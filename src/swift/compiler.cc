@@ -1,0 +1,894 @@
+#include "swift/compiler.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/strings.h"
+#include "tcl/value.h"
+
+namespace ilps::swift {
+
+const std::string& runtime_prelude() {
+  static const std::string kPrelude = R"TCL(
+# ---- Swift runtime support (emitted by STC into every program) ----
+proc swift:store_typed {type id value} {
+  if {$type eq "integer"} { turbine::store_integer $id $value } elseif {$type eq "float"} { turbine::store_float $id $value } elseif {$type eq "string"} { turbine::store_string $id $value } elseif {$type eq "blob"} { turbine::store_blob $id $value } elseif {$type eq "void"} { turbine::store_void $id } else { error "swift:store_typed: bad type $type" }
+}
+proc swift:retrieve_typed {type id} {
+  if {$type eq "blob"} { return [turbine::retrieve_blob $id] } else { return [turbine::retrieve $id] }
+}
+proc swift:copy {type out in} {
+  turbine::rule [list $in] [list swift:copy_body $type $out $in] type LOCAL
+}
+proc swift:copy_body {type out in} {
+  swift:store_typed $type $out [turbine::retrieve $in]
+}
+proc swift:binop {out type op a b} {
+  turbine::rule [list $a $b] [list swift:binop_body $out $type $op $a $b] type LOCAL
+}
+proc swift:binop_body {out type op a b} {
+  set va [turbine::retrieve $a]
+  set vb [turbine::retrieve $b]
+  if {$op eq "cat"} { swift:store_typed $type $out [string cat $va $vb] } elseif {$op eq "streq"} { swift:store_typed $type $out [string equal $va $vb] } elseif {$op eq "strne"} { swift:store_typed $type $out [expr ![string equal $va $vb]] } else { swift:store_typed $type $out [expr $va $op $vb] }
+}
+proc swift:unop {out type op a} {
+  turbine::rule [list $a] [list swift:unop_body $out $type $op $a] type LOCAL
+}
+proc swift:unop_body {out type op a} {
+  swift:store_typed $type $out [expr $op [turbine::retrieve $a]]
+}
+proc swift:printf {ids} {
+  turbine::rule $ids [list swift:printf_body $ids] type LOCAL
+}
+proc swift:printf_body {ids} {
+  set vals {}
+  foreach id $ids { lappend vals [turbine::retrieve $id] }
+  printf {*}$vals
+}
+proc swift:trace {ids} {
+  turbine::rule $ids [list swift:trace_body $ids] type LOCAL
+}
+proc swift:trace_body {ids} {
+  set vals {}
+  foreach id $ids { lappend vals [turbine::retrieve $id] }
+  trace {*}$vals
+}
+proc swift:sprintf {out ids} {
+  turbine::rule $ids [list swift:sprintf_body $out $ids] type LOCAL
+}
+proc swift:sprintf_body {out ids} {
+  set vals {}
+  foreach id $ids { lappend vals [turbine::retrieve $id] }
+  turbine::store_string $out [format {*}$vals]
+}
+proc swift:strcat {out ids} {
+  turbine::rule $ids [list swift:strcat_body $out $ids] type LOCAL
+}
+proc swift:strcat_body {out ids} {
+  set s {}
+  foreach id $ids { append s [turbine::retrieve $id] }
+  turbine::store_string $out $s
+}
+proc swift:convert {out kind in} {
+  turbine::rule [list $in] [list swift:convert_body $out $kind $in] type LOCAL
+}
+proc swift:convert_body {out kind in} {
+  set v [turbine::retrieve $in]
+  if {$kind eq "toint"} { turbine::store_integer $out [expr int($v)] } elseif {$kind eq "tofloat"} { turbine::store_float $out [expr double($v)] } elseif {$kind eq "tostring"} { turbine::store_string $out $v } else { error "swift:convert: bad kind $kind" }
+}
+proc swift:python {out code expr} {
+  turbine::rule [list $code $expr] [list swift:python_body $out $code $expr] type WORK
+}
+proc swift:python_body {out code expr} {
+  turbine::store_string $out [python [turbine::retrieve $code] [turbine::retrieve $expr]]
+}
+proc swift:r {out code expr} {
+  turbine::rule [list $code $expr] [list swift:r_body $out $code $expr] type WORK
+}
+proc swift:r_body {out code expr} {
+  turbine::store_string $out [R [turbine::retrieve $code] [turbine::retrieve $expr]]
+}
+proc swift:app {out ids} {
+  turbine::rule $ids [list swift:app_body $out $ids] type WORK
+}
+proc swift:app_body {out ids} {
+  set argv {}
+  foreach id $ids { lappend argv [turbine::retrieve $id] }
+  turbine::store_string $out [turbine::exec_app {*}$argv]
+}
+proc swift:array_store {arr key value} {
+  turbine::rule [list $key $value] [list swift:array_store_body $arr $key $value] type LOCAL
+}
+proc swift:array_store_body {arr key value} {
+  turbine::container_insert $arr [turbine::retrieve $key] [turbine::retrieve $value]
+  turbine::write_incr $arr -1
+}
+proc swift:array_get {out arr key type} {
+  turbine::rule [list $arr $key] [list swift:array_get_body $out $arr $key $type] type LOCAL
+}
+proc swift:array_get_body {out arr key type} {
+  swift:store_typed $type $out [turbine::container_lookup $arr [turbine::retrieve $key]]
+}
+proc swift:array_size {out arr} {
+  turbine::rule [list $arr] [list swift:array_size_body $out $arr] type LOCAL
+}
+proc swift:array_size_body {out arr} {
+  turbine::store_integer $out [turbine::container_size $arr]
+}
+# ---- end Swift runtime support ----
+)TCL";
+  return kPrelude;
+}
+
+namespace {
+
+struct BuiltinSig {
+  // Output type of the builtin (kVoid for statements like printf).
+  Type out;
+  // Fixed leading parameter types; kVariadic args after them accept any.
+  std::vector<Type> fixed;
+  bool variadic = false;
+};
+
+const std::map<std::string, BuiltinSig>& builtins() {
+  static const std::map<std::string, BuiltinSig> kBuiltins = {
+      {"printf", {Type::kVoid, {Type::kString}, true}},
+      {"trace", {Type::kVoid, {}, true}},
+      {"strcat", {Type::kString, {}, true}},
+      {"sprintf", {Type::kString, {Type::kString}, true}},
+      {"toint", {Type::kInt, {Type::kString}, false}},
+      {"tofloat", {Type::kFloat, {Type::kString}, false}},
+      {"tostring", {Type::kString, {Type::kInt}, false}},  // accepts any scalar
+      {"python", {Type::kString, {Type::kString, Type::kString}, false}},
+      {"r", {Type::kString, {Type::kString, Type::kString}, false}},
+      {"sh", {Type::kString, {Type::kString}, true}},
+  };
+  return kBuiltins;
+}
+
+std::string quote(const std::string& s) { return tcl::list_quote(s); }
+
+class Compiler {
+ public:
+  explicit Compiler(Program prog) : prog_(std::move(prog)) {}
+
+  std::string run() {
+    for (const auto& fn : prog_.functions) {
+      if (functions_.count(fn.name) > 0 || builtins().count(fn.name) > 0) {
+        throw SwiftError("function \"" + fn.name + "\" redefined (line " +
+                         std::to_string(fn.line) + ")");
+      }
+      functions_[fn.name] = &fn;
+    }
+    for (const auto& fn : prog_.functions) {
+      if (fn.is_leaf) {
+        emit_leaf(fn);
+      } else {
+        emit_composite(fn);
+      }
+    }
+    // Top-level statements become swift:main.
+    Body main_body;
+    scopes_.push_back({});
+    for (const auto& stmt : prog_.main_statements) compile_stmt(*stmt, main_body);
+    emit_scope_releases(main_body);
+    scopes_.pop_back();
+    std::ostringstream out;
+    out << runtime_prelude() << "\n" << procs_.str() << "\nproc swift:main {} {\n"
+        << main_body.code.str() << "}\n";
+    return out.str();
+  }
+
+ private:
+  struct VarInfo {
+    Type type;                   // for arrays: the element type
+    Type key_type = Type::kInt;  // for arrays: the index type
+    bool is_array = false;
+  };
+  struct Scope {
+    std::map<std::string, VarInfo> vars;
+    std::vector<std::string> arrays;  // arrays declared here (released at scope end)
+  };
+
+  // One emission context (a proc body): generated code, a temp counter,
+  // and the scope-boundary bookkeeping for capture analysis.
+  struct Body {
+    std::ostringstream code;
+    int temps = 0;
+    size_t boundary = 0;               // scopes_ index where this body starts
+    std::set<std::string>* captures = nullptr;
+    // Arrays written by code in this body whose declaration is outside it:
+    // the enclosing construct must hold a write reference across the
+    // deferral (the STC write-refcount transfer rule).
+    std::set<std::string>* array_writes = nullptr;
+  };
+
+  [[noreturn]] void fail(int line, const std::string& why) {
+    throw SwiftError(why + " (line " + std::to_string(line) + ")");
+  }
+
+  // ---- scope handling ----
+
+  VarInfo& declare(int line, const std::string& name, Type type, bool is_array = false,
+                   Type key_type = Type::kInt) {
+    Scope& top = scopes_.back();
+    if (top.vars.count(name) > 0) fail(line, "variable \"" + name + "\" already declared");
+    top.vars[name] = VarInfo{type, key_type, is_array};
+    if (is_array) top.arrays.push_back(name);
+    return top.vars[name];
+  }
+
+  VarInfo resolve(int line, const std::string& name, const Body& body) {
+    for (size_t s = scopes_.size(); s-- > 0;) {
+      auto it = scopes_[s].vars.find(name);
+      if (it != scopes_[s].vars.end()) {
+        if (s < body.boundary && body.captures != nullptr) body.captures->insert(name);
+        return it->second;
+      }
+    }
+    fail(line, "undefined variable \"" + name + "\"");
+  }
+
+  // Records that code in `body` defers a write to array `name`; the
+  // information propagates to the construct that owns the declaration.
+  void note_array_write(int line, const std::string& name, const Body& body) {
+    for (size_t s = scopes_.size(); s-- > 0;) {
+      if (scopes_[s].vars.count(name) > 0) {
+        if (s < body.boundary && body.array_writes != nullptr) body.array_writes->insert(name);
+        return;
+      }
+    }
+    fail(line, "undefined array \"" + name + "\"");
+  }
+
+  // Releases the declaring scope's write hold on arrays declared in the
+  // current (top) scope. Call just before popping a scope.
+  void emit_scope_releases(Body& body) {
+    for (const auto& name : scopes_.back().arrays) {
+      body.code << "  turbine::write_incr $" << name << " -1\n";
+    }
+  }
+
+  std::string temp(Body& body, Type type) {
+    std::string name = "_t" + std::to_string(body.temps++);
+    body.code << "  set " << name << " [turbine::allocate " << turbine_type(type) << "]\n";
+    return name;
+  }
+
+  // ---- expression typing ----
+
+  Type type_of(const Expr& e, const Body& body) {
+    switch (e.kind) {
+      case Expr::Kind::kIntLit: return Type::kInt;
+      case Expr::Kind::kFloatLit: return Type::kFloat;
+      case Expr::Kind::kStringLit: return Type::kString;
+      case Expr::Kind::kBoolLit: return Type::kBoolean;
+      case Expr::Kind::kVar: {
+        // Resolving may add to the capture set; that is idempotent, so
+        // repeated type queries are harmless.
+        VarInfo info = resolve(e.line, e.name, body);
+        if (info.is_array) fail(e.line, "array \"" + e.name + "\" used as a scalar value");
+        return info.type;
+      }
+      case Expr::Kind::kIndex: {
+        VarInfo info = resolve(e.line, e.name, body);
+        if (!info.is_array) fail(e.line, "\"" + e.name + "\" is not an array");
+        return info.type;
+      }
+      case Expr::Kind::kUnary:
+        return e.op == "!" ? Type::kBoolean : type_of(*e.a, body);
+      case Expr::Kind::kBinary: {
+        Type a = type_of(*e.a, body);
+        Type b = type_of(*e.b, body);
+        if (e.op == "==" || e.op == "!=" || e.op == "<" || e.op == "<=" || e.op == ">" ||
+            e.op == ">=" || e.op == "&&" || e.op == "||") {
+          return Type::kBoolean;
+        }
+        if (a == Type::kString || b == Type::kString) return Type::kString;
+        if (a == Type::kFloat || b == Type::kFloat) return Type::kFloat;
+        return a;
+      }
+      case Expr::Kind::kCall: {
+        if (e.name == "size") return Type::kInt;
+        if (auto it = builtins().find(e.name); it != builtins().end()) return it->second.out;
+        auto fit = functions_.find(e.name);
+        if (fit == functions_.end()) fail(e.line, "call to undefined function \"" + e.name + "\"");
+        if (fit->second->outputs.size() != 1) {
+          fail(e.line, "function \"" + e.name + "\" does not return exactly one value");
+        }
+        return fit->second->outputs[0].type;
+      }
+    }
+    fail(e.line, "internal: unknown expression kind");
+  }
+
+  static bool numeric(Type t) { return t == Type::kInt || t == Type::kFloat || t == Type::kBoolean; }
+
+  static bool assignable(Type target, Type source) {
+    if (target == source) return true;
+    if (target == Type::kFloat && source == Type::kInt) return true;
+    if (target == Type::kBoolean && source == Type::kInt) return true;
+    if (target == Type::kInt && source == Type::kBoolean) return true;
+    return false;
+  }
+
+  // ---- expression compilation ----
+
+  // Compiles `e`, returning the Tcl variable (without $) holding its id.
+  std::string compile_expr(const Expr& e, Body& body) {
+    switch (e.kind) {
+      case Expr::Kind::kVar:
+        resolve(e.line, e.name, body);
+        return e.name;
+      default: {
+        Type t = type_of(e, body);
+        if (t == Type::kVoid) fail(e.line, "void expression used as a value");
+        std::string out = temp(body, t);
+        compile_into(out, t, e, body);
+        return out;
+      }
+    }
+  }
+
+  // Compiles `e` storing its result into datum `$target` of type
+  // `target_type`.
+  void compile_into(const std::string& target, Type target_type, const Expr& e, Body& body) {
+    Type et = type_of(e, body);
+    if (!assignable(target_type, et)) {
+      fail(e.line, std::string("cannot assign ") + type_name(et) + " to " +
+                       type_name(target_type));
+    }
+    switch (e.kind) {
+      case Expr::Kind::kIntLit:
+        body.code << "  swift:store_typed " << turbine_type(target_type) << " $" << target << " "
+                  << e.ival << "\n";
+        return;
+      case Expr::Kind::kBoolLit:
+        body.code << "  swift:store_typed integer $" << target << " " << e.ival << "\n";
+        return;
+      case Expr::Kind::kFloatLit:
+        body.code << "  swift:store_typed float $" << target << " "
+                  << str::format_double(e.fval) << "\n";
+        return;
+      case Expr::Kind::kStringLit:
+        body.code << "  swift:store_typed string $" << target << " " << quote(e.sval) << "\n";
+        return;
+      case Expr::Kind::kVar: {
+        VarInfo info = resolve(e.line, e.name, body);
+        if (info.is_array) fail(e.line, "cannot copy an array into a scalar");
+        body.code << "  swift:copy " << turbine_type(target_type) << " $" << target << " $"
+                  << e.name << "\n";
+        return;
+      }
+      case Expr::Kind::kIndex: {
+        VarInfo ainfo = resolve(e.line, e.name, body);
+        Type kt = type_of(*e.a, body);
+        if (kt != ainfo.key_type) {
+          fail(e.a->line, std::string("array index must be ") + type_name(ainfo.key_type));
+        }
+        std::string key = compile_expr(*e.a, body);
+        body.code << "  swift:array_get $" << target << " $" << e.name << " $" << key << " "
+                  << turbine_type(target_type) << "\n";
+        return;
+      }
+      case Expr::Kind::kUnary: {
+        Type at = type_of(*e.a, body);
+        if (!numeric(at)) fail(e.line, "unary " + e.op + " requires a numeric operand");
+        std::string a = compile_expr(*e.a, body);
+        body.code << "  swift:unop $" << target << " " << turbine_type(target_type) << " "
+                  << e.op << " $" << a << "\n";
+        return;
+      }
+      case Expr::Kind::kBinary: {
+        Type at = type_of(*e.a, body);
+        Type bt = type_of(*e.b, body);
+        std::string op = e.op;
+        if (at == Type::kString || bt == Type::kString) {
+          if (at != bt) fail(e.line, "string operator requires two strings");
+          if (op == "+") {
+            op = "cat";
+          } else if (op == "==") {
+            op = "streq";
+          } else if (op == "!=") {
+            op = "strne";
+          } else {
+            fail(e.line, "operator " + op + " is not defined on strings");
+          }
+        } else if (!numeric(at) || !numeric(bt)) {
+          fail(e.line, "operator " + op + " requires numeric operands");
+        } else if (op == "%" && (at == Type::kFloat || bt == Type::kFloat)) {
+          fail(e.line, "%% requires integer operands");
+        }
+        std::string a = compile_expr(*e.a, body);
+        std::string b = compile_expr(*e.b, body);
+        body.code << "  swift:binop $" << target << " " << turbine_type(target_type) << " "
+                  << quote(op) << " $" << a << " $" << b << "\n";
+        return;
+      }
+      case Expr::Kind::kCall:
+        compile_call(e, {target}, body);
+        return;
+    }
+  }
+
+  // Compiles a call whose outputs go to the given target Tcl vars (ids).
+  void compile_call(const Expr& e, const std::vector<std::string>& targets, Body& body) {
+    // -- size(A): array length once A is closed --
+    if (e.name == "size") {
+      if (e.args.size() != 1 || e.args[0]->kind != Expr::Kind::kVar) {
+        fail(e.line, "size() takes one array variable");
+      }
+      VarInfo info = resolve(e.args[0]->line, e.args[0]->name, body);
+      if (!info.is_array) fail(e.args[0]->line, "size() argument is not an array");
+      body.code << "  swift:array_size $" << targets.at(0) << " $" << e.args[0]->name << "\n";
+      return;
+    }
+    // -- builtins --
+    if (auto bit = builtins().find(e.name); bit != builtins().end()) {
+      const BuiltinSig& sig = bit->second;
+      if (e.args.size() < sig.fixed.size() ||
+          (!sig.variadic && e.args.size() != sig.fixed.size())) {
+        fail(e.line, "wrong number of arguments to " + e.name);
+      }
+      std::vector<std::string> arg_vars;
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i < sig.fixed.size()) {
+          Type at = type_of(*e.args[i], body);
+          if (!assignable(sig.fixed[i], at) && !(sig.fixed[i] == Type::kInt)) {
+            fail(e.args[i]->line, "argument " + std::to_string(i + 1) + " of " + e.name +
+                                      " must be " + type_name(sig.fixed[i]));
+          }
+        }
+        arg_vars.push_back(compile_expr(*e.args[i], body));
+      }
+      std::string id_list = "[list";
+      for (const auto& v : arg_vars) id_list += " $" + v;
+      id_list += "]";
+
+      const std::string& target = targets.empty() ? std::string() : targets[0];
+      if (e.name == "printf") {
+        body.code << "  swift:printf " << id_list << "\n";
+      } else if (e.name == "trace") {
+        body.code << "  swift:trace " << id_list << "\n";
+      } else if (e.name == "strcat") {
+        body.code << "  swift:strcat $" << target << " " << id_list << "\n";
+      } else if (e.name == "sprintf") {
+        body.code << "  swift:sprintf $" << target << " " << id_list << "\n";
+      } else if (e.name == "toint" || e.name == "tofloat" || e.name == "tostring") {
+        body.code << "  swift:convert $" << target << " " << e.name << " $" << arg_vars[0]
+                  << "\n";
+      } else if (e.name == "python") {
+        body.code << "  swift:python $" << target << " $" << arg_vars[0] << " $" << arg_vars[1]
+                  << "\n";
+      } else if (e.name == "r") {
+        body.code << "  swift:r $" << target << " $" << arg_vars[0] << " $" << arg_vars[1]
+                  << "\n";
+      } else if (e.name == "sh") {
+        body.code << "  swift:app $" << target << " " << id_list << "\n";
+      }
+      return;
+    }
+
+    // -- user functions --
+    auto fit = functions_.find(e.name);
+    if (fit == functions_.end()) fail(e.line, "call to undefined function \"" + e.name + "\"");
+    const FunctionDef& fn = *fit->second;
+    if (e.args.size() != fn.inputs.size()) {
+      fail(e.line, "function \"" + e.name + "\" expects " + std::to_string(fn.inputs.size()) +
+                       " arguments, got " + std::to_string(e.args.size()));
+    }
+    if (targets.size() != fn.outputs.size()) {
+      fail(e.line, "function \"" + e.name + "\" produces " + std::to_string(fn.outputs.size()) +
+                       " values, " + std::to_string(targets.size()) + " expected");
+    }
+    std::vector<std::string> arg_vars;
+    for (size_t i = 0; i < e.args.size(); ++i) {
+      Type at = type_of(*e.args[i], body);
+      if (!assignable(fn.inputs[i].type, at)) {
+        fail(e.args[i]->line, "argument \"" + fn.inputs[i].name + "\" of " + e.name +
+                                  " must be " + type_name(fn.inputs[i].type) + ", got " +
+                                  type_name(at));
+      }
+      arg_vars.push_back(compile_expr(*e.args[i], body));
+    }
+    if (fn.is_leaf) {
+      // Leaf: a WORK rule waiting on all inputs.
+      body.code << "  turbine::rule [list";
+      for (const auto& v : arg_vars) body.code << " $" << v;
+      body.code << "] [list u:" << fn.name;
+      for (const auto& t : targets) body.code << " $" << t;
+      for (const auto& v : arg_vars) body.code << " $" << v;
+      body.code << "] type WORK\n";
+    } else {
+      // Composite: invoked directly; it only builds more dataflow.
+      body.code << "  u:" << fn.name;
+      for (const auto& t : targets) body.code << " $" << t;
+      for (const auto& v : arg_vars) body.code << " $" << v;
+      body.code << "\n";
+    }
+  }
+
+  // ---- statements ----
+
+  void compile_stmt(const Stmt& s, Body& body) {
+    switch (s.kind) {
+      case Stmt::Kind::kDecl: {
+        if (s.is_array) {
+          declare(s.line, s.name, s.type, /*is_array=*/true, s.key_type);
+          // The container starts with one write reference — the declaring
+          // scope's hold, released when the scope's emission ends.
+          body.code << "  set " << s.name << " [turbine::allocate container]\n";
+          return;
+        }
+        declare(s.line, s.name, s.type);
+        body.code << "  set " << s.name << " [turbine::allocate " << turbine_type(s.type)
+                  << "]\n";
+        if (s.value) compile_into(s.name, s.type, *s.value, body);
+        return;
+      }
+      case Stmt::Kind::kAssign: {
+        VarInfo info = resolve(s.line, s.name, body);
+        if (info.is_array) fail(s.line, "cannot assign to array \"" + s.name + "\" as a whole");
+        compile_into(s.name, info.type, *s.value, body);
+        return;
+      }
+      case Stmt::Kind::kMultiAssign: {
+        const Expr& call = *s.value;
+        auto fit = functions_.find(call.name);
+        if (fit == functions_.end()) {
+          fail(s.line, "multiple assignment requires a user function, \"" + call.name +
+                           "\" is not one");
+        }
+        const FunctionDef& fn = *fit->second;
+        if (fn.outputs.size() != s.names.size()) {
+          fail(s.line, "function \"" + call.name + "\" produces " +
+                           std::to_string(fn.outputs.size()) + " values, " +
+                           std::to_string(s.names.size()) + " targets given");
+        }
+        std::vector<std::string> targets;
+        for (size_t i = 0; i < s.names.size(); ++i) {
+          VarInfo info = resolve(s.line, s.names[i], body);
+          if (info.is_array) fail(s.line, "cannot multi-assign into an array");
+          if (!assignable(info.type, fn.outputs[i].type)) {
+            fail(s.line, "target \"" + s.names[i] + "\" has type " + type_name(info.type) +
+                             " but output " + std::to_string(i + 1) + " of " + call.name +
+                             " is " + type_name(fn.outputs[i].type));
+          }
+          targets.push_back(s.names[i]);
+        }
+        compile_call(call, targets, body);
+        return;
+      }
+      case Stmt::Kind::kArrayAssign: {
+        VarInfo info = resolve(s.line, s.name, body);
+        if (!info.is_array) fail(s.line, "\"" + s.name + "\" is not an array");
+        if (type_of(*s.index, body) != info.key_type) {
+          fail(s.line, std::string("array index must be ") + type_name(info.key_type));
+        }
+        Type vt = type_of(*s.value, body);
+        if (!assignable(info.type, vt)) {
+          fail(s.line, std::string("cannot store ") + type_name(vt) + " into array of " +
+                           type_name(info.type));
+        }
+        std::string key = compile_expr(*s.index, body);
+        std::string value = compile_expr(*s.value, body);
+        // Take a write hold now; swift:array_store releases it after the
+        // deferred insert completes.
+        body.code << "  turbine::write_incr $" << s.name << " 1\n";
+        body.code << "  swift:array_store $" << s.name << " $" << key << " $" << value << "\n";
+        note_array_write(s.line, s.name, body);
+        return;
+      }
+      case Stmt::Kind::kExprStmt: {
+        if (s.value->kind != Expr::Kind::kCall) {
+          fail(s.line, "expression statement must be a function call");
+        }
+        const Expr& call = *s.value;
+        // Void builtins need no targets; value-returning calls as
+        // statements get discarded temporaries.
+        std::vector<std::string> targets;
+        if (auto fit = functions_.find(call.name); fit != functions_.end()) {
+          for (const auto& p : fit->second->outputs) targets.push_back(temp(body, p.type));
+        } else {
+          Type out = type_of(call, body);
+          if (out != Type::kVoid) targets.push_back(temp(body, out));
+        }
+        compile_call(call, targets, body);
+        return;
+      }
+      case Stmt::Kind::kForeach:
+        compile_foreach(s, body);
+        return;
+      case Stmt::Kind::kForeachArray:
+        compile_foreach_array(s, body);
+        return;
+      case Stmt::Kind::kIf:
+        compile_if(s, body);
+        return;
+    }
+  }
+
+  void compile_foreach(const Stmt& s, Body& body) {
+    int n = helper_counter_++;
+    std::string body_proc = "swift:loop_body_" + std::to_string(n);
+    std::string split_proc = "swift:loop_split_" + std::to_string(n);
+
+    // Compile the loop body into its own proc, collecting captures and
+    // deferred array writes.
+    std::set<std::string> captures;
+    std::set<std::string> writes;
+    Body inner;
+    inner.boundary = scopes_.size();
+    inner.captures = &captures;
+    inner.array_writes = &writes;
+    scopes_.push_back({});
+    declare(s.line, s.name, Type::kInt);
+    // The loop variable arrives as a plain integer value; materialize it
+    // as a future so the body sees an ordinary Swift int.
+    inner.code << "  set " << s.name << " [turbine::allocate integer]\n";
+    inner.code << "  turbine::store_integer $" << s.name << " $" << s.name << "__val\n";
+    for (const auto& stmt : s.body) compile_stmt(*stmt, inner);
+    emit_scope_releases(inner);
+    scopes_.pop_back();
+
+    std::string cap_params;
+    std::string cap_args;
+    for (const auto& c : captures) {
+      // Re-resolve against the enclosing body so captures propagate
+      // through nested constructs (outer procs must receive them too).
+      resolve(s.line, c, body);
+      cap_params += " " + c;
+      cap_args += " $" + c;
+    }
+    // Write-reference transfer: each loop-body instance holds one write
+    // reference per written array, taken by the splitter before the body
+    // is shipped; the splitter and the site each hold one across their
+    // own deferral windows.
+    std::string iter_holds;
+    std::string iter_releases;
+    for (const auto& w : writes) {
+      iter_holds += "    turbine::write_incr $" + w + " 1\n";
+      iter_releases += "  turbine::write_incr $" + w + " -1\n";
+    }
+
+    procs_ << "proc " << body_proc << " {" << s.name << "__val" << cap_params << "} {\n"
+           << inner.code.str() << iter_releases << "}\n";
+    procs_ << "proc " << split_proc << " {lo hi step" << cap_params << "} {\n"
+           << "  set lo_v [turbine::retrieve $lo]\n"
+           << "  set hi_v [turbine::retrieve $hi]\n"
+           << "  set step_v [turbine::retrieve $step]\n"
+           << "  if {$step_v == 0} { error \"foreach: step must be nonzero\" }\n"
+           << "  for {set k $lo_v} {($step_v > 0 && $k <= $hi_v) || ($step_v < 0 && $k >= "
+              "$hi_v)} {incr k $step_v} {\n"
+           << iter_holds
+           << "    turbine::put_control [list " << body_proc << " $k" << cap_args << "]\n"
+           << "  }\n"
+           << iter_releases << "}\n";
+
+    // Range bounds are futures evaluated in the enclosing context.
+    auto bound = [&](const ExprP& e, int64_t fallback) {
+      if (e == nullptr) {
+        Expr lit;
+        lit.kind = Expr::Kind::kIntLit;
+        lit.ival = fallback;
+        lit.line = s.line;
+        return compile_expr(lit, body);
+      }
+      Type t = type_of(*e, body);
+      if (t != Type::kInt) fail(e->line, "foreach range bounds must be int");
+      return compile_expr(*e, body);
+    };
+    std::string lo = bound(s.from, 0);
+    std::string hi = bound(s.to, 0);
+    std::string step = bound(s.step, 1);
+    for (const auto& w : writes) {
+      body.code << "  turbine::write_incr $" << w << " 1\n";
+      note_array_write(s.line, w, body);
+    }
+    body.code << "  turbine::rule [list $" << lo << " $" << hi << " $" << step << "] [list "
+              << split_proc << " $" << lo << " $" << hi << " $" << step << cap_args
+              << "] type CONTROL\n";
+  }
+
+  void compile_foreach_array(const Stmt& s, Body& body) {
+    if (s.value->kind != Expr::Kind::kVar) {
+      fail(s.line, "foreach over an array requires an array variable");
+    }
+    VarInfo arr = resolve(s.value->line, s.value->name, body);
+    if (!arr.is_array) fail(s.line, "\"" + s.value->name + "\" is not an array");
+    const std::string& arr_var = s.value->name;
+
+    int n = helper_counter_++;
+    std::string body_proc = "swift:arrloop_body_" + std::to_string(n);
+    std::string split_proc = "swift:arrloop_split_" + std::to_string(n);
+
+    std::set<std::string> captures;
+    std::set<std::string> writes;
+    Body inner;
+    inner.boundary = scopes_.size();
+    inner.captures = &captures;
+    inner.array_writes = &writes;
+    scopes_.push_back({});
+    declare(s.line, s.name, arr.type);
+    inner.code << "  set " << s.name << " [turbine::allocate " << turbine_type(arr.type)
+               << "]\n";
+    inner.code << "  swift:store_typed " << turbine_type(arr.type) << " $" << s.name << " $"
+               << s.name << "__val\n";
+    if (!s.index_name.empty()) {
+      declare(s.line, s.index_name, arr.key_type);
+      inner.code << "  set " << s.index_name << " [turbine::allocate "
+                 << turbine_type(arr.key_type) << "]\n";
+      inner.code << "  swift:store_typed " << turbine_type(arr.key_type) << " $"
+                 << s.index_name << " $" << s.name << "__key\n";
+    }
+    for (const auto& stmt : s.body) compile_stmt(*stmt, inner);
+    emit_scope_releases(inner);
+    scopes_.pop_back();
+
+    std::string cap_params;
+    std::string cap_args;
+    for (const auto& c : captures) {
+      // Re-resolve against the enclosing body so captures propagate
+      // through nested constructs (outer procs must receive them too).
+      resolve(s.line, c, body);
+      cap_params += " " + c;
+      cap_args += " $" + c;
+    }
+    std::string iter_holds;
+    std::string iter_releases;
+    for (const auto& w : writes) {
+      iter_holds += "    turbine::write_incr $" + w + " 1\n";
+      iter_releases += "  turbine::write_incr $" + w + " -1\n";
+    }
+
+    procs_ << "proc " << body_proc << " {" << s.name << "__key " << s.name << "__val"
+           << cap_params << "} {\n" << inner.code.str() << iter_releases << "}\n";
+    procs_ << "proc " << split_proc << " {arr" << cap_params << "} {\n"
+           << "  foreach {k v} [turbine::enumerate $arr] {\n"
+           << iter_holds
+           << "    turbine::put_control [list " << body_proc << " $k $v" << cap_args << "]\n"
+           << "  }\n"
+           << iter_releases << "}\n";
+
+    for (const auto& w : writes) {
+      body.code << "  turbine::write_incr $" << w << " 1\n";
+      note_array_write(s.line, w, body);
+    }
+    body.code << "  turbine::rule [list $" << arr_var << "] [list " << split_proc << " $"
+              << arr_var << cap_args << "] type CONTROL\n";
+  }
+
+  void compile_if(const Stmt& s, Body& body) {
+    Type ct = type_of(*s.value, body);
+    if (!numeric(ct)) fail(s.line, "if condition must be boolean or integer");
+    int n = helper_counter_++;
+    std::string then_proc = "swift:then_" + std::to_string(n);
+    std::string else_proc = "swift:else_" + std::to_string(n);
+    std::string if_proc = "swift:if_" + std::to_string(n);
+
+    std::set<std::string> captures;
+    std::set<std::string> writes;
+    Body then_body;
+    then_body.boundary = scopes_.size();
+    then_body.captures = &captures;
+    then_body.array_writes = &writes;
+    scopes_.push_back({});
+    for (const auto& stmt : s.body) compile_stmt(*stmt, then_body);
+    emit_scope_releases(then_body);
+    scopes_.pop_back();
+
+    Body else_body;
+    else_body.boundary = scopes_.size();
+    else_body.captures = &captures;
+    else_body.array_writes = &writes;
+    scopes_.push_back({});
+    for (const auto& stmt : s.orelse) compile_stmt(*stmt, else_body);
+    emit_scope_releases(else_body);
+    scopes_.pop_back();
+
+    std::string cap_params;
+    std::string cap_args;
+    for (const auto& c : captures) {
+      // Re-resolve against the enclosing body so captures propagate
+      // through nested constructs (outer procs must receive them too).
+      resolve(s.line, c, body);
+      cap_params += " " + c;
+      cap_args += " $" + c;
+    }
+    std::string releases;
+    for (const auto& w : writes) {
+      releases += "  turbine::write_incr $" + w + " -1\n";
+    }
+    procs_ << "proc " << then_proc << " {" << str::trim(cap_params) << "} {\n"
+           << then_body.code.str() << "}\n";
+    procs_ << "proc " << else_proc << " {" << str::trim(cap_params) << "} {\n"
+           << else_body.code.str() << "}\n";
+    procs_ << "proc " << if_proc << " {cond" << cap_params << "} {\n"
+           << "  if {[turbine::retrieve $cond]} { " << then_proc << cap_args << " } else { "
+           << else_proc << cap_args << " }\n"
+           << releases << "}\n";
+
+    std::string cond = compile_expr(*s.value, body);
+    for (const auto& w : writes) {
+      body.code << "  turbine::write_incr $" << w << " 1\n";
+      note_array_write(s.line, w, body);
+    }
+    body.code << "  turbine::rule [list $" << cond << "] [list " << if_proc << " $" << cond
+              << cap_args << "] type CONTROL\n";
+  }
+
+  // ---- functions ----
+
+  void emit_composite(const FunctionDef& fn) {
+    Body body;
+    body.boundary = scopes_.size() + 1;  // captures would be a bug here
+    scopes_.push_back({});
+    std::string params;
+    for (const auto& p : fn.outputs) {
+      declare(fn.line, p.name, p.type);
+      params += " " + p.name;
+    }
+    for (const auto& p : fn.inputs) {
+      declare(fn.line, p.name, p.type);
+      params += " " + p.name;
+    }
+    for (const auto& stmt : fn.body) compile_stmt(*stmt, body);
+    emit_scope_releases(body);
+    scopes_.pop_back();
+    procs_ << "proc u:" << fn.name << " {" << str::trim(params) << "} {\n" << body.code.str()
+           << "}\n";
+  }
+
+  void emit_leaf(const FunctionDef& fn) {
+    std::string params;
+    for (const auto& p : fn.outputs) params += " " + p.name;
+    for (const auto& p : fn.inputs) params += " " + p.name;
+    std::ostringstream proc;
+    proc << "proc u:" << fn.name << " {" << str::trim(params) << "} {\n";
+    if (!fn.package.empty()) proc << "  package require " << fn.package << "\n";
+    // Retrieve inputs into v_<name>.
+    for (const auto& p : fn.inputs) {
+      proc << "  set v_" << p.name << " [swift:retrieve_typed " << turbine_type(p.type) << " $"
+           << p.name << "]\n";
+    }
+    // Substitute the template: <<in>> -> ${v_in}, <<out>> -> v_out.
+    std::string text = fn.template_text;
+    for (const auto& p : fn.inputs) {
+      text = str::replace_all(text, "<<" + p.name + ">>", "${v_" + p.name + "}");
+    }
+    for (const auto& p : fn.outputs) {
+      text = str::replace_all(text, "<<" + p.name + ">>", "v_" + p.name);
+    }
+    if (text.find("<<") != std::string::npos) {
+      fail(fn.line, "template of \"" + fn.name + "\" references an unknown parameter: " + text);
+    }
+    proc << "  " << text << "\n";
+    for (const auto& p : fn.outputs) {
+      if (p.type == Type::kVoid) {
+        proc << "  turbine::store_void $" << p.name << "\n";
+      } else {
+        proc << "  swift:store_typed " << turbine_type(p.type) << " $" << p.name << " $v_"
+             << p.name << "\n";
+      }
+    }
+    proc << "}\n";
+    procs_ << proc.str();
+  }
+
+  Program prog_;
+  std::map<std::string, const FunctionDef*> functions_;
+  std::vector<Scope> scopes_;
+  std::ostringstream procs_;
+  int helper_counter_ = 0;
+};
+
+}  // namespace
+
+std::string compile(const std::string& source) {
+  Program prog = parse_swift(source);
+  Compiler compiler(std::move(prog));
+  return compiler.run();
+}
+
+}  // namespace ilps::swift

@@ -1,0 +1,31 @@
+// STC — the Swift-to-Turbine compiler.
+//
+// Translates Swift source into a MiniTcl program for runtime::run_program:
+// a fixed runtime prelude (swift:* helper procs), one `u:<name>` proc per
+// user function, numbered helper procs for loop bodies and if branches,
+// and a `proc swift:main` holding the top-level statements.
+//
+// The compilation model matches the paper's description of Swift/T:
+// every Swift variable is a future (a Turbine datum id held in a Tcl
+// variable of the same name); operators become LOCAL rules; leaf calls
+// become WORK rules whose action retrieves inputs, runs the user's Tcl
+// template / Python / R / shell fragment, and stores outputs; `foreach`
+// splits into control tasks shipped through ADLB so loop bodies spread
+// over engines; `if` on a future becomes a control task released by the
+// condition.
+#pragma once
+
+#include <string>
+
+#include "swift/ast.h"
+
+namespace ilps::swift {
+
+// Compiles Swift source to a runnable Turbine program. Throws SwiftError
+// on syntax or type errors.
+std::string compile(const std::string& source);
+
+// The fixed runtime-support prelude included in every compiled program.
+const std::string& runtime_prelude();
+
+}  // namespace ilps::swift

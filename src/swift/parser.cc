@@ -1,0 +1,552 @@
+// Swift lexer and parser.
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "swift/ast.h"
+
+namespace ilps::swift {
+
+const char* type_name(Type t) {
+  switch (t) {
+    case Type::kInt: return "int";
+    case Type::kFloat: return "float";
+    case Type::kString: return "string";
+    case Type::kBoolean: return "boolean";
+    case Type::kBlob: return "blob";
+    case Type::kVoid: return "void";
+  }
+  return "?";
+}
+
+const char* turbine_type(Type t) {
+  switch (t) {
+    case Type::kInt: return "integer";
+    case Type::kFloat: return "float";
+    case Type::kString: return "string";
+    case Type::kBoolean: return "integer";
+    case Type::kBlob: return "blob";
+    case Type::kVoid: return "void";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class Tk { kEnd, kName, kKeyword, kInt, kFloat, kString, kOp };
+
+struct Token {
+  Tk kind;
+  std::string text;
+  int64_t ival = 0;
+  double fval = 0;
+  int line = 0;
+};
+
+bool is_swift_keyword(std::string_view w) {
+  static const char* kw[] = {"int",  "float", "string", "boolean", "blob", "void",
+                             "if",   "else",  "foreach", "in",      "true", "false",
+                             "main", "import"};
+  for (const char* k : kw) {
+    if (w == k) return true;
+  }
+  return false;
+}
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+  static const char* kOps[] = {"==", "!=", "<=", ">=", "&&", "||", "(", ")", "{", "}",
+                               "[",  "]",  ",",  ";",  ":",  "=",  "+", "-", "*", "/",
+                               "%",  "<",  ">",  "!",  "@"};
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (src.compare(i, 2, "//") == 0 || src[i] == '#') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (src.compare(i, 2, "/*") == 0) {
+      size_t end = src.find("*/", i + 2);
+      if (end == std::string_view::npos) throw SwiftError("unterminated /* comment");
+      for (size_t k = i; k < end; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      i = end + 2;
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string value;
+      while (i < src.size() && src[i] != '"') {
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          char e = src[i + 1];
+          i += 2;
+          switch (e) {
+            case 'n': value += '\n'; break;
+            case 't': value += '\t'; break;
+            case '\\': value += '\\'; break;
+            case '"': value += '"'; break;
+            default: value += e;
+          }
+          continue;
+        }
+        if (src[i] == '\n') ++line;
+        value += src[i++];
+      }
+      if (i >= src.size()) throw SwiftError("unterminated string (line " + std::to_string(line) + ")");
+      ++i;
+      out.push_back({Tk::kString, std::move(value), 0, 0, line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+      if (i < src.size() && src[i] == '.' &&
+          i + 1 < src.size() && std::isdigit(static_cast<unsigned char>(src[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+      }
+      if (i < src.size() && (src[i] == 'e' || src[i] == 'E')) {
+        size_t exp = i + 1;
+        if (exp < src.size() && (src[exp] == '+' || src[exp] == '-')) ++exp;
+        if (exp < src.size() && std::isdigit(static_cast<unsigned char>(src[exp]))) {
+          is_float = true;
+          i = exp;
+          while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+        }
+      }
+      std::string text(src.substr(start, i - start));
+      Token t;
+      t.line = line;
+      if (is_float) {
+        t.kind = Tk::kFloat;
+        t.fval = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.kind = Tk::kInt;
+        t.ival = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      t.text = std::move(text);
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[i])) || src[i] == '_')) {
+        ++i;
+      }
+      std::string word(src.substr(start, i - start));
+      Tk kind = is_swift_keyword(word) ? Tk::kKeyword : Tk::kName;
+      out.push_back({kind, std::move(word), 0, 0, line});
+      continue;
+    }
+    bool matched = false;
+    for (const char* op : kOps) {
+      if (src.substr(i).starts_with(op)) {
+        out.push_back({Tk::kOp, op, 0, 0, line});
+        i += std::string_view(op).size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      throw SwiftError("unexpected character '" + std::string(1, c) + "' (line " +
+                       std::to_string(line) + ")");
+    }
+  }
+  out.push_back({Tk::kEnd, "", 0, 0, line});
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Program program() {
+    Program prog;
+    while (!at_end()) {
+      if (at_kw("import")) {
+        // `import pkg;` accepted and ignored (packages load lazily).
+        ++i_;
+        while (!at_end() && !at_op(";")) ++i_;
+        expect_op(";");
+        continue;
+      }
+      if (at_kw("main")) {
+        ++i_;
+        expect_op("{");
+        while (!at_op("}")) prog.main_statements.push_back(statement());
+        expect_op("}");
+        continue;
+      }
+      if (at_op("(")) {
+        prog.functions.push_back(function_def());
+        continue;
+      }
+      prog.main_statements.push_back(statement());
+    }
+    return prog;
+  }
+
+ private:
+  const Token& cur() const { return toks_[i_]; }
+  const Token& peek(size_t n = 1) const {
+    return toks_[std::min(i_ + n, toks_.size() - 1)];
+  }
+  bool at_end() const { return cur().kind == Tk::kEnd; }
+  bool at_op(std::string_view op) const { return cur().kind == Tk::kOp && cur().text == op; }
+  bool at_kw(std::string_view kw) const {
+    return cur().kind == Tk::kKeyword && cur().text == kw;
+  }
+  bool eat_op(std::string_view op) {
+    if (at_op(op)) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+  void expect_op(std::string_view op) {
+    if (!eat_op(op)) fail("expected '" + std::string(op) + "'");
+  }
+  [[noreturn]] void fail(const std::string& why) const {
+    throw SwiftError("syntax error: " + why + " (line " + std::to_string(cur().line) +
+                     ", near '" + cur().text + "')");
+  }
+
+  bool at_type() const {
+    return cur().kind == Tk::kKeyword &&
+           (cur().text == "int" || cur().text == "float" || cur().text == "string" ||
+            cur().text == "boolean" || cur().text == "blob" || cur().text == "void");
+  }
+
+  Type parse_type() {
+    if (!at_type()) fail("expected a type");
+    std::string t = cur().text;
+    ++i_;
+    if (t == "int") return Type::kInt;
+    if (t == "float") return Type::kFloat;
+    if (t == "string") return Type::kString;
+    if (t == "boolean") return Type::kBoolean;
+    if (t == "blob") return Type::kBlob;
+    return Type::kVoid;
+  }
+
+  std::string expect_name() {
+    if (cur().kind != Tk::kName) fail("expected an identifier");
+    std::string n = cur().text;
+    ++i_;
+    return n;
+  }
+
+  std::vector<Param> param_list() {
+    std::vector<Param> params;
+    expect_op("(");
+    if (!at_op(")")) {
+      while (true) {
+        Param p;
+        p.type = parse_type();
+        p.name = expect_name();
+        params.push_back(std::move(p));
+        if (!eat_op(",")) break;
+      }
+    }
+    expect_op(")");
+    return params;
+  }
+
+  // (outs) name (ins) ["pkg" "ver"]? [ "template" ];   -- leaf
+  // (outs) name (ins) { body }                         -- composite
+  FunctionDef function_def() {
+    FunctionDef fn;
+    fn.line = cur().line;
+    fn.outputs = param_list();
+    fn.name = expect_name();
+    fn.inputs = param_list();
+    if (at_op("{")) {
+      ++i_;
+      while (!at_op("}")) fn.body.push_back(statement());
+      expect_op("}");
+      return fn;
+    }
+    fn.is_leaf = true;
+    if (cur().kind == Tk::kString) {
+      fn.package = cur().text;
+      ++i_;
+      if (cur().kind == Tk::kString) {
+        fn.package_version = cur().text;
+        ++i_;
+      }
+    }
+    expect_op("[");
+    if (cur().kind != Tk::kString) fail("expected the Tcl template string");
+    fn.template_text = cur().text;
+    ++i_;
+    expect_op("]");
+    expect_op(";");
+    return fn;
+  }
+
+  StmtP make_stmt(Stmt::Kind kind) {
+    auto s = std::make_shared<Stmt>();
+    s->kind = kind;
+    s->line = cur().line;
+    return s;
+  }
+
+  StmtP statement() {
+    if (at_type()) {
+      auto s = make_stmt(Stmt::Kind::kDecl);
+      s->type = parse_type();
+      s->name = expect_name();
+      if (eat_op("[")) {
+        // `type name[];` (int keys) or `type name[string];` / `[int]`.
+        s->key_type = Type::kInt;
+        if (!at_op("]")) {
+          s->key_type = parse_type();
+          if (s->key_type != Type::kInt && s->key_type != Type::kString) {
+            fail("array keys must be int or string");
+          }
+        }
+        expect_op("]");
+        s->is_array = true;
+        expect_op(";");
+        return s;
+      }
+      if (eat_op("=")) s->value = expression();
+      expect_op(";");
+      return s;
+    }
+    if (at_kw("foreach")) {
+      ++i_;
+      std::string first = expect_name();
+      std::string second;
+      if (eat_op(",")) second = expect_name();
+      if (!at_kw("in")) fail("expected 'in'");
+      ++i_;
+      if (at_op("[")) {
+        // Range form: foreach i in [lo:hi:step].
+        if (!second.empty()) fail("range foreach takes a single loop variable");
+        auto s = make_stmt(Stmt::Kind::kForeach);
+        s->name = first;
+        expect_op("[");
+        s->from = expression();
+        expect_op(":");
+        s->to = expression();
+        if (eat_op(":")) s->step = expression();
+        expect_op("]");
+        expect_op("{");
+        while (!at_op("}")) s->body.push_back(statement());
+        expect_op("}");
+        return s;
+      }
+      // Array form: foreach v, i in A.
+      auto s = make_stmt(Stmt::Kind::kForeachArray);
+      s->name = first;
+      s->index_name = second;
+      s->value = expression();
+      expect_op("{");
+      while (!at_op("}")) s->body.push_back(statement());
+      expect_op("}");
+      return s;
+    }
+    if (at_kw("if")) {
+      auto s = make_stmt(Stmt::Kind::kIf);
+      ++i_;
+      expect_op("(");
+      s->value = expression();
+      expect_op(")");
+      expect_op("{");
+      while (!at_op("}")) s->body.push_back(statement());
+      expect_op("}");
+      if (at_kw("else")) {
+        ++i_;
+        if (at_kw("if")) {
+          s->orelse.push_back(statement());
+        } else {
+          expect_op("{");
+          while (!at_op("}")) s->orelse.push_back(statement());
+          expect_op("}");
+        }
+      }
+      return s;
+    }
+    // Multiple-output assignment: a, b = f(x);
+    if (cur().kind == Tk::kName && peek().kind == Tk::kOp && peek().text == ",") {
+      auto s = make_stmt(Stmt::Kind::kMultiAssign);
+      s->names.push_back(expect_name());
+      while (eat_op(",")) s->names.push_back(expect_name());
+      expect_op("=");
+      s->value = expression();
+      if (s->value->kind != Expr::Kind::kCall) {
+        fail("multiple assignment requires a function call on the right");
+      }
+      expect_op(";");
+      return s;
+    }
+    // Assignment, array element assignment, or expression statement.
+    if (cur().kind == Tk::kName && peek().kind == Tk::kOp && peek().text == "=") {
+      auto s = make_stmt(Stmt::Kind::kAssign);
+      s->name = expect_name();
+      expect_op("=");
+      s->value = expression();
+      expect_op(";");
+      return s;
+    }
+    if (cur().kind == Tk::kName && peek().kind == Tk::kOp && peek().text == "[") {
+      // Lookahead to distinguish `A[i] = v;` from an expression statement.
+      size_t save = i_;
+      std::string name = expect_name();
+      expect_op("[");
+      ExprP index = expression();
+      expect_op("]");
+      if (eat_op("=")) {
+        auto s = make_stmt(Stmt::Kind::kArrayAssign);
+        s->name = std::move(name);
+        s->index = std::move(index);
+        s->value = expression();
+        expect_op(";");
+        return s;
+      }
+      i_ = save;  // it was an expression like `A[i];` — reparse below
+    }
+    auto s = make_stmt(Stmt::Kind::kExprStmt);
+    s->value = expression();
+    expect_op(";");
+    return s;
+  }
+
+  ExprP make_expr(Expr::Kind kind) {
+    auto e = std::make_shared<Expr>();
+    e->kind = kind;
+    e->line = cur().line;
+    return e;
+  }
+
+  ExprP expression() { return logical_or(); }
+
+  ExprP binary_chain(ExprP (Parser::*next)(), std::initializer_list<const char*> ops) {
+    ExprP lhs = (this->*next)();
+    while (true) {
+      bool matched = false;
+      for (const char* op : ops) {
+        if (at_op(op)) {
+          auto e = make_expr(Expr::Kind::kBinary);
+          ++i_;
+          e->op = op;
+          e->a = lhs;
+          e->b = (this->*next)();
+          lhs = e;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return lhs;
+    }
+  }
+
+  ExprP logical_or() { return binary_chain(&Parser::logical_and, {"||"}); }
+  ExprP logical_and() { return binary_chain(&Parser::equality, {"&&"}); }
+  ExprP equality() { return binary_chain(&Parser::relational, {"==", "!="}); }
+  ExprP relational() { return binary_chain(&Parser::additive, {"<=", ">=", "<", ">"}); }
+  ExprP additive() { return binary_chain(&Parser::multiplicative, {"+", "-"}); }
+  ExprP multiplicative() { return binary_chain(&Parser::unary, {"*", "/", "%"}); }
+
+  ExprP unary() {
+    if (at_op("-") || at_op("!")) {
+      auto e = make_expr(Expr::Kind::kUnary);
+      e->op = cur().text;
+      ++i_;
+      e->a = unary();
+      return e;
+    }
+    return primary();
+  }
+
+  ExprP primary() {
+    if (cur().kind == Tk::kInt) {
+      auto e = make_expr(Expr::Kind::kIntLit);
+      e->ival = cur().ival;
+      ++i_;
+      return e;
+    }
+    if (cur().kind == Tk::kFloat) {
+      auto e = make_expr(Expr::Kind::kFloatLit);
+      e->fval = cur().fval;
+      ++i_;
+      return e;
+    }
+    if (cur().kind == Tk::kString) {
+      auto e = make_expr(Expr::Kind::kStringLit);
+      // Adjacent string literals concatenate, as in C.
+      while (cur().kind == Tk::kString) {
+        e->sval += cur().text;
+        ++i_;
+      }
+      return e;
+    }
+    if (at_kw("true") || at_kw("false")) {
+      auto e = make_expr(Expr::Kind::kBoolLit);
+      e->ival = cur().text == "true" ? 1 : 0;
+      ++i_;
+      return e;
+    }
+    if (eat_op("(")) {
+      ExprP e = expression();
+      expect_op(")");
+      return e;
+    }
+    if (cur().kind == Tk::kName) {
+      std::string name = expect_name();
+      if (at_op("(")) {
+        auto e = make_expr(Expr::Kind::kCall);
+        e->name = std::move(name);
+        ++i_;
+        if (!at_op(")")) {
+          while (true) {
+            e->args.push_back(expression());
+            if (!eat_op(",")) break;
+          }
+        }
+        expect_op(")");
+        return e;
+      }
+      if (at_op("[")) {
+        auto e = make_expr(Expr::Kind::kIndex);
+        e->name = std::move(name);
+        ++i_;
+        e->a = expression();
+        expect_op("]");
+        return e;
+      }
+      auto e = make_expr(Expr::Kind::kVar);
+      e->name = std::move(name);
+      return e;
+    }
+    fail("unexpected token in expression");
+  }
+
+  std::vector<Token> toks_;
+  size_t i_ = 0;
+};
+
+}  // namespace
+
+Program parse_swift(std::string_view source) {
+  Parser p(lex(source));
+  return p.program();
+}
+
+}  // namespace ilps::swift

@@ -1,0 +1,415 @@
+// Core built-ins: variables, control flow, procs, error handling.
+#include "common/strings.h"
+#include "tcl/interp.h"
+
+namespace ilps::tcl {
+
+namespace {
+
+// Parses the level argument of upvar/uplevel: "#N" is absolute (we support
+// #0 = global), a bare integer is relative. Returns levels-up, with -1
+// meaning the global frame.
+int parse_level(Interp& in, const std::string& s, bool* consumed) {
+  *consumed = true;
+  if (!s.empty() && s[0] == '#') {
+    auto n = str::parse_int(s.substr(1));
+    if (!n) throw TclError("bad level \"" + s + "\"");
+    if (*n == 0) return -1;
+    // Absolute level N: levels_up = current - N.
+    int up = in.frame_level() - static_cast<int>(*n);
+    if (up < 0) throw TclError("bad level \"" + s + "\"");
+    return up;
+  }
+  if (auto n = str::parse_int(s)) {
+    if (*n < 0) throw TclError("bad level \"" + s + "\"");
+    return static_cast<int>(*n);
+  }
+  *consumed = false;
+  return 1;
+}
+
+std::string cmd_set(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 1, 2, "varName ?newValue?");
+  if (args.size() == 3) {
+    in.set_var(args[1], args[2]);
+    return args[2];
+  }
+  return in.get_var(args[1]);
+}
+
+std::string cmd_unset(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 0, -1, "?-nocomplain? ?varName ...?");
+  size_t start = 1;
+  bool nocomplain = false;
+  if (args.size() > 1 && args[1] == "-nocomplain") {
+    nocomplain = true;
+    start = 2;
+  }
+  for (size_t i = start; i < args.size(); ++i) {
+    if (!in.unset_var(args[i]) && !nocomplain) {
+      throw TclError("can't unset \"" + args[i] + "\": no such variable");
+    }
+  }
+  return "";
+}
+
+std::string cmd_incr(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 1, 2, "varName ?increment?");
+  int64_t delta = 1;
+  if (args.size() == 3) {
+    auto d = str::parse_int(args[2]);
+    if (!d) throw TclError("expected integer but got \"" + args[2] + "\"");
+    delta = *d;
+  }
+  int64_t value = 0;
+  if (auto cur = in.get_var_opt(args[1])) {
+    auto v = str::parse_int(*cur);
+    if (!v) throw TclError("expected integer but got \"" + *cur + "\"");
+    value = *v;
+  }
+  value += delta;
+  std::string out = std::to_string(value);
+  in.set_var(args[1], out);
+  return out;
+}
+
+std::string cmd_append(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 1, -1, "varName ?value ...?");
+  std::string value;
+  if (auto cur = in.get_var_opt(args[1])) value = *cur;
+  for (size_t i = 2; i < args.size(); ++i) value += args[i];
+  in.set_var(args[1], value);
+  return value;
+}
+
+std::string cmd_expr(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 1, -1, "arg ?arg ...?");
+  if (args.size() == 2) return in.expr(args[1]);
+  std::string joined;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (i > 1) joined += ' ';
+    joined += args[i];
+  }
+  return in.expr(joined);
+}
+
+std::string cmd_if(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 2, -1, "condition body ?elseif cond body ...? ?else body?");
+  size_t i = 1;
+  while (true) {
+    if (i + 1 >= args.size()) throw TclError("wrong # args: no body for if condition");
+    const std::string& cond = args[i];
+    size_t body_index = i + 1;
+    if (args[body_index] == "then") ++body_index;
+    if (body_index >= args.size()) throw TclError("wrong # args: no body after then");
+    if (in.expr_bool(cond)) return in.eval(args[body_index]);
+    i = body_index + 1;
+    if (i >= args.size()) return "";
+    if (args[i] == "elseif") {
+      ++i;
+      continue;
+    }
+    if (args[i] == "else") {
+      if (i + 1 >= args.size()) throw TclError("wrong # args: no body after else");
+      return in.eval(args[i + 1]);
+    }
+    // Bare trailing body acts as else (Tcl allows this).
+    return in.eval(args[i]);
+  }
+}
+
+std::string cmd_while(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 2, 2, "test command");
+  while (in.expr_bool(args[1])) {
+    try {
+      in.eval(args[2]);
+    } catch (BreakSignal&) {
+      break;
+    } catch (ContinueSignal&) {
+      continue;
+    }
+  }
+  return "";
+}
+
+std::string cmd_for(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 4, 4, "start test next command");
+  in.eval(args[1]);
+  while (in.expr_bool(args[2])) {
+    try {
+      in.eval(args[4]);
+    } catch (BreakSignal&) {
+      break;
+    } catch (ContinueSignal&) {
+      // fall through to next
+    }
+    in.eval(args[3]);
+  }
+  return "";
+}
+
+std::string cmd_foreach(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 3, -1, "varList list ?varList list ...? command");
+  if ((args.size() - 2) % 2 != 0) {
+    throw TclError("wrong # args: should be \"foreach varList list ?varList list ...? command\"");
+  }
+  const std::string& body = args.back();
+  struct Group {
+    std::vector<std::string> vars;
+    std::vector<std::string> values;
+  };
+  std::vector<Group> groups;
+  size_t iterations = 0;
+  for (size_t i = 1; i + 1 < args.size(); i += 2) {
+    Group g;
+    g.vars = list_split(args[i]);
+    if (g.vars.empty()) throw TclError("foreach varlist is empty");
+    g.values = list_split(args[i + 1]);
+    size_t iters = (g.values.size() + g.vars.size() - 1) / g.vars.size();
+    iterations = std::max(iterations, iters);
+    groups.push_back(std::move(g));
+  }
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    for (const auto& g : groups) {
+      for (size_t v = 0; v < g.vars.size(); ++v) {
+        size_t idx = iter * g.vars.size() + v;
+        in.set_var(g.vars[v], idx < g.values.size() ? g.values[idx] : "");
+      }
+    }
+    try {
+      in.eval(body);
+    } catch (BreakSignal&) {
+      return "";
+    } catch (ContinueSignal&) {
+      continue;
+    }
+  }
+  return "";
+}
+
+std::string cmd_break(Interp&, std::vector<std::string>& args) {
+  check_arity(args, 0, 0, "");
+  throw BreakSignal{};
+}
+
+std::string cmd_continue(Interp&, std::vector<std::string>& args) {
+  check_arity(args, 0, 0, "");
+  throw ContinueSignal{};
+}
+
+std::string cmd_proc(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 3, 3, "name args body");
+  Interp::ProcInfo proc;
+  for (const auto& p : list_split(args[2])) {
+    auto parts = list_split(p);
+    if (parts.size() == 1) {
+      proc.params.emplace_back(parts[0], std::nullopt);
+    } else if (parts.size() == 2) {
+      proc.params.emplace_back(parts[0], parts[1]);
+    } else {
+      throw TclError("too many fields in argument specifier \"" + p + "\"");
+    }
+  }
+  proc.body = args[3];
+  in.define_proc(args[1], std::move(proc));
+  return "";
+}
+
+std::string cmd_return(Interp&, std::vector<std::string>& args) {
+  // Supports `return ?value?` and `return -code error message`.
+  if (args.size() == 4 && args[1] == "-code") {
+    if (args[2] == "error") throw TclError(args[3]);
+    if (args[2] == "return" || args[2] == "ok") throw ReturnSignal{args[3]};
+    if (args[2] == "break") throw BreakSignal{};
+    if (args[2] == "continue") throw ContinueSignal{};
+    throw TclError("bad completion code \"" + args[2] + "\"");
+  }
+  check_arity(args, 0, 1, "?value?");
+  throw ReturnSignal{args.size() > 1 ? args[1] : ""};
+}
+
+std::string cmd_error(Interp&, std::vector<std::string>& args) {
+  check_arity(args, 1, 2, "message ?info?");
+  throw TclError(args[1]);
+}
+
+std::string cmd_catch(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 1, 2, "script ?resultVarName?");
+  int code = kTclOk;
+  std::string result;
+  try {
+    result = in.eval(args[1]);
+  } catch (TclError& e) {
+    code = kTclErrorCode;
+    result = e.what();
+  } catch (ReturnSignal& r) {
+    code = kTclReturn;
+    result = std::move(r.value);
+  } catch (BreakSignal&) {
+    code = kTclBreak;
+  } catch (ContinueSignal&) {
+    code = kTclContinue;
+  }
+  if (args.size() == 3) in.set_var(args[2], result);
+  return std::to_string(code);
+}
+
+std::string cmd_eval(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 1, -1, "arg ?arg ...?");
+  if (args.size() == 2) return in.eval(args[1]);
+  std::vector<std::string> parts(args.begin() + 1, args.end());
+  return in.eval(str::join(parts, " "));
+}
+
+std::string cmd_uplevel(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 1, -1, "?level? arg ?arg ...?");
+  bool consumed = false;
+  int up = parse_level(in, args[1], &consumed);
+  size_t start = consumed ? 2 : 1;
+  if (!consumed) up = 1;
+  if (start >= args.size()) throw TclError("wrong # args: uplevel needs a script");
+  std::vector<std::string> parts(args.begin() + static_cast<ptrdiff_t>(start), args.end());
+  return in.eval_up(up, str::join(parts, " "));
+}
+
+std::string cmd_upvar(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 2, -1, "?level? otherVar localVar ?otherVar localVar ...?");
+  bool consumed = false;
+  int up = parse_level(in, args[1], &consumed);
+  size_t start = consumed ? 2 : 1;
+  if ((args.size() - start) % 2 != 0 || args.size() == start) {
+    throw TclError("wrong # args: upvar needs otherVar localVar pairs");
+  }
+  for (size_t i = start; i + 1 < args.size(); i += 2) {
+    in.link_var(up, args[i], args[i + 1]);
+  }
+  return "";
+}
+
+std::string cmd_global(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 1, -1, "varName ?varName ...?");
+  if (in.frame_level() == 0) return "";  // no-op at global scope
+  for (size_t i = 1; i < args.size(); ++i) {
+    in.link_var(-1, args[i], args[i]);
+  }
+  return "";
+}
+
+std::string cmd_source(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 1, 1, "fileName");
+  auto text = in.source_resolver()(args[1]);
+  if (!text) throw TclError("couldn't read file \"" + args[1] + "\"");
+  return in.eval(*text);
+}
+
+std::string cmd_rename(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 2, 2, "oldName newName");
+  const std::string& old_name = args[1];
+  const std::string& new_name = args[2];
+  if (const Interp::ProcInfo* proc = in.find_proc(old_name)) {
+    if (!new_name.empty()) in.define_proc(new_name, *proc);
+    in.remove_command(old_name);
+    return "";
+  }
+  throw TclError("can't rename \"" + old_name + "\": command doesn't exist or is a builtin");
+}
+
+std::string cmd_subst(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 1, 1, "string");
+  return in.subst(args[1]);
+}
+
+std::string cmd_switch(Interp& in, std::vector<std::string>& args) {
+  // switch ?-exact|-glob? ?--? string {pattern body ?pattern body ...?}
+  // or the flat form: switch string pattern body ?pattern body ...?
+  check_arity(args, 2, -1, "?options? string pattern body ?...?");
+  size_t a = 1;
+  bool glob = false;
+  while (a < args.size() && !args[a].empty() && args[a][0] == '-') {
+    if (args[a] == "-exact") {
+      glob = false;
+    } else if (args[a] == "-glob") {
+      glob = true;
+    } else if (args[a] == "--") {
+      ++a;
+      break;
+    } else {
+      throw TclError("bad switch option \"" + args[a] + "\"");
+    }
+    ++a;
+  }
+  if (a >= args.size()) throw TclError("wrong # args: switch needs a string");
+  const std::string value = args[a++];
+  std::vector<std::string> clauses;
+  if (args.size() - a == 1) {
+    clauses = list_split(args[a]);
+  } else {
+    clauses.assign(args.begin() + static_cast<ptrdiff_t>(a), args.end());
+  }
+  if (clauses.size() % 2 != 0) {
+    throw TclError("extra switch pattern with no body");
+  }
+  for (size_t i = 0; i + 1 < clauses.size(); i += 2) {
+    bool hit;
+    if (clauses[i] == "default") {
+      hit = true;
+    } else if (glob) {
+      std::vector<std::string> match_args = {"string", "match", clauses[i], value};
+      hit = in.invoke(match_args) == "1";
+    } else {
+      hit = clauses[i] == value;
+    }
+    if (!hit) continue;
+    // `-` falls through to the next body.
+    size_t body = i + 1;
+    while (body + 1 < clauses.size() && clauses[body] == "-") body += 2;
+    return in.eval(clauses[body]);
+  }
+  return "";
+}
+
+std::string cmd_namespace(Interp& in, std::vector<std::string>& args) {
+  // Minimal namespace support: qualified command names are plain strings
+  // in MiniTcl, so `namespace eval ns body` just evaluates the body, and
+  // `namespace current` reports the global namespace.
+  check_arity(args, 1, -1, "subcommand ?arg ...?");
+  const std::string& sub = args[1];
+  if (sub == "eval") {
+    check_arity(args, 3, 3, "eval name body");
+    return in.eval(args[3]);
+  }
+  if (sub == "current") return "::";
+  if (sub == "exists") return "1";
+  throw TclError("unsupported namespace subcommand \"" + sub + "\"");
+}
+
+}  // namespace
+
+void register_core_builtins(Interp& in) {
+  in.register_command("set", cmd_set);
+  in.register_command("unset", cmd_unset);
+  in.register_command("incr", cmd_incr);
+  in.register_command("append", cmd_append);
+  in.register_command("expr", cmd_expr);
+  in.register_command("if", cmd_if);
+  in.register_command("while", cmd_while);
+  in.register_command("for", cmd_for);
+  in.register_command("foreach", cmd_foreach);
+  in.register_command("break", cmd_break);
+  in.register_command("continue", cmd_continue);
+  in.register_command("proc", cmd_proc);
+  in.register_command("return", cmd_return);
+  in.register_command("error", cmd_error);
+  in.register_command("catch", cmd_catch);
+  in.register_command("eval", cmd_eval);
+  in.register_command("uplevel", cmd_uplevel);
+  in.register_command("upvar", cmd_upvar);
+  in.register_command("global", cmd_global);
+  in.register_command("source", cmd_source);
+  in.register_command("rename", cmd_rename);
+  in.register_command("subst", cmd_subst);
+  in.register_command("switch", cmd_switch);
+  in.register_command("namespace", cmd_namespace);
+}
+
+}  // namespace ilps::tcl

@@ -1,0 +1,431 @@
+// List and dict built-ins. Dicts use the Tcl representation: a list of
+// alternating keys and values.
+#include <algorithm>
+
+#include "common/strings.h"
+#include "tcl/interp.h"
+
+namespace ilps::tcl {
+
+namespace {
+
+// Parses a Tcl list index: an integer, "end", or "end-N".
+int64_t parse_index(const std::string& s, size_t len) {
+  if (s == "end") return static_cast<int64_t>(len) - 1;
+  if (str::starts_with(s, "end-")) {
+    auto n = str::parse_int(s.substr(4));
+    if (!n) throw TclError("bad index \"" + s + "\"");
+    return static_cast<int64_t>(len) - 1 - *n;
+  }
+  if (str::starts_with(s, "end+")) {
+    auto n = str::parse_int(s.substr(4));
+    if (!n) throw TclError("bad index \"" + s + "\"");
+    return static_cast<int64_t>(len) - 1 + *n;
+  }
+  auto n = str::parse_int(s);
+  if (!n) throw TclError("bad index \"" + s + "\": must be integer or end?-integer?");
+  return *n;
+}
+
+std::string cmd_list(Interp&, std::vector<std::string>& args) {
+  std::vector<std::string> elems(args.begin() + 1, args.end());
+  return list_join(elems);
+}
+
+std::string cmd_llength(Interp&, std::vector<std::string>& args) {
+  check_arity(args, 1, 1, "list");
+  return std::to_string(list_split(args[1]).size());
+}
+
+std::string cmd_lindex(Interp&, std::vector<std::string>& args) {
+  check_arity(args, 1, -1, "list ?index ...?");
+  std::string cur = args[1];
+  for (size_t a = 2; a < args.size(); ++a) {
+    auto elems = list_split(cur);
+    int64_t idx = parse_index(args[a], elems.size());
+    if (idx < 0 || idx >= static_cast<int64_t>(elems.size())) return "";
+    cur = elems[static_cast<size_t>(idx)];
+  }
+  return cur;
+}
+
+std::string cmd_lappend(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 1, -1, "varName ?value ...?");
+  std::string value;
+  if (auto cur = in.get_var_opt(args[1])) value = *cur;
+  for (size_t i = 2; i < args.size(); ++i) {
+    if (!value.empty()) value += ' ';
+    value += list_quote(args[i]);
+  }
+  in.set_var(args[1], value);
+  return value;
+}
+
+std::string cmd_lrange(Interp&, std::vector<std::string>& args) {
+  check_arity(args, 3, 3, "list first last");
+  auto elems = list_split(args[1]);
+  int64_t first = parse_index(args[2], elems.size());
+  int64_t last = parse_index(args[3], elems.size());
+  first = std::max<int64_t>(first, 0);
+  last = std::min<int64_t>(last, static_cast<int64_t>(elems.size()) - 1);
+  if (first > last) return "";
+  std::vector<std::string> out(elems.begin() + first, elems.begin() + last + 1);
+  return list_join(out);
+}
+
+std::string cmd_linsert(Interp&, std::vector<std::string>& args) {
+  check_arity(args, 2, -1, "list index ?element ...?");
+  auto elems = list_split(args[1]);
+  int64_t idx = parse_index(args[2], elems.size());
+  // For insertion, "end" means after the last element.
+  if (args[2] == "end") idx = static_cast<int64_t>(elems.size());
+  idx = std::clamp<int64_t>(idx, 0, static_cast<int64_t>(elems.size()));
+  elems.insert(elems.begin() + idx, args.begin() + 3, args.end());
+  return list_join(elems);
+}
+
+std::string cmd_lreplace(Interp&, std::vector<std::string>& args) {
+  check_arity(args, 3, -1, "list first last ?element ...?");
+  auto elems = list_split(args[1]);
+  int64_t first = parse_index(args[2], elems.size());
+  int64_t last = parse_index(args[3], elems.size());
+  first = std::max<int64_t>(first, 0);
+  last = std::min<int64_t>(last, static_cast<int64_t>(elems.size()) - 1);
+  std::vector<std::string> out(elems.begin(), elems.begin() + std::min<int64_t>(first, static_cast<int64_t>(elems.size())));
+  out.insert(out.end(), args.begin() + 4, args.end());
+  if (last + 1 < static_cast<int64_t>(elems.size())) {
+    out.insert(out.end(), elems.begin() + std::max<int64_t>(last + 1, first), elems.end());
+  }
+  return list_join(out);
+}
+
+std::string cmd_lsearch(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 2, -1, "?-exact|-glob? ?-all? list pattern");
+  bool exact = false;
+  bool all = false;
+  size_t a = 1;
+  while (a + 2 < args.size() + 1 && !args[a].empty() && args[a][0] == '-') {
+    if (args[a] == "-exact") {
+      exact = true;
+    } else if (args[a] == "-glob") {
+      exact = false;
+    } else if (args[a] == "-all") {
+      all = true;
+    } else {
+      throw TclError("bad lsearch option \"" + args[a] + "\"");
+    }
+    ++a;
+  }
+  if (a + 1 >= args.size()) throw TclError("wrong # args: lsearch needs list and pattern");
+  auto elems = list_split(args[a]);
+  const std::string& pattern = args[a + 1];
+  std::vector<std::string> hits;
+  for (size_t i = 0; i < elems.size(); ++i) {
+    bool match;
+    if (exact) {
+      match = elems[i] == pattern;
+    } else {
+      std::vector<std::string> match_args = {"string", "match", pattern, elems[i]};
+      match = in.invoke(match_args) == "1";
+    }
+    if (match) {
+      if (!all) return std::to_string(i);
+      hits.push_back(std::to_string(i));
+    }
+  }
+  if (all) return list_join(hits);
+  return "-1";
+}
+
+std::string cmd_lsort(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 1, -1, "?options? list");
+  bool integer = false;
+  bool real = false;
+  bool decreasing = false;
+  bool unique = false;
+  std::string command;
+  size_t a = 1;
+  for (; a + 1 < args.size(); ++a) {
+    if (args[a] == "-integer") {
+      integer = true;
+    } else if (args[a] == "-real") {
+      real = true;
+    } else if (args[a] == "-decreasing") {
+      decreasing = true;
+    } else if (args[a] == "-increasing") {
+      decreasing = false;
+    } else if (args[a] == "-unique") {
+      unique = true;
+    } else if (args[a] == "-ascii") {
+      // default
+    } else if (args[a] == "-command") {
+      if (a + 2 >= args.size()) throw TclError("lsort -command needs an argument");
+      command = args[++a];
+    } else {
+      throw TclError("bad lsort option \"" + args[a] + "\"");
+    }
+  }
+  auto elems = list_split(args[a]);
+  auto cmp = [&](const std::string& x, const std::string& y) {
+    int c;
+    if (!command.empty()) {
+      std::string script = command + " " + list_quote(x) + " " + list_quote(y);
+      auto r = str::parse_int(in.eval(script));
+      if (!r) throw TclError("lsort -command result must be an integer");
+      c = static_cast<int>(*r);
+    } else if (integer) {
+      auto xi = str::parse_int(x);
+      auto yi = str::parse_int(y);
+      if (!xi || !yi) throw TclError("lsort -integer: non-integer element");
+      c = *xi < *yi ? -1 : (*xi > *yi ? 1 : 0);
+    } else if (real) {
+      auto xd = str::parse_double(x);
+      auto yd = str::parse_double(y);
+      if (!xd || !yd) throw TclError("lsort -real: non-numeric element");
+      c = *xd < *yd ? -1 : (*xd > *yd ? 1 : 0);
+    } else {
+      c = x < y ? -1 : (x > y ? 1 : 0);
+    }
+    return decreasing ? c > 0 : c < 0;
+  };
+  std::stable_sort(elems.begin(), elems.end(), cmp);
+  if (unique) {
+    elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+  }
+  return list_join(elems);
+}
+
+std::string cmd_lreverse(Interp&, std::vector<std::string>& args) {
+  check_arity(args, 1, 1, "list");
+  auto elems = list_split(args[1]);
+  std::reverse(elems.begin(), elems.end());
+  return list_join(elems);
+}
+
+std::string cmd_lassign(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 1, -1, "list ?varName ...?");
+  auto elems = list_split(args[1]);
+  size_t v = 0;
+  for (size_t a = 2; a < args.size(); ++a, ++v) {
+    in.set_var(args[a], v < elems.size() ? elems[v] : "");
+  }
+  std::vector<std::string> rest(elems.begin() + std::min(v, elems.size()), elems.end());
+  return list_join(rest);
+}
+
+std::string cmd_lmap(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 3, 3, "varList list body");
+  auto vars = list_split(args[1]);
+  auto values = list_split(args[2]);
+  if (vars.empty()) throw TclError("lmap varlist is empty");
+  std::vector<std::string> out;
+  size_t iters = vars.empty() ? 0 : (values.size() + vars.size() - 1) / vars.size();
+  for (size_t iter = 0; iter < iters; ++iter) {
+    for (size_t v = 0; v < vars.size(); ++v) {
+      size_t idx = iter * vars.size() + v;
+      in.set_var(vars[v], idx < values.size() ? values[idx] : "");
+    }
+    try {
+      out.push_back(in.eval(args[3]));
+    } catch (BreakSignal&) {
+      break;
+    } catch (ContinueSignal&) {
+      continue;
+    }
+  }
+  return list_join(out);
+}
+
+std::string cmd_concat(Interp&, std::vector<std::string>& args) {
+  std::vector<std::string> parts;
+  for (size_t i = 1; i < args.size(); ++i) {
+    std::string_view t = str::trim(args[i]);
+    if (!t.empty()) parts.emplace_back(t);
+  }
+  return str::join(parts, " ");
+}
+
+std::string cmd_join(Interp&, std::vector<std::string>& args) {
+  check_arity(args, 1, 2, "list ?joinString?");
+  std::string sep = args.size() > 2 ? args[2] : " ";
+  auto elems = list_split(args[1]);
+  return str::join(elems, sep);
+}
+
+std::string cmd_split(Interp&, std::vector<std::string>& args) {
+  check_arity(args, 1, 2, "string ?splitChars?");
+  const std::string& s = args[1];
+  std::string chars = args.size() > 2 ? args[2] : " \t\n\r";
+  if (chars.empty()) {
+    std::vector<std::string> out;
+    for (char c : s) out.emplace_back(1, c);
+    return list_join(out);
+  }
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (chars.find(c) != std::string::npos) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return list_join(out);
+}
+
+// ---- dict ----
+
+std::vector<std::pair<std::string, std::string>> dict_parse(const std::string& d) {
+  auto elems = list_split(d);
+  if (elems.size() % 2 != 0) throw TclError("missing value to go with key");
+  std::vector<std::pair<std::string, std::string>> out;
+  for (size_t i = 0; i + 1 < elems.size(); i += 2) {
+    out.emplace_back(elems[i], elems[i + 1]);
+  }
+  return out;
+}
+
+std::string dict_build(const std::vector<std::pair<std::string, std::string>>& entries) {
+  std::vector<std::string> flat;
+  for (const auto& [k, v] : entries) {
+    flat.push_back(k);
+    flat.push_back(v);
+  }
+  return list_join(flat);
+}
+
+std::string cmd_dict(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 1, -1, "subcommand ?arg ...?");
+  const std::string& sub = args[1];
+  if (sub == "create") {
+    if ((args.size() - 2) % 2 != 0) throw TclError("missing value to go with key");
+    std::vector<std::pair<std::string, std::string>> entries;
+    for (size_t i = 2; i + 1 < args.size(); i += 2) entries.emplace_back(args[i], args[i + 1]);
+    return dict_build(entries);
+  }
+  if (sub == "get") {
+    check_arity(args, 2, 3, "get dictionary ?key?");
+    auto entries = dict_parse(args[2]);
+    if (args.size() == 3) return args[2];
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+      if (it->first == args[3]) return it->second;
+    }
+    throw TclError("key \"" + args[3] + "\" not known in dictionary");
+  }
+  if (sub == "exists") {
+    check_arity(args, 3, 3, "exists dictionary key");
+    for (const auto& [k, v] : dict_parse(args[2])) {
+      (void)v;
+      if (k == args[3]) return "1";
+    }
+    return "0";
+  }
+  if (sub == "set") {
+    check_arity(args, 4, 4, "set dictVarName key value");
+    std::string d;
+    if (auto cur = in.get_var_opt(args[2])) d = *cur;
+    auto entries = dict_parse(d);
+    bool found = false;
+    for (auto& [k, v] : entries) {
+      if (k == args[3]) {
+        v = args[4];
+        found = true;
+      }
+    }
+    if (!found) entries.emplace_back(args[3], args[4]);
+    std::string out = dict_build(entries);
+    in.set_var(args[2], out);
+    return out;
+  }
+  if (sub == "unset") {
+    check_arity(args, 3, 3, "unset dictVarName key");
+    std::string d;
+    if (auto cur = in.get_var_opt(args[2])) d = *cur;
+    auto entries = dict_parse(d);
+    std::erase_if(entries, [&](const auto& e) { return e.first == args[3]; });
+    std::string out = dict_build(entries);
+    in.set_var(args[2], out);
+    return out;
+  }
+  if (sub == "keys") {
+    check_arity(args, 2, 2, "keys dictionary");
+    std::vector<std::string> keys;
+    for (const auto& [k, v] : dict_parse(args[2])) {
+      (void)v;
+      keys.push_back(k);
+    }
+    return list_join(keys);
+  }
+  if (sub == "values") {
+    check_arity(args, 2, 2, "values dictionary");
+    std::vector<std::string> values;
+    for (const auto& [k, v] : dict_parse(args[2])) {
+      (void)k;
+      values.push_back(v);
+    }
+    return list_join(values);
+  }
+  if (sub == "size") {
+    check_arity(args, 2, 2, "size dictionary");
+    return std::to_string(dict_parse(args[2]).size());
+  }
+  if (sub == "merge") {
+    std::vector<std::pair<std::string, std::string>> entries;
+    for (size_t i = 2; i < args.size(); ++i) {
+      for (const auto& [k, v] : dict_parse(args[i])) {
+        bool found = false;
+        for (auto& [ek, ev] : entries) {
+          if (ek == k) {
+            ev = v;
+            found = true;
+          }
+        }
+        if (!found) entries.emplace_back(k, v);
+      }
+    }
+    return dict_build(entries);
+  }
+  if (sub == "for") {
+    check_arity(args, 4, 4, "for {keyVar valueVar} dictionary body");
+    auto vars = list_split(args[2]);
+    if (vars.size() != 2) throw TclError("dict for needs {keyVar valueVar}");
+    for (const auto& [k, v] : dict_parse(args[3])) {
+      in.set_var(vars[0], k);
+      in.set_var(vars[1], v);
+      try {
+        in.eval(args[4]);
+      } catch (BreakSignal&) {
+        break;
+      } catch (ContinueSignal&) {
+        continue;
+      }
+    }
+    return "";
+  }
+  throw TclError("unsupported dict subcommand \"" + sub + "\"");
+}
+
+}  // namespace
+
+void register_list_builtins(Interp& in) {
+  in.register_command("list", cmd_list);
+  in.register_command("llength", cmd_llength);
+  in.register_command("lindex", cmd_lindex);
+  in.register_command("lappend", cmd_lappend);
+  in.register_command("lrange", cmd_lrange);
+  in.register_command("linsert", cmd_linsert);
+  in.register_command("lreplace", cmd_lreplace);
+  in.register_command("lsearch", cmd_lsearch);
+  in.register_command("lsort", cmd_lsort);
+  in.register_command("lreverse", cmd_lreverse);
+  in.register_command("lassign", cmd_lassign);
+  in.register_command("lmap", cmd_lmap);
+  in.register_command("concat", cmd_concat);
+  in.register_command("join", cmd_join);
+  in.register_command("split", cmd_split);
+  in.register_command("dict", cmd_dict);
+}
+
+}  // namespace ilps::tcl

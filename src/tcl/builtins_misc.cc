@@ -1,0 +1,229 @@
+// Miscellaneous built-ins: puts, clock, time, package, info, array, apply.
+#include <chrono>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "tcl/interp.h"
+
+namespace ilps::tcl {
+
+namespace {
+
+std::string cmd_puts(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 1, 3, "?-nonewline? ?channelId? string");
+  bool newline = true;
+  size_t a = 1;
+  if (args[a] == "-nonewline") {
+    newline = false;
+    ++a;
+  }
+  if (a >= args.size()) throw TclError("wrong # args: puts needs a string");
+  // A channel argument (stdout/stderr) may precede the string; both go to
+  // the interp's puts handler.
+  if (a + 1 < args.size()) {
+    if (args[a] != "stdout" && args[a] != "stderr") {
+      throw TclError("can not find channel named \"" + args[a] + "\"");
+    }
+    ++a;
+  }
+  in.do_puts(args[a], newline);
+  return "";
+}
+
+std::string cmd_clock(Interp&, std::vector<std::string>& args) {
+  check_arity(args, 1, 1, "subcommand");
+  using namespace std::chrono;
+  auto now = system_clock::now().time_since_epoch();
+  const std::string& sub = args[1];
+  if (sub == "seconds") return std::to_string(duration_cast<seconds>(now).count());
+  if (sub == "milliseconds") return std::to_string(duration_cast<milliseconds>(now).count());
+  if (sub == "microseconds") return std::to_string(duration_cast<microseconds>(now).count());
+  throw TclError("unsupported clock subcommand \"" + sub + "\"");
+}
+
+std::string cmd_time(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 1, 2, "script ?count?");
+  int64_t count = 1;
+  if (args.size() == 3) {
+    auto n = str::parse_int(args[2]);
+    if (!n || *n <= 0) throw TclError("time count must be a positive integer");
+    count = *n;
+  }
+  Timer t;
+  for (int64_t i = 0; i < count; ++i) in.eval(args[1]);
+  double per_iter_us = t.elapsed() * 1e6 / static_cast<double>(count);
+  return str::format_double(per_iter_us) + " microseconds per iteration";
+}
+
+std::string cmd_package(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 1, -1, "subcommand ?arg ...?");
+  const std::string& sub = args[1];
+  if (sub == "provide") {
+    check_arity(args, 2, 3, "provide package ?version?");
+    if (args.size() == 4) {
+      in.package_provide(args[2], args[3]);
+      return "";
+    }
+    if (auto v = in.package_provided(args[2])) return *v;
+    return "";
+  }
+  if (sub == "require") {
+    check_arity(args, 2, 3, "require package ?version?");
+    // The requested version, if present, is accepted as long as the
+    // package loads; MiniTcl does not enforce version constraints.
+    return in.package_require(args[2]);
+  }
+  if (sub == "ifneeded") {
+    check_arity(args, 4, 4, "ifneeded package version script");
+    in.package_ifneeded(args[2], args[3], args[4]);
+    return "";
+  }
+  if (sub == "names") {
+    return list_join(in.package_names());
+  }
+  if (sub == "present") {
+    check_arity(args, 2, 3, "present package ?version?");
+    if (auto v = in.package_provided(args[2])) return *v;
+    throw TclError("package " + args[2] + " is not present");
+  }
+  throw TclError("unsupported package subcommand \"" + sub + "\"");
+}
+
+std::string cmd_info(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 1, -1, "subcommand ?arg ...?");
+  const std::string& sub = args[1];
+  if (sub == "exists") {
+    check_arity(args, 2, 2, "exists varName");
+    return in.var_exists(args[2]) ? "1" : "0";
+  }
+  if (sub == "commands") {
+    auto names = in.command_names();
+    if (args.size() > 2) {
+      std::vector<std::string> filtered;
+      for (const auto& n : names) {
+        std::vector<std::string> match_args = {"string", "match", args[2], n};
+        if (in.invoke(match_args) == "1") filtered.push_back(n);
+      }
+      return list_join(filtered);
+    }
+    return list_join(names);
+  }
+  if (sub == "procs") {
+    return list_join(in.proc_names());
+  }
+  if (sub == "level") {
+    check_arity(args, 1, 2, "level ?number?");
+    return std::to_string(in.frame_level());
+  }
+  if (sub == "args") {
+    check_arity(args, 2, 2, "args procName");
+    const Interp::ProcInfo* p = in.find_proc(args[2]);
+    if (p == nullptr) throw TclError("\"" + args[2] + "\" isn't a procedure");
+    std::vector<std::string> names;
+    for (const auto& [name, def] : p->params) {
+      (void)def;
+      names.push_back(name);
+    }
+    return list_join(names);
+  }
+  if (sub == "body") {
+    check_arity(args, 2, 2, "body procName");
+    const Interp::ProcInfo* p = in.find_proc(args[2]);
+    if (p == nullptr) throw TclError("\"" + args[2] + "\" isn't a procedure");
+    return p->body;
+  }
+  if (sub == "vars" || sub == "locals") {
+    return list_join(in.var_names());
+  }
+  throw TclError("unsupported info subcommand \"" + sub + "\"");
+}
+
+std::string cmd_array(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 2, -1, "subcommand arrayName ?arg ...?");
+  const std::string& sub = args[1];
+  const std::string& name = args[2];
+  if (sub == "exists") {
+    return in.array_exists(name) ? "1" : "0";
+  }
+  if (sub == "size") {
+    return std::to_string(in.array_entries(name).size());
+  }
+  if (sub == "names") {
+    std::vector<std::string> keys;
+    for (const auto& [k, v] : in.array_entries(name)) {
+      (void)v;
+      if (args.size() > 3) {
+        std::vector<std::string> match_args = {"string", "match", args[3], k};
+        if (in.invoke(match_args) != "1") continue;
+      }
+      keys.push_back(k);
+    }
+    return list_join(keys);
+  }
+  if (sub == "get") {
+    std::vector<std::string> flat;
+    for (const auto& [k, v] : in.array_entries(name)) {
+      flat.push_back(k);
+      flat.push_back(v);
+    }
+    return list_join(flat);
+  }
+  if (sub == "set") {
+    check_arity(args, 3, 3, "set arrayName list");
+    auto elems = list_split(args[3]);
+    if (elems.size() % 2 != 0) throw TclError("list must have an even number of elements");
+    std::vector<std::pair<std::string, std::string>> entries;
+    for (size_t i = 0; i + 1 < elems.size(); i += 2) entries.emplace_back(elems[i], elems[i + 1]);
+    in.array_set_entries(name, entries);
+    return "";
+  }
+  if (sub == "unset") {
+    in.unset_var(name);
+    return "";
+  }
+  throw TclError("unsupported array subcommand \"" + sub + "\"");
+}
+
+std::string cmd_apply(Interp& in, std::vector<std::string>& args) {
+  check_arity(args, 1, -1, "lambdaExpr ?arg ...?");
+  auto lambda = list_split(args[1]);
+  if (lambda.size() < 2) throw TclError("bad lambda expression");
+  Interp::ProcInfo proc;
+  for (const auto& p : list_split(lambda[0])) {
+    auto parts = list_split(p);
+    if (parts.size() == 1) {
+      proc.params.emplace_back(parts[0], std::nullopt);
+    } else {
+      proc.params.emplace_back(parts[0], parts[1]);
+    }
+  }
+  proc.body = lambda[1];
+  // Reuse the proc machinery through a uniquely named temporary.
+  std::string temp = "::ilps_apply_lambda";
+  in.define_proc(temp, proc);
+  std::vector<std::string> call;
+  call.push_back(temp);
+  call.insert(call.end(), args.begin() + 2, args.end());
+  try {
+    std::string out = in.invoke(call);
+    in.remove_command(temp);
+    return out;
+  } catch (...) {
+    in.remove_command(temp);
+    throw;
+  }
+}
+
+}  // namespace
+
+void register_misc_builtins(Interp& in) {
+  in.register_command("puts", cmd_puts);
+  in.register_command("clock", cmd_clock);
+  in.register_command("time", cmd_time);
+  in.register_command("package", cmd_package);
+  in.register_command("info", cmd_info);
+  in.register_command("array", cmd_array);
+  in.register_command("apply", cmd_apply);
+}
+
+}  // namespace ilps::tcl

@@ -1,0 +1,322 @@
+// The `string` ensemble, `format`, and glob matching.
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.h"
+#include "tcl/interp.h"
+
+namespace ilps::tcl {
+
+namespace {
+
+// Tcl-style glob matching: * ? [set] \escape.
+bool glob_match(std::string_view pattern, std::string_view text, bool nocase) {
+  size_t p = 0;
+  size_t t = 0;
+  size_t star_p = std::string_view::npos;
+  size_t star_t = 0;
+  auto norm = [&](char c) {
+    return nocase ? static_cast<char>(std::tolower(static_cast<unsigned char>(c))) : c;
+  };
+  while (t < text.size()) {
+    if (p < pattern.size()) {
+      char pc = pattern[p];
+      if (pc == '*') {
+        star_p = ++p;
+        star_t = t;
+        continue;
+      }
+      if (pc == '?') {
+        ++p;
+        ++t;
+        continue;
+      }
+      if (pc == '[') {
+        size_t q = p + 1;
+        bool negate = false;
+        if (q < pattern.size() && (pattern[q] == '^' || pattern[q] == '!')) {
+          negate = true;
+          ++q;
+        }
+        bool matched = false;
+        char tc = norm(text[t]);
+        bool first = true;
+        while (q < pattern.size() && (first || pattern[q] != ']')) {
+          first = false;
+          char lo = pattern[q];
+          if (q + 2 < pattern.size() && pattern[q + 1] == '-' && pattern[q + 2] != ']') {
+            char hi = pattern[q + 2];
+            if (norm(lo) <= tc && tc <= norm(hi)) matched = true;
+            q += 3;
+          } else {
+            if (norm(lo) == tc) matched = true;
+            ++q;
+          }
+        }
+        if (q >= pattern.size()) return false;  // unterminated set
+        ++q;                                    // skip ']'
+        if (matched != negate) {
+          p = q;
+          ++t;
+          continue;
+        }
+      } else {
+        if (pc == '\\' && p + 1 < pattern.size()) {
+          pc = pattern[++p];
+        }
+        if (norm(pc) == norm(text[t])) {
+          ++p;
+          ++t;
+          continue;
+        }
+      }
+    }
+    // Mismatch: backtrack to the last '*' if any.
+    if (star_p == std::string_view::npos) return false;
+    p = star_p;
+    t = ++star_t;
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::string cmd_string(Interp&, std::vector<std::string>& args) {
+  check_arity(args, 1, -1, "subcommand ?arg ...?");
+  const std::string& sub = args[1];
+
+  auto need = [&](size_t n, const char* usage) { check_arity(args, static_cast<int>(n), static_cast<int>(n), usage); };
+
+  if (sub == "length") {
+    need(2, "length string");
+    return std::to_string(args[2].size());
+  }
+  if (sub == "index") {
+    need(3, "index string charIndex");
+    const std::string& s = args[2];
+    int64_t idx;
+    if (args[3] == "end") {
+      idx = static_cast<int64_t>(s.size()) - 1;
+    } else if (str::starts_with(args[3], "end-")) {
+      auto n = str::parse_int(args[3].substr(4));
+      if (!n) throw TclError("bad index \"" + args[3] + "\"");
+      idx = static_cast<int64_t>(s.size()) - 1 - *n;
+    } else {
+      auto n = str::parse_int(args[3]);
+      if (!n) throw TclError("bad index \"" + args[3] + "\"");
+      idx = *n;
+    }
+    if (idx < 0 || idx >= static_cast<int64_t>(s.size())) return "";
+    return std::string(1, s[static_cast<size_t>(idx)]);
+  }
+  if (sub == "range") {
+    need(4, "range string first last");
+    const std::string& s = args[2];
+    auto parse_idx = [&](const std::string& t) -> int64_t {
+      if (t == "end") return static_cast<int64_t>(s.size()) - 1;
+      if (str::starts_with(t, "end-")) {
+        auto n = str::parse_int(t.substr(4));
+        if (!n) throw TclError("bad index \"" + t + "\"");
+        return static_cast<int64_t>(s.size()) - 1 - *n;
+      }
+      auto n = str::parse_int(t);
+      if (!n) throw TclError("bad index \"" + t + "\"");
+      return *n;
+    };
+    int64_t first = std::max<int64_t>(0, parse_idx(args[3]));
+    int64_t last = std::min<int64_t>(static_cast<int64_t>(s.size()) - 1, parse_idx(args[4]));
+    if (first > last) return "";
+    return s.substr(static_cast<size_t>(first), static_cast<size_t>(last - first + 1));
+  }
+  if (sub == "tolower") {
+    need(2, "tolower string");
+    return str::to_lower(args[2]);
+  }
+  if (sub == "toupper") {
+    need(2, "toupper string");
+    return str::to_upper(args[2]);
+  }
+  if (sub == "trim" || sub == "trimleft" || sub == "trimright") {
+    check_arity(args, 2, 3, "trim string ?chars?");
+    std::string chars = args.size() > 3 ? args[3] : " \t\n\r\v\f";
+    std::string s = args[2];
+    if (sub != "trimright") {
+      size_t b = s.find_first_not_of(chars);
+      s = b == std::string::npos ? "" : s.substr(b);
+    }
+    if (sub != "trimleft") {
+      size_t e = s.find_last_not_of(chars);
+      s = e == std::string::npos ? "" : s.substr(0, e + 1);
+    }
+    return s;
+  }
+  if (sub == "repeat") {
+    need(3, "repeat string count");
+    auto n = str::parse_int(args[3]);
+    if (!n) throw TclError("expected integer but got \"" + args[3] + "\"");
+    std::string out;
+    for (int64_t i = 0; i < *n; ++i) out += args[2];
+    return out;
+  }
+  if (sub == "reverse") {
+    need(2, "reverse string");
+    std::string s = args[2];
+    std::reverse(s.begin(), s.end());
+    return s;
+  }
+  if (sub == "first") {
+    check_arity(args, 3, 4, "first needleString haystackString ?startIndex?");
+    size_t start = 0;
+    if (args.size() > 4) {
+      auto n = str::parse_int(args[4]);
+      if (!n || *n < 0) throw TclError("bad index \"" + args[4] + "\"");
+      start = static_cast<size_t>(*n);
+    }
+    size_t pos = args[3].find(args[2], start);
+    return pos == std::string::npos ? "-1" : std::to_string(pos);
+  }
+  if (sub == "last") {
+    need(3, "last needleString haystackString");
+    size_t pos = args[3].rfind(args[2]);
+    return pos == std::string::npos ? "-1" : std::to_string(pos);
+  }
+  if (sub == "compare") {
+    need(3, "compare string1 string2");
+    int c = args[2].compare(args[3]);
+    return std::to_string(c < 0 ? -1 : (c > 0 ? 1 : 0));
+  }
+  if (sub == "equal") {
+    check_arity(args, 2, 4, "equal ?-nocase? string1 string2");
+    if (args.size() == 5) {
+      if (args[2] != "-nocase") throw TclError("bad option \"" + args[2] + "\"");
+      return str::to_lower(args[3]) == str::to_lower(args[4]) ? "1" : "0";
+    }
+    return args[2] == args[3] ? "1" : "0";
+  }
+  if (sub == "match") {
+    check_arity(args, 2, 4, "match ?-nocase? pattern string");
+    if (args.size() == 5) {
+      if (args[2] != "-nocase") throw TclError("bad option \"" + args[2] + "\"");
+      return glob_match(args[3], args[4], /*nocase=*/true) ? "1" : "0";
+    }
+    return glob_match(args[2], args[3], /*nocase=*/false) ? "1" : "0";
+  }
+  if (sub == "map") {
+    need(3, "map mapping string");
+    auto mapping = list_split(args[2]);
+    if (mapping.size() % 2 != 0) throw TclError("char map list unbalanced");
+    const std::string& s = args[3];
+    std::string out;
+    size_t i = 0;
+    while (i < s.size()) {
+      bool hit = false;
+      for (size_t m = 0; m + 1 < mapping.size(); m += 2) {
+        const std::string& from = mapping[m];
+        if (!from.empty() && s.compare(i, from.size(), from) == 0) {
+          out += mapping[m + 1];
+          i += from.size();
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) out += s[i++];
+    }
+    return out;
+  }
+  if (sub == "replace") {
+    check_arity(args, 4, 5, "replace string first last ?newstring?");
+    const std::string& s = args[2];
+    auto f = str::parse_int(args[3]);
+    auto l = args[4] == "end" ? std::optional<int64_t>(static_cast<int64_t>(s.size()) - 1)
+                              : str::parse_int(args[4]);
+    if (!f || !l) throw TclError("bad index in string replace");
+    int64_t first = std::max<int64_t>(0, *f);
+    int64_t last = std::min<int64_t>(static_cast<int64_t>(s.size()) - 1, *l);
+    if (first > last || first >= static_cast<int64_t>(s.size())) return s;
+    std::string out = s.substr(0, static_cast<size_t>(first));
+    if (args.size() > 5) out += args[5];
+    out += s.substr(static_cast<size_t>(last + 1));
+    return out;
+  }
+  if (sub == "cat") {
+    std::string out;
+    for (size_t i = 2; i < args.size(); ++i) out += args[i];
+    return out;
+  }
+  if (sub == "is") {
+    check_arity(args, 3, 3, "is class string");
+    const std::string& cls = args[2];
+    const std::string& s = args[3];
+    if (cls == "integer") return str::parse_int(s) ? "1" : "0";
+    if (cls == "double") return str::parse_double(s) ? "1" : "0";
+    if (cls == "boolean") return parse_bool(s) ? "1" : "0";
+    auto all = [&](int (*pred)(int)) {
+      if (s.empty()) return std::string("1");
+      for (char c : s) {
+        if (pred(static_cast<unsigned char>(c)) == 0) return std::string("0");
+      }
+      return std::string("1");
+    };
+    if (cls == "alpha") return all(std::isalpha);
+    if (cls == "alnum") return all(std::isalnum);
+    if (cls == "digit") return all(std::isdigit);
+    if (cls == "space") return all(std::isspace);
+    if (cls == "upper") return all(std::isupper);
+    if (cls == "lower") return all(std::islower);
+    throw TclError("unsupported string is class \"" + cls + "\"");
+  }
+  throw TclError("unsupported string subcommand \"" + sub + "\"");
+}
+
+std::string cmd_format(Interp&, std::vector<std::string>& args) {
+  check_arity(args, 1, -1, "formatString ?arg ...?");
+  std::vector<std::string> rest(args.begin() + 2, args.end());
+  return str::printf_format(args[1], rest);
+}
+
+std::string cmd_scan(Interp& in, std::vector<std::string>& args) {
+  // Minimal scan: supports %d %f %s conversions separated by whitespace.
+  check_arity(args, 2, -1, "string format ?varName ...?");
+  const std::string& input = args[1];
+  const std::string& fmt = args[2];
+  auto fields = str::split_ws(input);
+  size_t field = 0;
+  size_t var = 3;
+  int converted = 0;
+  for (size_t i = 0; i + 1 < fmt.size(); ++i) {
+    if (fmt[i] != '%') continue;
+    char conv = fmt[i + 1];
+    if (conv == '%') {
+      ++i;
+      continue;
+    }
+    if (field >= fields.size() || var >= args.size()) break;
+    const std::string& tok = fields[field++];
+    std::string value;
+    if (conv == 'd' || conv == 'i') {
+      auto v = str::parse_int(tok);
+      if (!v) break;
+      value = std::to_string(*v);
+    } else if (conv == 'f' || conv == 'e' || conv == 'g') {
+      auto v = str::parse_double(tok);
+      if (!v) break;
+      value = str::format_double(*v);
+    } else if (conv == 's') {
+      value = tok;
+    } else {
+      throw TclError("unsupported scan conversion %" + std::string(1, conv));
+    }
+    in.set_var(args[var++], value);
+    ++converted;
+  }
+  return std::to_string(converted);
+}
+
+}  // namespace
+
+void register_string_builtins(Interp& in) {
+  in.register_command("string", cmd_string);
+  in.register_command("format", cmd_format);
+  in.register_command("scan", cmd_scan);
+}
+
+}  // namespace ilps::tcl

@@ -1,0 +1,625 @@
+// The Tcl `expr` sublanguage: numbers (int64 / double), strings, the full
+// operator set with Tcl precedence, short-circuit && || and lazy ?:, and
+// the math function library. Integer / and % use floor semantics as Tcl
+// does. Operands may be $variables, [command substitutions], "quoted" or
+// {braced} strings, numeric literals, or boolean words.
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/strings.h"
+#include "tcl/interp.h"
+
+namespace ilps::tcl {
+
+namespace {
+
+struct Value {
+  std::variant<int64_t, double, std::string> v;
+
+  bool is_int() const { return std::holds_alternative<int64_t>(v); }
+  bool is_double() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  bool is_numeric() const { return !is_string(); }
+
+  int64_t as_int() const {
+    if (is_int()) return std::get<int64_t>(v);
+    if (is_double()) return static_cast<int64_t>(std::get<double>(v));
+    throw TclError("expected integer but got \"" + std::get<std::string>(v) + "\"");
+  }
+  int64_t require_int(const char* op) const {
+    if (is_int()) return std::get<int64_t>(v);
+    throw TclError(std::string("operand of ") + op + " must be an integer");
+  }
+  double as_double() const {
+    if (is_int()) return static_cast<double>(std::get<int64_t>(v));
+    if (is_double()) return std::get<double>(v);
+    throw TclError("expected number but got \"" + std::get<std::string>(v) + "\"");
+  }
+  std::string as_string() const {
+    if (is_int()) return std::to_string(std::get<int64_t>(v));
+    if (is_double()) return str::format_double(std::get<double>(v));
+    return std::get<std::string>(v);
+  }
+  bool truthy() const {
+    if (is_int()) return std::get<int64_t>(v) != 0;
+    if (is_double()) return std::get<double>(v) != 0.0;
+    auto b = parse_bool(std::get<std::string>(v));
+    if (!b) throw TclError("expected boolean value but got \"" + std::get<std::string>(v) + "\"");
+    return *b;
+  }
+};
+
+Value make_int(int64_t x) { return Value{x}; }
+Value make_double(double x) { return Value{x}; }
+Value make_bool(bool b) { return Value{static_cast<int64_t>(b ? 1 : 0)}; }
+Value make_string(std::string s) { return Value{std::move(s)}; }
+
+// Converts raw text (from a $var or [cmd]) into the narrowest numeric
+// value, or keeps it as a string.
+Value classify(std::string raw) {
+  if (auto i = str::parse_int(raw)) return make_int(*i);
+  if (auto d = str::parse_double(raw)) return make_double(*d);
+  return make_string(std::move(raw));
+}
+
+int64_t floor_div(int64_t a, int64_t b) {
+  if (b == 0) throw TclError("divide by zero");
+  int64_t q = a / b;
+  if (a % b != 0 && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+int64_t floor_mod(int64_t a, int64_t b) {
+  if (b == 0) throw TclError("divide by zero");
+  int64_t r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) r += b;
+  return r;
+}
+
+}  // namespace
+
+class ExprParser {
+ public:
+  ExprParser(Interp& interp, std::string_view text) : in_(interp), s_(text) {}
+
+  Value run() {
+    Value v = ternary(/*live=*/true);
+    skip_ws();
+    if (i_ < s_.size()) {
+      throw TclError("syntax error in expression near \"" + std::string(s_.substr(i_)) + "\"");
+    }
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (i_ < s_.size() &&
+           (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\n' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  bool eat(std::string_view op) {
+    skip_ws();
+    if (s_.substr(i_).starts_with(op)) {
+      // Avoid taking "<" when the text is "<<" or "<=" etc.
+      char next = i_ + op.size() < s_.size() ? s_[i_ + op.size()] : '\0';
+      if (op == "<" && (next == '<' || next == '=')) return false;
+      if (op == ">" && (next == '>' || next == '=')) return false;
+      if (op == "=" ) return false;  // '=' alone never an operator
+      if (op == "&" && next == '&') return false;
+      if (op == "|" && next == '|') return false;
+      if (op == "!" && next == '=') return false;
+      if ((op == "eq" || op == "ne" || op == "in" || op == "ni") && is_word_char(next)) {
+        return false;
+      }
+      i_ += op.size();
+      return true;
+    }
+    return false;
+  }
+
+  static bool is_word_char(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
+  }
+
+  Value ternary(bool live) {
+    Value cond = logical_or(live);
+    skip_ws();
+    if (eat("?")) {
+      bool take_first = live && cond.truthy();
+      Value a = ternary(live && take_first);
+      skip_ws();
+      if (!eat(":")) throw TclError("missing : in ternary expression");
+      Value b = ternary(live && !take_first);
+      if (!live) return make_int(0);
+      return take_first ? a : b;
+    }
+    return cond;
+  }
+
+  Value logical_or(bool live) {
+    Value lhs = logical_and(live);
+    while (eat("||")) {
+      bool lhs_true = live && lhs.truthy();
+      Value rhs = logical_and(live && !lhs_true);
+      if (live) lhs = make_bool(lhs_true || rhs.truthy());
+    }
+    return lhs;
+  }
+
+  Value logical_and(bool live) {
+    Value lhs = bit_or(live);
+    while (eat("&&")) {
+      bool lhs_true = live && lhs.truthy();
+      Value rhs = bit_or(live && lhs_true);
+      if (live) lhs = make_bool(lhs_true && rhs.truthy());
+    }
+    return lhs;
+  }
+
+  Value bit_or(bool live) {
+    Value lhs = bit_xor(live);
+    while (eat("|")) {
+      Value rhs = bit_xor(live);
+      if (live) lhs = make_int(lhs.require_int("|") | rhs.require_int("|"));
+    }
+    return lhs;
+  }
+
+  Value bit_xor(bool live) {
+    Value lhs = bit_and(live);
+    while (eat("^")) {
+      Value rhs = bit_and(live);
+      if (live) lhs = make_int(lhs.require_int("^") ^ rhs.require_int("^"));
+    }
+    return lhs;
+  }
+
+  Value bit_and(bool live) {
+    Value lhs = equality(live);
+    while (eat("&")) {
+      Value rhs = equality(live);
+      if (live) lhs = make_int(lhs.require_int("&") & rhs.require_int("&"));
+    }
+    return lhs;
+  }
+
+  Value equality(bool live) {
+    Value lhs = relational(live);
+    while (true) {
+      skip_ws();
+      if (eat("==")) {
+        Value rhs = relational(live);
+        if (live) lhs = make_bool(compare(lhs, rhs) == 0);
+      } else if (eat("!=")) {
+        Value rhs = relational(live);
+        if (live) lhs = make_bool(compare(lhs, rhs) != 0);
+      } else if (eat("eq")) {
+        Value rhs = relational(live);
+        if (live) lhs = make_bool(lhs.as_string() == rhs.as_string());
+      } else if (eat("ne")) {
+        Value rhs = relational(live);
+        if (live) lhs = make_bool(lhs.as_string() != rhs.as_string());
+      } else if (eat("in")) {
+        Value rhs = relational(live);
+        if (live) lhs = make_bool(list_contains(rhs.as_string(), lhs.as_string()));
+      } else if (eat("ni")) {
+        Value rhs = relational(live);
+        if (live) lhs = make_bool(!list_contains(rhs.as_string(), lhs.as_string()));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  static bool list_contains(const std::string& list, const std::string& item) {
+    for (const auto& e : list_split(list)) {
+      if (e == item) return true;
+    }
+    return false;
+  }
+
+  Value relational(bool live) {
+    Value lhs = shift(live);
+    while (true) {
+      skip_ws();
+      int op;
+      if (eat("<=")) {
+        op = 0;
+      } else if (eat(">=")) {
+        op = 1;
+      } else if (eat("<")) {
+        op = 2;
+      } else if (eat(">")) {
+        op = 3;
+      } else {
+        return lhs;
+      }
+      Value rhs = shift(live);
+      if (!live) continue;
+      int c = compare(lhs, rhs);
+      switch (op) {
+        case 0: lhs = make_bool(c <= 0); break;
+        case 1: lhs = make_bool(c >= 0); break;
+        case 2: lhs = make_bool(c < 0); break;
+        case 3: lhs = make_bool(c > 0); break;
+      }
+    }
+  }
+
+  // Numeric compare when both operands look numeric (Tcl reclassifies
+  // string operands that parse as numbers), else string compare.
+  static int compare(const Value& a0, const Value& b0) {
+    Value a = a0.is_string() ? classify(std::get<std::string>(a0.v)) : a0;
+    Value b = b0.is_string() ? classify(std::get<std::string>(b0.v)) : b0;
+    if (a.is_numeric() && b.is_numeric()) {
+      if (a.is_int() && b.is_int()) {
+        int64_t x = a.as_int();
+        int64_t y = b.as_int();
+        return x < y ? -1 : (x > y ? 1 : 0);
+      }
+      double x = a.as_double();
+      double y = b.as_double();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    std::string x = a.as_string();
+    std::string y = b.as_string();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+
+  Value shift(bool live) {
+    Value lhs = additive(live);
+    while (true) {
+      if (eat("<<")) {
+        Value rhs = additive(live);
+        if (live) lhs = make_int(lhs.require_int("<<") << rhs.require_int("<<"));
+      } else if (eat(">>")) {
+        Value rhs = additive(live);
+        if (live) lhs = make_int(lhs.require_int(">>") >> rhs.require_int(">>"));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Value additive(bool live) {
+    Value lhs = multiplicative(live);
+    while (true) {
+      skip_ws();
+      if (eat("+")) {
+        Value rhs = multiplicative(live);
+        if (live) lhs = arith(lhs, rhs, '+');
+      } else if (eat("-")) {
+        Value rhs = multiplicative(live);
+        if (live) lhs = arith(lhs, rhs, '-');
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Value multiplicative(bool live) {
+    Value lhs = unary(live);
+    while (true) {
+      skip_ws();
+      if (eat("*")) {
+        Value rhs = unary(live);
+        if (live) lhs = arith(lhs, rhs, '*');
+      } else if (eat("/")) {
+        Value rhs = unary(live);
+        if (live) lhs = arith(lhs, rhs, '/');
+      } else if (eat("%")) {
+        Value rhs = unary(live);
+        if (live) lhs = make_int(floor_mod(lhs.require_int("%"), rhs.require_int("%")));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  static Value arith(const Value& a, const Value& b, char op) {
+    if (a.is_int() && b.is_int()) {
+      int64_t x = a.as_int();
+      int64_t y = b.as_int();
+      switch (op) {
+        case '+': return make_int(x + y);
+        case '-': return make_int(x - y);
+        case '*': return make_int(x * y);
+        case '/': return make_int(floor_div(x, y));
+      }
+    }
+    double x = a.as_double();
+    double y = b.as_double();
+    switch (op) {
+      case '+': return make_double(x + y);
+      case '-': return make_double(x - y);
+      case '*': return make_double(x * y);
+      case '/':
+        if (y == 0.0) throw TclError("divide by zero");
+        return make_double(x / y);
+    }
+    throw TclError("bad arithmetic operator");
+  }
+
+  Value unary(bool live) {
+    skip_ws();
+    if (eat("!")) {
+      Value v = unary(live);
+      return live ? make_bool(!v.truthy()) : v;
+    }
+    if (eat("~")) {
+      Value v = unary(live);
+      return live ? make_int(~v.require_int("~")) : v;
+    }
+    if (eat("-")) {
+      Value v = unary(live);
+      if (!live) return v;
+      if (v.is_int()) return make_int(-v.as_int());
+      return make_double(-v.as_double());
+    }
+    if (eat("+")) {
+      Value v = unary(live);
+      if (!live) return v;
+      v.as_double();  // must be numeric
+      return v;
+    }
+    return primary(live);
+  }
+
+  Value primary(bool live) {
+    skip_ws();
+    if (i_ >= s_.size()) throw TclError("premature end of expression");
+    char c = s_[i_];
+
+    if (c == '(') {
+      ++i_;
+      Value v = ternary(live);
+      skip_ws();
+      if (i_ >= s_.size() || s_[i_] != ')') throw TclError("missing ) in expression");
+      ++i_;
+      return v;
+    }
+
+    if (c == '$') {
+      ++i_;
+      if (live) return classify(in_.parse_dollar(s_, i_));
+      skip_dollar();
+      return make_int(0);
+    }
+
+    if (c == '[') {
+      if (live) return classify(in_.parse_bracket(s_, i_));
+      skip_bracket();
+      return make_int(0);
+    }
+
+    if (c == '"') {
+      ++i_;
+      std::string out;
+      while (i_ < s_.size() && s_[i_] != '"') {
+        char q = s_[i_];
+        if (q == '\\') {
+          out += backslash_escape(s_, i_);
+        } else if (q == '$') {
+          ++i_;
+          if (live) {
+            out += in_.parse_dollar(s_, i_);
+          } else {
+            skip_dollar();
+          }
+        } else if (q == '[') {
+          if (live) {
+            out += in_.parse_bracket(s_, i_);
+          } else {
+            skip_bracket();
+          }
+        } else {
+          out += q;
+          ++i_;
+        }
+      }
+      if (i_ >= s_.size()) throw TclError("missing \" in expression");
+      ++i_;
+      return make_string(std::move(out));
+    }
+
+    if (c == '{') {
+      int depth = 1;
+      size_t start = ++i_;
+      while (i_ < s_.size() && depth > 0) {
+        if (s_[i_] == '{') ++depth;
+        if (s_[i_] == '}') --depth;
+        ++i_;
+      }
+      if (depth != 0) throw TclError("missing } in expression");
+      return make_string(std::string(s_.substr(start, i_ - start - 1)));
+    }
+
+    // Number?
+    if ((c >= '0' && c <= '9') ||
+        (c == '.' && i_ + 1 < s_.size() && s_[i_ + 1] >= '0' && s_[i_ + 1] <= '9')) {
+      return number();
+    }
+
+    // Identifier: math function or boolean word.
+    if (is_word_char(c)) {
+      size_t start = i_;
+      while (i_ < s_.size() && is_word_char(s_[i_])) ++i_;
+      std::string word(s_.substr(start, i_ - start));
+      skip_ws();
+      if (i_ < s_.size() && s_[i_] == '(') {
+        ++i_;
+        std::vector<Value> fn_args;
+        skip_ws();
+        if (i_ < s_.size() && s_[i_] == ')') {
+          ++i_;
+        } else {
+          while (true) {
+            fn_args.push_back(ternary(live));
+            skip_ws();
+            if (i_ < s_.size() && s_[i_] == ',') {
+              ++i_;
+              continue;
+            }
+            if (i_ < s_.size() && s_[i_] == ')') {
+              ++i_;
+              break;
+            }
+            throw TclError("missing , or ) in call to " + word);
+          }
+        }
+        if (!live) return make_int(0);
+        return call_function(word, fn_args);
+      }
+      auto b = parse_bool(word);
+      if (b) return make_bool(*b);
+      throw TclError("unknown operand \"" + word + "\" in expression");
+    }
+
+    throw TclError("syntax error in expression at \"" + std::string(s_.substr(i_, 10)) + "\"");
+  }
+
+  Value number() {
+    std::string buf(s_.substr(i_));
+    errno = 0;
+    char* int_end = nullptr;
+    long long iv = std::strtoll(buf.c_str(), &int_end, 0);
+    bool int_overflow = errno == ERANGE;
+    char* dbl_end = nullptr;
+    double dv = std::strtod(buf.c_str(), &dbl_end);
+    if (dbl_end > int_end || int_overflow) {
+      i_ += static_cast<size_t>(dbl_end - buf.c_str());
+      return make_double(dv);
+    }
+    i_ += static_cast<size_t>(int_end - buf.c_str());
+    return make_int(static_cast<int64_t>(iv));
+  }
+
+  void skip_dollar() {
+    // i_ just past '$'; consume the variable reference without evaluating.
+    if (i_ < s_.size() && s_[i_] == '{') {
+      size_t end = s_.find('}', i_);
+      i_ = end == std::string_view::npos ? s_.size() : end + 1;
+      return;
+    }
+    while (i_ < s_.size() && (is_word_char(s_[i_]) || s_[i_] == ':')) ++i_;
+    if (i_ < s_.size() && s_[i_] == '(') {
+      while (i_ < s_.size() && s_[i_] != ')') ++i_;
+      if (i_ < s_.size()) ++i_;
+    }
+  }
+
+  void skip_bracket() {
+    // i_ at '['; consume balanced brackets without evaluating.
+    int depth = 0;
+    while (i_ < s_.size()) {
+      char c = s_[i_++];
+      if (c == '\\' && i_ < s_.size()) {
+        ++i_;
+        continue;
+      }
+      if (c == '[') ++depth;
+      if (c == ']') {
+        --depth;
+        if (depth == 0) return;
+      }
+    }
+    throw TclError("missing close-bracket in expression");
+  }
+
+  Value call_function(const std::string& name, std::vector<Value>& fn_args) {
+    auto need = [&](size_t n) {
+      if (fn_args.size() != n) {
+        throw TclError("wrong # args to math function " + name);
+      }
+    };
+    auto f1 = [&](double (*fn)(double)) {
+      need(1);
+      return make_double(fn(fn_args[0].as_double()));
+    };
+    if (name == "abs") {
+      need(1);
+      if (fn_args[0].is_int()) {
+        int64_t v = fn_args[0].as_int();
+        return make_int(v < 0 ? -v : v);
+      }
+      return make_double(std::fabs(fn_args[0].as_double()));
+    }
+    if (name == "int") {
+      need(1);
+      return make_int(static_cast<int64_t>(fn_args[0].as_double()));
+    }
+    if (name == "double") {
+      need(1);
+      return make_double(fn_args[0].as_double());
+    }
+    if (name == "round") {
+      need(1);
+      return make_int(static_cast<int64_t>(std::llround(fn_args[0].as_double())));
+    }
+    if (name == "floor") return f1(std::floor);
+    if (name == "ceil") return f1(std::ceil);
+    if (name == "sqrt") return f1(std::sqrt);
+    if (name == "exp") return f1(std::exp);
+    if (name == "log") return f1(std::log);
+    if (name == "log10") return f1(std::log10);
+    if (name == "sin") return f1(std::sin);
+    if (name == "cos") return f1(std::cos);
+    if (name == "tan") return f1(std::tan);
+    if (name == "asin") return f1(std::asin);
+    if (name == "acos") return f1(std::acos);
+    if (name == "atan") return f1(std::atan);
+    if (name == "pow") {
+      need(2);
+      return make_double(std::pow(fn_args[0].as_double(), fn_args[1].as_double()));
+    }
+    if (name == "atan2") {
+      need(2);
+      return make_double(std::atan2(fn_args[0].as_double(), fn_args[1].as_double()));
+    }
+    if (name == "hypot") {
+      need(2);
+      return make_double(std::hypot(fn_args[0].as_double(), fn_args[1].as_double()));
+    }
+    if (name == "fmod") {
+      need(2);
+      return make_double(std::fmod(fn_args[0].as_double(), fn_args[1].as_double()));
+    }
+    if (name == "min" || name == "max") {
+      if (fn_args.empty()) throw TclError(name + " requires at least one argument");
+      Value best = fn_args[0];
+      for (size_t k = 1; k < fn_args.size(); ++k) {
+        int c = compare(fn_args[k], best);
+        if ((name == "min" && c < 0) || (name == "max" && c > 0)) best = fn_args[k];
+      }
+      return best;
+    }
+    if (name == "rand") {
+      need(0);
+      return make_double(in_.rng().next_double());
+    }
+    if (name == "srand") {
+      need(1);
+      in_.rng() = Rng(static_cast<uint64_t>(fn_args[0].as_int()));
+      return make_double(0.0);
+    }
+    throw TclError("unknown math function \"" + name + "\"");
+  }
+
+  Interp& in_;
+  std::string_view s_;
+  size_t i_ = 0;
+};
+
+std::string Interp::expr(std::string_view expression) {
+  ExprParser parser(*this, expression);
+  Value v = parser.run();
+  return v.as_string();
+}
+
+}  // namespace ilps::tcl

@@ -1,0 +1,642 @@
+#include "tcl/interp.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace ilps::tcl {
+
+namespace {
+constexpr int kMaxDepth = 800;
+
+bool is_word_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+bool is_cmd_end(char c) { return c == '\n' || c == ';'; }
+bool is_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
+}
+}  // namespace
+
+// A variable slot: scalar, array, or a link to a slot in another frame.
+struct Interp::Var {
+  enum class Kind { kScalar, kArray, kLink };
+  Kind kind = Kind::kScalar;
+  std::string scalar;
+  std::map<std::string, std::string> array;
+  size_t link_frame = 0;
+  std::string link_name;
+};
+
+struct Interp::Frame {
+  std::map<std::string, Var> vars;
+  size_t parent = 0;  // call-chain parent (index into frames_)
+  int level = 0;      // logical depth; 0 = global
+};
+
+Interp::Interp() {
+  frames_.push_back(std::make_unique<Frame>());
+  source_resolver_ = [](const std::string& path) -> std::optional<std::string> {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  puts_ = [](std::string_view text, bool newline) {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    if (newline) std::fputc('\n', stdout);
+  };
+  register_core_builtins(*this);
+  register_list_builtins(*this);
+  register_string_builtins(*this);
+  register_misc_builtins(*this);
+}
+
+Interp::~Interp() = default;
+
+// ---- Frames and variables ----
+
+void Interp::push_frame() {
+  auto f = std::make_unique<Frame>();
+  f->parent = active_;
+  f->level = frames_[active_]->level + 1;
+  frames_.push_back(std::move(f));
+  active_ = frames_.size() - 1;
+}
+
+void Interp::pop_frame() {
+  active_ = frames_.back()->parent;
+  frames_.pop_back();
+}
+
+int Interp::frame_level() const { return frames_[active_]->level; }
+
+size_t Interp::frame_up(int levels_up) const {
+  if (levels_up < 0) return 0;  // global
+  size_t f = active_;
+  for (int i = 0; i < levels_up; ++i) {
+    if (f == 0) throw TclError("bad level: no frame " + std::to_string(levels_up) + " up");
+    f = frames_[f]->parent;
+  }
+  return f;
+}
+
+std::pair<std::string, std::optional<std::string>> Interp::split_name(const std::string& name) {
+  if (!name.empty() && name.back() == ')') {
+    size_t open = name.find('(');
+    if (open != std::string::npos && open > 0) {
+      return {name.substr(0, open), name.substr(open + 1, name.size() - open - 2)};
+    }
+  }
+  return {name, std::nullopt};
+}
+
+Interp::Var* Interp::lookup(const std::string& base, bool create) {
+  size_t f = active_;
+  std::string key = base;
+  // Follow link chains across frames.
+  for (int hops = 0; hops < 64; ++hops) {
+    auto& vars = frames_[f]->vars;
+    auto it = vars.find(key);
+    if (it == vars.end()) {
+      if (!create) return nullptr;
+      return &vars[key];
+    }
+    if (it->second.kind != Var::Kind::kLink) return &it->second;
+    f = it->second.link_frame;
+    key = it->second.link_name;
+  }
+  throw TclError("too many upvar links for \"" + base + "\"");
+}
+
+void Interp::set_var(const std::string& name, std::string value) {
+  auto [base, elem] = split_name(name);
+  Var* v = lookup(base, /*create=*/true);
+  if (elem) {
+    if (v->kind == Var::Kind::kScalar && !v->scalar.empty()) {
+      throw TclError("can't set \"" + name + "\": variable isn't array");
+    }
+    v->kind = Var::Kind::kArray;
+    v->array[*elem] = std::move(value);
+  } else {
+    if (v->kind == Var::Kind::kArray) {
+      throw TclError("can't set \"" + name + "\": variable is array");
+    }
+    v->kind = Var::Kind::kScalar;
+    v->scalar = std::move(value);
+  }
+}
+
+std::optional<std::string> Interp::get_var_opt(const std::string& name) {
+  auto [base, elem] = split_name(name);
+  Var* v = lookup(base, /*create=*/false);
+  if (v == nullptr) return std::nullopt;
+  if (elem) {
+    if (v->kind != Var::Kind::kArray) return std::nullopt;
+    auto it = v->array.find(*elem);
+    if (it == v->array.end()) return std::nullopt;
+    return it->second;
+  }
+  if (v->kind == Var::Kind::kArray) {
+    throw TclError("can't read \"" + name + "\": variable is array");
+  }
+  return v->scalar;
+}
+
+std::string Interp::get_var(const std::string& name) {
+  auto v = get_var_opt(name);
+  if (!v) throw TclError("can't read \"" + name + "\": no such variable");
+  return *v;
+}
+
+bool Interp::var_exists(const std::string& name) {
+  auto [base, elem] = split_name(name);
+  Var* v = lookup(base, /*create=*/false);
+  if (v == nullptr) return false;
+  if (elem) return v->kind == Var::Kind::kArray && v->array.count(*elem) > 0;
+  return true;
+}
+
+bool Interp::unset_var(const std::string& name) {
+  auto [base, elem] = split_name(name);
+  // Unset removes the local binding (or the linked target's element).
+  auto& vars = frames_[active_]->vars;
+  auto it = vars.find(base);
+  if (it == vars.end()) return false;
+  if (elem) {
+    Var* v = lookup(base, /*create=*/false);
+    if (v == nullptr || v->kind != Var::Kind::kArray) return false;
+    return v->array.erase(*elem) > 0;
+  }
+  if (it->second.kind == Var::Kind::kLink) {
+    // Unset through the link, then remove the link itself.
+    size_t f = it->second.link_frame;
+    std::string target = it->second.link_name;
+    vars.erase(it);
+    frames_[f]->vars.erase(target);
+    return true;
+  }
+  vars.erase(it);
+  return true;
+}
+
+void Interp::link_var(int levels_up, const std::string& other_name, const std::string& local_name) {
+  size_t target = frame_up(levels_up);
+  if (target == active_) throw TclError("upvar: can't link a frame to itself");
+  Var link;
+  link.kind = Var::Kind::kLink;
+  link.link_frame = target;
+  link.link_name = other_name;
+  frames_[active_]->vars[local_name] = std::move(link);
+}
+
+bool Interp::array_exists(const std::string& name) {
+  Var* v = lookup(name, /*create=*/false);
+  return v != nullptr && v->kind == Var::Kind::kArray;
+}
+
+std::vector<std::pair<std::string, std::string>> Interp::array_entries(const std::string& name) {
+  std::vector<std::pair<std::string, std::string>> out;
+  Var* v = lookup(name, /*create=*/false);
+  if (v == nullptr || v->kind != Var::Kind::kArray) return out;
+  out.assign(v->array.begin(), v->array.end());
+  return out;
+}
+
+void Interp::array_set_entries(const std::string& name,
+                               const std::vector<std::pair<std::string, std::string>>& entries) {
+  Var* v = lookup(name, /*create=*/true);
+  if (v->kind == Var::Kind::kScalar && !v->scalar.empty()) {
+    throw TclError("can't array set \"" + name + "\": variable isn't array");
+  }
+  v->kind = Var::Kind::kArray;
+  for (const auto& [k, val] : entries) v->array[k] = val;
+}
+
+std::vector<std::string> Interp::var_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, var] : frames_[active_]->vars) {
+    (void)var;
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::string Interp::eval_up(int levels_up, std::string_view script) {
+  size_t target = frame_up(levels_up);
+  size_t saved = active_;
+  active_ = target;
+  try {
+    std::string result = eval(script);
+    active_ = saved;
+    return result;
+  } catch (...) {
+    active_ = saved;
+    throw;
+  }
+}
+
+// ---- Commands ----
+
+void Interp::register_command(const std::string& name, CommandFn fn) {
+  commands_[name] = std::move(fn);
+}
+
+bool Interp::has_command(const std::string& name) const {
+  return commands_.count(name) > 0 || procs_.count(name) > 0;
+}
+
+void Interp::remove_command(const std::string& name) {
+  commands_.erase(name);
+  procs_.erase(name);
+}
+
+std::vector<std::string> Interp::command_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, fn] : commands_) {
+    (void)fn;
+    out.push_back(name);
+  }
+  for (const auto& [name, p] : procs_) {
+    (void)p;
+    out.push_back(name);
+  }
+  return out;
+}
+
+void Interp::define_proc(const std::string& name, ProcInfo proc) {
+  procs_[name] = std::move(proc);
+}
+
+const Interp::ProcInfo* Interp::find_proc(const std::string& name) const {
+  auto it = procs_.find(name);
+  return it == procs_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Interp::proc_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, p] : procs_) {
+    (void)p;
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::string Interp::call_proc(const std::string& name, const ProcInfo& proc,
+                              std::vector<std::string>& words) {
+  push_frame();
+  struct FrameGuard {
+    Interp* in;
+    ~FrameGuard() { in->pop_frame(); }
+  } guard{this};
+
+  size_t wi = 1;  // words[0] is the proc name
+  for (size_t p = 0; p < proc.params.size(); ++p) {
+    const auto& [pname, def] = proc.params[p];
+    if (pname == "args" && p + 1 == proc.params.size()) {
+      std::vector<std::string> rest(words.begin() + static_cast<ptrdiff_t>(wi), words.end());
+      set_var("args", list_join(rest));
+      wi = words.size();
+      break;
+    }
+    if (wi < words.size()) {
+      set_var(pname, words[wi++]);
+    } else if (def) {
+      set_var(pname, *def);
+    } else {
+      throw TclError("wrong # args: should be \"" + name + " ...\"");
+    }
+  }
+  if (wi != words.size()) {
+    throw TclError("wrong # args: should be \"" + name + " ...\" (extra arguments)");
+  }
+
+  try {
+    return eval(proc.body);
+  } catch (ReturnSignal& r) {
+    return std::move(r.value);
+  }
+}
+
+std::string Interp::invoke(std::vector<std::string>& words) {
+  if (words.empty()) return "";
+  ++commands_evaluated_;
+  const std::string& name = words[0];
+  if (auto it = commands_.find(name); it != commands_.end()) {
+    return it->second(*this, words);
+  }
+  if (auto it = procs_.find(name); it != procs_.end()) {
+    // Copy the ProcInfo: the body may redefine or remove the proc itself.
+    ProcInfo proc = it->second;
+    return call_proc(name, proc, words);
+  }
+  throw TclError("invalid command name \"" + name + "\"");
+}
+
+// ---- Parser ----
+
+// After '$': ${name}, $name, or $name(index). Returns the variable value.
+std::string Interp::parse_dollar(std::string_view s, size_t& i) {
+  // i is just past the '$'.
+  if (i < s.size() && s[i] == '{') {
+    size_t end = s.find('}', i + 1);
+    if (end == std::string_view::npos) throw TclError("missing close-brace for variable name");
+    std::string name(s.substr(i + 1, end - i - 1));
+    i = end + 1;
+    return get_var(name);
+  }
+  size_t start = i;
+  while (i < s.size() && (is_name_char(s[i]) || s[i] == ':')) ++i;
+  if (i == start) return "$";  // lone dollar is literal
+  std::string name(s.substr(start, i - start));
+  if (i < s.size() && s[i] == '(') {
+    // Array element: the index undergoes substitution.
+    ++i;
+    std::string index;
+    while (i < s.size() && s[i] != ')') {
+      char c = s[i];
+      if (c == '$') {
+        ++i;
+        index += parse_dollar(s, i);
+      } else if (c == '[') {
+        index += parse_bracket(s, i);
+      } else if (c == '\\') {
+        index += backslash_escape(s, i);
+      } else {
+        index += c;
+        ++i;
+      }
+    }
+    if (i >= s.size()) throw TclError("missing ) for array index");
+    ++i;  // consume ')'
+    return get_var(name + "(" + index + ")");
+  }
+  return get_var(name);
+}
+
+// i at '['. Evaluates the embedded script up to the matching ']'.
+std::string Interp::parse_bracket(std::string_view s, size_t& i) {
+  ++i;  // past '['
+  return eval_until(s, i, ']');
+}
+
+std::string Interp::subst(std::string_view text) {
+  std::string out;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '$') {
+      ++i;
+      out += parse_dollar(text, i);
+    } else if (c == '[') {
+      out += parse_bracket(text, i);
+    } else if (c == '\\') {
+      out += backslash_escape(text, i);
+    } else {
+      out += c;
+      ++i;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Scans a braced word starting at s[i]=='{'; returns the literal content.
+std::string scan_braced(std::string_view s, size_t& i) {
+  int depth = 1;
+  size_t start = ++i;
+  std::string out;
+  while (i < s.size()) {
+    char c = s[i];
+    if (c == '\\' && i + 1 < s.size()) {
+      if (s[i + 1] == '\n') {
+        // Backslash-newline is substituted even inside braces.
+        out += s.substr(start, i - start);
+        size_t j = i;
+        out += backslash_escape(s, j);
+        i = j;
+        start = i;
+        continue;
+      }
+      i += 2;
+      continue;
+    }
+    if (c == '{') ++depth;
+    if (c == '}') {
+      --depth;
+      if (depth == 0) {
+        out += s.substr(start, i - start);
+        ++i;
+        return out;
+      }
+    }
+    ++i;
+  }
+  throw TclError("missing close-brace");
+}
+
+}  // namespace
+
+std::string Interp::eval_until(std::string_view s, size_t& i, char terminator) {
+  if (++depth_ > kMaxDepth) {
+    --depth_;
+    throw TclError("too many nested evaluations (infinite recursion?)");
+  }
+  struct DepthGuard {
+    int* d;
+    ~DepthGuard() { --*d; }
+  } dguard{&depth_};
+
+  std::string result;
+  const size_t n = s.size();
+  while (i <= n) {
+    // Skip blanks and command separators before a command.
+    while (i < n && (is_word_space(s[i]) || is_cmd_end(s[i]))) ++i;
+    if (i < n && s[i] == '#') {
+      // Comment to end of line; backslash-newline continues it.
+      while (i < n && s[i] != '\n') {
+        if (s[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      continue;
+    }
+    if (i >= n) {
+      if (terminator != '\0') throw TclError("missing close-bracket");
+      break;
+    }
+    if (terminator != '\0' && s[i] == terminator) {
+      ++i;
+      return result;
+    }
+
+    // Parse the words of one command.
+    std::vector<std::string> words;
+    while (true) {
+      while (i < n && is_word_space(s[i])) {
+        ++i;
+      }
+      if (i >= n || is_cmd_end(s[i]) || (terminator != '\0' && s[i] == terminator)) break;
+
+      bool expand = false;
+      if (s.substr(i).starts_with("{*}") && i + 3 < n && !is_word_space(s[i + 3]) &&
+          !is_cmd_end(s[i + 3])) {
+        expand = true;
+        i += 3;
+      }
+
+      std::string word;
+      char c = s[i];
+      if (c == '{') {
+        word = scan_braced(s, i);
+        if (i < n && !is_word_space(s[i]) && !is_cmd_end(s[i]) &&
+            !(terminator != '\0' && s[i] == terminator)) {
+          throw TclError("extra characters after close-brace");
+        }
+      } else if (c == '"') {
+        ++i;
+        while (i < n && s[i] != '"') {
+          char q = s[i];
+          if (q == '$') {
+            ++i;
+            word += parse_dollar(s, i);
+          } else if (q == '[') {
+            word += parse_bracket(s, i);
+          } else if (q == '\\') {
+            word += backslash_escape(s, i);
+          } else {
+            word += q;
+            ++i;
+          }
+        }
+        if (i >= n) throw TclError("missing \"");
+        ++i;  // closing quote
+        if (i < n && !is_word_space(s[i]) && !is_cmd_end(s[i]) &&
+            !(terminator != '\0' && s[i] == terminator)) {
+          throw TclError("extra characters after close-quote");
+        }
+      } else {
+        // Bare word with substitutions.
+        while (i < n && !is_word_space(s[i]) && !is_cmd_end(s[i]) &&
+               !(terminator != '\0' && s[i] == terminator)) {
+          char q = s[i];
+          if (q == '$') {
+            ++i;
+            word += parse_dollar(s, i);
+          } else if (q == '[') {
+            word += parse_bracket(s, i);
+          } else if (q == '\\') {
+            if (i + 1 < n && s[i + 1] == '\n') break;  // line continuation ends word
+            word += backslash_escape(s, i);
+          } else {
+            word += q;
+            ++i;
+          }
+        }
+        // Swallow a line continuation between words.
+        if (i + 1 < n && s[i] == '\\' && s[i + 1] == '\n') {
+          size_t j = i;
+          backslash_escape(s, j);
+          i = j;
+        }
+      }
+
+      if (expand) {
+        for (auto& e : list_split(word)) words.push_back(std::move(e));
+      } else {
+        words.push_back(std::move(word));
+      }
+    }
+
+    if (!words.empty()) result = invoke(words);
+
+    if (i < n && is_cmd_end(s[i])) {
+      ++i;
+      continue;
+    }
+    if (i < n && terminator != '\0' && s[i] == terminator) {
+      ++i;
+      return result;
+    }
+    if (i >= n) {
+      if (terminator != '\0') throw TclError("missing close-bracket");
+      break;
+    }
+  }
+  return result;
+}
+
+std::string Interp::eval(std::string_view script) {
+  size_t i = 0;
+  return eval_until(script, i, '\0');
+}
+
+bool Interp::expr_bool(std::string_view expression) {
+  std::string v = expr(expression);
+  auto b = parse_bool(v);
+  if (!b) throw TclError("expected boolean value but got \"" + v + "\"");
+  return *b;
+}
+
+// ---- Packages ----
+
+void Interp::package_provide(const std::string& name, const std::string& version) {
+  provided_[name] = version;
+}
+
+void Interp::package_ifneeded(const std::string& name, const std::string& version,
+                              const std::string& script) {
+  ifneeded_[name] = {version, script};
+}
+
+std::optional<std::string> Interp::package_provided(const std::string& name) const {
+  auto it = provided_.find(name);
+  if (it == provided_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Interp::package_require(const std::string& name) {
+  if (auto v = package_provided(name)) return *v;
+  if (auto it = ifneeded_.find(name); it != ifneeded_.end()) {
+    eval(it->second.second);
+    if (auto v = package_provided(name)) return *v;
+    throw TclError("package \"" + name + "\" ifneeded script did not provide it");
+  }
+  if (package_unknown_ && package_unknown_(*this, name)) {
+    // The handler may have installed an ifneeded script or provided the
+    // package directly; retry once.
+    if (auto v = package_provided(name)) return *v;
+    if (auto it = ifneeded_.find(name); it != ifneeded_.end()) {
+      eval(it->second.second);
+      if (auto v = package_provided(name)) return *v;
+    }
+  }
+  throw TclError("can't find package " + name);
+}
+
+std::vector<std::string> Interp::package_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, v] : provided_) {
+    (void)v;
+    out.push_back(name);
+  }
+  return out;
+}
+
+void Interp::set_package_unknown(PackageUnknownFn fn) { package_unknown_ = std::move(fn); }
+
+void Interp::set_source_resolver(SourceResolver fn) { source_resolver_ = std::move(fn); }
+
+void Interp::set_puts_handler(PutsFn fn) { puts_ = std::move(fn); }
+
+void Interp::do_puts(std::string_view text, bool newline) { puts_(text, newline); }
+
+void check_arity(const std::vector<std::string>& args, int min, int max, const char* usage) {
+  int argc = static_cast<int>(args.size()) - 1;
+  if (argc < min || (max >= 0 && argc > max)) {
+    throw TclError("wrong # args: should be \"" + args[0] + " " + usage + "\"");
+  }
+}
+
+}  // namespace ilps::tcl

@@ -1,0 +1,208 @@
+// MiniTcl — an embeddable Tcl-subset interpreter.
+//
+// MiniTcl plays the role CPython's Tcl plays in Swift/T: it is the target
+// representation of the Swift compiler (STC emits MiniTcl "Turbine code"),
+// the glue through which native code is reached (BindGen registers C++
+// commands), and a leaf-task language in its own right. The properties the
+// paper needs from Tcl hold here too: programs are plain text that can be
+// shipped through ADLB and evaluated on any rank, and C/C++ functions are
+// registered as commands with a small API (mirroring Tcl_CreateObjCommand).
+//
+// Supported language: command/word parsing with {braces}, "quotes",
+// [command substitution], $var and ${var} and $arr(elem) substitution,
+// backslash escapes, {*} expansion, comments; procs with defaults and
+// `args`; upvar/uplevel/global; arrays; dicts (list representation); the
+// expr sublanguage; ~70 built-in commands (see builtins_*.cc).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "tcl/value.h"
+
+namespace ilps::tcl {
+
+class Interp;
+
+// A command implementation. args[0] is the command name, as in Tcl.
+using CommandFn = std::function<std::string(Interp&, std::vector<std::string>&)>;
+
+// Raised for Tcl-level errors (`error`, bad usage, unknown command).
+class TclError : public ScriptError {
+ public:
+  explicit TclError(const std::string& what) : ScriptError(what) {}
+};
+
+// Non-error control flow, caught by loops / proc calls / catch.
+struct BreakSignal {};
+struct ContinueSignal {};
+struct ReturnSignal {
+  std::string value;
+};
+
+// Result codes reported by `catch`, matching Tcl's numbering.
+enum : int { kTclOk = 0, kTclErrorCode = 1, kTclReturn = 2, kTclBreak = 3, kTclContinue = 4 };
+
+class Interp {
+ public:
+  Interp();
+  ~Interp();
+
+  Interp(const Interp&) = delete;
+  Interp& operator=(const Interp&) = delete;
+
+  // Evaluates a script in the current frame and returns the result of the
+  // last command. Throws TclError (and lets Break/Continue/Return signals
+  // escape, as Tcl does for a top-level break).
+  std::string eval(std::string_view script);
+
+  // Performs $-, bracket- and backslash-substitution on `text` without
+  // treating it as a command (Tcl's `subst`).
+  std::string subst(std::string_view text);
+
+  // Evaluates the expr sublanguage.
+  std::string expr(std::string_view expression);
+  bool expr_bool(std::string_view expression);
+
+  // ---- Commands ----
+  void register_command(const std::string& name, CommandFn fn);
+  bool has_command(const std::string& name) const;
+  void remove_command(const std::string& name);
+  std::vector<std::string> command_names() const;
+  // Invokes a command with already-substituted words.
+  std::string invoke(std::vector<std::string>& words);
+
+  // ---- Variables ----
+  // Names may be plain ("x"), or array references ("a(elem)").
+  void set_var(const std::string& name, std::string value);
+  std::string get_var(const std::string& name);  // throws TclError if unset
+  std::optional<std::string> get_var_opt(const std::string& name);
+  bool var_exists(const std::string& name);
+  bool unset_var(const std::string& name);  // true if it existed
+  // Links `local_name` in the current frame to `other_name` in the frame
+  // `levels_up` frames up the call chain (upvar). levels_up == -1 means the
+  // global frame.
+  void link_var(int levels_up, const std::string& other_name, const std::string& local_name);
+
+  // ---- Arrays (for the `array` command) ----
+  bool array_exists(const std::string& name);
+  std::vector<std::pair<std::string, std::string>> array_entries(const std::string& name);
+  void array_set_entries(const std::string& name,
+                         const std::vector<std::pair<std::string, std::string>>& entries);
+
+  // ---- Frames ----
+  // Current logical call depth (0 at global scope).
+  int frame_level() const;
+  // Names of scalar/array variables visible in the current frame.
+  std::vector<std::string> var_names() const;
+  // Evaluates `script` with the frame `levels_up` up the chain active
+  // (uplevel). levels_up == -1 means global.
+  std::string eval_up(int levels_up, std::string_view script);
+
+  // ---- Procs ----
+  struct ProcInfo {
+    std::vector<std::pair<std::string, std::optional<std::string>>> params;
+    std::string body;
+  };
+  void define_proc(const std::string& name, ProcInfo proc);
+  const ProcInfo* find_proc(const std::string& name) const;
+  std::vector<std::string> proc_names() const;
+
+  // ---- Packages ----
+  // `package provide` / `package ifneeded` registry.
+  void package_provide(const std::string& name, const std::string& version);
+  void package_ifneeded(const std::string& name, const std::string& version,
+                        const std::string& script);
+  // Returns the provided version, running the ifneeded script or the
+  // package-unknown handler if necessary. Throws TclError if unavailable.
+  std::string package_require(const std::string& name);
+  std::optional<std::string> package_provided(const std::string& name) const;
+  std::vector<std::string> package_names() const;
+  // Called when a required package has no ifneeded script. The handler
+  // should locate and evaluate the package's index/load scripts (the pkg
+  // module installs one that searches an ILPS_TCLLIBPATH-style path).
+  using PackageUnknownFn = std::function<bool(Interp&, const std::string& name)>;
+  void set_package_unknown(PackageUnknownFn fn);
+
+  // ---- source ----
+  // Resolver mapping a path to script text. The default reads the real
+  // filesystem; the pkg module installs resolvers backed by the PFS model
+  // or a static package image.
+  using SourceResolver = std::function<std::optional<std::string>(const std::string& path)>;
+  void set_source_resolver(SourceResolver fn);
+  const SourceResolver& source_resolver() const { return source_resolver_; }
+
+  // ---- Output ----
+  // `puts` sink; defaults to stdout. Tests capture output here.
+  using PutsFn = std::function<void(std::string_view text, bool newline)>;
+  void set_puts_handler(PutsFn fn);
+  void do_puts(std::string_view text, bool newline);
+
+  // ---- Introspection / instrumentation ----
+  uint64_t commands_evaluated() const { return commands_evaluated_; }
+  Rng& rng() { return rng_; }
+
+  // Host hook: arbitrary context a host embeds for its commands (the
+  // Turbine worker stores its task context here).
+  void set_host_data(void* p) { host_data_ = p; }
+  void* host_data() const { return host_data_; }
+
+ private:
+  friend class ExprParser;
+  struct Frame;
+  struct Var;
+
+  // Core script evaluator: parses and runs commands in s starting at i;
+  // stops at end of input or at an unescaped `terminator` (']' for command
+  // substitution), consuming it.
+  std::string eval_until(std::string_view s, size_t& i, char terminator);
+
+  // Word parsing helpers (see interp.cc).
+  std::string parse_dollar(std::string_view s, size_t& i);
+  std::string parse_bracket(std::string_view s, size_t& i);
+
+  // Variable plumbing.
+  Var* lookup(const std::string& base, bool create);
+  static std::pair<std::string, std::optional<std::string>> split_name(const std::string& name);
+  size_t frame_up(int levels_up) const;
+
+  void push_frame();
+  void pop_frame();
+  std::string call_proc(const std::string& name, const ProcInfo& proc,
+                        std::vector<std::string>& words);
+
+  std::vector<std::unique_ptr<Frame>> frames_;
+  size_t active_ = 0;
+  std::map<std::string, CommandFn> commands_;
+  std::map<std::string, ProcInfo> procs_;
+  std::map<std::string, std::string> provided_;
+  std::map<std::string, std::pair<std::string, std::string>> ifneeded_;  // name -> (version, script)
+  PackageUnknownFn package_unknown_;
+  SourceResolver source_resolver_;
+  PutsFn puts_;
+  uint64_t commands_evaluated_ = 0;
+  int depth_ = 0;
+  Rng rng_{0x1234567};
+  void* host_data_ = nullptr;
+};
+
+// Registers the built-in command set into an interp; called by the
+// constructor. Split across builtins_*.cc by topic.
+void register_core_builtins(Interp& interp);
+void register_list_builtins(Interp& interp);
+void register_string_builtins(Interp& interp);
+void register_misc_builtins(Interp& interp);
+
+// Argument-count helper for command implementations: throws the standard
+// Tcl usage error unless min <= args.size()-1 <= max (max < 0 = unbounded).
+void check_arity(const std::vector<std::string>& args, int min, int max, const char* usage);
+
+}  // namespace ilps::tcl

@@ -1,0 +1,234 @@
+#include "tcl/value.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace ilps::tcl {
+
+namespace {
+
+bool is_list_space(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f';
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string backslash_escape(std::string_view s, size_t& i) {
+  // i is at the backslash.
+  ++i;
+  if (i >= s.size()) return "\\";
+  char c = s[i++];
+  switch (c) {
+    case 'n': return "\n";
+    case 't': return "\t";
+    case 'r': return "\r";
+    case 'a': return "\a";
+    case 'b': return "\b";
+    case 'f': return "\f";
+    case 'v': return "\v";
+    case 'x': {
+      int value = 0;
+      int digits = 0;
+      while (i < s.size() && digits < 2) {
+        int d = hex_digit(s[i]);
+        if (d < 0) break;
+        value = value * 16 + d;
+        ++i;
+        ++digits;
+      }
+      if (digits == 0) return "x";
+      return std::string(1, static_cast<char>(value));
+    }
+    case 'u': {
+      int value = 0;
+      int digits = 0;
+      while (i < s.size() && digits < 4) {
+        int d = hex_digit(s[i]);
+        if (d < 0) break;
+        value = value * 16 + d;
+        ++i;
+        ++digits;
+      }
+      if (digits == 0) return "u";
+      // Encode as UTF-8.
+      std::string out;
+      if (value < 0x80) {
+        out += static_cast<char>(value);
+      } else if (value < 0x800) {
+        out += static_cast<char>(0xC0 | (value >> 6));
+        out += static_cast<char>(0x80 | (value & 0x3F));
+      } else {
+        out += static_cast<char>(0xE0 | (value >> 12));
+        out += static_cast<char>(0x80 | ((value >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (value & 0x3F));
+      }
+      return out;
+    }
+    case '\n': {
+      // Backslash-newline plus following whitespace collapses to a space.
+      while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+      return " ";
+    }
+    default:
+      return std::string(1, c);
+  }
+}
+
+std::vector<std::string> list_split(std::string_view list) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  const size_t n = list.size();
+  while (true) {
+    while (i < n && is_list_space(list[i])) ++i;
+    if (i >= n) break;
+    std::string elem;
+    if (list[i] == '{') {
+      // Braced element: literal content, balanced braces, backslash guards.
+      int depth = 1;
+      size_t start = ++i;
+      while (i < n && depth > 0) {
+        char c = list[i];
+        if (c == '\\' && i + 1 < n) {
+          i += 2;
+          continue;
+        }
+        if (c == '{') ++depth;
+        if (c == '}') --depth;
+        ++i;
+      }
+      if (depth != 0) throw ScriptError("unmatched open brace in list");
+      elem = std::string(list.substr(start, i - start - 1));
+      if (i < n && !is_list_space(list[i])) {
+        throw ScriptError("list element in braces followed by \"" +
+                          std::string(list.substr(i, 8)) + "\" instead of space");
+      }
+    } else if (list[i] == '"') {
+      size_t j = ++i;
+      while (j < n && list[j] != '"') {
+        if (list[j] == '\\') {
+          size_t k = j;
+          elem += list.substr(i, j - i);
+          elem += backslash_escape(list, k);
+          j = k;
+          i = j;
+          continue;
+        }
+        ++j;
+      }
+      if (j >= n) throw ScriptError("unmatched quote in list");
+      elem += list.substr(i, j - i);
+      i = j + 1;
+      if (i < n && !is_list_space(list[i])) {
+        throw ScriptError("list element in quotes followed by non-space");
+      }
+    } else {
+      while (i < n && !is_list_space(list[i])) {
+        if (list[i] == '\\') {
+          elem += backslash_escape(list, i);
+        } else {
+          elem += list[i++];
+        }
+      }
+    }
+    out.push_back(std::move(elem));
+  }
+  return out;
+}
+
+namespace {
+
+// True if `s` can appear in a list without any quoting.
+bool needs_no_quoting(std::string_view s) {
+  if (s.empty()) return false;
+  if (s[0] == '"' || s[0] == '{' || s[0] == '#') return false;
+  for (char c : s) {
+    if (is_list_space(c)) return false;
+    switch (c) {
+      case '\\': case '"': case '{': case '}':
+      case '[': case ']': case '$': case ';':
+        return false;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+// True if `s` may be brace-quoted: braces balanced, no trailing lone
+// backslash, no backslash-newline.
+bool can_brace(std::string_view s) {
+  int depth = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '\\') {
+      if (i + 1 >= s.size()) return false;  // trailing backslash
+      if (s[i + 1] == '\n') return false;
+      ++i;
+      continue;
+    }
+    if (c == '{') ++depth;
+    if (c == '}') {
+      --depth;
+      if (depth < 0) return false;
+    }
+  }
+  return depth == 0;
+}
+
+}  // namespace
+
+std::string list_quote(std::string_view element) {
+  if (element.empty()) return "{}";
+  if (needs_no_quoting(element)) return std::string(element);
+  if (can_brace(element)) return "{" + std::string(element) + "}";
+  // Backslash-quote every special character.
+  std::string out;
+  for (char c : element) {
+    switch (c) {
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\v': out += "\\v"; break;
+      case '\f': out += "\\f"; break;
+      case ' ': case '\\': case '"':
+      case '{': case '}': case '[': case ']':
+      case '$': case ';':
+        out += '\\';
+        out += c;
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string list_join(const std::vector<std::string>& elements) {
+  std::string out;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += list_quote(elements[i]);
+  }
+  return out;
+}
+
+std::optional<bool> parse_bool(std::string_view s) {
+  std::string lower = str::to_lower(str::trim(s));
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on") return true;
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off") return false;
+  if (auto i = str::parse_int(lower)) return *i != 0;
+  if (auto d = str::parse_double(lower)) return *d != 0.0;
+  return std::nullopt;
+}
+
+}  // namespace ilps::tcl

@@ -1,0 +1,35 @@
+// MiniTcl value helpers. MiniTcl follows Tcl's "everything is a string"
+// model: a value is a std::string, and a list is a string in Tcl list
+// syntax. These functions implement the list reader/writer and the boolean
+// reader used throughout the interpreter and by Swift/T type conversion.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ilps::tcl {
+
+// Parses a Tcl list into its elements. Handles {braced}, "quoted" and bare
+// elements with backslash escapes. Throws ilps::ScriptError on unbalanced
+// braces or quotes.
+std::vector<std::string> list_split(std::string_view list);
+
+// Quotes one element so list_split will recover it exactly.
+std::string list_quote(std::string_view element);
+
+// Joins elements into a Tcl list string.
+std::string list_join(const std::vector<std::string>& elements);
+
+// Tcl boolean reader: accepts 1/0, true/false, yes/no, on/off in any case,
+// and any numeric value (nonzero is true). Returns nullopt otherwise.
+std::optional<bool> parse_bool(std::string_view s);
+
+// Processes backslash escapes the way the Tcl word parser does:
+// \n \t \r \a \b \f \v \\ \xHH \uHHHH \<newline><ws> and \C for any other C.
+// `i` is at the backslash; it is advanced past the escape. Returns the
+// replacement text.
+std::string backslash_escape(std::string_view s, size_t& i);
+
+}  // namespace ilps::tcl

@@ -1,0 +1,57 @@
+#include "turbine/app.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ilps::turbine {
+
+AppResult run_app(const std::vector<std::string>& argv, bool restricted_os) {
+  if (restricted_os) {
+    throw OsError("app execution unavailable: this system does not support "
+                  "launching external programs (restricted OS mode)");
+  }
+  if (argv.empty()) throw OsError("app: empty command line");
+
+  int fds[2];
+  if (pipe(fds) != 0) throw OsError(std::string("app: pipe failed: ") + std::strerror(errno));
+
+  pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    throw OsError(std::string("app: fork failed: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: stdout -> pipe.
+    dup2(fds[1], STDOUT_FILENO);
+    close(fds[0]);
+    close(fds[1]);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    execvp(cargv[0], cargv.data());
+    _exit(127);
+  }
+  close(fds[1]);
+  AppResult result;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fds[0], buf, sizeof buf)) > 0) {
+    result.output.append(buf, static_cast<size_t>(n));
+  }
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  } else {
+    result.exit_code = -1;
+  }
+  return result;
+}
+
+}  // namespace ilps::turbine

@@ -1,0 +1,25 @@
+// External-program ("app") leaf tasks: the shell interface retained from
+// Swift/K. Runs a command via fork/exec and captures stdout. The
+// restricted-OS mode models machines like the Blue Gene/Q where compute
+// nodes cannot fork — the situation that motivates embedded interpreters
+// in the first place (§III.C).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ilps::turbine {
+
+struct AppResult {
+  int exit_code = 0;
+  std::string output;  // captured stdout
+};
+
+// Executes argv[0] with the given arguments. Throws OsError if
+// `restricted_os` is set (fork unavailable) or if the process cannot be
+// spawned; a nonzero exit code is reported in the result, not thrown.
+AppResult run_app(const std::vector<std::string>& argv, bool restricted_os);
+
+}  // namespace ilps::turbine

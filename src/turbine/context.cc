@@ -1,0 +1,375 @@
+#include "turbine/context.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "turbine/app.h"
+
+namespace ilps::turbine {
+
+namespace {
+
+int64_t want_id(const std::string& s) {
+  auto id = str::parse_int(s);
+  if (!id) throw tcl::TclError("turbine: expected a datum id, got \"" + s + "\"");
+  return *id;
+}
+
+adlb::DataType want_type(const std::string& s) {
+  auto t = adlb::data_type_from_name(s);
+  if (!t) throw tcl::TclError("turbine: unknown data type \"" + s + "\"");
+  return *t;
+}
+
+}  // namespace
+
+Context::Context(adlb::Client& client, Engine* engine, const ContextConfig& cfg)
+    : client_(client), engine_(engine), cfg_(cfg) {
+  interp_.set_puts_handler([this](std::string_view text, bool newline) {
+    std::string line(text);
+    if (newline) line += '\n';
+    emit(line);
+  });
+  register_commands();
+  blob::register_blobutils(interp_, blobs_);
+  if (cfg_.setup_interp) cfg_.setup_interp(interp_);
+  if (cfg_.setup_bindings) cfg_.setup_bindings(interp_, blobs_);
+}
+
+void Context::emit(const std::string& line) {
+  if (cfg_.output) {
+    cfg_.output(client_.rank(), line);
+  } else {
+    std::fwrite(line.data(), 1, line.size(), stdout);
+  }
+}
+
+py::Interpreter& Context::python() {
+  if (!python_) {
+    python_ = std::make_unique<py::Interpreter>();
+    python_->set_print_handler([this](const std::string& s) { emit(s + "\n"); });
+  }
+  return *python_;
+}
+
+r::Interpreter& Context::rlang() {
+  if (!rlang_) {
+    rlang_ = std::make_unique<r::Interpreter>();
+    rlang_->set_output_handler([this](const std::string& s) { emit(s); });
+  }
+  return *rlang_;
+}
+
+void Context::end_task() {
+  if (cfg_.policy == InterpPolicy::kReinitialize) {
+    if (python_) {
+      python_->reset();
+      ++stats_.interpreter_resets;
+    }
+    if (rlang_) {
+      rlang_->reset();
+      ++stats_.interpreter_resets;
+    }
+  }
+}
+
+// ---- the turbine::* Tcl library ----
+
+void Context::register_commands() {
+  using Args = std::vector<std::string>;
+  auto& in = interp_;
+  Context* ctx = this;
+
+  // -- identity --
+  in.register_command("turbine::rank", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 0, 0, "");
+    return std::to_string(ctx->client_.rank());
+  });
+  in.register_command("turbine::is_engine", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 0, 0, "");
+    return std::string(ctx->engine_ != nullptr ? "1" : "0");
+  });
+
+  // -- data allocation --
+  in.register_command("turbine::unique", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 0, 0, "");
+    return std::to_string(ctx->client_.unique());
+  });
+  in.register_command("turbine::create", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 2, 2, "id type");
+    ctx->client_.create(want_id(a[1]), want_type(a[2]));
+    return std::string();
+  });
+  // Convenience per-type creators; `turbine::allocate type` also returns
+  // a fresh id.
+  for (const char* type_name :
+       {"integer", "float", "string", "blob", "void", "container", "file"}) {
+    std::string cmd = std::string("turbine::create_") + type_name;
+    adlb::DataType type = *adlb::data_type_from_name(type_name);
+    in.register_command(cmd, [ctx, type](tcl::Interp&, Args& a) {
+      tcl::check_arity(a, 1, 1, "id");
+      ctx->client_.create(want_id(a[1]), type);
+      return std::string();
+    });
+  }
+  in.register_command("turbine::allocate", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "type");
+    int64_t id = ctx->client_.unique();
+    ctx->client_.create(id, want_type(a[1]));
+    return std::to_string(id);
+  });
+
+  // -- store --
+  in.register_command("turbine::store_integer", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 2, 2, "id value");
+    auto v = str::parse_int(a[2]);
+    if (!v) throw tcl::TclError("store_integer: \"" + a[2] + "\" is not an integer");
+    ctx->client_.store(want_id(a[1]), std::to_string(*v));
+    return std::string();
+  });
+  in.register_command("turbine::store_float", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 2, 2, "id value");
+    auto v = str::parse_double(a[2]);
+    if (!v) throw tcl::TclError("store_float: \"" + a[2] + "\" is not a number");
+    ctx->client_.store(want_id(a[1]), str::format_double(*v));
+    return std::string();
+  });
+  in.register_command("turbine::store_string", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 2, 2, "id value");
+    ctx->client_.store(want_id(a[1]), a[2]);
+    return std::string();
+  });
+  in.register_command("turbine::store_blob", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 2, 2, "id blobHandle");
+    ctx->client_.store(want_id(a[1]), ctx->blobs_.get(a[2]).to_string());
+    return std::string();
+  });
+  in.register_command("turbine::store_void", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "id");
+    ctx->client_.close(want_id(a[1]));
+    return std::string();
+  });
+
+  // -- retrieve --
+  auto retrieve = [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "id");
+    return ctx->client_.retrieve(want_id(a[1]));
+  };
+  in.register_command("turbine::retrieve", retrieve);
+  in.register_command("turbine::retrieve_integer", retrieve);
+  in.register_command("turbine::retrieve_float", retrieve);
+  in.register_command("turbine::retrieve_string", retrieve);
+  in.register_command("turbine::retrieve_blob", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "id");
+    std::string bytes = ctx->client_.retrieve(want_id(a[1]));
+    return ctx->blobs_.insert(blob::Blob::from_string(bytes));
+  });
+  in.register_command("turbine::exists", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "id");
+    return std::string(ctx->client_.exists(want_id(a[1])) ? "1" : "0");
+  });
+  in.register_command("turbine::typeof", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "id");
+    return std::string(adlb::data_type_name(ctx->client_.type_of(want_id(a[1]))));
+  });
+  in.register_command("turbine::close", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "id");
+    ctx->client_.close(want_id(a[1]));
+    return std::string();
+  });
+
+  // -- refcounts --
+  in.register_command("turbine::read_incr", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 2, 2, "id delta");
+    ctx->client_.ref_incr(want_id(a[1]), static_cast<int>(want_id(a[2])));
+    return std::string();
+  });
+  in.register_command("turbine::write_incr", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 2, 2, "id delta");
+    ctx->client_.write_incr(want_id(a[1]), static_cast<int>(want_id(a[2])));
+    return std::string();
+  });
+
+  // -- containers --
+  in.register_command("turbine::container_insert", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 3, 3, "id key value");
+    ctx->client_.insert(want_id(a[1]), a[2], a[3]);
+    return std::string();
+  });
+  in.register_command("turbine::container_lookup", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 2, 2, "id key");
+    auto v = ctx->client_.lookup(want_id(a[1]), a[2]);
+    if (!v) throw tcl::TclError("container <" + a[1] + "> has no key \"" + a[2] + "\"");
+    return *v;
+  });
+  in.register_command("turbine::container_size", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "id");
+    return std::to_string(ctx->client_.enumerate(want_id(a[1])).size());
+  });
+  in.register_command("turbine::enumerate", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "id");
+    std::vector<std::string> flat;
+    for (const auto& [k, v] : ctx->client_.enumerate(want_id(a[1]))) {
+      flat.push_back(k);
+      flat.push_back(v);
+    }
+    return tcl::list_join(flat);
+  });
+
+  // -- rules and tasks --
+  in.register_command("turbine::rule", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 2, -1, "inputs action ?type TYPE? ?target RANK? ?priority P?");
+    if (ctx->engine_ == nullptr) {
+      throw tcl::TclError("turbine::rule: rules may only be created on engine ranks");
+    }
+    std::vector<int64_t> inputs;
+    for (const auto& tok : tcl::list_split(a[1])) inputs.push_back(want_id(tok));
+    TaskType type = TaskType::kWork;
+    int target = adlb::kAnyRank;
+    int priority = 0;
+    for (size_t i = 3; i < a.size(); i += 2) {
+      if (i + 1 >= a.size()) throw tcl::TclError("turbine::rule: option needs a value");
+      const std::string& opt = a[i];
+      const std::string& val = a[i + 1];
+      if (opt == "type") {
+        std::string upper = str::to_upper(val);
+        if (upper == "WORK") {
+          type = TaskType::kWork;
+        } else if (upper == "CONTROL") {
+          type = TaskType::kControl;
+        } else if (upper == "LOCAL") {
+          type = TaskType::kLocal;
+        } else {
+          throw tcl::TclError("turbine::rule: unknown type \"" + val + "\"");
+        }
+      } else if (opt == "target") {
+        target = static_cast<int>(want_id(val));
+      } else if (opt == "priority") {
+        priority = static_cast<int>(want_id(val));
+      } else {
+        throw tcl::TclError("turbine::rule: unknown option \"" + opt + "\"");
+      }
+    }
+    ctx->engine_->add_rule(inputs, a[2], type, target, priority);
+    return std::string();
+  });
+  in.register_command("turbine::put_control", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 2, "action ?priority?");
+    adlb::WorkUnit unit;
+    unit.type = adlb::kTypeControl;
+    unit.payload = a[1];
+    if (a.size() > 2) unit.priority = static_cast<int>(want_id(a[2]));
+    ctx->client_.put(unit);
+    return std::string();
+  });
+  in.register_command("turbine::put_work", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 2, "action ?priority?");
+    adlb::WorkUnit unit;
+    unit.type = adlb::kTypeWork;
+    unit.payload = a[1];
+    if (a.size() > 2) unit.priority = static_cast<int>(want_id(a[2]));
+    ctx->client_.put(unit);
+    return std::string();
+  });
+  in.register_command("turbine::put_work_to", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 2, 2, "targetRank action");
+    adlb::WorkUnit unit;
+    unit.type = adlb::kTypeWork;
+    unit.target = static_cast<int>(want_id(a[1]));
+    unit.payload = a[2];
+    ctx->client_.put(unit);
+    return std::string();
+  });
+
+  // -- interlanguage leaf functions (§III of the paper) --
+  in.register_command("python", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 2, "code ?expr?");
+    ++ctx->stats_.python_evals;
+    try {
+      return ctx->python().eval(a[1], a.size() > 2 ? a[2] : "");
+    } catch (const py::PyError& e) {
+      throw tcl::TclError(std::string("python: ") + e.what());
+    }
+  });
+  in.register_command("R", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 2, "code ?expr?");
+    ++ctx->stats_.r_evals;
+    try {
+      if (a.size() > 2) return ctx->rlang().eval(a[1], a[2]);
+      return ctx->rlang().eval(a[1]);
+    } catch (const r::RError& e) {
+      throw tcl::TclError(std::string("R: ") + e.what());
+    }
+  });
+  in.register_command("r", [ctx](tcl::Interp& in2, Args& a) {
+    // Alias for R.
+    a[0] = "R";
+    return in2.invoke(a);
+  });
+  in.register_command("turbine::exec_app", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, -1, "command ?arg ...?");
+    ++ctx->stats_.app_execs;
+    std::vector<std::string> argv(a.begin() + 1, a.end());
+    AppResult result = run_app(argv, ctx->cfg_.restricted_os);
+    if (result.exit_code != 0) {
+      throw tcl::TclError("app: command \"" + argv[0] + "\" exited with code " +
+                          std::to_string(result.exit_code));
+    }
+    // Trim one trailing newline, like shell $(...).
+    if (!result.output.empty() && result.output.back() == '\n') result.output.pop_back();
+    return result.output;
+  });
+
+  // -- Swift built-ins implemented as thin Tcl (as the paper describes,
+  //    these exist because exposing Tcl snippets to Swift is easy) --
+  in.register_command("printf", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, -1, "format ?arg ...?");
+    std::vector<std::string> rest(a.begin() + 2, a.end());
+    ctx->emit(str::printf_format(a[1], rest) + "\n");
+    return std::string();
+  });
+  in.register_command("trace", [ctx](tcl::Interp&, Args& a) {
+    std::vector<std::string> parts(a.begin() + 1, a.end());
+    ctx->emit("trace: " + str::join(parts, ",") + "\n");
+    return std::string();
+  });
+}
+
+// ---- rank loops ----
+
+size_t Context::run_engine(const std::string& main_script) {
+  if (engine_ == nullptr) throw Error("run_engine called without an Engine");
+  if (!main_script.empty()) interp_.eval(main_script);
+
+  auto drain_local = [this] {
+    while (!engine_->local_ready().empty()) {
+      std::string action = std::move(engine_->local_ready().front());
+      engine_->local_ready().pop_front();
+      interp_.eval(action);
+    }
+  };
+  drain_local();
+
+  while (auto unit = client_.get(adlb::kTypeControl)) {
+    // Notifications carry a bare datum id; rule actions are scripts.
+    if (auto id = str::parse_int(unit->payload)) {
+      engine_->notify_closed(*id);
+    } else {
+      ++stats_.tasks;
+      interp_.eval(unit->payload);
+      end_task();
+    }
+    drain_local();
+  }
+  return engine_->pending_rules();
+}
+
+void Context::run_worker() {
+  while (auto unit = client_.get(adlb::kTypeWork)) {
+    ++stats_.tasks;
+    interp_.eval(unit->payload);
+    end_task();
+  }
+}
+
+}  // namespace ilps::turbine

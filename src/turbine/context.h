@@ -1,0 +1,96 @@
+// Per-rank Turbine context: the MiniTcl interpreter with the turbine::*
+// command library, the blob registry, the lazily-created embedded Python
+// and R interpreters, and (on engine ranks) the rule engine.
+//
+// The interpreter-state policy (§III.C of the paper): kRetain keeps
+// Python/R interpreter state across leaf tasks (fast, but old state is
+// visible to later tasks); kReinitialize resets them after every task
+// (clean-slate semantics at a cost). Swift/T offers both; so does ILPS.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "adlb/client.h"
+#include "blob/blob.h"
+#include "python/interp.h"
+#include "rlang/interp.h"
+#include "tcl/interp.h"
+#include "turbine/engine.h"
+
+namespace ilps::turbine {
+
+enum class InterpPolicy { kRetain, kReinitialize };
+
+struct WorkerStats {
+  uint64_t tasks = 0;
+  uint64_t python_evals = 0;
+  uint64_t r_evals = 0;
+  uint64_t app_execs = 0;
+  uint64_t interpreter_resets = 0;
+};
+
+struct ContextConfig {
+  InterpPolicy policy = InterpPolicy::kRetain;
+  bool restricted_os = false;
+  // Sink for puts/printf/python-print/R-cat output (defaults to stdout).
+  std::function<void(int rank, const std::string& line)> output;
+  // Hook to register user packages / extra commands into the rank's
+  // interpreter (static packages, script loaders, ...).
+  std::function<void(tcl::Interp&)> setup_interp;
+  // Hook that additionally receives the rank's blob registry — required
+  // when installing BindGen bindings so native pointer arguments resolve
+  // against the same registry blobutils uses.
+  std::function<void(tcl::Interp&, blob::Registry&)> setup_bindings;
+};
+
+class Context {
+ public:
+  // `engine` may be null (worker ranks).
+  Context(adlb::Client& client, Engine* engine, const ContextConfig& cfg);
+
+  tcl::Interp& interp() { return interp_; }
+  adlb::Client& client() { return client_; }
+  Engine* engine() { return engine_; }
+  blob::Registry& blobs() { return blobs_; }
+  const WorkerStats& stats() const { return stats_; }
+
+  // The embedded interpreters, created on first use (as Swift/T loads
+  // libpython/libR lazily).
+  py::Interpreter& python();
+  r::Interpreter& rlang();
+  bool python_loaded() const { return python_ != nullptr; }
+  bool r_loaded() const { return rlang_ != nullptr; }
+
+  // Applies the interpreter policy at a task boundary.
+  void end_task();
+
+  // ---- rank loops ----
+
+  // Engine rank: optionally evaluates the top-level program, then serves
+  // control tasks (rule actions and close notifications) until shutdown.
+  // Returns the number of rules left unfired (nonzero = user deadlock).
+  size_t run_engine(const std::string& main_script);
+
+  // Worker rank: evaluates work-task payloads until shutdown.
+  void run_worker();
+
+  void emit(const std::string& line);
+
+ private:
+  void register_commands();
+
+  adlb::Client& client_;
+  Engine* engine_;
+  ContextConfig cfg_;
+  tcl::Interp interp_;
+  blob::Registry blobs_;
+  std::unique_ptr<py::Interpreter> python_;
+  std::unique_ptr<r::Interpreter> rlang_;
+  WorkerStats stats_;
+};
+
+}  // namespace ilps::turbine

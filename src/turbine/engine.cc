@@ -1,0 +1,74 @@
+#include "turbine/engine.h"
+
+namespace ilps::turbine {
+
+void Engine::add_rule(const std::vector<int64_t>& inputs, std::string action, TaskType type,
+                      int target, int priority) {
+  ++stats_.rules_created;
+  Rule rule;
+  rule.action = std::move(action);
+  rule.type = type;
+  rule.target = target;
+  rule.priority = priority;
+
+  int64_t rule_id = next_id_++;
+  for (int64_t input : inputs) {
+    if (closed_.count(input) > 0) continue;
+    auto it = watchers_.find(input);
+    if (it != watchers_.end()) {
+      // Already subscribed and still open.
+      it->second.push_back(rule_id);
+      ++rule.waiting;
+      continue;
+    }
+    ++stats_.subscribes;
+    if (client_.subscribe(input, adlb::kTypeControl)) {
+      // Closed already; no notification will come.
+      closed_.insert(input);
+      continue;
+    }
+    watchers_[input].push_back(rule_id);
+    ++rule.waiting;
+  }
+
+  if (rule.waiting == 0) {
+    ++stats_.rules_fired_immediately;
+    release(std::move(rule));
+    return;
+  }
+  rules_.emplace(rule_id, std::move(rule));
+}
+
+void Engine::notify_closed(int64_t id) {
+  ++stats_.notifications;
+  closed_.insert(id);
+  auto it = watchers_.find(id);
+  if (it == watchers_.end()) return;
+  std::vector<int64_t> rule_ids = std::move(it->second);
+  watchers_.erase(it);
+  for (int64_t rule_id : rule_ids) {
+    auto rit = rules_.find(rule_id);
+    if (rit == rules_.end()) continue;
+    if (--rit->second.waiting == 0) {
+      Rule rule = std::move(rit->second);
+      rules_.erase(rit);
+      release(std::move(rule));
+    }
+  }
+}
+
+void Engine::release(Rule&& rule) {
+  ++stats_.rules_fired;
+  if (rule.type == TaskType::kLocal) {
+    local_ready_.push_back(std::move(rule.action));
+    return;
+  }
+  adlb::WorkUnit unit;
+  unit.type = static_cast<int>(rule.type);
+  unit.priority = rule.priority;
+  unit.target = rule.target;
+  unit.payload = std::move(rule.action);
+  client_.put(unit);
+}
+
+}  // namespace ilps::turbine

@@ -1,0 +1,82 @@
+// The Turbine rule engine, run on engine ranks (Fig. 2 of the paper).
+//
+// A *rule* is the dataflow primitive: a set of input datum ids plus an
+// action (a MiniTcl script). When every input is closed, the action is
+// released — submitted to ADLB as a control task (runs on some engine), a
+// work task (runs on a worker), or executed locally. Engines learn about
+// closure through ADLB subscribe notifications, which arrive as targeted
+// control tasks whose payload is the datum id.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "adlb/client.h"
+
+namespace ilps::turbine {
+
+// Where a released action runs. Values match ADLB work types.
+enum class TaskType {
+  kWork = adlb::kTypeWork,       // leaf task on a worker
+  kControl = adlb::kTypeControl, // dataflow logic on an engine
+  kLocal = -1,                   // immediately, on this engine
+};
+
+struct EngineStats {
+  uint64_t rules_created = 0;
+  uint64_t rules_fired = 0;
+  uint64_t rules_fired_immediately = 0;  // all inputs already closed
+  uint64_t notifications = 0;
+  uint64_t subscribes = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(adlb::Client& client) : client_(client) {}
+
+  // Registers a rule. Subscribes to unready inputs; if everything is
+  // already closed the action is released at once. Local actions released
+  // synchronously are queued on local_ready() rather than executed here,
+  // so the caller controls reentrancy.
+  void add_rule(const std::vector<int64_t>& inputs, std::string action, TaskType type,
+                int target = adlb::kAnyRank, int priority = 0);
+
+  // Handles a close notification for `id` (the payload of a notification
+  // control task). Fires any rules that became ready.
+  void notify_closed(int64_t id);
+
+  // Actions of kLocal rules that became ready; the engine loop drains
+  // this queue and evaluates each script.
+  std::deque<std::string>& local_ready() { return local_ready_; }
+
+  // Rules still waiting on inputs (nonzero at shutdown means the program
+  // deadlocked on unset data).
+  size_t pending_rules() const { return rules_.size(); }
+
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  struct Rule {
+    int waiting = 0;
+    std::string action;
+    TaskType type;
+    int target;
+    int priority;
+  };
+
+  void release(Rule&& rule);
+
+  adlb::Client& client_;
+  int64_t next_id_ = 1;
+  std::unordered_map<int64_t, Rule> rules_;
+  std::unordered_map<int64_t, std::vector<int64_t>> watchers_;  // datum -> rule ids
+  std::unordered_set<int64_t> closed_;  // ids known closed (subscribe said so or notified)
+  std::deque<std::string> local_ready_;
+  EngineStats stats_;
+};
+
+}  // namespace ilps::turbine

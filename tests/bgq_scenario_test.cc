@@ -1,0 +1,124 @@
+// The full Blue Gene/Q deployment story as one integration scenario:
+// a restricted OS (no fork/exec) plus a static package image for scripts
+// (no filesystem), with all computation through embedded interpreters —
+// exactly the configuration the paper argues Swift/T makes possible.
+// Also covers: the `answer` field of ADLB work units, and leftover-data
+// diagnostics.
+#include <gtest/gtest.h>
+
+#include "adlb/client.h"
+#include "adlb/server.h"
+#include "mpi/comm.h"
+#include "pkg/pfs.h"
+#include "runtime/runner.h"
+#include "swift/compiler.h"
+
+namespace ilps {
+namespace {
+
+TEST(BgqScenario, EmbeddedOnlyWorkflowRunsWithoutOsServices) {
+  // Script packages frozen into a static image at "job assembly" time.
+  pkg::FileTree tree;
+  tree.add("lib/physics/pkgIndex.tcl",
+           pkg::make_pkg_index("physics", "1.0", "lib/physics", {"kernel.tcl"}));
+  tree.add("lib/physics/kernel.tcl",
+           "proc physics::energy {t} { expr 0.5 * $t * $t }\n"
+           "package provide physics 1.0\n");
+  auto image = std::make_shared<pkg::StaticPackage>(tree);
+
+  runtime::Config cfg;
+  cfg.engines = 1;
+  cfg.workers = 3;
+  cfg.servers = 1;
+  cfg.restricted_os = true;  // fork/exec unavailable, like a BG/Q node
+  cfg.setup_interp = [image](tcl::Interp& in) {
+    pkg::install_script_loader(
+        in, [image](const std::string& p) { return image->read(p); }, {"lib/physics"});
+  };
+
+  auto result = runtime::run_program(cfg, swift::compile(R"SW(
+    (float e) energy (int t) "physics" "1.0" [
+      "set <<e>> [ physics::energy <<t>> ]"
+    ];
+    foreach t in [1:4] {
+      float e = energy(t);
+      string scaled = python(strcat("v = ", tostring(t), " * 10"), "v");
+      printf("t=%d e=%.1f py=%s", t, e, scaled);
+    }
+  )SW"));
+  EXPECT_EQ(result.lines.size(), 4u);
+  EXPECT_TRUE(result.contains("t=4 e=8.0 py=40"));
+  EXPECT_EQ(result.unfired_rules, 0u);
+
+  // The forbidden path fails loudly under the same configuration.
+  EXPECT_THROW(runtime::run_program(cfg, swift::compile(R"SW(
+    string out = sh("/bin/echo", "not allowed");
+    printf("%s", out);
+  )SW")),
+               Error);
+}
+
+TEST(AdlbAnswer, AnswerRankTravelsWithWork) {
+  // The ADLB `answer` field lets a worker send an application-level reply
+  // directly to the rank that asked for the work.
+  adlb::Config cfg;
+  cfg.nservers = 1;
+  mpi::World world(3);  // 2 clients + 1 server
+  world.run([&](mpi::Comm& comm) {
+    if (adlb::is_server(comm.rank(), comm.size(), cfg)) {
+      adlb::Server server(comm, cfg);
+      server.serve();
+      return;
+    }
+    adlb::Client client(comm, cfg);
+    constexpr int kAnswerTag = 77;
+    if (comm.rank() == 0) {
+      adlb::WorkUnit unit;
+      unit.type = adlb::kTypeWork;
+      unit.target = 1;
+      unit.answer = 0;  // reply to me
+      unit.payload = "21";
+      client.put(unit);
+      mpi::Message reply = comm.recv(1, kAnswerTag);
+      EXPECT_EQ(ser::to_string(reply.data), "42");
+      EXPECT_FALSE(client.get(adlb::kTypeControl).has_value());
+    } else {
+      auto unit = client.get(adlb::kTypeWork);
+      ASSERT_TRUE(unit.has_value());
+      EXPECT_EQ(unit->answer, 0);
+      int doubled = std::stoi(unit->payload) * 2;
+      comm.send_str(unit->answer, kAnswerTag, std::to_string(doubled));
+      EXPECT_FALSE(client.get(adlb::kTypeWork).has_value());
+    }
+  });
+}
+
+TEST(Diagnostics, LeftoverDataReported) {
+  runtime::Config cfg;
+  cfg.engines = 1;
+  cfg.workers = 1;
+  cfg.servers = 1;
+  auto result = runtime::run_program(cfg, R"(
+    set open1 [turbine::allocate integer]
+    set open2 [turbine::allocate string]
+    set closed [turbine::allocate integer]
+    turbine::store_integer $closed 1
+  )");
+  EXPECT_EQ(result.server_stats.leftover_data, 2u);
+}
+
+TEST(MiniPyAssert, WorksInLeafTasks) {
+  runtime::Config cfg;
+  cfg.engines = 1;
+  cfg.workers = 1;
+  cfg.servers = 1;
+  auto ok = runtime::run_program(cfg, R"(
+    puts [python {assert 1 + 1 == 2, "math is fine"} {"checked"}]
+  )");
+  EXPECT_TRUE(ok.contains("checked"));
+  EXPECT_THROW(runtime::run_program(cfg, "python {assert False, 'leaf invariant broken'}"),
+               Error);
+}
+
+}  // namespace
+}  // namespace ilps

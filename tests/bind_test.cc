@@ -1,0 +1,215 @@
+// BindGen: header parsing, FortWrap-lite, native adapters, and generated
+// Tcl bindings (the Fig. 3 pipeline end to end).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bind/bindgen.h"
+#include "tcl/interp.h"
+
+namespace ilps::bind {
+namespace {
+
+// ---- the "user's C library" ----
+
+int add_ints(int a, int b) { return a + b; }
+double scale(double x, double factor) { return x * factor; }
+std::string greet(const std::string& name) { return "hello " + name; }
+double vec_sum(const double* data, int n) {
+  double s = 0;
+  for (int i = 0; i < n; ++i) s += data[i];
+  return s;
+}
+void fill_ramp(double* data, int n) {
+  for (int i = 0; i < n; ++i) data[i] = static_cast<double>(i);
+}
+
+TEST(ParseHeader, SimplePrototypes) {
+  auto fns = parse_header(R"(
+    int add_ints(int a, int b);
+    double scale(double x, double factor);
+    void fill_ramp(double* data, int n);
+  )");
+  ASSERT_EQ(fns.size(), 3u);
+  EXPECT_EQ(fns[0].name, "add_ints");
+  EXPECT_EQ(fns[0].return_type, CType::kInt);
+  ASSERT_EQ(fns[0].params.size(), 2u);
+  EXPECT_EQ(fns[0].params[0].type, CType::kInt);
+  EXPECT_EQ(fns[0].params[0].name, "a");
+  EXPECT_EQ(fns[1].return_type, CType::kDouble);
+  EXPECT_EQ(fns[2].return_type, CType::kVoid);
+  EXPECT_EQ(fns[2].params[0].type, CType::kDoublePtr);
+}
+
+TEST(ParseHeader, CommentsAndExternC) {
+  auto fns = parse_header(R"(
+    // a comment
+    extern "C" {
+      /* block
+         comment */
+      double scale(double x, double factor);  // trailing
+    }
+  )");
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_EQ(fns[0].name, "scale");
+}
+
+TEST(ParseHeader, PointerAndStringTypes) {
+  auto fns = parse_header("const char* greet(const char* name); void f(void* p, long n);");
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_EQ(fns[0].return_type, CType::kString);
+  EXPECT_EQ(fns[0].params[0].type, CType::kString);
+  EXPECT_EQ(fns[1].params[0].type, CType::kVoidPtr);
+  EXPECT_EQ(fns[1].params[1].type, CType::kInt);
+}
+
+TEST(ParseHeader, ArraySuffix) {
+  auto fns = parse_header("double mean_of(double values[], int n);");
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_EQ(fns[0].params[0].type, CType::kDoublePtr);
+}
+
+TEST(ParseHeader, VoidParamList) {
+  auto fns = parse_header("int get_version(void);");
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_TRUE(fns[0].params.empty());
+}
+
+TEST(ParseHeader, RejectsUnsupported) {
+  EXPECT_THROW(parse_header("struct Foo make_foo();"), BindError);
+  EXPECT_THROW(parse_header("int broken(int"), BindError);
+  EXPECT_THROW(parse_header("char** argv_style(int n);"), BindError);
+}
+
+TEST(ToPrototype, RoundTripText) {
+  auto fns = parse_header("double scale(double x, double factor);");
+  EXPECT_EQ(to_prototype(fns[0]), "double scale(double x, double factor)");
+}
+
+TEST(FortWrap, Subroutine) {
+  std::string proto = fortwrap(R"(
+    subroutine heat_step(n, dt, u)
+      integer :: n
+      real(8) :: dt
+      real(8) :: u(n)
+    end subroutine
+  )");
+  EXPECT_EQ(proto, "void heat_step(int n, double dt, double* u);");
+  // And the output is itself parseable C.
+  auto fns = parse_header(proto);
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_EQ(fns[0].params[2].type, CType::kDoublePtr);
+}
+
+TEST(FortWrap, Function) {
+  std::string proto = fortwrap(R"(
+    real(8) function dotprod(n, x, y)
+      integer :: n
+      real(8) :: x(n), y(n)
+    end function
+  )");
+  EXPECT_EQ(proto, "double dotprod(int n, double* x, double* y);");
+}
+
+TEST(FortWrap, DoublePrecisionAndComments) {
+  std::string proto = fortwrap(
+      "subroutine f(a, b)  ! does things\n  double precision :: a\n  integer :: b\nend\n");
+  EXPECT_EQ(proto, "void f(double a, int b);");
+}
+
+TEST(FortWrap, MalformedThrows) {
+  EXPECT_THROW(fortwrap("integer :: x"), BindError);
+}
+
+TEST(NativeLibrary, TemplateAdapters) {
+  NativeLibrary lib;
+  lib.add("add_ints", &add_ints);
+  lib.add("scale", &scale);
+  const NativeFn* fn = lib.find("add_ints");
+  ASSERT_NE(fn, nullptr);
+  std::vector<NativeValue> args = {NativeValue(int64_t{2}), NativeValue(int64_t{3})};
+  EXPECT_EQ(std::get<int64_t>((*fn)(args)), 5);
+  EXPECT_EQ(lib.find("missing"), nullptr);
+  EXPECT_EQ(lib.names().size(), 2u);
+  std::vector<NativeValue> bad = {NativeValue(int64_t{1})};
+  EXPECT_THROW((*fn)(bad), BindError);  // arity
+}
+
+class BindToTclTest : public ::testing::Test {
+ protected:
+  BindToTclTest() {
+    blob::register_blobutils(in, blobs);
+    lib.add("add_ints", &add_ints);
+    lib.add("scale", &scale);
+    lib.add_raw("greet", [](std::vector<NativeValue>& args) {
+      return NativeValue(greet(std::get<std::string>(args[0])));
+    });
+    lib.add("vec_sum", &vec_sum);
+    lib.add("fill_ramp", &fill_ramp);
+    auto protos = parse_header(R"(
+      int add_ints(int a, int b);
+      double scale(double x, double factor);
+      const char* greet(const char* name);
+      double vec_sum(const double* data, int n);
+      void fill_ramp(double* data, int n);
+    )");
+    bind_to_tcl(in, "mylib", protos, lib, blobs);
+  }
+
+  tcl::Interp in;
+  blob::Registry blobs;
+  NativeLibrary lib;
+};
+
+TEST_F(BindToTclTest, ScalarCalls) {
+  EXPECT_EQ(in.eval("mylib::add_ints 20 22"), "42");
+  EXPECT_EQ(in.eval("mylib::scale 3.0 1.5"), "4.5");
+  EXPECT_EQ(in.eval("mylib::greet world"), "hello world");
+  EXPECT_EQ(in.eval("package require mylib"), "1.0");
+}
+
+TEST_F(BindToTclTest, BlobArguments) {
+  in.eval("set h [blobutils::from_floats {1.5 2.5 3.0}]");
+  EXPECT_EQ(in.eval("mylib::vec_sum $h 3"), "7.0");
+  // Mutating through the pointer is visible in the blob.
+  in.eval("set r [blobutils::zeroes_float 4]");
+  in.eval("mylib::fill_ramp $r 4");
+  EXPECT_EQ(in.eval("blobutils::to_floats $r"), "0.0 1.0 2.0 3.0");
+}
+
+TEST_F(BindToTclTest, TypeErrors) {
+  EXPECT_THROW(in.eval("mylib::add_ints x 1"), tcl::TclError);
+  EXPECT_THROW(in.eval("mylib::scale {} 1"), tcl::TclError);
+  EXPECT_THROW(in.eval("mylib::add_ints 1"), tcl::TclError);
+  EXPECT_THROW(in.eval("mylib::vec_sum not_a_handle 3"), Error);
+}
+
+TEST(BindToTcl, MissingImplementationThrows) {
+  tcl::Interp in;
+  blob::Registry blobs;
+  NativeLibrary lib;
+  auto protos = parse_header("int nowhere(int x);");
+  EXPECT_THROW(bind_to_tcl(in, "p", protos, lib, blobs), BindError);
+}
+
+// The full Fig. 3 story: Fortran interface -> FortWrap -> SWIG-style
+// binding -> callable from (what will be) Swift-level Tcl.
+TEST(Fig3Pipeline, FortranToTcl) {
+  tcl::Interp in;
+  blob::Registry blobs;
+  blob::register_blobutils(in, blobs);
+  NativeLibrary lib;
+  lib.add("vec_sum", &vec_sum);
+  std::string c_proto = fortwrap(R"(
+    real(8) function vec_sum(data, n)
+      real(8) :: data(n)
+      integer :: n
+    end function
+  )");
+  bind_to_tcl(in, "fort", parse_header(c_proto), lib, blobs);
+  in.eval("set h [blobutils::from_floats {1.0 2.0 3.5}]");
+  EXPECT_EQ(in.eval("fort::vec_sum $h 3"), "6.5");
+}
+
+}  // namespace
+}  // namespace ilps::bind

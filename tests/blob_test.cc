@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "blob/blob.h"
+#include "common/error.h"
+#include "tcl/interp.h"
+
+namespace ilps::blob {
+namespace {
+
+TEST(Blob, EmptyAndSized) {
+  Blob b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  Blob c = Blob::of_size(16);
+  EXPECT_EQ(c.size(), 16u);
+  for (std::byte x : c.bytes()) EXPECT_EQ(x, std::byte{0});
+}
+
+TEST(Blob, FromStringRoundTrip) {
+  Blob b = Blob::from_string("hello\0world");
+  EXPECT_EQ(b.to_string(), "hello");  // string_view from literal stops at NUL
+  std::string with_nul("a\0b", 3);
+  Blob c = Blob::from_string(with_nul);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.to_string(), with_nul);
+}
+
+TEST(Blob, FromValuesAndTypedView) {
+  std::vector<double> values = {1.5, -2.5, 3.0};
+  Blob b = Blob::from_values(std::span<const double>(values));
+  EXPECT_EQ(b.size(), 24u);
+  auto view = b.as<const double>();
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_DOUBLE_EQ(view[1], -2.5);
+}
+
+TEST(Blob, TypedViewMutates) {
+  Blob b = Blob::of_size(2 * sizeof(int64_t));
+  b.as<int64_t>()[1] = 42;
+  EXPECT_EQ(b.as<const int64_t>()[1], 42);
+}
+
+TEST(Blob, MisalignedSizeThrows) {
+  Blob b = Blob::of_size(10);
+  EXPECT_THROW(b.as<double>(), DataError);
+  EXPECT_THROW(b.as<const int64_t>(), DataError);
+  EXPECT_NO_THROW(b.as<uint8_t>());
+}
+
+TEST(Blob, ShallowCopySharesStorage) {
+  Blob a = Blob::of_size(8);
+  Blob b = a;
+  EXPECT_EQ(a.storage_id(), b.storage_id());
+  b.as<int64_t>()[0] = 7;
+  EXPECT_EQ(a.as<const int64_t>()[0], 7);
+  Blob c = a.clone();
+  EXPECT_NE(c.storage_id(), a.storage_id());
+  c.as<int64_t>()[0] = 9;
+  EXPECT_EQ(a.as<const int64_t>()[0], 7);
+}
+
+TEST(FortranMatrix, ColumnMajorLayout) {
+  auto m = FortranMatrix<double>::zeroes(3, 2);
+  m(0, 0) = 1;
+  m(2, 0) = 3;
+  m(0, 1) = 4;
+  auto flat = m.blob().as<const double>();
+  // Column-major: column 0 is elements 0..2, column 1 is 3..5.
+  EXPECT_DOUBLE_EQ(flat[0], 1);
+  EXPECT_DOUBLE_EQ(flat[2], 3);
+  EXPECT_DOUBLE_EQ(flat[3], 4);
+}
+
+TEST(FortranMatrix, BoundsChecked) {
+  auto m = FortranMatrix<double>::zeroes(2, 2);
+  EXPECT_THROW(m(2, 0), DataError);
+  EXPECT_THROW(m(0, 2), DataError);
+}
+
+TEST(FortranMatrix, SizeValidation) {
+  Blob b = Blob::of_size(3 * sizeof(double));
+  EXPECT_THROW(FortranMatrix<double>(b, 2, 2), DataError);
+  EXPECT_NO_THROW(FortranMatrix<double>(b, 3, 1));
+}
+
+TEST(Registry, InsertGetRelease) {
+  Registry reg;
+  std::string h = reg.insert(Blob::from_string("x"));
+  EXPECT_TRUE(h.starts_with("blob:"));
+  EXPECT_EQ(reg.get(h).to_string(), "x");
+  EXPECT_EQ(reg.count(), 1u);
+  EXPECT_TRUE(reg.release(h));
+  EXPECT_EQ(reg.count(), 0u);
+  EXPECT_FALSE(reg.release(h));
+  EXPECT_THROW(reg.get(h), DataError);
+}
+
+TEST(Registry, BadHandles) {
+  Registry reg;
+  EXPECT_THROW(reg.get("nonsense"), DataError);
+  EXPECT_THROW(reg.get("blob:zzz"), DataError);
+  EXPECT_THROW(reg.get("blob:999"), DataError);
+}
+
+class BlobutilsTclTest : public ::testing::Test {
+ protected:
+  BlobutilsTclTest() { register_blobutils(in, reg); }
+  std::string ev(std::string_view s) { return in.eval(s); }
+  tcl::Interp in;
+  Registry reg;
+};
+
+TEST_F(BlobutilsTclTest, PackageProvided) {
+  EXPECT_EQ(ev("package require blobutils"), "1.0");
+}
+
+TEST_F(BlobutilsTclTest, StringRoundTrip) {
+  ev("set h [blobutils::create_string {hello world}]");
+  EXPECT_EQ(ev("blobutils::to_string $h"), "hello world");
+  EXPECT_EQ(ev("blobutils::size $h"), "11");
+  EXPECT_EQ(ev("blobutils::release $h"), "1");
+}
+
+TEST_F(BlobutilsTclTest, FloatArrays) {
+  ev("set h [blobutils::zeroes_float 4]");
+  EXPECT_EQ(ev("blobutils::float_count $h"), "4");
+  EXPECT_EQ(ev("blobutils::size $h"), "32");
+  ev("blobutils::set_float $h 2 3.5");
+  EXPECT_EQ(ev("blobutils::get_float $h 2"), "3.5");
+  EXPECT_EQ(ev("blobutils::get_float $h 0"), "0.0");
+}
+
+TEST_F(BlobutilsTclTest, FloatListConversions) {
+  ev("set h [blobutils::from_floats {1.0 2.5 -3.0}]");
+  EXPECT_EQ(ev("blobutils::to_floats $h"), "1.0 2.5 -3.0");
+  EXPECT_EQ(ev("blobutils::float_count $h"), "3");
+}
+
+TEST_F(BlobutilsTclTest, IntArrays) {
+  ev("set h [blobutils::from_ints {10 -20 30}]");
+  EXPECT_EQ(ev("blobutils::to_ints $h"), "10 -20 30");
+  ev("blobutils::set_int $h 1 99");
+  EXPECT_EQ(ev("blobutils::get_int $h 1"), "99");
+}
+
+TEST_F(BlobutilsTclTest, SizeofFloat) {
+  EXPECT_EQ(ev("blobutils::sizeof_float"), "8");
+}
+
+TEST_F(BlobutilsTclTest, MatrixColumnMajor) {
+  // 3x2 matrix: set (2,1) -> flat index 1*3+2 = 5.
+  ev("set h [blobutils::zeroes_float 6]");
+  ev("blobutils::matrix_set $h 3 2 1 7.5");
+  EXPECT_EQ(ev("blobutils::matrix_get $h 3 2 1"), "7.5");
+  EXPECT_EQ(ev("blobutils::get_float $h 5"), "7.5");
+}
+
+TEST_F(BlobutilsTclTest, Errors) {
+  EXPECT_THROW(ev("blobutils::to_string blob:404"), DataError);
+  ev("set h [blobutils::zeroes_float 2]");
+  EXPECT_THROW(ev("blobutils::get_float $h 2"), tcl::TclError);
+  EXPECT_THROW(ev("blobutils::get_float $h -1"), tcl::TclError);
+  EXPECT_THROW(ev("blobutils::zeroes_float -3"), tcl::TclError);
+  EXPECT_THROW(ev("blobutils::from_floats {1.0 abc}"), tcl::TclError);
+  EXPECT_THROW(ev("blobutils::set_float $h zero 1"), tcl::TclError);
+}
+
+}  // namespace
+}  // namespace ilps::blob

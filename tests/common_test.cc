@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/buffer.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/timer.h"
+
+namespace ilps {
+namespace {
+
+TEST(Buffer, RoundTripScalars) {
+  ser::Writer w;
+  w.put_i32(-42);
+  w.put_u32(42u);
+  w.put_i64(-1234567890123LL);
+  w.put_u64(9876543210ULL);
+  w.put_f64(3.25);
+  w.put_u8(200);
+  w.put_bool(true);
+  w.put_bool(false);
+
+  ser::Reader r(w.bytes());
+  EXPECT_EQ(r.get_i32(), -42);
+  EXPECT_EQ(r.get_u32(), 42u);
+  EXPECT_EQ(r.get_i64(), -1234567890123LL);
+  EXPECT_EQ(r.get_u64(), 9876543210ULL);
+  EXPECT_DOUBLE_EQ(r.get_f64(), 3.25);
+  EXPECT_EQ(r.get_u8(), 200);
+  EXPECT_TRUE(r.get_bool());
+  EXPECT_FALSE(r.get_bool());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Buffer, RoundTripStringsAndBytes) {
+  ser::Writer w;
+  w.put_str("hello world");
+  w.put_str("");
+  w.put_str(std::string("embedded\0null", 13));
+  std::vector<std::byte> blob = {std::byte{1}, std::byte{2}, std::byte{3}};
+  w.put_bytes(blob);
+
+  ser::Reader r(w.bytes());
+  EXPECT_EQ(r.get_str(), "hello world");
+  EXPECT_EQ(r.get_str(), "");
+  EXPECT_EQ(r.get_str(), std::string("embedded\0null", 13));
+  EXPECT_EQ(r.get_bytes(), blob);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Buffer, UnderrunThrows) {
+  ser::Writer w;
+  w.put_i32(1);
+  ser::Reader r(w.bytes());
+  r.get_i32();
+  EXPECT_THROW(r.get_i64(), Error);
+}
+
+TEST(Buffer, TakeEmptiesWriter) {
+  ser::Writer w;
+  w.put_i32(7);
+  auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(Buffer, StringByteViews) {
+  std::string s = "abc";
+  auto view = ser::as_bytes(s);
+  EXPECT_EQ(view.size(), 3u);
+  EXPECT_EQ(ser::to_string(view), "abc");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(str::trim("  a b  "), "a b");
+  EXPECT_EQ(str::trim(""), "");
+  EXPECT_EQ(str::trim("   "), "");
+  EXPECT_EQ(str::trim("x"), "x");
+  EXPECT_EQ(str::trim("\t\nx\r "), "x");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(str::starts_with("foobar", "foo"));
+  EXPECT_FALSE(str::starts_with("fo", "foo"));
+  EXPECT_TRUE(str::ends_with("foobar", "bar"));
+  EXPECT_FALSE(str::ends_with("ar", "bar"));
+  EXPECT_TRUE(str::starts_with("x", ""));
+}
+
+TEST(Strings, SplitChar) {
+  auto parts = str::split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(str::split("", ',').size(), 1u);
+}
+
+TEST(Strings, SplitWs) {
+  auto parts = str::split_ws("  a\tb\n c ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(str::split_ws("   ").empty());
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(str::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(str::join({}, ","), "");
+  EXPECT_EQ(str::join({"x"}, ","), "x");
+}
+
+TEST(Strings, Case) {
+  EXPECT_EQ(str::to_lower("AbC1"), "abc1");
+  EXPECT_EQ(str::to_upper("AbC1"), "ABC1");
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(str::parse_int("42").value(), 42);
+  EXPECT_EQ(str::parse_int(" -7 ").value(), -7);
+  EXPECT_EQ(str::parse_int("0x10").value(), 16);
+  EXPECT_FALSE(str::parse_int("4.2").has_value());
+  EXPECT_FALSE(str::parse_int("abc").has_value());
+  EXPECT_FALSE(str::parse_int("").has_value());
+  EXPECT_FALSE(str::parse_int("12x").has_value());
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(str::parse_double("4.25").value(), 4.25);
+  EXPECT_DOUBLE_EQ(str::parse_double("1e3").value(), 1000.0);
+  EXPECT_DOUBLE_EQ(str::parse_double("-0.5").value(), -0.5);
+  EXPECT_DOUBLE_EQ(str::parse_double("42").value(), 42.0);
+  EXPECT_FALSE(str::parse_double("x").has_value());
+  EXPECT_FALSE(str::parse_double("1.0y").has_value());
+}
+
+TEST(Strings, IsNumeric) {
+  EXPECT_TRUE(str::is_numeric("3"));
+  EXPECT_TRUE(str::is_numeric("3.5"));
+  EXPECT_FALSE(str::is_numeric("three"));
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(str::format_double(1.0), "1.0");
+  EXPECT_EQ(str::format_double(0.5), "0.5");
+  EXPECT_EQ(str::format_double(-3.0), "-3.0");
+  EXPECT_EQ(str::format_double(0.1), "0.1");
+  // Round trip preserved for awkward values.
+  double v = 1.0 / 3.0;
+  EXPECT_EQ(str::parse_double(str::format_double(v)).value(), v);
+  EXPECT_EQ(str::format_double(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(str::format_double(std::nan("")), "nan");
+}
+
+TEST(Strings, PrintfFormat) {
+  EXPECT_EQ(str::printf_format("x=%d y=%s", {"42", "hi"}), "x=42 y=hi");
+  EXPECT_EQ(str::printf_format("%5d|", {"42"}), "   42|");
+  EXPECT_EQ(str::printf_format("%-5d|", {"42"}), "42   |");
+  EXPECT_EQ(str::printf_format("%.2f", {"3.14159"}), "3.14");
+  EXPECT_EQ(str::printf_format("%e", {"120000"}), "1.200000e+05");
+  EXPECT_EQ(str::printf_format("%x", {"255"}), "ff");
+  EXPECT_EQ(str::printf_format("%o", {"8"}), "10");
+  EXPECT_EQ(str::printf_format("%c", {"65"}), "A");
+  EXPECT_EQ(str::printf_format("100%%", {}), "100%");
+  EXPECT_EQ(str::printf_format("%d", {"3.9"}), "3");  // coerces like Tcl
+}
+
+TEST(Strings, PrintfFormatErrors) {
+  EXPECT_THROW(str::printf_format("%d", {}), ScriptError);
+  EXPECT_THROW(str::printf_format("%d", {"abc"}), ScriptError);
+  EXPECT_THROW(str::printf_format("%q", {"x"}), ScriptError);
+  EXPECT_THROW(str::printf_format("%", {"x"}), ScriptError);
+}
+
+TEST(Strings, PrintfFormatLongString) {
+  std::string big(2000, 'a');
+  EXPECT_EQ(str::printf_format("%s", {big}), big);
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(str::replace_all("aXbXc", "X", "--"), "a--b--c");
+  EXPECT_EQ(str::replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(str::replace_all("abc", "z", "y"), "abc");
+  EXPECT_EQ(str::replace_all("abc", "", "y"), "abc");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, Ranges) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    int64_t v = r.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    EXPECT_LT(r.next_below(10), 10u);
+    EXPECT_GE(r.next_pareto(2.0), 1.0);
+  }
+}
+
+TEST(Timer, Advances) {
+  Timer t;
+  double a = t.elapsed();
+  // Busy-wait a hair; steady_clock must advance eventually.
+  while (t.elapsed() == a) {
+  }
+  EXPECT_GT(t.elapsed(), a);
+  double w1 = wtime();
+  EXPECT_GE(wtime(), w1);
+}
+
+}  // namespace
+}  // namespace ilps

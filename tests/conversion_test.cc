@@ -1,0 +1,154 @@
+// Property sweeps for the interlanguage type-conversion boundary (§III.A:
+// "Swift/T variables are automatically converted to the appropriate Tcl
+// types"): values must survive the round trip Swift -> Turbine store ->
+// leaf language -> store -> Swift, for every scalar type and for blobs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "python/interp.h"
+#include "rlang/interp.h"
+#include "runtime/runner.h"
+#include "swift/compiler.h"
+#include "tcl/interp.h"
+
+namespace ilps {
+namespace {
+
+// ---- integer round trips through every interpreter ----
+
+class IntRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(IntRoundTrip, ThroughTcl) {
+  tcl::Interp t;
+  int64_t v = GetParam();
+  EXPECT_EQ(t.eval("set x " + std::to_string(v) + "; expr $x + 0"), std::to_string(v));
+}
+
+TEST_P(IntRoundTrip, ThroughPython) {
+  py::Interpreter p;
+  int64_t v = GetParam();
+  EXPECT_EQ(p.eval("x = " + std::to_string(v), "x"), std::to_string(v));
+  EXPECT_EQ(p.eval("", "int('" + std::to_string(v) + "')"), std::to_string(v));
+}
+
+TEST_P(IntRoundTrip, ThroughR) {
+  r::Interpreter r;
+  int64_t v = GetParam();
+  // R numerics are doubles; 2^53 bounds exact integer round trips.
+  if (std::llabs(v) > (1LL << 53)) GTEST_SKIP();
+  EXPECT_EQ(r.eval("x <- " + std::to_string(v), "x"), std::to_string(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, IntRoundTrip,
+                         ::testing::Values(0, 1, -1, 42, -42, 65535, -65536, 1000000007,
+                                           -999999937, (1LL << 40), -(1LL << 40)));
+
+// ---- doubles through the Tcl string boundary ----
+
+class DoubleRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(DoubleRoundTrip, FormatParseIdentity) {
+  double v = GetParam();
+  auto parsed = str::parse_double(str::format_double(v));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, v);
+}
+
+TEST_P(DoubleRoundTrip, ThroughTclExpr) {
+  tcl::Interp t;
+  double v = GetParam();
+  std::string out = t.eval("set x " + str::format_double(v) + "; expr $x * 1.0");
+  EXPECT_DOUBLE_EQ(*str::parse_double(out), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, DoubleRoundTrip,
+                         ::testing::Values(0.0, 1.0, -1.5, 0.1, 1.0 / 3.0, 6.02214076e23,
+                                           -2.2250738585072014e-308, 3.141592653589793,
+                                           1e-9, 123456789.123456789));
+
+// ---- strings with awkward content through the full distributed stack ----
+
+class StringRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StringRoundTrip, SwiftStoreAndEcho) {
+  const std::string& value = GetParam();
+  runtime::Config cfg;
+  cfg.engines = 1;
+  cfg.workers = 2;
+  cfg.servers = 1;
+  // Store through a leaf task on a worker, print through a LOCAL rule on
+  // the engine: the value crosses the rank boundary twice. The echo proc
+  // defers retrieval to fire time, and the retrieved value is never
+  // re-parsed as script (substitution results are words, not code).
+  std::string program = R"(
+    proc echo_it {s} { puts "got:[turbine::retrieve $s]:end" }
+    set s [turbine::allocate string]
+    turbine::put_work "turbine::store_string $s [list VALUE]"
+    turbine::rule [list $s] "echo_it $s" type LOCAL
+  )";
+  size_t pos = program.find("VALUE");
+  program.replace(pos, 5, tcl::list_quote(value));
+  auto result = runtime::run_program(cfg, program);
+  ASSERT_EQ(result.lines.size(), 1u);
+  EXPECT_EQ(result.lines[0], "got:" + value + ":end");
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, StringRoundTrip,
+                         ::testing::Values(std::string("plain"), std::string("with space"),
+                                           std::string("tab\there"), std::string("a{b}c"),
+                                           std::string("$dollar [bracket]"),
+                                           std::string("unicode: \xc3\xa9\xc3\xbc"),
+                                           std::string("semi;colon"), std::string("back\\slash")));
+
+// ---- blob bytes through the distributed store ----
+
+TEST(BlobRoundTrip, BinaryThroughStore) {
+  runtime::Config cfg;
+  cfg.engines = 1;
+  cfg.workers = 2;
+  cfg.servers = 2;
+  auto result = runtime::run_program(cfg, R"(
+    set b [turbine::allocate blob]
+    set h [blobutils::from_floats {1.5 -2.25 1e300 0.0 -0.5}]
+    turbine::store_blob $b $h
+    set h2 [turbine::retrieve_blob $b]
+    puts "size=[blobutils::size $h2] vals=[blobutils::to_floats $h2]"
+  )");
+  ASSERT_EQ(result.lines.size(), 1u);
+  EXPECT_EQ(result.lines[0], "size=40 vals=1.5 -2.25 1e+300 0.0 -0.5");
+}
+
+// ---- Swift <-> Python <-> R value agreement ----
+
+TEST(CrossLanguage, NumericAgreement) {
+  py::Interpreter p;
+  r::Interpreter r;
+  tcl::Interp t;
+  for (int i = -5; i <= 5; ++i) {
+    std::string si = std::to_string(i);
+    std::string py = p.eval("v = " + si + " * 7 + 1", "v");
+    std::string rr = r.eval("v <- " + si + " * 7 + 1", "v");
+    std::string tc = t.eval("expr " + si + " * 7 + 1");
+    EXPECT_EQ(py, rr) << "i=" << i;
+    EXPECT_EQ(py, tc) << "i=" << i;
+  }
+}
+
+TEST(CrossLanguage, FloorDivisionConventionsDiffer) {
+  // Documented semantic nuance: Tcl and Python floor, C truncates. The
+  // interpreters must each be faithful to their own language.
+  py::Interpreter p;
+  tcl::Interp t;
+  r::Interpreter r;
+  EXPECT_EQ(p.eval("", "-7 // 2"), "-4");
+  EXPECT_EQ(t.eval("expr -7 / 2"), "-4");
+  EXPECT_EQ(r.eval("-7 %/% 2"), "-4");
+  EXPECT_EQ(p.eval("", "-7 % 2"), "1");
+  EXPECT_EQ(t.eval("expr -7 % 2"), "1");
+  EXPECT_EQ(r.eval("-7 %% 2"), "1");
+}
+
+}  // namespace
+}  // namespace ilps

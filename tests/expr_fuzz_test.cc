@@ -1,0 +1,114 @@
+// Property test promised in DESIGN.md §5: the MiniTcl expr engine against
+// a C++ reference evaluator on randomly generated integer expression
+// trees (operators with Tcl floor-division semantics, parenthesization,
+// unary minus, comparisons).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "tcl/interp.h"
+
+namespace ilps::tcl {
+namespace {
+
+struct Node {
+  char op;  // '#' literal, '-','+','*','/','%','<','=','n' (unary neg)
+  int64_t value = 0;
+  std::unique_ptr<Node> a, b;
+};
+
+// Generates a random tree. Divisor subtrees are literals in [1, 9] so
+// division by zero never occurs.
+std::unique_ptr<Node> gen(Rng& rng, int depth, bool divisor) {
+  auto n = std::make_unique<Node>();
+  if (divisor) {
+    n->op = '#';
+    n->value = rng.next_range(1, 9);
+    return n;
+  }
+  if (depth == 0 || rng.next_below(3) == 0) {
+    n->op = '#';
+    n->value = rng.next_range(-50, 50);
+    return n;
+  }
+  static const char ops[] = {'+', '-', '*', '/', '%', '<', '=', 'n'};
+  n->op = ops[rng.next_below(sizeof ops)];
+  n->a = gen(rng, depth - 1, false);
+  if (n->op != 'n') {
+    bool div = n->op == '/' || n->op == '%';
+    n->b = gen(rng, depth - 1, div);
+  }
+  return n;
+}
+
+int64_t floor_div(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if (a % b != 0 && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+int64_t floor_mod(int64_t a, int64_t b) {
+  int64_t r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) r += b;
+  return r;
+}
+
+int64_t reference_eval(const Node& n) {
+  switch (n.op) {
+    case '#': return n.value;
+    case 'n': return -reference_eval(*n.a);
+    case '+': return reference_eval(*n.a) + reference_eval(*n.b);
+    case '-': return reference_eval(*n.a) - reference_eval(*n.b);
+    case '*': return reference_eval(*n.a) * reference_eval(*n.b);
+    case '/': return floor_div(reference_eval(*n.a), reference_eval(*n.b));
+    case '%': return floor_mod(reference_eval(*n.a), reference_eval(*n.b));
+    case '<': return reference_eval(*n.a) < reference_eval(*n.b) ? 1 : 0;
+    case '=': return reference_eval(*n.a) == reference_eval(*n.b) ? 1 : 0;
+  }
+  return 0;
+}
+
+std::string render(const Node& n) {
+  switch (n.op) {
+    case '#':
+      // Parenthesize negatives so "--5" never appears.
+      return n.value < 0 ? "(" + std::to_string(n.value) + ")" : std::to_string(n.value);
+    case 'n': return "(- " + render(*n.a) + ")";
+    case '=': return "(" + render(*n.a) + " == " + render(*n.b) + ")";
+    default:
+      return "(" + render(*n.a) + " " + std::string(1, n.op) + " " + render(*n.b) + ")";
+  }
+}
+
+class ExprFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExprFuzz, MatchesReferenceEvaluator) {
+  Interp in;
+  Rng rng(GetParam());
+  for (int round = 0; round < 150; ++round) {
+    auto tree = gen(rng, 4, false);
+    std::string text = render(*tree);
+    int64_t expected = reference_eval(*tree);
+    EXPECT_EQ(in.expr(text), std::to_string(expected)) << "expr: " << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
+
+// The same trees survive a trip through `expr {...}` at script level.
+TEST(ExprFuzzScript, BracedExprAgrees) {
+  Interp in;
+  Rng rng(4242);
+  for (int round = 0; round < 100; ++round) {
+    auto tree = gen(rng, 3, false);
+    std::string text = render(*tree);
+    EXPECT_EQ(in.eval("expr {" + text + "}"), std::to_string(reference_eval(*tree)))
+        << "expr: " << text;
+  }
+}
+
+}  // namespace
+}  // namespace ilps::tcl

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+#include "mpi/comm.h"
+
+namespace ilps::mpi {
+namespace {
+
+TEST(World, SizeValidation) {
+  EXPECT_THROW(World(0), CommError);
+  EXPECT_THROW(World(-3), CommError);
+  World w(1);
+  EXPECT_EQ(w.size(), 1);
+}
+
+TEST(World, SingleRankRuns) {
+  World w(1);
+  int visits = 0;
+  w.run([&](Comm& c) {
+    EXPECT_EQ(c.rank(), 0);
+    EXPECT_EQ(c.size(), 1);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(World, AllRanksRun) {
+  World w(8);
+  std::atomic<int> mask{0};
+  w.run([&](Comm& c) { mask.fetch_or(1 << c.rank()); });
+  EXPECT_EQ(mask.load(), 0xFF);
+}
+
+TEST(PointToPoint, SendRecv) {
+  World w(2);
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_str(1, 5, "hello");
+    } else {
+      Message m = c.recv();
+      EXPECT_EQ(m.source, 0);
+      EXPECT_EQ(m.tag, 5);
+      EXPECT_EQ(ser::to_string(m.data), "hello");
+    }
+  });
+}
+
+TEST(PointToPoint, TagMatching) {
+  World w(2);
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_str(1, 1, "one");
+      c.send_str(1, 2, "two");
+    } else {
+      // Receive out of send order by tag.
+      Message m2 = c.recv(ANY_SOURCE, 2);
+      EXPECT_EQ(ser::to_string(m2.data), "two");
+      Message m1 = c.recv(0, 1);
+      EXPECT_EQ(ser::to_string(m1.data), "one");
+    }
+  });
+}
+
+TEST(PointToPoint, SourceMatching) {
+  World w(3);
+  w.run([](Comm& c) {
+    if (c.rank() != 2) {
+      c.send_str(2, 7, c.rank() == 0 ? "zero" : "one");
+    } else {
+      Message m = c.recv(1, 7);
+      EXPECT_EQ(ser::to_string(m.data), "one");
+      Message m0 = c.recv(0, 7);
+      EXPECT_EQ(ser::to_string(m0.data), "zero");
+    }
+  });
+}
+
+TEST(PointToPoint, FifoPerPair) {
+  World w(2);
+  w.run([](Comm& c) {
+    constexpr int kCount = 200;
+    if (c.rank() == 0) {
+      for (int i = 0; i < kCount; ++i) {
+        ser::Writer msg;
+        msg.put_i32(i);
+        c.send(1, 3, msg);
+      }
+    } else {
+      for (int i = 0; i < kCount; ++i) {
+        Message m = c.recv(0, 3);
+        EXPECT_EQ(m.reader().get_i32(), i);
+      }
+    }
+  });
+}
+
+TEST(PointToPoint, SelfSend) {
+  World w(1);
+  w.run([](Comm& c) {
+    c.send_str(0, 9, "me");
+    Message m = c.recv(0, 9);
+    EXPECT_EQ(ser::to_string(m.data), "me");
+  });
+}
+
+TEST(PointToPoint, TryRecvAndIprobe) {
+  World w(2);
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      EXPECT_FALSE(c.try_recv().has_value());
+      c.send_str(1, 4, "x");
+      c.barrier();
+    } else {
+      c.barrier();
+      int src = -5;
+      int tag = -5;
+      EXPECT_TRUE(c.iprobe(ANY_SOURCE, ANY_TAG, &src, &tag));
+      EXPECT_EQ(src, 0);
+      EXPECT_EQ(tag, 4);
+      auto m = c.try_recv(0, 4);
+      ASSERT_TRUE(m.has_value());
+      EXPECT_EQ(ser::to_string(m->data), "x");
+      EXPECT_FALSE(c.iprobe(ANY_SOURCE, ANY_TAG));
+    }
+  });
+}
+
+TEST(PointToPoint, InvalidRankThrows) {
+  World w(1);
+  EXPECT_THROW(w.run([](Comm& c) { c.send_str(5, 0, "x"); }), CommError);
+}
+
+TEST(PointToPoint, ReservedTagThrows) {
+  World w(1);
+  EXPECT_THROW(w.run([](Comm& c) { c.send_str(0, kMaxUserTag, "x"); }), CommError);
+  World w2(1);
+  EXPECT_THROW(w2.run([](Comm& c) { c.send_str(0, -1, "x"); }), CommError);
+}
+
+TEST(Collectives, Barrier) {
+  World w(6);
+  std::atomic<int> before{0};
+  w.run([&](Comm& c) {
+    before.fetch_add(1);
+    c.barrier();
+    EXPECT_EQ(before.load(), 6);
+    c.barrier();  // repeated barriers stay consistent
+    c.barrier();
+  });
+}
+
+TEST(Collectives, Broadcast) {
+  World w(5);
+  w.run([](Comm& c) {
+    std::vector<std::byte> buf;
+    if (c.rank() == 2) {
+      ser::Writer msg;
+      msg.put_str("payload");
+      buf = msg.take();
+    }
+    c.broadcast(buf, 2);
+    EXPECT_EQ(ser::Reader(buf).get_str(), "payload");
+  });
+}
+
+TEST(Collectives, ReduceSum) {
+  World w(7);
+  w.run([](Comm& c) {
+    int64_t total = c.reduce_sum(c.rank() + 1, 0);
+    if (c.rank() == 0) {
+      EXPECT_EQ(total, 28);  // 1+..+7
+    }
+  });
+}
+
+TEST(Collectives, AllreduceSumInt) {
+  World w(4);
+  w.run([](Comm& c) {
+    EXPECT_EQ(c.allreduce_sum(static_cast<int64_t>(10 * (c.rank() + 1))), 100);
+  });
+}
+
+TEST(Collectives, AllreduceSumDouble) {
+  World w(4);
+  w.run([](Comm& c) {
+    double v = c.allreduce_sum(0.25);
+    EXPECT_DOUBLE_EQ(v, 1.0);
+  });
+}
+
+TEST(Collectives, Gather) {
+  World w(4);
+  w.run([](Comm& c) {
+    ser::Writer msg;
+    msg.put_i32(c.rank() * 10);
+    auto parts = c.gather(msg.bytes(), 3);
+    if (c.rank() == 3) {
+      ASSERT_EQ(parts.size(), 4u);
+      for (int r = 0; r < 4; ++r) {
+        EXPECT_EQ(ser::Reader(parts[static_cast<size_t>(r)]).get_i32(), r * 10);
+      }
+    } else {
+      EXPECT_TRUE(parts.empty());
+    }
+  });
+}
+
+TEST(Collectives, RepeatedCollectivesInterleaved) {
+  World w(3);
+  w.run([](Comm& c) {
+    for (int round = 0; round < 20; ++round) {
+      int64_t sum = c.allreduce_sum(static_cast<int64_t>(round + c.rank()));
+      EXPECT_EQ(sum, 3 * round + 3);
+      c.barrier();
+    }
+  });
+}
+
+TEST(World, RankExceptionPropagatesAndUnblocksPeers) {
+  World w(3);
+  try {
+    w.run([](Comm& c) {
+      if (c.rank() == 0) {
+        throw ScriptError("boom");
+      }
+      // Other ranks block forever; abort must wake them.
+      c.recv();
+    });
+    FAIL() << "expected exception";
+  } catch (const ScriptError& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  } catch (const CommError&) {
+    // A peer's abort exception may win the race; that is acceptable only
+    // if it mentions the aborting rank.
+    SUCCEED();
+  }
+}
+
+TEST(World, ReusableAcrossRuns) {
+  World w(2);
+  for (int i = 0; i < 3; ++i) {
+    w.run([](Comm& c) {
+      if (c.rank() == 0) {
+        c.send_str(1, 0, "ping");
+      } else {
+        EXPECT_EQ(ser::to_string(c.recv().data), "ping");
+      }
+    });
+  }
+}
+
+TEST(World, StatsCountTraffic) {
+  World w(2);
+  w.run([](Comm& c) {
+    if (c.rank() == 0) c.send_str(1, 0, "12345");
+    if (c.rank() == 1) c.recv();
+  });
+  TrafficStats s = w.stats();
+  EXPECT_GE(s.messages, 1u);
+  EXPECT_GE(s.bytes, 5u);
+}
+
+TEST(World, Wtime) {
+  World w(1);
+  w.run([](Comm& c) {
+    double a = c.wtime();
+    double b = c.wtime();
+    EXPECT_GE(b, a);
+  });
+}
+
+TEST(World, ManyRanksStress) {
+  World w(16);
+  w.run([](Comm& c) {
+    // Ring: each rank sends to the next, receives from the previous.
+    int next = (c.rank() + 1) % c.size();
+    int prev = (c.rank() + c.size() - 1) % c.size();
+    ser::Writer msg;
+    msg.put_i32(c.rank());
+    c.send(next, 11, msg);
+    Message m = c.recv(prev, 11);
+    EXPECT_EQ(m.reader().get_i32(), prev);
+    int64_t total = c.allreduce_sum(static_cast<int64_t>(1));
+    EXPECT_EQ(total, 16);
+  });
+}
+
+}  // namespace
+}  // namespace ilps::mpi

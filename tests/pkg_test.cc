@@ -1,0 +1,130 @@
+// PFS model, static packages, and the Tcl script-loading integration.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "pkg/pfs.h"
+#include "tcl/interp.h"
+
+namespace ilps::pkg {
+namespace {
+
+FileTree sample_tree() {
+  FileTree tree;
+  tree.add("lib/mypkg/pkgIndex.tcl",
+           make_pkg_index("mypkg", "1.0", "lib/mypkg", {"a.tcl", "b.tcl"}));
+  tree.add("lib/mypkg/a.tcl", "proc mypkg::fa {} { return fa_result }\n");
+  tree.add("lib/mypkg/b.tcl", "proc mypkg::fb {x} { return [expr $x * 2] }\n");
+  tree.add("scripts/util.tcl", "proc util_fn {} { return util_ok }\n");
+  return tree;
+}
+
+TEST(FileTree, Basics) {
+  FileTree tree = sample_tree();
+  EXPECT_EQ(tree.file_count(), 4u);
+  EXPECT_TRUE(tree.contains("scripts/util.tcl"));
+  EXPECT_FALSE(tree.contains("missing.tcl"));
+  ASSERT_NE(tree.get("scripts/util.tcl"), nullptr);
+  EXPECT_EQ(tree.list_dir("lib/mypkg").size(), 3u);
+  EXPECT_EQ(tree.list_dir("lib").size(), 3u);
+  EXPECT_TRUE(tree.list_dir("nowhere").empty());
+}
+
+TEST(PfsModel, ChargesMetadataLatency) {
+  PfsConfig cfg;
+  cfg.open_latency_us = 100.0;
+  cfg.read_us_per_byte = 0.0;
+  PfsModel pfs(sample_tree(), cfg);
+  EXPECT_TRUE(pfs.read("scripts/util.tcl").has_value());
+  EXPECT_FALSE(pfs.read("missing.tcl").has_value());
+  PfsStats s = pfs.stats();
+  EXPECT_EQ(s.opens, 2u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_DOUBLE_EQ(s.busy_us, 200.0);  // both opens cost metadata
+}
+
+TEST(PfsModel, ChargesBytes) {
+  PfsConfig cfg;
+  cfg.open_latency_us = 0.0;
+  cfg.read_us_per_byte = 2.0;
+  FileTree tree;
+  tree.add("f", "12345");
+  PfsModel pfs(tree, cfg);
+  pfs.read("f");
+  EXPECT_DOUBLE_EQ(pfs.simulated_time_us(), 10.0);
+  EXPECT_EQ(pfs.stats().bytes_read, 5u);
+}
+
+TEST(PfsModel, ConcurrentReadsAreSafe) {
+  PfsConfig cfg;
+  PfsModel pfs(sample_tree(), cfg);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&pfs] {
+      for (int i = 0; i < 50; ++i) {
+        EXPECT_TRUE(pfs.read("scripts/util.tcl").has_value());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(pfs.stats().opens, 400u);
+}
+
+TEST(StaticPackage, ReadsWithoutPfs) {
+  StaticPackage image = StaticPackage::build(sample_tree());
+  EXPECT_EQ(image.file_count(), 4u);
+  auto contents = image.read("scripts/util.tcl");
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_FALSE(image.read("missing").has_value());
+  EXPECT_EQ(image.reads(), 2u);
+}
+
+TEST(ScriptLoader, SourceThroughPfs) {
+  PfsModel pfs(sample_tree(), PfsConfig{});
+  tcl::Interp in;
+  install_script_loader(
+      in, [&pfs](const std::string& p) { return pfs.read(p); }, {"lib/mypkg"});
+  in.eval("source scripts/util.tcl");
+  EXPECT_EQ(in.eval("util_fn"), "util_ok");
+  EXPECT_GE(pfs.stats().opens, 1u);
+}
+
+TEST(ScriptLoader, PackageRequireThroughIndex) {
+  PfsModel pfs(sample_tree(), PfsConfig{});
+  tcl::Interp in;
+  install_script_loader(
+      in, [&pfs](const std::string& p) { return pfs.read(p); }, {"lib/other", "lib/mypkg"});
+  EXPECT_EQ(in.eval("package require mypkg"), "1.0");
+  EXPECT_EQ(in.eval("mypkg::fa"), "fa_result");
+  EXPECT_EQ(in.eval("mypkg::fb 21"), "42");
+  PfsStats s = pfs.stats();
+  // Costs: one failed probe (lib/other), the index, and two source files.
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.opens, 4u);
+}
+
+TEST(ScriptLoader, PackageRequireThroughStaticImage) {
+  StaticPackage image = StaticPackage::build(sample_tree());
+  tcl::Interp in;
+  install_script_loader(
+      in, [&image](const std::string& p) { return image.read(p); }, {"lib/mypkg"});
+  EXPECT_EQ(in.eval("package require mypkg"), "1.0");
+  EXPECT_EQ(in.eval("mypkg::fb 5"), "10");
+}
+
+TEST(ScriptLoader, MissingPackageStillFails) {
+  PfsModel pfs(sample_tree(), PfsConfig{});
+  tcl::Interp in;
+  install_script_loader(
+      in, [&pfs](const std::string& p) { return pfs.read(p); }, {"lib/mypkg"});
+  EXPECT_THROW(in.eval("package require ghost"), tcl::TclError);
+}
+
+TEST(MakePkgIndex, GeneratesValidTcl) {
+  std::string index = make_pkg_index("p", "2.1", "d", {"x.tcl"});
+  EXPECT_NE(index.find("package ifneeded p 2.1"), std::string::npos);
+  EXPECT_NE(index.find("source $dir/x.tcl"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ilps::pkg

@@ -1,0 +1,148 @@
+// Heavier integration runs: large fan-outs, deep recursion through the
+// distributed stack, mixed-language storms, and failure injection at
+// scale. These guard the termination protocol and rule engine against
+// races that only appear under load.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/runner.h"
+#include "swift/compiler.h"
+
+namespace ilps {
+namespace {
+
+TEST(Stress, ThousandLeafTasks) {
+  runtime::Config cfg;
+  cfg.engines = 2;
+  cfg.workers = 6;
+  cfg.servers = 2;
+  auto result = runtime::run_program(cfg, swift::compile(R"SW(
+    (int o) f (int i) [ "set <<o>> [ expr <<i>> * 2 + 1 ]" ];
+    foreach i in [0:999] {
+      int v = f(i);
+      if (v == 1999) { printf("last=%d", v); }
+    }
+  )SW"));
+  EXPECT_TRUE(result.contains("last=1999"));
+  EXPECT_EQ(result.unfired_rules, 0u);
+  EXPECT_GE(result.worker_stats.tasks, 1000u);
+}
+
+TEST(Stress, WideArrayFillAndDrain) {
+  runtime::Config cfg;
+  cfg.engines = 2;
+  cfg.workers = 4;
+  cfg.servers = 2;
+  auto result = runtime::run_program(cfg, swift::compile(R"SW(
+    int A[];
+    foreach i in [0:299] { A[i] = i * i; }
+    int n = size(A);
+    printf("n=%d", n);
+    foreach v, i in A {
+      if (i == 299) { printf("tail=%d", v); }
+    }
+  )SW"));
+  EXPECT_TRUE(result.contains("n=300"));
+  EXPECT_TRUE(result.contains("tail=89401"));
+  EXPECT_EQ(result.unfired_rules, 0u);
+}
+
+TEST(Stress, RecursiveTaskTreeThroughAdlb) {
+  // Composite recursion expands a task tree at run time: each node either
+  // splits or computes a leaf value.
+  runtime::Config cfg;
+  cfg.engines = 1;
+  cfg.workers = 4;
+  cfg.servers = 1;
+  auto result = runtime::run_program(cfg, swift::compile(R"SW(
+    (int o) leafv (int d) [ "set <<o>> 1" ];
+    (int r) node (int depth) {
+      if (depth == 0) {
+        r = leafv(depth);
+      } else {
+        int a = node(depth - 1);
+        int b = node(depth - 1);
+        r = a + b;
+      }
+    }
+    int total = node(7);
+    printf("leaves=%d", total);
+  )SW"));
+  EXPECT_TRUE(result.contains("leaves=128"));
+  EXPECT_EQ(result.unfired_rules, 0u);
+}
+
+TEST(Stress, MixedLanguageStorm) {
+  runtime::Config cfg;
+  cfg.engines = 1;
+  cfg.workers = 6;
+  cfg.servers = 1;
+  auto result = runtime::run_program(cfg, swift::compile(R"SW(
+    foreach i in [0:24] {
+      string istr = tostring(i);
+      string pycode = strcat("x = ", istr, " * 2");
+      string py = python(pycode, "x");
+      string rcode = strcat("y <- ", py, " + 1");
+      string rr = r(rcode, "y");
+      printf("i=%d -> %s", i, rr);
+    }
+  )SW"));
+  EXPECT_EQ(result.lines.size(), 25u);
+  EXPECT_TRUE(result.contains("i=24 -> 49"));
+  EXPECT_EQ(result.worker_stats.python_evals, 25u);
+  EXPECT_EQ(result.worker_stats.r_evals, 25u);
+}
+
+TEST(Stress, TerminationUnderRepeatedRacyLayouts) {
+  // Small, racy config run repeatedly — the quiescence protocol must
+  // conclude every time.
+  const std::string program = swift::compile(R"SW(
+    (int o) f (int i) [ "set <<o>> <<i>>" ];
+    foreach i in [0:9] {
+      int v = f(i);
+      trace(v);
+    }
+  )SW");
+  for (int round = 0; round < 15; ++round) {
+    runtime::Config cfg;
+    cfg.engines = 1 + round % 3;
+    cfg.workers = 1 + round % 4;
+    cfg.servers = 1 + round % 2;
+    auto result = runtime::run_program(cfg, program);
+    EXPECT_EQ(result.lines.size(), 10u) << "round " << round;
+    EXPECT_EQ(result.unfired_rules, 0u) << "round " << round;
+  }
+}
+
+TEST(Stress, ErrorInOneTaskAbortsCleanly) {
+  runtime::Config cfg;
+  cfg.engines = 1;
+  cfg.workers = 4;
+  cfg.servers = 1;
+  // 50 good tasks and one that throws deep inside a worker.
+  std::string program;
+  for (int i = 0; i < 50; ++i) program += "turbine::put_work {set _ 1}\n";
+  program += "turbine::put_work {error injected_failure}\n";
+  EXPECT_THROW(runtime::run_program(cfg, program), Error);
+}
+
+TEST(Stress, ManyIndependentDataflowVariables) {
+  // 400 futures with interleaving stores and arithmetic rules.
+  std::string src;
+  for (int i = 0; i < 200; ++i) {
+    src += "int a" + std::to_string(i) + " = " + std::to_string(i) + ";\n";
+    src += "int b" + std::to_string(i) + " = a" + std::to_string(i) + " + 1;\n";
+  }
+  src += "printf(\"b199=%d\", b199);\n";
+  runtime::Config cfg;
+  cfg.engines = 1;
+  cfg.workers = 2;
+  cfg.servers = 2;
+  auto result = runtime::run_program(cfg, swift::compile(src));
+  EXPECT_TRUE(result.contains("b199=200"));
+  EXPECT_EQ(result.unfired_rules, 0u);
+}
+
+}  // namespace
+}  // namespace ilps

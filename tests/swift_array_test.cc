@@ -1,0 +1,214 @@
+// Swift arrays: containers with write-refcount lifecycle, element
+// dataflow, foreach-over-array, and size().
+#include <gtest/gtest.h>
+
+#include "runtime/runner.h"
+#include "swift/ast.h"
+#include "swift/compiler.h"
+
+namespace ilps::swift {
+namespace {
+
+runtime::RunResult run(const std::string& source, int workers = 2, int engines = 1,
+                       int servers = 1) {
+  runtime::Config cfg;
+  cfg.engines = engines;
+  cfg.workers = workers;
+  cfg.servers = servers;
+  return runtime::run_program(cfg, compile(source));
+}
+
+TEST(SwiftArrayParse, Forms) {
+  Program p = parse_swift(R"(
+    int A[];
+    A[0] = 1;
+    int x = A[0];
+    foreach v, i in A { trace(v); }
+    foreach v in A { trace(v); }
+  )");
+  ASSERT_EQ(p.main_statements.size(), 5u);
+  EXPECT_TRUE(p.main_statements[0]->is_array);
+  EXPECT_EQ(p.main_statements[1]->kind, Stmt::Kind::kArrayAssign);
+  EXPECT_EQ(p.main_statements[2]->value->kind, Expr::Kind::kIndex);
+  EXPECT_EQ(p.main_statements[3]->kind, Stmt::Kind::kForeachArray);
+  EXPECT_EQ(p.main_statements[3]->index_name, "i");
+  EXPECT_TRUE(p.main_statements[4]->index_name.empty());
+}
+
+TEST(SwiftArrayCompile, Errors) {
+  EXPECT_THROW(compile("int x = 1; x[0] = 2;"), SwiftError);      // not an array
+  EXPECT_THROW(compile("int A[]; int y = A;"), SwiftError);        // array as scalar
+  EXPECT_THROW(compile("int A[]; A = 1;"), SwiftError);            // whole-array assign
+  EXPECT_THROW(compile("int A[]; A[\"k\"] = 1;"), SwiftError);     // non-int index
+  EXPECT_THROW(compile("int A[]; A[0] = \"s\";"), SwiftError);     // element type
+  EXPECT_THROW(compile("int x = 1; foreach v in x { }"), SwiftError);
+  EXPECT_THROW(compile("int x = size(5);"), SwiftError);
+}
+
+TEST(SwiftArrayRun, StoreAndRead) {
+  auto result = run(R"(
+    int A[];
+    A[0] = 10;
+    A[1] = 20;
+    int x = A[0] + A[1];
+    printf("x=%d", x);
+  )");
+  EXPECT_TRUE(result.contains("x=30"));
+  EXPECT_EQ(result.unfired_rules, 0u);
+}
+
+TEST(SwiftArrayRun, FilledByForeachReadByForeach) {
+  // The canonical Swift pattern: a loop fills the array, a second loop
+  // consumes it once the write refcounts prove it complete.
+  auto result = run(R"(
+    (int o) f (int i) [ "set <<o>> [ expr <<i>> * <<i>> ]" ];
+    int A[];
+    foreach i in [0:4] {
+      A[i] = f(i);
+    }
+    foreach v, i in A {
+      printf("A[%d]=%d", i, v);
+    }
+  )", /*workers=*/4);
+  EXPECT_EQ(result.lines.size(), 5u);
+  EXPECT_TRUE(result.contains("A[0]=0"));
+  EXPECT_TRUE(result.contains("A[3]=9"));
+  EXPECT_TRUE(result.contains("A[4]=16"));
+  EXPECT_EQ(result.unfired_rules, 0u);
+}
+
+TEST(SwiftArrayRun, SizeBuiltin) {
+  auto result = run(R"(
+    int A[];
+    foreach i in [0:6] { A[i] = i; }
+    int n = size(A);
+    printf("n=%d", n);
+  )");
+  EXPECT_TRUE(result.contains("n=7"));
+}
+
+TEST(SwiftArrayRun, ValueOnlyForeach) {
+  auto result = run(R"(
+    string S[];
+    S[0] = "a";
+    S[1] = "b";
+    foreach v in S { printf("<%s>", v); }
+  )");
+  EXPECT_EQ(result.lines.size(), 2u);
+  EXPECT_TRUE(result.contains("<a>"));
+  EXPECT_TRUE(result.contains("<b>"));
+}
+
+TEST(SwiftArrayRun, ConditionalWrites) {
+  // Writes under dataflow `if`: the write-reference transfer must keep
+  // the array open until the branch decides.
+  auto result = run(R"(
+    (int o) ident (int i) [ "set <<o>> <<i>>" ];
+    int A[];
+    int cond = ident(1);
+    if (cond == 1) {
+      A[0] = 100;
+    } else {
+      A[0] = 200;
+    }
+    foreach v, i in A { printf("got %d", v); }
+  )");
+  ASSERT_EQ(result.lines.size(), 1u);
+  EXPECT_TRUE(result.contains("got 100"));
+  EXPECT_EQ(result.unfired_rules, 0u);
+}
+
+TEST(SwiftArrayRun, NestedLoopsWriting) {
+  auto result = run(R"(
+    int A[];
+    foreach i in [0:1] {
+      foreach j in [0:1] {
+        A[i * 2 + j] = i * 10 + j;
+      }
+    }
+    int n = size(A);
+    printf("n=%d", n);
+    foreach v, k in A { printf("%d:%d", k, v); }
+  )", /*workers=*/3, /*engines=*/2);
+  EXPECT_TRUE(result.contains("n=4"));
+  EXPECT_TRUE(result.contains("3:11"));
+  EXPECT_EQ(result.lines.size(), 5u);
+  EXPECT_EQ(result.unfired_rules, 0u);
+}
+
+TEST(SwiftArrayRun, FloatAndStringArrays) {
+  auto result = run(R"(
+    float F[];
+    foreach i in [0:2] { F[i] = tofloat(tostring(i)) * 1.5; }
+    foreach v, i in F { printf("F[%d]=%.1f", i, v); }
+  )");
+  EXPECT_EQ(result.lines.size(), 3u);
+  EXPECT_TRUE(result.contains("F[2]=3.0"));
+}
+
+TEST(SwiftArrayRun, ArrayFeedsReduction) {
+  // Consume an array inside a composite chain: sum via foreach into
+  // per-element leaf prints plus size-gated output.
+  auto result = run(R"(
+    (int o) triple (int i) [ "set <<o>> [ expr <<i>> * 3 ]" ];
+    int A[];
+    foreach i in [1:4] {
+      A[i] = triple(i);
+    }
+    foreach v, i in A {
+      int check = v - i * 3;
+      if (check == 0) { printf("ok %d", i); }
+    }
+  )", /*workers=*/4);
+  EXPECT_EQ(result.lines.size(), 4u);
+  EXPECT_EQ(result.unfired_rules, 0u);
+}
+
+TEST(SwiftArrayRun, StringKeyedArrays) {
+  auto result = run(R"(
+    (int o) wc (string s) [ "set <<o>> [ llength <<s>> ]" ];
+    int counts[string];
+    counts["alpha beta"] = wc("alpha beta");
+    counts["x"] = wc("x");
+    counts["one two three"] = wc("one two three");
+    foreach v, k in counts {
+      printf("%s -> %d", k, v);
+    }
+    int direct = counts["x"];
+    printf("direct=%d", direct);
+  )");
+  EXPECT_EQ(result.lines.size(), 4u);
+  EXPECT_TRUE(result.contains("alpha beta -> 2"));
+  EXPECT_TRUE(result.contains("one two three -> 3"));
+  EXPECT_TRUE(result.contains("direct=1"));
+  EXPECT_EQ(result.unfired_rules, 0u);
+}
+
+TEST(SwiftArrayRun, KeyTypeChecked) {
+  EXPECT_THROW(compile("int A[string]; A[1] = 2;"), SwiftError);
+  EXPECT_THROW(compile("int A[]; A[\"k\"] = 2;"), SwiftError);
+  EXPECT_THROW(compile("int A[float];"), SwiftError);
+  EXPECT_THROW(compile("int A[string]; int x = A[5];"), SwiftError);
+}
+
+TEST(SwiftArrayRun, ExplicitIntKeySyntax) {
+  auto result = run(R"(
+    int A[int];
+    A[3] = 33;
+    foreach v, i in A { printf("%d:%d", i, v); }
+  )");
+  EXPECT_TRUE(result.contains("3:33"));
+}
+
+TEST(SwiftArrayRun, EmptyArrayCloses) {
+  auto result = run(R"(
+    int A[];
+    int n = size(A);
+    printf("empty=%d", n);
+  )");
+  EXPECT_TRUE(result.contains("empty=0"));
+  EXPECT_EQ(result.unfired_rules, 0u);
+}
+
+}  // namespace
+}  // namespace ilps::swift

@@ -1,0 +1,414 @@
+// STC: Swift parsing, type checking, and compiled programs running end to
+// end through Turbine/ADLB — including the paper's own code fragments.
+#include <gtest/gtest.h>
+
+#include "runtime/runner.h"
+#include "swift/ast.h"
+#include "swift/compiler.h"
+
+namespace ilps::swift {
+namespace {
+
+runtime::RunResult run(const std::string& source, int workers = 2, int engines = 1,
+                       int servers = 1) {
+  runtime::Config cfg;
+  cfg.engines = engines;
+  cfg.workers = workers;
+  cfg.servers = servers;
+  return runtime::run_program(cfg, compile(source));
+}
+
+// ---- parser ----
+
+TEST(SwiftParse, Declarations) {
+  Program p = parse_swift("int x; float y = 1.5; string s = \"hi\"; boolean b = true;");
+  ASSERT_EQ(p.main_statements.size(), 4u);
+  EXPECT_EQ(p.main_statements[0]->kind, Stmt::Kind::kDecl);
+  EXPECT_EQ(p.main_statements[0]->type, Type::kInt);
+  EXPECT_EQ(p.main_statements[1]->value->kind, Expr::Kind::kFloatLit);
+}
+
+TEST(SwiftParse, LeafFunctionPaperSyntax) {
+  // The exact shape from §III.A of the paper.
+  Program p = parse_swift(R"(
+    (int o) f (int i, int j) "my_package" "1.0" [
+      "set <<o>> [ f <<i>> <<j>> ]"
+    ];
+  )");
+  ASSERT_EQ(p.functions.size(), 1u);
+  const FunctionDef& fn = p.functions[0];
+  EXPECT_TRUE(fn.is_leaf);
+  EXPECT_EQ(fn.name, "f");
+  EXPECT_EQ(fn.package, "my_package");
+  EXPECT_EQ(fn.package_version, "1.0");
+  ASSERT_EQ(fn.outputs.size(), 1u);
+  EXPECT_EQ(fn.outputs[0].name, "o");
+  ASSERT_EQ(fn.inputs.size(), 2u);
+  EXPECT_NE(fn.template_text.find("<<o>>"), std::string::npos);
+}
+
+TEST(SwiftParse, CompositeFunction) {
+  Program p = parse_swift("(int r) double_it (int a) { r = a + a; }");
+  ASSERT_EQ(p.functions.size(), 1u);
+  EXPECT_FALSE(p.functions[0].is_leaf);
+  EXPECT_EQ(p.functions[0].body.size(), 1u);
+}
+
+TEST(SwiftParse, ForeachAndIf) {
+  Program p = parse_swift(R"(
+    foreach i in [0:9] {
+      if (i > 4) { trace(i); } else { trace(0); }
+    }
+  )");
+  ASSERT_EQ(p.main_statements.size(), 1u);
+  EXPECT_EQ(p.main_statements[0]->kind, Stmt::Kind::kForeach);
+  EXPECT_EQ(p.main_statements[0]->body[0]->kind, Stmt::Kind::kIf);
+}
+
+TEST(SwiftParse, MainBlock) {
+  Program p = parse_swift("main { int x = 1; }");
+  EXPECT_EQ(p.main_statements.size(), 1u);
+}
+
+TEST(SwiftParse, SyntaxErrors) {
+  EXPECT_THROW(parse_swift("int x"), SwiftError);          // missing ;
+  EXPECT_THROW(parse_swift("foreach i [0:1] {}"), SwiftError);  // missing in
+  EXPECT_THROW(parse_swift("int x = ;"), SwiftError);
+  EXPECT_THROW(parse_swift("(int o) f (int i) [ 42 ];"), SwiftError);
+  EXPECT_THROW(parse_swift("if x { }"), SwiftError);
+}
+
+// ---- compile-time checks ----
+
+TEST(SwiftCompile, UndefinedVariable) {
+  EXPECT_THROW(compile("int x = y;"), SwiftError);
+}
+
+TEST(SwiftCompile, Redeclaration) {
+  EXPECT_THROW(compile("int x; int x;"), SwiftError);
+}
+
+TEST(SwiftCompile, UndefinedFunction) {
+  EXPECT_THROW(compile("int x = nothere(1);"), SwiftError);
+}
+
+TEST(SwiftCompile, TypeMismatch) {
+  EXPECT_THROW(compile("int x = \"str\";"), SwiftError);
+  EXPECT_THROW(compile("string s = 1 + 2;"), SwiftError);
+  EXPECT_THROW(compile("int x = 1; string s = \"a\"; int y = x + s;"), SwiftError);
+  EXPECT_THROW(compile("float f = 1.5; int x = f % 2;"), SwiftError);
+}
+
+TEST(SwiftCompile, ArityChecks) {
+  const char* defs = "(int o) f (int i) [ \"set <<o>> <<i>>\" ];";
+  EXPECT_THROW(compile(std::string(defs) + "int x = f();"), SwiftError);
+  EXPECT_THROW(compile(std::string(defs) + "int x = f(1, 2);"), SwiftError);
+}
+
+TEST(SwiftCompile, TemplateUnknownPlaceholder) {
+  EXPECT_THROW(compile("(int o) f (int i) [ \"set <<o>> <<bogus>>\" ];"), SwiftError);
+}
+
+TEST(SwiftCompile, OutputContainsMainProc) {
+  std::string tcl = compile("int x = 1;");
+  EXPECT_NE(tcl.find("proc swift:main"), std::string::npos);
+  EXPECT_NE(tcl.find(runtime_prelude()), std::string::npos);
+}
+
+// ---- end-to-end execution ----
+
+TEST(SwiftRun, HelloWorld) {
+  auto result = run(R"(printf("hello swift");)");
+  ASSERT_EQ(result.lines.size(), 1u);
+  EXPECT_EQ(result.lines[0], "hello swift");
+}
+
+TEST(SwiftRun, ArithmeticDataflow) {
+  auto result = run(R"(
+    int x = 3;
+    int y = x + 4;
+    int z = y * y;
+    printf("z=%d", z);
+  )");
+  EXPECT_TRUE(result.contains("z=49"));
+  EXPECT_EQ(result.unfired_rules, 0u);
+}
+
+TEST(SwiftRun, FloatsAndMixedArithmetic) {
+  auto result = run(R"(
+    float a = 1.5;
+    float b = a * 2;
+    float c = b + 0.25;
+    printf("c=%.2f", c);
+  )");
+  EXPECT_TRUE(result.contains("c=3.25"));
+}
+
+TEST(SwiftRun, Strings) {
+  auto result = run(R"(
+    string a = "inter";
+    string b = "language";
+    string c = a + b;
+    string d = strcat(c, " ", "scripting");
+    printf("%s", d);
+  )");
+  EXPECT_TRUE(result.contains("interlanguage scripting"));
+}
+
+TEST(SwiftRun, Conversions) {
+  auto result = run(R"(
+    int n = toint("42");
+    float f = tofloat("2.5");
+    string s = tostring(n);
+    printf("n=%d f=%.1f s=%s", n, f, s);
+  )");
+  EXPECT_TRUE(result.contains("n=42 f=2.5 s=42"));
+}
+
+TEST(SwiftRun, SprintfBuiltin) {
+  auto result = run(R"(
+    string s = sprintf("%05d!", 99);
+    printf("%s", s);
+  )");
+  EXPECT_TRUE(result.contains("00099!"));
+}
+
+TEST(SwiftRun, BooleanOpsAndComparisons) {
+  auto result = run(R"(
+    int a = 5;
+    boolean big = a > 3;
+    boolean both = big && (a < 10);
+    if (both) { printf("yes"); } else { printf("no"); }
+  )");
+  EXPECT_TRUE(result.contains("yes"));
+}
+
+TEST(SwiftRun, StringEquality) {
+  auto result = run(R"(
+    string a = "x y";
+    string b = "x y";
+    if (a == b) { printf("equal"); }
+    if (a != "other") { printf("differs"); }
+  )");
+  EXPECT_TRUE(result.contains("equal"));
+  EXPECT_TRUE(result.contains("differs"));
+}
+
+// The paper's §II.A dataflow fragment: statement order does not determine
+// execution order; g blocks until f's output is stored.
+TEST(SwiftRun, PaperDataflowFragment) {
+  auto result = run(R"(
+    (int o) f (int i) [ "set <<o>> [ expr <<i>> * 10 ]" ];
+    (int o) g (int x, int k) [ "set <<o>> [ expr <<x>> + <<k>> ]" ];
+    int x;
+    x = f(3);
+    int y1 = g(x, 1);
+    int y2 = g(x, 2);
+    printf("y1=%d y2=%d", y1, y2);
+  )");
+  EXPECT_TRUE(result.contains("y1=31 y2=32"));
+  EXPECT_EQ(result.unfired_rules, 0u);
+}
+
+TEST(SwiftRun, LeafWithPackage) {
+  // The paper's §III.A example, with the package made available on all
+  // ranks through the interp setup hook.
+  runtime::Config cfg;
+  cfg.engines = 1;
+  cfg.workers = 2;
+  cfg.servers = 1;
+  cfg.setup_interp = [](tcl::Interp& in) {
+    in.package_ifneeded("my_package", "1.0",
+                        "proc f {i j} { expr $i + $j }; package provide my_package 1.0");
+  };
+  std::string tcl = compile(R"(
+    (int o) f (int i, int j) "my_package" "1.0" [
+      "set <<o>> [ f <<i>> <<j>> ]"
+    ];
+    int r = f(20, 22);
+    printf("r=%d", r);
+  )");
+  auto result = runtime::run_program(cfg, tcl);
+  EXPECT_TRUE(result.contains("r=42"));
+}
+
+// The paper's Fig. 1 loop: concurrent pipelines of f and g.
+TEST(SwiftRun, PaperForeachPipelines) {
+  auto result = run(R"(
+    (int o) f (int i) [ "set <<o>> [ expr <<i>> * <<i>> ]" ];
+    (int o) g (int t) [ "set <<o>> [ expr <<t>> % 3 ]" ];
+    foreach i in [0:9] {
+      int t = f(i);
+      int gt = g(t);
+      if (gt == 0) { printf("g(%d) == 0", t); }
+    }
+  )", /*workers=*/4);
+  // i*i % 3 == 0 for i in {0, 3, 6, 9}: t in {0, 9, 36, 81}.
+  EXPECT_EQ(result.lines.size(), 4u);
+  EXPECT_TRUE(result.contains("g(0) == 0"));
+  EXPECT_TRUE(result.contains("g(9) == 0"));
+  EXPECT_TRUE(result.contains("g(36) == 0"));
+  EXPECT_TRUE(result.contains("g(81) == 0"));
+  EXPECT_EQ(result.unfired_rules, 0u);
+}
+
+TEST(SwiftRun, ForeachWithStepAndExpressions) {
+  auto result = run(R"(
+    int lo = 2;
+    int hi = 10;
+    foreach i in [lo:hi:4] {
+      printf("i=%d", i);
+    }
+  )");
+  EXPECT_EQ(result.lines.size(), 3u);  // 2, 6, 10
+  EXPECT_TRUE(result.contains("i=6"));
+}
+
+TEST(SwiftRun, NestedForeach) {
+  auto result = run(R"(
+    foreach i in [0:1] {
+      foreach j in [0:1] {
+        printf("%d%d", i, j);
+      }
+    }
+  )", /*workers=*/3, /*engines=*/2);
+  EXPECT_EQ(result.lines.size(), 4u);
+  EXPECT_TRUE(result.contains("01"));
+  EXPECT_TRUE(result.contains("10"));
+}
+
+TEST(SwiftRun, CompositeFunctions) {
+  auto result = run(R"(
+    (int r) square (int a) { r = a * a; }
+    (int r) sumsq (int a, int b) {
+      int sa = square(a);
+      int sb = square(b);
+      r = sa + sb;
+    }
+    int v = sumsq(3, 4);
+    printf("v=%d", v);
+  )");
+  EXPECT_TRUE(result.contains("v=25"));
+}
+
+TEST(SwiftRun, IfOnFutureCondition) {
+  auto result = run(R"(
+    (int o) slow_id (int i) [ "set <<o>> <<i>>" ];
+    int x = slow_id(7);
+    if (x > 5) {
+      printf("big %d", x);
+    } else {
+      printf("small %d", x);
+    }
+  )");
+  EXPECT_TRUE(result.contains("big 7"));
+}
+
+TEST(SwiftRun, ElseIfChain) {
+  auto result = run(R"(
+    int x = 5;
+    if (x > 10) { printf("huge"); }
+    else if (x > 3) { printf("medium"); }
+    else { printf("small"); }
+  )");
+  EXPECT_TRUE(result.contains("medium"));
+}
+
+TEST(SwiftRun, PythonBuiltin) {
+  auto result = run(R"(
+    string res = python("y = 6 * 7", "y");
+    printf("py=%s", res);
+  )");
+  EXPECT_TRUE(result.contains("py=42"));
+}
+
+TEST(SwiftRun, RBuiltin) {
+  auto result = run(R"SW(
+    string res = r("v <- c(2, 4, 6)", "mean(v)");
+    printf("r=%s", res);
+  )SW");
+  EXPECT_TRUE(result.contains("r=4"));
+}
+
+TEST(SwiftRun, ShBuiltin) {
+  auto result = run(R"(
+    string out = sh("/bin/echo", "from", "the", "shell");
+    printf("[%s]", out);
+  )");
+  EXPECT_TRUE(result.contains("[from the shell]"));
+}
+
+TEST(SwiftRun, InterlanguageChain) {
+  // Python output feeds R input through Swift futures: the paper's
+  // headline capability in one expression chain.
+  auto result = run(R"SW(
+    string py = python("v = 10 + 5", "v");
+    string rexpr = strcat("x <- ", py, " * 2");
+    string doubled = r(rexpr, "x");
+    printf("chain=%s", doubled);
+  )SW");
+  EXPECT_TRUE(result.contains("chain=30"));
+}
+
+TEST(SwiftRun, TraceBuiltin) {
+  auto result = run(R"(
+    int x = 9;
+    trace(x, x);
+  )");
+  EXPECT_TRUE(result.contains("trace: 9,9"));
+}
+
+TEST(SwiftRun, ManyEnginesManyServers) {
+  auto result = run(R"(
+    (int o) work (int i) [ "set <<o>> [ expr <<i>> + 100 ]" ];
+    foreach i in [0:19] {
+      int v = work(i);
+      printf("v=%d", v);
+    }
+  )", /*workers=*/4, /*engines=*/2, /*servers=*/2);
+  EXPECT_EQ(result.lines.size(), 20u);
+  EXPECT_TRUE(result.contains("v=119"));
+  EXPECT_EQ(result.unfired_rules, 0u);
+}
+
+TEST(SwiftRun, MultiOutputAssignment) {
+  auto result = run(R"SW(
+    (int q, int rem) divmod (int a, int b) [
+      "set <<q>> [ expr <<a>> / <<b>> ]
+       set <<rem>> [ expr <<a>> % <<b>> ]"
+    ];
+    int q;
+    int rem;
+    q, rem = divmod(17, 5);
+    printf("17 = %d*5 + %d", q, rem);
+  )SW");
+  EXPECT_TRUE(result.contains("17 = 3*5 + 2"));
+  EXPECT_EQ(result.unfired_rules, 0u);
+}
+
+TEST(SwiftRun, MultiOutputErrors) {
+  const char* defs = R"SW(
+    (int a, int b) two (int x) [ "set <<a>> 1
+set <<b>> 2" ];
+  )SW";
+  EXPECT_THROW(compile(std::string(defs) + "int a; a = two(1);"), SwiftError);
+  EXPECT_THROW(compile(std::string(defs) + "int a; int b; int c; a, b, c = two(1);"),
+               SwiftError);
+  EXPECT_THROW(compile(std::string(defs) + "int a; string s; a, s = two(1);"), SwiftError);
+  EXPECT_THROW(compile("int a; int b; a, b = 5;"), SwiftError);
+}
+
+TEST(SwiftRun, DeadlockIsDetectedNotHung) {
+  // x is never assigned: the rule never fires, the run still terminates,
+  // and the unfired rule is reported.
+  auto result = run(R"(
+    int x;
+    int y = x + 1;
+    printf("y=%d", y);
+  )");
+  EXPECT_GE(result.unfired_rules, 1u);
+  EXPECT_FALSE(result.contains("y="));
+}
+
+}  // namespace
+}  // namespace ilps::swift

@@ -1,0 +1,264 @@
+// List, string, dict, array and format built-ins.
+#include <gtest/gtest.h>
+
+#include "tcl/interp.h"
+
+namespace ilps::tcl {
+namespace {
+
+class BuiltinsTest : public ::testing::Test {
+ protected:
+  std::string ev(std::string_view s) { return in.eval(s); }
+  Interp in;
+};
+
+// ---- lists ----
+
+TEST_F(BuiltinsTest, ListAndLlength) {
+  EXPECT_EQ(ev("list a b c"), "a b c");
+  EXPECT_EQ(ev("list {a b} c"), "{a b} c");
+  EXPECT_EQ(ev("llength {a b c}"), "3");
+  EXPECT_EQ(ev("llength {}"), "0");
+  EXPECT_EQ(ev("llength [list]"), "0");
+}
+
+TEST_F(BuiltinsTest, ListPreservesEmptyAndSpecial) {
+  ev("set l [list {} {a b} \\$x]");
+  EXPECT_EQ(ev("llength $l"), "3");
+  EXPECT_EQ(ev("lindex $l 0"), "");
+  EXPECT_EQ(ev("lindex $l 1"), "a b");
+  EXPECT_EQ(ev("lindex $l 2"), "$x");
+}
+
+TEST_F(BuiltinsTest, Lindex) {
+  EXPECT_EQ(ev("lindex {a b c} 1"), "b");
+  EXPECT_EQ(ev("lindex {a b c} end"), "c");
+  EXPECT_EQ(ev("lindex {a b c} end-1"), "b");
+  EXPECT_EQ(ev("lindex {a b c} 5"), "");
+  EXPECT_EQ(ev("lindex {a b c} -1"), "");
+}
+
+TEST_F(BuiltinsTest, Lappend) {
+  ev("set l {}");
+  ev("lappend l a");
+  ev("lappend l {b c} d");
+  EXPECT_EQ(ev("set l"), "a {b c} d");
+  EXPECT_EQ(ev("llength $l"), "3");
+  // lappend creates the variable if needed.
+  ev("lappend fresh x");
+  EXPECT_EQ(ev("set fresh"), "x");
+}
+
+TEST_F(BuiltinsTest, Lrange) {
+  EXPECT_EQ(ev("lrange {a b c d e} 1 3"), "b c d");
+  EXPECT_EQ(ev("lrange {a b c} 0 end"), "a b c");
+  EXPECT_EQ(ev("lrange {a b c} 2 1"), "");
+  EXPECT_EQ(ev("lrange {a b c} -2 1"), "a b");
+}
+
+TEST_F(BuiltinsTest, LinsertLreplace) {
+  EXPECT_EQ(ev("linsert {a c} 1 b"), "a b c");
+  EXPECT_EQ(ev("linsert {a b} end c"), "a b c");
+  EXPECT_EQ(ev("linsert {a b} 0 z"), "z a b");
+  EXPECT_EQ(ev("lreplace {a b c d} 1 2 X Y Z"), "a X Y Z d");
+  EXPECT_EQ(ev("lreplace {a b c} 0 0"), "b c");
+}
+
+TEST_F(BuiltinsTest, Lsearch) {
+  EXPECT_EQ(ev("lsearch {a b c} b"), "1");
+  EXPECT_EQ(ev("lsearch {a b c} z"), "-1");
+  EXPECT_EQ(ev("lsearch {foo bar baz} b*"), "1");
+  EXPECT_EQ(ev("lsearch -exact {foo b* bar} b*"), "1");
+  EXPECT_EQ(ev("lsearch -all {a b a b} b"), "1 3");
+}
+
+TEST_F(BuiltinsTest, Lsort) {
+  EXPECT_EQ(ev("lsort {banana apple cherry}"), "apple banana cherry");
+  EXPECT_EQ(ev("lsort -integer {10 2 33 4}"), "2 4 10 33");
+  EXPECT_EQ(ev("lsort -real {1.5 0.2 3.0}"), "0.2 1.5 3.0");
+  EXPECT_EQ(ev("lsort -decreasing -integer {1 3 2}"), "3 2 1");
+  EXPECT_EQ(ev("lsort -unique {b a b c a}"), "a b c");
+  EXPECT_EQ(ev("lsort {10 9}"), "10 9");  // ascii sort
+}
+
+TEST_F(BuiltinsTest, LsortCommand) {
+  ev("proc bylen {a b} {expr [string length $a] - [string length $b]}");
+  EXPECT_EQ(ev("lsort -command bylen {ccc a bb}"), "a bb ccc");
+}
+
+TEST_F(BuiltinsTest, LreverseLassign) {
+  EXPECT_EQ(ev("lreverse {1 2 3}"), "3 2 1");
+  EXPECT_EQ(ev("lassign {1 2 3 4} a b"), "3 4");
+  EXPECT_EQ(ev("set a"), "1");
+  EXPECT_EQ(ev("set b"), "2");
+  EXPECT_EQ(ev("lassign {1} x y"), "");
+  EXPECT_EQ(ev("set y"), "");
+}
+
+TEST_F(BuiltinsTest, Lmap) {
+  EXPECT_EQ(ev("lmap x {1 2 3} {expr $x * $x}"), "1 4 9");
+}
+
+TEST_F(BuiltinsTest, ConcatJoinSplit) {
+  EXPECT_EQ(ev("concat {a b} {c d}"), "a b c d");
+  EXPECT_EQ(ev("concat a {} b"), "a b");
+  EXPECT_EQ(ev("join {a b c} -"), "a-b-c");
+  EXPECT_EQ(ev("join {a b c}"), "a b c");
+  EXPECT_EQ(ev("split a,b,,c ,"), "a b {} c");
+  EXPECT_EQ(ev("split abc {}"), "a b c");
+  EXPECT_EQ(ev("split {a b}"), "a b");
+}
+
+// ---- dict ----
+
+TEST_F(BuiltinsTest, DictBasics) {
+  ev("set d [dict create a 1 b 2]");
+  EXPECT_EQ(ev("dict get $d a"), "1");
+  EXPECT_EQ(ev("dict get $d b"), "2");
+  EXPECT_EQ(ev("dict exists $d a"), "1");
+  EXPECT_EQ(ev("dict exists $d z"), "0");
+  EXPECT_EQ(ev("dict size $d"), "2");
+  EXPECT_EQ(ev("dict keys $d"), "a b");
+  EXPECT_EQ(ev("dict values $d"), "1 2");
+  EXPECT_THROW(ev("dict get $d missing"), TclError);
+}
+
+TEST_F(BuiltinsTest, DictSetUnsetMerge) {
+  ev("set d [dict create a 1]");
+  ev("dict set d b 2");
+  ev("dict set d a 10");
+  EXPECT_EQ(ev("dict get $d a"), "10");
+  EXPECT_EQ(ev("dict size $d"), "2");
+  ev("dict unset d a");
+  EXPECT_EQ(ev("dict exists $d a"), "0");
+  EXPECT_EQ(ev("dict merge {a 1 b 2} {b 3 c 4}"), "a 1 b 3 c 4");
+}
+
+TEST_F(BuiltinsTest, DictFor) {
+  ev("set acc {}");
+  ev("dict for {k v} {a 1 b 2} {append acc $k$v}");
+  EXPECT_EQ(ev("set acc"), "a1b2");
+}
+
+// ---- string ----
+
+TEST_F(BuiltinsTest, StringBasics) {
+  EXPECT_EQ(ev("string length hello"), "5");
+  EXPECT_EQ(ev("string length {}"), "0");
+  EXPECT_EQ(ev("string index hello 1"), "e");
+  EXPECT_EQ(ev("string index hello end"), "o");
+  EXPECT_EQ(ev("string index hello 99"), "");
+  EXPECT_EQ(ev("string range hello 1 3"), "ell");
+  EXPECT_EQ(ev("string range hello 2 end"), "llo");
+  EXPECT_EQ(ev("string tolower HeLLo"), "hello");
+  EXPECT_EQ(ev("string toupper hello"), "HELLO");
+}
+
+TEST_F(BuiltinsTest, StringTrim) {
+  EXPECT_EQ(ev("string trim {  hi  }"), "hi");
+  EXPECT_EQ(ev("string trimleft {  hi  }"), "hi  ");
+  EXPECT_EQ(ev("string trimright {  hi  }"), "  hi");
+  EXPECT_EQ(ev("string trim xxhixx x"), "hi");
+}
+
+TEST_F(BuiltinsTest, StringSearch) {
+  EXPECT_EQ(ev("string first ll hello"), "2");
+  EXPECT_EQ(ev("string first z hello"), "-1");
+  EXPECT_EQ(ev("string first l hello 3"), "3");
+  EXPECT_EQ(ev("string last l hello"), "3");
+}
+
+TEST_F(BuiltinsTest, StringCompareEqual) {
+  EXPECT_EQ(ev("string compare a b"), "-1");
+  EXPECT_EQ(ev("string compare b a"), "1");
+  EXPECT_EQ(ev("string compare a a"), "0");
+  EXPECT_EQ(ev("string equal a a"), "1");
+  EXPECT_EQ(ev("string equal -nocase AbC abc"), "1");
+}
+
+TEST_F(BuiltinsTest, StringMatch) {
+  EXPECT_EQ(ev("string match f* foo"), "1");
+  EXPECT_EQ(ev("string match f?o foo"), "1");
+  EXPECT_EQ(ev("string match f?o fooo"), "0");
+  EXPECT_EQ(ev("string match {[a-c]x} bx"), "1");
+  EXPECT_EQ(ev("string match {[a-c]x} dx"), "0");
+  EXPECT_EQ(ev("string match {[^a-c]x} dx"), "1");
+  EXPECT_EQ(ev("string match *.tcl pkg.tcl"), "1");
+  EXPECT_EQ(ev("string match -nocase FOO* foobar"), "1");
+  EXPECT_EQ(ev("string match {a\\*b} {a*b}"), "1");
+  EXPECT_EQ(ev("string match {a\\*b} {aXb}"), "0");
+  EXPECT_EQ(ev("string match {} {}"), "1");
+  EXPECT_EQ(ev("string match * {}"), "1");
+}
+
+TEST_F(BuiltinsTest, StringMapRepeatReverseReplace) {
+  EXPECT_EQ(ev("string map {a 1 b 2} abcab"), "12c12");
+  EXPECT_EQ(ev("string map {ab X} abab"), "XX");
+  EXPECT_EQ(ev("string repeat ab 3"), "ababab");
+  EXPECT_EQ(ev("string reverse abc"), "cba");
+  EXPECT_EQ(ev("string replace hello 1 3 XY"), "hXYo");
+  EXPECT_EQ(ev("string replace hello 1 3"), "ho");
+  EXPECT_EQ(ev("string cat a b c"), "abc");
+}
+
+TEST_F(BuiltinsTest, StringIs) {
+  EXPECT_EQ(ev("string is integer 42"), "1");
+  EXPECT_EQ(ev("string is integer 4.2"), "0");
+  EXPECT_EQ(ev("string is double 4.2"), "1");
+  EXPECT_EQ(ev("string is double abc"), "0");
+  EXPECT_EQ(ev("string is alpha abc"), "1");
+  EXPECT_EQ(ev("string is digit 123"), "1");
+  EXPECT_EQ(ev("string is boolean yes"), "1");
+  EXPECT_EQ(ev("string is space { }"), "1");
+}
+
+// ---- format / scan ----
+
+TEST_F(BuiltinsTest, Format) {
+  EXPECT_EQ(ev("format %d 42"), "42");
+  EXPECT_EQ(ev("format {%05d} 42"), "00042");
+  EXPECT_EQ(ev("format {%.3f} 3.14159"), "3.142");
+  EXPECT_EQ(ev("format {%s-%s} a b"), "a-b");
+  EXPECT_EQ(ev("format {%x} 255"), "ff");
+}
+
+TEST_F(BuiltinsTest, Scan) {
+  EXPECT_EQ(ev("scan {10 3.5 abc} {%d %f %s} a b c"), "3");
+  EXPECT_EQ(ev("set a"), "10");
+  EXPECT_EQ(ev("set b"), "3.5");
+  EXPECT_EQ(ev("set c"), "abc");
+  EXPECT_EQ(ev("scan {xyz} {%d} q"), "0");
+}
+
+// ---- array ----
+
+TEST_F(BuiltinsTest, ArrayOps) {
+  ev("set a(x) 1; set a(y) 2");
+  EXPECT_EQ(ev("array exists a"), "1");
+  EXPECT_EQ(ev("array exists nope"), "0");
+  EXPECT_EQ(ev("array size a"), "2");
+  EXPECT_EQ(ev("lsort [array names a]"), "x y");
+  ev("array set b {k1 v1 k2 v2}");
+  EXPECT_EQ(ev("set b(k1)"), "v1");
+  EXPECT_EQ(ev("array names a x"), "x");
+  ev("array unset a");
+  EXPECT_EQ(ev("array exists a"), "0");
+}
+
+TEST_F(BuiltinsTest, ExprEdgeCases) {
+  EXPECT_EQ(ev("expr {1 + [llength {a b c}]}"), "4");   // command inside expr
+  EXPECT_EQ(ev("set n 5; expr {$n in {4 5 6}}"), "1");
+  EXPECT_EQ(ev("expr {min(1.5, 2) + max(0, -1)}"), "1.5");
+  EXPECT_EQ(ev("expr {\"b\" < \"c\" ? 10 : 20}"), "10");
+}
+
+TEST_F(BuiltinsTest, ArrayScalarConflicts) {
+  ev("set s scalar");
+  EXPECT_THROW(ev("set s(k) v"), TclError);
+  ev("set a(k) v");
+  EXPECT_THROW(ev("set a plain"), TclError);
+  EXPECT_THROW(ev("set x $a"), TclError);
+}
+
+}  // namespace
+}  // namespace ilps::tcl

@@ -1,0 +1,257 @@
+// The expr sublanguage: arithmetic, precedence, comparisons, logic,
+// functions, laziness, and error cases.
+#include <gtest/gtest.h>
+
+#include "tcl/interp.h"
+
+namespace ilps::tcl {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  std::string ex(std::string_view e) { return in.expr(e); }
+  Interp in;
+};
+
+TEST_F(ExprTest, IntegerArithmetic) {
+  EXPECT_EQ(ex("1 + 2"), "3");
+  EXPECT_EQ(ex("10 - 4"), "6");
+  EXPECT_EQ(ex("6 * 7"), "42");
+  EXPECT_EQ(ex("7 / 2"), "3");
+  EXPECT_EQ(ex("7 % 3"), "1");
+}
+
+TEST_F(ExprTest, FloorDivisionLikeTcl) {
+  EXPECT_EQ(ex("-7 / 2"), "-4");
+  EXPECT_EQ(ex("-7 % 2"), "1");
+  EXPECT_EQ(ex("7 / -2"), "-4");
+  EXPECT_EQ(ex("7 % -2"), "-1");
+}
+
+TEST_F(ExprTest, DoubleArithmetic) {
+  EXPECT_EQ(ex("1.5 + 2.5"), "4.0");
+  EXPECT_EQ(ex("1 / 2.0"), "0.5");
+  EXPECT_EQ(ex("3.0 * 2"), "6.0");
+}
+
+TEST_F(ExprTest, Precedence) {
+  EXPECT_EQ(ex("2 + 3 * 4"), "14");
+  EXPECT_EQ(ex("(2 + 3) * 4"), "20");
+  EXPECT_EQ(ex("2 * 3 + 4 * 5"), "26");
+  EXPECT_EQ(ex("1 + 2 < 4"), "1");
+  EXPECT_EQ(ex("1 << 3 + 1"), "16");
+}
+
+TEST_F(ExprTest, UnaryOperators) {
+  EXPECT_EQ(ex("-5"), "-5");
+  EXPECT_EQ(ex("- -5"), "5");
+  EXPECT_EQ(ex("!0"), "1");
+  EXPECT_EQ(ex("!3"), "0");
+  EXPECT_EQ(ex("~0"), "-1");
+  EXPECT_EQ(ex("+7"), "7");
+}
+
+TEST_F(ExprTest, Comparisons) {
+  EXPECT_EQ(ex("1 < 2"), "1");
+  EXPECT_EQ(ex("2 <= 2"), "1");
+  EXPECT_EQ(ex("3 > 4"), "0");
+  EXPECT_EQ(ex("3 >= 4"), "0");
+  EXPECT_EQ(ex("5 == 5"), "1");
+  EXPECT_EQ(ex("5 != 5"), "0");
+  EXPECT_EQ(ex("1.5 < 2"), "1");
+}
+
+TEST_F(ExprTest, NumericVsStringEquality) {
+  EXPECT_EQ(ex("\"5\" == \"5.0\""), "1");   // numeric comparison
+  EXPECT_EQ(ex("\"5\" eq \"5.0\""), "0");   // string comparison
+  EXPECT_EQ(ex("\"abc\" == \"abc\""), "1");
+  EXPECT_EQ(ex("\"abc\" eq \"abc\""), "1");
+  EXPECT_EQ(ex("\"abc\" ne \"abd\""), "1");
+  EXPECT_EQ(ex("\"apple\" < \"banana\""), "1");
+}
+
+TEST_F(ExprTest, InOperator) {
+  EXPECT_EQ(ex("\"b\" in {a b c}"), "1");
+  EXPECT_EQ(ex("\"z\" in {a b c}"), "0");
+  EXPECT_EQ(ex("\"z\" ni {a b c}"), "1");
+}
+
+TEST_F(ExprTest, BitOperators) {
+  EXPECT_EQ(ex("6 & 3"), "2");
+  EXPECT_EQ(ex("6 | 3"), "7");
+  EXPECT_EQ(ex("6 ^ 3"), "5");
+  EXPECT_EQ(ex("1 << 4"), "16");
+  EXPECT_EQ(ex("16 >> 2"), "4");
+}
+
+TEST_F(ExprTest, Logic) {
+  EXPECT_EQ(ex("1 && 1"), "1");
+  EXPECT_EQ(ex("1 && 0"), "0");
+  EXPECT_EQ(ex("0 || 1"), "1");
+  EXPECT_EQ(ex("0 || 0"), "0");
+  EXPECT_EQ(ex("1 || 1 && 0"), "1");  // && binds tighter
+}
+
+TEST_F(ExprTest, ShortCircuitSkipsSideEffects) {
+  in.eval("set hits 0");
+  in.register_command("bump", [](Interp& i, std::vector<std::string>&) {
+    i.eval("incr hits");
+    return std::string("1");
+  });
+  EXPECT_EQ(ex("0 && [bump]"), "0");
+  EXPECT_EQ(in.eval("set hits"), "0");
+  EXPECT_EQ(ex("1 || [bump]"), "1");
+  EXPECT_EQ(in.eval("set hits"), "0");
+  EXPECT_EQ(ex("1 && [bump]"), "1");
+  EXPECT_EQ(in.eval("set hits"), "1");
+}
+
+TEST_F(ExprTest, TernaryLazy) {
+  in.eval("set hits 0");
+  in.register_command("bump", [](Interp& i, std::vector<std::string>&) {
+    i.eval("incr hits");
+    return std::string("9");
+  });
+  EXPECT_EQ(ex("1 ? 5 : [bump]"), "5");
+  EXPECT_EQ(in.eval("set hits"), "0");
+  EXPECT_EQ(ex("0 ? [bump] : 6"), "6");
+  EXPECT_EQ(in.eval("set hits"), "0");
+  EXPECT_EQ(ex("0 ? 1 : [bump]"), "9");
+  EXPECT_EQ(in.eval("set hits"), "1");
+}
+
+TEST_F(ExprTest, NestedTernary) {
+  EXPECT_EQ(ex("1 ? 0 ? \"a\" : \"b\" : \"c\""), "b");
+}
+
+TEST_F(ExprTest, VariablesInExpr) {
+  in.eval("set x 10");
+  in.eval("set y 2.5");
+  EXPECT_EQ(ex("$x * 2"), "20");
+  EXPECT_EQ(ex("$x + $y"), "12.5");
+  in.eval("set a(k) 4");
+  EXPECT_EQ(ex("$a(k) + 1"), "5");
+}
+
+TEST_F(ExprTest, CommandsInExpr) {
+  in.eval("proc five {} {return 5}");
+  EXPECT_EQ(ex("[five] + 1"), "6");
+}
+
+TEST_F(ExprTest, MathFunctions) {
+  EXPECT_EQ(ex("abs(-4)"), "4");
+  EXPECT_EQ(ex("abs(-4.5)"), "4.5");
+  EXPECT_EQ(ex("int(3.9)"), "3");
+  EXPECT_EQ(ex("round(3.5)"), "4");
+  EXPECT_EQ(ex("double(3)"), "3.0");
+  EXPECT_EQ(ex("sqrt(16)"), "4.0");
+  EXPECT_EQ(ex("pow(2, 10)"), "1024.0");
+  EXPECT_EQ(ex("min(3, 1, 2)"), "1");
+  EXPECT_EQ(ex("max(3, 1, 2)"), "3");
+  EXPECT_EQ(ex("floor(2.7)"), "2.0");
+  EXPECT_EQ(ex("ceil(2.2)"), "3.0");
+  EXPECT_EQ(ex("exp(0)"), "1.0");
+  EXPECT_EQ(ex("log(1)"), "0.0");
+  EXPECT_EQ(ex("fmod(7.5, 2.0)"), "1.5");
+  EXPECT_EQ(ex("hypot(3, 4)"), "5.0");
+}
+
+TEST_F(ExprTest, TrigRoundTrip) {
+  EXPECT_EQ(ex("sin(0)"), "0.0");
+  EXPECT_EQ(ex("cos(0)"), "1.0");
+  std::string v = ex("atan2(1.0, 1.0) * 4");  // pi
+  double d = std::stod(v);
+  EXPECT_NEAR(d, 3.14159265358979, 1e-12);
+}
+
+TEST_F(ExprTest, RandDeterministicWithSrand) {
+  ex("srand(42)");
+  std::string a = ex("rand()");
+  ex("srand(42)");
+  std::string b = ex("rand()");
+  EXPECT_EQ(a, b);
+  double v = std::stod(a);
+  EXPECT_GE(v, 0.0);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST_F(ExprTest, BooleanWords) {
+  EXPECT_EQ(ex("true"), "1");
+  EXPECT_EQ(ex("false || true"), "1");
+  EXPECT_EQ(ex("true && false"), "0");
+}
+
+TEST_F(ExprTest, HexNumbers) {
+  EXPECT_EQ(ex("0x10 + 1"), "17");
+  EXPECT_EQ(ex("0xff"), "255");
+}
+
+TEST_F(ExprTest, ScientificNotation) {
+  EXPECT_EQ(ex("1e3"), "1000.0");
+  EXPECT_EQ(ex("2.5e-1"), "0.25");
+  EXPECT_EQ(ex("1e3 + 1"), "1001.0");
+}
+
+TEST_F(ExprTest, Errors) {
+  EXPECT_THROW(ex("1 / 0"), TclError);
+  EXPECT_THROW(ex("1 % 0"), TclError);
+  EXPECT_THROW(ex("1.0 / 0.0"), TclError);
+  EXPECT_THROW(ex("nonsense_word"), TclError);
+  EXPECT_THROW(ex("1 +"), TclError);
+  EXPECT_THROW(ex("(1"), TclError);
+  EXPECT_THROW(ex("unknownfn(1)"), TclError);
+  EXPECT_THROW(ex("\"a\" + 1"), TclError);
+  EXPECT_THROW(ex("1.5 % 2"), TclError);
+  EXPECT_THROW(ex("1 ? 2"), TclError);
+  EXPECT_THROW(ex(""), TclError);
+}
+
+TEST_F(ExprTest, ThroughEvalBraced) {
+  in.eval("set x 5");
+  EXPECT_EQ(in.eval("expr {$x + 1}"), "6");
+  EXPECT_EQ(in.eval("expr {$x > 3 ? \"big\" : \"small\"}"), "big");
+}
+
+TEST_F(ExprTest, MultiWordExpr) {
+  EXPECT_EQ(in.eval("expr 1 + 2 + 3"), "6");
+}
+
+// Property-style sweep: the expr engine against reference values computed
+// by the C++ compiler for a grid of operand pairs and operators.
+struct ArithCase {
+  int64_t a;
+  int64_t b;
+};
+
+class ExprArithSweep : public ::testing::TestWithParam<ArithCase> {};
+
+TEST_P(ExprArithSweep, MatchesReference) {
+  Interp in;
+  auto [a, b] = GetParam();
+  auto ex = [&](const std::string& e) { return in.expr(e); };
+  std::string sa = std::to_string(a);
+  std::string sb = std::to_string(b);
+  EXPECT_EQ(ex(sa + " + " + sb), std::to_string(a + b));
+  EXPECT_EQ(ex(sa + " - " + sb), std::to_string(a - b));
+  EXPECT_EQ(ex(sa + " * " + sb), std::to_string(a * b));
+  EXPECT_EQ(ex(sa + " < " + sb), a < b ? "1" : "0");
+  EXPECT_EQ(ex(sa + " == " + sb), a == b ? "1" : "0");
+  if (b != 0) {
+    // Floor semantics.
+    int64_t q = a / b;
+    if (a % b != 0 && ((a < 0) != (b < 0))) --q;
+    int64_t r = a - q * b;
+    EXPECT_EQ(ex(sa + " / " + sb), std::to_string(q));
+    EXPECT_EQ(ex(sa + " % " + sb), std::to_string(r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ExprArithSweep,
+                         ::testing::Values(ArithCase{0, 1}, ArithCase{1, 1}, ArithCase{-1, 1},
+                                           ArithCase{7, 3}, ArithCase{-7, 3}, ArithCase{7, -3},
+                                           ArithCase{-7, -3}, ArithCase{100, 7},
+                                           ArithCase{-100, 7}, ArithCase{12345, -321},
+                                           ArithCase{0, -5}, ArithCase{1, 0}));
+
+}  // namespace
+}  // namespace ilps::tcl

@@ -1,0 +1,444 @@
+// Core interpreter behaviour: parsing, substitution, variables, control
+// flow, procs, scoping, error handling, packages, C command registration.
+#include <gtest/gtest.h>
+
+#include "tcl/interp.h"
+
+namespace ilps::tcl {
+namespace {
+
+class TclTest : public ::testing::Test {
+ protected:
+  std::string ev(std::string_view script) { return in.eval(script); }
+  Interp in;
+};
+
+// ---- Basic evaluation and substitution ----
+
+TEST_F(TclTest, SetAndGet) {
+  EXPECT_EQ(ev("set x 42"), "42");
+  EXPECT_EQ(ev("set x"), "42");
+  EXPECT_EQ(ev("set x hello; set x"), "hello");
+}
+
+TEST_F(TclTest, DollarSubstitution) {
+  ev("set x world");
+  EXPECT_EQ(ev("set y hello_$x"), "hello_world");
+  EXPECT_EQ(ev("set z ${x}ly"), "worldly");
+}
+
+TEST_F(TclTest, CommandSubstitution) {
+  EXPECT_EQ(ev("set x [expr 1 + 2]"), "3");
+  EXPECT_EQ(ev("set y a[set x]b"), "a3b");
+}
+
+TEST_F(TclTest, NestedCommandSubstitution) {
+  EXPECT_EQ(ev("expr [expr 1+1] + [expr [expr 2*2] - 1]"), "5");
+}
+
+TEST_F(TclTest, QuotedWords) {
+  ev("set x 5");
+  EXPECT_EQ(ev("set y \"x is $x\""), "x is 5");
+  EXPECT_EQ(ev("set z \"sum [expr 2+3]\""), "sum 5");
+  EXPECT_EQ(ev("set t \"tab\\there\""), "tab\there");
+}
+
+TEST_F(TclTest, BracedWordsAreLiteral) {
+  EXPECT_EQ(ev("set y {no $subst [here]}"), "no $subst [here]");
+}
+
+TEST_F(TclTest, SemicolonSeparatesCommands) {
+  EXPECT_EQ(ev("set a 1; set b 2; expr $a + $b"), "3");
+}
+
+TEST_F(TclTest, CommentsIgnored) {
+  EXPECT_EQ(ev("# a comment\nset x 1\n# more\nset x"), "1");
+  EXPECT_EQ(ev("set y 2 ;# trailing comment\nset y"), "2");
+}
+
+TEST_F(TclTest, LineContinuation) {
+  EXPECT_EQ(ev("set x [expr 1 + \\\n 2]"), "3");
+  // Backslash-newline in a bare word separates words (Tcl semantics):
+  // `set y a\<newline>b` is `set y a b` and is an arity error.
+  EXPECT_THROW(ev("set y a\\\nb"), TclError);
+  // Inside quotes it collapses to a single space within the word.
+  EXPECT_EQ(ev("set y \"a\\\n   b\""), "a b");
+}
+
+TEST_F(TclTest, ExpansionOperator) {
+  ev("set l {a b c}");
+  EXPECT_EQ(ev("llength [list {*}$l d]"), "4");
+  EXPECT_EQ(ev("lindex [list {*}$l d] 0"), "a");
+}
+
+TEST_F(TclTest, EmptyScriptAndBlankLines) {
+  EXPECT_EQ(ev(""), "");
+  EXPECT_EQ(ev("\n\n  \n"), "");
+  EXPECT_EQ(ev("\n set x 9 \n\n"), "9");
+}
+
+TEST_F(TclTest, ArrayVariables) {
+  ev("set a(1) one");
+  ev("set a(two) 2");
+  EXPECT_EQ(ev("set a(1)"), "one");
+  ev("set i two");
+  EXPECT_EQ(ev("set a($i)"), "2");
+  EXPECT_EQ(ev("array size a"), "2");
+}
+
+TEST_F(TclTest, ArrayIndexWithSubstitution) {
+  ev("set k 3");
+  ev("set a(key3) v");
+  EXPECT_EQ(ev("set a(key$k)"), "v");
+  EXPECT_EQ(ev("set a(key[expr 1+2])"), "v");
+}
+
+TEST_F(TclTest, UnknownCommandErrors) {
+  EXPECT_THROW(ev("no_such_command"), TclError);
+}
+
+TEST_F(TclTest, ReadUnsetVariableErrors) {
+  EXPECT_THROW(ev("set q $undefined_var"), TclError);
+}
+
+TEST_F(TclTest, UnbalancedConstructsError) {
+  EXPECT_THROW(ev("set x [expr 1"), TclError);
+  EXPECT_THROW(ev("set x \"abc"), TclError);
+  EXPECT_THROW(ev("set x {abc"), TclError);
+}
+
+// ---- Control flow ----
+
+TEST_F(TclTest, IfElse) {
+  EXPECT_EQ(ev("if {1 < 2} {set r yes} else {set r no}"), "yes");
+  EXPECT_EQ(ev("if {1 > 2} {set r yes} else {set r no}"), "no");
+  EXPECT_EQ(ev("if {0} {set r a} elseif {1} {set r b} else {set r c}"), "b");
+  EXPECT_EQ(ev("if {0} {set r a}"), "");
+  EXPECT_EQ(ev("if 1 then {set r t}"), "t");
+}
+
+TEST_F(TclTest, While) {
+  EXPECT_EQ(ev("set i 0; while {$i < 5} {incr i}; set i"), "5");
+}
+
+TEST_F(TclTest, WhileBreakContinue) {
+  EXPECT_EQ(ev("set s 0; set i 0; while 1 {incr i; if {$i > 10} break; "
+               "if {$i % 2} continue; incr s $i}; set s"),
+            "30");  // 2+4+6+8+10
+}
+
+TEST_F(TclTest, For) {
+  EXPECT_EQ(ev("set s 0; for {set i 1} {$i <= 4} {incr i} {incr s $i}; set s"), "10");
+}
+
+TEST_F(TclTest, ForBreakSkipsNext) {
+  EXPECT_EQ(ev("for {set i 0} {$i < 100} {incr i} {if {$i == 3} break}; set i"), "3");
+}
+
+TEST_F(TclTest, Foreach) {
+  EXPECT_EQ(ev("set s {}; foreach x {a b c} {append s $x}; set s"), "abc");
+}
+
+TEST_F(TclTest, ForeachMultipleVars) {
+  EXPECT_EQ(ev("set s {}; foreach {k v} {a 1 b 2} {append s $k=$v,}; set s"), "a=1,b=2,");
+}
+
+TEST_F(TclTest, ForeachParallelLists) {
+  EXPECT_EQ(ev("set s {}; foreach x {1 2} y {a b} {append s $x$y}; set s"), "1a2b");
+}
+
+TEST_F(TclTest, ForeachShortList) {
+  EXPECT_EQ(ev("set s {}; foreach {a b} {1 2 3} {append s $a-$b,}; set s"), "1-2,3-,");
+}
+
+// ---- Procs and scoping ----
+
+TEST_F(TclTest, SimpleProc) {
+  ev("proc add {a b} {return [expr $a + $b]}");
+  EXPECT_EQ(ev("add 2 3"), "5");
+}
+
+TEST_F(TclTest, ProcImplicitReturn) {
+  ev("proc last {} {set x 1; set y 2}");
+  EXPECT_EQ(ev("last"), "2");
+}
+
+TEST_F(TclTest, ProcDefaults) {
+  ev("proc greet {name {greeting hello}} {return \"$greeting $name\"}");
+  EXPECT_EQ(ev("greet bob"), "hello bob");
+  EXPECT_EQ(ev("greet bob hi"), "hi bob");
+}
+
+TEST_F(TclTest, ProcArgs) {
+  ev("proc count {first args} {return [llength $args]}");
+  EXPECT_EQ(ev("count a b c d"), "3");
+  EXPECT_EQ(ev("count a"), "0");
+}
+
+TEST_F(TclTest, ProcWrongArityThrows) {
+  ev("proc two {a b} {}");
+  EXPECT_THROW(ev("two 1"), TclError);
+  EXPECT_THROW(ev("two 1 2 3"), TclError);
+}
+
+TEST_F(TclTest, ProcLocalScope) {
+  ev("set x global_value");
+  ev("proc touch {} {set x local_value}");
+  ev("touch");
+  EXPECT_EQ(ev("set x"), "global_value");
+}
+
+TEST_F(TclTest, GlobalCommand) {
+  ev("set counter 0");
+  ev("proc bump {} {global counter; incr counter}");
+  ev("bump; bump");
+  EXPECT_EQ(ev("set counter"), "2");
+}
+
+TEST_F(TclTest, Upvar) {
+  ev("proc double_it {varname} {upvar 1 $varname v; set v [expr $v * 2]}");
+  ev("set n 21");
+  ev("double_it n");
+  EXPECT_EQ(ev("set n"), "42");
+}
+
+TEST_F(TclTest, UpvarHash0) {
+  ev("set g 1");
+  ev("proc deep {} {upvar #0 g x; incr x}");
+  ev("proc mid {} {deep}");
+  ev("mid");
+  EXPECT_EQ(ev("set g"), "2");
+}
+
+TEST_F(TclTest, Uplevel) {
+  ev("proc setit {} {uplevel 1 {set from_uplevel 7}}");
+  ev("proc caller {} {setit; return $from_uplevel}");
+  EXPECT_EQ(ev("caller"), "7");
+}
+
+TEST_F(TclTest, RecursiveProc) {
+  ev("proc fib {n} {if {$n < 2} {return $n}; "
+     "return [expr [fib [expr $n-1]] + [fib [expr $n-2]]]}");
+  EXPECT_EQ(ev("fib 10"), "55");
+}
+
+TEST_F(TclTest, InfiniteRecursionCaught) {
+  ev("proc loop {} {loop}");
+  EXPECT_THROW(ev("loop"), TclError);
+}
+
+TEST_F(TclTest, RenameProc) {
+  ev("proc orig {} {return o}");
+  ev("rename orig renamed");
+  EXPECT_EQ(ev("renamed"), "o");
+  EXPECT_THROW(ev("orig"), TclError);
+}
+
+// ---- Error handling ----
+
+TEST_F(TclTest, CatchOk) {
+  EXPECT_EQ(ev("catch {set x 1} r"), "0");
+  EXPECT_EQ(ev("set r"), "1");
+}
+
+TEST_F(TclTest, CatchError) {
+  EXPECT_EQ(ev("catch {error boom} msg"), "1");
+  EXPECT_EQ(ev("set msg"), "boom");
+}
+
+TEST_F(TclTest, CatchBreakReturnContinue) {
+  EXPECT_EQ(ev("catch {break}"), "3");
+  EXPECT_EQ(ev("catch {continue}"), "4");
+  EXPECT_EQ(ev("catch {return xyz} v"), "2");
+  EXPECT_EQ(ev("set v"), "xyz");
+}
+
+TEST_F(TclTest, ErrorPropagatesThroughProcs) {
+  ev("proc inner {} {error deep_failure}");
+  ev("proc outer {} {inner}");
+  try {
+    ev("outer");
+    FAIL();
+  } catch (const TclError& e) {
+    EXPECT_STREQ(e.what(), "deep_failure");
+  }
+}
+
+TEST_F(TclTest, ReturnCodeError) {
+  EXPECT_EQ(ev("catch {return -code error oops} m"), "1");
+  EXPECT_EQ(ev("set m"), "oops");
+}
+
+// ---- unset / info / exists ----
+
+TEST_F(TclTest, UnsetVariable) {
+  ev("set x 1");
+  EXPECT_EQ(ev("info exists x"), "1");
+  ev("unset x");
+  EXPECT_EQ(ev("info exists x"), "0");
+  EXPECT_THROW(ev("unset x"), TclError);
+  EXPECT_EQ(ev("unset -nocomplain x"), "");
+}
+
+TEST_F(TclTest, InfoCommandsAndProcs) {
+  ev("proc myproc {} {}");
+  EXPECT_NE(ev("info commands").find("set"), std::string::npos);
+  EXPECT_NE(ev("info procs").find("myproc"), std::string::npos);
+  EXPECT_EQ(ev("info commands myproc"), "myproc");
+}
+
+TEST_F(TclTest, InfoLevel) {
+  EXPECT_EQ(ev("info level"), "0");
+  ev("proc lvl {} {return [info level]}");
+  EXPECT_EQ(ev("lvl"), "1");
+}
+
+TEST_F(TclTest, InfoArgsBody) {
+  ev("proc f {a b} {some body}");
+  EXPECT_EQ(ev("info args f"), "a b");
+  EXPECT_EQ(ev("info body f"), "some body");
+}
+
+// ---- eval / subst / apply ----
+
+TEST_F(TclTest, EvalConcatenates) {
+  EXPECT_EQ(ev("eval set q 11"), "11");
+  EXPECT_EQ(ev("eval {set w 12}"), "12");
+}
+
+TEST_F(TclTest, SubstCommand) {
+  ev("set x 3");
+  EXPECT_EQ(ev("subst {x=$x sum=[expr 1+1]}"), "x=3 sum=2");
+}
+
+TEST_F(TclTest, Apply) {
+  EXPECT_EQ(ev("apply {{a b} {expr $a * $b}} 6 7"), "42");
+}
+
+// ---- Host command registration (the Tcl C API analogue) ----
+
+TEST_F(TclTest, RegisterCommand) {
+  in.register_command("host_double", [](Interp&, std::vector<std::string>& args) {
+    check_arity(args, 1, 1, "value");
+    return std::to_string(std::stoll(args[1]) * 2);
+  });
+  EXPECT_EQ(ev("host_double 21"), "42");
+  EXPECT_THROW(ev("host_double"), TclError);
+}
+
+TEST_F(TclTest, HostCommandSeesInterpState) {
+  in.register_command("host_get", [](Interp& i, std::vector<std::string>& args) {
+    return i.get_var(args[1]);
+  });
+  ev("set secret 99");
+  EXPECT_EQ(ev("host_get secret"), "99");
+}
+
+TEST_F(TclTest, RemoveCommand) {
+  in.register_command("temp", [](Interp&, std::vector<std::string>&) { return std::string("t"); });
+  EXPECT_EQ(ev("temp"), "t");
+  in.remove_command("temp");
+  EXPECT_THROW(ev("temp"), TclError);
+}
+
+TEST_F(TclTest, QualifiedCommandNames) {
+  in.register_command("turbine::rule", [](Interp&, std::vector<std::string>&) {
+    return std::string("ruled");
+  });
+  EXPECT_EQ(ev("turbine::rule a b"), "ruled");
+  ev("proc my::ns::proc1 {} {return ns_ok}");
+  EXPECT_EQ(ev("my::ns::proc1"), "ns_ok");
+}
+
+// ---- Packages ----
+
+TEST_F(TclTest, PackageProvideRequire) {
+  ev("package provide mylib 1.0");
+  EXPECT_EQ(ev("package require mylib"), "1.0");
+  EXPECT_EQ(ev("package present mylib"), "1.0");
+}
+
+TEST_F(TclTest, PackageIfneeded) {
+  ev("package ifneeded lazy 2.0 {proc lazy_fn {} {return lazied}; package provide lazy 2.0}");
+  EXPECT_EQ(ev("package require lazy"), "2.0");
+  EXPECT_EQ(ev("lazy_fn"), "lazied");
+}
+
+TEST_F(TclTest, PackageMissingThrows) {
+  EXPECT_THROW(ev("package require ghost"), TclError);
+}
+
+TEST_F(TclTest, PackageUnknownHandler) {
+  in.set_package_unknown([](Interp& i, const std::string& name) {
+    if (name != "findme") return false;
+    i.eval("package provide findme 3.1");
+    return true;
+  });
+  EXPECT_EQ(ev("package require findme"), "3.1");
+}
+
+// ---- source ----
+
+TEST_F(TclTest, SourceThroughResolver) {
+  in.set_source_resolver([](const std::string& path) -> std::optional<std::string> {
+    if (path == "virt.tcl") return "set sourced 1; proc from_source {} {return fs}";
+    return std::nullopt;
+  });
+  ev("source virt.tcl");
+  EXPECT_EQ(ev("set sourced"), "1");
+  EXPECT_EQ(ev("from_source"), "fs");
+  EXPECT_THROW(ev("source missing.tcl"), TclError);
+}
+
+// ---- puts ----
+
+TEST_F(TclTest, PutsCaptured) {
+  std::string captured;
+  in.set_puts_handler([&](std::string_view text, bool newline) {
+    captured.append(text);
+    if (newline) captured += '\n';
+  });
+  ev("puts hello");
+  ev("puts -nonewline world");
+  ev("puts stderr !");
+  EXPECT_EQ(captured, "hello\nworld!\n");
+}
+
+// ---- misc ----
+
+TEST_F(TclTest, ClockAdvances) {
+  auto a = std::stoll(ev("clock microseconds"));
+  auto b = std::stoll(ev("clock microseconds"));
+  EXPECT_GE(b, a);
+}
+
+TEST_F(TclTest, TimeCommand) {
+  std::string r = ev("time {set x 1} 10");
+  EXPECT_NE(r.find("microseconds per iteration"), std::string::npos);
+}
+
+TEST_F(TclTest, CommandsEvaluatedCounter) {
+  uint64_t before = in.commands_evaluated();
+  ev("set a 1; set b 2");
+  EXPECT_EQ(in.commands_evaluated(), before + 2);
+}
+
+TEST_F(TclTest, SwitchCommand) {
+  EXPECT_EQ(ev("switch b {a {set r 1} b {set r 2} default {set r 3}}"), "2");
+  EXPECT_EQ(ev("switch z {a {set r 1} default {set r 3}}"), "3");
+  EXPECT_EQ(ev("switch z {a {set r 1}}"), "");
+  EXPECT_EQ(ev("switch -glob foo.tcl {*.tcl {set r script} default {set r other}}"), "script");
+  EXPECT_EQ(ev("switch -exact -- -glob {-glob {set r dash} default {set r no}}"), "dash");
+  // Flat form and fall-through.
+  EXPECT_EQ(ev("switch b a {set r 1} b {set r 2}"), "2");
+  EXPECT_EQ(ev("switch a {a - b {set r shared} default {set r d}}"), "shared");
+  EXPECT_THROW(ev("switch x {a}"), TclError);
+}
+
+TEST_F(TclTest, DeepListStructure) {
+  ev("set l [list [list 1 2] [list 3 [list 4 5]]]");
+  EXPECT_EQ(ev("lindex $l 1 1 0"), "4");
+}
+
+}  // namespace
+}  // namespace ilps::tcl

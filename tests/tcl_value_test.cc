@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "tcl/value.h"
+
+namespace ilps::tcl {
+namespace {
+
+TEST(ListSplit, Simple) {
+  auto v = list_split("a b c");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "b");
+  EXPECT_EQ(v[2], "c");
+}
+
+TEST(ListSplit, ExtraWhitespace) {
+  auto v = list_split("  a\t b \n c  ");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], "c");
+}
+
+TEST(ListSplit, Empty) {
+  EXPECT_TRUE(list_split("").empty());
+  EXPECT_TRUE(list_split("   \n\t ").empty());
+}
+
+TEST(ListSplit, Braced) {
+  auto v = list_split("{a b} c {d {e f}}");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a b");
+  EXPECT_EQ(v[1], "c");
+  EXPECT_EQ(v[2], "d {e f}");
+}
+
+TEST(ListSplit, EmptyBraced) {
+  auto v = list_split("{} a {}");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "");
+  EXPECT_EQ(v[2], "");
+}
+
+TEST(ListSplit, Quoted) {
+  auto v = list_split("\"a b\" \"c\\td\"");
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], "a b");
+  EXPECT_EQ(v[1], "c\td");
+}
+
+TEST(ListSplit, BackslashInBare) {
+  auto v = list_split("a\\ b c");
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], "a b");
+}
+
+TEST(ListSplit, EscapedBraceInsideBraces) {
+  auto v = list_split("{a \\{ b}");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], "a \\{ b");
+}
+
+TEST(ListSplit, UnbalancedThrows) {
+  EXPECT_THROW(list_split("{a b"), ScriptError);
+  EXPECT_THROW(list_split("\"a b"), ScriptError);
+  EXPECT_THROW(list_split("{a}b"), ScriptError);
+}
+
+TEST(ListQuote, PlainPassThrough) {
+  EXPECT_EQ(list_quote("abc"), "abc");
+  EXPECT_EQ(list_quote("a.b/c:d"), "a.b/c:d");
+}
+
+TEST(ListQuote, Empty) { EXPECT_EQ(list_quote(""), "{}"); }
+
+TEST(ListQuote, SpacesBraced) { EXPECT_EQ(list_quote("a b"), "{a b}"); }
+
+TEST(ListQuote, SpecialCharsBraced) {
+  EXPECT_EQ(list_quote("$x"), "{$x}");
+  EXPECT_EQ(list_quote("[cmd]"), "{[cmd]}");
+  EXPECT_EQ(list_quote("a;b"), "{a;b}");
+}
+
+TEST(ListQuote, UnbalancedBracesBackslashed) {
+  std::string quoted = list_quote("a{b");
+  // Must round-trip through list_split.
+  auto v = list_split(quoted);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], "a{b");
+}
+
+TEST(ListRoundTrip, Exhaustive) {
+  std::vector<std::string> nasty = {
+      "",        "a",        "a b",     "{",     "}",        "{}",        "a{",
+      "$var",    "[cmd]",    "a\nb",    "a\tb",  "\\",       "a\\",      "\"q\"",
+      "a;b",     " lead",    "trail ",  "a}b{c", "{bal} ok", "\\n",      "e\\{f",
+  };
+  auto joined = list_join(nasty);
+  auto back = list_split(joined);
+  ASSERT_EQ(back.size(), nasty.size());
+  for (size_t i = 0; i < nasty.size(); ++i) {
+    EXPECT_EQ(back[i], nasty[i]) << "element " << i << " through " << joined;
+  }
+}
+
+TEST(ListRoundTrip, Nested) {
+  std::vector<std::string> inner = {"x y", "z"};
+  std::vector<std::string> outer = {list_join(inner), "w"};
+  auto joined = list_join(outer);
+  auto back = list_split(joined);
+  ASSERT_EQ(back.size(), 2u);
+  auto inner_back = list_split(back[0]);
+  ASSERT_EQ(inner_back.size(), 2u);
+  EXPECT_EQ(inner_back[0], "x y");
+}
+
+TEST(ParseBool, Words) {
+  EXPECT_TRUE(parse_bool("true").value());
+  EXPECT_TRUE(parse_bool("YES").value());
+  EXPECT_TRUE(parse_bool("On").value());
+  EXPECT_FALSE(parse_bool("false").value());
+  EXPECT_FALSE(parse_bool("no").value());
+  EXPECT_FALSE(parse_bool("off").value());
+}
+
+TEST(ParseBool, Numbers) {
+  EXPECT_TRUE(parse_bool("1").value());
+  EXPECT_TRUE(parse_bool("42").value());
+  EXPECT_TRUE(parse_bool("-1").value());
+  EXPECT_FALSE(parse_bool("0").value());
+  EXPECT_TRUE(parse_bool("0.5").value());
+  EXPECT_FALSE(parse_bool("0.0").value());
+}
+
+TEST(ParseBool, Invalid) {
+  EXPECT_FALSE(parse_bool("maybe").has_value());
+  EXPECT_FALSE(parse_bool("").has_value());
+}
+
+TEST(BackslashEscape, Standard) {
+  size_t i = 0;
+  EXPECT_EQ(backslash_escape("\\n", i), "\n");
+  i = 0;
+  EXPECT_EQ(backslash_escape("\\t", i), "\t");
+  i = 0;
+  EXPECT_EQ(backslash_escape("\\\\", i), "\\");
+  i = 0;
+  EXPECT_EQ(backslash_escape("\\q", i), "q");
+}
+
+TEST(BackslashEscape, Hex) {
+  size_t i = 0;
+  EXPECT_EQ(backslash_escape("\\x41", i), "A");
+  EXPECT_EQ(i, 4u);
+  i = 0;
+  EXPECT_EQ(backslash_escape("\\x4", i), "\x04");
+}
+
+TEST(BackslashEscape, Unicode) {
+  size_t i = 0;
+  EXPECT_EQ(backslash_escape("\\u0041", i), "A");
+  i = 0;
+  std::string e_acute = backslash_escape("\\u00e9", i);
+  EXPECT_EQ(e_acute, "\xc3\xa9");
+}
+
+TEST(BackslashEscape, LineContinuation) {
+  size_t i = 0;
+  EXPECT_EQ(backslash_escape("\\\n   x", i), " ");
+  EXPECT_EQ(i, 5u);  // consumed backslash, newline, following blanks
+}
+
+}  // namespace
+}  // namespace ilps::tcl

@@ -1,0 +1,127 @@
+// ilps — command-line driver: compile and run a Swift program on the ILPS
+// runtime (the `swift-t` / `turbine` entry point of the original system).
+//
+//   ilps [options] program.swift
+//
+//   --engines N       engine ranks (default 1)
+//   --workers N       worker ranks (default 2)
+//   --servers N       ADLB server ranks (default 1)
+//   --policy P        interpreter policy: retain (default) | reinit
+//   --restricted-os   refuse fork/exec (Blue Gene/Q mode)
+//   --emit-tcl        print the compiled Turbine code and exit
+//   --stats           print runtime statistics after the program output
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "runtime/runner.h"
+#include "swift/compiler.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: ilps [options] program.swift\n"
+               "  --engines N --workers N --servers N\n"
+               "  --policy retain|reinit   --restricted-os\n"
+               "  --emit-tcl               --stats\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ilps::runtime::Config cfg;
+  bool emit_tcl = false;
+  bool stats = false;
+  std::string path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_int = [&](int& out) {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      out = std::atoi(argv[++i]);
+    };
+    if (arg == "--engines") {
+      next_int(cfg.engines);
+    } else if (arg == "--workers") {
+      next_int(cfg.workers);
+    } else if (arg == "--servers") {
+      next_int(cfg.servers);
+    } else if (arg == "--policy") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      std::string p = argv[++i];
+      if (p == "retain") {
+        cfg.policy = ilps::turbine::InterpPolicy::kRetain;
+      } else if (p == "reinit") {
+        cfg.policy = ilps::turbine::InterpPolicy::kReinitialize;
+      } else {
+        std::fprintf(stderr, "ilps: unknown policy \"%s\"\n", p.c_str());
+        return 2;
+      }
+    } else if (arg == "--restricted-os") {
+      cfg.restricted_os = true;
+    } else if (arg == "--emit-tcl") {
+      emit_tcl = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ilps: unknown option \"%s\"\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "ilps: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream source;
+  source << in.rdbuf();
+
+  try {
+    std::string program = ilps::swift::compile(source.str());
+    if (emit_tcl) {
+      std::fputs(program.c_str(), stdout);
+      return 0;
+    }
+    cfg.echo_output = true;  // stream program output as it happens
+    auto result = ilps::runtime::run_program(cfg, program);
+    if (stats) {
+      std::fprintf(stderr,
+                   "-- ilps stats: %.3fs, %llu rules fired, %llu worker tasks, "
+                   "%llu messages, %llu data ops\n",
+                   result.elapsed_seconds,
+                   static_cast<unsigned long long>(result.engine_stats.rules_fired),
+                   static_cast<unsigned long long>(result.worker_stats.tasks),
+                   static_cast<unsigned long long>(result.traffic.messages),
+                   static_cast<unsigned long long>(result.server_stats.data_ops));
+    }
+    if (result.unfired_rules > 0) {
+      std::fprintf(stderr, "ilps: warning: %zu rule(s) never fired (deadlock on unset data)\n",
+                   result.unfired_rules);
+      return 3;
+    }
+    return 0;
+  } catch (const ilps::Error& e) {
+    std::fprintf(stderr, "ilps: %s\n", e.what());
+    return 1;
+  }
+}
