@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bindgen.dir/bench_bindgen.cc.o"
+  "CMakeFiles/bench_bindgen.dir/bench_bindgen.cc.o.d"
+  "bench_bindgen"
+  "bench_bindgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bindgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blob.dir/bench_blob.cc.o"
+  "CMakeFiles/bench_blob.dir/bench_blob.cc.o.d"
+  "bench_blob"
+  "bench_blob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

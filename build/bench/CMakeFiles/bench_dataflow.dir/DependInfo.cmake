@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_dataflow.cc" "bench/CMakeFiles/bench_dataflow.dir/bench_dataflow.cc.o" "gcc" "bench/CMakeFiles/bench_dataflow.dir/bench_dataflow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/ilps_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/swift/CMakeFiles/ilps_swift.dir/DependInfo.cmake"
+  "/root/repo/build/src/turbine/CMakeFiles/ilps_turbine.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/ilps_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/python/CMakeFiles/ilps_py.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlang/CMakeFiles/ilps_r.dir/DependInfo.cmake"
+  "/root/repo/build/src/adlb/CMakeFiles/ilps_adlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/ilps_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcl/CMakeFiles/ilps_tcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ilps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

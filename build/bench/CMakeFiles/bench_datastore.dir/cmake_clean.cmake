@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datastore.dir/bench_datastore.cc.o"
+  "CMakeFiles/bench_datastore.dir/bench_datastore.cc.o.d"
+  "bench_datastore"
+  "bench_datastore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datastore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

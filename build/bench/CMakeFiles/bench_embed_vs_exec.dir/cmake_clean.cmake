@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_embed_vs_exec.dir/bench_embed_vs_exec.cc.o"
+  "CMakeFiles/bench_embed_vs_exec.dir/bench_embed_vs_exec.cc.o.d"
+  "bench_embed_vs_exec"
+  "bench_embed_vs_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_embed_vs_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

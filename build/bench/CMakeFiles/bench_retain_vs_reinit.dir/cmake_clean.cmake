@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retain_vs_reinit.dir/bench_retain_vs_reinit.cc.o"
+  "CMakeFiles/bench_retain_vs_reinit.dir/bench_retain_vs_reinit.cc.o.d"
+  "bench_retain_vs_reinit"
+  "bench_retain_vs_reinit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retain_vs_reinit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

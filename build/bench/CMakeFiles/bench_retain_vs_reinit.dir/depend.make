@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_retain_vs_reinit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smallfiles.dir/bench_smallfiles.cc.o"
+  "CMakeFiles/bench_smallfiles.dir/bench_smallfiles.cc.o.d"
+  "bench_smallfiles"
+  "bench_smallfiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smallfiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interlang_pipeline.dir/interlang_pipeline.cpp.o"
+  "CMakeFiles/interlang_pipeline.dir/interlang_pipeline.cpp.o.d"
+  "interlang_pipeline"
+  "interlang_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interlang_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

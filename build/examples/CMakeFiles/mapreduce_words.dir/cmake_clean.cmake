@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_words.dir/mapreduce_words.cpp.o"
+  "CMakeFiles/mapreduce_words.dir/mapreduce_words.cpp.o.d"
+  "mapreduce_words"
+  "mapreduce_words.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_words.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_blobs.dir/native_blobs.cpp.o"
+  "CMakeFiles/native_blobs.dir/native_blobs.cpp.o.d"
+  "native_blobs"
+  "native_blobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_blobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_sweep_r.dir/param_sweep_r.cpp.o"
+  "CMakeFiles/param_sweep_r.dir/param_sweep_r.cpp.o.d"
+  "param_sweep_r"
+  "param_sweep_r.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_sweep_r.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

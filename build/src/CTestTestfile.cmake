@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("mpi")
+subdirs("tcl")
+subdirs("blob")
+subdirs("adlb")
+subdirs("python")
+subdirs("rlang")
+subdirs("pkg")
+subdirs("bind")
+subdirs("turbine")
+subdirs("swift")
+subdirs("runtime")

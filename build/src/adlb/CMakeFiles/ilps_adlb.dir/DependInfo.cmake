@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adlb/client.cc" "src/adlb/CMakeFiles/ilps_adlb.dir/client.cc.o" "gcc" "src/adlb/CMakeFiles/ilps_adlb.dir/client.cc.o.d"
+  "/root/repo/src/adlb/protocol.cc" "src/adlb/CMakeFiles/ilps_adlb.dir/protocol.cc.o" "gcc" "src/adlb/CMakeFiles/ilps_adlb.dir/protocol.cc.o.d"
+  "/root/repo/src/adlb/server.cc" "src/adlb/CMakeFiles/ilps_adlb.dir/server.cc.o" "gcc" "src/adlb/CMakeFiles/ilps_adlb.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ilps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/ilps_mpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilps_adlb.dir/client.cc.o"
+  "CMakeFiles/ilps_adlb.dir/client.cc.o.d"
+  "CMakeFiles/ilps_adlb.dir/protocol.cc.o"
+  "CMakeFiles/ilps_adlb.dir/protocol.cc.o.d"
+  "CMakeFiles/ilps_adlb.dir/server.cc.o"
+  "CMakeFiles/ilps_adlb.dir/server.cc.o.d"
+  "libilps_adlb.a"
+  "libilps_adlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilps_adlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilps_bind.dir/bindgen.cc.o"
+  "CMakeFiles/ilps_bind.dir/bindgen.cc.o.d"
+  "libilps_bind.a"
+  "libilps_bind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilps_bind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

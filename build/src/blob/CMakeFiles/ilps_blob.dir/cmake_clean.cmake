@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilps_blob.dir/blob.cc.o"
+  "CMakeFiles/ilps_blob.dir/blob.cc.o.d"
+  "CMakeFiles/ilps_blob.dir/blobutils_tcl.cc.o"
+  "CMakeFiles/ilps_blob.dir/blobutils_tcl.cc.o.d"
+  "libilps_blob.a"
+  "libilps_blob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilps_blob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilps_common.dir/buffer.cc.o"
+  "CMakeFiles/ilps_common.dir/buffer.cc.o.d"
+  "CMakeFiles/ilps_common.dir/log.cc.o"
+  "CMakeFiles/ilps_common.dir/log.cc.o.d"
+  "CMakeFiles/ilps_common.dir/strings.cc.o"
+  "CMakeFiles/ilps_common.dir/strings.cc.o.d"
+  "libilps_common.a"
+  "libilps_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilps_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilps_mpi.dir/world.cc.o"
+  "CMakeFiles/ilps_mpi.dir/world.cc.o.d"
+  "libilps_mpi.a"
+  "libilps_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilps_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

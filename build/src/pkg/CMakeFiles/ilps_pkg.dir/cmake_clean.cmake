@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilps_pkg.dir/pfs.cc.o"
+  "CMakeFiles/ilps_pkg.dir/pfs.cc.o.d"
+  "libilps_pkg.a"
+  "libilps_pkg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilps_pkg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

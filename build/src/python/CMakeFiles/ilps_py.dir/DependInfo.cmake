@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/python/builtins.cc" "src/python/CMakeFiles/ilps_py.dir/builtins.cc.o" "gcc" "src/python/CMakeFiles/ilps_py.dir/builtins.cc.o.d"
+  "/root/repo/src/python/interp.cc" "src/python/CMakeFiles/ilps_py.dir/interp.cc.o" "gcc" "src/python/CMakeFiles/ilps_py.dir/interp.cc.o.d"
+  "/root/repo/src/python/lexer.cc" "src/python/CMakeFiles/ilps_py.dir/lexer.cc.o" "gcc" "src/python/CMakeFiles/ilps_py.dir/lexer.cc.o.d"
+  "/root/repo/src/python/parser.cc" "src/python/CMakeFiles/ilps_py.dir/parser.cc.o" "gcc" "src/python/CMakeFiles/ilps_py.dir/parser.cc.o.d"
+  "/root/repo/src/python/value.cc" "src/python/CMakeFiles/ilps_py.dir/value.cc.o" "gcc" "src/python/CMakeFiles/ilps_py.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ilps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilps_py.dir/builtins.cc.o"
+  "CMakeFiles/ilps_py.dir/builtins.cc.o.d"
+  "CMakeFiles/ilps_py.dir/interp.cc.o"
+  "CMakeFiles/ilps_py.dir/interp.cc.o.d"
+  "CMakeFiles/ilps_py.dir/lexer.cc.o"
+  "CMakeFiles/ilps_py.dir/lexer.cc.o.d"
+  "CMakeFiles/ilps_py.dir/parser.cc.o"
+  "CMakeFiles/ilps_py.dir/parser.cc.o.d"
+  "CMakeFiles/ilps_py.dir/value.cc.o"
+  "CMakeFiles/ilps_py.dir/value.cc.o.d"
+  "libilps_py.a"
+  "libilps_py.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilps_py.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

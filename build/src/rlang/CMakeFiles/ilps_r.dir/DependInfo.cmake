@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rlang/builtins.cc" "src/rlang/CMakeFiles/ilps_r.dir/builtins.cc.o" "gcc" "src/rlang/CMakeFiles/ilps_r.dir/builtins.cc.o.d"
+  "/root/repo/src/rlang/interp.cc" "src/rlang/CMakeFiles/ilps_r.dir/interp.cc.o" "gcc" "src/rlang/CMakeFiles/ilps_r.dir/interp.cc.o.d"
+  "/root/repo/src/rlang/parser.cc" "src/rlang/CMakeFiles/ilps_r.dir/parser.cc.o" "gcc" "src/rlang/CMakeFiles/ilps_r.dir/parser.cc.o.d"
+  "/root/repo/src/rlang/value.cc" "src/rlang/CMakeFiles/ilps_r.dir/value.cc.o" "gcc" "src/rlang/CMakeFiles/ilps_r.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ilps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

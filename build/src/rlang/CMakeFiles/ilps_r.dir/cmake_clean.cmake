@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilps_r.dir/builtins.cc.o"
+  "CMakeFiles/ilps_r.dir/builtins.cc.o.d"
+  "CMakeFiles/ilps_r.dir/interp.cc.o"
+  "CMakeFiles/ilps_r.dir/interp.cc.o.d"
+  "CMakeFiles/ilps_r.dir/parser.cc.o"
+  "CMakeFiles/ilps_r.dir/parser.cc.o.d"
+  "CMakeFiles/ilps_r.dir/value.cc.o"
+  "CMakeFiles/ilps_r.dir/value.cc.o.d"
+  "libilps_r.a"
+  "libilps_r.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilps_r.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

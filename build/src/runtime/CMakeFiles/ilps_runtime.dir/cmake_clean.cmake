@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilps_runtime.dir/runner.cc.o"
+  "CMakeFiles/ilps_runtime.dir/runner.cc.o.d"
+  "libilps_runtime.a"
+  "libilps_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilps_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

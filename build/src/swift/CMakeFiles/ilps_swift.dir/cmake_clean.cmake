@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilps_swift.dir/compiler.cc.o"
+  "CMakeFiles/ilps_swift.dir/compiler.cc.o.d"
+  "CMakeFiles/ilps_swift.dir/parser.cc.o"
+  "CMakeFiles/ilps_swift.dir/parser.cc.o.d"
+  "libilps_swift.a"
+  "libilps_swift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilps_swift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ilps_swift.
+# This may be replaced when dependencies are built.

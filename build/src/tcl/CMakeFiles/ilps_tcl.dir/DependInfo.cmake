@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcl/builtins_core.cc" "src/tcl/CMakeFiles/ilps_tcl.dir/builtins_core.cc.o" "gcc" "src/tcl/CMakeFiles/ilps_tcl.dir/builtins_core.cc.o.d"
+  "/root/repo/src/tcl/builtins_list.cc" "src/tcl/CMakeFiles/ilps_tcl.dir/builtins_list.cc.o" "gcc" "src/tcl/CMakeFiles/ilps_tcl.dir/builtins_list.cc.o.d"
+  "/root/repo/src/tcl/builtins_misc.cc" "src/tcl/CMakeFiles/ilps_tcl.dir/builtins_misc.cc.o" "gcc" "src/tcl/CMakeFiles/ilps_tcl.dir/builtins_misc.cc.o.d"
+  "/root/repo/src/tcl/builtins_string.cc" "src/tcl/CMakeFiles/ilps_tcl.dir/builtins_string.cc.o" "gcc" "src/tcl/CMakeFiles/ilps_tcl.dir/builtins_string.cc.o.d"
+  "/root/repo/src/tcl/expr.cc" "src/tcl/CMakeFiles/ilps_tcl.dir/expr.cc.o" "gcc" "src/tcl/CMakeFiles/ilps_tcl.dir/expr.cc.o.d"
+  "/root/repo/src/tcl/interp.cc" "src/tcl/CMakeFiles/ilps_tcl.dir/interp.cc.o" "gcc" "src/tcl/CMakeFiles/ilps_tcl.dir/interp.cc.o.d"
+  "/root/repo/src/tcl/value.cc" "src/tcl/CMakeFiles/ilps_tcl.dir/value.cc.o" "gcc" "src/tcl/CMakeFiles/ilps_tcl.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ilps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilps_tcl.dir/builtins_core.cc.o"
+  "CMakeFiles/ilps_tcl.dir/builtins_core.cc.o.d"
+  "CMakeFiles/ilps_tcl.dir/builtins_list.cc.o"
+  "CMakeFiles/ilps_tcl.dir/builtins_list.cc.o.d"
+  "CMakeFiles/ilps_tcl.dir/builtins_misc.cc.o"
+  "CMakeFiles/ilps_tcl.dir/builtins_misc.cc.o.d"
+  "CMakeFiles/ilps_tcl.dir/builtins_string.cc.o"
+  "CMakeFiles/ilps_tcl.dir/builtins_string.cc.o.d"
+  "CMakeFiles/ilps_tcl.dir/expr.cc.o"
+  "CMakeFiles/ilps_tcl.dir/expr.cc.o.d"
+  "CMakeFiles/ilps_tcl.dir/interp.cc.o"
+  "CMakeFiles/ilps_tcl.dir/interp.cc.o.d"
+  "CMakeFiles/ilps_tcl.dir/value.cc.o"
+  "CMakeFiles/ilps_tcl.dir/value.cc.o.d"
+  "libilps_tcl.a"
+  "libilps_tcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilps_tcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

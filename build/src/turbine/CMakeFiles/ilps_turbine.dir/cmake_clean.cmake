@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilps_turbine.dir/app.cc.o"
+  "CMakeFiles/ilps_turbine.dir/app.cc.o.d"
+  "CMakeFiles/ilps_turbine.dir/context.cc.o"
+  "CMakeFiles/ilps_turbine.dir/context.cc.o.d"
+  "CMakeFiles/ilps_turbine.dir/engine.cc.o"
+  "CMakeFiles/ilps_turbine.dir/engine.cc.o.d"
+  "libilps_turbine.a"
+  "libilps_turbine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilps_turbine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libilps_turbine.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ilps_turbine.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adlb_test.dir/adlb_test.cc.o"
+  "CMakeFiles/adlb_test.dir/adlb_test.cc.o.d"
+  "adlb_test"
+  "adlb_test.pdb"
+  "adlb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adlb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

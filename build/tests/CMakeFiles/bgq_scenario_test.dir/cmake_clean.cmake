@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgq_scenario_test.dir/bgq_scenario_test.cc.o"
+  "CMakeFiles/bgq_scenario_test.dir/bgq_scenario_test.cc.o.d"
+  "bgq_scenario_test"
+  "bgq_scenario_test.pdb"
+  "bgq_scenario_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgq_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

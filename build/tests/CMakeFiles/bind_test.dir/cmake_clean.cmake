@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bind_test.dir/bind_test.cc.o"
+  "CMakeFiles/bind_test.dir/bind_test.cc.o.d"
+  "bind_test"
+  "bind_test.pdb"
+  "bind_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bind_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkg_test.dir/pkg_test.cc.o"
+  "CMakeFiles/pkg_test.dir/pkg_test.cc.o.d"
+  "pkg_test"
+  "pkg_test.pdb"
+  "pkg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlang_test.dir/rlang_test.cc.o"
+  "CMakeFiles/rlang_test.dir/rlang_test.cc.o.d"
+  "rlang_test"
+  "rlang_test.pdb"
+  "rlang_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_array_test.dir/swift_array_test.cc.o"
+  "CMakeFiles/swift_array_test.dir/swift_array_test.cc.o.d"
+  "swift_array_test"
+  "swift_array_test.pdb"
+  "swift_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

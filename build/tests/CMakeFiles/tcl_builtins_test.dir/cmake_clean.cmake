@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcl_builtins_test.dir/tcl_builtins_test.cc.o"
+  "CMakeFiles/tcl_builtins_test.dir/tcl_builtins_test.cc.o.d"
+  "tcl_builtins_test"
+  "tcl_builtins_test.pdb"
+  "tcl_builtins_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcl_builtins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

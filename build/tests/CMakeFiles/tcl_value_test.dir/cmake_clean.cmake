@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcl_value_test.dir/tcl_value_test.cc.o"
+  "CMakeFiles/tcl_value_test.dir/tcl_value_test.cc.o.d"
+  "tcl_value_test"
+  "tcl_value_test.pdb"
+  "tcl_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcl_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbine_test.dir/turbine_test.cc.o"
+  "CMakeFiles/turbine_test.dir/turbine_test.cc.o.d"
+  "turbine_test"
+  "turbine_test.pdb"
+  "turbine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/tcl_value_test[1]_include.cmake")
+include("/root/repo/build/tests/tcl_interp_test[1]_include.cmake")
+include("/root/repo/build/tests/tcl_expr_test[1]_include.cmake")
+include("/root/repo/build/tests/tcl_builtins_test[1]_include.cmake")
+include("/root/repo/build/tests/blob_test[1]_include.cmake")
+include("/root/repo/build/tests/adlb_test[1]_include.cmake")
+include("/root/repo/build/tests/python_test[1]_include.cmake")
+include("/root/repo/build/tests/rlang_test[1]_include.cmake")
+include("/root/repo/build/tests/pkg_test[1]_include.cmake")
+include("/root/repo/build/tests/bind_test[1]_include.cmake")
+include("/root/repo/build/tests/turbine_test[1]_include.cmake")
+include("/root/repo/build/tests/swift_test[1]_include.cmake")
+include("/root/repo/build/tests/swift_array_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/conversion_test[1]_include.cmake")
+include("/root/repo/build/tests/bgq_scenario_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_fuzz_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilps.dir/ilps.cpp.o"
+  "CMakeFiles/ilps.dir/ilps.cpp.o.d"
+  "ilps"
+  "ilps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

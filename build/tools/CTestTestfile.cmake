@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_fig1 "/root/repo/build/tools/ilps" "--workers" "2" "/root/repo/scripts/fig1.swift")
+set_tests_properties(cli_fig1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_interlang "/root/repo/build/tools/ilps" "/root/repo/scripts/interlang.swift")
+set_tests_properties(cli_interlang PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_arrays "/root/repo/build/tools/ilps" "--workers" "3" "--stats" "/root/repo/scripts/arrays.swift")
+set_tests_properties(cli_arrays PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_emit_tcl "/root/repo/build/tools/ilps" "--emit-tcl" "/root/repo/scripts/fig1.swift")
+set_tests_properties(cli_emit_tcl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_reinit_policy "/root/repo/build/tools/ilps" "--policy" "reinit" "/root/repo/scripts/interlang.swift")
+set_tests_properties(cli_reinit_policy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
