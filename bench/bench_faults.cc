@@ -1,0 +1,136 @@
+// E10: fault-tolerant execution cost (src/ckpt).
+//
+// Two questions an SCR-style checkpoint/restart layer must answer:
+//  - what does a checkpoint cost as the data store grows? Serialized
+//    snapshot of 2^8..2^16 datums, written with header+CRC+atomic rename;
+//    the metric is ms per checkpoint and effective MB/s.
+//  - what does recovery cost as a function of WHERE the fault lands?
+//    A 400-leaf-task program is killed at its engine's Nth message;
+//    run_with_faults restarts from the newest checkpoint and replays only
+//    tasks that had not completed. Later faults mean more checkpointed
+//    progress, fewer replayed tasks, and recovery time that tracks the
+//    remaining (not the total) work.
+#include <filesystem>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "ckpt/ckpt.h"
+#include "ckpt/snapshot.h"
+#include "common/timer.h"
+#include "runtime/runner.h"
+
+namespace fs = std::filesystem;
+using namespace ilps;
+
+namespace {
+
+fs::path scratch_dir(const std::string& tag) {
+  fs::path p = fs::temp_directory_path() /
+               ("ilps-bench-faults-" + tag + "-" + std::to_string(::getpid()));
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p;
+}
+
+ckpt::Snapshot snapshot_with(int records) {
+  ckpt::Snapshot s;
+  s.seq = 1;
+  s.tasks_completed = records;
+  s.data.reserve(static_cast<size_t>(records));
+  for (int i = 0; i < records; ++i) {
+    ckpt::DatumRecord d;
+    d.id = i;
+    d.type = 1;  // integer
+    d.closed = true;
+    d.has_value = true;
+    d.value = "datum-value-" + std::to_string(i * 7919) + "-padding-to-32B";
+    s.done_tasks.push_back(ckpt::fingerprint(d.value));
+    s.data.push_back(std::move(d));
+  }
+  return s;
+}
+
+// N leaf tasks, each storing a deterministic integer; one engine-local
+// rule reports the sum so the output is a single stable line.
+std::string sum_program(int n) {
+  std::string p;
+  p += "proc task_val {i} { expr {($i * 37 + 11) % 100} }\n";
+  p += "proc report {ids} {\n";
+  p += "  set sum 0\n";
+  p += "  foreach x $ids { set sum [expr {$sum + [turbine::retrieve_integer $x]}] }\n";
+  p += "  puts \"sum $sum of [llength $ids]\"\n";
+  p += "}\n";
+  p += "proc swift:main {} {\n";
+  p += "  set ids [list]\n";
+  p += "  for {set i 0} {$i < " + std::to_string(n) + "} {incr i} {\n";
+  p += "    set x [turbine::allocate integer]\n";
+  p += "    lappend ids $x\n";
+  p += "    turbine::put_work \"turbine::store_integer $x \\[task_val $i\\]\"\n";
+  p += "  }\n";
+  p += "  turbine::rule $ids \"report [list $ids]\" type LOCAL\n";
+  p += "}\n";
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E10", "checkpoint cost and recovery time (src/ckpt)",
+                "fault-tolerant task execution: checkpoint cost scales with the "
+                "data store; restart replays only unfinished work");
+
+  {
+    bench::Table t({"datums", "file_bytes", "ms/ckpt", "MB/s"});
+    fs::path dir = scratch_dir("write");
+    uint64_t seq = 0;  // monotonic across rows: pruning drops the lowest seq
+    for (int exp = 8; exp <= 16; exp += 2) {
+      const int records = 1 << exp;
+      ckpt::Snapshot s = snapshot_with(records);
+      const int reps = 5;
+      uintmax_t bytes = 0;
+      Timer timer;
+      for (int r = 0; r < reps; ++r) {
+        s.seq = ++seq;
+        bytes = fs::file_size(ckpt::write_checkpoint(dir.string(), s));
+      }
+      const double ms = timer.elapsed() * 1000.0 / reps;
+      const double mbps = (static_cast<double>(bytes) / 1e6) / (ms / 1000.0);
+      t.row({std::to_string(records), std::to_string(bytes), bench::fmt("%.3f", ms),
+             bench::fmt("%.1f", mbps)});
+    }
+    fs::remove_all(dir);
+    t.print();
+  }
+
+  {
+    const int tasks = 400;
+    runtime::Config cfg;
+    cfg.engines = 1;
+    cfg.workers = 4;
+    cfg.servers = 1;
+    const std::string program = sum_program(tasks);
+    const double base = runtime::run_program(cfg, program).elapsed_seconds;
+    std::printf("\nfault-free baseline: %d tasks in %.3f s\n\n", tasks, base);
+
+    // The engine spends two sends per leaf task it submits (create +
+    // put), so message #m lands ~m/2 tasks into the program.
+    bench::Table t({"fault_at_msg", "attempts", "ckpts", "replay_skips", "replayed",
+                    "elapsed_s", "vs_baseline"});
+    for (int at : {160, 320, 480, 640}) {
+      fs::path dir = scratch_dir("recover-" + std::to_string(at));
+      runtime::Config fcfg = cfg;
+      fcfg.fault_plan.kill_rank(/*rank=*/0, /*at_message=*/static_cast<uint64_t>(at));
+      fcfg.ckpt_interval = 16;
+      fcfg.ckpt_dir = dir.string();
+      runtime::RunResult r = runtime::run_with_faults(fcfg, program);
+      fs::remove_all(dir);
+      t.row({std::to_string(at), std::to_string(r.ft.attempts),
+             std::to_string(r.server_stats.checkpoints),
+             std::to_string(r.server_stats.replay_skips),
+             std::to_string(r.worker_stats.tasks), bench::fmt("%.3f", r.elapsed_seconds),
+             bench::fmt("%.2fx", r.elapsed_seconds / base)});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -10,7 +10,7 @@ ctest --test-dir build
 
 echo "== examples =="
 for e in quickstart montecarlo_pi param_sweep_r native_blobs \
-         interlang_pipeline mapreduce_words; do
+         interlang_pipeline mapreduce_words fault_tolerance; do
   echo "-- $e"
   ./build/examples/$e
 done

@@ -60,6 +60,15 @@ std::optional<WorkUnit> Client::get(int type) {
   throw CommError("adlb: unexpected reply to Get");
 }
 
+void Client::task_failed(const WorkUnit& unit, const std::string& why) {
+  ser::Writer w;
+  w.put_u8(static_cast<uint8_t>(Op::kTaskFailed));
+  write_work_unit(w, unit);
+  w.put_str("rank " + std::to_string(comm_.rank()) + ": " + why);
+  std::vector<std::byte> storage;
+  expect_ack(rpc(home_, w, storage));
+}
+
 int64_t Client::unique() {
   // 23 bits of rank, 40 bits of counter: unique without communication.
   return (static_cast<int64_t>(comm_.rank()) << 40) | next_local_id_++;

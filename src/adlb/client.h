@@ -31,6 +31,11 @@ class Client {
   // nullopt when the run has terminated.
   std::optional<WorkUnit> get(int type);
 
+  // Reports that evaluating `unit` failed on this rank. The server
+  // requeues it (bounded by max_task_retries) or fails the run with a
+  // typed error naming the task and rank.
+  void task_failed(const WorkUnit& unit, const std::string& why);
+
   // ---- Data ----
 
   // Allocates a globally unique datum id without server communication

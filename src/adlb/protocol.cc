@@ -32,6 +32,8 @@ void write_work_unit(ser::Writer& w, const WorkUnit& unit) {
   w.put_i32(unit.target);
   w.put_i32(unit.answer);
   w.put_str(unit.payload);
+  w.put_i64(unit.id);
+  w.put_i32(unit.attempts);
 }
 
 WorkUnit read_work_unit(ser::Reader& r) {
@@ -41,6 +43,8 @@ WorkUnit read_work_unit(ser::Reader& r) {
   unit.target = r.get_i32();
   unit.answer = r.get_i32();
   unit.payload = r.get_str();
+  unit.id = r.get_i64();
+  unit.attempts = r.get_i32();
   return unit;
 }
 

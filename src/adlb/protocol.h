@@ -42,6 +42,22 @@ struct Config {
   // graphs unfolding ahead of leaf work). Ablated in bench_ablation.
   bool priority_notifications = true;
 
+  // ---- fault tolerance (the src/ckpt substrate) ----
+  // When ft is set the server tracks in-flight work per client, requeues
+  // a dead client's unit (bounded by max_task_retries), treats replayed
+  // data ops as idempotent, and — if ckpt_interval > 0 — checkpoints the
+  // data store every ckpt_interval completed leaf tasks into ckpt_dir.
+  bool ft = false;
+  int nengines = 1;              // client ranks < nengines are engines:
+                                 // their death is unrecoverable in place
+  int max_task_retries = 2;      // per-unit requeue budget
+  int retry_backoff_ms = 2;      // requeue delay, doubled per attempt
+                                 // (exponential backoff); 0 = immediate
+  int heartbeat_timeout_ms = 0;  // busy client silent this long is declared
+                                 // dead (hung-worker detection); 0 = off
+  int ckpt_interval = 0;         // completed tasks between checkpoints
+  std::string ckpt_dir;          // checkpoint directory (empty = no files)
+
   bool operator==(const Config&) const = default;
 };
 
@@ -52,6 +68,9 @@ struct WorkUnit {
   int target = kAnyRank;   // specific rank, or kAnyRank
   int answer = kAnyRank;   // rank to send an application-level answer to
   std::string payload;
+  int64_t id = 0;          // server-assigned identity (0 = not yet assigned);
+                           // names the unit in retry bookkeeping and errors
+  int attempts = 0;        // delivery attempts so far (fault tolerance)
 };
 
 // Typed data store (the ADLB data extension Turbine uses).
@@ -107,6 +126,8 @@ enum class Op : uint8_t {
   // client -> server
   kPut = 1,
   kGet = 2,
+  kTaskFailed = 3,  // worker reports a leaf-task eval failure (unit + why);
+                    // the server requeues it or aborts the run
   kCreate = 10,
   kStore = 11,
   kRetrieve = 12,

@@ -1,11 +1,15 @@
 #include "adlb/server.h"
 
+#include <algorithm>
+
+#include "ckpt/ckpt.h"
 #include "common/error.h"
 #include "common/log.h"
 
 namespace ilps::adlb {
 
-Server::Server(mpi::Comm& comm, const Config& cfg) : comm_(comm), cfg_(cfg) {
+Server::Server(mpi::Comm& comm, const Config& cfg, const ckpt::Snapshot* restore_from)
+    : comm_(comm), cfg_(cfg) {
   const int size = comm.size();
   const int rank = comm.rank();
   if (!is_server(rank, size, cfg)) {
@@ -28,14 +32,43 @@ Server::Server(mpi::Comm& comm, const Config& cfg) : comm_(comm), cfg_(cfg) {
   announced_.assign(static_cast<size_t>(cfg.ntypes), false);
   hungry_peers_.resize(static_cast<size_t>(cfg.ntypes));
   rng_ = Rng(0xAD1Bu + static_cast<uint64_t>(index_));
+  if (restore_from != nullptr) {
+    if (cfg.nservers != 1) {
+      throw CommError("adlb: checkpoint restore requires nservers == 1");
+    }
+    restore(*restore_from);
+  }
 }
 
 void Server::serve() {
   // A server with no clients of its own still shards data and rebalances.
+  const bool heartbeats = cfg_.ft && cfg_.heartbeat_timeout_ms > 0;
+  if (heartbeats) {
+    const double now = comm_.wtime();
+    for (int c : my_clients_) last_seen_[c] = now;
+  }
   while (!done_) {
-    mpi::Message m = comm_.recv(mpi::ANY_SOURCE, mpi::ANY_TAG);
-    dispatch(m);
-    if (!done_) after_dispatch();
+    bool activity = false;
+    std::optional<mpi::Message> m;
+    if (heartbeats || !deferred_.empty()) {
+      // Poll so a silent (hung/lost) client is noticed — and a requeue
+      // backoff expires — even when no traffic arrives to wake the loop.
+      const double poll_s =
+          heartbeats
+              ? std::max(0.001, static_cast<double>(cfg_.heartbeat_timeout_ms) / 4000.0)
+              : 0.001;
+      m = comm_.recv_for(poll_s, mpi::ANY_SOURCE, mpi::ANY_TAG);
+      if (flush_deferred()) activity = true;
+      if (heartbeats) check_heartbeats();
+    } else {
+      m = comm_.recv(mpi::ANY_SOURCE, mpi::ANY_TAG);
+    }
+    if (done_) break;
+    if (m) {
+      dispatch(*m);
+      activity = true;
+    }
+    if (activity && !done_) after_dispatch();
   }
 }
 
@@ -44,6 +77,8 @@ void Server::dispatch(const mpi::Message& m) {
     handle_request(m);
   } else if (m.tag == kTagServer) {
     handle_server(m);
+  } else if (m.tag == mpi::kTagFault) {
+    on_rank_dead_notice(m.source);
   } else {
     throw CommError("adlb server: unexpected tag " + std::to_string(m.tag));
   }
@@ -60,6 +95,11 @@ void Server::after_dispatch() {
 void Server::handle_request(const mpi::Message& m) {
   ser::Reader r = m.reader();
   Op op = static_cast<Op>(r.get_u8());
+  if (cfg_.ft) {
+    // Any RPC proves the client is alive; only Get / TaskFailed mark the
+    // in-flight unit finished (data ops happen mid-task).
+    last_seen_[m.source] = comm_.wtime();
+  }
   switch (op) {
     case Op::kPut: {
       WorkUnit unit = read_work_unit(r);
@@ -70,7 +110,12 @@ void Server::handle_request(const mpi::Message& m) {
     case Op::kGet: {
       int type = r.get_i32();
       ++stats_.gets;
+      if (cfg_.ft) note_completion(m.source);
       handle_get(m.source, type);
+      break;
+    }
+    case Op::kTaskFailed: {
+      handle_task_failed(m.source, r);
       break;
     }
     default:
@@ -93,8 +138,33 @@ void Server::handle_put(int source, const WorkUnit& unit) {
   reply_ack(source);
 }
 
-void Server::accept_unit(const WorkUnit& unit) {
+void Server::accept_unit(WorkUnit unit) {
   const int size = comm_.size();
+  if (cfg_.ft) {
+    // Name the unit once, on the first server that sees it; the id rides
+    // along through forwards and requeues.
+    if (unit.id == 0) {
+      unit.id = (static_cast<int64_t>(index_) << 48) | next_unit_id_++;
+    }
+    // Restart replay: a work unit whose payload already completed before
+    // the checkpoint is not re-dispatched — its effects live in the
+    // restored store. Units that manage container write refcounts are
+    // exempt (their write_incr must re-run against the reset refcounts).
+    if (restored_ && unit.type == kTypeWork &&
+        unit.payload.find("write_incr") == std::string::npos) {
+      auto it = done_fingerprints_.find(ckpt::fingerprint(unit.payload));
+      if (it != done_fingerprints_.end() && it->second > 0) {
+        if (--it->second == 0) done_fingerprints_.erase(it);
+        ++stats_.replay_skips;
+        return;
+      }
+    }
+    // Work targeted at a dead rank can never be delivered; release the
+    // constraint instead of deadlocking.
+    if (unit.target != kAnyRank && dead_clients_.count(unit.target) > 0) {
+      unit.target = kAnyRank;
+    }
+  }
   if (unit.target != kAnyRank) {
     if (unit.target < 0 || unit.target >= num_clients(size, cfg_)) {
       throw DataError("put: target rank " + std::to_string(unit.target) + " out of range");
@@ -158,11 +228,30 @@ void Server::deliver(int client, const WorkUnit& unit) {
   write_work_unit(w, unit);
   comm_.send(client, kTagResponse, w);
   ++stats_.matches;
+  // Remember what each worker is running so a dead worker's unit can be
+  // requeued. Engines run control tasks (rule bodies); re-running those
+  // is not safe in place, so only worker units are tracked.
+  if (cfg_.ft && unit.type == kTypeWork && !is_engine_client(client)) {
+    inflight_[client] = unit;
+  }
+  // Delivery starts a task: measure silence from here, not from the
+  // client's last RPC. A client handed work after idling a long time in
+  // the parked queue would otherwise look instantly timed-out (its
+  // liveness-proving store arrives only after the next heartbeat check).
+  if (cfg_.ft && cfg_.heartbeat_timeout_ms > 0) last_seen_[client] = comm_.wtime();
 }
 
 void Server::handle_get(int source, int type) {
   if (type < 0 || type >= cfg_.ntypes) {
     reply_error(source, "get: invalid work type " + std::to_string(type));
+    return;
+  }
+  if (cfg_.ft && dead_clients_.count(source) > 0) {
+    // A client declared dead by heartbeat turned out to be alive (e.g. a
+    // delayed link). Its unit was already requeued; fence it off.
+    ser::Writer w;
+    w.put_u8(static_cast<uint8_t>(Op::kShutdownClient));
+    comm_.send(source, kTagResponse, w);
     return;
   }
   // Targeted work first (ADLB's matching order), then untargeted by
@@ -184,6 +273,219 @@ void Server::handle_get(int source, int type) {
   }
   parked_[static_cast<size_t>(type)].push_back(source);
   parked_clients_.insert(source);
+}
+
+// ---- fault tolerance ----
+
+void Server::handle_task_failed(int source, ser::Reader& r) {
+  WorkUnit unit = read_work_unit(r);
+  std::string why = r.get_str();
+  ++stats_.task_failures;
+  inflight_.erase(source);
+  reply_ack(source);  // the worker itself is healthy and keeps serving
+  requeue_or_fail(std::move(unit), why);
+}
+
+void Server::on_rank_dead_notice(int rank) {
+  if (is_server(rank, comm_.size(), cfg_)) {
+    // A dead peer server loses its shard and ring position; not
+    // recoverable in place.
+    comm_.abort("ilps-ft-restart: server rank " + std::to_string(rank) + " died");
+    done_ = true;
+    return;
+  }
+  on_client_dead(rank);
+}
+
+void Server::on_client_dead(int client) {
+  if (dead_clients_.count(client) > 0) return;
+  dead_clients_.insert(client);
+  if (!cfg_.ft) {
+    comm_.abort("ilps: rank " + std::to_string(client) +
+                " died and fault tolerance is disabled");
+    done_ = true;
+    return;
+  }
+  if (is_engine_client(client)) {
+    // The engine holds unserializable rule state; recovery is a restart
+    // from the latest checkpoint, driven by runtime::run_with_faults.
+    comm_.abort("ilps-ft-restart: engine rank " + std::to_string(client) + " died");
+    done_ = true;
+    return;
+  }
+  // A dead client cannot receive work: drop its parked entries.
+  if (parked_clients_.erase(client) > 0) {
+    for (auto& queue : parked_) {
+      for (auto it = queue.begin(); it != queue.end();) {
+        it = (*it == client) ? queue.erase(it) : std::next(it);
+      }
+    }
+  }
+  // Requeue whatever it was running (tracked on its home server).
+  auto inflight = inflight_.find(client);
+  if (inflight != inflight_.end()) {
+    WorkUnit unit = std::move(inflight->second);
+    inflight_.erase(inflight);
+    requeue_or_fail(std::move(unit), "rank " + std::to_string(client) + " died");
+    if (done_) return;
+  }
+  // Queued work aimed specifically at the dead rank is retargeted.
+  std::vector<WorkUnit> orphaned;
+  for (auto it = targeted_.begin(); it != targeted_.end();) {
+    if (it->first.first == client) {
+      for (auto& u : it->second) orphaned.push_back(std::move(u));
+      it = targeted_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& u : orphaned) {
+    u.target = kAnyRank;
+    accept_unit(std::move(u));
+  }
+  // With every worker dead, queued work can never run again.
+  bool any_worker_alive = false;
+  const int nclients = num_clients(comm_.size(), cfg_);
+  for (int c = cfg_.nengines; c < nclients; ++c) {
+    if (dead_clients_.count(c) == 0) {
+      any_worker_alive = true;
+      break;
+    }
+  }
+  if (!any_worker_alive) {
+    comm_.abort("ilps-ft-restart: all worker ranks died");
+    done_ = true;
+  }
+}
+
+void Server::check_heartbeats() {
+  const double timeout = static_cast<double>(cfg_.heartbeat_timeout_ms) / 1000.0;
+  const double now = comm_.wtime();
+  for (int c : my_clients_) {
+    if (dead_clients_.count(c) > 0) continue;
+    if (is_engine_client(c)) continue;           // engines are never killed by silence
+    if (parked_clients_.count(c) > 0) continue;  // parked = idle, legitimately quiet
+    auto it = last_seen_.find(c);
+    if (it == last_seen_.end()) {
+      last_seen_[c] = now;
+      continue;
+    }
+    if (now - it->second > timeout) {
+      ++stats_.heartbeat_deaths;
+      log::warn("adlb: client ", c, " silent beyond heartbeat timeout, declaring dead");
+      on_client_dead(c);
+      if (done_) return;
+    }
+  }
+}
+
+void Server::requeue_or_fail(WorkUnit unit, const std::string& why) {
+  ++unit.attempts;
+  if (unit.attempts > cfg_.max_task_retries) {
+    comm_.abort("ilps-task-failed: task <" + std::to_string(unit.id) + "> failed " +
+                std::to_string(unit.attempts) + " time(s), retries exhausted: " + why);
+    done_ = true;
+    return;
+  }
+  ++stats_.requeues;
+  log::info("adlb: requeueing task <", unit.id, "> (failure ", unit.attempts, "): ", why);
+  if (cfg_.retry_backoff_ms > 0) {
+    // Exponential backoff: 1x, 2x, 4x, ... the base delay per attempt.
+    const int shift = std::min(unit.attempts - 1, 10);
+    const double delay_s =
+        static_cast<double>(cfg_.retry_backoff_ms << shift) / 1000.0;
+    deferred_.emplace_back(comm_.wtime() + delay_s, std::move(unit));
+    return;
+  }
+  accept_unit(std::move(unit));
+}
+
+bool Server::flush_deferred() {
+  if (deferred_.empty()) return false;
+  const double now = comm_.wtime();
+  bool any = false;
+  for (size_t i = 0; i < deferred_.size();) {
+    if (deferred_[i].first <= now) {
+      WorkUnit unit = std::move(deferred_[i].second);
+      deferred_.erase(deferred_.begin() + static_cast<ptrdiff_t>(i));
+      accept_unit(std::move(unit));
+      any = true;
+    } else {
+      ++i;
+    }
+  }
+  return any;
+}
+
+void Server::note_completion(int client) {
+  auto it = inflight_.find(client);
+  if (it == inflight_.end()) return;
+  // Units that manage container write refcounts are re-run on restart
+  // (see accept_unit), so they are not fingerprinted as done.
+  if (it->second.payload.find("write_incr") == std::string::npos) {
+    ++done_fingerprints_[ckpt::fingerprint(it->second.payload)];
+  }
+  inflight_.erase(it);
+  ++tasks_completed_;
+  maybe_checkpoint();
+}
+
+void Server::maybe_checkpoint() {
+  if (cfg_.ckpt_interval <= 0 || cfg_.ckpt_dir.empty()) return;
+  if (tasks_completed_ % cfg_.ckpt_interval != 0) return;
+  ckpt::Snapshot s = snapshot();
+  s.seq = ckpt_seq_++;
+  ckpt::write_checkpoint(cfg_.ckpt_dir, s);
+  ++stats_.checkpoints;
+}
+
+ckpt::Snapshot Server::snapshot() const {
+  ckpt::Snapshot s;
+  s.seq = ckpt_seq_;
+  s.tasks_completed = tasks_completed_;
+  s.data.reserve(store_.size());
+  for (const auto& [id, d] : store_) {
+    ckpt::DatumRecord rec;
+    rec.id = id;
+    rec.type = static_cast<uint8_t>(d.type);
+    rec.closed = d.closed;
+    rec.has_value = d.has_value;
+    rec.value = d.value;
+    rec.entries.assign(d.entries.begin(), d.entries.end());
+    rec.read_refs = d.read_refs;
+    rec.write_refs = d.write_refs;
+    s.data.push_back(std::move(rec));
+  }
+  // Deterministic file contents regardless of hash-map iteration order.
+  std::sort(s.data.begin(), s.data.end(),
+            [](const ckpt::DatumRecord& a, const ckpt::DatumRecord& b) { return a.id < b.id; });
+  for (const auto& [fp, n] : done_fingerprints_) {
+    for (int i = 0; i < n; ++i) s.done_tasks.push_back(fp);
+  }
+  std::sort(s.done_tasks.begin(), s.done_tasks.end());
+  return s;
+}
+
+void Server::restore(const ckpt::Snapshot& snap) {
+  restored_ = true;
+  ckpt_seq_ = snap.seq + 1;
+  tasks_completed_ = snap.tasks_completed;
+  for (const auto& rec : snap.data) {
+    Datum d;
+    d.type = static_cast<DataType>(rec.type);
+    d.closed = rec.closed;
+    d.has_value = rec.has_value;
+    d.value = rec.value;
+    for (const auto& [k, v] : rec.entries) d.entries.emplace(k, v);
+    d.read_refs = rec.read_refs;
+    // Open datums are re-closed by the replayed program; their write
+    // refcount bookkeeping restarts from scratch.
+    d.write_refs = rec.closed ? rec.write_refs : 1;
+    store_.emplace(rec.id, std::move(d));
+  }
+  for (uint64_t fp : snap.done_tasks) ++done_fingerprints_[fp];
+  log::info("adlb: restored checkpoint seq ", snap.seq, ": ", store_.size(), " datums, ",
+            snap.done_tasks.size(), " completed tasks");
 }
 
 void Server::evaluate_hunger() {
@@ -307,6 +609,12 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         int64_t id = r.get_i64();
         auto type = static_cast<DataType>(r.get_u8());
         if (store_.count(id) > 0) {
+          // Replay (restart or retried task): re-creating the same id
+          // with the same type is idempotent under fault tolerance.
+          if (cfg_.ft && store_[id].type == type) {
+            reply_ack(source);
+            return;
+          }
           throw DataError("create: datum <" + std::to_string(id) + "> already exists");
         }
         Datum d;
@@ -321,6 +629,12 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         std::string value = r.get_str();
         Datum& d = find_datum(id, "store");
         if (d.closed) {
+          // Replay writing back the identical value is idempotent; a
+          // different value is still a real double assignment.
+          if (cfg_.ft && d.has_value && d.value == value) {
+            reply_ack(source);
+            return;
+          }
           throw DataError("store: datum <" + std::to_string(id) +
                           "> already closed (double assignment)");
         }
@@ -363,6 +677,10 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         int64_t id = r.get_i64();
         Datum& d = find_datum(id, "close");
         if (d.closed) {
+          if (cfg_.ft) {  // replayed close of a void future
+            reply_ack(source);
+            return;
+          }
           throw DataError("close: datum <" + std::to_string(id) + "> already closed");
         }
         do_close(id, d);
@@ -386,9 +704,16 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         Datum& d = find_datum(id, "refcount");
         d.read_refs += delta;
         if (d.read_refs < 0) {
-          throw DataError("refcount: datum <" + std::to_string(id) + "> underflow");
+          // Replayed decrements may overshoot; clamp instead of failing.
+          if (cfg_.ft) {
+            d.read_refs = 0;
+          } else {
+            throw DataError("refcount: datum <" + std::to_string(id) + "> underflow");
+          }
         }
-        if (d.read_refs == 0) store_.erase(id);
+        // Under fault tolerance the datum is kept as a tombstone: a
+        // restart replays reads that the refcounts say already happened.
+        if (d.read_refs == 0 && !cfg_.ft) store_.erase(id);
         reply_ack(source);
         return;
       }
@@ -397,6 +722,10 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         int delta = r.get_i32();
         Datum& d = find_datum(id, "write refcount");
         if (d.closed) {
+          if (cfg_.ft) {  // replayed decrement after the close already happened
+            reply_ack(source);
+            return;
+          }
           throw DataError("write refcount: datum <" + std::to_string(id) + "> already closed");
         }
         d.write_refs += delta;
@@ -414,6 +743,15 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         Datum& d = find_datum(id, "insert");
         if (d.type != DataType::kContainer) {
           throw DataError("insert: datum <" + std::to_string(id) + "> is not a container");
+        }
+        {
+          // Replayed insert of the identical (key, value) is idempotent,
+          // even after the container closed.
+          auto prev = d.entries.find(key);
+          if (cfg_.ft && prev != d.entries.end() && prev->second == value) {
+            reply_ack(source);
+            return;
+          }
         }
         if (d.closed) {
           throw DataError("insert: container <" + std::to_string(id) + "> is closed");
@@ -472,7 +810,12 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
 // ---- termination ----
 
 bool Server::quiet() const {
-  if (parked_clients_.size() != my_clients_.size()) return false;
+  size_t accounted = parked_clients_.size();
+  for (int c : my_clients_) {
+    if (dead_clients_.count(c) > 0) ++accounted;  // the dead are forever quiet
+  }
+  if (accounted != my_clients_.size()) return false;
+  if (!deferred_.empty()) return false;  // a requeued unit is pending work
   for (const auto& queue : untargeted_) {
     if (!queue.empty()) return false;
   }

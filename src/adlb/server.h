@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "adlb/protocol.h"
+#include "ckpt/snapshot.h"
 #include "common/rng.h"
 #include "mpi/comm.h"
 
@@ -50,11 +51,21 @@ struct ServerStats {
   uint64_t data_ops = 0;
   uint64_t tokens = 0;           // termination tokens handled
   uint64_t leftover_data = 0;    // unclosed data at shutdown (diagnostic)
+
+  // ---- fault tolerance ----
+  uint64_t requeues = 0;          // units re-dispatched after a failure
+  uint64_t task_failures = 0;     // kTaskFailed reports received
+  uint64_t heartbeat_deaths = 0;  // clients declared dead by silence
+  uint64_t checkpoints = 0;       // checkpoint files written
+  uint64_t replay_skips = 0;      // units skipped as already completed
 };
 
 class Server {
  public:
-  Server(mpi::Comm& comm, const Config& cfg);
+  // `restore`, when given, preloads the data store, completed-task
+  // fingerprints, and progress counters from a checkpoint snapshot
+  // (restart-from-checkpoint; requires nservers == 1).
+  Server(mpi::Comm& comm, const Config& cfg, const ckpt::Snapshot* restore = nullptr);
 
   // Runs the message loop until global termination. Returns normally
   // after releasing all parked clients.
@@ -86,11 +97,25 @@ class Server {
   void handle_server(const mpi::Message& m);
   void after_dispatch();
 
+  // ---- fault tolerance ----
+  bool ft_active() const { return cfg_.ft; }
+  bool is_engine_client(int client) const { return client < cfg_.nengines; }
+  void handle_task_failed(int source, ser::Reader& r);
+  void on_rank_dead_notice(int rank);   // kTagFault arrived for `rank`
+  void on_client_dead(int client);      // bookkeeping + requeue + abort checks
+  void check_heartbeats();
+  void requeue_or_fail(WorkUnit unit, const std::string& why);
+  bool flush_deferred();                // requeue backoff expiries; true if any
+  void note_completion(int client);     // client's in-flight unit finished
+  void maybe_checkpoint();
+  ckpt::Snapshot snapshot() const;
+  void restore(const ckpt::Snapshot& snap);
+
   // ---- tasks ----
   void handle_put(int source, const WorkUnit& unit);
   // Accepts a unit that belongs on this server (or forwards a targeted
   // unit to its home server).
-  void accept_unit(const WorkUnit& unit);
+  void accept_unit(WorkUnit unit);
   void deliver(int client, const WorkUnit& unit);
   void handle_get(int source, int type);
   void evaluate_hunger();
@@ -131,6 +156,19 @@ class Server {
 
   // Data store shard.
   std::unordered_map<int64_t, Datum> store_;
+
+  // Fault-tolerance state (all inert unless cfg_.ft).
+  std::unordered_map<int, WorkUnit> inflight_;  // client -> delivered unit
+  std::vector<std::pair<double, WorkUnit>> deferred_;  // (ready time, requeued unit)
+  std::unordered_map<int, double> last_seen_;   // client -> last RPC time
+  std::set<int> dead_clients_;                  // global (all servers learn)
+  int64_t next_unit_id_ = 1;
+  int64_t tasks_completed_ = 0;
+  uint64_t ckpt_seq_ = 0;
+  bool restored_ = false;  // this run started from a checkpoint
+  // Completed-task fingerprint -> remaining skip budget (a multiset:
+  // identical payloads may legitimately run more than once).
+  std::unordered_map<uint64_t, int> done_fingerprints_;
 
   // Termination detection.
   int64_t basic_count_ = 0;  // sent - received server basic messages

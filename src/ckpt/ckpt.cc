@@ -1,0 +1,137 @@
+#include "ckpt/ckpt.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "ckpt/crc32.h"
+#include "common/error.h"
+#include "common/log.h"
+
+namespace fs = std::filesystem;
+
+namespace ilps::ckpt {
+
+namespace {
+
+std::string file_name(uint64_t seq) {
+  // Zero-padded so lexical order == seq order.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "ckpt-%012llu.ilps", static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+// Parses "<dir>/ckpt-<seq>.ilps" names; nullopt for anything else.
+std::optional<uint64_t> seq_of(const fs::path& p) {
+  const std::string name = p.filename().string();
+  if (name.size() < 11 || name.rfind("ckpt-", 0) != 0) return std::nullopt;
+  if (p.extension() != ".ilps") return std::nullopt;
+  uint64_t seq = 0;
+  for (size_t i = 5; i < name.size() - 5; ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+}  // namespace
+
+std::string write_checkpoint(const std::string& dir, const Snapshot& snap) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) throw OsError("ckpt: cannot create directory " + dir + ": " + ec.message());
+
+  ser::Writer payload;
+  snap.serialize(payload);
+  const auto body = payload.bytes();
+  const uint32_t crc = crc32(body);
+
+  ser::Writer header;
+  for (char c : kMagic) header.put_u8(static_cast<uint8_t>(c));
+  header.put_u32(kFormatVersion);
+  header.put_u64(snap.seq);
+  header.put_u64(body.size());
+  header.put_u32(crc);
+
+  const fs::path final_path = fs::path(dir) / file_name(snap.seq);
+  const fs::path tmp_path = final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw OsError("ckpt: cannot open " + tmp_path.string());
+    const auto head = header.bytes();
+    out.write(reinterpret_cast<const char*>(head.data()),
+              static_cast<std::streamsize>(head.size()));
+    out.write(reinterpret_cast<const char*>(body.data()),
+              static_cast<std::streamsize>(body.size()));
+    if (!out) throw OsError("ckpt: short write to " + tmp_path.string());
+  }
+  fs::rename(tmp_path, final_path, ec);  // atomic replace on POSIX
+  if (ec) throw OsError("ckpt: rename failed: " + ec.message());
+
+  // Prune: keep the newest kKeep checkpoints.
+  auto files = list_checkpoints(dir);
+  while (files.size() > static_cast<size_t>(kKeep)) {
+    fs::remove(files.front(), ec);  // oldest first; best effort
+    files.erase(files.begin());
+  }
+  log::debug("ckpt: wrote ", final_path.string(), " (", body.size(), " bytes)");
+  return final_path.string();
+}
+
+std::vector<std::string> list_checkpoints(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (seq_of(entry.path())) out.push_back(entry.path().string());
+  }
+  std::sort(out.begin(), out.end());  // zero-padded names: lexical == seq
+  return out;
+}
+
+std::optional<Snapshot> load_latest(const std::string& dir) {
+  auto files = list_checkpoints(dir);
+  // Newest first; fall back to older files when a candidate is damaged.
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    std::ifstream in(*it, std::ios::binary);
+    if (!in) continue;
+    std::vector<char> raw((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    const size_t header_size = sizeof kMagic + 4 + 8 + 8 + 4;
+    if (raw.size() < header_size) {
+      log::warn("ckpt: ", *it, " truncated header, skipping");
+      continue;
+    }
+    if (std::memcmp(raw.data(), kMagic, sizeof kMagic) != 0) {
+      log::warn("ckpt: ", *it, " bad magic, skipping");
+      continue;
+    }
+    ser::Reader head(std::span<const std::byte>(
+        reinterpret_cast<const std::byte*>(raw.data() + sizeof kMagic),
+        header_size - sizeof kMagic));
+    const uint32_t version = head.get_u32();
+    head.get_u64();  // seq (also encoded in the name)
+    const uint64_t len = head.get_u64();
+    const uint32_t want_crc = head.get_u32();
+    if (version != kFormatVersion) {
+      log::warn("ckpt: ", *it, " version ", version, " unsupported, skipping");
+      continue;
+    }
+    if (raw.size() != header_size + len) {
+      log::warn("ckpt: ", *it, " truncated payload, skipping");
+      continue;
+    }
+    const std::span<const std::byte> body(
+        reinterpret_cast<const std::byte*>(raw.data() + header_size), len);
+    if (crc32(body) != want_crc) {
+      log::warn("ckpt: ", *it, " CRC mismatch, skipping");
+      continue;
+    }
+    ser::Reader r(body);
+    return Snapshot::deserialize(r);
+  }
+  return std::nullopt;
+}
+
+}  // namespace ilps::ckpt

@@ -1,0 +1,38 @@
+// SCR-style checkpoint files: versioned, CRC-guarded, atomically renamed
+// into place so a crash mid-write can never corrupt the latest good
+// checkpoint. Layout of `<dir>/ckpt-<seq>.ilps`:
+//
+//   magic "ILPSCKPT" | u32 format version | u64 seq | u64 payload length
+//   | u32 crc32(payload) | payload (ser-encoded Snapshot)
+//
+// write_checkpoint() writes to a `.tmp` sibling, fsync-free (the threat
+// model is process failure, not power loss — matching SCR's in-job cache
+// level), renames over, and prunes all but the newest kKeep files.
+// load_latest() scans the directory and returns the highest-seq snapshot
+// whose CRC verifies, silently skipping damaged files.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/snapshot.h"
+
+namespace ilps::ckpt {
+
+inline constexpr char kMagic[8] = {'I', 'L', 'P', 'S', 'C', 'K', 'P', 'T'};
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr int kKeep = 2;  // newest checkpoints retained after a write
+
+// Writes `snap` under `dir` (created if missing). Returns the final path.
+// Throws ilps::OsError on I/O failure.
+std::string write_checkpoint(const std::string& dir, const Snapshot& snap);
+
+// Highest-seq valid checkpoint in `dir`, or nullopt if none verifies
+// (missing dir, no files, or every candidate fails magic/CRC checks).
+std::optional<Snapshot> load_latest(const std::string& dir);
+
+// Checkpoint file paths in `dir`, sorted by ascending seq (name order).
+std::vector<std::string> list_checkpoints(const std::string& dir);
+
+}  // namespace ilps::ckpt

@@ -1,0 +1,36 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. Used to verify
+// checkpoint payload integrity before a restore is attempted — a truncated
+// or corrupted file must be rejected, not deserialized.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ilps::ckpt {
+
+namespace detail {
+constexpr std::array<uint32_t, 256> make_crc32_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<uint32_t, 256> kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+inline uint32_t crc32(std::span<const std::byte> data, uint32_t seed = 0) {
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::byte b : data) {
+    c = detail::kCrc32Table[(c ^ static_cast<uint32_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace ilps::ckpt

@@ -1,0 +1,66 @@
+#include "ckpt/snapshot.h"
+
+namespace ilps::ckpt {
+
+void Snapshot::serialize(ser::Writer& w) const {
+  w.put_u64(seq);
+  w.put_i64(tasks_completed);
+  w.put_u64(data.size());
+  for (const DatumRecord& d : data) {
+    w.put_i64(d.id);
+    w.put_u8(d.type);
+    w.put_bool(d.closed);
+    w.put_bool(d.has_value);
+    w.put_str(d.value);
+    w.put_u64(d.entries.size());
+    for (const auto& [key, val] : d.entries) {
+      w.put_str(key);
+      w.put_str(val);
+    }
+    w.put_i32(d.read_refs);
+    w.put_i32(d.write_refs);
+  }
+  w.put_u64(done_tasks.size());
+  for (uint64_t f : done_tasks) w.put_u64(f);
+}
+
+Snapshot Snapshot::deserialize(ser::Reader& r) {
+  Snapshot s;
+  s.seq = r.get_u64();
+  s.tasks_completed = r.get_i64();
+  const uint64_t ndata = r.get_u64();
+  s.data.reserve(ndata);
+  for (uint64_t i = 0; i < ndata; ++i) {
+    DatumRecord d;
+    d.id = r.get_i64();
+    d.type = r.get_u8();
+    d.closed = r.get_bool();
+    d.has_value = r.get_bool();
+    d.value = r.get_str();
+    const uint64_t nentries = r.get_u64();
+    d.entries.reserve(nentries);
+    for (uint64_t k = 0; k < nentries; ++k) {
+      std::string key = r.get_str();
+      std::string val = r.get_str();
+      d.entries.emplace_back(std::move(key), std::move(val));
+    }
+    d.read_refs = r.get_i32();
+    d.write_refs = r.get_i32();
+    s.data.push_back(std::move(d));
+  }
+  const uint64_t ndone = r.get_u64();
+  s.done_tasks.reserve(ndone);
+  for (uint64_t i = 0; i < ndone; ++i) s.done_tasks.push_back(r.get_u64());
+  return s;
+}
+
+uint64_t fingerprint(std::string_view payload) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (char c : payload) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace ilps::ckpt

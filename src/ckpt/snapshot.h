@@ -1,0 +1,53 @@
+// In-memory image of recoverable program state: the ADLB data store
+// (typed entries, containers, refcounts, close state) plus progress
+// markers (completed-task fingerprints). The ADLB server fills one in and
+// restores from one; this header knows nothing about servers — it is a
+// plain serializable value so tests and tools can build snapshots too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/buffer.h"
+
+namespace ilps::ckpt {
+
+// One datum of the ADLB store. `entries` carries container members for
+// container-typed data and is empty for scalars.
+struct DatumRecord {
+  int64_t id = 0;
+  uint8_t type = 0;  // adlb::DataType, kept as its wire value
+  bool closed = false;
+  bool has_value = false;
+  std::string value;
+  std::vector<std::pair<std::string, std::string>> entries;
+  int32_t read_refs = 1;
+  int32_t write_refs = 1;
+
+  bool operator==(const DatumRecord&) const = default;
+};
+
+struct Snapshot {
+  uint64_t seq = 0;             // checkpoint sequence number (monotonic)
+  int64_t tasks_completed = 0;  // leaf tasks retired when this was taken
+  std::vector<DatumRecord> data;
+  // Fingerprints of completed leaf-task payloads (a multiset encoded as a
+  // sorted vector — identical tasks may legitimately run twice). On
+  // restart the server skips re-dispatching a matching payload and
+  // instead replays its idempotent effects from the restored store.
+  std::vector<uint64_t> done_tasks;
+
+  void serialize(ser::Writer& w) const;
+  static Snapshot deserialize(ser::Reader& r);
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+// FNV-1a 64-bit over a task payload; the identity used for replay
+// skipping. Stable across runs by construction.
+uint64_t fingerprint(std::string_view payload);
+
+}  // namespace ilps::ckpt

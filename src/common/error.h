@@ -41,4 +41,18 @@ class OsError : public Error {
   explicit OsError(const std::string& what) : Error(what) {}
 };
 
+// A leaf task failed (worker eval threw, or its retry budget ran out).
+// Carries rank and task id in the message so failures are attributable.
+class TaskError : public Error {
+ public:
+  explicit TaskError(const std::string& what) : Error(what) {}
+};
+
+// The run cannot continue in place (engine rank died, every worker died)
+// and must be restarted — from the latest checkpoint if one exists.
+class RestartError : public Error {
+ public:
+  explicit RestartError(const std::string& what) : Error(what) {}
+};
+
 }  // namespace ilps

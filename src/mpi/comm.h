@@ -8,6 +8,14 @@
 //  - sends are always eager/buffered (never block on the receiver);
 //  - collectives are implemented over point-to-point with reserved tags;
 //  - a rank that throws aborts the world, waking peers blocked in recv.
+//
+// Fault injection (src/ckpt's substrate): a World can carry a FaultPlan
+// that kills a rank at its Nth send, makes it hang, or drops/delays one
+// of its messages. A killed rank does NOT abort the world — its thread
+// exits, a death notice (kTagFault) is posted to every surviving mailbox,
+// and the upper layers (the ADLB server's heartbeat/requeue logic) are
+// expected to recover. This mirrors an MPI-ULFM/SCR failure model on the
+// thread-backed transport.
 #pragma once
 
 #include <cstddef>
@@ -30,6 +38,76 @@ inline constexpr int ANY_TAG = -1;
 // User tags must lie in [0, kMaxUserTag); larger tags are reserved for
 // collectives implemented inside this library.
 inline constexpr int kMaxUserTag = 1 << 24;
+
+// Reserved tag for rank-death notices. When a rank dies under a FaultPlan
+// the World posts an empty message with this tag (source = dead rank) to
+// every other mailbox; fault-aware receivers (the ADLB server) match it,
+// everyone else never requests the tag and is undisturbed.
+inline constexpr int kTagFault = kMaxUserTag + 64;
+
+// ---- Fault injection ----
+
+// One scripted failure. `at_message` counts the victim rank's user-level
+// sends (1-based): the action fires when the rank is about to perform its
+// Nth Comm::send, before the message leaves.
+struct FaultAction {
+  enum class Kind : uint8_t {
+    kKillRank,      // the rank dies; the Nth message is never sent
+    kHangRank,      // the rank blocks (hung worker); released and killed
+                    // only when every other rank has finished
+    kDropMessage,   // the Nth message is silently lost; because every
+                    // client exchange is a synchronous RPC, the sender is
+                    // then doomed: its next blocking recv parks until the
+                    // world drains, then it dies (lost-request model)
+    kDelayMessage,  // the Nth message is delivered after delay_seconds
+                    // (the sender blocks, modelling a slow link)
+  };
+  Kind kind = Kind::kKillRank;
+  int rank = -1;
+  uint64_t at_message = 0;
+  double delay_seconds = 0.0;
+};
+
+// A scripted failure scenario, attached to a World before run(). Actions
+// fire at most once; World::fault_fired() reports which ones did, so a
+// restart driver can drop consumed faults before re-running.
+struct FaultPlan {
+  std::vector<FaultAction> actions;
+
+  bool empty() const { return actions.empty(); }
+
+  FaultPlan& kill_rank(int rank, uint64_t at_message) {
+    actions.push_back({FaultAction::Kind::kKillRank, rank, at_message, 0.0});
+    return *this;
+  }
+  FaultPlan& hang_rank(int rank, uint64_t at_message) {
+    actions.push_back({FaultAction::Kind::kHangRank, rank, at_message, 0.0});
+    return *this;
+  }
+  FaultPlan& drop_message(int rank, uint64_t at_message) {
+    actions.push_back({FaultAction::Kind::kDropMessage, rank, at_message, 0.0});
+    return *this;
+  }
+  FaultPlan& delay_message(int rank, uint64_t at_message, double delay_seconds) {
+    actions.push_back({FaultAction::Kind::kDelayMessage, rank, at_message, delay_seconds});
+    return *this;
+  }
+
+  // Deterministically scripted random kill: picks a victim in
+  // [first_rank, last_rank] and a message number in [lo_message,
+  // hi_message] from the seed (common/rng.h), so fault sweeps are
+  // reproducible.
+  static FaultPlan random_kill(uint64_t seed, int first_rank, int last_rank, uint64_t lo_message,
+                               uint64_t hi_message);
+};
+
+// Thrown inside a rank thread to terminate it under a FaultPlan.
+// Deliberately NOT derived from std::exception: script-level catch
+// handlers (MiniTcl `catch`, MiniPy `except`) must not intercept a rank
+// death.
+struct RankKilled {
+  int rank = -1;
+};
 
 struct Message {
   int source = ANY_SOURCE;
@@ -63,6 +141,10 @@ class Comm {
 
   Message recv(int source = ANY_SOURCE, int tag = ANY_TAG);
 
+  // Blocking receive with a deadline: returns nullopt if no matching
+  // message arrives within `seconds` (the ADLB server's heartbeat poll).
+  std::optional<Message> recv_for(double seconds, int source = ANY_SOURCE, int tag = ANY_TAG);
+
   // Non-blocking receive: returns the message if one matches now.
   std::optional<Message> try_recv(int source = ANY_SOURCE, int tag = ANY_TAG);
 
@@ -90,6 +172,7 @@ class Comm {
 
   World* world_;
   int rank_;
+  uint64_t sent_ = 0;  // user-level sends, the FaultPlan trigger counter
 };
 
 // Owns the mailboxes and the rank threads. Usage:
@@ -112,16 +195,36 @@ class World {
 
   TrafficStats stats() const;
 
+  // Installs the failure scenario for the next run(). Must not be called
+  // while a run is in progress.
+  void set_fault_plan(FaultPlan plan);
+
+  // Which plan actions fired during the last run (parallel to
+  // plan.actions). A restart driver drops fired actions before retrying.
+  std::vector<bool> fault_fired() const;
+
+  // Ranks that died (kill/hang/drop faults) during the last run.
+  std::vector<int> dead_ranks() const;
+
  private:
   friend class Comm;
   struct Mailbox;
 
   void post(int source, int dest, int tag, std::span<const std::byte> data);
   Message wait_match(int self, int source, int tag);
+  std::optional<Message> wait_match_for(int self, int source, int tag, double seconds);
   std::optional<Message> match_now(int self, int source, int tag);
   bool probe(int self, int source, int tag, int* out_source, int* out_tag);
   void abort(const std::string& why);
   bool aborted() const;
+
+  // FaultPlan machinery (world.cc). apply_fault returns false when the
+  // pending message must be dropped; it throws RankKilled for kill/hang.
+  bool apply_fault(int rank, uint64_t message_number);
+  void on_rank_dead(int rank);                          // notice + bookkeeping
+  void finish_rank();
+  void park_until_drained(int rank);  // hung/doomed ranks; throws RankKilled
+  bool doomed(int rank) const;
 
   int size_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;

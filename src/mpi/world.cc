@@ -1,4 +1,5 @@
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <string>
@@ -6,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "common/rng.h"
 #include "common/timer.h"
 #include "mpi/comm.h"
 
@@ -36,6 +38,18 @@ struct WorldState {
   std::string abort_reason;
   std::atomic<uint64_t> messages{0};
   std::atomic<uint64_t> bytes{0};
+
+  // ---- fault injection ----
+  FaultPlan plan;
+  std::vector<std::unique_ptr<std::atomic<bool>>> fired;  // parallel to plan.actions
+  std::vector<char> dead;    // written by the dying thread, read after run()
+  std::vector<char> doomed;  // only the owning rank reads/writes its slot
+  // Drain bookkeeping: hung/doomed ranks are released (and killed) once
+  // every other rank has finished, so run() can always join its threads.
+  std::mutex fin_mutex;
+  std::condition_variable fin_cv;
+  int finished = 0;
+  int parked_faulty = 0;
 };
 
 World::World(int size) : size_(size), state_(std::make_unique<WorldState>()) {
@@ -48,6 +62,15 @@ World::~World() = default;
 
 void World::run(const std::function<void(Comm&)>& rank_main) {
   state_->aborted.store(false);
+  {
+    // Reset per-run fault bookkeeping (fired flags persist across runs so a
+    // restart driver can inspect them; they are reset by set_fault_plan).
+    std::lock_guard<std::mutex> lock(state_->fin_mutex);
+    state_->finished = 0;
+    state_->parked_faulty = 0;
+    state_->dead.assign(static_cast<size_t>(size_), 0);
+    state_->doomed.assign(static_cast<size_t>(size_), 0);
+  }
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
@@ -58,6 +81,8 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
       Comm comm(this, r);
       try {
         rank_main(comm);
+      } catch (const RankKilled&) {
+        on_rank_dead(r);
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(error_mutex);
@@ -65,6 +90,7 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
         }
         abort("rank " + std::to_string(r) + " threw");
       }
+      finish_rank();
     });
   }
   for (auto& t : threads) t.join();
@@ -113,6 +139,49 @@ std::optional<Message> World::match_now(int self, int source, int tag) {
 
 Message World::wait_match(int self, int source, int tag) {
   Mailbox& box = *boxes_[static_cast<size_t>(self)];
+  const bool is_doomed = doomed(self);
+  bool parked = false;
+  std::unique_lock<std::mutex> lock(box.mutex);
+  while (true) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        Message m = std::move(*it);
+        box.queue.erase(it);
+        if (parked) {
+          std::lock_guard<std::mutex> fl(state_->fin_mutex);
+          --state_->parked_faulty;
+        }
+        return m;
+      }
+    }
+    if (state_->aborted.load()) {
+      throw CommError("recv interrupted: world aborted (" + state_->abort_reason + ")");
+    }
+    if (is_doomed) {
+      // A doomed rank (its request was dropped) will never get a reply.
+      // Count it as parked so quiescent peers can drain, then kill it.
+      {
+        std::lock_guard<std::mutex> fl(state_->fin_mutex);
+        if (!parked) {
+          ++state_->parked_faulty;
+          parked = true;
+          state_->fin_cv.notify_all();
+        }
+        if (state_->finished + state_->parked_faulty >= size_) throw RankKilled{self};
+      }
+      // Poll: finish_rank() notifies box cvs without holding box.mutex, so
+      // a timed wait avoids any lost-wakeup ordering subtleties.
+      box.cv.wait_for(lock, std::chrono::milliseconds(5));
+    } else {
+      box.cv.wait(lock);
+    }
+  }
+}
+
+std::optional<Message> World::wait_match_for(int self, int source, int tag, double seconds) {
+  Mailbox& box = *boxes_[static_cast<size_t>(self)];
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(seconds);
   std::unique_lock<std::mutex> lock(box.mutex);
   while (true) {
     for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
@@ -125,7 +194,17 @@ Message World::wait_match(int self, int source, int tag) {
     if (state_->aborted.load()) {
       throw CommError("recv interrupted: world aborted (" + state_->abort_reason + ")");
     }
-    box.cv.wait(lock);
+    if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One last scan in case the notify raced the timeout.
+      for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+        if (matches(*it, source, tag)) {
+          Message m = std::move(*it);
+          box.queue.erase(it);
+          return m;
+        }
+      }
+      return std::nullopt;
+    }
   }
 }
 
@@ -156,6 +235,112 @@ void World::abort(const std::string& why) {
 
 bool World::aborted() const { return state_->aborted.load(); }
 
+// ---- fault injection ----
+
+void World::set_fault_plan(FaultPlan plan) {
+  state_->plan = std::move(plan);
+  state_->fired.clear();
+  for (size_t i = 0; i < state_->plan.actions.size(); ++i) {
+    state_->fired.push_back(std::make_unique<std::atomic<bool>>(false));
+  }
+}
+
+std::vector<bool> World::fault_fired() const {
+  std::vector<bool> out;
+  out.reserve(state_->fired.size());
+  for (const auto& f : state_->fired) out.push_back(f->load());
+  return out;
+}
+
+std::vector<int> World::dead_ranks() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < state_->dead.size(); ++i) {
+    if (state_->dead[i] != 0) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+bool World::doomed(int rank) const {
+  const auto& d = state_->doomed;
+  return static_cast<size_t>(rank) < d.size() && d[static_cast<size_t>(rank)] != 0;
+}
+
+bool World::apply_fault(int rank, uint64_t message_number) {
+  auto& st = *state_;
+  if (st.plan.actions.empty()) return true;
+  bool deliver = true;
+  for (size_t i = 0; i < st.plan.actions.size(); ++i) {
+    const FaultAction& a = st.plan.actions[i];
+    if (a.rank != rank || a.at_message != message_number) continue;
+    if (st.fired[i]->exchange(true)) continue;  // each action fires once
+    switch (a.kind) {
+      case FaultAction::Kind::kKillRank:
+        throw RankKilled{rank};
+      case FaultAction::Kind::kHangRank:
+        park_until_drained(rank);  // throws RankKilled when released
+        break;
+      case FaultAction::Kind::kDropMessage:
+        // The message is lost; since every client exchange is a
+        // synchronous RPC the sender can never make progress again.
+        if (static_cast<size_t>(rank) < st.doomed.size()) {
+          st.doomed[static_cast<size_t>(rank)] = 1;
+        }
+        deliver = false;
+        break;
+      case FaultAction::Kind::kDelayMessage:
+        std::this_thread::sleep_for(std::chrono::duration<double>(a.delay_seconds));
+        break;
+    }
+  }
+  return deliver;
+}
+
+void World::on_rank_dead(int rank) {
+  auto& st = *state_;
+  if (static_cast<size_t>(rank) < st.dead.size()) st.dead[static_cast<size_t>(rank)] = 1;
+  log::warn("rank ", rank, " died (fault injection)");
+  // Death notice to every surviving mailbox; fault-aware receivers (the
+  // ADLB server) match kTagFault, everyone else never requests it.
+  const std::vector<std::byte> empty;
+  for (int r = 0; r < size_; ++r) {
+    if (r != rank) post(rank, r, kTagFault, empty);
+  }
+}
+
+void World::finish_rank() {
+  {
+    std::lock_guard<std::mutex> lock(state_->fin_mutex);
+    ++state_->finished;
+    state_->fin_cv.notify_all();
+  }
+  // Wake doomed pollers blocked in wait_match so they observe the drain.
+  for (auto& box : boxes_) box->cv.notify_all();
+}
+
+void World::park_until_drained(int rank) {
+  {
+    std::unique_lock<std::mutex> lock(state_->fin_mutex);
+    ++state_->parked_faulty;
+    state_->fin_cv.notify_all();
+    state_->fin_cv.wait(lock, [this] {
+      return state_->finished + state_->parked_faulty >= size_;
+    });
+  }
+  throw RankKilled{rank};
+}
+
+FaultPlan FaultPlan::random_kill(uint64_t seed, int first_rank, int last_rank,
+                                 uint64_t lo_message, uint64_t hi_message) {
+  Rng rng(seed);
+  const int victim =
+      first_rank + static_cast<int>(rng.next_below(
+                       static_cast<uint64_t>(last_rank - first_rank + 1)));
+  const uint64_t at = lo_message + rng.next_below(hi_message - lo_message + 1);
+  FaultPlan plan;
+  plan.kill_rank(victim, at);
+  return plan;
+}
+
 // ---- Comm ----
 
 int Comm::size() const { return world_->size(); }
@@ -164,10 +349,16 @@ void Comm::send(int dest, int tag, std::span<const std::byte> data) {
   if (tag < 0 || tag >= kMaxUserTag) {
     throw CommError("user tag out of range: " + std::to_string(tag));
   }
+  ++sent_;
+  if (!world_->apply_fault(rank_, sent_)) return;  // dropped message
   world_->post(rank_, dest, tag, data);
 }
 
 Message Comm::recv(int source, int tag) { return world_->wait_match(rank_, source, tag); }
+
+std::optional<Message> Comm::recv_for(double seconds, int source, int tag) {
+  return world_->wait_match_for(rank_, source, tag, seconds);
+}
 
 std::optional<Message> Comm::try_recv(int source, int tag) {
   return world_->match_now(rank_, source, tag);

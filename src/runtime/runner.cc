@@ -4,7 +4,9 @@
 #include <mutex>
 
 #include "adlb/client.h"
+#include "ckpt/ckpt.h"
 #include "common/error.h"
+#include "common/log.h"
 #include "common/strings.h"
 #include "common/timer.h"
 
@@ -35,7 +37,10 @@ double RunResult::time_of(const std::string& needle) const {
   return -1.0;
 }
 
-RunResult run_program(const Config& cfg, const std::string& program) {
+namespace {
+
+RunResult run_program_impl(const Config& cfg, const std::string& program, mpi::World& world,
+                           bool ft, const ckpt::Snapshot* restore) {
   // The swift:main convention (see runner.h): load everywhere, run once.
   const bool has_main = program.find("proc swift:main") != std::string::npos;
   if (cfg.engines < 1) throw Error("runtime: at least one engine rank is required");
@@ -43,7 +48,15 @@ RunResult run_program(const Config& cfg, const std::string& program) {
   if (cfg.servers < 1) throw Error("runtime: at least one server rank is required");
 
   adlb::Config acfg = cfg.adlb();
-  mpi::World world(cfg.total_ranks());
+  if (ft) {
+    acfg.ft = true;
+    acfg.nengines = cfg.engines;
+    acfg.max_task_retries = cfg.max_task_retries;
+    acfg.retry_backoff_ms = cfg.retry_backoff_ms;
+    acfg.heartbeat_timeout_ms = cfg.heartbeat_timeout_ms;
+    acfg.ckpt_interval = cfg.ckpt_interval;
+    acfg.ckpt_dir = cfg.ckpt_dir;
+  }
 
   RunResult result;
   std::mutex mu;
@@ -62,9 +75,9 @@ RunResult run_program(const Config& cfg, const std::string& program) {
       pending.erase(0, pos + 1);
     }
   };
-  world.run([&](mpi::Comm& comm) {
+  auto body = [&](mpi::Comm& comm) {
     if (adlb::is_server(comm.rank(), comm.size(), acfg)) {
-      adlb::Server server(comm, acfg);
+      adlb::Server server(comm, acfg, restore);
       server.serve();
       std::lock_guard<std::mutex> lock(mu);
       const adlb::ServerStats& s = server.stats();
@@ -79,6 +92,11 @@ RunResult run_program(const Config& cfg, const std::string& program) {
       result.server_stats.data_ops += s.data_ops;
       result.server_stats.tokens += s.tokens;
       result.server_stats.leftover_data += s.leftover_data;
+      result.server_stats.requeues += s.requeues;
+      result.server_stats.task_failures += s.task_failures;
+      result.server_stats.heartbeat_deaths += s.heartbeat_deaths;
+      result.server_stats.checkpoints += s.checkpoints;
+      result.server_stats.replay_skips += s.replay_skips;
       return;
     }
 
@@ -86,6 +104,7 @@ RunResult run_program(const Config& cfg, const std::string& program) {
     turbine::ContextConfig ccfg;
     ccfg.policy = cfg.policy;
     ccfg.restricted_os = cfg.restricted_os;
+    ccfg.ft = ft;
     ccfg.output = sink;
     ccfg.setup_interp = cfg.setup_interp;
     ccfg.setup_bindings = cfg.setup_bindings;
@@ -127,7 +146,18 @@ RunResult run_program(const Config& cfg, const std::string& program) {
       result.worker_stats.app_execs += ws.app_execs;
       result.worker_stats.interpreter_resets += ws.interpreter_resets;
     }
-  });
+  };
+  try {
+    world.run(body);
+  } catch (const CommError& e) {
+    // Servers signal unrecoverable conditions by aborting the world with
+    // a marker; classify the resulting CommError into the typed errors
+    // the recovery driver keys off.
+    const std::string msg = e.what();
+    if (msg.find("ilps-ft-restart:") != std::string::npos) throw RestartError(msg);
+    if (msg.find("ilps-task-failed:") != std::string::npos) throw TaskError(msg);
+    throw;
+  }
   result.elapsed_seconds = timer.elapsed();
   result.traffic = world.stats();
   if (!pending.empty()) {
@@ -136,6 +166,51 @@ RunResult run_program(const Config& cfg, const std::string& program) {
     pending.clear();
   }
   return result;
+}
+
+}  // namespace
+
+RunResult run_program(const Config& cfg, const std::string& program) {
+  mpi::World world(cfg.total_ranks());
+  return run_program_impl(cfg, program, world, /*ft=*/false, /*restore=*/nullptr);
+}
+
+RunResult run_with_faults(const Config& cfg, const std::string& program) {
+  if (cfg.ckpt_interval > 0 && cfg.servers != 1) {
+    throw Error("runtime: checkpointing requires exactly one server rank");
+  }
+  if (cfg.ckpt_interval > 0 && cfg.ckpt_dir.empty()) {
+    throw Error("runtime: ckpt_interval is set but ckpt_dir is empty");
+  }
+  mpi::FaultPlan remaining = cfg.fault_plan;
+  std::vector<int> all_dead;
+  int attempts = 0;
+  while (true) {
+    ++attempts;
+    mpi::World world(cfg.total_ranks());
+    world.set_fault_plan(remaining);
+    std::optional<ckpt::Snapshot> snap;
+    if (!cfg.ckpt_dir.empty()) snap = ckpt::load_latest(cfg.ckpt_dir);
+    try {
+      RunResult result =
+          run_program_impl(cfg, program, world, /*ft=*/true, snap ? &*snap : nullptr);
+      for (int r : world.dead_ranks()) all_dead.push_back(r);
+      result.ft.attempts = attempts;
+      result.ft.dead_ranks = std::move(all_dead);
+      return result;
+    } catch (const RestartError& e) {
+      for (int r : world.dead_ranks()) all_dead.push_back(r);
+      if (attempts > cfg.max_restarts) throw;
+      // Consumed fault actions must not re-fire on the next attempt.
+      const std::vector<bool> fired = world.fault_fired();
+      mpi::FaultPlan next;
+      for (size_t i = 0; i < remaining.actions.size(); ++i) {
+        if (i >= fired.size() || !fired[i]) next.actions.push_back(remaining.actions[i]);
+      }
+      remaining = std::move(next);
+      log::info("runtime: restarting after failure (attempt ", attempts + 1, "): ", e.what());
+    }
+  }
 }
 
 }  // namespace ilps::runtime

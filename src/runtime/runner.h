@@ -33,6 +33,19 @@ struct Config {
   bool steal_half = true;
   bool priority_notifications = true;
 
+  // ---- fault tolerance (run_with_faults; see src/ckpt) ----
+  // Scripted failures injected into the World (kill/hang a rank,
+  // drop/delay a message). Consumed actions are not re-fired on restart.
+  mpi::FaultPlan fault_plan;
+  int max_task_retries = 2;      // requeue budget per leaf task
+  int retry_backoff_ms = 2;      // requeue delay, doubled per attempt; 0 = off
+  int heartbeat_timeout_ms = 0;  // hung-worker detection; 0 = off. Must
+                                 // exceed the longest legitimate leaf task.
+  int ckpt_interval = 0;         // checkpoint every K completed leaf tasks
+                                 // (requires servers == 1); 0 = off
+  std::string ckpt_dir;          // checkpoint directory
+  int max_restarts = 3;          // restart-from-checkpoint budget
+
   int total_ranks() const { return engines + workers + servers; }
   adlb::Config adlb() const {
     adlb::Config cfg;
@@ -43,6 +56,14 @@ struct Config {
   }
 };
 
+// Recovery accounting for run_with_faults (per-event counters live in
+// ServerStats: requeues, task_failures, heartbeat_deaths, checkpoints,
+// replay_skips).
+struct FtStats {
+  int attempts = 1;             // program attempts (1 = no restart needed)
+  std::vector<int> dead_ranks;  // ranks that died, across all attempts
+};
+
 struct RunResult {
   std::vector<std::string> lines;  // every output line, arrival order
   std::vector<double> line_times;  // arrival time of each line (s since start)
@@ -51,6 +72,7 @@ struct RunResult {
   turbine::WorkerStats worker_stats;
   adlb::ServerStats server_stats;
   mpi::TrafficStats traffic;
+  FtStats ft;
   double elapsed_seconds = 0;
 
   // All output joined back together (convenience for tests).
@@ -71,5 +93,14 @@ struct RunResult {
 //    be self-contained scripts.
 // Throws on script or configuration errors.
 RunResult run_program(const Config& cfg, const std::string& program);
+
+// Fault-tolerant driver around run_program: injects cfg.fault_plan,
+// requeues dead/hung workers' leaf tasks (bounded by max_task_retries),
+// and on an unrecoverable failure (engine death, all workers dead)
+// restarts the program from the latest checkpoint in cfg.ckpt_dir,
+// skipping leaf tasks that already completed. Throws TaskError when a
+// task exhausts its retries and RestartError when the restart budget
+// runs out.
+RunResult run_with_faults(const Config& cfg, const std::string& program);
 
 }  // namespace ilps::runtime

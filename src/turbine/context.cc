@@ -367,7 +367,20 @@ size_t Context::run_engine(const std::string& main_script) {
 void Context::run_worker() {
   while (auto unit = client_.get(adlb::kTypeWork)) {
     ++stats_.tasks;
-    interp_.eval(unit->payload);
+    try {
+      interp_.eval(unit->payload);
+    } catch (const Error& e) {
+      // A leaf-task failure is typed and attributed (rank, task id), not
+      // a raw string on stdout. Under fault tolerance it goes back to the
+      // server for retry; otherwise it fails the run as before.
+      end_task();
+      if (cfg_.ft) {
+        client_.task_failed(*unit, e.what());
+        continue;
+      }
+      throw TaskError("task <" + std::to_string(unit->id) + "> failed on rank " +
+                      std::to_string(client_.rank()) + ": " + e.what());
+    }
     end_task();
   }
 }

@@ -36,6 +36,9 @@ struct WorkerStats {
 struct ContextConfig {
   InterpPolicy policy = InterpPolicy::kRetain;
   bool restricted_os = false;
+  // Fault tolerance: a worker whose leaf task throws reports it to the
+  // server (Op::kTaskFailed) for retry instead of failing the run.
+  bool ft = false;
   // Sink for puts/printf/python-print/R-cat output (defaults to stdout).
   std::function<void(int rank, const std::string& line)> output;
   // Hook to register user packages / extra commands into the rank's

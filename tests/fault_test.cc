@@ -1,0 +1,257 @@
+// Fault-injection and recovery tests: scripted rank kills, hangs, and
+// dropped messages (mpi::FaultPlan) against the ADLB retry/heartbeat
+// machinery and checkpoint/restart (src/ckpt).
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "runtime/runner.h"
+
+namespace fs = std::filesystem;
+using namespace ilps;
+
+namespace {
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("ilps-fault-test-" + tag + "-" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string str() const { return path.string(); }
+};
+
+// Monte Carlo pi with deterministic per-task pseudo-random points: 200
+// leaf tasks each store a hit/miss bit; one engine-local rule prints the
+// estimate once every future is closed. All printing happens on the
+// engine, so retried leaf tasks cannot duplicate output.
+const char* kPiProgram = R"(
+proc pi_hit {i} {
+  set a [expr {($i * 1103515245 + 12345) % 2048}]
+  set b [expr {($a * 1103515245 + 12345) % 2048}]
+  set x [expr {$a / 2048.0}]
+  set y [expr {$b / 2048.0}]
+  if {$x * $x + $y * $y <= 1.0} { return 1 }
+  return 0
+}
+proc pi_report {ids n} {
+  set hits 0
+  foreach x $ids {
+    set hits [expr {$hits + [turbine::retrieve_integer $x]}]
+  }
+  puts "pi-hits $hits of $n"
+}
+proc swift:main {} {
+  set n 200
+  set ids [list]
+  for {set i 0} {$i < $n} {incr i} {
+    set x [turbine::allocate integer]
+    lappend ids $x
+    turbine::put_work "turbine::store_integer $x \[pi_hit $i\]"
+  }
+  turbine::rule $ids "pi_report [list $ids] $n" type LOCAL
+}
+)";
+
+// Two phases of 20 leaf tasks; phase 2 is released only after every
+// phase-1 future closed. Killing the engine mid-phase-2 therefore
+// guarantees checkpoints (interval 5) cover at least all of phase 1.
+const char* kTwoPhaseProgram = R"(
+proc task_val {i} { expr {($i * 37 + 11) % 100} }
+proc report {ids} {
+  set sum 0
+  foreach x $ids {
+    set sum [expr {$sum + [turbine::retrieve_integer $x]}]
+  }
+  puts "sum $sum of [llength $ids]"
+}
+proc phase2 {ids1} {
+  set ids2 [list]
+  for {set i 20} {$i < 40} {incr i} {
+    set x [turbine::allocate integer]
+    lappend ids2 $x
+    turbine::put_work "turbine::store_integer $x \[task_val $i\]"
+  }
+  set all [concat $ids1 $ids2]
+  turbine::rule $all "report [list $all]" type LOCAL
+}
+proc swift:main {} {
+  set ids1 [list]
+  for {set i 0} {$i < 20} {incr i} {
+    set x [turbine::allocate integer]
+    lappend ids1 $x
+    turbine::put_work "turbine::store_integer $x \[task_val $i\]"
+  }
+  turbine::rule $ids1 "phase2 [list $ids1]" type LOCAL
+}
+)";
+
+runtime::Config base_config() {
+  runtime::Config cfg;
+  cfg.engines = 1;
+  cfg.workers = 3;
+  cfg.servers = 1;
+  return cfg;
+}
+
+}  // namespace
+
+// ---- baseline: the driver without faults matches run_program ----
+
+TEST(Faults, NoFaultPlanMatchesPlainRun) {
+  runtime::Config cfg = base_config();
+  auto plain = runtime::run_program(cfg, kPiProgram);
+  auto ft = runtime::run_with_faults(cfg, kPiProgram);
+  EXPECT_EQ(ft.output(), plain.output());
+  EXPECT_EQ(ft.ft.attempts, 1);
+  EXPECT_TRUE(ft.ft.dead_ranks.empty());
+  EXPECT_EQ(ft.server_stats.requeues, 0u);
+}
+
+// ---- kill one worker mid-run: retry makes the output identical ----
+
+TEST(Faults, KillOneWorkerMidRunCompletesIdentically) {
+  runtime::Config cfg = base_config();
+  auto baseline = runtime::run_program(cfg, kPiProgram);
+  ASSERT_EQ(baseline.lines.size(), 1u);
+
+  // Worker ranks are 1..3. Each leaf task costs the worker two sends
+  // (Get request, then the store), so send #60 is the store of its task
+  // #30 — mid-run of its ~67-task share.
+  cfg.fault_plan.kill_rank(/*rank=*/2, /*at_message=*/60);
+  cfg.max_task_retries = 2;
+  auto result = runtime::run_with_faults(cfg, kPiProgram);
+
+  EXPECT_EQ(result.output(), baseline.output());
+  EXPECT_EQ(result.ft.attempts, 1);  // recovered in place, no restart
+  ASSERT_EQ(result.ft.dead_ranks.size(), 1u);
+  EXPECT_EQ(result.ft.dead_ranks[0], 2);
+  EXPECT_GE(result.server_stats.requeues, 1u);
+}
+
+// ---- engine death: restart from checkpoint replays only unfinished ----
+
+TEST(Faults, EngineRestartFromCheckpointSkipsFinishedTasks) {
+  TempDir dir("engine-restart");
+  runtime::Config cfg = base_config();
+  auto baseline = runtime::run_program(cfg, kTwoPhaseProgram);
+  ASSERT_EQ(baseline.lines.size(), 1u);
+
+  // By engine send #75 every phase-1 task has finished (phase 2 only
+  // exists after their closes), so checkpoints at interval 5 hold at
+  // least 10 completed tasks when the engine dies.
+  cfg.fault_plan.kill_rank(/*rank=*/0, /*at_message=*/75);
+  cfg.ckpt_interval = 5;
+  cfg.ckpt_dir = dir.str();
+  auto result = runtime::run_with_faults(cfg, kTwoPhaseProgram);
+
+  EXPECT_EQ(result.output(), baseline.output());
+  EXPECT_EQ(result.ft.attempts, 2);  // one restart
+  ASSERT_EQ(result.ft.dead_ranks.size(), 1u);
+  EXPECT_EQ(result.ft.dead_ranks[0], 0);
+  // Only unfinished tasks were replayed: the skips and the attempt-2
+  // worker tasks partition the 40 leaf tasks exactly.
+  EXPECT_GE(result.server_stats.replay_skips, 5u);
+  EXPECT_LT(result.server_stats.replay_skips, 40u);
+  EXPECT_EQ(result.worker_stats.tasks, 40u - result.server_stats.replay_skips);
+}
+
+// ---- retry exhaustion surfaces a clean, attributed error ----
+
+TEST(Faults, RetryExhaustionThrowsTaskError) {
+  runtime::Config cfg = base_config();
+  cfg.max_task_retries = 1;
+  try {
+    runtime::run_with_faults(cfg, "turbine::put_work {no_such_command_xyz}");
+    FAIL() << "expected TaskError";
+  } catch (const TaskError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("retries exhausted"), std::string::npos) << what;
+    EXPECT_NE(what.find("task <"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank"), std::string::npos) << what;
+  }
+}
+
+// In plain (non-fault-tolerant) runs a leaf failure is still typed and
+// names the rank and task instead of a bare interpreter string.
+TEST(Faults, PlainRunWorkerErrorIsAttributed) {
+  runtime::Config cfg = base_config();
+  try {
+    runtime::run_program(cfg, "turbine::put_work {no_such_command_xyz}");
+    FAIL() << "expected TaskError";
+  } catch (const TaskError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("failed on rank"), std::string::npos) << what;
+    EXPECT_NE(what.find("task <"), std::string::npos) << what;
+  }
+}
+
+// ---- hung worker: heartbeat timeout, requeue, identical output ----
+
+TEST(Faults, HungWorkerIsDetectedByHeartbeat) {
+  runtime::Config cfg = base_config();
+  auto baseline = runtime::run_program(cfg, kPiProgram);
+
+  cfg.fault_plan.hang_rank(/*rank=*/3, /*at_message=*/20);
+  cfg.heartbeat_timeout_ms = 150;
+  cfg.max_task_retries = 2;
+  auto result = runtime::run_with_faults(cfg, kPiProgram);
+
+  EXPECT_EQ(result.output(), baseline.output());
+  EXPECT_EQ(result.ft.attempts, 1);
+  EXPECT_GE(result.server_stats.heartbeat_deaths, 1u);
+  ASSERT_EQ(result.ft.dead_ranks.size(), 1u);
+  EXPECT_EQ(result.ft.dead_ranks[0], 3);
+}
+
+// ---- dropped request: the sender is doomed, detected by heartbeat ----
+
+TEST(Faults, DroppedMessageSenderIsRecovered) {
+  runtime::Config cfg = base_config();
+  auto baseline = runtime::run_program(cfg, kPiProgram);
+
+  cfg.fault_plan.drop_message(/*rank=*/1, /*at_message=*/30);
+  cfg.heartbeat_timeout_ms = 150;
+  cfg.max_task_retries = 2;
+  auto result = runtime::run_with_faults(cfg, kPiProgram);
+
+  EXPECT_EQ(result.output(), baseline.output());
+  EXPECT_GE(result.server_stats.heartbeat_deaths, 1u);
+}
+
+// ---- termination token ring still converges with a dead rank ----
+
+TEST(Faults, TokenRingTerminatesWithDeadRank) {
+  runtime::Config cfg = base_config();
+  cfg.workers = 4;
+  cfg.servers = 2;
+  auto baseline = runtime::run_program(cfg, kPiProgram);
+
+  // Ranks: engine 0, workers 1..4, servers 5..6. Kill a worker early so
+  // the Safra ring must conclude with a permanently silent client.
+  cfg.fault_plan.kill_rank(/*rank=*/4, /*at_message=*/30);
+  cfg.max_task_retries = 2;
+  auto result = runtime::run_with_faults(cfg, kPiProgram);
+
+  EXPECT_EQ(result.output(), baseline.output());
+  ASSERT_EQ(result.ft.dead_ranks.size(), 1u);
+  EXPECT_EQ(result.ft.dead_ranks[0], 4);
+}
+
+// ---- deterministic scripted random faults ----
+
+TEST(Faults, RandomKillIsDeterministic) {
+  auto a = mpi::FaultPlan::random_kill(1234, 1, 3, 10, 200);
+  auto b = mpi::FaultPlan::random_kill(1234, 1, 3, 10, 200);
+  ASSERT_EQ(a.actions.size(), 1u);
+  EXPECT_EQ(a.actions[0].rank, b.actions[0].rank);
+  EXPECT_EQ(a.actions[0].at_message, b.actions[0].at_message);
+  EXPECT_GE(a.actions[0].rank, 1);
+  EXPECT_LE(a.actions[0].rank, 3);
+  EXPECT_GE(a.actions[0].at_message, 10u);
+  EXPECT_LE(a.actions[0].at_message, 200u);
+}
