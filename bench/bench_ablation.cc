@@ -99,6 +99,15 @@ int main() {
     for (int tasks : {200, 1000}) {
       for (bool half : {true, false}) {
         auto r = run_rebalance(half, tasks);
+        bench::JsonLine("ablation_rebalance")
+            .add_str("policy", half ? "steal-half" : "single")
+            .add("tasks", tasks)
+            .add("elapsed_s", r.elapsed)
+            .add("messages", r.messages)
+            .add("hungry_notices", r.hungry)
+            .add("batches_sent", r.batches)
+            .add("units_rebalanced", r.rebalanced)
+            .print();
         t.row({half ? "steal-half" : "single", std::to_string(tasks),
                bench::fmt("%.3f", r.elapsed), std::to_string(r.messages),
                std::to_string(r.hungry), std::to_string(r.batches),
@@ -116,6 +125,13 @@ int main() {
     for (int noise : {200, 1000}) {
       for (bool boosted : {true, false}) {
         auto [latency, total] = run_notification_priority(boosted, 32, noise);
+        bench::JsonLine("ablation_notify_priority")
+            .add_str("policy", boosted ? "boosted" : "plain")
+            .add("chain", 32)
+            .add("noise_tasks", noise)
+            .add("chain_latency_s", latency)
+            .add("makespan_s", total)
+            .print();
         t.row({boosted ? "boosted" : "plain", "32", std::to_string(noise),
                bench::fmt("%.4f", latency), bench::fmt("%.3f", total)});
       }

@@ -64,6 +64,15 @@ int main() {
                     "outputs", "elapsed_s", "pipelines/s"});
     for (int n : {8, 32, 128, 512}) {
       auto r = run_fig1(n, 4);
+      bench::JsonLine("dataflow_fig1")
+          .add("iterations", n)
+          .add("workers", 4)
+          .add("rules_created", r.engine_stats.rules_created)
+          .add("rules_fired", r.engine_stats.rules_fired)
+          .add("tasks", r.worker_stats.tasks)
+          .add("elapsed_s", r.elapsed_seconds)
+          .add("pipelines_per_s", n / r.elapsed_seconds)
+          .print();
       t.row({std::to_string(n), "4", std::to_string(r.engine_stats.rules_created),
              std::to_string(r.engine_stats.rules_fired),
              std::to_string(r.engine_stats.notifications),
@@ -79,6 +88,13 @@ int main() {
     bench::Table t({"depth", "rules", "fired", "unfired", "elapsed_s", "rules/s"});
     for (int depth : {1, 2, 4, 8}) {
       auto r = run_chain(64, depth, 4);
+      bench::JsonLine("dataflow_chain")
+          .add("depth", depth)
+          .add("iterations", 64)
+          .add("rules_created", r.engine_stats.rules_created)
+          .add("elapsed_s", r.elapsed_seconds)
+          .add("rules_per_s", r.engine_stats.rules_created / r.elapsed_seconds)
+          .print();
       t.row({std::to_string(depth), std::to_string(r.engine_stats.rules_created),
              std::to_string(r.engine_stats.rules_fired), std::to_string(r.unfired_rules),
              bench::fmt("%.3f", r.elapsed_seconds),

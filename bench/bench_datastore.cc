@@ -77,6 +77,13 @@ int main() {
     for (int servers : {1, 2, 4}) {
       double elapsed = run_data_ops(clients, servers, ops);
       double total = 3.0 * ops * clients;
+      bench::JsonLine("datastore_data_ops")
+          .add("servers", servers)
+          .add("clients", clients)
+          .add("ops", total)
+          .add("elapsed_s", elapsed)
+          .add("ops_per_s", total / elapsed)
+          .print();
       t.row({std::to_string(servers), std::to_string(clients), bench::fmt("%.0f", total),
              bench::fmt("%.3f", elapsed), bench::fmt("%.0f", total / elapsed)});
     }
@@ -89,6 +96,13 @@ int main() {
     for (int servers : {1, 2, 4}) {
       double elapsed = run_task_ops(clients, servers, tasks);
       double total = static_cast<double>(tasks) * clients;
+      bench::JsonLine("datastore_task_ops")
+          .add("servers", servers)
+          .add("clients", clients)
+          .add("tasks", total)
+          .add("elapsed_s", elapsed)
+          .add("tasks_per_s", total / elapsed)
+          .print();
       t.row({std::to_string(servers), std::to_string(clients), bench::fmt("%.0f", total),
              bench::fmt("%.3f", elapsed), bench::fmt("%.0f", total / elapsed)});
     }

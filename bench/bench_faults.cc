@@ -95,6 +95,12 @@ int main() {
       }
       const double ms = timer.elapsed() * 1000.0 / reps;
       const double mbps = (static_cast<double>(bytes) / 1e6) / (ms / 1000.0);
+      bench::JsonLine("faults_ckpt_write")
+          .add("datums", records)
+          .add("file_bytes", static_cast<uint64_t>(bytes))
+          .add("ms_per_ckpt", ms)
+          .add("mb_per_s", mbps)
+          .print();
       t.row({std::to_string(records), std::to_string(bytes), bench::fmt("%.3f", ms),
              bench::fmt("%.1f", mbps)});
     }
@@ -124,6 +130,15 @@ int main() {
       fcfg.ckpt_dir = dir.string();
       runtime::RunResult r = runtime::run_with_faults(fcfg, program);
       fs::remove_all(dir);
+      bench::JsonLine("faults_recovery")
+          .add("fault_at_msg", at)
+          .add("attempts", r.ft.attempts)
+          .add("checkpoints", r.server_stats.checkpoints)
+          .add("replay_skips", r.server_stats.replay_skips)
+          .add("replayed_tasks", r.worker_stats.tasks)
+          .add("elapsed_s", r.elapsed_seconds)
+          .add("vs_baseline", r.elapsed_seconds / base)
+          .print();
       t.row({std::to_string(at), std::to_string(r.ft.attempts),
              std::to_string(r.server_stats.checkpoints),
              std::to_string(r.server_stats.replay_skips),

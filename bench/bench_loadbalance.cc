@@ -91,6 +91,15 @@ int main() {
 
     double stat = run_policy(durations, workers, /*dynamic=*/false);
     double dyn = run_policy(durations, workers, /*dynamic=*/true);
+    bench::JsonLine("loadbalance")
+        .add("pareto_shape", shape)
+        .add("variance_us2", var)
+        .add("tasks", tasks)
+        .add("workers", workers)
+        .add("static_s", stat)
+        .add("dynamic_s", dyn)
+        .add("speedup", stat / dyn)
+        .print();
     t.row({bench::fmt("%.2f", shape), bench::fmt("%.0f", var / 1e6) + "ms^2",
            std::to_string(tasks), std::to_string(workers), bench::fmt("%.3f", stat),
            bench::fmt("%.3f", dyn), bench::fmt("%.2fx", stat / dyn)});

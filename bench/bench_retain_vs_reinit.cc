@@ -78,15 +78,26 @@ int main() {
   const int tasks = 2000;
   {
     bench::Table t({"lang", "preamble_defs", "retain_us/task", "reinit_us/task", "reinit/retain"});
+    auto emit = [](const char* lang, int helpers, double keep, double re) {
+      bench::JsonLine("retain_vs_reinit")
+          .add_str("lang", lang)
+          .add("preamble_defs", helpers)
+          .add("retain_us_per_task", keep)
+          .add("reinit_us_per_task", re)
+          .add("reinit_over_retain", re / keep)
+          .print();
+    };
     for (int helpers : {1, 4, 16, 64}) {
       double keep = python_per_task_us(false, helpers, tasks);
       double re = python_per_task_us(true, helpers, tasks);
+      emit("python", helpers, keep, re);
       t.row({"python", std::to_string(helpers), bench::fmt("%.1f", keep),
              bench::fmt("%.1f", re), bench::fmt("%.1fx", re / keep)});
     }
     for (int helpers : {1, 4, 16, 64}) {
       double keep = r_per_task_us(false, helpers, tasks / 4);
       double re = r_per_task_us(true, helpers, tasks / 4);
+      emit("R", helpers, keep, re);
       t.row({"R", std::to_string(helpers), bench::fmt("%.1f", keep), bench::fmt("%.1f", re),
              bench::fmt("%.1fx", re / keep)});
     }

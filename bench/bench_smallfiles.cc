@@ -99,6 +99,15 @@ int main() {
     for (int workers : {1, 8, 32}) {
       LoadResult pfs = load_with_pfs(files, workers);
       LoadResult st = load_with_static(files, workers);
+      bench::JsonLine("smallfiles")
+          .add("files", files)
+          .add("workers", workers)
+          .add("pfs_opens", pfs.opens)
+          .add("pfs_metadata_ms", pfs.simulated_metadata_us / 1000.0)
+          .add("static_opens", st.opens)
+          .add("pfs_wall_s", pfs.wall_s)
+          .add("static_wall_s", st.wall_s)
+          .print();
       t.row({std::to_string(files), std::to_string(workers), std::to_string(pfs.opens),
              bench::fmt("%.2f", pfs.simulated_metadata_us / 1000.0), std::to_string(st.opens),
              bench::fmt("%.2f", st.simulated_metadata_us / 1000.0)});

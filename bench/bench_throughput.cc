@@ -28,7 +28,7 @@ void install_spin(tcl::Interp& in) {
   });
 }
 
-double run_workload(int workers, int tasks, int task_us) {
+runtime::RunResult run_workload(int workers, int tasks, int task_us) {
   runtime::Config cfg;
   cfg.engines = 1;
   cfg.workers = workers;
@@ -39,8 +39,19 @@ double run_workload(int workers, int tasks, int task_us) {
   program += "for {set i 0} {$i < " + std::to_string(tasks) + "} {incr i} {\n";
   program += "  turbine::put_work {" + body + "}\n";
   program += "}\n";
-  auto result = runtime::run_program(cfg, program);
-  return result.elapsed_seconds;
+  return runtime::run_program(cfg, program);
+}
+
+void emit_json(const char* workload, int workers, int tasks, const runtime::RunResult& r) {
+  bench::JsonLine("throughput")
+      .add_str("workload", workload)
+      .add("workers", workers)
+      .add("tasks", tasks)
+      .add("elapsed_s", r.elapsed_seconds)
+      .add("tasks_per_s", tasks / r.elapsed_seconds)
+      .add("adlb_matches", r.server_stats.matches)
+      .add("mpi_messages", r.traffic.messages)
+      .print();
 }
 
 }  // namespace
@@ -56,7 +67,9 @@ int main() {
     bench::Table t({"workers", "tasks", "task_cost", "elapsed_s", "tasks/s", "speedup", "eff"});
     double base = 0;
     for (int workers : {1, 2, 4, 8, 16, 32}) {
-      double elapsed = run_workload(workers, tasks, task_us);
+      auto result = run_workload(workers, tasks, task_us);
+      double elapsed = result.elapsed_seconds;
+      emit_json("1ms", workers, tasks, result);
       if (workers == 1) base = elapsed;
       double speedup = base / elapsed;
       t.row({std::to_string(workers), std::to_string(tasks), "1ms",
@@ -70,7 +83,9 @@ int main() {
     const int tasks = 4000;
     bench::Table t({"workers", "tasks", "task_cost", "elapsed_s", "tasks/s"});
     for (int workers : {1, 2, 4, 8, 16}) {
-      double elapsed = run_workload(workers, tasks, 0);
+      auto result = run_workload(workers, tasks, 0);
+      double elapsed = result.elapsed_seconds;
+      emit_json("noop", workers, tasks, result);
       t.row({std::to_string(workers), std::to_string(tasks), "no-op",
              bench::fmt("%.3f", elapsed), bench::fmt("%.0f", tasks / elapsed)});
     }

@@ -1,9 +1,12 @@
 // Shared helpers for the ILPS benchmark harnesses: aligned table printing
-// so each bench reproduces its experiment as readable rows.
+// so each bench reproduces its experiment as readable rows, plus one
+// machine-readable "BENCH_JSON {...}" line per measurement (JsonLine) so
+// sweeps can be collected with a grep instead of a per-bench parser.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace ilps::bench {
@@ -45,6 +48,62 @@ inline std::string fmt(const char* spec, double v) {
   std::snprintf(buf, sizeof buf, spec, v);
   return buf;
 }
+
+// One structured result line: name, parameters, wall time, derived rate,
+// and any counters worth keeping (obs metrics, task counts). Emitted to
+// stdout as `BENCH_JSON {...}` — stable prefix, one object per line.
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& name) { add_str("bench", name); }
+
+  JsonLine& add_str(const std::string& key, const std::string& value) {
+    field(key) += '"' + escaped(value) + '"';
+    return *this;
+  }
+  JsonLine& add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", value);
+    field(key) += buf;
+    return *this;
+  }
+  JsonLine& add(const std::string& key, int64_t value) {
+    field(key) += std::to_string(value);
+    return *this;
+  }
+  JsonLine& add(const std::string& key, uint64_t value) {
+    field(key) += std::to_string(value);
+    return *this;
+  }
+  // Catch-all for the remaining integer widths (int, size_t where it is
+  // not already uint64_t, ...) — avoids duplicate-overload errors on
+  // platforms where size_t aliases one of the explicit types above.
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
+  JsonLine& add(const std::string& key, T value) {
+    if constexpr (std::is_signed_v<T>) {
+      return add(key, static_cast<int64_t>(value));
+    } else {
+      return add(key, static_cast<uint64_t>(value));
+    }
+  }
+
+  void print() const { std::printf("BENCH_JSON {%s}\n", body_.c_str()); }
+
+ private:
+  std::string& field(const std::string& key) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += '"' + escaped(key) + "\": ";
+    return body_;
+  }
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  std::string body_;
+};
 
 inline void banner(const char* id, const char* title, const char* claim) {
   std::printf("\n================================================================\n");

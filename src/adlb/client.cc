@@ -1,6 +1,7 @@
 #include "adlb/client.h"
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace ilps::adlb {
 
@@ -52,6 +53,9 @@ std::optional<WorkUnit> Client::get(int type) {
   w.put_u8(static_cast<uint8_t>(Op::kGet));
   w.put_i32(type);
   std::vector<std::byte> storage;
+  // The span covers the whole blocking exchange: its duration is this
+  // client's idle-waiting-for-work time.
+  obs::Span wait(obs::EventKind::kAdlbGetWait, type);
   ser::Reader r = rpc(home_, w, storage);
   Op op = static_cast<Op>(r.get_u8());
   if (op == Op::kShutdownClient) return std::nullopt;

@@ -5,6 +5,7 @@
 #include "ckpt/ckpt.h"
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace ilps::adlb {
 
@@ -73,6 +74,8 @@ void Server::serve() {
 }
 
 void Server::dispatch(const mpi::Message& m) {
+  obs::Span handle(obs::EventKind::kServerHandle, m.tag,
+                   static_cast<int64_t>(m.data.size()));
   if (m.tag == kTagRequest) {
     handle_request(m);
   } else if (m.tag == kTagServer) {
@@ -104,12 +107,15 @@ void Server::handle_request(const mpi::Message& m) {
     case Op::kPut: {
       WorkUnit unit = read_work_unit(r);
       ++stats_.puts;
+      name_unit(unit);
+      obs::instant(obs::EventKind::kAdlbPut, unit.id, unit.type);
       handle_put(m.source, unit);
       break;
     }
     case Op::kGet: {
       int type = r.get_i32();
       ++stats_.gets;
+      obs::instant(obs::EventKind::kAdlbGet, m.source, type);
       if (cfg_.ft) note_completion(m.source);
       handle_get(m.source, type);
       break;
@@ -138,14 +144,19 @@ void Server::handle_put(int source, const WorkUnit& unit) {
   reply_ack(source);
 }
 
+// Name the unit once, on the first server that sees it; the id rides
+// along through forwards, requeues, and trace events (retry tracking
+// needs it under ft, the tracer always benefits from it).
+void Server::name_unit(WorkUnit& unit) {
+  if (unit.id == 0) {
+    unit.id = (static_cast<int64_t>(index_) << 48) | next_unit_id_++;
+  }
+}
+
 void Server::accept_unit(WorkUnit unit) {
   const int size = comm_.size();
+  name_unit(unit);
   if (cfg_.ft) {
-    // Name the unit once, on the first server that sees it; the id rides
-    // along through forwards and requeues.
-    if (unit.id == 0) {
-      unit.id = (static_cast<int64_t>(index_) << 48) | next_unit_id_++;
-    }
     // Restart replay: a work unit whose payload already completed before
     // the checkpoint is not re-dispatched — its effects live in the
     // restored store. Units that manage container write refcounts are
@@ -228,6 +239,7 @@ void Server::deliver(int client, const WorkUnit& unit) {
   write_work_unit(w, unit);
   comm_.send(client, kTagResponse, w);
   ++stats_.matches;
+  obs::instant(obs::EventKind::kTaskDispatch, unit.id, client);
   // Remember what each worker is running so a dead worker's unit can be
   // requeued. Engines run control tasks (rule bodies); re-running those
   // is not safe in place, so only worker units are tracked.
@@ -271,6 +283,7 @@ void Server::handle_get(int source, int type) {
     deliver(source, unit);
     return;
   }
+  obs::instant(obs::EventKind::kAdlbPark, source, type);
   parked_[static_cast<size_t>(type)].push_back(source);
   parked_clients_.insert(source);
 }
@@ -281,6 +294,7 @@ void Server::handle_task_failed(int source, ser::Reader& r) {
   WorkUnit unit = read_work_unit(r);
   std::string why = r.get_str();
   ++stats_.task_failures;
+  obs::instant(obs::EventKind::kTaskFailed, unit.id, source);
   inflight_.erase(source);
   reply_ack(source);  // the worker itself is healthy and keeps serving
   requeue_or_fail(std::move(unit), why);
@@ -372,6 +386,8 @@ void Server::check_heartbeats() {
     }
     if (now - it->second > timeout) {
       ++stats_.heartbeat_deaths;
+      obs::instant(obs::EventKind::kHeartbeatDeath, c,
+                   static_cast<int64_t>((now - it->second) * 1000.0));
       log::warn("adlb: client ", c, " silent beyond heartbeat timeout, declaring dead");
       on_client_dead(c);
       if (done_) return;
@@ -388,6 +404,7 @@ void Server::requeue_or_fail(WorkUnit unit, const std::string& why) {
     return;
   }
   ++stats_.requeues;
+  obs::instant(obs::EventKind::kRequeue, unit.id, unit.attempts);
   log::info("adlb: requeueing task <", unit.id, "> (failure ", unit.attempts, "): ", why);
   if (cfg_.retry_backoff_ms > 0) {
     // Exponential backoff: 1x, 2x, 4x, ... the base delay per attempt.
@@ -467,6 +484,8 @@ ckpt::Snapshot Server::snapshot() const {
 }
 
 void Server::restore(const ckpt::Snapshot& snap) {
+  obs::Span span(obs::EventKind::kCkptRestore, snap.seq,
+                 static_cast<int64_t>(snap.data.size()));
   restored_ = true;
   ckpt_seq_ = snap.seq + 1;
   tasks_completed_ = snap.tasks_completed;
@@ -499,6 +518,7 @@ void Server::evaluate_hunger() {
       for (int peer : peer_servers_) send_basic(peer, w);
       announced_[ts] = true;
       ++stats_.hungry_notices;
+      obs::instant(obs::EventKind::kHungry, t);
     }
   }
 }
@@ -519,6 +539,7 @@ void Server::send_batch(int peer, int type) {
   send_basic(peer, w);
   ++stats_.batches_sent;
   stats_.units_rebalanced += take;
+  obs::instant(obs::EventKind::kSteal, peer, static_cast<int64_t>(take));
 }
 
 // ---- server <-> server ----
@@ -555,6 +576,7 @@ void Server::handle_server(const mpi::Message& m) {
       ++stats_.tokens;
       int64_t q = r.get_i64();
       bool black = r.get_bool();
+      obs::instant(obs::EventKind::kTermToken, q, black ? 1 : 0);
       if (index_ == 0) {
         token_outstanding_ = false;
         if (quiet() && !black && !black_ && q + basic_count_ == 0) {
@@ -589,6 +611,10 @@ Server::Datum& Server::find_datum(int64_t id, const char* op) {
 
 void Server::do_close(int64_t id, Datum& datum) {
   datum.closed = true;
+  if (!datum.subscribers.empty()) {
+    obs::instant(obs::EventKind::kDataNotify, id,
+                 static_cast<int64_t>(datum.subscribers.size()));
+  }
   for (const auto& [rank, notify_type] : datum.subscribers) {
     WorkUnit unit;
     unit.type = notify_type;
@@ -694,7 +720,10 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         ser::Writer w;
         w.put_u8(static_cast<uint8_t>(Op::kValue));
         w.put_bool(d.closed);
-        if (!d.closed) d.subscribers.emplace_back(source, notify_type);
+        if (!d.closed) {
+          obs::instant(obs::EventKind::kDataSubscribe, id, source);
+          d.subscribers.emplace_back(source, notify_type);
+        }
         comm_.send(source, kTagResponse, w);
         return;
       }
@@ -827,6 +856,8 @@ bool Server::quiet() const {
 }
 
 void Server::initiate_token() {
+  // b=2 marks initiation (vs 0/1 = received token's black bit).
+  obs::instant(obs::EventKind::kTermToken, 0, 2);
   if (cfg_.nservers == 1) {
     shutdown_all();
     return;
@@ -853,6 +884,7 @@ void Server::try_forward_token() {
 }
 
 void Server::shutdown_all() {
+  obs::instant(obs::EventKind::kShutdown);
   for (int peer : peer_servers_) {
     ser::Writer w;
     w.put_u8(static_cast<uint8_t>(Op::kShutdownServer));

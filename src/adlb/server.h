@@ -113,6 +113,8 @@ class Server {
 
   // ---- tasks ----
   void handle_put(int source, const WorkUnit& unit);
+  // Assigns a globally unique id to a not-yet-named unit.
+  void name_unit(WorkUnit& unit);
   // Accepts a unit that belongs on this server (or forwards a targeted
   // unit to its home server).
   void accept_unit(WorkUnit unit);

@@ -9,6 +9,7 @@
 #include "ckpt/crc32.h"
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace fs = std::filesystem;
 
@@ -47,6 +48,10 @@ std::string write_checkpoint(const std::string& dir, const Snapshot& snap) {
   snap.serialize(payload);
   const auto body = payload.bytes();
   const uint32_t crc = crc32(body);
+  // Spans serialize + write + rename + prune (the checkpoint stall a
+  // server's clients observe).
+  obs::Span span(obs::EventKind::kCkptWrite, static_cast<int64_t>(snap.seq),
+                 static_cast<int64_t>(body.size()));
 
   ser::Writer header;
   for (char c : kMagic) header.put_u8(static_cast<uint8_t>(c));

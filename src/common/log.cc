@@ -6,6 +6,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "common/timer.h"
+
 namespace ilps::log {
 
 namespace {
@@ -16,20 +18,23 @@ Level initial_level() {
   if (std::strcmp(env, "debug") == 0) return Level::kDebug;
   if (std::strcmp(env, "info") == 0) return Level::kInfo;
   if (std::strcmp(env, "warn") == 0) return Level::kWarn;
+  if (std::strcmp(env, "error") == 0) return Level::kError;
   return Level::kOff;
 }
 
 std::atomic<Level> g_level{initial_level()};
 std::mutex g_mutex;
+thread_local int t_rank = -1;
 
-const char* name(Level level) {
+char letter(Level level) {
   switch (level) {
-    case Level::kDebug: return "DEBUG";
-    case Level::kInfo: return "INFO";
-    case Level::kWarn: return "WARN";
-    case Level::kOff: return "OFF";
+    case Level::kDebug: return 'D';
+    case Level::kInfo: return 'I';
+    case Level::kWarn: return 'W';
+    case Level::kError: return 'E';
+    case Level::kOff: return '?';
   }
-  return "?";
+  return '?';
 }
 
 }  // namespace
@@ -38,9 +43,21 @@ Level level() { return g_level.load(std::memory_order_relaxed); }
 
 void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
 
+void set_thread_rank(int rank) { t_rank = rank; }
+
+int thread_rank() { return t_rank; }
+
 void write(Level level, const std::string& message) {
+  char prefix[64];
+  if (t_rank >= 0) {
+    std::snprintf(prefix, sizeof prefix, "[ilps %.3fs r%d %c]", ilps::wtime(), t_rank,
+                  letter(level));
+  } else {
+    std::snprintf(prefix, sizeof prefix, "[ilps %.3fs %c]", ilps::wtime(), letter(level));
+  }
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[ilps %s] %s\n", name(level), message.c_str());
+  std::fprintf(stderr, "%s %s\n", prefix, message.c_str());
+  if (level >= Level::kWarn) std::fflush(stderr);
 }
 
 }  // namespace ilps::log

@@ -1,5 +1,10 @@
 // Minimal leveled logging. Off by default so tests and benches stay quiet;
-// set ILPS_LOG=debug|info|warn in the environment or call set_level().
+// set ILPS_LOG=debug|info|warn|error in the environment or call set_level().
+//
+// Each line is prefixed with elapsed seconds since process start, the
+// calling thread's rank (when one has been bound with set_thread_rank),
+// and a single-letter level:  [ilps 0.123s r3 W] message
+// warn/error lines flush stderr immediately so they survive a crash.
 #pragma once
 
 #include <sstream>
@@ -7,12 +12,17 @@
 
 namespace ilps::log {
 
-enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 Level level();
 void set_level(Level level);
 
-// Thread-safe write of one line to stderr, prefixed with the level.
+// Binds the calling thread to a rank for log prefixes (mpi::World does
+// this for every rank thread). -1 means "no rank" and drops the field.
+void set_thread_rank(int rank);
+int thread_rank();
+
+// Thread-safe write of one line to stderr.
 void write(Level level, const std::string& message);
 
 namespace detail {
@@ -37,6 +47,11 @@ void info(const Args&... args) {
 template <typename... Args>
 void warn(const Args&... args) {
   if (level() <= Level::kWarn) write(Level::kWarn, detail::cat(args...));
+}
+
+template <typename... Args>
+void error(const Args&... args) {
+  if (level() <= Level::kError) write(Level::kError, detail::cat(args...));
 }
 
 }  // namespace ilps::log

@@ -29,6 +29,10 @@
 
 #include "common/buffer.h"
 
+namespace ilps::obs {
+class Session;
+}
+
 namespace ilps::mpi {
 
 // Wildcards for recv/probe matching, as in MPI.
@@ -206,6 +210,13 @@ class World {
   // Ranks that died (kill/hang/drop faults) during the last run.
   std::vector<int> dead_ranks() const;
 
+  // Per-rank event buffers (src/obs), allocated lazily at run() when
+  // obs::trace_enabled(). Null when tracing is off. Read after run()
+  // returns — this is the "gather all ranks' buffers" step (trivially so
+  // on the thread-backed transport: joining the rank threads is the
+  // gather).
+  const obs::Session* obs_session() const { return obs_.get(); }
+
  private:
   friend class Comm;
   struct Mailbox;
@@ -229,6 +240,7 @@ class World {
   int size_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   std::unique_ptr<struct WorldState> state_;
+  std::unique_ptr<obs::Session> obs_;
 };
 
 }  // namespace ilps::mpi

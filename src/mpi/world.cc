@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "mpi/comm.h"
+#include "obs/trace.h"
 
 namespace ilps::mpi {
 
@@ -62,6 +63,11 @@ World::~World() = default;
 
 void World::run(const std::function<void(Comm&)>& rank_main) {
   state_->aborted.store(false);
+  // Fresh per-rank event buffers each run; a previous run's session (read
+  // by the runner between runs) is released here.
+  obs_ = obs::trace_enabled()
+             ? std::make_unique<obs::Session>(size_, obs::default_capacity())
+             : nullptr;
   {
     // Reset per-run fault bookkeeping (fired flags persist across runs so a
     // restart driver can inspect them; they are reset by set_fault_plan).
@@ -78,6 +84,8 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
   threads.reserve(static_cast<size_t>(size_));
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([this, r, &rank_main, &first_error, &error_mutex] {
+      log::set_thread_rank(r);
+      if (obs_) obs::attach(&obs_->rank(r));
       Comm comm(this, r);
       try {
         rank_main(comm);
@@ -91,6 +99,8 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
         abort("rank " + std::to_string(r) + " threw");
       }
       finish_rank();
+      obs::detach();
+      log::set_thread_rank(-1);
     });
   }
   for (auto& t : threads) t.join();
@@ -298,6 +308,9 @@ bool World::apply_fault(int rank, uint64_t message_number) {
 void World::on_rank_dead(int rank) {
   auto& st = *state_;
   if (static_cast<size_t>(rank) < st.dead.size()) st.dead[static_cast<size_t>(rank)] = 1;
+  // Runs on the dying rank's own thread, so the instant lands in its
+  // buffer — and exactly once per death (on_rank_dead has one call site).
+  obs::instant(obs::EventKind::kRankDead, rank);
   log::warn("rank ", rank, " died (fault injection)");
   // Death notice to every surviving mailbox; fault-aware receivers (the
   // ADLB server) match kTagFault, everyone else never requests it.
@@ -352,12 +365,21 @@ void Comm::send(int dest, int tag, std::span<const std::byte> data) {
   ++sent_;
   if (!world_->apply_fault(rank_, sent_)) return;  // dropped message
   world_->post(rank_, dest, tag, data);
+  obs::instant(obs::EventKind::kMpiSend, dest, static_cast<int64_t>(data.size()));
 }
 
-Message Comm::recv(int source, int tag) { return world_->wait_match(rank_, source, tag); }
+Message Comm::recv(int source, int tag) {
+  Message m = world_->wait_match(rank_, source, tag);
+  obs::instant(obs::EventKind::kMpiRecv, m.source, static_cast<int64_t>(m.data.size()));
+  return m;
+}
 
 std::optional<Message> Comm::recv_for(double seconds, int source, int tag) {
-  return world_->wait_match_for(rank_, source, tag, seconds);
+  auto m = world_->wait_match_for(rank_, source, tag, seconds);
+  if (m) {
+    obs::instant(obs::EventKind::kMpiRecv, m->source, static_cast<int64_t>(m->data.size()));
+  }
+  return m;
 }
 
 std::optional<Message> Comm::try_recv(int source, int tag) {

@@ -1,0 +1,217 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace ilps::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string role_of(int rank, const std::vector<std::string>& roles) {
+  if (rank >= 0 && static_cast<size_t>(rank) < roles.size()) {
+    return roles[static_cast<size_t>(rank)];
+  }
+  return "";
+}
+
+}  // namespace
+
+std::vector<RankUsage> utilization(const std::vector<Event>& events,
+                                   const std::vector<std::string>& roles) {
+  std::vector<RankUsage> out;
+  if (events.empty()) return out;
+  double t0 = events.front().t, t1 = events.front().t;
+  int max_rank = 0;
+  for (const Event& e : events) {
+    t0 = std::min(t0, e.t);
+    t1 = std::max(t1, e.t);
+    max_rank = std::max(max_rank, static_cast<int>(e.rank));
+  }
+  const double window = std::max(t1 - t0, 1e-9);
+
+  out.resize(static_cast<size_t>(max_rank) + 1);
+  // Busy time is the union of each rank's busy spans: nesting (a ckpt
+  // write inside server.handle) must not double-count.
+  std::vector<int> depth(out.size(), 0);
+  std::vector<double> open_at(out.size(), 0);
+  for (const Event& e : events) {
+    if (e.rank < 0) continue;
+    auto r = static_cast<size_t>(e.rank);
+    RankUsage& u = out[r];
+    u.rank = e.rank;
+    ++u.events;
+    if (!kind_is_busy(e.kind)) continue;
+    if (e.ph == Phase::kBegin) {
+      if (depth[r] == 0) open_at[r] = e.t;
+      ++depth[r];
+    } else if (e.ph == Phase::kEnd) {
+      // A wrapped ring can lose a span's Begin; ignore unmatched Ends.
+      if (depth[r] > 0 && --depth[r] == 0) u.busy_seconds += e.t - open_at[r];
+      if (e.kind == EventKind::kTaskRun) ++u.tasks;
+    }
+  }
+  for (size_t r = 0; r < out.size(); ++r) {
+    RankUsage& u = out[r];
+    if (u.rank < 0) u.rank = static_cast<int>(r);  // rank with no events
+    if (depth[r] > 0) u.busy_seconds += t1 - open_at[r];  // span still open
+    u.window_seconds = window;
+    u.busy_fraction = u.busy_seconds / window;
+    u.role = role_of(u.rank, roles);
+  }
+  return out;
+}
+
+std::string chrome_trace_json(const std::vector<Event>& events,
+                              const std::vector<std::string>& roles) {
+  // Timestamps are shifted so the trace starts at 0 us.
+  double t0 = events.empty() ? 0 : events.front().t;
+  for (const Event& e : events) t0 = std::min(t0, e.t);
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto add = [&](const std::string& record) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+    out += record;
+  };
+
+  int max_rank = -1;
+  for (const Event& e : events) max_rank = std::max(max_rank, static_cast<int>(e.rank));
+  for (int r = 0; r <= max_rank; ++r) {
+    std::string role = role_of(r, roles);
+    std::string name = "rank " + std::to_string(r) + (role.empty() ? "" : " (" + role + ")");
+    add("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(r) +
+        ",\"args\":{\"name\":\"" + json_escape(name) + "\"}}");
+  }
+
+  for (const Event& e : events) {
+    const char* ph = e.ph == Phase::kBegin ? "B" : e.ph == Phase::kEnd ? "E" : "i";
+    std::string rec = "{\"name\":\"" + std::string(kind_name(e.kind)) + "\",\"cat\":\"" +
+                      kind_category(e.kind) + "\",\"ph\":\"" + ph +
+                      "\",\"ts\":" + num((e.t - t0) * 1e6) +
+                      ",\"pid\":0,\"tid\":" + std::to_string(e.rank);
+    if (e.ph == Phase::kInstant) rec += ",\"s\":\"t\"";
+    if (e.ph != Phase::kEnd) {
+      rec += ",\"args\":{\"a\":" + std::to_string(e.a) + ",\"b\":" + std::to_string(e.b) + "}";
+    }
+    rec += "}";
+    add(rec);
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string metrics_json(const Metrics& m, const std::vector<RankUsage>& usage) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : m.counters()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(v);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : m.gauges()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + num(v);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : m.histograms()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": {\"count\": " + std::to_string(h->count()) +
+           ", \"sum\": " + num(h->sum()) + ", \"min\": " + num(h->min()) +
+           ", \"max\": " + num(h->max()) + ", \"p50\": " + num(h->percentile(50)) +
+           ", \"p90\": " + num(h->percentile(90)) + ", \"p99\": " + num(h->percentile(99)) +
+           "}";
+  }
+  out += "\n  },\n  \"utilization\": [";
+  first = true;
+  for (const RankUsage& u : usage) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"rank\": " + std::to_string(u.rank) + ", \"role\": \"" +
+           json_escape(u.role) + "\", \"busy_s\": " + num(u.busy_seconds) +
+           ", \"window_s\": " + num(u.window_seconds) +
+           ", \"busy_fraction\": " + num(u.busy_fraction) +
+           ", \"events\": " + std::to_string(u.events) +
+           ", \"tasks\": " + std::to_string(u.tasks) + "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string utilization_table(const std::vector<RankUsage>& usage) {
+  std::string out = "rank  role     busy_s    window_s  busy%   tasks  events\n";
+  char buf[160];
+  for (const RankUsage& u : usage) {
+    std::snprintf(buf, sizeof buf, "%-5d %-8s %-9.4f %-9.4f %-6.1f  %-6llu %llu\n", u.rank,
+                  u.role.empty() ? "?" : u.role.c_str(), u.busy_seconds, u.window_seconds,
+                  100.0 * u.busy_fraction, static_cast<unsigned long long>(u.tasks),
+                  static_cast<unsigned long long>(u.events));
+    out += buf;
+  }
+  return out;
+}
+
+std::string write_reports(const std::vector<Event>& events,
+                          const std::vector<std::string>& roles, const Metrics& m,
+                          const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);  // best effort; the open below reports failure
+
+  auto write_file = [](const fs::path& path, const std::string& content) {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f) throw OsError("obs: cannot write " + path.string());
+    f.write(content.data(), static_cast<std::streamsize>(content.size()));
+  };
+
+  const auto usage = utilization(events, roles);
+  const fs::path trace_path = fs::path(dir) / "trace.json";
+  write_file(trace_path, chrome_trace_json(events, roles));
+  write_file(fs::path(dir) / "metrics.json", metrics_json(m, usage));
+
+  std::string table = utilization_table(usage);
+  std::fprintf(stderr, "[ilps obs] wrote %s (+ metrics.json), %zu events\n%s",
+               trace_path.string().c_str(), events.size(), table.c_str());
+  return trace_path.string();
+}
+
+}  // namespace ilps::obs

@@ -1,0 +1,47 @@
+// ilps::obs — end-of-run aggregation: merged rank buffers become a Chrome
+// trace (load trace.json in chrome://tracing or https://ui.perfetto.dev),
+// a per-rank utilization/idle-fraction table (the shape of the paper's
+// Blue Gene/Q utilization plots), and a machine-readable metrics.json.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ilps::obs {
+
+struct RankUsage {
+  int rank = -1;
+  std::string role;  // "engine" / "worker" / "server" ("" if unknown)
+  double busy_seconds = 0;
+  double window_seconds = 0;  // run window (first to last event, all ranks)
+  double busy_fraction = 0;   // busy / window
+  uint64_t events = 0;
+  uint64_t tasks = 0;  // completed task.run spans
+};
+
+// Busy time per rank = union of its busy spans (kind_is_busy) against the
+// global event window. `roles[r]` labels rank r; pass {} if unknown.
+std::vector<RankUsage> utilization(const std::vector<Event>& events,
+                                   const std::vector<std::string>& roles);
+
+// Chrome trace-event JSON ("traceEvents" array of B/E/i records, one tid
+// per rank, thread_name metadata from roles). Timestamps in microseconds.
+std::string chrome_trace_json(const std::vector<Event>& events,
+                              const std::vector<std::string>& roles);
+
+// {"counters":{...},"gauges":{...},"histograms":{...},"utilization":[...]}
+std::string metrics_json(const Metrics& m, const std::vector<RankUsage>& usage);
+
+// Fixed-width text table of the per-rank usage rows.
+std::string utilization_table(const std::vector<RankUsage>& usage);
+
+// Writes <dir>/trace.json and <dir>/metrics.json (creating dir) and
+// prints the utilization table to stderr. Returns the trace path.
+std::string write_reports(const std::vector<Event>& events,
+                          const std::vector<std::string>& roles, const Metrics& m,
+                          const std::string& dir);
+
+}  // namespace ilps::obs

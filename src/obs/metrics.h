@@ -1,0 +1,85 @@
+// ilps::obs — runtime metrics registry: named counters, gauges, and
+// histograms, the machine-readable complement to the event tracer. The
+// per-subsystem stat structs (adlb::ServerStats, turbine::EngineStats /
+// WorkerStats, mpi::TrafficStats) are published into this registry by the
+// runtime at end of run, so one metrics.json exposes every layer's
+// counters under stable dotted names (docs/observability.md).
+//
+// Counters and gauges are lock-free atomics; name lookup takes a mutex,
+// so instrumentation sites should resolve a metric once and keep the
+// reference (references are stable for the registry's lifetime).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ilps::obs {
+
+class Counter {
+ public:
+  void add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void set(uint64_t n) { v_.store(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v);
+  double value() const;
+
+ private:
+  std::atomic<uint64_t> bits_{0};  // IEEE-754 bit pattern
+};
+
+// Exact-percentile histogram: keeps raw samples (these are per-task and
+// per-checkpoint timings — thousands, not billions). percentile() uses
+// the nearest-rank definition: p in (0,100] maps to sorted[ceil(p/100*N)-1].
+class Histogram {
+ public:
+  void record(double v);
+
+  uint64_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  double percentile(double p) const;  // 0 -> min, 100 -> max; 0 if empty
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+  double sum_ = 0;
+};
+
+class Metrics {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // Name-sorted snapshots for exporters. Histogram pointers stay valid
+  // for the registry's lifetime (entries are never removed, only cleared).
+  std::vector<std::pair<std::string, uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<std::pair<std::string, const Histogram*>> histograms() const;
+
+  void clear();  // drop every metric (tests / fresh runs)
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// The process-wide registry.
+Metrics& metrics();
+
+}  // namespace ilps::obs

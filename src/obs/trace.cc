@@ -1,0 +1,157 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace ilps::obs {
+
+thread_local Tracer* tls_tracer = nullptr;
+
+namespace {
+
+bool env_truthy(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+std::atomic<bool> g_trace{env_truthy("ILPS_TRACE")};
+std::atomic<bool> g_metrics{env_truthy("ILPS_METRICS")};
+
+}  // namespace
+
+bool trace_enabled() { return g_trace.load(std::memory_order_relaxed); }
+void set_trace_enabled(bool on) { g_trace.store(on, std::memory_order_relaxed); }
+
+bool metrics_enabled() {
+  return g_metrics.load(std::memory_order_relaxed) || trace_enabled();
+}
+void set_metrics_enabled(bool on) { g_metrics.store(on, std::memory_order_relaxed); }
+
+bool export_requested() { return env_truthy("ILPS_TRACE"); }
+
+size_t default_capacity() {
+  const char* v = std::getenv("ILPS_TRACE_BUF");
+  if (v != nullptr) {
+    long n = std::strtol(v, nullptr, 10);
+    if (n > 0) return std::max<size_t>(16, static_cast<size_t>(n));
+  }
+  return 65536;
+}
+
+std::string output_dir() {
+  const char* v = std::getenv("ILPS_TRACE_DIR");
+  return (v != nullptr && v[0] != '\0') ? v : ".";
+}
+
+// ---- kind tables ----
+
+const char* kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kTaskDispatch: return "task.dispatch";
+    case EventKind::kTaskRun: return "task.run";
+    case EventKind::kTaskFailed: return "task.failed";
+    case EventKind::kRequeue: return "task.requeue";
+    case EventKind::kAdlbPut: return "adlb.put";
+    case EventKind::kAdlbGet: return "adlb.get";
+    case EventKind::kAdlbPark: return "adlb.park";
+    case EventKind::kAdlbGetWait: return "adlb.get_wait";
+    case EventKind::kSteal: return "adlb.steal";
+    case EventKind::kHungry: return "adlb.hungry";
+    case EventKind::kDataSubscribe: return "data.subscribe";
+    case EventKind::kDataNotify: return "data.notify";
+    case EventKind::kCkptWrite: return "ckpt.write";
+    case EventKind::kCkptRestore: return "ckpt.restore";
+    case EventKind::kMpiSend: return "mpi.send";
+    case EventKind::kMpiRecv: return "mpi.recv";
+    case EventKind::kRankDead: return "rank_dead";
+    case EventKind::kHeartbeatDeath: return "heartbeat_death";
+    case EventKind::kTermToken: return "term.token";
+    case EventKind::kShutdown: return "term.shutdown";
+    case EventKind::kServerHandle: return "server.handle";
+    case EventKind::kRuleCreated: return "rule.created";
+    case EventKind::kRuleFired: return "rule.fired";
+  }
+  return "unknown";
+}
+
+const char* kind_category(EventKind k) {
+  switch (k) {
+    case EventKind::kTaskDispatch:
+    case EventKind::kTaskRun:
+    case EventKind::kTaskFailed:
+    case EventKind::kRequeue: return "task";
+    case EventKind::kAdlbPut:
+    case EventKind::kAdlbGet:
+    case EventKind::kAdlbPark:
+    case EventKind::kAdlbGetWait:
+    case EventKind::kSteal:
+    case EventKind::kHungry:
+    case EventKind::kServerHandle: return "adlb";
+    case EventKind::kDataSubscribe:
+    case EventKind::kDataNotify: return "data";
+    case EventKind::kCkptWrite:
+    case EventKind::kCkptRestore: return "ckpt";
+    case EventKind::kMpiSend:
+    case EventKind::kMpiRecv: return "mpi";
+    case EventKind::kRankDead:
+    case EventKind::kHeartbeatDeath:
+    case EventKind::kTermToken:
+    case EventKind::kShutdown: return "fault";
+    case EventKind::kRuleCreated:
+    case EventKind::kRuleFired: return "engine";
+  }
+  return "misc";
+}
+
+bool kind_is_busy(EventKind k) {
+  // Work evaluation and server message handling are "busy"; a client
+  // blocked in Get (kAdlbGetWait) is the definition of idle.
+  return k == EventKind::kTaskRun || k == EventKind::kServerHandle ||
+         k == EventKind::kCkptWrite || k == EventKind::kCkptRestore;
+}
+
+// ---- Tracer ----
+
+void Tracer::init(int rank, size_t capacity) {
+  rank_ = rank;
+  cap_ = std::max<size_t>(16, capacity);
+  count_ = 0;
+  buf_.assign(cap_, Event{});
+}
+
+std::vector<Event> Tracer::events() const {
+  std::vector<Event> out;
+  if (cap_ == 0 || count_ == 0) return out;
+  const uint64_t n = std::min(count_, cap_);
+  out.reserve(static_cast<size_t>(n));
+  // Oldest surviving event is at count_ % cap_ once the ring has wrapped.
+  const uint64_t start = count_ > cap_ ? count_ % cap_ : 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    out.push_back(buf_[static_cast<size_t>((start + i) % cap_)]);
+  }
+  return out;
+}
+
+// ---- Session ----
+
+Session::Session(int nranks, size_t capacity) {
+  tracers_.resize(static_cast<size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) tracers_[static_cast<size_t>(r)].init(r, capacity);
+}
+
+std::vector<Event> Session::merged() const {
+  std::vector<Event> out;
+  size_t total = 0;
+  for (const auto& t : tracers_) total += t.events().size();
+  out.reserve(total);
+  for (const auto& t : tracers_) {
+    auto ev = t.events();
+    out.insert(out.end(), ev.begin(), ev.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event& x, const Event& y) { return x.t < y.t; });
+  return out;
+}
+
+}  // namespace ilps::obs

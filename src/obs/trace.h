@@ -1,0 +1,191 @@
+// ilps::obs — per-rank event tracing. The runtime analogue of Turbine's
+// MPE-based logging on Blue Gene/Q (the instrumentation behind the
+// paper's task-rate and utilization plots): every rank owns a fixed-size
+// ring buffer of typed events with monotonic timestamps; at end of run
+// the World's buffers are merged and exported as a Chrome trace
+// (chrome://tracing / Perfetto), a per-rank utilization table, and
+// metrics.json (see export.h).
+//
+// Cost model: when tracing is off (the default), every instrumentation
+// site is one thread_local load and a predictable branch; nothing is
+// allocated. When on, an event is a timestamp read plus a 40-byte store
+// into a preallocated ring that overwrites its oldest entries (newest
+// events always survive). Compile with -DILPS_OBS_OFF to remove even the
+// branch.
+//
+// Gating: ILPS_TRACE=1 enables event collection and end-of-run export;
+// ILPS_METRICS=1 enables the metrics registry alone (see metrics.h).
+// Tests toggle collection programmatically with set_trace_enabled().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace ilps::obs {
+
+// The event taxonomy (docs/observability.md). Span kinds appear as
+// Begin/End pairs; the rest are instants. `a` and `b` are per-kind
+// payload slots (ids, ranks, byte counts) named in kind_args().
+enum class EventKind : uint16_t {
+  // task lifecycle
+  kTaskDispatch = 1,  // server hands a unit to a client   a=unit id b=client
+  kTaskRun,           // span: client evaluates a payload  a=unit id
+  kTaskFailed,        // worker reported a failure         a=unit id b=worker
+  kRequeue,           // unit re-dispatched after failure  a=unit id b=attempts
+  // ADLB traffic
+  kAdlbPut,      // Put accepted by a server          a=unit id b=type
+  kAdlbGet,      // Get request arrived               a=client  b=type
+  kAdlbPark,     // Get parked (no work of type)      a=client  b=type
+  kAdlbGetWait,  // span: client blocked in Get       a=type
+  kSteal,        // rebalance batch shipped           a=peer    b=units
+  kHungry,       // hungry notice broadcast           a=type
+  // data store
+  kDataSubscribe,  // subscribe registered            a=datum id b=client
+  kDataNotify,     // close fanned out                a=datum id b=subscribers
+  // checkpoint/restart
+  kCkptWrite,    // span: checkpoint file written     a=seq b=payload bytes
+  kCkptRestore,  // span: snapshot applied            a=seq b=datums
+  // transport
+  kMpiSend,  // user-level send posted                a=dest   b=bytes
+  kMpiRecv,  // blocking recv completed               a=source b=bytes
+  // fault handling / termination
+  kRankDead,        // this rank died (fault injection)  a=rank
+  kHeartbeatDeath,  // server declared a client dead     a=client b=silent ms
+  kTermToken,       // termination token handled         a=count  b=black/init
+  kShutdown,        // server concluded global quiet
+  // server loop
+  kServerHandle,  // span: one message handled          a=tag b=bytes
+  // rule engine
+  kRuleCreated,  // a=rule id  b=inputs
+  kRuleFired,    // a=task type
+};
+
+enum class Phase : uint8_t { kBegin = 0, kEnd = 1, kInstant = 2 };
+
+struct Event {
+  double t = 0;  // seconds on the ilps::wtime() monotonic epoch
+  int64_t a = 0;
+  int64_t b = 0;
+  int32_t rank = -1;
+  EventKind kind{};
+  Phase ph{};
+};
+
+// Display names for exporters (stable, dotted lower-case).
+const char* kind_name(EventKind k);
+const char* kind_category(EventKind k);
+// Span kinds whose duration counts as "busy" in the utilization table.
+bool kind_is_busy(EventKind k);
+
+// One rank's ring buffer. Single-writer (the rank's thread); readers wait
+// for the thread to join, so no synchronization is needed — which is what
+// keeps emit() to a store and an increment.
+class Tracer {
+ public:
+  void init(int rank, size_t capacity);
+
+  void emit(EventKind k, Phase ph, int64_t a, int64_t b) {
+    Event& e = buf_[static_cast<size_t>(count_ % cap_)];
+    e.t = ilps::wtime();
+    e.a = a;
+    e.b = b;
+    e.rank = rank_;
+    e.kind = k;
+    e.ph = ph;
+    ++count_;
+  }
+
+  int rank() const { return rank_; }
+  uint64_t count() const { return count_; }  // all events ever emitted
+  uint64_t dropped() const { return count_ > cap_ ? count_ - cap_ : 0; }
+
+  // Surviving events, oldest first.
+  std::vector<Event> events() const;
+
+ private:
+  std::vector<Event> buf_;
+  uint64_t cap_ = 0;
+  uint64_t count_ = 0;
+  int rank_ = -1;
+};
+
+// All ranks' tracers for one World. Created by mpi::World when tracing is
+// enabled; merged after the rank threads join.
+class Session {
+ public:
+  Session(int nranks, size_t capacity);
+
+  int nranks() const { return static_cast<int>(tracers_.size()); }
+  Tracer& rank(int r) { return tracers_[static_cast<size_t>(r)]; }
+  const Tracer& rank(int r) const { return tracers_[static_cast<size_t>(r)]; }
+
+  // Every rank's surviving events, ordered by timestamp.
+  std::vector<Event> merged() const;
+
+ private:
+  std::vector<Tracer> tracers_;
+};
+
+// ---- runtime gates ----
+
+bool trace_enabled();            // collection gate; env ILPS_TRACE, overridable
+void set_trace_enabled(bool on); // programmatic override (tests)
+bool metrics_enabled();          // env ILPS_METRICS, or tracing on
+void set_metrics_enabled(bool on);
+bool export_requested();         // env ILPS_TRACE set: runner writes files
+size_t default_capacity();       // env ILPS_TRACE_BUF (events/rank), default 65536
+std::string output_dir();        // env ILPS_TRACE_DIR, default "."
+
+// ---- the per-thread emit path ----
+
+extern thread_local Tracer* tls_tracer;
+
+inline void attach(Tracer* t) { tls_tracer = t; }
+inline void detach() { tls_tracer = nullptr; }
+inline Tracer* current() { return tls_tracer; }
+
+inline void emit(EventKind k, Phase ph, int64_t a = 0, int64_t b = 0) {
+#ifndef ILPS_OBS_OFF
+  if (tls_tracer != nullptr) tls_tracer->emit(k, ph, a, b);
+#else
+  (void)k;
+  (void)ph;
+  (void)a;
+  (void)b;
+#endif
+}
+
+inline void instant(EventKind k, int64_t a = 0, int64_t b = 0) {
+  emit(k, Phase::kInstant, a, b);
+}
+
+// RAII Begin/End pair; arms only if a tracer is attached at construction.
+class Span {
+ public:
+  explicit Span(EventKind k, int64_t a = 0, int64_t b = 0) : k_(k) {
+#ifndef ILPS_OBS_OFF
+    if (tls_tracer != nullptr) {
+      armed_ = true;
+      tls_tracer->emit(k, Phase::kBegin, a, b);
+    }
+#else
+    (void)a;
+    (void)b;
+#endif
+  }
+  ~Span() {
+    if (armed_ && tls_tracer != nullptr) tls_tracer->emit(k_, Phase::kEnd, 0, 0);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  EventKind k_;
+  bool armed_ = false;
+};
+
+}  // namespace ilps::obs

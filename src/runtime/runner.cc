@@ -9,6 +9,8 @@
 #include "common/log.h"
 #include "common/strings.h"
 #include "common/timer.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace ilps::runtime {
 
@@ -160,6 +162,9 @@ RunResult run_program_impl(const Config& cfg, const std::string& program, mpi::W
   }
   result.elapsed_seconds = timer.elapsed();
   result.traffic = world.stats();
+  if (const obs::Session* session = world.obs_session()) {
+    result.trace = session->merged();
+  }
   if (!pending.empty()) {
     result.lines.push_back(pending);
     result.line_times.push_back(result.elapsed_seconds);
@@ -168,11 +173,73 @@ RunResult run_program_impl(const Config& cfg, const std::string& program, mpi::W
   return result;
 }
 
+// Publishes every layer's stat structs into the process-wide metrics
+// registry under stable dotted names (set, not add: the registry reflects
+// the most recent run; only histograms accumulate).
+void publish_metrics(const RunResult& r) {
+  obs::Metrics& m = obs::metrics();
+  const adlb::ServerStats& s = r.server_stats;
+  m.counter("adlb.puts").set(s.puts);
+  m.counter("adlb.gets").set(s.gets);
+  m.counter("adlb.matches").set(s.matches);
+  m.counter("adlb.forwards").set(s.forwards);
+  m.counter("adlb.hungry_notices").set(s.hungry_notices);
+  m.counter("adlb.batches_sent").set(s.batches_sent);
+  m.counter("adlb.units_rebalanced").set(s.units_rebalanced);
+  m.counter("adlb.notifications").set(s.notifications);
+  m.counter("adlb.data_ops").set(s.data_ops);
+  m.counter("adlb.tokens").set(s.tokens);
+  m.counter("adlb.leftover_data").set(s.leftover_data);
+  m.counter("adlb.requeues").set(s.requeues);
+  m.counter("adlb.task_failures").set(s.task_failures);
+  m.counter("adlb.heartbeat_deaths").set(s.heartbeat_deaths);
+  m.counter("adlb.checkpoints").set(s.checkpoints);
+  m.counter("adlb.replay_skips").set(s.replay_skips);
+  const turbine::EngineStats& e = r.engine_stats;
+  m.counter("engine.rules_created").set(e.rules_created);
+  m.counter("engine.rules_fired").set(e.rules_fired);
+  m.counter("engine.rules_fired_immediately").set(e.rules_fired_immediately);
+  m.counter("engine.notifications").set(e.notifications);
+  m.counter("engine.subscribes").set(e.subscribes);
+  const turbine::WorkerStats& w = r.worker_stats;
+  m.counter("worker.tasks").set(w.tasks);
+  m.counter("worker.python_evals").set(w.python_evals);
+  m.counter("worker.r_evals").set(w.r_evals);
+  m.counter("worker.app_execs").set(w.app_execs);
+  m.counter("worker.interpreter_resets").set(w.interpreter_resets);
+  m.counter("mpi.messages").set(r.traffic.messages);
+  m.counter("mpi.bytes").set(r.traffic.bytes);
+  m.counter("run.attempts").set(static_cast<uint64_t>(r.ft.attempts));
+  m.counter("run.dead_ranks").set(r.ft.dead_ranks.size());
+  m.counter("run.unfired_rules").set(r.unfired_rules);
+  m.gauge("run.elapsed_seconds").set(r.elapsed_seconds);
+}
+
+// End-of-run aggregation: fill the registry and, when ILPS_TRACE asked
+// for files, write trace.json / metrics.json into obs::output_dir().
+void finish_observability(const Config& cfg, const RunResult& result) {
+  if (obs::metrics_enabled()) publish_metrics(result);
+  if (obs::export_requested() && !result.trace.empty()) {
+    obs::write_reports(result.trace, role_names(cfg), obs::metrics(), obs::output_dir());
+  }
+}
+
 }  // namespace
+
+std::vector<std::string> role_names(const Config& cfg) {
+  std::vector<std::string> roles;
+  roles.reserve(static_cast<size_t>(cfg.total_ranks()));
+  for (int i = 0; i < cfg.engines; ++i) roles.emplace_back("engine");
+  for (int i = 0; i < cfg.workers; ++i) roles.emplace_back("worker");
+  for (int i = 0; i < cfg.servers; ++i) roles.emplace_back("server");
+  return roles;
+}
 
 RunResult run_program(const Config& cfg, const std::string& program) {
   mpi::World world(cfg.total_ranks());
-  return run_program_impl(cfg, program, world, /*ft=*/false, /*restore=*/nullptr);
+  RunResult result = run_program_impl(cfg, program, world, /*ft=*/false, /*restore=*/nullptr);
+  finish_observability(cfg, result);
+  return result;
 }
 
 RunResult run_with_faults(const Config& cfg, const std::string& program) {
@@ -184,6 +251,7 @@ RunResult run_with_faults(const Config& cfg, const std::string& program) {
   }
   mpi::FaultPlan remaining = cfg.fault_plan;
   std::vector<int> all_dead;
+  std::vector<obs::Event> prior_trace;  // events of failed attempts
   int attempts = 0;
   while (true) {
     ++attempts;
@@ -197,9 +265,22 @@ RunResult run_with_faults(const Config& cfg, const std::string& program) {
       for (int r : world.dead_ranks()) all_dead.push_back(r);
       result.ft.attempts = attempts;
       result.ft.dead_ranks = std::move(all_dead);
+      if (!prior_trace.empty()) {
+        // Attempts run sequentially on one wtime() epoch, so prepending
+        // keeps the merged trace time-ordered.
+        prior_trace.insert(prior_trace.end(), result.trace.begin(), result.trace.end());
+        result.trace = std::move(prior_trace);
+      }
+      finish_observability(cfg, result);
       return result;
     } catch (const RestartError& e) {
       for (int r : world.dead_ranks()) all_dead.push_back(r);
+      // run_program_impl rethrows after World::run joined every rank
+      // thread, so the failed attempt's buffers are safe to harvest.
+      if (const obs::Session* session = world.obs_session()) {
+        std::vector<obs::Event> events = session->merged();
+        prior_trace.insert(prior_trace.end(), events.begin(), events.end());
+      }
       if (attempts > cfg.max_restarts) throw;
       // Consumed fault actions must not re-fire on the next attempt.
       const std::vector<bool> fired = world.fault_fired();

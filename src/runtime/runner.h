@@ -10,6 +10,7 @@
 
 #include "adlb/server.h"
 #include "mpi/comm.h"
+#include "obs/trace.h"
 #include "turbine/context.h"
 
 namespace ilps::runtime {
@@ -75,6 +76,12 @@ struct RunResult {
   FtStats ft;
   double elapsed_seconds = 0;
 
+  // Merged per-rank event trace (src/obs), time-ordered. Empty unless
+  // tracing was enabled (ILPS_TRACE=1 or obs::set_trace_enabled). Under
+  // run_with_faults this spans every attempt, so e.g. a killed rank's
+  // rank_dead instant survives the restart.
+  std::vector<obs::Event> trace;
+
   // All output joined back together (convenience for tests).
   std::string output() const;
   bool contains(const std::string& needle) const;
@@ -102,5 +109,9 @@ RunResult run_program(const Config& cfg, const std::string& program);
 // task exhausts its retries and RestartError when the restart budget
 // runs out.
 RunResult run_with_faults(const Config& cfg, const std::string& program);
+
+// "engine" / "worker" / "server" per rank, following the role layout
+// (labels the utilization table and the Chrome trace's thread names).
+std::vector<std::string> role_names(const Config& cfg);
 
 }  // namespace ilps::runtime

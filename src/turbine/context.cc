@@ -3,6 +3,9 @@
 #include <cstdio>
 
 #include "common/strings.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "turbine/app.h"
 
 namespace ilps::turbine {
@@ -356,7 +359,10 @@ size_t Context::run_engine(const std::string& main_script) {
       engine_->notify_closed(*id);
     } else {
       ++stats_.tasks;
-      interp_.eval(unit->payload);
+      {
+        obs::Span span(obs::EventKind::kTaskRun, unit->id);
+        interp_.eval(unit->payload);
+      }
       end_task();
     }
     drain_local();
@@ -365,10 +371,18 @@ size_t Context::run_engine(const std::string& main_script) {
 }
 
 void Context::run_worker() {
+  // Resolved once; the registry lookup takes a lock, the record does not.
+  obs::Histogram* task_seconds =
+      obs::metrics_enabled() ? &obs::metrics().histogram("task.seconds") : nullptr;
   while (auto unit = client_.get(adlb::kTypeWork)) {
     ++stats_.tasks;
+    const double started = ilps::wtime();
     try {
-      interp_.eval(unit->payload);
+      {
+        obs::Span span(obs::EventKind::kTaskRun, unit->id);
+        interp_.eval(unit->payload);
+      }
+      if (task_seconds != nullptr) task_seconds->record(ilps::wtime() - started);
     } catch (const Error& e) {
       // A leaf-task failure is typed and attributed (rank, task id), not
       // a raw string on stdout. Under fault tolerance it goes back to the

@@ -1,10 +1,14 @@
 #include "turbine/engine.h"
 
+#include "obs/trace.h"
+
 namespace ilps::turbine {
 
 void Engine::add_rule(const std::vector<int64_t>& inputs, std::string action, TaskType type,
                       int target, int priority) {
   ++stats_.rules_created;
+  obs::instant(obs::EventKind::kRuleCreated, next_id_,
+               static_cast<int64_t>(inputs.size()));
   Rule rule;
   rule.action = std::move(action);
   rule.type = type;
@@ -59,6 +63,7 @@ void Engine::notify_closed(int64_t id) {
 
 void Engine::release(Rule&& rule) {
   ++stats_.rules_fired;
+  obs::instant(obs::EventKind::kRuleFired, static_cast<int64_t>(rule.type));
   if (rule.type == TaskType::kLocal) {
     local_ready_.push_back(std::move(rule.action));
     return;

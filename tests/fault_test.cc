@@ -3,9 +3,12 @@
 // machinery and checkpoint/restart (src/ckpt).
 #include <filesystem>
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "obs/trace.h"
 #include "runtime/runner.h"
 
 namespace fs = std::filesystem;
@@ -240,6 +243,93 @@ TEST(Faults, TokenRingTerminatesWithDeadRank) {
   EXPECT_EQ(result.output(), baseline.output());
   ASSERT_EQ(result.ft.dead_ranks.size(), 1u);
   EXPECT_EQ(result.ft.dead_ranks[0], 4);
+}
+
+// ---- fault decisions are visible in the trace ----
+
+namespace {
+
+// Enables tracing for one test body; restores the env default after.
+struct TraceOn {
+  bool prev = obs::trace_enabled();
+  TraceOn() { obs::set_trace_enabled(true); }
+  ~TraceOn() { obs::set_trace_enabled(prev); }
+};
+
+int64_t count_events(const std::vector<obs::Event>& trace, obs::EventKind k) {
+  return std::count_if(trace.begin(), trace.end(),
+                       [&](const obs::Event& e) { return e.kind == k; });
+}
+
+}  // namespace
+
+TEST(Faults, KilledRankEmitsRankDeadExactlyOnce) {
+  TraceOn on;
+  runtime::Config cfg = base_config();
+  cfg.fault_plan.kill_rank(/*rank=*/2, /*at_message=*/60);
+  cfg.max_task_retries = 2;
+  auto result = runtime::run_with_faults(cfg, kPiProgram);
+
+  ASSERT_FALSE(result.trace.empty());
+  // The dying rank emits rank_dead from its own thread at the moment the
+  // injected fault fires — once, no matter how recovery proceeds.
+  std::vector<obs::Event> dead;
+  for (const auto& e : result.trace) {
+    if (e.kind == obs::EventKind::kRankDead) dead.push_back(e);
+  }
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0].rank, 2);
+  EXPECT_EQ(dead[0].a, 2);
+  EXPECT_EQ(dead[0].ph, obs::Phase::kInstant);
+  // Termination still ran its token ring to a shutdown decision.
+  EXPECT_GT(count_events(result.trace, obs::EventKind::kTermToken), 0);
+  EXPECT_GE(count_events(result.trace, obs::EventKind::kShutdown), 1);
+}
+
+// A hung (not killed) worker is declared dead by the server's heartbeat
+// scan, and that decision is an instant naming the silent client.
+TEST(Faults, HeartbeatDeathIsTracedForHungWorker) {
+  TraceOn on;
+  runtime::Config cfg = base_config();
+  cfg.fault_plan.hang_rank(/*rank=*/3, /*at_message=*/20);
+  cfg.heartbeat_timeout_ms = 150;
+  cfg.max_task_retries = 2;
+  auto result = runtime::run_with_faults(cfg, kPiProgram);
+
+  ASSERT_GE(result.server_stats.heartbeat_deaths, 1u);
+  auto heartbeat = std::find_if(result.trace.begin(), result.trace.end(), [](const obs::Event& e) {
+    return e.kind == obs::EventKind::kHeartbeatDeath && e.a == 3;
+  });
+  ASSERT_NE(heartbeat, result.trace.end());
+  // The parked rank is released (and dies) only at drain, so its single
+  // rank_dead instant comes after the server's heartbeat declaration.
+  auto dead = std::find_if(result.trace.begin(), result.trace.end(), [](const obs::Event& e) {
+    return e.kind == obs::EventKind::kRankDead;
+  });
+  ASSERT_NE(dead, result.trace.end());
+  EXPECT_EQ(count_events(result.trace, obs::EventKind::kRankDead), 1);
+  EXPECT_EQ(dead->a, 3);
+  EXPECT_GE(dead->t, heartbeat->t);
+}
+
+TEST(Faults, TraceSurvivesCheckpointRestart) {
+  TraceOn on;
+  TempDir dir("trace-restart");
+  runtime::Config cfg = base_config();
+  cfg.fault_plan.kill_rank(/*rank=*/0, /*at_message=*/75);
+  cfg.ckpt_interval = 5;
+  cfg.ckpt_dir = dir.str();
+  auto result = runtime::run_with_faults(cfg, kTwoPhaseProgram);
+
+  EXPECT_EQ(result.ft.attempts, 2);
+  // Events from the failed attempt (the engine's death) and the restart
+  // (the snapshot being applied) live in one merged, time-ordered trace.
+  EXPECT_EQ(count_events(result.trace, obs::EventKind::kRankDead), 1);
+  EXPECT_GE(count_events(result.trace, obs::EventKind::kCkptWrite), 1);
+  EXPECT_GE(count_events(result.trace, obs::EventKind::kCkptRestore), 1);
+  for (size_t i = 1; i < result.trace.size(); ++i) {
+    EXPECT_LE(result.trace[i - 1].t, result.trace[i].t);
+  }
 }
 
 // ---- deterministic scripted random faults ----

@@ -1,0 +1,347 @@
+// src/obs tests: ring-buffer wraparound, disabled-tracer cost model,
+// multi-rank merge ordering, Chrome trace JSON well-formedness, histogram
+// percentiles, and utilization accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/runner.h"
+
+using namespace ilps;
+
+namespace {
+
+// Enables tracing for one test body and restores the env-derived default
+// afterwards, so test order never leaks state.
+struct TraceOn {
+  bool prev_trace = obs::trace_enabled();
+  bool prev_metrics = obs::metrics_enabled();
+  TraceOn() {
+    obs::set_trace_enabled(true);
+    obs::set_metrics_enabled(true);
+  }
+  ~TraceOn() {
+    obs::set_trace_enabled(prev_trace);
+    obs::set_metrics_enabled(prev_metrics);
+  }
+};
+
+// Minimal recursive-descent JSON syntax checker — enough to prove the
+// exporter emits well-formed JSON without a JSON library dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_lit();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string_lit()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string_lit() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    size_t start = pos_;
+    if (peek() == '-' || peek() == '+') ++pos_;
+    bool digits = false;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(s_[pos_]))) digits = true;
+      ++pos_;
+    }
+    return digits && pos_ > start;
+  }
+  bool literal(const char* word) {
+    size_t len = std::string(word).size();
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+const char* kSmallProgram = R"(
+proc swift:main {} {
+  set ids [list]
+  for {set i 0} {$i < 12} {incr i} {
+    set x [turbine::allocate integer]
+    lappend ids $x
+    turbine::put_work "turbine::store_integer $x $i"
+  }
+  turbine::rule $ids "puts done" type LOCAL
+}
+)";
+
+runtime::RunResult run_traced() {
+  TraceOn on;
+  runtime::Config cfg;
+  cfg.engines = 1;
+  cfg.workers = 2;
+  cfg.servers = 1;
+  return runtime::run_program(cfg, kSmallProgram);
+}
+
+}  // namespace
+
+// ---- ring buffer ----
+
+TEST(ObsTracer, WraparoundKeepsNewestEvents) {
+  obs::Tracer t;
+  t.init(/*rank=*/7, /*capacity=*/16);
+  for (int i = 0; i < 40; ++i) {
+    t.emit(obs::EventKind::kMpiSend, obs::Phase::kInstant, i, 0);
+  }
+  EXPECT_EQ(t.count(), 40u);
+  EXPECT_EQ(t.dropped(), 24u);
+  auto events = t.events();
+  ASSERT_EQ(events.size(), 16u);
+  // Oldest-first and exactly the newest 16 (a = 24..39).
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, static_cast<int64_t>(24 + i));
+    EXPECT_EQ(events[i].rank, 7);
+  }
+  // Timestamps are monotone within one rank's buffer.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].t, events[i - 1].t);
+  }
+}
+
+TEST(ObsTracer, RingIsReusedNotGrown) {
+  obs::Tracer t;
+  t.init(0, 32);
+  for (int i = 0; i < 10000; ++i) {
+    t.emit(obs::EventKind::kAdlbPut, obs::Phase::kInstant, i, 0);
+  }
+  // The ring never exceeds its capacity no matter how many events pass
+  // through — the emit path stores into preallocated slots.
+  EXPECT_EQ(t.events().size(), 32u);
+  EXPECT_EQ(t.dropped(), 10000u - 32u);
+}
+
+// ---- disabled path ----
+
+TEST(ObsTracer, DisabledTracerRecordsNothing) {
+  // No tracer attached on this thread: emit must be a no-op.
+  ASSERT_EQ(obs::current(), nullptr);
+  obs::emit(obs::EventKind::kTaskRun, obs::Phase::kBegin, 1, 2);
+  obs::instant(obs::EventKind::kRankDead, 3);
+  { obs::Span span(obs::EventKind::kCkptWrite, 1, 2); }
+  EXPECT_EQ(obs::current(), nullptr);
+}
+
+TEST(ObsTracer, RunWithTracingOffProducesEmptyTrace) {
+  bool prev = obs::trace_enabled();
+  obs::set_trace_enabled(false);
+  runtime::Config cfg;
+  cfg.engines = 1;
+  cfg.workers = 2;
+  cfg.servers = 1;
+  auto result = runtime::run_program(cfg, kSmallProgram);
+  obs::set_trace_enabled(prev);
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_TRUE(result.contains("done"));
+}
+
+// ---- multi-rank merge + export ----
+
+TEST(ObsSession, MergedTraceIsTimeOrderedAndCoversRanks) {
+  auto result = run_traced();
+  ASSERT_FALSE(result.trace.empty());
+  for (size_t i = 1; i < result.trace.size(); ++i) {
+    EXPECT_LE(result.trace[i - 1].t, result.trace[i].t);
+  }
+  // Every rank of the 4-rank world shows up (engine, 2 workers, server).
+  bool seen[4] = {false, false, false, false};
+  for (const auto& e : result.trace) {
+    ASSERT_GE(e.rank, 0);
+    ASSERT_LT(e.rank, 4);
+    seen[e.rank] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+  // The run's lifecycle markers are present: task spans on workers,
+  // server handling, and the termination decision.
+  auto count_kind = [&](obs::EventKind k, obs::Phase ph) {
+    return std::count_if(result.trace.begin(), result.trace.end(), [&](const obs::Event& e) {
+      return e.kind == k && e.ph == ph;
+    });
+  };
+  // 12 worker tasks plus any engine-side control tasks; every span closes.
+  auto begins = count_kind(obs::EventKind::kTaskRun, obs::Phase::kBegin);
+  EXPECT_GE(begins, 12);
+  EXPECT_EQ(count_kind(obs::EventKind::kTaskRun, obs::Phase::kEnd), begins);
+  EXPECT_GT(count_kind(obs::EventKind::kServerHandle, obs::Phase::kBegin), 0);
+  EXPECT_GT(count_kind(obs::EventKind::kShutdown, obs::Phase::kInstant), 0);
+}
+
+TEST(ObsExport, ChromeTraceJsonParses) {
+  auto result = run_traced();
+  ASSERT_FALSE(result.trace.empty());
+  std::vector<std::string> roles = {"engine", "worker", "worker", "server"};
+  std::string json = obs::chrome_trace_json(result.trace, roles);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+  // Spot-check the trace-event schema.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"task.run\""), std::string::npos);
+  EXPECT_NE(json.find("rank 3 (server)"), std::string::npos);
+}
+
+TEST(ObsExport, MetricsJsonParses) {
+  auto result = run_traced();
+  std::vector<std::string> roles = {"engine", "worker", "worker", "server"};
+  auto usage = obs::utilization(result.trace, roles);
+  std::string json = obs::metrics_json(obs::metrics(), usage);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"utilization\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker.tasks\": 12"), std::string::npos);
+}
+
+TEST(ObsExport, UtilizationCountsBusySpans) {
+  // Synthetic trace: rank 0 busy [1.0, 1.4] via nested spans (union must
+  // not double-count), rank 1 idle with only instants.
+  std::vector<obs::Event> events;
+  auto add = [&](double t, int rank, obs::EventKind k, obs::Phase ph) {
+    obs::Event e;
+    e.t = t;
+    e.rank = rank;
+    e.kind = k;
+    e.ph = ph;
+    events.push_back(e);
+  };
+  add(1.0, 0, obs::EventKind::kServerHandle, obs::Phase::kBegin);
+  add(1.1, 0, obs::EventKind::kCkptWrite, obs::Phase::kBegin);
+  add(1.3, 0, obs::EventKind::kCkptWrite, obs::Phase::kEnd);
+  add(1.4, 0, obs::EventKind::kServerHandle, obs::Phase::kEnd);
+  add(1.0, 1, obs::EventKind::kMpiSend, obs::Phase::kInstant);
+  add(2.0, 1, obs::EventKind::kMpiRecv, obs::Phase::kInstant);
+  std::stable_sort(events.begin(), events.end(),
+                   [](const obs::Event& a, const obs::Event& b) { return a.t < b.t; });
+
+  auto usage = obs::utilization(events, {"server", "worker"});
+  ASSERT_EQ(usage.size(), 2u);
+  EXPECT_NEAR(usage[0].busy_seconds, 0.4, 1e-9);
+  EXPECT_NEAR(usage[0].window_seconds, 1.0, 1e-9);
+  EXPECT_NEAR(usage[0].busy_fraction, 0.4, 1e-9);
+  EXPECT_EQ(usage[0].role, "server");
+  EXPECT_NEAR(usage[1].busy_seconds, 0.0, 1e-9);
+  EXPECT_EQ(usage[1].events, 2u);
+}
+
+// ---- histograms ----
+
+TEST(ObsMetrics, HistogramPercentilesNearestRank) {
+  obs::Histogram h;
+  for (int i = 100; i >= 1; --i) h.record(i);  // insertion order must not matter
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.percentile(90), 90.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+}
+
+TEST(ObsMetrics, HistogramEdgeCases) {
+  obs::Histogram empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);
+
+  obs::Histogram one;
+  one.record(42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(1), 42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(100), 42.0);
+
+  obs::Histogram two;
+  two.record(10.0);
+  two.record(20.0);
+  // Nearest-rank: ceil(0.5 * 2) = 1 -> first sample.
+  EXPECT_DOUBLE_EQ(two.percentile(50), 10.0);
+  EXPECT_DOUBLE_EQ(two.percentile(51), 20.0);
+}
+
+TEST(ObsMetrics, RegistryCountersAndGauges) {
+  obs::Metrics m;
+  m.counter("a.count").add(3);
+  m.counter("a.count").add(2);
+  m.gauge("b.value").set(1.5);
+  EXPECT_EQ(m.counter("a.count").value(), 5u);
+  EXPECT_DOUBLE_EQ(m.gauge("b.value").value(), 1.5);
+  auto counters = m.counters();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].first, "a.count");
+  m.clear();
+  EXPECT_TRUE(m.counters().empty());
+}

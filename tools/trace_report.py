@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Summarize an ILPS trace.json (and optional metrics.json).
+
+Reads the Chrome-trace file written by a run with ILPS_TRACE=1 and prints:
+  - the top-N slowest task.run spans (task id, rank, start, duration)
+  - steal / rebalance counts per rank
+  - per-rank busy fraction (union of busy spans vs the run window)
+  - selected counters from metrics.json when present next to the trace
+
+Usage:
+  tools/trace_report.py [trace.json] [--top N]
+
+No dependencies beyond the standard library.
+"""
+import argparse
+import json
+import os
+import sys
+
+# Span kinds whose duration counts as busy (matches obs::kind_is_busy).
+BUSY = {"task.run", "server.handle", "ckpt.write", "ckpt.restore"}
+
+
+def load_events(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc["traceEvents"]
+
+
+def thread_names(events):
+    names = {}
+    for e in events:
+        if e.get("ph") == "M" and e.get("name") == "thread_name":
+            names[e["tid"]] = e["args"]["name"]
+    return names
+
+
+def pair_spans(events, name_filter=None):
+    """Yield (name, tid, start_us, dur_us, args) for matched B/E pairs."""
+    stacks = {}
+    for e in events:
+        ph = e.get("ph")
+        if ph not in ("B", "E"):
+            continue
+        key = (e["tid"], e["name"])
+        if name_filter and e["name"] not in name_filter:
+            continue
+        if ph == "B":
+            stacks.setdefault(key, []).append(e)
+        else:
+            stack = stacks.get(key)
+            if not stack:
+                continue  # Begin fell off the ring buffer
+            b = stack.pop()
+            yield (e["name"], e["tid"], b["ts"], e["ts"] - b["ts"], b.get("args", {}))
+
+
+def report(trace_path, top_n):
+    events = load_events(trace_path)
+    names = thread_names(events)
+    real = [e for e in events if e.get("ph") in ("B", "E", "i")]
+    if not real:
+        print("trace contains no events")
+        return
+    t_lo = min(e["ts"] for e in real)
+    t_hi = max(e["ts"] for e in real)
+    window = max(t_hi - t_lo, 1e-9)
+
+    print(f"{trace_path}: {len(real)} events, {len(names)} ranks, "
+          f"window {window / 1e6:.3f} s")
+
+    # ---- top-N slowest tasks ----
+    tasks = sorted(pair_spans(events, {"task.run"}), key=lambda s: -s[3])
+    print(f"\ntop {min(top_n, len(tasks))} slowest tasks (of {len(tasks)}):")
+    print(f"  {'task':>8} {'rank':>16} {'start_s':>9} {'dur_ms':>9}")
+    for name, tid, ts, dur, args in tasks[:top_n]:
+        rank = names.get(tid, f"rank {tid}")
+        print(f"  {args.get('a', '?'):>8} {rank:>16} {ts / 1e6:>9.3f} {dur / 1e3:>9.3f}")
+
+    # ---- steals / rebalance ----
+    steals = {}
+    units = {}
+    for e in events:
+        if e.get("name") == "adlb.steal" and e.get("ph") == "i":
+            steals[e["tid"]] = steals.get(e["tid"], 0) + 1
+            units[e["tid"]] = units.get(e["tid"], 0) + e.get("args", {}).get("b", 0)
+    if steals:
+        print("\nsteal batches by sending rank:")
+        for tid in sorted(steals):
+            print(f"  {names.get(tid, f'rank {tid}'):>16}: "
+                  f"{steals[tid]} batches, {units[tid]} units")
+    else:
+        print("\nno steal/rebalance events")
+
+    # ---- per-rank busy fraction ----
+    busy = {}
+    counts = {}
+    for e in real:
+        counts[e["tid"]] = counts.get(e["tid"], 0) + 1
+    for name, tid, ts, dur, _ in pair_spans(events, BUSY):
+        busy.setdefault(tid, []).append((ts, ts + dur))
+    print("\nper-rank utilization:")
+    print(f"  {'rank':>16} {'events':>7} {'busy_s':>8} {'busy%':>6}")
+    for tid in sorted(counts):
+        merged, end = 0.0, None
+        for lo, hi in sorted(busy.get(tid, [])):
+            if end is None or lo > end:
+                merged += hi - lo
+                end = hi
+            elif hi > end:
+                merged += hi - end
+                end = hi
+        print(f"  {names.get(tid, f'rank {tid}'):>16} {counts[tid]:>7} "
+              f"{merged / 1e6:>8.3f} {100.0 * merged / window:>5.1f}%")
+
+    # ---- metrics.json, if present beside the trace ----
+    metrics_path = os.path.join(os.path.dirname(trace_path) or ".", "metrics.json")
+    if os.path.exists(metrics_path):
+        with open(metrics_path) as f:
+            m = json.load(f)
+        interesting = ["worker.tasks", "adlb.puts", "adlb.matches", "adlb.requeues",
+                       "engine.rules_fired", "mpi.messages", "mpi.bytes",
+                       "run.attempts", "run.dead_ranks"]
+        print(f"\n{metrics_path}:")
+        for k in interesting:
+            if k in m.get("counters", {}):
+                print(f"  {k:>20}: {m['counters'][k]}")
+        for name, h in m.get("histograms", {}).items():
+            print(f"  {name:>20}: n={h['count']} p50={h['p50']:.6f} "
+                  f"p99={h['p99']:.6f} max={h['max']:.6f}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("trace", nargs="?", default="trace.json")
+    ap.add_argument("--top", type=int, default=10, metavar="N",
+                    help="how many slowest tasks to list (default 10)")
+    args = ap.parse_args()
+    if not os.path.exists(args.trace):
+        sys.exit(f"{args.trace} not found (run with ILPS_TRACE=1 first)")
+    report(args.trace, args.top)
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)
