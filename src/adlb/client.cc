@@ -1,5 +1,7 @@
 #include "adlb/client.h"
 
+#include <cstring>
+
 #include "common/error.h"
 #include "obs/trace.h"
 
@@ -10,14 +12,21 @@ Client::Client(mpi::Comm& comm, const Config& cfg) : comm_(comm), cfg_(cfg) {
     throw CommError("adlb::Client constructed on a server rank");
   }
   home_ = home_server(comm.rank(), comm.size(), cfg);
+  // Batching changes how many transport messages an operation costs;
+  // under ft that would shift the FaultPlan's send-count triggers and the
+  // server's per-RPC liveness bookkeeping, so the fast paths switch off.
+  batching_ = !cfg_.ft && cfg_.put_batch > 1;
 }
 
-ser::Reader Client::rpc(int server, const ser::Writer& request, std::vector<std::byte>& storage) {
-  comm_.send(server, kTagRequest, request);
+ser::Reader Client::rpc(int server, ser::Writer&& request) {
+  flush_puts();
+  comm_.send(server, kTagRequest, std::move(request));
   mpi::Message reply = comm_.recv(server, kTagResponse);
-  storage = std::move(reply.data);
-  ser::Reader r(storage);
-  return r;
+  // The previous reply has been fully consumed by now; its buffer feeds
+  // the freelist the next writer() draws from.
+  comm_.recycle(std::move(reply_));
+  reply_ = std::move(reply.data);
+  return ser::Reader(reply_);
 }
 
 namespace {
@@ -38,39 +47,98 @@ void Client::put(const WorkUnit& unit) {
   if (unit.type < 0 || unit.type >= cfg_.ntypes) {
     throw DataError("adlb: put with invalid work type " + std::to_string(unit.type));
   }
-  ser::Writer w;
+  // Validate the target here so a bad put fails immediately even when the
+  // unit would otherwise sit in the batch buffer.
+  if (unit.target != kAnyRank &&
+      (unit.target < 0 || unit.target >= num_clients(comm_.size(), cfg_))) {
+    throw DataError("put: target rank " + std::to_string(unit.target) + " out of range");
+  }
+  // Only untargeted units may linger in the batch buffer. A targeted
+  // unit's arrival is observable by its target outside ADLB (e.g. the
+  // answer-rank pattern: put to rank R, then block in a raw recv for R's
+  // reply), so deferring it could deadlock; it goes out synchronously,
+  // after the buffer (rpc() flushes first) to preserve program order.
+  if (batching_ && unit.target == kAnyRank) {
+    if (pending_put_count_ == 0) {
+      pending_puts_ = comm_.writer();
+      pending_puts_.put_u8(static_cast<uint8_t>(Op::kPutBatch));
+      pending_puts_.put_u64(0);  // placeholder; count rides separately
+    }
+    write_work_unit(pending_puts_, unit);
+    if (++pending_put_count_ >= cfg_.put_batch) flush_puts();
+    return;
+  }
+  ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kPut));
   write_work_unit(w, unit);
-  std::vector<std::byte> storage;
-  expect_ack(rpc(home_, w, storage));
+  expect_ack(rpc(home_, std::move(w)));
+}
+
+void Client::flush_puts() {
+  if (pending_put_count_ == 0) return;
+  // Rewrite the count placeholder (u64 directly after the opcode byte),
+  // then do the exchange directly — not via rpc(), which would recurse
+  // into this flush.
+  std::vector<std::byte> buf = pending_puts_.take();
+  const uint64_t n = static_cast<uint64_t>(pending_put_count_);
+  std::memcpy(buf.data() + 1, &n, sizeof n);
+  pending_put_count_ = 0;
+  comm_.send(home_, kTagRequest, std::move(buf));
+  mpi::Message reply = comm_.recv(home_, kTagResponse);
+  expect_ack(ser::Reader(reply.data));
+  comm_.recycle(std::move(reply.data));
 }
 
 std::optional<WorkUnit> Client::get(int type) {
   if (type < 0 || type >= cfg_.ntypes) {
     throw DataError("adlb: get with invalid work type " + std::to_string(type));
   }
-  ser::Writer w;
+  if (!prefetched_.empty()) {
+    if (prefetched_.front().type == type) {
+      WorkUnit unit = std::move(prefetched_.front());
+      prefetched_.pop_front();
+      obs::instant(obs::EventKind::kAdlbGet, comm_.rank(), type);
+      return unit;
+    }
+    flush_prefetch();
+  }
+  ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kGet));
   w.put_i32(type);
-  std::vector<std::byte> storage;
   // The span covers the whole blocking exchange: its duration is this
   // client's idle-waiting-for-work time.
   obs::Span wait(obs::EventKind::kAdlbGetWait, type);
-  ser::Reader r = rpc(home_, w, storage);
+  ser::Reader r = rpc(home_, std::move(w));
   Op op = static_cast<Op>(r.get_u8());
   if (op == Op::kShutdownClient) return std::nullopt;
   if (op == Op::kGotWork) return read_work_unit(r);
+  if (op == Op::kGotWorkBatch) {
+    uint64_t n = r.get_u64();
+    WorkUnit first = read_work_unit(r);
+    for (uint64_t i = 1; i < n; ++i) prefetched_.push_back(read_work_unit(r));
+    return first;
+  }
   if (op == Op::kError) raise_error(r);
   throw CommError("adlb: unexpected reply to Get");
 }
 
+void Client::flush_prefetch() {
+  while (!prefetched_.empty()) {
+    WorkUnit unit = std::move(prefetched_.front());
+    prefetched_.pop_front();
+    ser::Writer w = comm_.writer();
+    w.put_u8(static_cast<uint8_t>(Op::kPut));
+    write_work_unit(w, unit);
+    expect_ack(rpc(home_, std::move(w)));
+  }
+}
+
 void Client::task_failed(const WorkUnit& unit, const std::string& why) {
-  ser::Writer w;
+  ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kTaskFailed));
   write_work_unit(w, unit);
   w.put_str("rank " + std::to_string(comm_.rank()) + ": " + why);
-  std::vector<std::byte> storage;
-  expect_ack(rpc(home_, w, storage));
+  expect_ack(rpc(home_, std::move(w)));
 }
 
 int64_t Client::unique() {
@@ -79,30 +147,27 @@ int64_t Client::unique() {
 }
 
 void Client::create(int64_t id, DataType type) {
-  ser::Writer w;
+  ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kCreate));
   w.put_i64(id);
   w.put_u8(static_cast<uint8_t>(type));
-  std::vector<std::byte> storage;
-  expect_ack(rpc(owner_server(id, comm_.size(), cfg_), w, storage));
+  expect_ack(rpc(owner_server(id, comm_.size(), cfg_), std::move(w)));
 }
 
 void Client::store(int64_t id, std::string_view value, bool close) {
-  ser::Writer w;
+  ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kStore));
   w.put_i64(id);
   w.put_bool(close);
   w.put_str(value);
-  std::vector<std::byte> storage;
-  expect_ack(rpc(owner_server(id, comm_.size(), cfg_), w, storage));
+  expect_ack(rpc(owner_server(id, comm_.size(), cfg_), std::move(w)));
 }
 
 std::string Client::retrieve(int64_t id) {
-  ser::Writer w;
+  ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kRetrieve));
   w.put_i64(id);
-  std::vector<std::byte> storage;
-  ser::Reader r = rpc(owner_server(id, comm_.size(), cfg_), w, storage);
+  ser::Reader r = rpc(owner_server(id, comm_.size(), cfg_), std::move(w));
   Op op = static_cast<Op>(r.get_u8());
   if (op == Op::kValue) return r.get_str();
   if (op == Op::kError) raise_error(r);
@@ -110,11 +175,10 @@ std::string Client::retrieve(int64_t id) {
 }
 
 bool Client::exists(int64_t id) {
-  ser::Writer w;
+  ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kExists));
   w.put_i64(id);
-  std::vector<std::byte> storage;
-  ser::Reader r = rpc(owner_server(id, comm_.size(), cfg_), w, storage);
+  ser::Reader r = rpc(owner_server(id, comm_.size(), cfg_), std::move(w));
   Op op = static_cast<Op>(r.get_u8());
   if (op == Op::kValue) return r.get_bool();
   if (op == Op::kError) raise_error(r);
@@ -122,11 +186,10 @@ bool Client::exists(int64_t id) {
 }
 
 DataType Client::type_of(int64_t id) {
-  ser::Writer w;
+  ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kTypeOf));
   w.put_i64(id);
-  std::vector<std::byte> storage;
-  ser::Reader r = rpc(owner_server(id, comm_.size(), cfg_), w, storage);
+  ser::Reader r = rpc(owner_server(id, comm_.size(), cfg_), std::move(w));
   Op op = static_cast<Op>(r.get_u8());
   if (op == Op::kValue) return static_cast<DataType>(r.get_u8());
   if (op == Op::kError) raise_error(r);
@@ -134,20 +197,18 @@ DataType Client::type_of(int64_t id) {
 }
 
 void Client::close(int64_t id) {
-  ser::Writer w;
+  ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kCloseDatum));
   w.put_i64(id);
-  std::vector<std::byte> storage;
-  expect_ack(rpc(owner_server(id, comm_.size(), cfg_), w, storage));
+  expect_ack(rpc(owner_server(id, comm_.size(), cfg_), std::move(w)));
 }
 
 bool Client::subscribe(int64_t id, int notify_type) {
-  ser::Writer w;
+  ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kSubscribe));
   w.put_i64(id);
   w.put_i32(notify_type);
-  std::vector<std::byte> storage;
-  ser::Reader r = rpc(owner_server(id, comm_.size(), cfg_), w, storage);
+  ser::Reader r = rpc(owner_server(id, comm_.size(), cfg_), std::move(w));
   Op op = static_cast<Op>(r.get_u8());
   if (op == Op::kValue) return r.get_bool();
   if (op == Op::kError) raise_error(r);
@@ -155,40 +216,36 @@ bool Client::subscribe(int64_t id, int notify_type) {
 }
 
 void Client::ref_incr(int64_t id, int delta) {
-  ser::Writer w;
+  ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kRefIncr));
   w.put_i64(id);
   w.put_i32(delta);
-  std::vector<std::byte> storage;
-  expect_ack(rpc(owner_server(id, comm_.size(), cfg_), w, storage));
+  expect_ack(rpc(owner_server(id, comm_.size(), cfg_), std::move(w)));
 }
 
 void Client::write_incr(int64_t id, int delta) {
-  ser::Writer w;
+  ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kWriteIncr));
   w.put_i64(id);
   w.put_i32(delta);
-  std::vector<std::byte> storage;
-  expect_ack(rpc(owner_server(id, comm_.size(), cfg_), w, storage));
+  expect_ack(rpc(owner_server(id, comm_.size(), cfg_), std::move(w)));
 }
 
 void Client::insert(int64_t container_id, std::string_view key, std::string_view value) {
-  ser::Writer w;
+  ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kInsert));
   w.put_i64(container_id);
   w.put_str(key);
   w.put_str(value);
-  std::vector<std::byte> storage;
-  expect_ack(rpc(owner_server(container_id, comm_.size(), cfg_), w, storage));
+  expect_ack(rpc(owner_server(container_id, comm_.size(), cfg_), std::move(w)));
 }
 
 std::optional<std::string> Client::lookup(int64_t container_id, std::string_view key) {
-  ser::Writer w;
+  ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kLookup));
   w.put_i64(container_id);
   w.put_str(key);
-  std::vector<std::byte> storage;
-  ser::Reader r = rpc(owner_server(container_id, comm_.size(), cfg_), w, storage);
+  ser::Reader r = rpc(owner_server(container_id, comm_.size(), cfg_), std::move(w));
   Op op = static_cast<Op>(r.get_u8());
   if (op == Op::kValue) return r.get_str();
   if (op == Op::kNoValue) return std::nullopt;
@@ -197,11 +254,10 @@ std::optional<std::string> Client::lookup(int64_t container_id, std::string_view
 }
 
 std::vector<std::pair<std::string, std::string>> Client::enumerate(int64_t container_id) {
-  ser::Writer w;
+  ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kEnumerate));
   w.put_i64(container_id);
-  std::vector<std::byte> storage;
-  ser::Reader r = rpc(owner_server(container_id, comm_.size(), cfg_), w, storage);
+  ser::Reader r = rpc(owner_server(container_id, comm_.size(), cfg_), std::move(w));
   Op op = static_cast<Op>(r.get_u8());
   if (op == Op::kError) raise_error(r);
   if (op != Op::kValue) throw CommError("adlb: unexpected reply to Enumerate");

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <utility>
@@ -75,12 +76,30 @@ class Client {
   std::vector<std::pair<std::string, std::string>> enumerate(int64_t container_id);
 
  private:
-  ser::Reader rpc(int server, const ser::Writer& request, std::vector<std::byte>& storage);
+  // One synchronous exchange. Flushes buffered puts first, so the home
+  // server sees them before this request (per-(source, tag) FIFO) and a
+  // client blocked in an RPC never has unsent work — the termination
+  // detector's invariant. The reply buffer lives in reply_ until the next
+  // rpc() recycles it into the transport's freelist.
+  ser::Reader rpc(int server, ser::Writer&& request);
+  void flush_puts();
+  // Returns prefetched units of the wrong type to the server (only
+  // possible if a caller alternates Get types; the Turbine loops never
+  // do).
+  void flush_prefetch();
+
   int home_;
 
   mpi::Comm& comm_;
   Config cfg_;
   int64_t next_local_id_ = 1;
+
+  // ---- fast-path batching state (unused under cfg_.ft) ----
+  bool batching_ = false;        // puts may be buffered
+  int pending_put_count_ = 0;
+  ser::Writer pending_puts_;     // serialized units, shipped as kPutBatch
+  std::deque<WorkUnit> prefetched_;  // surplus units from kGotWorkBatch
+  std::vector<std::byte> reply_;     // last RPC's reply storage
 };
 
 }  // namespace ilps::adlb

@@ -42,6 +42,19 @@ struct Config {
   // graphs unfolding ahead of leaf work). Ablated in bench_ablation.
   bool priority_notifications = true;
 
+  // ---- fast-path batching (disabled automatically under ft, whose
+  // send-counting fault triggers and per-RPC liveness bookkeeping assume
+  // one message per operation) ----
+  // Puts are buffered client-side and shipped as one kPutBatch request of
+  // up to this many units; the buffer is always flushed before any other
+  // RPC, so a parked client still has nothing in flight (the termination
+  // detector's invariant) and server-side ordering is unchanged.
+  int put_batch = 16;
+  // A Get may be answered with up to this many units of the requested
+  // type in one kGotWorkBatch reply; the client runs them off a local
+  // prefetch queue, skipping whole round trips per task.
+  int get_batch = 4;
+
   // ---- fault tolerance (the src/ckpt substrate) ----
   // When ft is set the server tracks in-flight work per client, requeues
   // a dead client's unit (bounded by max_task_retries), treats replayed
@@ -128,6 +141,7 @@ enum class Op : uint8_t {
   kGet = 2,
   kTaskFailed = 3,  // worker reports a leaf-task eval failure (unit + why);
                     // the server requeues it or aborts the run
+  kPutBatch = 4,    // u64 count + that many units, acked once
   kCreate = 10,
   kStore = 11,
   kRetrieve = 12,
@@ -148,6 +162,7 @@ enum class Op : uint8_t {
   kShutdownClient = 43,
   kValue = 44,
   kNoValue = 45,
+  kGotWorkBatch = 46,  // u64 count + that many units of the Get's type
 
   // server <-> server
   kForwardPut = 60,  // targeted or rebalanced work moving between servers

@@ -1,6 +1,7 @@
 #include "adlb/server.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "ckpt/ckpt.h"
 #include "common/error.h"
@@ -58,15 +59,18 @@ void Server::serve() {
           heartbeats
               ? std::max(0.001, static_cast<double>(cfg_.heartbeat_timeout_ms) / 4000.0)
               : 0.001;
-      m = comm_.recv_for(poll_s, mpi::ANY_SOURCE, mpi::ANY_TAG);
+      // ANY_TAG no longer covers reserved tags, so the fault-aware server
+      // loop asks for death notices (kTagFault) explicitly.
+      m = comm_.recv_for(poll_s, mpi::ANY_SOURCE, mpi::ANY_TAG_OR_FAULT);
       if (flush_deferred()) activity = true;
       if (heartbeats) check_heartbeats();
     } else {
-      m = comm_.recv(mpi::ANY_SOURCE, mpi::ANY_TAG);
+      m = comm_.recv(mpi::ANY_SOURCE, mpi::ANY_TAG_OR_FAULT);
     }
     if (done_) break;
     if (m) {
       dispatch(*m);
+      comm_.recycle(std::move(m->data));  // feeds the reply-writer freelist
       activity = true;
     }
     if (activity && !done_) after_dispatch();
@@ -110,6 +114,31 @@ void Server::handle_request(const mpi::Message& m) {
       name_unit(unit);
       obs::instant(obs::EventKind::kAdlbPut, unit.id, unit.type);
       handle_put(m.source, unit);
+      break;
+    }
+    case Op::kPutBatch: {
+      uint64_t n = r.get_u64();
+      std::string error;
+      for (uint64_t i = 0; i < n; ++i) {
+        WorkUnit unit = read_work_unit(r);
+        ++stats_.puts;
+        name_unit(unit);
+        obs::instant(obs::EventKind::kAdlbPut, unit.id, unit.type);
+        if (unit.type < 0 || unit.type >= cfg_.ntypes) {
+          error = "put: invalid work type " + std::to_string(unit.type);
+          continue;
+        }
+        try {
+          accept_unit(std::move(unit));
+        } catch (const DataError& e) {
+          error = e.what();
+        }
+      }
+      if (error.empty()) {
+        reply_ack(m.source);
+      } else {
+        reply_error(m.source, error);
+      }
       break;
     }
     case Op::kGet: {
@@ -191,16 +220,21 @@ void Server::accept_unit(WorkUnit unit) {
       ++stats_.forwards;
       return;
     }
-    // Match to the target if it is parked with the right type.
-    auto& queue = parked_[static_cast<size_t>(unit.type)];
-    for (auto it = queue.begin(); it != queue.end(); ++it) {
-      if (*it == unit.target) {
-        int client = *it;
-        queue.erase(it);
-        parked_clients_.erase(client);
-        deliver(client, unit);
-        return;
+    // Match to the target if it is parked with the right type. The index
+    // makes the (common) miss an O(1) map probe instead of a scan of every
+    // parked client; only a hit pays for the queue-entry removal.
+    auto parked_it = parked_clients_.find(unit.target);
+    if (parked_it != parked_clients_.end() && parked_it->second == unit.type) {
+      auto& queue = parked_[static_cast<size_t>(unit.type)];
+      for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if (*it == unit.target) {
+          queue.erase(it);
+          break;
+        }
       }
+      parked_clients_.erase(parked_it);
+      deliver(unit.target, unit);
+      return;
     }
     targeted_[{unit.target, unit.type}].push_back(unit);
     return;
@@ -234,10 +268,10 @@ void Server::accept_unit(WorkUnit unit) {
 }
 
 void Server::deliver(int client, const WorkUnit& unit) {
-  ser::Writer w;
+  ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kGotWork));
   write_work_unit(w, unit);
-  comm_.send(client, kTagResponse, w);
+  comm_.send(client, kTagResponse, std::move(w));
   ++stats_.matches;
   obs::instant(obs::EventKind::kTaskDispatch, unit.id, client);
   // Remember what each worker is running so a dead worker's unit can be
@@ -253,6 +287,18 @@ void Server::deliver(int client, const WorkUnit& unit) {
   if (cfg_.ft && cfg_.heartbeat_timeout_ms > 0) last_seen_[client] = comm_.wtime();
 }
 
+void Server::deliver_batch(int client, std::vector<WorkUnit>& units) {
+  ser::Writer w = comm_.writer();
+  w.put_u8(static_cast<uint8_t>(Op::kGotWorkBatch));
+  w.put_u64(units.size());
+  for (const WorkUnit& unit : units) {
+    write_work_unit(w, unit);
+    ++stats_.matches;
+    obs::instant(obs::EventKind::kTaskDispatch, unit.id, client);
+  }
+  comm_.send(client, kTagResponse, std::move(w));
+}
+
 void Server::handle_get(int source, int type) {
   if (type < 0 || type >= cfg_.ntypes) {
     reply_error(source, "get: invalid work type " + std::to_string(type));
@@ -261,31 +307,60 @@ void Server::handle_get(int source, int type) {
   if (cfg_.ft && dead_clients_.count(source) > 0) {
     // A client declared dead by heartbeat turned out to be alive (e.g. a
     // delayed link). Its unit was already requeued; fence it off.
-    ser::Writer w;
+    ser::Writer w = comm_.writer();
     w.put_u8(static_cast<uint8_t>(Op::kShutdownClient));
-    comm_.send(source, kTagResponse, w);
+    comm_.send(source, kTagResponse, std::move(w));
     return;
   }
+  // Batched delivery (never under ft: in-flight tracking and heartbeat
+  // bookkeeping assume one delivered unit per client at a time).
+  const int batch = (!cfg_.ft && cfg_.get_batch > 1) ? cfg_.get_batch : 1;
   // Targeted work first (ADLB's matching order), then untargeted by
-  // priority.
+  // priority. Targeted units can only ever go to this client, so a batch
+  // takes as many as the cap allows.
   auto targeted_it = targeted_.find({source, type});
   if (targeted_it != targeted_.end() && !targeted_it->second.empty()) {
-    WorkUnit unit = std::move(targeted_it->second.front());
-    targeted_it->second.pop_front();
-    if (targeted_it->second.empty()) targeted_.erase(targeted_it);
-    deliver(source, unit);
+    auto& q = targeted_it->second;
+    if (batch == 1 || q.size() == 1) {
+      WorkUnit unit = std::move(q.front());
+      q.pop_front();
+      if (q.empty()) targeted_.erase(targeted_it);
+      deliver(source, unit);
+      return;
+    }
+    std::vector<WorkUnit> units;
+    while (!q.empty() && static_cast<int>(units.size()) < batch) {
+      units.push_back(std::move(q.front()));
+      q.pop_front();
+    }
+    if (q.empty()) targeted_.erase(targeted_it);
+    deliver_batch(source, units);
     return;
   }
   auto& queue = untargeted_[static_cast<size_t>(type)];
   if (!queue.empty()) {
     WorkUnit unit = std::move(queue.begin()->second);
     queue.erase(queue.begin());
-    deliver(source, unit);
+    // Prefetch extra untargeted units, but leave half the queue behind so
+    // other local clients and hungry peers still find work to take.
+    const size_t extra =
+        std::min(static_cast<size_t>(batch - 1), queue.size() / 2);
+    if (extra == 0) {
+      deliver(source, unit);
+      return;
+    }
+    std::vector<WorkUnit> units;
+    units.push_back(std::move(unit));
+    for (size_t i = 0; i < extra; ++i) {
+      units.push_back(std::move(queue.begin()->second));
+      queue.erase(queue.begin());
+    }
+    deliver_batch(source, units);
     return;
   }
   obs::instant(obs::EventKind::kAdlbPark, source, type);
   parked_[static_cast<size_t>(type)].push_back(source);
-  parked_clients_.insert(source);
+  parked_clients_.emplace(source, type);
 }
 
 // ---- fault tolerance ----
@@ -343,15 +418,14 @@ void Server::on_client_dead(int client) {
     requeue_or_fail(std::move(unit), "rank " + std::to_string(client) + " died");
     if (done_) return;
   }
-  // Queued work aimed specifically at the dead rank is retargeted.
+  // Queued work aimed specifically at the dead rank is retargeted. The
+  // map is ordered by (rank, type), so the dead rank's entries form a
+  // contiguous range — no full scan.
   std::vector<WorkUnit> orphaned;
-  for (auto it = targeted_.begin(); it != targeted_.end();) {
-    if (it->first.first == client) {
-      for (auto& u : it->second) orphaned.push_back(std::move(u));
-      it = targeted_.erase(it);
-    } else {
-      ++it;
-    }
+  for (auto it = targeted_.lower_bound({client, std::numeric_limits<int>::min()});
+       it != targeted_.end() && it->first.first == client;) {
+    for (auto& u : it->second) orphaned.push_back(std::move(u));
+    it = targeted_.erase(it);
   }
   for (auto& u : orphaned) {
     u.target = kAnyRank;
@@ -676,27 +750,27 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         if (!d.closed) {
           throw DataError("retrieve: datum <" + std::to_string(id) + "> is not closed");
         }
-        ser::Writer w;
+        ser::Writer w = comm_.writer();
         w.put_u8(static_cast<uint8_t>(Op::kValue));
         w.put_str(d.value);
-        comm_.send(source, kTagResponse, w);
+        comm_.send(source, kTagResponse, std::move(w));
         return;
       }
       case Op::kExists: {
         int64_t id = r.get_i64();
-        ser::Writer w;
+        ser::Writer w = comm_.writer();
         w.put_u8(static_cast<uint8_t>(Op::kValue));
         w.put_bool(store_.count(id) > 0);
-        comm_.send(source, kTagResponse, w);
+        comm_.send(source, kTagResponse, std::move(w));
         return;
       }
       case Op::kTypeOf: {
         int64_t id = r.get_i64();
         Datum& d = find_datum(id, "typeof");
-        ser::Writer w;
+        ser::Writer w = comm_.writer();
         w.put_u8(static_cast<uint8_t>(Op::kValue));
         w.put_u8(static_cast<uint8_t>(d.type));
-        comm_.send(source, kTagResponse, w);
+        comm_.send(source, kTagResponse, std::move(w));
         return;
       }
       case Op::kCloseDatum: {
@@ -717,14 +791,14 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         int64_t id = r.get_i64();
         int notify_type = r.get_i32();
         Datum& d = find_datum(id, "subscribe");
-        ser::Writer w;
+        ser::Writer w = comm_.writer();
         w.put_u8(static_cast<uint8_t>(Op::kValue));
         w.put_bool(d.closed);
         if (!d.closed) {
           obs::instant(obs::EventKind::kDataSubscribe, id, source);
           d.subscribers.emplace_back(source, notify_type);
         }
-        comm_.send(source, kTagResponse, w);
+        comm_.send(source, kTagResponse, std::move(w));
         return;
       }
       case Op::kRefIncr: {
@@ -800,7 +874,7 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         if (d.type != DataType::kContainer) {
           throw DataError("lookup: datum <" + std::to_string(id) + "> is not a container");
         }
-        ser::Writer w;
+        ser::Writer w = comm_.writer();
         auto it = d.entries.find(key);
         if (it == d.entries.end()) {
           w.put_u8(static_cast<uint8_t>(Op::kNoValue));
@@ -808,7 +882,7 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
           w.put_u8(static_cast<uint8_t>(Op::kValue));
           w.put_str(it->second);
         }
-        comm_.send(source, kTagResponse, w);
+        comm_.send(source, kTagResponse, std::move(w));
         return;
       }
       case Op::kEnumerate: {
@@ -817,14 +891,14 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         if (d.type != DataType::kContainer) {
           throw DataError("enumerate: datum <" + std::to_string(id) + "> is not a container");
         }
-        ser::Writer w;
+        ser::Writer w = comm_.writer();
         w.put_u8(static_cast<uint8_t>(Op::kValue));
         w.put_u64(d.entries.size());
         for (const auto& [k, v] : d.entries) {
           w.put_str(k);
           w.put_str(v);
         }
-        comm_.send(source, kTagResponse, w);
+        comm_.send(source, kTagResponse, std::move(w));
         return;
       }
       default:
@@ -897,9 +971,9 @@ void Server::shutdown_all() {
 void Server::release_parked() {
   for (auto& queue : parked_) {
     for (int client : queue) {
-      ser::Writer w;
+      ser::Writer w = comm_.writer();
       w.put_u8(static_cast<uint8_t>(Op::kShutdownClient));
-      comm_.send(client, kTagResponse, w);
+      comm_.send(client, kTagResponse, std::move(w));
     }
     queue.clear();
   }
@@ -913,16 +987,16 @@ void Server::release_parked() {
 // ---- replies ----
 
 void Server::reply_ack(int dest) {
-  ser::Writer w;
+  ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kAck));
-  comm_.send(dest, kTagResponse, w);
+  comm_.send(dest, kTagResponse, std::move(w));
 }
 
 void Server::reply_error(int dest, const std::string& message) {
-  ser::Writer w;
+  ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kError));
   w.put_str(message);
-  comm_.send(dest, kTagResponse, w);
+  comm_.send(dest, kTagResponse, std::move(w));
 }
 
 void Server::send_basic(int dest, const ser::Writer& w) {

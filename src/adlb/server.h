@@ -119,6 +119,9 @@ class Server {
   // unit to its home server).
   void accept_unit(WorkUnit unit);
   void deliver(int client, const WorkUnit& unit);
+  // One kGotWorkBatch reply carrying several units (fast path, never
+  // under ft).
+  void deliver_batch(int client, std::vector<WorkUnit>& units);
   void handle_get(int source, int type);
   void evaluate_hunger();
   void send_batch(int peer, int type);
@@ -152,7 +155,7 @@ class Server {
   std::vector<std::map<std::pair<int, int64_t>, WorkUnit>> untargeted_;  // [type]{(-prio,seq)}
   std::map<std::pair<int, int>, std::deque<WorkUnit>> targeted_;        // (rank, type)
   std::vector<std::deque<int>> parked_;                                  // [type] client ranks
-  std::set<int> parked_clients_;
+  std::unordered_map<int, int> parked_clients_;  // client -> type it waits for
   std::vector<bool> announced_;                 // [type] hungry notice outstanding
   std::vector<std::deque<int>> hungry_peers_;   // [type] server ranks
 

@@ -22,6 +22,10 @@ class Writer {
  public:
   Writer() = default;
 
+  // Adopts an existing (possibly recycled) buffer: contents are discarded
+  // but capacity is kept, so pooled buffers serialize without allocating.
+  explicit Writer(std::vector<std::byte> buf) : buf_(std::move(buf)) { buf_.clear(); }
+
   void put_i32(int32_t v) { put_raw(&v, sizeof v); }
   void put_u32(uint32_t v) { put_raw(&v, sizeof v); }
   void put_i64(int64_t v) { put_raw(&v, sizeof v); }

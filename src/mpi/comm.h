@@ -45,9 +45,17 @@ inline constexpr int kMaxUserTag = 1 << 24;
 
 // Reserved tag for rank-death notices. When a rank dies under a FaultPlan
 // the World posts an empty message with this tag (source = dead rank) to
-// every other mailbox; fault-aware receivers (the ADLB server) match it,
-// everyone else never requests the tag and is undisturbed.
+// every other mailbox; fault-aware receivers (the ADLB server) request it
+// explicitly, everyone else never matches it.
 inline constexpr int kTagFault = kMaxUserTag + 64;
+
+// ANY_TAG matches user tags only (tag < kMaxUserTag): a plain
+// recv(ANY_SOURCE, ANY_TAG) must never consume a reserved-tag message — a
+// death notice or a collective payload racing past it would be silently
+// swallowed. Fault-aware receivers (the ADLB server loop) use this
+// wildcard instead, which additionally matches kTagFault (but still not
+// the collective tags).
+inline constexpr int ANY_TAG_OR_FAULT = -2;
 
 // ---- Fault injection ----
 
@@ -126,6 +134,17 @@ struct Message {
 struct TrafficStats {
   uint64_t messages = 0;
   uint64_t bytes = 0;
+  // Wakeup protocol: a post() only signals the destination's condition
+  // variable when a receiver is registered as blocked on a matching
+  // envelope. `wakeups` counts posts that signalled; `wakeups_suppressed`
+  // counts posts that skipped the syscall (no waiter, or the waiter wants
+  // a different envelope).
+  uint64_t wakeups = 0;
+  uint64_t wakeups_suppressed = 0;
+  // Send-buffer freelist: pool_hits counts sends served from a recycled
+  // buffer, pool_misses counts sends that had to allocate.
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
 };
 
 class World;
@@ -141,7 +160,19 @@ class Comm {
   // message arrives or the world aborts (then it throws CommError).
   void send(int dest, int tag, std::span<const std::byte> data);
   void send(int dest, int tag, const ser::Writer& w) { send(dest, tag, w.bytes()); }
+  // Zero-copy sends: the buffer travels to the destination mailbox without
+  // an intermediate heap copy. Preferred on hot paths.
+  void send(int dest, int tag, ser::Writer&& w) { send(dest, tag, w.take()); }
+  void send(int dest, int tag, std::vector<std::byte>&& data);
   void send_str(int dest, int tag, std::string_view s) { send(dest, tag, ser::as_bytes(s)); }
+
+  // Buffer pool. writer() hands out a serialization writer backed by a
+  // recycled buffer (capacity reuse, no allocation in steady state);
+  // recycle() returns a consumed message buffer to this rank's freelist.
+  // Buffers migrate between ranks inside messages: a request buffer
+  // recycled by the server comes back to the client inside a reply.
+  ser::Writer writer() { return ser::Writer(acquire_buffer()); }
+  void recycle(std::vector<std::byte>&& buf);
 
   Message recv(int source = ANY_SOURCE, int tag = ANY_TAG);
 
@@ -174,9 +205,14 @@ class Comm {
   friend class World;
   Comm(World* world, int rank) : world_(world), rank_(rank) {}
 
+  // Pops a buffer from the freelist (or allocates). Owner-thread only —
+  // like the Comm itself — so the pool needs no lock.
+  std::vector<std::byte> acquire_buffer();
+
   World* world_;
   int rank_;
   uint64_t sent_ = 0;  // user-level sends, the FaultPlan trigger counter
+  std::vector<std::vector<std::byte>> pool_;  // recycled send/recv buffers
 };
 
 // Owns the mailboxes and the rank threads. Usage:
@@ -221,11 +257,19 @@ class World {
   friend class Comm;
   struct Mailbox;
 
+  void post(int source, int dest, int tag, std::vector<std::byte>&& data);
   void post(int source, int dest, int tag, std::span<const std::byte> data);
   Message wait_match(int self, int source, int tag);
   std::optional<Message> wait_match_for(int self, int source, int tag, double seconds);
   std::optional<Message> match_now(int self, int source, int tag);
   bool probe(int self, int source, int tag, int* out_source, int* out_tag);
+  // The one matching routine (mailbox lock held by the caller): pops the
+  // oldest message matching (source, tag) or returns nullopt. Every recv
+  // variant — blocking, timed (including its post-timeout rescan), and
+  // non-blocking — goes through here, so the paths cannot drift.
+  static std::optional<Message> take_locked(Mailbox& box, int source, int tag);
+  static bool probe_locked(const Mailbox& box, int source, int tag, int* out_source,
+                           int* out_tag);
   void abort(const std::string& why);
   bool aborted() const;
 

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "common/error.h"
 #include "common/log.h"
@@ -22,15 +23,57 @@ constexpr int kTagBcast = kMaxUserTag + 3;
 constexpr int kTagReduce = kMaxUserTag + 4;
 constexpr int kTagGather = kMaxUserTag + 5;
 
-bool matches(const Message& m, int source, int tag) {
-  return (source == ANY_SOURCE || m.source == source) && (tag == ANY_TAG || m.tag == tag);
+// Wildcard semantics: ANY_TAG covers user tags only, so a plain recv can
+// never swallow a collective payload or a death notice racing past it;
+// ANY_TAG_OR_FAULT additionally covers kTagFault for fault-aware loops.
+bool tag_matches(int pattern, int tag) {
+  if (pattern == ANY_TAG) return tag < kMaxUserTag;
+  if (pattern == ANY_TAG_OR_FAULT) return tag < kMaxUserTag || tag == kTagFault;
+  return tag == pattern;
+}
+
+bool envelope_matches(int want_source, int want_tag, int source, int tag) {
+  return (want_source == ANY_SOURCE || source == want_source) && tag_matches(want_tag, tag);
 }
 }  // namespace
 
+// Tag-indexed mailbox: one FIFO bucket per (source, tag) pair, each entry
+// stamped with a mailbox-wide arrival number. An exact-envelope recv is an
+// O(1) hash lookup + pop; a wildcard recv takes the lowest arrival number
+// among matching bucket fronts, which is exactly the message a linear scan
+// of a single arrival-ordered queue would have returned — so MPI matching
+// and per-(source, tag) ordering semantics are preserved verbatim.
+//
+// Wakeup protocol: the owning rank registers the envelope it is blocked on
+// (waiting/want_*); post() signals the condition variable only when the
+// new message matches that envelope, and uses notify_one (there is exactly
+// one possible waiter — the mailbox owner). Everything else is a
+// suppressed wakeup: no syscall, no context switch.
 struct World::Mailbox {
+  struct Item {
+    uint64_t seq;
+    Message msg;
+  };
+  struct Bucket {
+    std::deque<Item> q;
+  };
+
+  static uint64_t key(int source, int tag) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(source)) << 32) |
+           static_cast<uint32_t>(tag);
+  }
+
   std::mutex mutex;
   std::condition_variable cv;
-  std::deque<Message> queue;
+  std::unordered_map<uint64_t, Bucket> buckets;
+  uint64_t next_seq = 0;
+
+  // Waiter registration (guarded by mutex). Only the owning rank blocks on
+  // its own mailbox, so one slot suffices.
+  bool waiting = false;
+  bool notified = false;
+  int want_source = ANY_SOURCE;
+  int want_tag = ANY_TAG;
 };
 
 struct WorldState {
@@ -39,6 +82,10 @@ struct WorldState {
   std::string abort_reason;
   std::atomic<uint64_t> messages{0};
   std::atomic<uint64_t> bytes{0};
+  std::atomic<uint64_t> wakeups{0};
+  std::atomic<uint64_t> wakeups_suppressed{0};
+  std::atomic<uint64_t> pool_hits{0};
+  std::atomic<uint64_t> pool_misses{0};
 
   // ---- fault injection ----
   FaultPlan plan;
@@ -108,7 +155,10 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
   // Clear mailboxes so a World can host several independent runs.
   for (auto& box : boxes_) {
     std::lock_guard<std::mutex> lock(box->mutex);
-    box->queue.clear();
+    box->buckets.clear();
+    box->next_seq = 0;
+    box->waiting = false;
+    box->notified = false;
   }
   if (first_error) std::rethrow_exception(first_error);
   if (state_->aborted.load()) {
@@ -117,34 +167,99 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
 }
 
 TrafficStats World::stats() const {
-  return TrafficStats{state_->messages.load(), state_->bytes.load()};
+  return TrafficStats{state_->messages.load(),
+                      state_->bytes.load(),
+                      state_->wakeups.load(),
+                      state_->wakeups_suppressed.load(),
+                      state_->pool_hits.load(),
+                      state_->pool_misses.load()};
 }
 
-void World::post(int source, int dest, int tag, std::span<const std::byte> data) {
+void World::post(int source, int dest, int tag, std::vector<std::byte>&& data) {
   if (dest < 0 || dest >= size_) {
     throw CommError("send to invalid rank " + std::to_string(dest));
   }
   state_->messages.fetch_add(1, std::memory_order_relaxed);
   state_->bytes.fetch_add(data.size(), std::memory_order_relaxed);
   Mailbox& box = *boxes_[static_cast<size_t>(dest)];
+  bool wake = false;
   {
     std::lock_guard<std::mutex> lock(box.mutex);
-    box.queue.push_back(Message{source, tag, {data.begin(), data.end()}});
+    Mailbox::Bucket& b = box.buckets[Mailbox::key(source, tag)];
+    b.q.push_back(Mailbox::Item{box.next_seq++, Message{source, tag, std::move(data)}});
+    if (box.waiting && !box.notified &&
+        envelope_matches(box.want_source, box.want_tag, source, tag)) {
+      box.notified = true;
+      wake = true;
+    }
   }
-  box.cv.notify_all();
+  if (wake) {
+    state_->wakeups.fetch_add(1, std::memory_order_relaxed);
+    box.cv.notify_one();
+  } else {
+    state_->wakeups_suppressed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void World::post(int source, int dest, int tag, std::span<const std::byte> data) {
+  post(source, dest, tag, std::vector<std::byte>(data.begin(), data.end()));
+}
+
+std::optional<Message> World::take_locked(Mailbox& box, int source, int tag) {
+  if (source != ANY_SOURCE && tag >= 0) {
+    // Exact envelope: O(1) bucket lookup.
+    auto it = box.buckets.find(Mailbox::key(source, tag));
+    if (it == box.buckets.end() || it->second.q.empty()) return std::nullopt;
+    Message m = std::move(it->second.q.front().msg);
+    it->second.q.pop_front();
+    return m;
+  }
+  // Wildcard: the oldest matching message is the lowest arrival number
+  // among matching bucket fronts (bucket queues are arrival-ordered, so
+  // only fronts can be oldest).
+  Mailbox::Bucket* best = nullptr;
+  uint64_t best_seq = 0;
+  for (auto& [key, b] : box.buckets) {
+    if (b.q.empty()) continue;
+    const Mailbox::Item& front = b.q.front();
+    if (!envelope_matches(source, tag, front.msg.source, front.msg.tag)) continue;
+    if (best == nullptr || front.seq < best_seq) {
+      best = &b;
+      best_seq = front.seq;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  Message m = std::move(best->q.front().msg);
+  best->q.pop_front();
+  return m;
+}
+
+bool World::probe_locked(const Mailbox& box, int source, int tag, int* out_source,
+                         int* out_tag) {
+  if (source != ANY_SOURCE && tag >= 0) {
+    auto it = box.buckets.find(Mailbox::key(source, tag));
+    if (it == box.buckets.end() || it->second.q.empty()) return false;
+    if (out_source != nullptr) *out_source = source;
+    if (out_tag != nullptr) *out_tag = tag;
+    return true;
+  }
+  const Mailbox::Item* best = nullptr;
+  for (const auto& [key, b] : box.buckets) {
+    if (b.q.empty()) continue;
+    const Mailbox::Item& front = b.q.front();
+    if (!envelope_matches(source, tag, front.msg.source, front.msg.tag)) continue;
+    if (best == nullptr || front.seq < best->seq) best = &front;
+  }
+  if (best == nullptr) return false;
+  if (out_source != nullptr) *out_source = best->msg.source;
+  if (out_tag != nullptr) *out_tag = best->msg.tag;
+  return true;
 }
 
 std::optional<Message> World::match_now(int self, int source, int tag) {
   Mailbox& box = *boxes_[static_cast<size_t>(self)];
   std::lock_guard<std::mutex> lock(box.mutex);
-  for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-    if (matches(*it, source, tag)) {
-      Message m = std::move(*it);
-      box.queue.erase(it);
-      return m;
-    }
-  }
-  return std::nullopt;
+  return take_locked(box, source, tag);
 }
 
 Message World::wait_match(int self, int source, int tag) {
@@ -153,16 +268,12 @@ Message World::wait_match(int self, int source, int tag) {
   bool parked = false;
   std::unique_lock<std::mutex> lock(box.mutex);
   while (true) {
-    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-      if (matches(*it, source, tag)) {
-        Message m = std::move(*it);
-        box.queue.erase(it);
-        if (parked) {
-          std::lock_guard<std::mutex> fl(state_->fin_mutex);
-          --state_->parked_faulty;
-        }
-        return m;
+    if (auto m = take_locked(box, source, tag)) {
+      if (parked) {
+        std::lock_guard<std::mutex> fl(state_->fin_mutex);
+        --state_->parked_faulty;
       }
+      return std::move(*m);
     }
     if (state_->aborted.load()) {
       throw CommError("recv interrupted: world aborted (" + state_->abort_reason + ")");
@@ -183,7 +294,13 @@ Message World::wait_match(int self, int source, int tag) {
       // a timed wait avoids any lost-wakeup ordering subtleties.
       box.cv.wait_for(lock, std::chrono::milliseconds(5));
     } else {
-      box.cv.wait(lock);
+      box.waiting = true;
+      box.want_source = source;
+      box.want_tag = tag;
+      box.notified = false;
+      box.cv.wait(lock, [&box] { return box.notified; });
+      box.waiting = false;
+      box.notified = false;
     }
   }
 }
@@ -194,26 +311,21 @@ std::optional<Message> World::wait_match_for(int self, int source, int tag, doub
       std::chrono::steady_clock::now() + std::chrono::duration<double>(seconds);
   std::unique_lock<std::mutex> lock(box.mutex);
   while (true) {
-    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-      if (matches(*it, source, tag)) {
-        Message m = std::move(*it);
-        box.queue.erase(it);
-        return m;
-      }
-    }
+    if (auto m = take_locked(box, source, tag)) return m;
     if (state_->aborted.load()) {
       throw CommError("recv interrupted: world aborted (" + state_->abort_reason + ")");
     }
-    if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
-      // One last scan in case the notify raced the timeout.
-      for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-        if (matches(*it, source, tag)) {
-          Message m = std::move(*it);
-          box.queue.erase(it);
-          return m;
-        }
-      }
-      return std::nullopt;
+    box.waiting = true;
+    box.want_source = source;
+    box.want_tag = tag;
+    box.notified = false;
+    const bool signalled = box.cv.wait_until(lock, deadline, [&box] { return box.notified; });
+    box.waiting = false;
+    box.notified = false;
+    if (!signalled) {
+      // Timed out; one final pass through the same matching helper in case
+      // a post raced the deadline.
+      return take_locked(box, source, tag);
     }
   }
 }
@@ -221,14 +333,7 @@ std::optional<Message> World::wait_match_for(int self, int source, int tag, doub
 bool World::probe(int self, int source, int tag, int* out_source, int* out_tag) {
   Mailbox& box = *boxes_[static_cast<size_t>(self)];
   std::lock_guard<std::mutex> lock(box.mutex);
-  for (const auto& m : box.queue) {
-    if (matches(m, source, tag)) {
-      if (out_source != nullptr) *out_source = m.source;
-      if (out_tag != nullptr) *out_tag = m.tag;
-      return true;
-    }
-  }
-  return false;
+  return probe_locked(box, source, tag, out_source, out_tag);
 }
 
 void World::abort(const std::string& why) {
@@ -238,7 +343,11 @@ void World::abort(const std::string& why) {
   }
   state_->aborted.store(true);
   for (auto& box : boxes_) {
-    std::lock_guard<std::mutex> lock(box->mutex);
+    {
+      std::lock_guard<std::mutex> lock(box->mutex);
+      // Release waiters past their predicate so they observe the abort.
+      box->notified = true;
+    }
     box->cv.notify_all();
   }
 }
@@ -326,7 +435,9 @@ void World::finish_rank() {
     ++state_->finished;
     state_->fin_cv.notify_all();
   }
-  // Wake doomed pollers blocked in wait_match so they observe the drain.
+  // Wake doomed pollers blocked in wait_match so they observe the drain
+  // (they use a timed wait with no predicate, so a bare notify suffices
+  // and normal predicate-guarded waiters are not disturbed).
   for (auto& box : boxes_) box->cv.notify_all();
 }
 
@@ -368,6 +479,35 @@ void Comm::send(int dest, int tag, std::span<const std::byte> data) {
   obs::instant(obs::EventKind::kMpiSend, dest, static_cast<int64_t>(data.size()));
 }
 
+void Comm::send(int dest, int tag, std::vector<std::byte>&& data) {
+  if (tag < 0 || tag >= kMaxUserTag) {
+    throw CommError("user tag out of range: " + std::to_string(tag));
+  }
+  ++sent_;
+  const size_t n = data.size();
+  if (!world_->apply_fault(rank_, sent_)) return;  // dropped message
+  world_->post(rank_, dest, tag, std::move(data));
+  obs::instant(obs::EventKind::kMpiSend, dest, static_cast<int64_t>(n));
+}
+
+std::vector<std::byte> Comm::acquire_buffer() {
+  if (!pool_.empty()) {
+    std::vector<std::byte> buf = std::move(pool_.back());
+    pool_.pop_back();
+    world_->state_->pool_hits.fetch_add(1, std::memory_order_relaxed);
+    return buf;
+  }
+  world_->state_->pool_misses.fetch_add(1, std::memory_order_relaxed);
+  return {};
+}
+
+void Comm::recycle(std::vector<std::byte>&& buf) {
+  // Small bounded freelist; beyond the cap buffers are just freed. Owned
+  // by this rank's thread, so no lock.
+  constexpr size_t kMaxPooled = 64;
+  if (pool_.size() < kMaxPooled) pool_.push_back(std::move(buf));
+}
+
 Message Comm::recv(int source, int tag) {
   Message m = world_->wait_match(rank_, source, tag);
   obs::instant(obs::EventKind::kMpiRecv, m.source, static_cast<int64_t>(m.data.size()));
@@ -391,42 +531,69 @@ bool Comm::iprobe(int source, int tag, int* out_source, int* out_tag) {
 }
 
 void Comm::barrier() {
-  // Flat fan-in to rank 0, then fan-out. With the thread-backed transport
-  // the constant factors dwarf any tree-topology gain at our rank counts.
+  // Binomial fan-in to rank 0, then binomial fan-out: O(log n) rounds on
+  // the critical path instead of O(n) sequential messages through rank 0.
   const std::vector<std::byte> empty;
-  if (rank_ == 0) {
-    for (int r = 1; r < size(); ++r) world_->wait_match(0, ANY_SOURCE, kTagBarrierUp);
-    for (int r = 1; r < size(); ++r) world_->post(0, r, kTagBarrierDown, empty);
-  } else {
-    world_->post(rank_, 0, kTagBarrierUp, empty);
-    world_->wait_match(rank_, 0, kTagBarrierDown);
+  int mask = 1;
+  while (mask < size()) {
+    if (rank_ & mask) break;
+    if (rank_ + mask < size()) world_->wait_match(rank_, rank_ + mask, kTagBarrierUp);
+    mask <<= 1;
+  }
+  if (rank_ != 0) {
+    // mask is the lowest set bit of rank_: the binomial-tree parent link.
+    world_->post(rank_, rank_ - mask, kTagBarrierUp, empty);
+    world_->wait_match(rank_, rank_ - mask, kTagBarrierDown);
+  }
+  for (mask >>= 1; mask > 0; mask >>= 1) {
+    if (rank_ + mask < size()) world_->post(rank_, rank_ + mask, kTagBarrierDown, empty);
   }
 }
 
 void Comm::broadcast(std::vector<std::byte>& data, int root) {
-  if (rank_ == root) {
-    for (int r = 0; r < size(); ++r) {
-      if (r != root) world_->post(rank_, r, kTagBcast, data);
+  // Binomial tree rooted at `root` (ranks taken relative to the root, as
+  // in MPICH): each subtree head receives once, then forwards to
+  // log-many children.
+  const int n = size();
+  const int rel = (rank_ - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (rel & mask) {
+      const int parent = (rank_ - mask + n) % n;
+      data = world_->wait_match(rank_, parent, kTagBcast).data;
+      break;
     }
-  } else {
-    data = world_->wait_match(rank_, root, kTagBcast).data;
+    mask <<= 1;
+  }
+  for (mask >>= 1; mask > 0; mask >>= 1) {
+    if (rel + mask < n) {
+      const int child = (rank_ + mask) % n;
+      world_->post(rank_, child, kTagBcast, data);
+    }
   }
 }
 
 int64_t Comm::reduce_sum(int64_t value, int root) {
-  if (rank_ == root) {
-    int64_t total = value;
-    for (int r = 0; r < size(); ++r) {
-      if (r == root) continue;
-      Message m = world_->wait_match(rank_, ANY_SOURCE, kTagReduce);
+  // Binomial fan-in mirroring broadcast's tree. Integer addition is
+  // exactly associative, so the tree order matches the old flat sum.
+  const int n = size();
+  const int rel = (rank_ - root + n) % n;
+  int64_t total = value;
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if (rel & mask) {
+      const int parent = (rank_ - mask + n) % n;
+      ser::Writer w;
+      w.put_i64(total);
+      world_->post(rank_, parent, kTagReduce, w.bytes());
+      return 0;
+    }
+    if (rel + mask < n) {
+      const int child = (rank_ + mask) % n;
+      Message m = world_->wait_match(rank_, child, kTagReduce);
       total += m.reader().get_i64();
     }
-    return total;
   }
-  ser::Writer w;
-  w.put_i64(value);
-  world_->post(rank_, root, kTagReduce, w.bytes());
-  return 0;
+  return total;  // only the root reaches here
 }
 
 int64_t Comm::allreduce_sum(int64_t value) {
@@ -440,7 +607,8 @@ int64_t Comm::allreduce_sum(int64_t value) {
 
 double Comm::allreduce_sum(double value) {
   // Route through gather so every rank sums in the same order and the
-  // result is bit-identical everywhere.
+  // result is bit-identical everywhere (a tree reduction would change the
+  // floating-point association).
   ser::Writer w;
   w.put_f64(value);
   auto parts = gather(w.bytes(), 0);
@@ -457,6 +625,8 @@ double Comm::allreduce_sum(double value) {
 }
 
 std::vector<std::vector<std::byte>> Comm::gather(std::span<const std::byte> data, int root) {
+  // Gather stays flat: the root needs every rank's payload anyway, so a
+  // tree only adds store-and-forward copies of the concatenated data.
   std::vector<std::vector<std::byte>> out;
   if (rank_ == root) {
     out.resize(static_cast<size_t>(size()));

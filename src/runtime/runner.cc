@@ -209,6 +209,10 @@ void publish_metrics(const RunResult& r) {
   m.counter("worker.interpreter_resets").set(w.interpreter_resets);
   m.counter("mpi.messages").set(r.traffic.messages);
   m.counter("mpi.bytes").set(r.traffic.bytes);
+  m.counter("mpi.wakeups").set(r.traffic.wakeups);
+  m.counter("mpi.wakeups_suppressed").set(r.traffic.wakeups_suppressed);
+  m.counter("mpi.pool_hits").set(r.traffic.pool_hits);
+  m.counter("mpi.pool_misses").set(r.traffic.pool_misses);
   m.counter("run.attempts").set(static_cast<uint64_t>(r.ft.attempts));
   m.counter("run.dead_ranks").set(r.ft.dead_ranks.size());
   m.counter("run.unfired_rules").set(r.unfired_rules);

@@ -100,8 +100,10 @@ TEST(Adlb, WorkDistributedToOtherClients) {
 }
 
 TEST(Adlb, CrossServerRebalancing) {
-  // Producer is on server A; consumers assigned to server B must still
-  // receive the work through the hungry/rebalance protocol.
+  // Producer is on server A; the only consumers are homed on server B, so
+  // every unit must travel through the hungry/rebalance protocol. (Even
+  // ranks park instead of consuming: letting them race for the work made
+  // the cross-server delivery count timing-dependent.)
   std::mutex mu;
   std::vector<std::string> got;
   std::atomic<int> consumer_hits{0};
@@ -114,16 +116,21 @@ TEST(Adlb, CrossServerRebalancing) {
       EXPECT_FALSE(c.get(kTypeControl).has_value());
       return;
     }
+    if (c.rank() % 2 == 0) {
+      // Even ranks share server A with the producer; park them too.
+      EXPECT_FALSE(c.get(kTypeControl).has_value());
+      return;
+    }
     while (auto unit = c.get(kTypeWork)) {
       std::lock_guard<std::mutex> lock(mu);
       got.push_back(unit->payload);
-      if (c.rank() % 2 == 1) consumer_hits.fetch_add(1);  // clients of server B
+      consumer_hits.fetch_add(1);  // clients of server B
     }
   });
   EXPECT_EQ(got.size(), 20u);
-  // Odd ranks are homed on the second server; they must have gotten some
-  // of the work (it all originated on the first server).
-  EXPECT_GT(consumer_hits.load(), 0);
+  // Odd ranks are homed on the second server; all work originated on the
+  // first, so every delivery crossed servers.
+  EXPECT_EQ(consumer_hits.load(), 20);
 }
 
 TEST(Adlb, TargetedWork) {
