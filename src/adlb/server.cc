@@ -979,8 +979,18 @@ void Server::release_parked() {
   }
   parked_clients_.clear();
   for (const auto& [id, datum] : store_) {
-    (void)id;
     if (!datum.closed) ++stats_.leftover_data;
+    // An unclosed datum with live subscribers is the data-store view of a
+    // deadlock: some rule subscribed and the close never came.
+    if (!datum.closed && !datum.subscribers.empty()) {
+      ++stats_.stuck_datums;
+      obs::instant(obs::EventKind::kDatumStuck, id,
+                   static_cast<int64_t>(datum.subscribers.size()));
+      if (stats_.stuck_datums <= 8) {
+        log::warn("adlb: datum <", id, "> never closed; ", datum.subscribers.size(),
+                  " subscriber(s) still waiting");
+      }
+    }
   }
 }
 

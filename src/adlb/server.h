@@ -51,6 +51,7 @@ struct ServerStats {
   uint64_t data_ops = 0;
   uint64_t tokens = 0;           // termination tokens handled
   uint64_t leftover_data = 0;    // unclosed data at shutdown (diagnostic)
+  uint64_t stuck_datums = 0;     // unclosed data somebody subscribed to (deadlock evidence)
 
   // ---- fault tolerance ----
   uint64_t requeues = 0;          // units re-dispatched after a failure

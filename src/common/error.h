@@ -55,4 +55,13 @@ class RestartError : public Error {
   explicit RestartError(const std::string& what) : Error(what) {}
 };
 
+// The program terminated with dataflow rules still waiting on unset
+// futures (a deadlock). The message carries the engine's stuck-future
+// report: each pending rule with the datum ids — and, when the compiler's
+// symbol map knows them, source names and lines — it is waiting on.
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
 }  // namespace ilps

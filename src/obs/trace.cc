@@ -71,6 +71,8 @@ const char* kind_name(EventKind k) {
     case EventKind::kServerHandle: return "server.handle";
     case EventKind::kRuleCreated: return "rule.created";
     case EventKind::kRuleFired: return "rule.fired";
+    case EventKind::kRuleStuck: return "rule.stuck";
+    case EventKind::kDatumStuck: return "data.stuck";
   }
   return "unknown";
 }
@@ -99,7 +101,9 @@ const char* kind_category(EventKind k) {
     case EventKind::kTermToken:
     case EventKind::kShutdown: return "fault";
     case EventKind::kRuleCreated:
-    case EventKind::kRuleFired: return "engine";
+    case EventKind::kRuleFired:
+    case EventKind::kRuleStuck: return "engine";
+    case EventKind::kDatumStuck: return "data";
   }
   return "misc";
 }

@@ -62,6 +62,8 @@ enum class EventKind : uint16_t {
   // rule engine
   kRuleCreated,  // a=rule id  b=inputs
   kRuleFired,    // a=task type
+  kRuleStuck,    // pending at termination (deadlock)  a=rule id b=waiting inputs
+  kDatumStuck,   // unclosed datum with subscribers at shutdown  a=datum id b=subscribers
 };
 
 enum class Phase : uint8_t { kBegin = 0, kEnd = 1, kInstant = 2 };

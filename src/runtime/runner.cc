@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <mutex>
+#include <sstream>
 
 #include "adlb/client.h"
 #include "ckpt/ckpt.h"
@@ -94,6 +95,7 @@ RunResult run_program_impl(const Config& cfg, const std::string& program, mpi::W
       result.server_stats.data_ops += s.data_ops;
       result.server_stats.tokens += s.tokens;
       result.server_stats.leftover_data += s.leftover_data;
+      result.server_stats.stuck_datums += s.stuck_datums;
       result.server_stats.requeues += s.requeues;
       result.server_stats.task_failures += s.task_failures;
       result.server_stats.heartbeat_deaths += s.heartbeat_deaths;
@@ -122,8 +124,17 @@ RunResult run_program_impl(const Config& cfg, const std::string& program, mpi::W
         to_run = program;
       }
       size_t unfired = ctx.run_engine(to_run);
+      std::vector<turbine::StuckRule> stuck;
+      if (unfired > 0) {
+        stuck = engine.stuck_report();
+        for (const auto& rule : stuck) {
+          obs::instant(obs::EventKind::kRuleStuck, rule.id,
+                       static_cast<int64_t>(rule.waiting.size()));
+        }
+      }
       std::lock_guard<std::mutex> lock(mu);
       result.unfired_rules += unfired;
+      for (auto& rule : stuck) result.stuck.push_back(std::move(rule));
       const turbine::EngineStats& es = engine.stats();
       result.engine_stats.rules_created += es.rules_created;
       result.engine_stats.rules_fired += es.rules_fired;
@@ -190,6 +201,7 @@ void publish_metrics(const RunResult& r) {
   m.counter("adlb.data_ops").set(s.data_ops);
   m.counter("adlb.tokens").set(s.tokens);
   m.counter("adlb.leftover_data").set(s.leftover_data);
+  m.counter("adlb.stuck_datums").set(s.stuck_datums);
   m.counter("adlb.requeues").set(s.requeues);
   m.counter("adlb.task_failures").set(s.task_failures);
   m.counter("adlb.heartbeat_deaths").set(s.heartbeat_deaths);
@@ -201,6 +213,7 @@ void publish_metrics(const RunResult& r) {
   m.counter("engine.rules_fired_immediately").set(e.rules_fired_immediately);
   m.counter("engine.notifications").set(e.notifications);
   m.counter("engine.subscribes").set(e.subscribes);
+  m.counter("engine.stuck_rules").set(r.stuck.size());
   const turbine::WorkerStats& w = r.worker_stats;
   m.counter("worker.tasks").set(w.tasks);
   m.counter("worker.python_evals").set(w.python_evals);
@@ -228,6 +241,42 @@ void finish_observability(const Config& cfg, const RunResult& result) {
   }
 }
 
+// Formats the merged stuck-future report for DeadlockError::what().
+std::string stuck_message(const RunResult& r) {
+  std::ostringstream out;
+  out << "deadlock: program terminated with " << r.unfired_rules
+      << " rule(s) still waiting on unset futures";
+  constexpr size_t kMaxShown = 8;
+  size_t shown = 0;
+  for (const auto& rule : r.stuck) {
+    if (shown++ == kMaxShown) {
+      out << "\n  ... and " << (r.stuck.size() - kMaxShown) << " more rule(s)";
+      break;
+    }
+    out << "\n  rule <" << rule.id << "> waiting on";
+    if (rule.waiting.empty()) out << " unknown inputs";
+    for (const auto& input : rule.waiting) {
+      out << " ";
+      if (!input.name.empty()) {
+        out << "\"" << input.name << "\" (line " << input.line << ", datum <" << input.id
+            << ">)";
+      } else {
+        out << "datum <" << input.id << ">";
+      }
+    }
+  }
+  out << "\n  hint: `ilps --lint` reports statically provable deadlocks";
+  return out.str();
+}
+
+// The quiescence check's teeth: a deadlocked program fails with a typed,
+// readable report instead of returning a silently useless result.
+void throw_if_stuck(const Config& cfg, const RunResult& result) {
+  if (cfg.deadlock_error && result.unfired_rules > 0) {
+    throw DeadlockError(stuck_message(result));
+  }
+}
+
 }  // namespace
 
 std::vector<std::string> role_names(const Config& cfg) {
@@ -243,6 +292,7 @@ RunResult run_program(const Config& cfg, const std::string& program) {
   mpi::World world(cfg.total_ranks());
   RunResult result = run_program_impl(cfg, program, world, /*ft=*/false, /*restore=*/nullptr);
   finish_observability(cfg, result);
+  throw_if_stuck(cfg, result);
   return result;
 }
 
@@ -276,6 +326,7 @@ RunResult run_with_faults(const Config& cfg, const std::string& program) {
         result.trace = std::move(prior_trace);
       }
       finish_observability(cfg, result);
+      throw_if_stuck(cfg, result);
       return result;
     } catch (const RestartError& e) {
       for (int r : world.dead_ranks()) all_dead.push_back(r);

@@ -30,6 +30,11 @@ struct Config {
   // If set, output lines stream here as well as into the result.
   bool echo_output = false;
 
+  // Throw DeadlockError (with the engines' stuck-future report) when the
+  // program terminates with rules still pending. Off lets callers inspect
+  // RunResult::unfired_rules / RunResult::stuck themselves.
+  bool deadlock_error = true;
+
   // ADLB policy knobs (see adlb::Config; ablated in bench_ablation).
   bool steal_half = true;
   bool priority_notifications = true;
@@ -69,6 +74,10 @@ struct RunResult {
   std::vector<std::string> lines;  // every output line, arrival order
   std::vector<double> line_times;  // arrival time of each line (s since start)
   size_t unfired_rules = 0;        // > 0 means the program deadlocked
+  // Stuck-future report, merged across engines: each pending rule with
+  // the unset datums (and their source names, via the compiler's symbol
+  // map) it was waiting on. Populated whenever unfired_rules > 0.
+  std::vector<turbine::StuckRule> stuck;
   turbine::EngineStats engine_stats;
   turbine::WorkerStats worker_stats;
   adlb::ServerStats server_stats;

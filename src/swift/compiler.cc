@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/analysis.h"
 #include "common/strings.h"
 #include "tcl/value.h"
 
@@ -115,6 +116,11 @@ proc swift:array_size {out arr} {
 }
 proc swift:array_size_body {out arr} {
   turbine::store_integer $out [turbine::container_size $arr]
+}
+proc swift:alloc {type name line} {
+  set id [turbine::allocate $type]
+  turbine::declare_name $id $name $line
+  return $id
 }
 # ---- end Swift runtime support ----
 )TCL";
@@ -518,12 +524,15 @@ class Compiler {
           declare(s.line, s.name, s.type, /*is_array=*/true, s.key_type);
           // The container starts with one write reference — the declaring
           // scope's hold, released when the scope's emission ends.
-          body.code << "  set " << s.name << " [turbine::allocate container]\n";
+          // swift:alloc registers the datum in the engine's symbol map so
+          // stuck-future reports can name it.
+          body.code << "  set " << s.name << " [swift:alloc container " << s.name << " "
+                    << s.line << "]\n";
           return;
         }
         declare(s.line, s.name, s.type);
-        body.code << "  set " << s.name << " [turbine::allocate " << turbine_type(s.type)
-                  << "]\n";
+        body.code << "  set " << s.name << " [swift:alloc " << turbine_type(s.type) << " "
+                  << s.name << " " << s.line << "]\n";
         if (s.value) compile_into(s.name, s.type, *s.value, body);
         return;
       }
@@ -887,6 +896,12 @@ class Compiler {
 
 std::string compile(const std::string& source) {
   Program prog = parse_swift(source);
+  // swift-verify: reject guaranteed deadlocks / write-once violations
+  // before generating any code (warnings are reported by `ilps --lint`).
+  analysis::Report report = analysis::analyze(prog);
+  if (report.has_errors()) {
+    throw SwiftError("swift-verify: " + report.error_summary());
+  }
   Compiler compiler(std::move(prog));
   return compiler.run();
 }

@@ -77,7 +77,9 @@ std::vector<Token> lex(std::string_view src) {
     }
     if (src.compare(i, 2, "/*") == 0) {
       size_t end = src.find("*/", i + 2);
-      if (end == std::string_view::npos) throw SwiftError("unterminated /* comment");
+      if (end == std::string_view::npos) {
+        throw SwiftError("unterminated /* comment (line " + std::to_string(line) + ")");
+      }
       for (size_t k = i; k < end; ++k) {
         if (src[k] == '\n') ++line;
       }

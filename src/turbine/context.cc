@@ -121,6 +121,16 @@ void Context::register_commands() {
     ctx->client_.create(id, want_type(a[1]));
     return std::to_string(id);
   });
+  // Symbol map for stuck-future reports: the compiled program registers
+  // each named variable's datum id with its source name and line. A no-op
+  // on ranks without an engine (workers evaluate the same prelude).
+  in.register_command("turbine::declare_name", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 3, 3, "id name line");
+    if (ctx->engine_ != nullptr) {
+      ctx->engine_->name_datum(want_id(a[1]), a[2], static_cast<int>(want_id(a[3])));
+    }
+    return std::string();
+  });
 
   // -- store --
   in.register_command("turbine::store_integer", [ctx](tcl::Interp&, Args& a) {

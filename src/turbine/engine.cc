@@ -1,5 +1,7 @@
 #include "turbine/engine.h"
 
+#include <algorithm>
+
 #include "obs/trace.h"
 
 namespace ilps::turbine {
@@ -59,6 +61,52 @@ void Engine::notify_closed(int64_t id) {
       release(std::move(rule));
     }
   }
+}
+
+void Engine::name_datum(int64_t id, std::string name, int line) {
+  StuckInput sym;
+  sym.id = id;
+  sym.name = std::move(name);
+  sym.line = line;
+  names_[id] = std::move(sym);
+}
+
+std::vector<StuckRule> Engine::stuck_report() const {
+  // Invert watchers_ (datum -> rule ids) to find what each pending rule
+  // is still waiting on.
+  std::unordered_map<int64_t, std::vector<int64_t>> waits;  // rule -> datums
+  for (const auto& [datum, rule_ids] : watchers_) {
+    for (int64_t rule_id : rule_ids) waits[rule_id].push_back(datum);
+  }
+  std::vector<StuckRule> report;
+  report.reserve(rules_.size());
+  for (const auto& [rule_id, rule] : rules_) {
+    StuckRule stuck;
+    stuck.id = rule_id;
+    stuck.action = rule.action;
+    auto wit = waits.find(rule_id);
+    if (wit != waits.end()) {
+      for (int64_t datum : wit->second) {
+        auto nit = names_.find(datum);
+        if (nit != names_.end()) {
+          stuck.waiting.push_back(nit->second);
+        } else {
+          StuckInput anon;
+          anon.id = datum;
+          stuck.waiting.push_back(std::move(anon));
+        }
+      }
+    }
+    report.push_back(std::move(stuck));
+  }
+  // Deterministic order for tests and logs.
+  std::sort(report.begin(), report.end(),
+            [](const StuckRule& a, const StuckRule& b) { return a.id < b.id; });
+  for (auto& stuck : report) {
+    std::sort(stuck.waiting.begin(), stuck.waiting.end(),
+              [](const StuckInput& a, const StuckInput& b) { return a.id < b.id; });
+  }
+  return report;
 }
 
 void Engine::release(Rule&& rule) {

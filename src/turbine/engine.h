@@ -34,6 +34,22 @@ struct EngineStats {
   uint64_t subscribes = 0;
 };
 
+// One unset datum a stuck rule is waiting on. `name`/`line` come from the
+// compiler-emitted symbol map (swift:alloc -> turbine::declare_name) and
+// are empty/0 for temporaries the compiler did not register.
+struct StuckInput {
+  int64_t id = 0;
+  std::string name;
+  int line = 0;
+};
+
+// A rule still pending when termination fired: the deadlock diagnosis.
+struct StuckRule {
+  int64_t id = 0;
+  std::string action;  // the MiniTcl action that never ran
+  std::vector<StuckInput> waiting;
+};
+
 class Engine {
  public:
   explicit Engine(adlb::Client& client) : client_(client) {}
@@ -57,6 +73,15 @@ class Engine {
   // deadlocked on unset data).
   size_t pending_rules() const { return rules_.size(); }
 
+  // Symbol map: remembers that datum `id` backs source variable `name`
+  // declared at `line` (registered by the compiled program's swift:alloc).
+  void name_datum(int64_t id, std::string name, int line);
+
+  // The quiescence diagnosis: every pending rule with the unset datum ids
+  // it is waiting on, resolved through the symbol map where possible.
+  // Meaningful once the run has terminated with pending_rules() > 0.
+  std::vector<StuckRule> stuck_report() const;
+
   const EngineStats& stats() const { return stats_; }
 
  private:
@@ -75,6 +100,7 @@ class Engine {
   std::unordered_map<int64_t, Rule> rules_;
   std::unordered_map<int64_t, std::vector<int64_t>> watchers_;  // datum -> rule ids
   std::unordered_set<int64_t> closed_;  // ids known closed (subscribe said so or notified)
+  std::unordered_map<int64_t, StuckInput> names_;  // datum -> source symbol
   std::deque<std::string> local_ready_;
   EngineStats stats_;
 };

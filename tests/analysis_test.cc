@@ -1,0 +1,344 @@
+// swift-verify: one positive and one negative case per diagnostic, the
+// soundness corner cases the analyzer must NOT reject, and the end-to-end
+// runtime complement (DeadlockError naming the unfilled variable).
+#include "analysis/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "runtime/runner.h"
+#include "swift/compiler.h"
+
+namespace ilps::analysis {
+namespace {
+
+Report lint(const std::string& source) { return analyze(swift::parse_swift(source)); }
+
+bool has_kind(const Report& r, DiagKind kind, Severity sev, const std::string& var = "") {
+  for (const auto& d : r.diagnostics) {
+    if (d.kind == kind && d.severity == sev && (var.empty() || d.var == var)) return true;
+  }
+  return false;
+}
+
+// ---- unassigned read ----
+
+TEST(Analysis, UnassignedReadIsError) {
+  Report r = lint(R"(
+    int x;
+    int y = x + 1;
+    printf("%d", y);
+  )");
+  EXPECT_TRUE(r.has_errors());
+  EXPECT_TRUE(has_kind(r, DiagKind::kUnassignedRead, Severity::kError, "x"));
+  // The diagnostic cites the variable and its source line.
+  for (const auto& d : r.diagnostics) {
+    if (d.kind == DiagKind::kUnassignedRead && d.var == "x") {
+      EXPECT_EQ(d.line, 3);
+      EXPECT_NE(d.message.find("\"x\""), std::string::npos);
+      EXPECT_NE(d.message.find("line 3"), std::string::npos);
+    }
+  }
+}
+
+TEST(Analysis, AssignedReadIsClean) {
+  Report r = lint(R"(
+    int x = 4;
+    int y = x + 1;
+    printf("%d", y);
+  )");
+  EXPECT_FALSE(r.has_errors());
+}
+
+TEST(Analysis, BranchAssignedReadIsNotAnError) {
+  // x gets a value on only one path: the static pass must accept (the
+  // runtime stuck report owns this case).
+  Report r = lint(R"(
+    int c = toint("0");
+    int x;
+    if (c == 1) {
+      x = 1;
+    }
+    int y = x + 1;
+    printf("%d", y);
+  )");
+  EXPECT_FALSE(r.has_errors());
+}
+
+TEST(Analysis, NeverWrittenArrayIsOnlyAWarning) {
+  // Container closure goes through write refcounts; an empty array is
+  // legal (size 0), so this must not be a hard error.
+  Report r = lint(R"(
+    int A[];
+    int n = size(A);
+    printf("%d", n);
+  )");
+  EXPECT_FALSE(r.has_errors());
+  EXPECT_TRUE(has_kind(r, DiagKind::kUnassignedRead, Severity::kWarning, "A"));
+}
+
+// ---- double write ----
+
+TEST(Analysis, DoubleWriteIsError) {
+  Report r = lint(R"(
+    int x;
+    x = 1;
+    x = 2;
+    printf("%d", x);
+  )");
+  EXPECT_TRUE(has_kind(r, DiagKind::kDoubleWrite, Severity::kError, "x"));
+}
+
+TEST(Analysis, BothBranchesOverPriorWriteIsError) {
+  Report r = lint(R"(
+    int c = 1;
+    int x = 5;
+    if (c == 1) {
+      x = 1;
+    } else {
+      x = 2;
+    }
+    printf("%d", x);
+  )");
+  EXPECT_TRUE(has_kind(r, DiagKind::kDoubleWrite, Severity::kError, "x"));
+}
+
+TEST(Analysis, ExclusiveBranchWritesAreClean) {
+  Report r = lint(R"(
+    int c = 1;
+    int x;
+    if (c == 1) {
+      x = 1;
+    } else {
+      x = 2;
+    }
+    printf("%d", x);
+  )");
+  EXPECT_FALSE(r.has_errors());
+}
+
+TEST(Analysis, ConditionalSecondWriteIsWarning) {
+  Report r = lint(R"(
+    int c = 1;
+    int x = 1;
+    if (c == 2) {
+      x = 2;
+    }
+    printf("%d", x);
+  )");
+  EXPECT_FALSE(r.has_errors());
+  EXPECT_TRUE(has_kind(r, DiagKind::kMaybeDoubleWrite, Severity::kWarning, "x"));
+}
+
+TEST(Analysis, LoopWriteToOuterScalarIsWarning) {
+  Report r = lint(R"(
+    int s;
+    foreach i in [0:3] {
+      s = i;
+    }
+    printf("%d", s);
+  )");
+  EXPECT_FALSE(r.has_errors());
+  EXPECT_TRUE(has_kind(r, DiagKind::kMaybeDoubleWrite, Severity::kWarning, "s"));
+}
+
+// ---- wait cycles ----
+
+TEST(Analysis, WaitCycleIsError) {
+  Report r = lint(R"(
+    int x;
+    int y = x + 1;
+    x = y;
+  )");
+  EXPECT_TRUE(has_kind(r, DiagKind::kWaitCycle, Severity::kError));
+}
+
+TEST(Analysis, SelfWaitIsError) {
+  Report r = lint(R"(
+    int x;
+    x = x + 1;
+  )");
+  EXPECT_TRUE(has_kind(r, DiagKind::kWaitCycle, Severity::kError, "x"));
+}
+
+TEST(Analysis, StraightChainHasNoCycle) {
+  Report r = lint(R"(
+    int a = 1;
+    int b = a + 1;
+    int c = b + a;
+    printf("%d", c);
+  )");
+  EXPECT_FALSE(r.has_errors());
+}
+
+TEST(Analysis, CompositeCallUsesTrueDepsNotAllArgs) {
+  // konst's output never depends on its input, so y = konst(x); x = y is
+  // NOT a cycle — the runtime completes it (r=42 fires unconditionally).
+  // An all-args approximation would falsely reject this program.
+  Report r = lint(R"(
+    (int r) konst (int a) {
+      r = 42;
+    }
+    int x;
+    int y = konst(x);
+    x = y;
+  )");
+  EXPECT_FALSE(r.has_errors());
+}
+
+TEST(Analysis, CompositeCarriedCycleIsError) {
+  // ident's output truly depends on its input: the cycle is real.
+  Report r = lint(R"(
+    (int r) ident (int a) {
+      r = a;
+    }
+    int x;
+    int y = ident(x);
+    x = y;
+  )");
+  EXPECT_TRUE(has_kind(r, DiagKind::kWaitCycle, Severity::kError));
+}
+
+// ---- unused values ----
+
+TEST(Analysis, UnreadVariableIsWarning) {
+  Report r = lint("int x = 5;");
+  EXPECT_FALSE(r.has_errors());
+  EXPECT_TRUE(has_kind(r, DiagKind::kUnusedValue, Severity::kWarning, "x"));
+}
+
+TEST(Analysis, DiscardedLeafOutputsAreWarned) {
+  Report r = lint(R"(
+    (int o) f (int i) [ "set <<o>> <<i>>" ];
+    f(1);
+  )");
+  EXPECT_FALSE(r.has_errors());
+  EXPECT_TRUE(has_kind(r, DiagKind::kUnusedValue, Severity::kWarning, "f"));
+}
+
+TEST(Analysis, ConsumedValuesAreClean) {
+  Report r = lint(R"(
+    (int o) f (int i) [ "set <<o>> <<i>>" ];
+    int y = f(1);
+    printf("%d", y);
+  )");
+  EXPECT_FALSE(r.has_errors());
+  EXPECT_FALSE(has_kind(r, DiagKind::kUnusedValue, Severity::kWarning));
+}
+
+// ---- interprocedural ----
+
+TEST(Analysis, UnassignedOutputIsError) {
+  Report r = lint(R"(
+    (int r) bad (int a) {
+      int t = a;
+      printf("%d", t);
+    }
+    int y = bad(1);
+    printf("%d", y);
+  )");
+  EXPECT_TRUE(has_kind(r, DiagKind::kUnassignedRead, Severity::kError, "r"));
+}
+
+TEST(Analysis, MultiOutputCompositeTracksEachOutput) {
+  Report r = lint(R"(
+    (int a, int b) pair (int x) {
+      a = x;
+      b = x + 1;
+    }
+    int p;
+    int q;
+    p, q = pair(3);
+    printf("%d %d", p, q);
+  )");
+  EXPECT_FALSE(r.has_errors());
+}
+
+TEST(Analysis, RecursionDoesNotFalselyError) {
+  // The self-call gets an optimistic summary; no unassigned-read,
+  // double-write, or cycle may be invented for it.
+  Report r = lint(R"(
+    (int r) f (int n) {
+      if (n == 0) {
+        r = 0;
+      } else {
+        r = f(n - 1);
+      }
+    }
+    int y = f(3);
+    printf("%d", y);
+  )");
+  EXPECT_FALSE(r.has_errors());
+}
+
+// ---- repo programs must pass unchanged ----
+
+TEST(Analysis, ShippedScriptsPass) {
+  for (const char* rel : {"/scripts/fig1.swift", "/scripts/interlang.swift",
+                          "/scripts/arrays.swift"}) {
+    std::ifstream in(std::string(ILPS_SOURCE_DIR) + rel);
+    ASSERT_TRUE(in.good()) << rel;
+    std::ostringstream src;
+    src << in.rdbuf();
+    Report r = lint(src.str());
+    EXPECT_FALSE(r.has_errors()) << rel << ":\n" << r.to_string();
+  }
+}
+
+// ---- malformed programs stay the compiler's business ----
+
+TEST(Analysis, MalformedProgramsDoNotCrashTheAnalyzer) {
+  // Undefined names, bad array use, arity mismatches: analyze() skips
+  // them (possibly with its own diagnostics) and never throws.
+  for (const char* src : {
+           "x = 1;",
+           "int a[]; a = 1;",
+           "int s; s[0] = 1;",
+           "printf(\"%d\", nothing);",
+           "(int o) f (int i) [ \"t\" ]; int y = f(1, 2); printf(\"%d\", y);",
+           "(int a, int b) two (int x) [ \"t\" ]; int a; a = two(1);",
+       }) {
+    EXPECT_NO_THROW({ lint(src); }) << src;
+  }
+}
+
+// ---- end to end: compile-time rejection and runtime stuck report ----
+
+TEST(Analysis, CompileRejectsDeadlockWithVariableAndLine) {
+  try {
+    swift::compile("int x;\nint y = x + 1;\nprintf(\"%d\", y);\n");
+    FAIL() << "expected SwiftError";
+  } catch (const swift::SwiftError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("swift-verify"), std::string::npos) << what;
+    EXPECT_NE(what.find("\"x\""), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+}
+
+TEST(Analysis, RuntimeDeadlockThrowsDeadlockErrorNamingVariable) {
+  // Passes the static pass (x assigned on one branch) but deadlocks at
+  // run time; the engine's quiescence check must name the unfilled x.
+  runtime::Config cfg;
+  try {
+    runtime::run_program(cfg, swift::compile(R"(
+      int c = toint("0");
+      int x;
+      if (c == 1) {
+        x = 1;
+      }
+      int y = x + 1;
+      printf("y=%d", y);
+    )"));
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("deadlock"), std::string::npos) << what;
+    EXPECT_NE(what.find("\"x\""), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace ilps::analysis

@@ -177,12 +177,27 @@ TEST(Rules, LocalRulesRunOnEngine) {
 }
 
 TEST(Rules, UnfiredRulesReported) {
-  auto result = runtime::run_program(small(), R"(
+  runtime::Config cfg = small();
+  cfg.deadlock_error = false;  // this test inspects the counters directly
+  auto result = runtime::run_program(cfg, R"(
     set never [turbine::allocate integer]
     turbine::rule [list $never] {puts should_not_run} type WORK
   )");
   EXPECT_EQ(result.unfired_rules, 1u);
   EXPECT_FALSE(result.contains("should_not_run"));
+  ASSERT_EQ(result.stuck.size(), 1u);
+  ASSERT_EQ(result.stuck[0].waiting.size(), 1u);
+  EXPECT_TRUE(result.stuck[0].waiting[0].name.empty());  // no symbol registered
+  EXPECT_GE(result.server_stats.stuck_datums, 1u);
+}
+
+TEST(Rules, UnfiredRulesThrowDeadlockError) {
+  EXPECT_THROW(runtime::run_program(small(), R"(
+    set never [turbine::allocate integer]
+    turbine::declare_name $never never 7
+    turbine::rule [list $never] {puts should_not_run} type WORK
+  )"),
+               DeadlockError);
 }
 
 TEST(Rules, RejectedOnWorkers) {

@@ -9,6 +9,7 @@
 //   --policy P        interpreter policy: retain (default) | reinit
 //   --restricted-os   refuse fork/exec (Blue Gene/Q mode)
 //   --emit-tcl        print the compiled Turbine code and exit
+//   --lint            run swift-verify only; print diagnostics and exit
 //   --stats           print runtime statistics after the program output
 #include <cstdio>
 #include <cstring>
@@ -16,8 +17,10 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/analysis.h"
 #include "runtime/runner.h"
 #include "swift/compiler.h"
+#include "swift/ast.h"
 
 namespace {
 
@@ -26,7 +29,7 @@ void usage() {
                "usage: ilps [options] program.swift\n"
                "  --engines N --workers N --servers N\n"
                "  --policy retain|reinit   --restricted-os\n"
-               "  --emit-tcl               --stats\n");
+               "  --emit-tcl  --lint       --stats\n");
 }
 
 }  // namespace
@@ -34,6 +37,7 @@ void usage() {
 int main(int argc, char** argv) {
   ilps::runtime::Config cfg;
   bool emit_tcl = false;
+  bool lint = false;
   bool stats = false;
   std::string path;
 
@@ -70,6 +74,8 @@ int main(int argc, char** argv) {
       cfg.restricted_os = true;
     } else if (arg == "--emit-tcl") {
       emit_tcl = true;
+    } else if (arg == "--lint") {
+      lint = true;
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -97,6 +103,19 @@ int main(int argc, char** argv) {
   source << in.rdbuf();
 
   try {
+    if (lint) {
+      // swift-verify standalone: parse, analyze, print every diagnostic.
+      ilps::swift::Program prog = ilps::swift::parse_swift(source.str());
+      ilps::analysis::Report report = ilps::analysis::analyze(prog);
+      std::string text = report.to_string();
+      if (!text.empty()) std::fputs(text.c_str(), stderr);
+      if (report.has_errors()) {
+        std::fprintf(stderr, "ilps: %zu error(s) in %s\n", report.error_count(), path.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "ilps: %s passes swift-verify\n", path.c_str());
+      return 0;
+    }
     std::string program = ilps::swift::compile(source.str());
     if (emit_tcl) {
       std::fputs(program.c_str(), stdout);
@@ -114,12 +133,10 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(result.traffic.messages),
                    static_cast<unsigned long long>(result.server_stats.data_ops));
     }
-    if (result.unfired_rules > 0) {
-      std::fprintf(stderr, "ilps: warning: %zu rule(s) never fired (deadlock on unset data)\n",
-                   result.unfired_rules);
-      return 3;
-    }
     return 0;
+  } catch (const ilps::DeadlockError& e) {
+    std::fprintf(stderr, "ilps: %s\n", e.what());
+    return 3;
   } catch (const ilps::Error& e) {
     std::fprintf(stderr, "ilps: %s\n", e.what());
     return 1;
