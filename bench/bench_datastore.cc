@@ -5,9 +5,16 @@
 //  - data ops: each client runs create/store/retrieve cycles against the
 //    sharded store (ids hash across servers);
 //  - task ops: each client puts and gets its own stream of tasks.
+//  - hot read: one closed datum read repeatedly by every worker, with the
+//    client datum cache on vs off — the data-locality case a fan-out
+//    foreach over a shared input produces.
 // The metric is aggregate operations per second; more servers should
 // sustain equal or higher rates (shards split the load), not collapse.
+#include <algorithm>
 #include <atomic>
+#include <cstring>
+#include <mutex>
+#include <string>
 
 #include "adlb/client.h"
 #include "adlb/server.h"
@@ -63,16 +70,67 @@ double run_task_ops(int clients, int servers, int tasks_per_client) {
   return t.elapsed();
 }
 
+struct HotReadResult {
+  double read_seconds = 0;  // slowest reader's read loop
+  adlb::DataCacheStats cache;
+};
+
+// Rank 0 stores one payload; `readers` ranks wait for the close and then
+// each retrieve it `repeats` times. Only the read loops are timed.
+HotReadResult run_hot_read(int readers, int servers, int repeats, int cache_mb,
+                           size_t payload_bytes) {
+  adlb::Config cfg;
+  cfg.nservers = servers;
+  cfg.data_cache_mb = cache_mb;
+  const int64_t id = 424242;
+  const std::string payload(payload_bytes, 'x');
+  HotReadResult out;
+  std::mutex mu;
+  mpi::World world(1 + readers + servers);
+  world.run([&](mpi::Comm& comm) {
+    if (adlb::is_server(comm.rank(), comm.size(), cfg)) {
+      adlb::Server server(comm, cfg);
+      server.serve();
+      return;
+    }
+    adlb::Client client(comm, cfg);
+    if (comm.rank() == 0) {
+      client.create(id, adlb::DataType::kString);
+      client.store(id, payload);
+      (void)client.get(adlb::kTypeWork);  // park for shutdown
+      return;
+    }
+    // Readers block until the datum closes (subscribe delivers a targeted
+    // notification unit), so no reader races the store.
+    if (!client.subscribe(id, adlb::kTypeWork)) {
+      (void)client.get(adlb::kTypeWork);
+    }
+    Timer t;
+    for (int i = 0; i < repeats; ++i) {
+      if (client.retrieve(id).size() != payload.size()) std::abort();
+    }
+    const double elapsed = t.elapsed();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      out.read_seconds = std::max(out.read_seconds, elapsed);
+      out.cache += client.cache_stats();
+    }
+    (void)client.get(adlb::kTypeWork);  // park for shutdown
+  });
+  return out;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   bench::banner("E9", "ADLB server throughput vs server count",
                 "the server tier distributes work and data without becoming a "
                 "bottleneck; sharding over more servers sustains throughput");
 
   const int clients = 8;
   {
-    const int ops = 400;  // x3 RPCs each (create/store/retrieve)
+    const int ops = smoke ? 100 : 400;  // x3 RPCs each (create/store/retrieve)
     bench::Table t({"servers", "clients", "data_ops", "elapsed_s", "ops/s"});
     for (int servers : {1, 2, 4}) {
       double elapsed = run_data_ops(clients, servers, ops);
@@ -90,7 +148,7 @@ int main() {
     t.print();
   }
   {
-    const int tasks = 500;
+    const int tasks = smoke ? 150 : 500;
     std::printf("\n");
     bench::Table t({"servers", "clients", "task_put+get", "elapsed_s", "tasks/s"});
     for (int servers : {1, 2, 4}) {
@@ -105,6 +163,39 @@ int main() {
           .print();
       t.row({std::to_string(servers), std::to_string(clients), bench::fmt("%.0f", total),
              bench::fmt("%.3f", elapsed), bench::fmt("%.0f", total / elapsed)});
+    }
+    t.print();
+  }
+  {
+    // Hot-read: W readers x R repeats of one closed 4 KiB datum; the
+    // cached case should beat cache_mb=0 by well over the 5x acceptance
+    // bar, because every re-read is a local view instead of an RPC.
+    const int readers = 8;
+    const int repeats = smoke ? 200 : 2000;
+    const size_t payload = 4096;
+    std::printf("\n");
+    bench::Table t({"servers", "readers", "repeats", "cache", "reads/s", "hits", "misses"});
+    for (int servers : {1, 2}) {
+      for (int cache_mb : {0, 64}) {
+        HotReadResult r = run_hot_read(readers, servers, repeats, cache_mb, payload);
+        const double total = static_cast<double>(readers) * repeats;
+        const double rate = total / r.read_seconds;
+        bench::JsonLine("datastore_hot_read")
+            .add("servers", servers)
+            .add("readers", readers)
+            .add("repeats", repeats)
+            .add("cache_mb", cache_mb)
+            .add("payload_bytes", static_cast<double>(payload))
+            .add("reads", total)
+            .add("elapsed_s", r.read_seconds)
+            .add("reads_per_s", rate)
+            .add("cache_hits", static_cast<double>(r.cache.hits))
+            .add("cache_misses", static_cast<double>(r.cache.misses))
+            .print();
+        t.row({std::to_string(servers), std::to_string(readers), std::to_string(repeats),
+               cache_mb == 0 ? "off" : "on", bench::fmt("%.0f", rate),
+               std::to_string(r.cache.hits), std::to_string(r.cache.misses)});
+      }
     }
     t.print();
   }

@@ -1,11 +1,19 @@
 #include "adlb/client.h"
 
+#include <cstdlib>
 #include <cstring>
+#include <map>
 
 #include "common/error.h"
 #include "obs/trace.h"
 
 namespace ilps::adlb {
+
+namespace {
+// Fixed per-entry charge on top of the value bytes (map node, LRU node,
+// shared_ptr control block).
+constexpr size_t kCacheEntryOverhead = 64;
+}  // namespace
 
 Client::Client(mpi::Comm& comm, const Config& cfg) : comm_(comm), cfg_(cfg) {
   if (is_server(comm.rank(), comm.size(), cfg)) {
@@ -16,6 +24,16 @@ Client::Client(mpi::Comm& comm, const Config& cfg) : comm_(comm), cfg_(cfg) {
   // under ft that would shift the FaultPlan's send-count triggers and the
   // server's per-RPC liveness bookkeeping, so the fast paths switch off.
   batching_ = !cfg_.ft && cfg_.put_batch > 1;
+  // The datum cache elides whole retrieve RPCs, so it switches off under
+  // ft for the same reason.
+  long long mb = cfg_.data_cache_mb;
+  if (mb < 0) {
+    const char* env = std::getenv("ILPS_DATA_CACHE_MB");
+    mb = (env != nullptr) ? std::atoll(env) : 64;
+    if (mb < 0) mb = 0;
+  }
+  cache_enabled_ = !cfg_.ft && mb > 0;
+  cache_budget_ = cache_enabled_ ? static_cast<size_t>(mb) << 20 : 0;
 }
 
 ser::Reader Client::rpc(int server, ser::Writer&& request) {
@@ -26,7 +44,68 @@ ser::Reader Client::rpc(int server, ser::Writer&& request) {
   // the freelist the next writer() draws from.
   comm_.recycle(std::move(reply_));
   reply_ = std::move(reply.data);
-  return ser::Reader(reply_);
+  ser::Reader r(reply_);
+  apply_invalidations(r);
+  return r;
+}
+
+// ---- datum cache ----
+
+void Client::apply_invalidations(ser::Reader& r) {
+  uint32_t n = r.get_u32();
+  for (uint32_t i = 0; i < n; ++i) {
+    int64_t id = r.get_i64();
+    uint64_t epoch = r.get_u64();
+    auto it = cache_.find(id);
+    // entry.epoch >= epoch means the entry was cached from a later
+    // incarnation than the one this deletion notice is about: keep it.
+    if (it != cache_.end() && it->second.epoch < epoch) {
+      ++cache_stats_.invalidations;
+      cache_erase(id);
+    }
+  }
+}
+
+const Client::CacheEntry* Client::cache_lookup(int64_t id, EntryKind kind) {
+  auto it = cache_.find(id);
+  if (it == cache_.end()) return nullptr;
+  if (it->second.kind != kind) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru);
+  return &it->second;
+}
+
+void Client::cache_insert(int64_t id, EntryKind kind, uint64_t epoch, ser::SharedBytes bytes) {
+  if (!cache_enabled_) return;
+  cache_erase(id);
+  // Charge the view length plus fixed overhead. Shared storage can be
+  // somewhat larger than the views into it (reply framing, sibling
+  // entries already evicted); the budget is a working-set bound, not an
+  // exact RSS accounting.
+  const size_t charge = bytes.len + kCacheEntryOverhead;
+  if (charge > cache_budget_) return;
+  while (cache_bytes_ + charge > cache_budget_ && !lru_.empty()) {
+    ++cache_stats_.evictions;
+    cache_erase(lru_.back());
+  }
+  lru_.push_front(id);
+  cache_bytes_ += charge;
+  cache_.emplace(id, CacheEntry{kind, epoch, std::move(bytes), lru_.begin()});
+}
+
+void Client::cache_erase(int64_t id) {
+  auto it = cache_.find(id);
+  if (it == cache_.end()) return;
+  cache_bytes_ -= it->second.bytes.len + kCacheEntryOverhead;
+  lru_.erase(it->second.lru);
+  cache_.erase(it);
+}
+
+[[noreturn]] void Client::raise_data_error(int64_t id, std::string message) {
+  if (symbol_hint_) {
+    std::string hint = symbol_hint_(id);
+    if (!hint.empty()) message += " [" + hint + "]";
+  }
+  throw DataError(std::move(message));
 }
 
 namespace {
@@ -85,7 +164,9 @@ void Client::flush_puts() {
   pending_put_count_ = 0;
   comm_.send(home_, kTagRequest, std::move(buf));
   mpi::Message reply = comm_.recv(home_, kTagResponse);
-  expect_ack(ser::Reader(reply.data));
+  ser::Reader r(reply.data);
+  apply_invalidations(r);
+  expect_ack(r);
   comm_.recycle(std::move(reply.data));
 }
 
@@ -163,15 +244,104 @@ void Client::store(int64_t id, std::string_view value, bool close) {
   expect_ack(rpc(owner_server(id, comm_.size(), cfg_), std::move(w)));
 }
 
-std::string Client::retrieve(int64_t id) {
+std::string Client::retrieve(int64_t id) { return retrieve_view(id).to_string(); }
+
+ser::SharedBytes Client::retrieve_view(int64_t id) {
+  if (const CacheEntry* e = cache_lookup(id, EntryKind::kScalar)) {
+    ++cache_stats_.hits;
+    return e->bytes;
+  }
+  if (cache_enabled_) ++cache_stats_.misses;
   ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kRetrieve));
   w.put_i64(id);
   ser::Reader r = rpc(owner_server(id, comm_.size(), cfg_), std::move(w));
   Op op = static_cast<Op>(r.get_u8());
-  if (op == Op::kValue) return r.get_str();
-  if (op == Op::kError) raise_error(r);
-  throw CommError("adlb: unexpected reply to Retrieve");
+  if (op == Op::kError) raise_data_error(id, r.get_str());
+  if (op != Op::kValue) throw CommError("adlb: unexpected reply to Retrieve");
+  const size_t vlen = r.get_u64();
+  const size_t voff = r.position();
+  r.skip(vlen);
+  const bool cacheable = r.get_bool();
+  const uint64_t epoch = r.get_u64();
+  if (cacheable && cache_enabled_) {
+    // Zero copy: the reply buffer itself becomes the cached storage; the
+    // view addresses the value bytes in place.
+    ser::SharedBytes bytes{
+        std::make_shared<const std::vector<std::byte>>(std::move(reply_)), voff, vlen};
+    cache_insert(id, EntryKind::kScalar, epoch, bytes);
+    return bytes;
+  }
+  return ser::SharedBytes::own(
+      {reply_.begin() + static_cast<ptrdiff_t>(voff),
+       reply_.begin() + static_cast<ptrdiff_t>(voff + vlen)});
+}
+
+std::vector<std::string> Client::multi_retrieve(std::span<const int64_t> ids) {
+  std::vector<std::string> out(ids.size());
+  if (cfg_.ft) {
+    // One transport message per operation (the FaultPlan's send-count
+    // triggers assume it): degrade to sequential single-id retrieves.
+    for (size_t i = 0; i < ids.size(); ++i) out[i] = retrieve(ids[i]);
+    return out;
+  }
+  // Serve what the cache holds, then group the misses by owning server —
+  // one RPC each (ordered so batch formation is deterministic).
+  std::map<int, std::vector<size_t>> by_server;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (const CacheEntry* e = cache_lookup(ids[i], EntryKind::kScalar)) {
+      ++cache_stats_.hits;
+      out[i] = e->bytes.to_string();
+      continue;
+    }
+    if (cache_enabled_) ++cache_stats_.misses;
+    by_server[owner_server(ids[i], comm_.size(), cfg_)].push_back(i);
+  }
+  for (const auto& [server, idxs] : by_server) {
+    ser::Writer w = comm_.writer();
+    w.put_u8(static_cast<uint8_t>(Op::kMultiRetrieve));
+    w.put_u64(idxs.size());
+    for (size_t i : idxs) w.put_i64(ids[i]);
+    ser::Reader r = rpc(server, std::move(w));
+    Op op = static_cast<Op>(r.get_u8());
+    if (op == Op::kError) raise_error(r);
+    if (op != Op::kValue) throw CommError("adlb: unexpected reply to MultiRetrieve");
+    const uint64_t n = r.get_u64();
+    struct Slot {
+      size_t idx, off, len;
+      bool cacheable;
+      uint64_t epoch;
+    };
+    std::vector<Slot> slots;
+    slots.reserve(n);
+    bool any_cacheable = false;
+    for (uint64_t k = 0; k < n; ++k) {
+      const size_t i = idxs[k];
+      if (r.get_u8() == 0) raise_data_error(ids[i], r.get_str());
+      const size_t vlen = r.get_u64();
+      const size_t voff = r.position();
+      r.skip(vlen);
+      const bool cacheable = r.get_bool();
+      const uint64_t epoch = r.get_u64();
+      slots.push_back({i, voff, vlen, cacheable, epoch});
+      any_cacheable = any_cacheable || cacheable;
+    }
+    // Steal the reply buffer once; every cacheable entry in this batch
+    // becomes a view into it at its own offset.
+    std::shared_ptr<const std::vector<std::byte>> storage;
+    if (any_cacheable && cache_enabled_) {
+      storage = std::make_shared<const std::vector<std::byte>>(std::move(reply_));
+    }
+    for (Slot& s : slots) {
+      const std::byte* base = storage ? storage->data() : reply_.data();
+      out[s.idx].assign(reinterpret_cast<const char*>(base + s.off), s.len);
+      if (storage && s.cacheable) {
+        cache_insert(ids[s.idx], EntryKind::kScalar, s.epoch,
+                     ser::SharedBytes{storage, s.off, s.len});
+      }
+    }
+  }
+  return out;
 }
 
 bool Client::exists(int64_t id) {
@@ -216,6 +386,10 @@ bool Client::subscribe(int64_t id, int notify_type) {
 }
 
 void Client::ref_incr(int64_t id, int delta) {
+  // This rank is giving up (part of) its read claim: drop its cached
+  // copy up front rather than waiting for the piggybacked invalidation
+  // that follows if this decrement turns out to be the last.
+  if (delta < 0) cache_erase(id);
   ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kRefIncr));
   w.put_i64(id);
@@ -253,14 +427,8 @@ std::optional<std::string> Client::lookup(int64_t container_id, std::string_view
   throw CommError("adlb: unexpected reply to Lookup");
 }
 
-std::vector<std::pair<std::string, std::string>> Client::enumerate(int64_t container_id) {
-  ser::Writer w = comm_.writer();
-  w.put_u8(static_cast<uint8_t>(Op::kEnumerate));
-  w.put_i64(container_id);
-  ser::Reader r = rpc(owner_server(container_id, comm_.size(), cfg_), std::move(w));
-  Op op = static_cast<Op>(r.get_u8());
-  if (op == Op::kError) raise_error(r);
-  if (op != Op::kValue) throw CommError("adlb: unexpected reply to Enumerate");
+namespace {
+std::vector<std::pair<std::string, std::string>> read_pairs(ser::Reader& r) {
   uint64_t n = r.get_u64();
   std::vector<std::pair<std::string, std::string>> out;
   out.reserve(n);
@@ -268,6 +436,37 @@ std::vector<std::pair<std::string, std::string>> Client::enumerate(int64_t conta
     std::string k = r.get_str();
     std::string v = r.get_str();
     out.emplace_back(std::move(k), std::move(v));
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> Client::enumerate(int64_t container_id) {
+  // A closed container's entries are immutable, so the serialized pair
+  // list caches under the same epoch rule as a scalar value.
+  if (const CacheEntry* e = cache_lookup(container_id, EntryKind::kEnumeration)) {
+    ++cache_stats_.hits;
+    ser::Reader cached(e->bytes.view());
+    return read_pairs(cached);
+  }
+  if (cache_enabled_) ++cache_stats_.misses;
+  ser::Writer w = comm_.writer();
+  w.put_u8(static_cast<uint8_t>(Op::kEnumerate));
+  w.put_i64(container_id);
+  ser::Reader r = rpc(owner_server(container_id, comm_.size(), cfg_), std::move(w));
+  Op op = static_cast<Op>(r.get_u8());
+  if (op == Op::kError) raise_data_error(container_id, r.get_str());
+  if (op != Op::kValue) throw CommError("adlb: unexpected reply to Enumerate");
+  const size_t start = r.position();
+  auto out = read_pairs(r);
+  const size_t len = r.position() - start;
+  const bool cacheable = r.get_bool();
+  const uint64_t epoch = r.get_u64();
+  if (cacheable && cache_enabled_) {
+    cache_insert(container_id, EntryKind::kEnumeration, epoch,
+                 ser::SharedBytes{
+                     std::make_shared<const std::vector<std::byte>>(std::move(reply_)),
+                     start, len});
   }
   return out;
 }

@@ -6,8 +6,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <list>
 #include <optional>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -15,6 +19,23 @@
 #include "mpi/comm.h"
 
 namespace ilps::adlb {
+
+// Activity counters for the per-rank datum cache (published as the
+// adlb.cache_* metrics). All zero when the cache is disabled.
+struct DataCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;      // LRU drops to stay under the byte budget
+  uint64_t invalidations = 0;  // entries dropped by piggybacked GC notices
+
+  DataCacheStats& operator+=(const DataCacheStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    invalidations += o.invalidations;
+    return *this;
+  }
+};
 
 class Client {
  public:
@@ -49,9 +70,20 @@ class Client {
   // assignment) and triggers subscriber notifications.
   void store(int64_t id, std::string_view value, bool close = true);
 
-  // Retrieves the value of a closed datum. Throws DataError if the datum
-  // is missing or unset.
+  // Retrieves the value of a closed datum. Throws DataError naming the
+  // id (and, when a symbol hint is installed, the source variable) if the
+  // datum is missing, GC'd, or unset.
   std::string retrieve(int64_t id);
+
+  // Like retrieve, but returns a shared immutable view of the bytes. On
+  // a cacheable reply the transport buffer itself becomes the backing
+  // storage (zero copy); blobs flow to leaf tasks through this path.
+  ser::SharedBytes retrieve_view(int64_t id);
+
+  // Retrieves several closed datums in one RPC per owning server (cache
+  // hits are served locally; under ft this degrades to per-id retrieves
+  // to keep one message per operation). Values return in input order.
+  std::vector<std::string> multi_retrieve(std::span<const int64_t> ids);
 
   bool exists(int64_t id);
   DataType type_of(int64_t id);
@@ -75,7 +107,27 @@ class Client {
   std::optional<std::string> lookup(int64_t container_id, std::string_view key);
   std::vector<std::pair<std::string, std::string>> enumerate(int64_t container_id);
 
+  // ---- datum cache ----
+
+  const DataCacheStats& cache_stats() const { return cache_stats_; }
+  bool cache_enabled() const { return cache_enabled_; }
+  size_t cache_bytes() const { return cache_bytes_; }
+
+  // Maps a datum id to a human-readable source description ("variable
+  // \"x\" (line 3)") for DataError messages; empty string = no name.
+  // Installed by turbine::Context from the compiler's symbol map.
+  void set_symbol_hint(std::function<std::string(int64_t)> hint) {
+    symbol_hint_ = std::move(hint);
+  }
+
  private:
+  enum class EntryKind : uint8_t { kScalar, kEnumeration };
+  struct CacheEntry {
+    EntryKind kind;
+    uint64_t epoch = 0;
+    ser::SharedBytes bytes;
+    std::list<int64_t>::iterator lru;  // position in lru_ (front = hottest)
+  };
   // One synchronous exchange. Flushes buffered puts first, so the home
   // server sees them before this request (per-(source, tag) FIFO) and a
   // client blocked in an RPC never has unsent work — the termination
@@ -83,6 +135,14 @@ class Client {
   // rpc() recycles it into the transport's freelist.
   ser::Reader rpc(int server, ser::Writer&& request);
   void flush_puts();
+
+  // ---- cache internals ----
+  // Drains the invalidation header every reply starts with (protocol.h).
+  void apply_invalidations(ser::Reader& r);
+  const CacheEntry* cache_lookup(int64_t id, EntryKind kind);
+  void cache_insert(int64_t id, EntryKind kind, uint64_t epoch, ser::SharedBytes bytes);
+  void cache_erase(int64_t id);
+  [[noreturn]] void raise_data_error(int64_t id, std::string message);
   // Returns prefetched units of the wrong type to the server (only
   // possible if a caller alternates Get types; the Turbine loops never
   // do).
@@ -100,6 +160,15 @@ class Client {
   ser::Writer pending_puts_;     // serialized units, shipped as kPutBatch
   std::deque<WorkUnit> prefetched_;  // surplus units from kGotWorkBatch
   std::vector<std::byte> reply_;     // last RPC's reply storage
+
+  // ---- datum cache state (empty when cache_enabled_ is false) ----
+  bool cache_enabled_ = false;
+  size_t cache_budget_ = 0;  // bytes
+  size_t cache_bytes_ = 0;   // charged bytes currently resident
+  std::unordered_map<int64_t, CacheEntry> cache_;
+  std::list<int64_t> lru_;  // most recently used at the front
+  DataCacheStats cache_stats_;
+  std::function<std::string(int64_t)> symbol_hint_;
 };
 
 }  // namespace ilps::adlb

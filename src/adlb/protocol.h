@@ -55,6 +55,17 @@ struct Config {
   // prefetch queue, skipping whole round trips per task.
   int get_batch = 4;
 
+  // ---- client-side datum cache (disabled automatically under ft, like
+  // the batching fast paths: a cache hit elides the retrieve RPC, which
+  // would shift the FaultPlan's send-count triggers) ----
+  // Byte budget in MiB for the per-rank read-through cache of closed
+  // datums. 0 disables the cache; -1 reads ILPS_DATA_CACHE_MB from the
+  // environment (default 64 when unset). Coherence: a closed datum is
+  // immutable (single assignment), and refcount-driven deletion
+  // piggybacks (id, epoch) invalidations on every server->client reply,
+  // so a recycled id never serves stale bytes (see docs/datastore.md).
+  int data_cache_mb = -1;
+
   // ---- fault tolerance (the src/ckpt substrate) ----
   // When ft is set the server tracks in-flight work per client, requeues
   // a dead client's unit (bounded by max_task_retries), treats replayed
@@ -133,6 +144,15 @@ inline constexpr int kTagRequest = 100;   // client -> server
 inline constexpr int kTagResponse = 101;  // server -> client
 inline constexpr int kTagServer = 102;    // server -> server
 
+// Every kTagResponse message begins with a cache-invalidation header
+// (u32 count, then count x {i64 id, u64 epoch}) before the reply opcode:
+// refcount GC of a datum whose bytes were handed out as cacheable queues
+// an invalidation for each holding client, drained onto that client's
+// next reply of any kind. No unsolicited server->client message class is
+// needed, and — because all replies from a shard flow through this one
+// channel in order — a client can never observe a recycled id's new
+// incarnation before the invalidation of the old one.
+
 // ---- Opcodes ----
 
 enum class Op : uint8_t {
@@ -154,6 +174,8 @@ enum class Op : uint8_t {
   kLookup = 21,
   kEnumerate = 22,
   kTypeOf = 23,
+  kMultiRetrieve = 24,  // u64 n + n ids, answered in one kValue reply with
+                        // per-id status (one RPC per server per batch)
 
   // server -> client responses
   kAck = 40,

@@ -268,7 +268,7 @@ void Server::accept_unit(WorkUnit unit) {
 }
 
 void Server::deliver(int client, const WorkUnit& unit) {
-  ser::Writer w = comm_.writer();
+  ser::Writer w = reply_writer(client);
   w.put_u8(static_cast<uint8_t>(Op::kGotWork));
   write_work_unit(w, unit);
   comm_.send(client, kTagResponse, std::move(w));
@@ -288,7 +288,7 @@ void Server::deliver(int client, const WorkUnit& unit) {
 }
 
 void Server::deliver_batch(int client, std::vector<WorkUnit>& units) {
-  ser::Writer w = comm_.writer();
+  ser::Writer w = reply_writer(client);
   w.put_u8(static_cast<uint8_t>(Op::kGotWorkBatch));
   w.put_u64(units.size());
   for (const WorkUnit& unit : units) {
@@ -307,7 +307,7 @@ void Server::handle_get(int source, int type) {
   if (cfg_.ft && dead_clients_.count(source) > 0) {
     // A client declared dead by heartbeat turned out to be alive (e.g. a
     // delayed link). Its unit was already requeued; fence it off.
-    ser::Writer w = comm_.writer();
+    ser::Writer w = reply_writer(source);
     w.put_u8(static_cast<uint8_t>(Op::kShutdownClient));
     comm_.send(source, kTagResponse, std::move(w));
     return;
@@ -701,6 +701,37 @@ void Server::do_close(int64_t id, Datum& datum) {
   datum.subscribers.clear();
 }
 
+uint64_t Server::epoch_of(int64_t id) const {
+  auto it = gc_epochs_.find(id);
+  return it == gc_epochs_.end() ? 0 : it->second;
+}
+
+void Server::write_retrieve_result(ser::Writer& w, int source, int64_t id, const Datum& d) {
+  w.put_str(d.value);
+  // closed is already established by the caller; a live datum's read
+  // refcount is positive (zero deletes immediately), but ft tombstones
+  // sit at zero and must not be cached.
+  const bool cacheable = d.read_refs > 0;
+  w.put_bool(cacheable);
+  w.put_u64(epoch_of(id));
+  // Under ft clients never cache and nothing is GC'd (tombstones), so
+  // tracking handouts would only accumulate memory.
+  if (cacheable && !cfg_.ft) handouts_[id].insert(source);
+}
+
+void Server::gc_datum(int64_t id) {
+  // Bump the epoch first: any client holding this incarnation's bytes
+  // sees the invalidation (on its next reply) before it can possibly see
+  // a recreation of the id, because both travel the same ordered channel.
+  const uint64_t epoch = ++gc_epochs_[id];
+  auto h = handouts_.find(id);
+  if (h != handouts_.end()) {
+    for (int client : h->second) pending_inval_[client].emplace_back(id, epoch);
+    handouts_.erase(h);
+  }
+  store_.erase(id);
+}
+
 void Server::handle_data_op(int source, Op op, ser::Reader& r) {
   ++stats_.data_ops;
   try {
@@ -750,15 +781,41 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         if (!d.closed) {
           throw DataError("retrieve: datum <" + std::to_string(id) + "> is not closed");
         }
-        ser::Writer w = comm_.writer();
+        ser::Writer w = reply_writer(source);
         w.put_u8(static_cast<uint8_t>(Op::kValue));
-        w.put_str(d.value);
+        write_retrieve_result(w, source, id, d);
+        comm_.send(source, kTagResponse, std::move(w));
+        return;
+      }
+      case Op::kMultiRetrieve: {
+        // One reply carries every id's result; per-id status instead of a
+        // batch-wide error, so the client can name the offending id.
+        uint64_t n = r.get_u64();
+        ser::Writer w = reply_writer(source);
+        w.put_u8(static_cast<uint8_t>(Op::kValue));
+        w.put_u64(n);
+        for (uint64_t i = 0; i < n; ++i) {
+          int64_t id = r.get_i64();
+          auto it = store_.find(id);
+          if (it == store_.end()) {
+            w.put_u8(0);
+            w.put_str("retrieve: datum <" + std::to_string(id) + "> does not exist");
+            continue;
+          }
+          if (!it->second.closed) {
+            w.put_u8(0);
+            w.put_str("retrieve: datum <" + std::to_string(id) + "> is not closed");
+            continue;
+          }
+          w.put_u8(1);
+          write_retrieve_result(w, source, id, it->second);
+        }
         comm_.send(source, kTagResponse, std::move(w));
         return;
       }
       case Op::kExists: {
         int64_t id = r.get_i64();
-        ser::Writer w = comm_.writer();
+        ser::Writer w = reply_writer(source);
         w.put_u8(static_cast<uint8_t>(Op::kValue));
         w.put_bool(store_.count(id) > 0);
         comm_.send(source, kTagResponse, std::move(w));
@@ -767,7 +824,7 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
       case Op::kTypeOf: {
         int64_t id = r.get_i64();
         Datum& d = find_datum(id, "typeof");
-        ser::Writer w = comm_.writer();
+        ser::Writer w = reply_writer(source);
         w.put_u8(static_cast<uint8_t>(Op::kValue));
         w.put_u8(static_cast<uint8_t>(d.type));
         comm_.send(source, kTagResponse, std::move(w));
@@ -791,7 +848,7 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         int64_t id = r.get_i64();
         int notify_type = r.get_i32();
         Datum& d = find_datum(id, "subscribe");
-        ser::Writer w = comm_.writer();
+        ser::Writer w = reply_writer(source);
         w.put_u8(static_cast<uint8_t>(Op::kValue));
         w.put_bool(d.closed);
         if (!d.closed) {
@@ -816,7 +873,7 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         }
         // Under fault tolerance the datum is kept as a tombstone: a
         // restart replays reads that the refcounts say already happened.
-        if (d.read_refs == 0 && !cfg_.ft) store_.erase(id);
+        if (d.read_refs == 0 && !cfg_.ft) gc_datum(id);
         reply_ack(source);
         return;
       }
@@ -874,7 +931,7 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         if (d.type != DataType::kContainer) {
           throw DataError("lookup: datum <" + std::to_string(id) + "> is not a container");
         }
-        ser::Writer w = comm_.writer();
+        ser::Writer w = reply_writer(source);
         auto it = d.entries.find(key);
         if (it == d.entries.end()) {
           w.put_u8(static_cast<uint8_t>(Op::kNoValue));
@@ -891,13 +948,19 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         if (d.type != DataType::kContainer) {
           throw DataError("enumerate: datum <" + std::to_string(id) + "> is not a container");
         }
-        ser::Writer w = comm_.writer();
+        ser::Writer w = reply_writer(source);
         w.put_u8(static_cast<uint8_t>(Op::kValue));
         w.put_u64(d.entries.size());
         for (const auto& [k, v] : d.entries) {
           w.put_str(k);
           w.put_str(v);
         }
+        // A closed container's entry set is as immutable as a closed
+        // scalar, so the enumeration is cacheable under the same rule.
+        const bool cacheable = d.closed && d.read_refs > 0;
+        w.put_bool(cacheable);
+        w.put_u64(epoch_of(id));
+        if (cacheable && !cfg_.ft) handouts_[id].insert(source);
         comm_.send(source, kTagResponse, std::move(w));
         return;
       }
@@ -971,7 +1034,7 @@ void Server::shutdown_all() {
 void Server::release_parked() {
   for (auto& queue : parked_) {
     for (int client : queue) {
-      ser::Writer w = comm_.writer();
+      ser::Writer w = reply_writer(client);
       w.put_u8(static_cast<uint8_t>(Op::kShutdownClient));
       comm_.send(client, kTagResponse, std::move(w));
     }
@@ -996,14 +1059,30 @@ void Server::release_parked() {
 
 // ---- replies ----
 
-void Server::reply_ack(int dest) {
+ser::Writer Server::reply_writer(int dest) {
   ser::Writer w = comm_.writer();
+  auto it = pending_inval_.find(dest);
+  if (it == pending_inval_.end() || it->second.empty()) {
+    w.put_u32(0);
+    return w;
+  }
+  w.put_u32(static_cast<uint32_t>(it->second.size()));
+  for (const auto& [id, epoch] : it->second) {
+    w.put_i64(id);
+    w.put_u64(epoch);
+  }
+  it->second.clear();
+  return w;
+}
+
+void Server::reply_ack(int dest) {
+  ser::Writer w = reply_writer(dest);
   w.put_u8(static_cast<uint8_t>(Op::kAck));
   comm_.send(dest, kTagResponse, std::move(w));
 }
 
 void Server::reply_error(int dest, const std::string& message) {
-  ser::Writer w = comm_.writer();
+  ser::Writer w = reply_writer(dest);
   w.put_u8(static_cast<uint8_t>(Op::kError));
   w.put_str(message);
   comm_.send(dest, kTagResponse, std::move(w));

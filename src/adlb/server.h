@@ -131,6 +131,14 @@ class Server {
   void handle_data_op(int source, Op op, ser::Reader& r);
   Datum& find_datum(int64_t id, const char* op);
   void do_close(int64_t id, Datum& datum);
+  // Appends one retrieve result (value, cacheable flag, GC epoch) and
+  // records the handout when cacheable (shared by kRetrieve and
+  // kMultiRetrieve).
+  void write_retrieve_result(ser::Writer& w, int source, int64_t id, const Datum& d);
+  uint64_t epoch_of(int64_t id) const;
+  // Refcount GC: bump the id's epoch and queue an invalidation for every
+  // client holding its bytes, then erase it from the store.
+  void gc_datum(int64_t id);
 
   // ---- termination ----
   bool quiet() const;
@@ -140,6 +148,9 @@ class Server {
   void release_parked();
 
   // ---- replies ----
+  // Every reply to a client starts with the invalidation header (see
+  // protocol.h); this writer drains dest's pending invalidations into it.
+  ser::Writer reply_writer(int dest);
   void reply_ack(int dest);
   void reply_error(int dest, const std::string& message);
   void send_basic(int dest, const ser::Writer& w);
@@ -162,6 +173,14 @@ class Server {
 
   // Data store shard.
   std::unordered_map<int64_t, Datum> store_;
+
+  // Client-cache coherence (inert when no client caches: handouts are
+  // only recorded for replies marked cacheable, and under ft nothing is
+  // ever GC'd so no invalidations arise).
+  std::unordered_map<int64_t, uint64_t> gc_epochs_;     // id -> deletions seen
+  std::unordered_map<int64_t, std::set<int>> handouts_; // id -> clients holding bytes
+  std::unordered_map<int, std::vector<std::pair<int64_t, uint64_t>>>
+      pending_inval_;  // client -> (id, epoch) to ride the next reply
 
   // Fault-tolerance state (all inert unless cfg_.ft).
   std::unordered_map<int, WorkUnit> inflight_;  // client -> delivered unit

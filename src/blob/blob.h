@@ -15,15 +15,30 @@
 #include <string_view>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/error.h"
 
 namespace ilps::blob {
 
 // Shared-ownership byte buffer. Copies are shallow (like Tcl_Obj refcounts
 // on blob values); use clone() for a deep copy.
+//
+// A blob may also be a read-only *view* over shared immutable storage
+// (from_view): typically a slice of an ADLB retrieve reply, so bytes flow
+// from the data store to a leaf task with zero copies. Reads alias the
+// storage; the first mutable access detaches into an owned copy
+// (copy-on-write), preserving value semantics.
 class Blob {
  public:
   Blob() : data_(std::make_shared<std::vector<std::byte>>()) {}
+
+  // Zero-copy construction over shared immutable bytes.
+  static Blob from_view(ser::SharedBytes bytes) {
+    Blob b;
+    b.data_.reset();
+    b.view_ = std::move(bytes);
+    return b;
+  }
 
   static Blob of_size(size_t bytes) {
     Blob b;
@@ -53,51 +68,76 @@ class Blob {
     return b;
   }
 
-  size_t size() const { return data_->size(); }
-  bool empty() const { return data_->empty(); }
+  size_t size() const { return data_ ? data_->size() : view_.len; }
+  bool empty() const { return size() == 0; }
 
-  std::byte* data() { return data_->data(); }
-  const std::byte* data() const { return data_->data(); }
-  std::span<std::byte> bytes() { return {data_->data(), data_->size()}; }
-  std::span<const std::byte> bytes() const { return {data_->data(), data_->size()}; }
+  std::byte* data() {
+    ensure_owned();
+    return data_->data();
+  }
+  const std::byte* data() const { return data_ ? data_->data() : view_.view().data(); }
+  std::span<std::byte> bytes() {
+    ensure_owned();
+    return {data_->data(), data_->size()};
+  }
+  std::span<const std::byte> bytes() const { return {data(), size()}; }
 
   std::string to_string() const {
-    return std::string(reinterpret_cast<const char*>(data_->data()), data_->size());
+    if (empty()) return {};
+    return std::string(reinterpret_cast<const char*>(data()), size());
   }
 
   Blob clone() const {
     Blob b;
-    *b.data_ = *data_;
+    b.data_->assign(data(), data() + size());
     return b;
   }
+
+  // True while this blob still aliases shared read-only storage (no
+  // mutable access has detached it yet).
+  bool is_view() const { return data_ == nullptr; }
 
   // The void* -> T* conversion blobutils exists for. Throws DataError if
   // the buffer size is not a multiple of sizeof(T).
   template <typename T>
   std::span<T> as() {
-    static_assert(std::is_trivially_copyable_v<T>);
-    if (size() % sizeof(T) != 0) {
-      throw DataError("blob of " + std::to_string(size()) + " bytes is not a whole number of " +
-                      std::to_string(sizeof(T)) + "-byte elements");
-    }
+    check_whole_elements(sizeof(T));
+    ensure_owned();
     return {reinterpret_cast<T*>(data_->data()), size() / sizeof(T)};
   }
 
   template <typename T>
   std::span<const T> as() const {
-    static_assert(std::is_trivially_copyable_v<T>);
-    if (size() % sizeof(T) != 0) {
-      throw DataError("blob of " + std::to_string(size()) + " bytes is not a whole number of " +
-                      std::to_string(sizeof(T)) + "-byte elements");
-    }
-    return {reinterpret_cast<const T*>(data_->data()), size() / sizeof(T)};
+    check_whole_elements(sizeof(T));
+    return {reinterpret_cast<const T*>(data()), size() / sizeof(T)};
   }
 
   // Identity of the underlying storage; two shallow copies share it.
-  const void* storage_id() const { return data_.get(); }
+  const void* storage_id() const {
+    return data_ ? static_cast<const void*>(data_.get())
+                 : static_cast<const void*>(view_.storage.get());
+  }
 
  private:
+  void check_whole_elements(size_t elem) const {
+    if (size() % elem != 0) {
+      throw DataError("blob of " + std::to_string(size()) + " bytes is not a whole number of " +
+                      std::to_string(elem) + "-byte elements");
+    }
+  }
+
+  // Copy-on-write detach: the view's bytes become an owned buffer. Only
+  // this blob detaches; other copies keep aliasing the shared storage.
+  void ensure_owned() {
+    if (data_) return;
+    auto v = view_.view();
+    data_ = std::make_shared<std::vector<std::byte>>(v.begin(), v.end());
+    view_ = {};
+  }
+
+  // Owned mutable storage, or — when null — a read-only view.
   std::shared_ptr<std::vector<std::byte>> data_;
+  ser::SharedBytes view_;
 };
 
 // A 2-D view over a blob in Fortran (column-major) element order, the

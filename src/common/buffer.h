@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -93,6 +94,16 @@ class Reader {
   bool at_end() const { return pos_ == data_.size(); }
   size_t remaining() const { return data_.size() - pos_; }
 
+  // Byte offset of the next read. Together with skip(), lets a caller
+  // record where a field sits inside the underlying buffer so the bytes
+  // can later be aliased (SharedBytes) instead of copied out.
+  size_t position() const { return pos_; }
+
+  void skip(uint64_t n) {
+    check(n);
+    pos_ += n;
+  }
+
  private:
   template <typename T>
   T get_raw() {
@@ -112,6 +123,45 @@ class Reader {
 
   std::span<const std::byte> data_;
   size_t pos_ = 0;
+};
+
+// A shared immutable view into reference-counted byte storage: typically
+// an [offset, offset+len) slice of a transport reply buffer whose vector
+// was moved into the shared_ptr wholesale. Several views may alias one
+// storage block at different offsets (e.g. the entries of a batched
+// multi-retrieve reply), so a message buffer becomes long-lived data
+// without a copy. Copying a SharedBytes copies the view, never the bytes.
+struct SharedBytes {
+  std::shared_ptr<const std::vector<std::byte>> storage;
+  size_t offset = 0;
+  size_t len = 0;
+
+  bool valid() const { return storage != nullptr; }
+  size_t size() const { return len; }
+
+  std::span<const std::byte> view() const {
+    if (!storage) return {};
+    return {storage->data() + offset, len};
+  }
+
+  std::string to_string() const {
+    auto v = view();
+    if (v.empty()) return {};
+    return std::string(reinterpret_cast<const char*>(v.data()), v.size());
+  }
+
+  // Wraps a whole buffer (used when the bytes were copied fresh rather
+  // than sliced out of a larger message).
+  static SharedBytes own(std::vector<std::byte> bytes) {
+    auto storage = std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+    const size_t n = storage->size();
+    return {std::move(storage), 0, n};
+  }
+
+  static SharedBytes from_string(std::string_view s) {
+    const auto* b = reinterpret_cast<const std::byte*>(s.data());
+    return own(std::vector<std::byte>(b, b + s.size()));
+  }
 };
 
 // Convenience: view a string's bytes without copying.

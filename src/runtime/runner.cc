@@ -147,6 +147,7 @@ RunResult run_program_impl(const Config& cfg, const std::string& program, mpi::W
       result.worker_stats.r_evals += ws.r_evals;
       result.worker_stats.app_execs += ws.app_execs;
       result.worker_stats.interpreter_resets += ws.interpreter_resets;
+      result.cache_stats += client.cache_stats();
     } else {
       turbine::Context ctx(client, nullptr, ccfg);
       if (has_main) ctx.interp().eval(program);
@@ -158,6 +159,7 @@ RunResult run_program_impl(const Config& cfg, const std::string& program, mpi::W
       result.worker_stats.r_evals += ws.r_evals;
       result.worker_stats.app_execs += ws.app_execs;
       result.worker_stats.interpreter_resets += ws.interpreter_resets;
+      result.cache_stats += client.cache_stats();
     }
   };
   try {
@@ -207,6 +209,11 @@ void publish_metrics(const RunResult& r) {
   m.counter("adlb.heartbeat_deaths").set(s.heartbeat_deaths);
   m.counter("adlb.checkpoints").set(s.checkpoints);
   m.counter("adlb.replay_skips").set(s.replay_skips);
+  const adlb::DataCacheStats& c = r.cache_stats;
+  m.counter("adlb.cache_hits").set(c.hits);
+  m.counter("adlb.cache_misses").set(c.misses);
+  m.counter("adlb.cache_evictions").set(c.evictions);
+  m.counter("adlb.cache_invalidations").set(c.invalidations);
   const turbine::EngineStats& e = r.engine_stats;
   m.counter("engine.rules_created").set(e.rules_created);
   m.counter("engine.rules_fired").set(e.rules_fired);

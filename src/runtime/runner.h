@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "adlb/client.h"
 #include "adlb/server.h"
 #include "mpi/comm.h"
 #include "obs/trace.h"
@@ -38,6 +39,7 @@ struct Config {
   // ADLB policy knobs (see adlb::Config; ablated in bench_ablation).
   bool steal_half = true;
   bool priority_notifications = true;
+  int data_cache_mb = -1;  // client datum cache budget; 0 disables, -1 = env
 
   // ---- fault tolerance (run_with_faults; see src/ckpt) ----
   // Scripted failures injected into the World (kill/hang a rank,
@@ -58,6 +60,7 @@ struct Config {
     cfg.nservers = servers;
     cfg.steal_half = steal_half;
     cfg.priority_notifications = priority_notifications;
+    cfg.data_cache_mb = data_cache_mb;
     return cfg;
   }
 };
@@ -81,6 +84,7 @@ struct RunResult {
   turbine::EngineStats engine_stats;
   turbine::WorkerStats worker_stats;
   adlb::ServerStats server_stats;
+  adlb::DataCacheStats cache_stats;  // summed across all client ranks
   mpi::TrafficStats traffic;
   FtStats ft;
   double elapsed_seconds = 0;

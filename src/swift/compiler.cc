@@ -29,8 +29,7 @@ proc swift:binop {out type op a b} {
   turbine::rule [list $a $b] [list swift:binop_body $out $type $op $a $b] type LOCAL
 }
 proc swift:binop_body {out type op a b} {
-  set va [turbine::retrieve $a]
-  set vb [turbine::retrieve $b]
+  lassign [turbine::multi_retrieve [list $a $b]] va vb
   if {$op eq "cat"} { swift:store_typed $type $out [string cat $va $vb] } elseif {$op eq "streq"} { swift:store_typed $type $out [string equal $va $vb] } elseif {$op eq "strne"} { swift:store_typed $type $out [expr ![string equal $va $vb]] } else { swift:store_typed $type $out [expr $va $op $vb] }
 }
 proc swift:unop {out type op a} {
@@ -43,24 +42,21 @@ proc swift:printf {ids} {
   turbine::rule $ids [list swift:printf_body $ids] type LOCAL
 }
 proc swift:printf_body {ids} {
-  set vals {}
-  foreach id $ids { lappend vals [turbine::retrieve $id] }
+  set vals [turbine::multi_retrieve $ids]
   printf {*}$vals
 }
 proc swift:trace {ids} {
   turbine::rule $ids [list swift:trace_body $ids] type LOCAL
 }
 proc swift:trace_body {ids} {
-  set vals {}
-  foreach id $ids { lappend vals [turbine::retrieve $id] }
+  set vals [turbine::multi_retrieve $ids]
   trace {*}$vals
 }
 proc swift:sprintf {out ids} {
   turbine::rule $ids [list swift:sprintf_body $out $ids] type LOCAL
 }
 proc swift:sprintf_body {out ids} {
-  set vals {}
-  foreach id $ids { lappend vals [turbine::retrieve $id] }
+  set vals [turbine::multi_retrieve $ids]
   turbine::store_string $out [format {*}$vals]
 }
 proc swift:strcat {out ids} {
@@ -68,7 +64,7 @@ proc swift:strcat {out ids} {
 }
 proc swift:strcat_body {out ids} {
   set s {}
-  foreach id $ids { append s [turbine::retrieve $id] }
+  foreach v [turbine::multi_retrieve $ids] { append s $v }
   turbine::store_string $out $s
 }
 proc swift:convert {out kind in} {
@@ -82,27 +78,29 @@ proc swift:python {out code expr} {
   turbine::rule [list $code $expr] [list swift:python_body $out $code $expr] type WORK
 }
 proc swift:python_body {out code expr} {
-  turbine::store_string $out [python [turbine::retrieve $code] [turbine::retrieve $expr]]
+  lassign [turbine::multi_retrieve [list $code $expr]] vcode vexpr
+  turbine::store_string $out [python $vcode $vexpr]
 }
 proc swift:r {out code expr} {
   turbine::rule [list $code $expr] [list swift:r_body $out $code $expr] type WORK
 }
 proc swift:r_body {out code expr} {
-  turbine::store_string $out [R [turbine::retrieve $code] [turbine::retrieve $expr]]
+  lassign [turbine::multi_retrieve [list $code $expr]] vcode vexpr
+  turbine::store_string $out [R $vcode $vexpr]
 }
 proc swift:app {out ids} {
   turbine::rule $ids [list swift:app_body $out $ids] type WORK
 }
 proc swift:app_body {out ids} {
-  set argv {}
-  foreach id $ids { lappend argv [turbine::retrieve $id] }
+  set argv [turbine::multi_retrieve $ids]
   turbine::store_string $out [turbine::exec_app {*}$argv]
 }
 proc swift:array_store {arr key value} {
   turbine::rule [list $key $value] [list swift:array_store_body $arr $key $value] type LOCAL
 }
 proc swift:array_store_body {arr key value} {
-  turbine::container_insert $arr [turbine::retrieve $key] [turbine::retrieve $value]
+  lassign [turbine::multi_retrieve [list $key $value]] vkey vvalue
+  turbine::container_insert $arr $vkey $vvalue
   turbine::write_incr $arr -1
 }
 proc swift:array_get {out arr key type} {
@@ -664,9 +662,7 @@ class Compiler {
     procs_ << "proc " << body_proc << " {" << s.name << "__val" << cap_params << "} {\n"
            << inner.code.str() << iter_releases << "}\n";
     procs_ << "proc " << split_proc << " {lo hi step" << cap_params << "} {\n"
-           << "  set lo_v [turbine::retrieve $lo]\n"
-           << "  set hi_v [turbine::retrieve $hi]\n"
-           << "  set step_v [turbine::retrieve $step]\n"
+           << "  lassign [turbine::multi_retrieve [list $lo $hi $step]] lo_v hi_v step_v\n"
            << "  if {$step_v == 0} { error \"foreach: step must be nonzero\" }\n"
            << "  for {set k $lo_v} {($step_v > 0 && $k <= $hi_v) || ($step_v < 0 && $k >= "
               "$hi_v)} {incr k $step_v} {\n"

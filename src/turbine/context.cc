@@ -34,6 +34,12 @@ Context::Context(adlb::Client& client, Engine* engine, const ContextConfig& cfg)
     emit(line);
   });
   register_commands();
+  // On engine ranks, data errors name the source variable behind the
+  // offending id via the compiler's symbol map.
+  if (engine_ != nullptr) {
+    Engine* engine = engine_;
+    client_.set_symbol_hint([engine](int64_t id) { return engine->describe_datum(id); });
+  }
   blob::register_blobutils(interp_, blobs_);
   if (cfg_.setup_interp) cfg_.setup_interp(interp_);
   if (cfg_.setup_bindings) cfg_.setup_bindings(interp_, blobs_);
@@ -172,10 +178,20 @@ void Context::register_commands() {
   in.register_command("turbine::retrieve_integer", retrieve);
   in.register_command("turbine::retrieve_float", retrieve);
   in.register_command("turbine::retrieve_string", retrieve);
+  // One RPC per owning server for a whole list of ids; returns the values
+  // as a Tcl list in input order. Rule bodies with several input futures
+  // use this instead of a retrieve loop.
+  in.register_command("turbine::multi_retrieve", [ctx](tcl::Interp&, Args& a) {
+    tcl::check_arity(a, 1, 1, "idList");
+    std::vector<int64_t> ids;
+    for (const auto& tok : tcl::list_split(a[1])) ids.push_back(want_id(tok));
+    return tcl::list_join(ctx->client_.multi_retrieve(ids));
+  });
   in.register_command("turbine::retrieve_blob", [ctx](tcl::Interp&, Args& a) {
     tcl::check_arity(a, 1, 1, "id");
-    std::string bytes = ctx->client_.retrieve(want_id(a[1]));
-    return ctx->blobs_.insert(blob::Blob::from_string(bytes));
+    // Zero copy: the blob aliases the retrieve reply (or the cached
+    // bytes) until some binding mutates it.
+    return ctx->blobs_.insert(blob::Blob::from_view(ctx->client_.retrieve_view(want_id(a[1]))));
   });
   in.register_command("turbine::exists", [ctx](tcl::Interp&, Args& a) {
     tcl::check_arity(a, 1, 1, "id");

@@ -71,6 +71,12 @@ void Engine::name_datum(int64_t id, std::string name, int line) {
   names_[id] = std::move(sym);
 }
 
+std::string Engine::describe_datum(int64_t id) const {
+  auto it = names_.find(id);
+  if (it == names_.end()) return {};
+  return "variable \"" + it->second.name + "\" (line " + std::to_string(it->second.line) + ")";
+}
+
 std::vector<StuckRule> Engine::stuck_report() const {
   // Invert watchers_ (datum -> rule ids) to find what each pending rule
   // is still waiting on.

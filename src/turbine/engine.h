@@ -77,6 +77,10 @@ class Engine {
   // declared at `line` (registered by the compiled program's swift:alloc).
   void name_datum(int64_t id, std::string name, int line);
 
+  // "variable \"x\" (line 3)" for a mapped datum, "" otherwise. Feeds the
+  // client's DataError symbol hint.
+  std::string describe_datum(int64_t id) const;
+
   // The quiescence diagnosis: every pending rule with the unset datum ids
   // it is waiting on, resolved through the symbol map where possible.
   // Meaningful once the run has terminated with pending_rules() > 0.
