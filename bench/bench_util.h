@@ -94,11 +94,30 @@ class JsonLine {
     body_ += '"' + escaped(key) + "\": ";
     return body_;
   }
+  // Full JSON string escaping: quotes, backslashes, and every control
+  // character (benchmark names and error strings can carry newlines and
+  // tabs, which would otherwise break the one-object-per-line contract).
   static std::string escaped(const std::string& s) {
     std::string out;
-    for (char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
+    for (char ch : s) {
+      const unsigned char c = static_cast<unsigned char>(ch);
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        default:
+          if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += ch;
+          }
+      }
     }
     return out;
   }

@@ -113,16 +113,38 @@ namespace {
   throw DataError(r.get_str());
 }
 
-// Reads an Ack/Error reply.
-void expect_ack(ser::Reader r) {
+// Reads an Ack/Error reply; returns the ACK's piggybacked count of close
+// notifications queued back to this rank (0 for non-closing ops).
+uint32_t expect_ack(ser::Reader r) {
   Op op = static_cast<Op>(r.get_u8());
-  if (op == Op::kAck) return;
+  if (op == Op::kAck) return r.get_u32();
   if (op == Op::kError) raise_error(r);
   throw CommError("adlb: unexpected reply opcode");
 }
 }  // namespace
 
-void Client::put(const WorkUnit& unit) {
+void Client::put(const WorkUnit& unit_in) {
+  WorkUnit unit = unit_in;
+  // Stamp the ambient request context onto units spawned while one of the
+  // request's tasks is evaluating here. Serve bookkeeping notices arrive
+  // pre-tagged and are left alone.
+  if (serve_.req != 0 && unit.req == 0 && (unit.flags & kUnitServeCtl) == 0) {
+    unit.req = serve_.req;
+    unit.owner = serve_.owner;
+    unit.prog = serve_.prog;
+    // Control affinity: a request's untargeted control lands on its owner
+    // engine, so all of its rule state and completion accounting stay on
+    // one rank (requests, not rules, spread across engines).
+    if (unit.type == kTypeControl && unit.target == kAnyRank) unit.target = serve_.owner;
+  }
+  // Owner-local counting: register the +1 before the unit leaves this
+  // rank. Non-owner puts are counted by the first server to see them
+  // (Server::maybe_spawn_notice).
+  if (unit.req != 0 && (unit.flags & (kUnitCounted | kUnitServeCtl)) == 0 &&
+      unit.owner == comm_.rank() && on_spawned_) {
+    unit.flags |= kUnitCounted;
+    on_spawned_(unit.req);
+  }
   if (unit.type < 0 || unit.type >= cfg_.ntypes) {
     throw DataError("adlb: put with invalid work type " + std::to_string(unit.type));
   }
@@ -137,7 +159,13 @@ void Client::put(const WorkUnit& unit) {
   // answer-rank pattern: put to rank R, then block in a raw recv for R's
   // reply), so deferring it could deadlock; it goes out synchronously,
   // after the buffer (rpc() flushes first) to preserve program order.
-  if (batching_ && unit.target == kAnyRank) {
+  // Exception: an owner engine's control put retargeted at itself by the
+  // affinity rule above has no outside observer (this rank is both the
+  // putter and the target, and rpc() flushes before its next Get), so it
+  // keeps the batched fast path.
+  const bool self_control =
+      unit.req != 0 && unit.type == kTypeControl && unit.target == comm_.rank();
+  if (batching_ && (unit.target == kAnyRank || self_control)) {
     if (pending_put_count_ == 0) {
       pending_puts_ = comm_.writer();
       pending_puts_.put_u8(static_cast<uint8_t>(Op::kPutBatch));
@@ -232,6 +260,9 @@ void Client::create(int64_t id, DataType type) {
   w.put_u8(static_cast<uint8_t>(Op::kCreate));
   w.put_i64(id);
   w.put_u8(static_cast<uint8_t>(type));
+  // Datums created while a request evaluates here belong to its
+  // namespace: the owning shard indexes them for kFreeNamespace.
+  w.put_i64(serve_.req);
   expect_ack(rpc(owner_server(id, comm_.size(), cfg_), std::move(w)));
 }
 
@@ -241,7 +272,8 @@ void Client::store(int64_t id, std::string_view value, bool close) {
   w.put_i64(id);
   w.put_bool(close);
   w.put_str(value);
-  expect_ack(rpc(owner_server(id, comm_.size(), cfg_), std::move(w)));
+  uint32_t n = expect_ack(rpc(owner_server(id, comm_.size(), cfg_), std::move(w)));
+  if (n > 0 && serve_.req != 0 && on_self_notify_) on_self_notify_(serve_.req, id, n);
 }
 
 std::string Client::retrieve(int64_t id) { return retrieve_view(id).to_string(); }
@@ -370,7 +402,8 @@ void Client::close(int64_t id) {
   ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kCloseDatum));
   w.put_i64(id);
-  expect_ack(rpc(owner_server(id, comm_.size(), cfg_), std::move(w)));
+  uint32_t n = expect_ack(rpc(owner_server(id, comm_.size(), cfg_), std::move(w)));
+  if (n > 0 && serve_.req != 0 && on_self_notify_) on_self_notify_(serve_.req, id, n);
 }
 
 bool Client::subscribe(int64_t id, int notify_type) {
@@ -402,7 +435,8 @@ void Client::write_incr(int64_t id, int delta) {
   w.put_u8(static_cast<uint8_t>(Op::kWriteIncr));
   w.put_i64(id);
   w.put_i32(delta);
-  expect_ack(rpc(owner_server(id, comm_.size(), cfg_), std::move(w)));
+  uint32_t n = expect_ack(rpc(owner_server(id, comm_.size(), cfg_), std::move(w)));
+  if (n > 0 && serve_.req != 0 && on_self_notify_) on_self_notify_(serve_.req, id, n);
 }
 
 void Client::insert(int64_t container_id, std::string_view key, std::string_view value) {
@@ -440,6 +474,37 @@ std::vector<std::pair<std::string, std::string>> read_pairs(ser::Reader& r) {
   return out;
 }
 }  // namespace
+
+std::pair<uint64_t, uint64_t> Client::free_namespace(int64_t req) {
+  uint64_t leftover = 0;
+  uint64_t stuck = 0;
+  for (int s = 0; s < cfg_.nservers; ++s) {
+    ser::Writer w = comm_.writer();
+    w.put_u8(static_cast<uint8_t>(Op::kFreeNamespace));
+    w.put_i64(req);
+    ser::Reader r = rpc(server_rank(s, comm_.size(), cfg_), std::move(w));
+    Op op = static_cast<Op>(r.get_u8());
+    if (op == Op::kError) raise_error(r);
+    if (op != Op::kValue) throw CommError("adlb: unexpected reply to FreeNamespace");
+    leftover += r.get_u64();
+    stuck += r.get_u64();
+  }
+  return {leftover, stuck};
+}
+
+uint64_t Client::datum_count() {
+  uint64_t total = 0;
+  for (int s = 0; s < cfg_.nservers; ++s) {
+    ser::Writer w = comm_.writer();
+    w.put_u8(static_cast<uint8_t>(Op::kDatumCount));
+    ser::Reader r = rpc(server_rank(s, comm_.size(), cfg_), std::move(w));
+    Op op = static_cast<Op>(r.get_u8());
+    if (op == Op::kError) raise_error(r);
+    if (op != Op::kValue) throw CommError("adlb: unexpected reply to DatumCount");
+    total += r.get_u64();
+  }
+  return total;
+}
 
 std::vector<std::pair<std::string, std::string>> Client::enumerate(int64_t container_id) {
   // A closed container's entries are immutable, so the serialized pair

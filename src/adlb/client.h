@@ -120,6 +120,39 @@ class Client {
     symbol_hint_ = std::move(hint);
   }
 
+  // ---- serve runtime (src/serve) ----
+
+  // Ambient request context, stamped onto every put and create issued
+  // while a request is being evaluated on this rank (engine rule bodies,
+  // worker leaf tasks). An all-zero context (the default) disables every
+  // serve path.
+  struct ServeCtx {
+    int64_t req = 0;
+    int owner = kAnyRank;  // engine rank owning the request's accounting
+    int64_t prog = 0;      // datum id of the request's program text
+  };
+  void set_serve_ctx(const ServeCtx& ctx) { serve_ = ctx; }
+  void clear_serve_ctx() { serve_ = {}; }
+  const ServeCtx& serve_ctx() const { return serve_; }
+
+  // Owner-engine accounting hooks. on_spawned(req) fires when a unit of
+  // `req` is counted locally at put time (+1 before the unit leaves this
+  // rank); on_self_notify(req, id, n) fires when a store/close/write_incr
+  // ACK reports n close notifications queued back to this very rank — the
+  // owner must treat them as outstanding until they arrive.
+  void set_serve_hooks(std::function<void(int64_t)> on_spawned,
+                       std::function<void(int64_t, int64_t, uint32_t)> on_self_notify) {
+    on_spawned_ = std::move(on_spawned);
+    on_self_notify_ = std::move(on_self_notify);
+  }
+
+  // Sweeps every datum created under `req` off all shards; returns the
+  // merged (leftover unclosed, stuck with subscribers) diagnostic counts.
+  std::pair<uint64_t, uint64_t> free_namespace(int64_t req);
+
+  // Total live datums across all shards (serve memory-bound checks).
+  uint64_t datum_count();
+
  private:
   enum class EntryKind : uint8_t { kScalar, kEnumeration };
   struct CacheEntry {
@@ -169,6 +202,11 @@ class Client {
   std::list<int64_t> lru_;  // most recently used at the front
   DataCacheStats cache_stats_;
   std::function<std::string(int64_t)> symbol_hint_;
+
+  // ---- serve state ----
+  ServeCtx serve_;
+  std::function<void(int64_t)> on_spawned_;
+  std::function<void(int64_t, int64_t, uint32_t)> on_self_notify_;
 };
 
 }  // namespace ilps::adlb

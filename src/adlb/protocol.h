@@ -85,6 +85,22 @@ struct Config {
   bool operator==(const Config&) const = default;
 };
 
+// Serve-runtime flags on a WorkUnit (src/serve). A request-tagged unit
+// (req != 0) participates in per-request completion accounting on its
+// owner engine; these bits keep that accounting exact.
+inline constexpr uint8_t kUnitServeCtl = 1;  // serve bookkeeping notice, not
+                                             // user work: never counted, never
+                                             // a task, dispatched by the engine
+                                             // loop in C++
+inline constexpr uint8_t kUnitCounted = 2;   // +1 already registered with the
+                                             // owner (locally or via a spawn
+                                             // notice); re-puts must not count
+                                             // it again
+inline constexpr uint8_t kUnitReqBegin = 4;  // request seed: the target engine
+                                             // becomes the owner, begins the
+                                             // request, and evaluates the
+                                             // payload as its entry script
+
 // A unit of work travelling through ADLB.
 struct WorkUnit {
   int type = kTypeWork;
@@ -95,6 +111,13 @@ struct WorkUnit {
   int64_t id = 0;          // server-assigned identity (0 = not yet assigned);
                            // names the unit in retry bookkeeping and errors
   int attempts = 0;        // delivery attempts so far (fault tolerance)
+
+  // ---- serve-runtime request tagging (src/serve; all zero outside it) ----
+  int64_t req = 0;         // request this unit belongs to (0 = none)
+  int owner = kAnyRank;    // engine rank owning the request's accounting
+  int64_t prog = 0;        // datum id of the request's program text (0 = the
+                           // payload is self-contained)
+  uint8_t flags = 0;       // kUnitServeCtl / kUnitCounted
 };
 
 // Typed data store (the ADLB data extension Turbine uses).
@@ -176,6 +199,11 @@ enum class Op : uint8_t {
   kTypeOf = 23,
   kMultiRetrieve = 24,  // u64 n + n ids, answered in one kValue reply with
                         // per-id status (one RPC per server per batch)
+  kFreeNamespace = 25,  // i64 req: drop every datum created under that
+                        // request namespace on this shard (serve GC);
+                        // replies kValue with {u64 leftover, u64 stuck}
+  kDatumCount = 26,     // no args; replies kValue with u64 live-datum count
+                        // on this shard (serve memory-bound checks)
 
   // server -> client responses
   kAck = 40,

@@ -112,6 +112,7 @@ void Server::handle_request(const mpi::Message& m) {
       WorkUnit unit = read_work_unit(r);
       ++stats_.puts;
       name_unit(unit);
+      maybe_spawn_notice(unit);
       obs::instant(obs::EventKind::kAdlbPut, unit.id, unit.type);
       handle_put(m.source, unit);
       break;
@@ -123,6 +124,7 @@ void Server::handle_request(const mpi::Message& m) {
         WorkUnit unit = read_work_unit(r);
         ++stats_.puts;
         name_unit(unit);
+        maybe_spawn_notice(unit);
         obs::instant(obs::EventKind::kAdlbPut, unit.id, unit.type);
         if (unit.type < 0 || unit.type >= cfg_.ntypes) {
           error = "put: invalid work type " + std::to_string(unit.type);
@@ -157,6 +159,22 @@ void Server::handle_request(const mpi::Message& m) {
       handle_data_op(m.source, op, r);
       break;
   }
+}
+
+void Server::maybe_spawn_notice(WorkUnit& unit) {
+  if (unit.req == 0 || (unit.flags & (kUnitServeCtl | kUnitCounted)) != 0) return;
+  unit.flags |= kUnitCounted;
+  const int nclients = num_clients(comm_.size(), cfg_);
+  if (unit.owner < 0 || unit.owner >= nclients) return;  // untracked request
+  WorkUnit notice;
+  notice.type = kTypeControl;
+  notice.priority = 1 << 20;
+  notice.target = unit.owner;
+  notice.payload = "+";
+  notice.req = unit.req;
+  notice.owner = unit.owner;
+  notice.flags = kUnitServeCtl | kUnitCounted;
+  accept_unit(std::move(notice));
 }
 
 void Server::handle_put(int source, const WorkUnit& unit) {
@@ -683,12 +701,13 @@ Server::Datum& Server::find_datum(int64_t id, const char* op) {
   return it->second;
 }
 
-void Server::do_close(int64_t id, Datum& datum) {
+uint32_t Server::do_close(int64_t id, Datum& datum, int rpc_source) {
   datum.closed = true;
   if (!datum.subscribers.empty()) {
     obs::instant(obs::EventKind::kDataNotify, id,
                  static_cast<int64_t>(datum.subscribers.size()));
   }
+  uint32_t self_notifications = 0;
   for (const auto& [rank, notify_type] : datum.subscribers) {
     WorkUnit unit;
     unit.type = notify_type;
@@ -697,8 +716,10 @@ void Server::do_close(int64_t id, Datum& datum) {
     unit.payload = std::to_string(id);
     accept_unit(unit);
     ++stats_.notifications;
+    if (rank == rpc_source) ++self_notifications;
   }
   datum.subscribers.clear();
+  return self_notifications;
 }
 
 uint64_t Server::epoch_of(int64_t id) const {
@@ -739,6 +760,7 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
       case Op::kCreate: {
         int64_t id = r.get_i64();
         auto type = static_cast<DataType>(r.get_u8());
+        int64_t req = r.get_i64();
         if (store_.count(id) > 0) {
           // Replay (restart or retried task): re-creating the same id
           // with the same type is idempotent under fault tolerance.
@@ -751,6 +773,7 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         Datum d;
         d.type = type;
         store_.emplace(id, std::move(d));
+        if (req != 0) req_index_[req].push_back(id);
         reply_ack(source);
         return;
       }
@@ -771,8 +794,7 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         }
         d.value = std::move(value);
         d.has_value = true;
-        if (close) do_close(id, d);
-        reply_ack(source);
+        reply_ack(source, close ? do_close(id, d, source) : 0);
         return;
       }
       case Op::kRetrieve: {
@@ -840,8 +862,7 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
           }
           throw DataError("close: datum <" + std::to_string(id) + "> already closed");
         }
-        do_close(id, d);
-        reply_ack(source);
+        reply_ack(source, do_close(id, d, source));
         return;
       }
       case Op::kSubscribe: {
@@ -892,8 +913,7 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         if (d.write_refs < 0) {
           throw DataError("write refcount: datum <" + std::to_string(id) + "> underflow");
         }
-        if (d.write_refs == 0) do_close(id, d);
-        reply_ack(source);
+        reply_ack(source, d.write_refs == 0 ? do_close(id, d, source) : 0);
         return;
       }
       case Op::kInsert: {
@@ -961,6 +981,51 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         w.put_bool(cacheable);
         w.put_u64(epoch_of(id));
         if (cacheable && !cfg_.ft) handouts_[id].insert(source);
+        comm_.send(source, kTagResponse, std::move(w));
+        return;
+      }
+      case Op::kFreeNamespace: {
+        int64_t req = r.get_i64();
+        uint64_t leftover = 0;
+        uint64_t stuck = 0;
+        auto it = req_index_.find(req);
+        if (it != req_index_.end()) {
+          for (int64_t id : it->second) {
+            auto sit = store_.find(id);
+            if (sit == store_.end()) continue;  // already refcount-GC'd
+            const Datum& d = sit->second;
+            if (!d.closed) {
+              // Same diagnostics release_parked() produces at shutdown;
+              // counting here (the store is swept clean below) keeps the
+              // run-level leftover/stuck totals identical.
+              ++leftover;
+              ++stats_.leftover_data;
+              if (!d.subscribers.empty()) {
+                ++stuck;
+                ++stats_.stuck_datums;
+                obs::instant(obs::EventKind::kDatumStuck, id,
+                             static_cast<int64_t>(d.subscribers.size()));
+                if (stats_.stuck_datums <= 8) {
+                  log::warn("adlb: datum <", id, "> never closed; ", d.subscribers.size(),
+                            " subscriber(s) still waiting");
+                }
+              }
+            }
+            gc_datum(id);
+          }
+          req_index_.erase(it);
+        }
+        ser::Writer w = reply_writer(source);
+        w.put_u8(static_cast<uint8_t>(Op::kValue));
+        w.put_u64(leftover);
+        w.put_u64(stuck);
+        comm_.send(source, kTagResponse, std::move(w));
+        return;
+      }
+      case Op::kDatumCount: {
+        ser::Writer w = reply_writer(source);
+        w.put_u8(static_cast<uint8_t>(Op::kValue));
+        w.put_u64(store_.size());
         comm_.send(source, kTagResponse, std::move(w));
         return;
       }
@@ -1075,9 +1140,10 @@ ser::Writer Server::reply_writer(int dest) {
   return w;
 }
 
-void Server::reply_ack(int dest) {
+void Server::reply_ack(int dest, uint32_t self_notifications) {
   ser::Writer w = reply_writer(dest);
   w.put_u8(static_cast<uint8_t>(Op::kAck));
+  w.put_u32(self_notifications);
   comm_.send(dest, kTagResponse, std::move(w));
 }
 

@@ -113,6 +113,13 @@ class Server {
   void restore(const ckpt::Snapshot& snap);
 
   // ---- tasks ----
+  // Serve accounting: the first server to see an uncounted request-tagged
+  // unit registers it with the request's owner engine by emitting a spawn
+  // notice (+1) before accepting the unit. Eager-transport FIFO then
+  // guarantees the +1 reaches the owner before the unit's eventual done
+  // notice (-1), so the owner's active count can never touch zero while
+  // work is still in flight.
+  void maybe_spawn_notice(WorkUnit& unit);
   void handle_put(int source, const WorkUnit& unit);
   // Assigns a globally unique id to a not-yet-named unit.
   void name_unit(WorkUnit& unit);
@@ -130,7 +137,11 @@ class Server {
   // ---- data ----
   void handle_data_op(int source, Op op, ser::Reader& r);
   Datum& find_datum(int64_t id, const char* op);
-  void do_close(int64_t id, Datum& datum);
+  // Closes the datum and queues one notification unit per subscriber.
+  // Returns how many of those notifications target `rpc_source` itself:
+  // the count rides back on the ACK so an owner engine can account for
+  // close notifications it has just mailed to itself (see maybe_spawn_notice).
+  uint32_t do_close(int64_t id, Datum& datum, int rpc_source);
   // Appends one retrieve result (value, cacheable flag, GC epoch) and
   // records the handout when cacheable (shared by kRetrieve and
   // kMultiRetrieve).
@@ -151,7 +162,7 @@ class Server {
   // Every reply to a client starts with the invalidation header (see
   // protocol.h); this writer drains dest's pending invalidations into it.
   ser::Writer reply_writer(int dest);
-  void reply_ack(int dest);
+  void reply_ack(int dest, uint32_t self_notifications = 0);
   void reply_error(int dest, const std::string& message);
   void send_basic(int dest, const ser::Writer& w);
 
@@ -173,6 +184,10 @@ class Server {
 
   // Data store shard.
   std::unordered_map<int64_t, Datum> store_;
+  // Serve namespace index: ids created under a request (kCreate with
+  // req != 0), swept wholesale by kFreeNamespace when the request
+  // finishes. Ids already refcount-GC'd are skipped at sweep time.
+  std::unordered_map<int64_t, std::vector<int64_t>> req_index_;
 
   // Client-cache coherence (inert when no client caches: handouts are
   // only recorded for replies marked cacheable, and under ft nothing is

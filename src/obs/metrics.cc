@@ -44,6 +44,12 @@ double Histogram::max() const {
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.clear();
+  sum_ = 0;
+}
+
 double Histogram::percentile(double p) const {
   std::lock_guard<std::mutex> lock(mu_);
   if (samples_.empty()) return 0;
@@ -108,6 +114,11 @@ void Metrics::clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+}
+
+void Metrics::reset_histograms() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, h] : histograms_) h->reset();
 }
 
 Metrics& metrics() {

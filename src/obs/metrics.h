@@ -52,6 +52,10 @@ class Histogram {
   double max() const;
   double percentile(double p) const;  // 0 -> min, 100 -> max; 0 if empty
 
+  // Drops every sample in place (the histogram object stays registered,
+  // so cached references remain valid).
+  void reset();
+
  private:
   mutable std::mutex mu_;
   std::vector<double> samples_;
@@ -71,6 +75,12 @@ class Metrics {
   std::vector<std::pair<std::string, const Histogram*>> histograms() const;
 
   void clear();  // drop every metric (tests / fresh runs)
+
+  // Resets every histogram's samples without unregistering the entries.
+  // Used by run_with_faults between restart attempts: the final attempt's
+  // timings must not accumulate samples from aborted attempts, and the
+  // registered objects must survive because rank loops cache references.
+  void reset_histograms();
 
  private:
   mutable std::mutex mu_;

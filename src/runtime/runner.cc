@@ -12,6 +12,7 @@
 #include "common/timer.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "serve/serve.h"
 
 namespace ilps::runtime {
 
@@ -42,8 +43,13 @@ double RunResult::time_of(const std::string& needle) const {
 
 namespace {
 
-RunResult run_program_impl(const Config& cfg, const std::string& program, mpi::World& world,
-                           bool ft, const ckpt::Snapshot* restore) {
+// The fault-tolerant attempt loop body. The plain (non-ft) path lives in
+// serve::Service::run_batch — run_program is a thin wrapper over it — but
+// restart orchestration needs to own the World (fault plans, dead-rank
+// harvesting, trace merging across attempts), so the ft world body stays
+// here.
+RunResult run_ft_attempt(const Config& cfg, const std::string& program, mpi::World& world,
+                         const ckpt::Snapshot* restore) {
   // The swift:main convention (see runner.h): load everywhere, run once.
   const bool has_main = program.find("proc swift:main") != std::string::npos;
   if (cfg.engines < 1) throw Error("runtime: at least one engine rank is required");
@@ -51,15 +57,13 @@ RunResult run_program_impl(const Config& cfg, const std::string& program, mpi::W
   if (cfg.servers < 1) throw Error("runtime: at least one server rank is required");
 
   adlb::Config acfg = cfg.adlb();
-  if (ft) {
-    acfg.ft = true;
-    acfg.nengines = cfg.engines;
-    acfg.max_task_retries = cfg.max_task_retries;
-    acfg.retry_backoff_ms = cfg.retry_backoff_ms;
-    acfg.heartbeat_timeout_ms = cfg.heartbeat_timeout_ms;
-    acfg.ckpt_interval = cfg.ckpt_interval;
-    acfg.ckpt_dir = cfg.ckpt_dir;
-  }
+  acfg.ft = true;
+  acfg.nengines = cfg.engines;
+  acfg.max_task_retries = cfg.max_task_retries;
+  acfg.retry_backoff_ms = cfg.retry_backoff_ms;
+  acfg.heartbeat_timeout_ms = cfg.heartbeat_timeout_ms;
+  acfg.ckpt_interval = cfg.ckpt_interval;
+  acfg.ckpt_dir = cfg.ckpt_dir;
 
   RunResult result;
   std::mutex mu;
@@ -108,7 +112,7 @@ RunResult run_program_impl(const Config& cfg, const std::string& program, mpi::W
     turbine::ContextConfig ccfg;
     ccfg.policy = cfg.policy;
     ccfg.restricted_os = cfg.restricted_os;
-    ccfg.ft = ft;
+    ccfg.ft = true;
     ccfg.output = sink;
     ccfg.setup_interp = cfg.setup_interp;
     ccfg.setup_bindings = cfg.setup_bindings;
@@ -296,8 +300,9 @@ std::vector<std::string> role_names(const Config& cfg) {
 }
 
 RunResult run_program(const Config& cfg, const std::string& program) {
-  mpi::World world(cfg.total_ranks());
-  RunResult result = run_program_impl(cfg, program, world, /*ft=*/false, /*restore=*/nullptr);
+  // The world body moved to the serve runtime (src/serve), which reuses
+  // it for batch runs; semantics, output, and stats are unchanged.
+  RunResult result = serve::Service::run_batch(cfg, program);
   finish_observability(cfg, result);
   throw_if_stuck(cfg, result);
   return result;
@@ -321,8 +326,7 @@ RunResult run_with_faults(const Config& cfg, const std::string& program) {
     std::optional<ckpt::Snapshot> snap;
     if (!cfg.ckpt_dir.empty()) snap = ckpt::load_latest(cfg.ckpt_dir);
     try {
-      RunResult result =
-          run_program_impl(cfg, program, world, /*ft=*/true, snap ? &*snap : nullptr);
+      RunResult result = run_ft_attempt(cfg, program, world, snap ? &*snap : nullptr);
       for (int r : world.dead_ranks()) all_dead.push_back(r);
       result.ft.attempts = attempts;
       result.ft.dead_ranks = std::move(all_dead);
@@ -344,6 +348,12 @@ RunResult run_with_faults(const Config& cfg, const std::string& program) {
         prior_trace.insert(prior_trace.end(), events.begin(), events.end());
       }
       if (attempts > cfg.max_restarts) throw;
+      // The next attempt re-enters the rank loops, which re-resolve (or
+      // cache) the same registered histograms. Reset their samples in
+      // place — without this, the aborted attempt's task timings pollute
+      // the final attempt's task.seconds / ckpt histograms. Counters are
+      // published by set() at end of run, so only histograms accumulate.
+      if (obs::metrics_enabled()) obs::metrics().reset_histograms();
       // Consumed fault actions must not re-fire on the next attempt.
       const std::vector<bool> fired = world.fault_fired();
       mpi::FaultPlan next;

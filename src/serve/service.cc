@@ -1,0 +1,726 @@
+#include "serve/serve.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "adlb/client.h"
+#include "adlb/server.h"
+#include "common/timer.h"
+#include "mpi/comm.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "swift/compiler.h"
+#include "turbine/context.h"
+
+namespace ilps::serve {
+
+namespace detail {
+
+// A Swift source compiled once: namespaced MiniTcl proc definitions plus
+// the entry proc name. `datum` is the resident store copy (created by the
+// ingress rank under request 0, so the namespace GC never sweeps it);
+// only the ingress thread reads or writes it.
+struct CompiledProgram {
+  std::string tcl;
+  std::string entry;
+  int64_t datum = 0;
+};
+
+// Compile-once cache keyed by source text. Each program gets a distinct
+// proc namespace ("p<n>:") so its generated procs coexist with every
+// other cached program inside the resident interpreters.
+class ProgramCache {
+ public:
+  std::shared_ptr<CompiledProgram> get(const std::string& source) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_source_.find(source);
+    if (it != by_source_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    const std::string ns = "p" + std::to_string(by_source_.size()) + ":";
+    auto prog = std::make_shared<CompiledProgram>();
+    prog->tcl = swift::compile(source, ns);  // parse + verify + codegen
+    prog->entry = ns + "swift:main";
+    ++compiled_;
+    by_source_.emplace(source, prog);
+    return prog;
+  }
+
+  uint64_t compiled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return compiled_;
+  }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<CompiledProgram>> by_source_;
+  uint64_t compiled_ = 0;
+  uint64_t hits_ = 0;
+};
+
+struct RequestEntry {
+  int64_t id = 0;
+  std::shared_ptr<CompiledProgram> prog;
+  double submitted = 0;  // hub-clock time of admission
+  std::string partial;   // output fragment awaiting its newline
+  bool done = false;
+  RequestResult result;
+};
+
+// A command for the ingress rank, queued by submit()/datum_count()/
+// shutdown() and drained inside the world.
+struct Command {
+  enum Kind { kSubmit, kCount, kStop };
+  Kind kind = kSubmit;
+  std::shared_ptr<RequestEntry> entry;                   // kSubmit
+  std::shared_ptr<std::promise<uint64_t>> count;        // kCount
+};
+
+// Formats the per-request stuck-future report (the resident counterpart
+// of the runtime's batch deadlock message).
+std::string deadlock_message(int64_t req, const turbine::RequestOutcome& out) {
+  std::ostringstream s;
+  s << "deadlock: request <" << req << "> terminated with " << out.unfired_rules
+    << " rule(s) still waiting on unset futures";
+  constexpr size_t kMaxShown = 8;
+  size_t shown = 0;
+  for (const auto& rule : out.stuck) {
+    if (shown++ == kMaxShown) {
+      s << "\n  ... and " << (out.stuck.size() - kMaxShown) << " more rule(s)";
+      break;
+    }
+    s << "\n  rule <" << rule.id << "> waiting on";
+    if (rule.waiting.empty()) s << " unknown inputs";
+    for (const auto& input : rule.waiting) {
+      s << " ";
+      if (!input.name.empty()) {
+        s << "\"" << input.name << "\" (line " << input.line << ", datum <" << input.id << ">)";
+      } else {
+        s << "datum <" << input.id << ">";
+      }
+    }
+  }
+  s << "\n  hint: `ilps --lint` reports statically provable deadlocks";
+  return s.str();
+}
+
+// Shared rendezvous between the submission side (user threads) and the
+// world's rank threads. Owns admission state, per-request entries, the
+// ingress command queue, and the serve.* metrics. Reference-counted so
+// RequestHandles stay valid after the Service is gone.
+class Hub {
+ public:
+  explicit Hub(bool echo) : echo_(echo) {
+    if (obs::metrics_enabled()) {
+      obs::Metrics& m = obs::metrics();
+      m_admitted_ = &m.counter("serve.admitted");
+      m_rejected_ = &m.counter("serve.rejected");
+      m_shed_ = &m.counter("serve.shed");
+      m_completed_ = &m.counter("serve.completed");
+      m_failed_ = &m.counter("serve.failed");
+      m_inflight_ = &m.gauge("serve.inflight");
+      m_latency_ = &m.histogram("serve.request_seconds");
+    }
+  }
+
+  std::mutex mu;
+  std::condition_variable cv_done;  // completion: wakes wait()/drain()/kBlock
+  std::condition_variable cv_cmd;   // new command: wakes the ingress rank
+
+  std::deque<Command> commands;
+  std::unordered_map<int64_t, std::shared_ptr<RequestEntry>> inflight;
+  int64_t next_id = 1;
+  bool stopping = false;  // shutdown() called; no further admissions
+
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t shed = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+
+  Timer clock;  // service epoch: line_times and latencies count from here
+
+  // Per-request output sink for every client rank (installed as
+  // ContextConfig::serve_output). Splits fragments into lines on the
+  // request's own entry; output outside any request goes to stdout only
+  // under echo.
+  void emit(int64_t req, int rank, const std::string& text) {
+    (void)rank;
+    std::lock_guard<std::mutex> lock(mu);
+    if (echo_) std::fwrite(text.data(), 1, text.size(), stdout);
+    if (req == 0) return;
+    auto it = inflight.find(req);
+    if (it == inflight.end()) return;
+    RequestEntry& e = *it->second;
+    e.partial += text;
+    size_t pos;
+    while ((pos = e.partial.find('\n')) != std::string::npos) {
+      e.result.lines.push_back(e.partial.substr(0, pos));
+      e.result.line_times.push_back(clock.elapsed());
+      e.partial.erase(0, pos + 1);
+    }
+  }
+
+  // Completion callback from an owner engine (ContextConfig::serve_complete):
+  // the accounting proved the request finished and its namespace is GC'd.
+  void complete(turbine::RequestOutcome&& out) {
+    std::unique_lock<std::mutex> lock(mu);
+    auto it = inflight.find(out.req);
+    if (it == inflight.end()) return;  // shed before it ran
+    std::shared_ptr<RequestEntry> e = std::move(it->second);
+    inflight.erase(it);
+    e->result.kind = out.kind;
+    e->result.error = out.kind == turbine::RequestErrorKind::kDeadlock
+                          ? deadlock_message(out.req, out)
+                          : std::move(out.error);
+    e->result.unfired_rules = out.unfired_rules;
+    e->result.stuck = std::move(out.stuck);
+    e->result.leftover_data = out.leftover_data;
+    e->result.stuck_datums = out.stuck_datums;
+    finish_locked(*e, /*was_failure=*/out.kind != turbine::RequestErrorKind::kNone);
+  }
+
+  // Marks every live request failed (the world died under them); called
+  // with the world's terminal error so waiters see a cause, not a hang.
+  void fail_all(const std::string& why) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto& [id, e] : inflight) {
+      e->result.kind = turbine::RequestErrorKind::kGeneric;
+      e->result.error = why;
+      finish_locked(*e, /*was_failure=*/true);
+    }
+    inflight.clear();
+    commands.clear();
+  }
+
+  // Caller holds mu. Seals the entry's result and publishes metrics.
+  void finish_locked(RequestEntry& e, bool was_failure) {
+    if (!e.partial.empty()) {
+      e.result.lines.push_back(std::move(e.partial));
+      e.result.line_times.push_back(clock.elapsed());
+      e.partial.clear();
+    }
+    e.result.latency_seconds = clock.elapsed() - e.submitted;
+    e.done = true;
+    ++completed;
+    if (was_failure) ++failed;
+    if (m_completed_ != nullptr) m_completed_->add();
+    if (was_failure && m_failed_ != nullptr) m_failed_->add();
+    if (m_inflight_ != nullptr) m_inflight_->set(static_cast<double>(inflight.size()));
+    if (m_latency_ != nullptr) m_latency_->record(e.result.latency_seconds);
+    cv_done.notify_all();
+  }
+
+  // Metric handles (null when metrics are disabled); resolved once.
+  obs::Counter* m_admitted_ = nullptr;
+  obs::Counter* m_rejected_ = nullptr;
+  obs::Counter* m_shed_ = nullptr;
+  obs::Counter* m_completed_ = nullptr;
+  obs::Counter* m_failed_ = nullptr;
+  obs::Gauge* m_inflight_ = nullptr;
+  obs::Histogram* m_latency_ = nullptr;
+
+ private:
+  bool echo_ = false;
+};
+
+}  // namespace detail
+
+using detail::Command;
+using detail::CompiledProgram;
+using detail::Hub;
+using detail::RequestEntry;
+
+// ---- RequestHandle ----
+
+int64_t RequestHandle::id() const { return entry_ ? entry_->id : 0; }
+
+bool RequestHandle::done() const {
+  if (!entry_) return false;
+  std::lock_guard<std::mutex> lock(hub_->mu);
+  return entry_->done;
+}
+
+RequestResult RequestHandle::wait() const {
+  if (!entry_) throw Error("serve: wait on an empty RequestHandle");
+  std::unique_lock<std::mutex> lock(hub_->mu);
+  hub_->cv_done.wait(lock, [&] { return entry_->done; });
+  return entry_->result;
+}
+
+RequestResult RequestHandle::get() const {
+  RequestResult r = wait();
+  throw_request_error(r);
+  return r;
+}
+
+void throw_request_error(const RequestResult& r) {
+  if (r.shed) throw ServeError(ServeError::kOverloaded, r.error);
+  switch (r.kind) {
+    case turbine::RequestErrorKind::kNone:
+      return;
+    case turbine::RequestErrorKind::kDeadlock:
+      throw DeadlockError(r.error);
+    case turbine::RequestErrorKind::kData:
+      throw DataError(r.error);
+    case turbine::RequestErrorKind::kScript:
+      throw ScriptError(r.error);
+    case turbine::RequestErrorKind::kTask:
+      throw TaskError(r.error);
+    case turbine::RequestErrorKind::kOs:
+      throw OsError(r.error);
+    case turbine::RequestErrorKind::kGeneric:
+      break;
+  }
+  throw Error(r.error);
+}
+
+// ---- Service ----
+
+struct Service::Impl {
+  ServeConfig cfg;
+  std::shared_ptr<Hub> hub;
+  detail::ProgramCache cache;
+
+  std::mutex lifecycle_mu;  // serializes enter()/shutdown()
+  std::thread world_thread;
+  std::atomic<bool> entered{false};
+  bool joined = false;
+  std::exception_ptr world_error;  // terminal failure of the world itself
+
+  void run_world();
+  void ingress_loop(adlb::Client& client);
+};
+
+// The ingress rank: the one client that is *not* parked in Get while the
+// service is up, which is exactly what keeps the quiescence detector from
+// shutting the resident world down. It drains the hub's command queue,
+// materializes each program's resident copy, and seeds requests onto
+// their owner engines.
+void Service::Impl::ingress_loop(adlb::Client& client) {
+  const int engines = cfg.runtime.engines;
+  for (;;) {
+    Command cmd;
+    {
+      std::unique_lock<std::mutex> lock(hub->mu);
+      hub->cv_cmd.wait(lock, [&] { return !hub->commands.empty(); });
+      cmd = std::move(hub->commands.front());
+      hub->commands.pop_front();
+    }
+    if (cmd.kind == Command::kStop) break;
+    if (cmd.kind == Command::kCount) {
+      cmd.count->set_value(client.datum_count());
+      continue;
+    }
+    CompiledProgram& prog = *cmd.entry->prog;
+    if (prog.datum == 0) {
+      // First run of this program: store its compiled text once, under
+      // request 0 so the namespace GC never reclaims it. Ranks retrieve
+      // and evaluate it lazily (Context::load_program).
+      const int64_t id = client.unique();
+      client.create(id, adlb::DataType::kString);
+      client.store(id, prog.tcl);
+      prog.datum = id;
+    }
+    // The request seed: the owner engine begins the request's accounting
+    // and evaluates the entry proc. Targeted, so it ships synchronously;
+    // the first server to see it emits the "+1" spawn notice ahead of it.
+    adlb::WorkUnit seed;
+    seed.type = adlb::kTypeControl;
+    seed.target = static_cast<int>((cmd.entry->id - 1) % engines);
+    seed.payload = prog.entry;
+    seed.req = cmd.entry->id;
+    seed.owner = seed.target;
+    seed.prog = prog.datum;
+    seed.flags = adlb::kUnitReqBegin;
+    client.put(seed);
+  }
+  // Shutdown: park in Get like every other client. Once the in-flight
+  // requests drain, all clients are parked with empty queues and the
+  // legacy termination detection stops the world.
+  while (client.get(adlb::kTypeControl)) {
+  }
+}
+
+void Service::Impl::run_world() {
+  const runtime::Config& rc = cfg.runtime;
+  adlb::Config acfg = rc.adlb();
+  const int engines = rc.engines;
+  const int ingress_rank = rc.engines + rc.workers;
+
+  mpi::World world(ingress_rank + 1 + rc.servers);
+  std::shared_ptr<Hub> h = hub;
+
+  auto body = [&](mpi::Comm& comm) {
+    if (adlb::is_server(comm.rank(), comm.size(), acfg)) {
+      adlb::Server server(comm, acfg, nullptr);
+      server.serve();
+      return;
+    }
+    adlb::Client client(comm, acfg);
+    if (comm.rank() == ingress_rank) {
+      ingress_loop(client);
+      return;
+    }
+    turbine::ContextConfig ccfg;
+    ccfg.policy = rc.policy;
+    ccfg.restricted_os = rc.restricted_os;
+    ccfg.setup_interp = rc.setup_interp;
+    ccfg.setup_bindings = rc.setup_bindings;
+    ccfg.serve_output = [h](int64_t req, int rank, const std::string& text) {
+      h->emit(req, rank, text);
+    };
+    if (comm.rank() < engines) {
+      turbine::Engine engine(client);
+      ccfg.serve_complete = [h](turbine::RequestOutcome&& out) { h->complete(std::move(out)); };
+      turbine::Context ctx(client, &engine, ccfg);
+      ctx.run_engine("");
+    } else {
+      turbine::Context ctx(client, nullptr, ccfg);
+      ctx.run_worker();
+    }
+  };
+  world.run(body);
+}
+
+Service::Service(ServeConfig cfg) : impl_(std::make_unique<Impl>()) {
+  impl_->cfg = std::move(cfg);
+  impl_->hub = std::make_shared<Hub>(impl_->cfg.runtime.echo_output);
+}
+
+Service::~Service() {
+  try {
+    shutdown();
+  } catch (...) {
+    // Destructors don't throw; shutdown() reports the same error when
+    // called explicitly.
+  }
+}
+
+bool Service::entered() const { return impl_->entered.load(); }
+
+void Service::enter() {
+  std::lock_guard<std::mutex> lock(impl_->lifecycle_mu);
+  if (impl_->entered.load()) return;
+  const runtime::Config& rc = impl_->cfg.runtime;
+  if (rc.engines < 1) throw Error("serve: at least one engine rank is required");
+  if (rc.workers < 1) throw Error("serve: at least one worker rank is required");
+  if (rc.servers < 1) throw Error("serve: at least one server rank is required");
+  if (impl_->cfg.max_inflight < 1) throw Error("serve: max_inflight must be at least 1");
+  Impl* impl = impl_.get();
+  impl_->world_thread = std::thread([impl] {
+    try {
+      impl->run_world();
+    } catch (...) {
+      impl->world_error = std::current_exception();
+      std::string why = "serve: resident world failed";
+      try {
+        std::rethrow_exception(impl->world_error);
+      } catch (const std::exception& e) {
+        why = std::string("serve: resident world failed: ") + e.what();
+      } catch (...) {
+      }
+      impl->hub->fail_all(why);
+    }
+  });
+  impl_->entered.store(true);
+}
+
+RequestHandle Service::submit(const std::string& swift_source) {
+  if (swift_source.empty()) {
+    throw ServeError(ServeError::kBadRequest, "serve: submit of an empty program");
+  }
+  // Compile (or cache-hit) outside the hub lock; SwiftErrors propagate
+  // before anything is admitted.
+  std::shared_ptr<CompiledProgram> prog = impl_->cache.get(swift_source);
+
+  std::shared_ptr<Hub> hub = impl_->hub;
+  std::unique_lock<std::mutex> lock(hub->mu);
+  if (hub->stopping) throw ServeError(ServeError::kShutdown, "serve: submit after shutdown");
+  if (hub->inflight.size() >= impl_->cfg.max_inflight) {
+    switch (impl_->cfg.admission) {
+      case AdmissionPolicy::kReject: {
+        ++hub->rejected;
+        if (hub->m_rejected_ != nullptr) hub->m_rejected_->add();
+        throw ServeError(ServeError::kOverloaded,
+                         "serve: overloaded: " + std::to_string(hub->inflight.size()) +
+                             " request(s) in flight (max " +
+                             std::to_string(impl_->cfg.max_inflight) + ")");
+      }
+      case AdmissionPolicy::kBlock: {
+        hub->cv_done.wait(lock, [&] {
+          return hub->stopping || hub->inflight.size() < impl_->cfg.max_inflight;
+        });
+        if (hub->stopping) {
+          throw ServeError(ServeError::kShutdown, "serve: submit after shutdown");
+        }
+        break;
+      }
+      case AdmissionPolicy::kShedOldest: {
+        // Evict the oldest request that has not reached the ingress rank
+        // yet. Running requests cannot be shed (their work is already in
+        // the world), so a fully-running window degrades to kReject.
+        auto it = std::find_if(hub->commands.begin(), hub->commands.end(),
+                               [](const Command& c) { return c.kind == Command::kSubmit; });
+        if (it == hub->commands.end()) {
+          ++hub->rejected;
+          if (hub->m_rejected_ != nullptr) hub->m_rejected_->add();
+          throw ServeError(ServeError::kOverloaded,
+                           "serve: overloaded: every in-flight request is already running "
+                           "(nothing queued to shed)");
+        }
+        std::shared_ptr<RequestEntry> victim = it->entry;
+        hub->commands.erase(it);
+        hub->inflight.erase(victim->id);
+        victim->result.shed = true;
+        victim->result.error =
+            "serve: request <" + std::to_string(victim->id) + "> shed under overload";
+        ++hub->shed;
+        if (hub->m_shed_ != nullptr) hub->m_shed_->add();
+        hub->finish_locked(*victim, /*was_failure=*/true);
+        break;
+      }
+    }
+  }
+  auto entry = std::make_shared<RequestEntry>();
+  entry->id = hub->next_id++;
+  entry->prog = std::move(prog);
+  entry->submitted = hub->clock.elapsed();
+  entry->result.id = entry->id;
+  hub->inflight.emplace(entry->id, entry);
+  ++hub->admitted;
+  if (hub->m_admitted_ != nullptr) hub->m_admitted_->add();
+  if (hub->m_inflight_ != nullptr) {
+    hub->m_inflight_->set(static_cast<double>(hub->inflight.size()));
+  }
+  Command cmd;
+  cmd.kind = Command::kSubmit;
+  cmd.entry = entry;
+  hub->commands.push_back(std::move(cmd));
+  hub->cv_cmd.notify_one();
+  return RequestHandle(hub, std::move(entry));
+}
+
+void Service::drain() {
+  if (!impl_->entered.load()) throw Error("serve: drain called before enter");
+  std::shared_ptr<Hub> hub = impl_->hub;
+  std::unique_lock<std::mutex> lock(hub->mu);
+  hub->cv_done.wait(lock, [&] { return hub->inflight.empty(); });
+}
+
+void Service::shutdown() {
+  std::lock_guard<std::mutex> lifecycle(impl_->lifecycle_mu);
+  std::shared_ptr<Hub> hub = impl_->hub;
+  {
+    std::lock_guard<std::mutex> lock(hub->mu);
+    if (!hub->stopping) {
+      hub->stopping = true;
+      // The stop sentinel queues *behind* every admitted request, so the
+      // ingress seeds them all before parking; the world then terminates
+      // only after they drain (shutdown implies drain).
+      Command cmd;
+      cmd.kind = Command::kStop;
+      hub->commands.push_back(std::move(cmd));
+      hub->cv_cmd.notify_one();
+      hub->cv_done.notify_all();  // wake kBlock waiters into kShutdown
+    }
+  }
+  if (impl_->entered.load() && !impl_->joined) {
+    impl_->world_thread.join();
+    impl_->joined = true;
+    if (impl_->world_error) std::rethrow_exception(impl_->world_error);
+  }
+}
+
+uint64_t Service::datum_count() {
+  if (!impl_->entered.load()) throw Error("serve: datum_count called before enter");
+  auto promise = std::make_shared<std::promise<uint64_t>>();
+  std::future<uint64_t> value = promise->get_future();
+  std::shared_ptr<Hub> hub = impl_->hub;
+  {
+    std::lock_guard<std::mutex> lock(hub->mu);
+    if (hub->stopping) {
+      throw ServeError(ServeError::kShutdown, "serve: datum_count after shutdown");
+    }
+    Command cmd;
+    cmd.kind = Command::kCount;
+    cmd.count = promise;
+    hub->commands.push_back(std::move(cmd));
+    hub->cv_cmd.notify_one();
+  }
+  return value.get();
+}
+
+ServiceStats Service::stats() const {
+  std::shared_ptr<Hub> hub = impl_->hub;
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(hub->mu);
+    s.admitted = hub->admitted;
+    s.rejected = hub->rejected;
+    s.shed = hub->shed;
+    s.completed = hub->completed;
+    s.failed = hub->failed;
+    s.inflight = hub->inflight.size();
+  }
+  s.programs_compiled = impl_->cache.compiled();
+  s.program_cache_hits = impl_->cache.hits();
+  return s;
+}
+
+// ---- batch mode ----
+
+runtime::RunResult Service::run_batch(const runtime::Config& cfg, const std::string& program) {
+  // The one-shot counterpart of the resident world. This mirrors the
+  // legacy runtime loop exactly: no ingress rank, no request tagging, no
+  // admission — the program's datums live in namespace 0, errors
+  // propagate as exceptions, and termination is the plain quiescence
+  // detection, so existing programs keep their output, stats, and error
+  // semantics to the message.
+  const bool has_main = program.find("proc swift:main") != std::string::npos;
+  if (cfg.engines < 1) throw Error("runtime: at least one engine rank is required");
+  if (cfg.workers < 1) throw Error("runtime: at least one worker rank is required");
+  if (cfg.servers < 1) throw Error("runtime: at least one server rank is required");
+
+  adlb::Config acfg = cfg.adlb();
+
+  runtime::RunResult result;
+  std::mutex mu;
+  std::string pending;  // partial line accumulator across emits
+  Timer timer;
+
+  auto sink = [&](int rank, const std::string& text) {
+    (void)rank;
+    std::lock_guard<std::mutex> lock(mu);
+    if (cfg.echo_output) std::fwrite(text.data(), 1, text.size(), stdout);
+    pending += text;
+    size_t pos;
+    while ((pos = pending.find('\n')) != std::string::npos) {
+      result.lines.push_back(pending.substr(0, pos));
+      result.line_times.push_back(timer.elapsed());
+      pending.erase(0, pos + 1);
+    }
+  };
+  auto body = [&](mpi::Comm& comm) {
+    if (adlb::is_server(comm.rank(), comm.size(), acfg)) {
+      adlb::Server server(comm, acfg, nullptr);
+      server.serve();
+      std::lock_guard<std::mutex> lock(mu);
+      const adlb::ServerStats& s = server.stats();
+      result.server_stats.puts += s.puts;
+      result.server_stats.gets += s.gets;
+      result.server_stats.matches += s.matches;
+      result.server_stats.forwards += s.forwards;
+      result.server_stats.hungry_notices += s.hungry_notices;
+      result.server_stats.batches_sent += s.batches_sent;
+      result.server_stats.units_rebalanced += s.units_rebalanced;
+      result.server_stats.notifications += s.notifications;
+      result.server_stats.data_ops += s.data_ops;
+      result.server_stats.tokens += s.tokens;
+      result.server_stats.leftover_data += s.leftover_data;
+      result.server_stats.stuck_datums += s.stuck_datums;
+      result.server_stats.requeues += s.requeues;
+      result.server_stats.task_failures += s.task_failures;
+      result.server_stats.heartbeat_deaths += s.heartbeat_deaths;
+      result.server_stats.checkpoints += s.checkpoints;
+      result.server_stats.replay_skips += s.replay_skips;
+      return;
+    }
+
+    adlb::Client client(comm, acfg);
+    turbine::ContextConfig ccfg;
+    ccfg.policy = cfg.policy;
+    ccfg.restricted_os = cfg.restricted_os;
+    ccfg.output = sink;
+    ccfg.setup_interp = cfg.setup_interp;
+    ccfg.setup_bindings = cfg.setup_bindings;
+
+    if (comm.rank() < cfg.engines) {
+      turbine::Engine engine(client);
+      turbine::Context ctx(client, &engine, ccfg);
+      std::string to_run;
+      if (has_main) {
+        ctx.interp().eval(program);
+        if (comm.rank() == 0) to_run = "swift:main";
+      } else if (comm.rank() == 0) {
+        to_run = program;
+      }
+      size_t unfired = ctx.run_engine(to_run);
+      std::vector<turbine::StuckRule> stuck;
+      if (unfired > 0) {
+        stuck = engine.stuck_report();
+        for (const auto& rule : stuck) {
+          obs::instant(obs::EventKind::kRuleStuck, rule.id,
+                       static_cast<int64_t>(rule.waiting.size()));
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      result.unfired_rules += unfired;
+      for (auto& rule : stuck) result.stuck.push_back(std::move(rule));
+      const turbine::EngineStats& es = engine.stats();
+      result.engine_stats.rules_created += es.rules_created;
+      result.engine_stats.rules_fired += es.rules_fired;
+      result.engine_stats.rules_fired_immediately += es.rules_fired_immediately;
+      result.engine_stats.notifications += es.notifications;
+      result.engine_stats.subscribes += es.subscribes;
+      const turbine::WorkerStats& ws = ctx.stats();
+      result.worker_stats.tasks += ws.tasks;
+      result.worker_stats.python_evals += ws.python_evals;
+      result.worker_stats.r_evals += ws.r_evals;
+      result.worker_stats.app_execs += ws.app_execs;
+      result.worker_stats.interpreter_resets += ws.interpreter_resets;
+      result.cache_stats += client.cache_stats();
+    } else {
+      turbine::Context ctx(client, nullptr, ccfg);
+      if (has_main) ctx.interp().eval(program);
+      ctx.run_worker();
+      std::lock_guard<std::mutex> lock(mu);
+      const turbine::WorkerStats& ws = ctx.stats();
+      result.worker_stats.tasks += ws.tasks;
+      result.worker_stats.python_evals += ws.python_evals;
+      result.worker_stats.r_evals += ws.r_evals;
+      result.worker_stats.app_execs += ws.app_execs;
+      result.worker_stats.interpreter_resets += ws.interpreter_resets;
+      result.cache_stats += client.cache_stats();
+    }
+  };
+  mpi::World world(cfg.total_ranks());
+  try {
+    world.run(body);
+  } catch (const CommError& e) {
+    // Servers signal unrecoverable conditions by aborting the world with
+    // a marker; classify the resulting CommError into the typed errors
+    // callers key off.
+    const std::string msg = e.what();
+    if (msg.find("ilps-ft-restart:") != std::string::npos) throw RestartError(msg);
+    if (msg.find("ilps-task-failed:") != std::string::npos) throw TaskError(msg);
+    throw;
+  }
+  result.elapsed_seconds = timer.elapsed();
+  result.traffic = world.stats();
+  if (const obs::Session* session = world.obs_session()) {
+    result.trace = session->merged();
+  }
+  if (!pending.empty()) {
+    result.lines.push_back(pending);
+    result.line_times.push_back(result.elapsed_seconds);
+    pending.clear();
+  }
+  return result;
+}
+
+}  // namespace ilps::serve

@@ -155,7 +155,8 @@ std::string quote(const std::string& s) { return tcl::list_quote(s); }
 
 class Compiler {
  public:
-  explicit Compiler(Program prog) : prog_(std::move(prog)) {}
+  explicit Compiler(Program prog, std::string proc_ns = {})
+      : prog_(std::move(prog)), ns_(std::move(proc_ns)) {}
 
   std::string run() {
     for (const auto& fn : prog_.functions) {
@@ -179,8 +180,8 @@ class Compiler {
     emit_scope_releases(main_body);
     scopes_.pop_back();
     std::ostringstream out;
-    out << runtime_prelude() << "\n" << procs_.str() << "\nproc swift:main {} {\n"
-        << main_body.code.str() << "}\n";
+    out << runtime_prelude() << "\n" << procs_.str() << "\nproc " << nsp("swift:main")
+        << " {} {\n" << main_body.code.str() << "}\n";
     return out.str();
   }
 
@@ -500,13 +501,13 @@ class Compiler {
       // Leaf: a WORK rule waiting on all inputs.
       body.code << "  turbine::rule [list";
       for (const auto& v : arg_vars) body.code << " $" << v;
-      body.code << "] [list u:" << fn.name;
+      body.code << "] [list " << nsp("u:" + fn.name);
       for (const auto& t : targets) body.code << " $" << t;
       for (const auto& v : arg_vars) body.code << " $" << v;
       body.code << "] type WORK\n";
     } else {
       // Composite: invoked directly; it only builds more dataflow.
-      body.code << "  u:" << fn.name;
+      body.code << "  " << nsp("u:" + fn.name);
       for (const auto& t : targets) body.code << " $" << t;
       for (const auto& v : arg_vars) body.code << " $" << v;
       body.code << "\n";
@@ -618,8 +619,8 @@ class Compiler {
 
   void compile_foreach(const Stmt& s, Body& body) {
     int n = helper_counter_++;
-    std::string body_proc = "swift:loop_body_" + std::to_string(n);
-    std::string split_proc = "swift:loop_split_" + std::to_string(n);
+    std::string body_proc = nsp("swift:loop_body_" + std::to_string(n));
+    std::string split_proc = nsp("swift:loop_split_" + std::to_string(n));
 
     // Compile the loop body into its own proc, collecting captures and
     // deferred array writes.
@@ -705,8 +706,8 @@ class Compiler {
     const std::string& arr_var = s.value->name;
 
     int n = helper_counter_++;
-    std::string body_proc = "swift:arrloop_body_" + std::to_string(n);
-    std::string split_proc = "swift:arrloop_split_" + std::to_string(n);
+    std::string body_proc = nsp("swift:arrloop_body_" + std::to_string(n));
+    std::string split_proc = nsp("swift:arrloop_split_" + std::to_string(n));
 
     std::set<std::string> captures;
     std::set<std::string> writes;
@@ -768,9 +769,9 @@ class Compiler {
     Type ct = type_of(*s.value, body);
     if (!numeric(ct)) fail(s.line, "if condition must be boolean or integer");
     int n = helper_counter_++;
-    std::string then_proc = "swift:then_" + std::to_string(n);
-    std::string else_proc = "swift:else_" + std::to_string(n);
-    std::string if_proc = "swift:if_" + std::to_string(n);
+    std::string then_proc = nsp("swift:then_" + std::to_string(n));
+    std::string else_proc = nsp("swift:else_" + std::to_string(n));
+    std::string if_proc = nsp("swift:if_" + std::to_string(n));
 
     std::set<std::string> captures;
     std::set<std::string> writes;
@@ -841,8 +842,8 @@ class Compiler {
     for (const auto& stmt : fn.body) compile_stmt(*stmt, body);
     emit_scope_releases(body);
     scopes_.pop_back();
-    procs_ << "proc u:" << fn.name << " {" << str::trim(params) << "} {\n" << body.code.str()
-           << "}\n";
+    procs_ << "proc " << nsp("u:" + fn.name) << " {" << str::trim(params) << "} {\n"
+           << body.code.str() << "}\n";
   }
 
   void emit_leaf(const FunctionDef& fn) {
@@ -850,7 +851,7 @@ class Compiler {
     for (const auto& p : fn.outputs) params += " " + p.name;
     for (const auto& p : fn.inputs) params += " " + p.name;
     std::ostringstream proc;
-    proc << "proc u:" << fn.name << " {" << str::trim(params) << "} {\n";
+    proc << "proc " << nsp("u:" + fn.name) << " {" << str::trim(params) << "} {\n";
     if (!fn.package.empty()) proc << "  package require " << fn.package << "\n";
     // Retrieve inputs into v_<name>.
     for (const auto& p : fn.inputs) {
@@ -881,7 +882,12 @@ class Compiler {
     procs_ << proc.str();
   }
 
+  // Applies the per-program proc namespace to a generated name. Runtime
+  // prelude procs (swift:store_typed, ...) are shared and stay unprefixed.
+  std::string nsp(const std::string& name) const { return ns_.empty() ? name : ns_ + name; }
+
   Program prog_;
+  std::string ns_;
   std::map<std::string, const FunctionDef*> functions_;
   std::vector<Scope> scopes_;
   std::ostringstream procs_;
@@ -890,7 +896,9 @@ class Compiler {
 
 }  // namespace
 
-std::string compile(const std::string& source) {
+std::string compile(const std::string& source) { return compile(source, {}); }
+
+std::string compile(const std::string& source, const std::string& proc_ns) {
   Program prog = parse_swift(source);
   // swift-verify: reject guaranteed deadlocks / write-once violations
   // before generating any code (warnings are reported by `ilps --lint`).
@@ -898,7 +906,7 @@ std::string compile(const std::string& source) {
   if (report.has_errors()) {
     throw SwiftError("swift-verify: " + report.error_summary());
   }
-  Compiler compiler(std::move(prog));
+  Compiler compiler(std::move(prog), proc_ns);
   return compiler.run();
 }
 

@@ -25,6 +25,13 @@ namespace ilps::swift {
 // on syntax or type errors.
 std::string compile(const std::string& source);
 
+// Same, but prefixes every generated proc name (`u:<fn>`, `swift:main`,
+// numbered loop/if helpers) with `proc_ns` so several compiled programs
+// can coexist in one resident interpreter (src/serve compile-once cache).
+// The entry proc becomes `<proc_ns>swift:main`; the shared runtime
+// prelude stays unprefixed. An empty `proc_ns` is the plain compile.
+std::string compile(const std::string& source, const std::string& proc_ns);
+
 // The fixed runtime-support prelude included in every compiled program.
 const std::string& runtime_prelude();
 

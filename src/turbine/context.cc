@@ -24,6 +24,17 @@ adlb::DataType want_type(const std::string& s) {
   return *t;
 }
 
+// Maps a caught Error to the typed kind a request outcome carries, so the
+// submission side can rethrow the same exception type. TclError derives
+// from ScriptError, so both classify as kScript.
+RequestErrorKind classify_error(const Error& e) {
+  if (dynamic_cast<const DataError*>(&e) != nullptr) return RequestErrorKind::kData;
+  if (dynamic_cast<const TaskError*>(&e) != nullptr) return RequestErrorKind::kTask;
+  if (dynamic_cast<const OsError*>(&e) != nullptr) return RequestErrorKind::kOs;
+  if (dynamic_cast<const ScriptError*>(&e) != nullptr) return RequestErrorKind::kScript;
+  return RequestErrorKind::kGeneric;
+}
+
 }  // namespace
 
 Context::Context(adlb::Client& client, Engine* engine, const ContextConfig& cfg)
@@ -39,6 +50,13 @@ Context::Context(adlb::Client& client, Engine* engine, const ContextConfig& cfg)
   if (engine_ != nullptr) {
     Engine* engine = engine_;
     client_.set_symbol_hint([engine](int64_t id) { return engine->describe_datum(id); });
+    // Owner-engine request accounting: +1 when a request-tagged unit is
+    // counted at put time, +n when a store ACK reports close
+    // notifications queued back to this very rank. Both hooks are inert
+    // while no request scope is active (all of legacy/batch mode).
+    client_.set_serve_hooks(
+        [engine](int64_t req) { engine->on_spawned(req); },
+        [engine](int64_t req, int64_t id, uint32_t n) { engine->note_self_notify(req, id, n); });
   }
   blob::register_blobutils(interp_, blobs_);
   if (cfg_.setup_interp) cfg_.setup_interp(interp_);
@@ -46,7 +64,9 @@ Context::Context(adlb::Client& client, Engine* engine, const ContextConfig& cfg)
 }
 
 void Context::emit(const std::string& line) {
-  if (cfg_.output) {
+  if (cfg_.serve_output) {
+    cfg_.serve_output(cur_req_, client_.rank(), line);
+  } else if (cfg_.output) {
     cfg_.output(client_.rank(), line);
   } else {
     std::fwrite(line.data(), 1, line.size(), stdout);
@@ -364,6 +384,90 @@ void Context::register_commands() {
   });
 }
 
+// ---- serve helpers ----
+
+Context::ReqScope::ReqScope(Context& ctx, int64_t req, int owner, int64_t prog)
+    : ctx_(ctx), prev_(ctx.client_.serve_ctx()), prev_req_(ctx.cur_req_) {
+  ctx_.client_.set_serve_ctx({req, owner, prog});
+  ctx_.cur_req_ = req;
+}
+
+Context::ReqScope::~ReqScope() {
+  ctx_.client_.set_serve_ctx(prev_);
+  ctx_.cur_req_ = prev_req_;
+}
+
+void Context::load_program(int64_t prog) {
+  if (prog == 0 || !loaded_progs_.insert(prog).second) return;
+  // The program text is pure proc definitions (the entry proc is invoked
+  // by the request's seed script), so evaluating it has no data effects.
+  interp_.eval(client_.retrieve(prog));
+}
+
+void Context::send_serve_notice(int64_t req, int owner, std::string payload) {
+  adlb::WorkUnit notice;
+  notice.type = adlb::kTypeControl;
+  notice.target = owner;
+  notice.payload = std::move(payload);
+  notice.req = req;
+  notice.owner = owner;
+  notice.flags = adlb::kUnitServeCtl | adlb::kUnitCounted;
+  // put() flushes buffered puts first, so any units this task spawned
+  // reach the home server — and thus the owner — before this notice.
+  client_.put(notice);
+}
+
+void Context::handle_serve_notice(const adlb::WorkUnit& unit) {
+  const std::string& p = unit.payload;
+  if (p == "+") {
+    engine_->on_spawned(unit.req);
+    return;
+  }
+  if (p == "-") {
+    engine_->unit_done(unit.req);
+    return;
+  }
+  if (!p.empty() && p[0] == 'E') {
+    // "E<kind>:<message>": a remote rank failed a unit of this request.
+    // The notice doubles as the unit's done signal (-1).
+    RequestErrorKind kind = RequestErrorKind::kGeneric;
+    std::string message = p.substr(1);
+    size_t colon = p.find(':');
+    if (colon != std::string::npos && colon > 1) {
+      int k = 0;
+      if (auto parsed = str::parse_int(p.substr(1, colon - 1))) k = static_cast<int>(*parsed);
+      if (k > 0 && k <= static_cast<int>(RequestErrorKind::kGeneric)) {
+        kind = static_cast<RequestErrorKind>(k);
+      }
+      message = p.substr(colon + 1);
+    }
+    engine_->fail_request(unit.req, kind, std::move(message));
+    engine_->unit_done(unit.req);
+  }
+}
+
+void Context::eval_for_request(int64_t req, int owner, int64_t prog, const std::string& script) {
+  ReqScope scope(*this, req, owner, prog);
+  try {
+    interp_.eval(script);
+  } catch (const Error& e) {
+    // The request fails; the resident runtime does not. Outstanding units
+    // keep draining and completion fires once the counts reach zero.
+    engine_->fail_request(req, classify_error(e), e.what());
+  }
+}
+
+void Context::sweep_completed() {
+  if (!cfg_.serve_complete) return;
+  for (int64_t req : engine_->take_completed()) {
+    RequestOutcome out = engine_->finish_request(req);
+    auto [leftover, stuck] = client_.free_namespace(req);
+    out.leftover_data = leftover;
+    out.stuck_datums = stuck;
+    cfg_.serve_complete(std::move(out));
+  }
+}
+
 // ---- rank loops ----
 
 size_t Context::run_engine(const std::string& main_script) {
@@ -372,17 +476,49 @@ size_t Context::run_engine(const std::string& main_script) {
 
   auto drain_local = [this] {
     while (!engine_->local_ready().empty()) {
-      std::string action = std::move(engine_->local_ready().front());
+      LocalAction local = std::move(engine_->local_ready().front());
       engine_->local_ready().pop_front();
-      interp_.eval(action);
+      if (local.req != 0) {
+        eval_for_request(local.req, client_.rank(), engine_->request_prog(local.req),
+                         local.action);
+        engine_->local_done(local.req);
+      } else {
+        interp_.eval(local.action);
+      }
     }
   };
   drain_local();
+  sweep_completed();
 
   while (auto unit = client_.get(adlb::kTypeControl)) {
-    // Notifications carry a bare datum id; rule actions are scripts.
-    if (auto id = str::parse_int(unit->payload)) {
+    if ((unit->flags & adlb::kUnitServeCtl) != 0) {
+      // Serve bookkeeping notice — C++ dispatch, never a task.
+      handle_serve_notice(*unit);
+    } else if (auto id = str::parse_int(unit->payload)) {
+      // Notifications carry a bare datum id; rule actions are scripts.
       engine_->notify_closed(*id);
+    } else if ((unit->flags & adlb::kUnitReqBegin) != 0) {
+      // A request seed: this engine becomes the owner, loads the compiled
+      // program, and runs its entry script as the request's first unit.
+      engine_->begin_request(unit->req, unit->prog);
+      ++stats_.tasks;
+      {
+        obs::Span span(obs::EventKind::kTaskRun, unit->id);
+        load_program(unit->prog);
+        eval_for_request(unit->req, client_.rank(), unit->prog, unit->payload);
+      }
+      end_task();
+      engine_->unit_done(unit->req);
+    } else if (unit->req != 0) {
+      // A request-tagged control action (owner affinity: it is ours).
+      ++stats_.tasks;
+      {
+        obs::Span span(obs::EventKind::kTaskRun, unit->id);
+        load_program(unit->prog);
+        eval_for_request(unit->req, client_.rank(), unit->prog, unit->payload);
+      }
+      end_task();
+      engine_->unit_done(unit->req);
     } else {
       ++stats_.tasks;
       {
@@ -392,6 +528,7 @@ size_t Context::run_engine(const std::string& main_script) {
       end_task();
     }
     drain_local();
+    sweep_completed();
   }
   return engine_->pending_rules();
 }
@@ -403,25 +540,41 @@ void Context::run_worker() {
   while (auto unit = client_.get(adlb::kTypeWork)) {
     ++stats_.tasks;
     const double started = ilps::wtime();
+    const bool serve = unit->req != 0;
     try {
       {
         obs::Span span(obs::EventKind::kTaskRun, unit->id);
-        interp_.eval(unit->payload);
+        if (serve) {
+          load_program(unit->prog);
+          ReqScope scope(*this, unit->req, unit->owner, unit->prog);
+          interp_.eval(unit->payload);
+        } else {
+          interp_.eval(unit->payload);
+        }
       }
       if (task_seconds != nullptr) task_seconds->record(ilps::wtime() - started);
     } catch (const Error& e) {
       // A leaf-task failure is typed and attributed (rank, task id), not
       // a raw string on stdout. Under fault tolerance it goes back to the
-      // server for retry; otherwise it fails the run as before.
+      // server for retry; under serve it fails only its own request;
+      // otherwise it fails the run as before.
       end_task();
       if (cfg_.ft) {
         client_.task_failed(*unit, e.what());
         continue;
       }
-      throw TaskError("task <" + std::to_string(unit->id) + "> failed on rank " +
-                      std::to_string(client_.rank()) + ": " + e.what());
+      std::string message = "task <" + std::to_string(unit->id) + "> failed on rank " +
+                            std::to_string(client_.rank()) + ": " + e.what();
+      if (serve) {
+        send_serve_notice(unit->req, unit->owner,
+                          "E" + std::to_string(static_cast<int>(RequestErrorKind::kTask)) +
+                              ":" + message);
+        continue;
+      }
+      throw TaskError(message);
     }
     end_task();
+    if (serve) send_serve_notice(unit->req, unit->owner, "-");
   }
 }
 

@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
 
 #include "adlb/client.h"
 #include "blob/blob.h"
@@ -48,6 +49,18 @@ struct ContextConfig {
   // when installing BindGen bindings so native pointer arguments resolve
   // against the same registry blobutils uses.
   std::function<void(tcl::Interp&, blob::Registry&)> setup_bindings;
+
+  // ---- serve runtime hooks (src/serve; unset in legacy/batch use) ----
+  // Setting serve_complete switches the rank loops into resident mode:
+  // engines multiplex per-request rule sets and report finished requests
+  // through this callback (with namespace-GC counts filled in); workers
+  // send done/fail notices instead of throwing, so one request's error
+  // never poisons the resident runtime.
+  std::function<void(RequestOutcome&&)> serve_complete;
+  // Per-request output sink: receives the request the emitting task
+  // belongs to (0 = output outside any request). Takes precedence over
+  // `output` when set.
+  std::function<void(int64_t req, int rank, const std::string& line)> serve_output;
 };
 
 class Context {
@@ -84,7 +97,36 @@ class Context {
   void emit(const std::string& line);
 
  private:
+  // RAII request scope: installs the ambient serve context on the client
+  // (so puts/creates are stamped and counted) and tags emitted output
+  // with the request. Restores the previous scope on exit.
+  class ReqScope {
+   public:
+    ReqScope(Context& ctx, int64_t req, int owner, int64_t prog);
+    ~ReqScope();
+
+   private:
+    Context& ctx_;
+    adlb::Client::ServeCtx prev_;
+    int64_t prev_req_;
+  };
+
   void register_commands();
+  // Lazily retrieves and evaluates a request's program text (datum
+  // `prog`), once per rank per program. A no-op for prog == 0.
+  void load_program(int64_t prog);
+  // Serve bookkeeping notice dispatch ("+" spawn, "-" done,
+  // "E<kind>:<msg>" fail-and-done).
+  void handle_serve_notice(const adlb::WorkUnit& unit);
+  // Evaluates a request-tagged script under its ReqScope, capturing any
+  // Error as the request's failure instead of letting it poison the
+  // resident runtime.
+  void eval_for_request(int64_t req, int owner, int64_t prog, const std::string& script);
+  // Sends a serve bookkeeping notice to the request's owner engine.
+  void send_serve_notice(int64_t req, int owner, std::string payload);
+  // Completion sweep: finish requests the engine proved done, GC their
+  // namespaces, and hand the outcomes to the serve layer.
+  void sweep_completed();
 
   adlb::Client& client_;
   Engine* engine_;
@@ -94,6 +136,8 @@ class Context {
   std::unique_ptr<py::Interpreter> python_;
   std::unique_ptr<r::Interpreter> rlang_;
   WorkerStats stats_;
+  int64_t cur_req_ = 0;  // request being evaluated on this rank right now
+  std::unordered_set<int64_t> loaded_progs_;
 };
 
 }  // namespace ilps::turbine

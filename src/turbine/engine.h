@@ -6,6 +6,23 @@
 // work task (runs on a worker), or executed locally. Engines learn about
 // closure through ADLB subscribe notifications, which arrive as targeted
 // control tasks whose payload is the datum id.
+//
+// Serve multiplexing (src/serve): the engine tracks rules, subscriptions
+// and symbol names per request namespace, and keeps a credit-based
+// completion count for every request it owns:
+//
+//   active  = counted units in flight + queued local actions
+//             + close notifications the engine has mailed to itself
+//   pending = rules still waiting on unset inputs
+//
+// Every request-tagged unit is counted exactly once before it can leave
+// its spawning rank (owner puts count locally; non-owner puts are counted
+// by the first server via a spawn notice that, by eager-transport FIFO,
+// reaches the owner before the unit's done notice). Consequently
+// active == 0 proves nothing of the request is in flight anywhere, and:
+//   active == 0 && pending == 0  ->  the request completed, or
+//   active == 0 && pending  > 0  ->  the request is deadlocked,
+// both detected deterministically with no polling or grace periods.
 #pragma once
 
 #include <cstdint>
@@ -50,14 +67,46 @@ struct StuckRule {
   std::vector<StuckInput> waiting;
 };
 
+// A locally released action awaiting evaluation on this engine, tagged
+// with the request it belongs to (0 = none).
+struct LocalAction {
+  int64_t req = 0;
+  std::string action;
+};
+
+// How a request ended. Error text travels alongside; the kind restores
+// the typed exception at the submission side.
+enum class RequestErrorKind : uint8_t {
+  kNone = 0,
+  kDeadlock,  // rules left waiting on unset futures
+  kData,      // DataError (double assignment, missing datum, ...)
+  kScript,    // ScriptError / TclError
+  kTask,      // a leaf task failed on a worker
+  kOs,        // OsError (restricted-OS policy violation, ...)
+  kGeneric,   // any other ilps::Error
+};
+
+// Everything the engine knows about a finished request, handed to the
+// serve layer when the accounting proves completion.
+struct RequestOutcome {
+  int64_t req = 0;
+  RequestErrorKind kind = RequestErrorKind::kNone;
+  std::string error;
+  uint64_t unfired_rules = 0;        // rules never released (deadlock)
+  std::vector<StuckRule> stuck;      // their diagnosis, symbol-resolved
+  uint64_t leftover_data = 0;        // filled by the serve layer after GC
+  uint64_t stuck_datums = 0;
+};
+
 class Engine {
  public:
   explicit Engine(adlb::Client& client) : client_(client) {}
 
-  // Registers a rule. Subscribes to unready inputs; if everything is
-  // already closed the action is released at once. Local actions released
-  // synchronously are queued on local_ready() rather than executed here,
-  // so the caller controls reentrancy.
+  // Registers a rule under the client's ambient request namespace.
+  // Subscribes to unready inputs; if everything is already closed the
+  // action is released at once. Local actions released synchronously are
+  // queued on local_ready() rather than executed here, so the caller
+  // controls reentrancy.
   void add_rule(const std::vector<int64_t>& inputs, std::string action, TaskType type,
                 int target = adlb::kAnyRank, int priority = 0);
 
@@ -66,8 +115,8 @@ class Engine {
   void notify_closed(int64_t id);
 
   // Actions of kLocal rules that became ready; the engine loop drains
-  // this queue and evaluates each script.
-  std::deque<std::string>& local_ready() { return local_ready_; }
+  // this queue and evaluates each script, then calls local_done().
+  std::deque<LocalAction>& local_ready() { return local_ready_; }
 
   // Rules still waiting on inputs (nonzero at shutdown means the program
   // deadlocked on unset data).
@@ -88,6 +137,51 @@ class Engine {
 
   const EngineStats& stats() const { return stats_; }
 
+  // ---- serve request accounting (this engine = the request's owner) ----
+
+  // Marks the request begun (eligible for completion detection) and
+  // records its program datum for released work units. Auto-creates the
+  // tracker if counting signals arrived first.
+  void begin_request(int64_t req, int64_t prog);
+
+  // +1: a counted unit of `req` exists (local put or a server spawn
+  // notice). Also wired as the client's on_spawned hook.
+  void on_spawned(int64_t req);
+
+  // -1: a counted unit finished evaluating (engine-local control task, or
+  // a worker's done notice).
+  void unit_done(int64_t req);
+
+  // A store/close ACK reported `count` close notifications queued back to
+  // this rank for datum `id`: they are in flight, so the request cannot
+  // complete until notify_closed() consumes them. Wired as the client's
+  // on_self_notify hook.
+  void note_self_notify(int64_t req, int64_t id, uint32_t count);
+
+  // One queued local action of `req` finished evaluating.
+  void local_done(int64_t req);
+
+  // Marks the request failed (first error wins). Outstanding units keep
+  // draining; completion fires once active reaches zero.
+  void fail_request(int64_t req, RequestErrorKind kind, std::string error);
+
+  // Requests whose accounting has proven completion since the last call.
+  // Check once per engine-loop iteration, after draining local actions.
+  std::vector<int64_t> take_completed();
+
+  // Builds the outcome and erases every trace of the request from the
+  // engine (rules, watchers, closed-set, symbol map, notify credits).
+  RequestOutcome finish_request(int64_t req);
+
+  // Number of requests with live trackers (diagnostics).
+  size_t inflight_requests() const { return requests_.size(); }
+
+  // Program datum recorded by begin_request (0 if unknown/batch).
+  int64_t request_prog(int64_t req) const {
+    auto it = requests_.find(req);
+    return it == requests_.end() ? 0 : it->second.prog;
+  }
+
  private:
   struct Rule {
     int waiting = 0;
@@ -95,9 +189,25 @@ class Engine {
     TaskType type;
     int target;
     int priority;
+    int64_t req = 0;
+  };
+
+  struct RequestState {
+    int64_t active = 0;
+    int64_t pending = 0;
+    int64_t prog = 0;
+    bool begun = false;
+    bool failed = false;
+    RequestErrorKind kind = RequestErrorKind::kNone;
+    std::string error;
   };
 
   void release(Rule&& rule);
+  RequestState& state(int64_t req);
+  // Records that `id` was touched under `req` so finish_request() can
+  // clean the per-datum maps without a full scan.
+  void touch(int64_t req, int64_t id);
+  void mark_dirty(int64_t req);
 
   adlb::Client& client_;
   int64_t next_id_ = 1;
@@ -105,8 +215,16 @@ class Engine {
   std::unordered_map<int64_t, std::vector<int64_t>> watchers_;  // datum -> rule ids
   std::unordered_set<int64_t> closed_;  // ids known closed (subscribe said so or notified)
   std::unordered_map<int64_t, StuckInput> names_;  // datum -> source symbol
-  std::deque<std::string> local_ready_;
+  std::deque<LocalAction> local_ready_;
   EngineStats stats_;
+
+  // ---- serve state ----
+  std::unordered_map<int64_t, RequestState> requests_;
+  std::unordered_map<int64_t, int64_t> datum_req_;  // datum -> request that touched it
+  std::unordered_map<int64_t, std::vector<int64_t>> req_datums_;  // inverse, for cleanup
+  // datum -> (req, in-flight self-notifications) credited by note_self_notify.
+  std::unordered_map<int64_t, std::pair<int64_t, uint32_t>> self_notify_;
+  std::unordered_set<int64_t> dirty_;  // requests whose counters moved
 };
 
 }  // namespace ilps::turbine

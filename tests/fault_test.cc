@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/runner.h"
 
@@ -161,6 +162,29 @@ TEST(Faults, EngineRestartFromCheckpointSkipsFinishedTasks) {
   EXPECT_GE(result.server_stats.replay_skips, 5u);
   EXPECT_LT(result.server_stats.replay_skips, 40u);
   EXPECT_EQ(result.worker_stats.tasks, 40u - result.server_stats.replay_skips);
+}
+
+// ---- restart attempts must not pollute the metrics registry ----
+
+TEST(Faults, RestartDoesNotAccumulateMetricHistograms) {
+  TempDir dir("restart-metrics");
+  runtime::Config cfg = base_config();
+  cfg.fault_plan.kill_rank(/*rank=*/0, /*at_message=*/75);
+  cfg.ckpt_interval = 5;
+  cfg.ckpt_dir = dir.str();
+  obs::metrics().clear();
+  obs::set_metrics_enabled(true);
+  auto result = runtime::run_with_faults(cfg, kTwoPhaseProgram);
+  obs::set_metrics_enabled(false);
+  ASSERT_EQ(result.ft.attempts, 2);
+  // The aborted attempt's samples were reset between attempts: the
+  // task.seconds histogram holds exactly the final attempt's worker-task
+  // timings (one sample per completed leaf task), not the union of both
+  // attempts. Counters are published with set() and reflect the final
+  // attempt already; only histograms could accumulate.
+  const obs::Histogram& h = obs::metrics().histogram("task.seconds");
+  EXPECT_EQ(h.count(), result.worker_stats.tasks);
+  EXPECT_EQ(obs::metrics().counter("run.attempts").value(), 2u);
 }
 
 // ---- retry exhaustion surfaces a clean, attributed error ----
