@@ -22,6 +22,8 @@
 
 #include "bench/bench_util.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/serve.h"
 
 using namespace ilps;
@@ -94,6 +96,19 @@ void sustained(int requests) {
     const serve::RequestResult& r = h.wait();
     if (!r.ok()) ++failed;
     lat.push_back(r.latency_seconds);
+  }
+  // The live telemetry view, while the world is still resident: the same
+  // JSON the flusher embeds in every telemetry.jsonl snapshot and that
+  // `ilps --serve-status` renders.
+  if (obs::metrics_enabled()) {
+    const obs::WindowHistogram::Snapshot w =
+        obs::metrics().window_histogram("serve.request_seconds").snapshot();
+    std::printf("rolling window (serve.request_seconds, last %.0fs): n=%llu "
+                "p50=%sus p99=%sus p999=%sus\n",
+                obs::metrics().window_histogram("serve.request_seconds").window_seconds(),
+                static_cast<unsigned long long>(w.count), us(w.p50).c_str(), us(w.p99).c_str(),
+                us(w.p999).c_str());
+    std::printf("status: %s\n", service.status_json().c_str());
   }
   service.shutdown();
   const Latencies l = percentiles(lat);

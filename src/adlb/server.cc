@@ -6,6 +6,7 @@
 #include "ckpt/ckpt.h"
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace ilps::adlb {
@@ -49,6 +50,13 @@ void Server::serve() {
     const double now = comm_.wtime();
     for (int c : my_clients_) last_seen_[c] = now;
   }
+  // Live utilization gauge: message-handling time accumulated while the
+  // server runs (the telemetry plane's per-rank busy view).
+  obs::Gauge* busy_gauge =
+      obs::metrics_enabled()
+          ? &obs::metrics().gauge("rank.busy_seconds.r" + std::to_string(comm_.rank()))
+          : nullptr;
+  double busy_total = 0;
   while (!done_) {
     bool activity = false;
     std::optional<mpi::Message> m;
@@ -69,9 +77,14 @@ void Server::serve() {
     }
     if (done_) break;
     if (m) {
+      const double started = busy_gauge != nullptr ? comm_.wtime() : 0;
       dispatch(*m);
       comm_.recycle(std::move(m->data));  // feeds the reply-writer freelist
       activity = true;
+      if (busy_gauge != nullptr) {
+        busy_total += comm_.wtime() - started;
+        busy_gauge->set(busy_total);
+      }
     }
     if (activity && !done_) after_dispatch();
   }
@@ -113,6 +126,9 @@ void Server::handle_request(const mpi::Message& m) {
       ++stats_.puts;
       name_unit(unit);
       maybe_spawn_notice(unit);
+      // Attribute the accept (and the sends it triggers) to the unit's
+      // request, so server-side events stitch into the request trace.
+      obs::RequestScope rscope(unit.req);
       obs::instant(obs::EventKind::kAdlbPut, unit.id, unit.type);
       handle_put(m.source, unit);
       break;
@@ -125,6 +141,7 @@ void Server::handle_request(const mpi::Message& m) {
         ++stats_.puts;
         name_unit(unit);
         maybe_spawn_notice(unit);
+        obs::RequestScope rscope(unit.req);
         obs::instant(obs::EventKind::kAdlbPut, unit.id, unit.type);
         if (unit.type < 0 || unit.type >= cfg_.ntypes) {
           error = "put: invalid work type " + std::to_string(unit.type);
@@ -286,6 +303,7 @@ void Server::accept_unit(WorkUnit unit) {
 }
 
 void Server::deliver(int client, const WorkUnit& unit) {
+  obs::RequestScope rscope(unit.req);
   ser::Writer w = reply_writer(client);
   w.put_u8(static_cast<uint8_t>(Op::kGotWork));
   write_work_unit(w, unit);
@@ -310,6 +328,7 @@ void Server::deliver_batch(int client, std::vector<WorkUnit>& units) {
   w.put_u8(static_cast<uint8_t>(Op::kGotWorkBatch));
   w.put_u64(units.size());
   for (const WorkUnit& unit : units) {
+    obs::RequestScope rscope(unit.req);
     write_work_unit(w, unit);
     ++stats_.matches;
     obs::instant(obs::EventKind::kTaskDispatch, unit.id, client);

@@ -1,6 +1,7 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +27,12 @@ std::atomic<Level> g_level{initial_level()};
 std::mutex g_mutex;
 thread_local int t_rank = -1;
 
+// flush-on-warn rate limit: a hot warning inside the data plane must not
+// serialize every rank thread behind fflush. Warnings flush at most once
+// per interval; errors always flush.
+std::atomic<int64_t> g_last_flush_us{-1000000};
+constexpr int64_t kFlushIntervalUs = 50000;
+
 char letter(Level level) {
   switch (level) {
     case Level::kDebug: return 'D';
@@ -39,6 +46,10 @@ char letter(Level level) {
 
 }  // namespace
 
+namespace detail {
+thread_local int64_t t_request = 0;
+}  // namespace detail
+
 Level level() { return g_level.load(std::memory_order_relaxed); }
 
 void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
@@ -47,17 +58,42 @@ void set_thread_rank(int rank) { t_rank = rank; }
 
 int thread_rank() { return t_rank; }
 
+namespace {
+
+bool should_flush(Level level) {
+  if (level >= Level::kError) return true;
+  if (level < Level::kWarn) return false;
+  const int64_t now = static_cast<int64_t>(ilps::wtime() * 1e6);
+  int64_t last = g_last_flush_us.load(std::memory_order_relaxed);
+  while (now - last >= kFlushIntervalUs) {
+    if (g_last_flush_us.compare_exchange_weak(last, now, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
 void write(Level level, const std::string& message) {
-  char prefix[64];
-  if (t_rank >= 0) {
+  const int64_t req = thread_request();
+  char prefix[96];
+  if (t_rank >= 0 && req != 0) {
+    std::snprintf(prefix, sizeof prefix, "[ilps %.3fs r%d req%lld %c]", ilps::wtime(), t_rank,
+                  static_cast<long long>(req), letter(level));
+  } else if (t_rank >= 0) {
     std::snprintf(prefix, sizeof prefix, "[ilps %.3fs r%d %c]", ilps::wtime(), t_rank,
                   letter(level));
+  } else if (req != 0) {
+    std::snprintf(prefix, sizeof prefix, "[ilps %.3fs req%lld %c]", ilps::wtime(),
+                  static_cast<long long>(req), letter(level));
   } else {
     std::snprintf(prefix, sizeof prefix, "[ilps %.3fs %c]", ilps::wtime(), letter(level));
   }
+  const bool flush = should_flush(level);
   std::lock_guard<std::mutex> lock(g_mutex);
   std::fprintf(stderr, "%s %s\n", prefix, message.c_str());
-  if (level >= Level::kWarn) std::fflush(stderr);
+  if (flush) std::fflush(stderr);
 }
 
 }  // namespace ilps::log

@@ -7,6 +7,7 @@
 // warn/error lines flush stderr immediately so they survive a crash.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -21,6 +22,17 @@ void set_level(Level level);
 // this for every rank thread). -1 means "no rank" and drops the field.
 void set_thread_rank(int rank);
 int thread_rank();
+
+// Binds the calling thread to a serve request id for log prefixes:
+// [ilps 0.123s r3 req17 W]. 0 means "no request" and drops the field.
+// obs::RequestScope sets/restores this around request-attributed work;
+// the tracer stamps it into every event, so the accessors are inline.
+namespace detail {
+extern thread_local int64_t t_request;
+}  // namespace detail
+
+inline void set_thread_request(int64_t req) { detail::t_request = req; }
+inline int64_t thread_request() { return detail::t_request; }
 
 // Thread-safe write of one line to stderr.
 void write(Level level, const std::string& message);

@@ -9,8 +9,6 @@
 
 namespace ilps::obs {
 
-namespace {
-
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -34,11 +32,15 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-std::string num(double v) {
+std::string json_num(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.9g", v);
   return buf;
 }
+
+namespace {
+
+std::string num(double v) { return json_num(v); }
 
 std::string role_of(int rank, const std::vector<std::string>& roles) {
   if (rank >= 0 && static_cast<size_t>(rank) < roles.size()) {
@@ -126,7 +128,9 @@ std::string chrome_trace_json(const std::vector<Event>& events,
                       ",\"pid\":0,\"tid\":" + std::to_string(e.rank);
     if (e.ph == Phase::kInstant) rec += ",\"s\":\"t\"";
     if (e.ph != Phase::kEnd) {
-      rec += ",\"args\":{\"a\":" + std::to_string(e.a) + ",\"b\":" + std::to_string(e.b) + "}";
+      rec += ",\"args\":{\"a\":" + std::to_string(e.a) + ",\"b\":" + std::to_string(e.b);
+      if (e.req != 0) rec += ",\"req\":" + std::to_string(e.req);
+      rec += "}";
     }
     rec += "}";
     add(rec);
@@ -160,6 +164,17 @@ std::string metrics_json(const Metrics& m, const std::vector<RankUsage>& usage) 
            ", \"max\": " + num(h->max()) + ", \"p50\": " + num(h->percentile(50)) +
            ", \"p90\": " + num(h->percentile(90)) + ", \"p99\": " + num(h->percentile(99)) +
            "}";
+  }
+  out += "\n  },\n  \"windows\": {";
+  first = true;
+  for (const auto& [name, w] : m.window_histograms()) {
+    const WindowHistogram::Snapshot s = w->snapshot();
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": {\"window_s\": " + num(w->window_seconds()) +
+           ", \"count\": " + std::to_string(s.count) + ", \"sum\": " + num(s.sum) +
+           ", \"p50\": " + num(s.p50) + ", \"p90\": " + num(s.p90) +
+           ", \"p99\": " + num(s.p99) + ", \"p999\": " + num(s.p999) + "}";
   }
   out += "\n  },\n  \"utilization\": [";
   first = true;

@@ -12,6 +12,11 @@
 
 namespace ilps::obs {
 
+// JSON helpers shared by the exporters, the telemetry flusher, and
+// serve::Service::status_json.
+std::string json_escape(const std::string& s);
+std::string json_num(double v);  // %.9g
+
 struct RankUsage {
   int rank = -1;
   std::string role;  // "engine" / "worker" / "server" ("" if unknown)

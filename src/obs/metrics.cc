@@ -4,6 +4,8 @@
 #include <bit>
 #include <cmath>
 
+#include "common/timer.h"
+
 namespace ilps::obs {
 
 void Gauge::set(double v) {
@@ -18,13 +20,29 @@ double Gauge::value() const {
 
 void Histogram::record(double v) {
   std::lock_guard<std::mutex> lock(mu_);
-  samples_.push_back(v);
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  if (samples_.size() < kReservoirCap) {
+    samples_.push_back(v);
+  } else {
+    // Algorithm R: replace a uniformly random retained sample with
+    // probability cap / (count + 1), keeping the reservoir a uniform
+    // sample of everything ever recorded.
+    const uint64_t j = rng_.next_below(count_ + 1);
+    if (j < kReservoirCap) samples_[static_cast<size_t>(j)] = v;
+  }
+  ++count_;
   sum_ += v;
 }
 
 uint64_t Histogram::count() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return samples_.size();
+  return count_;
 }
 
 double Histogram::sum() const {
@@ -34,20 +52,32 @@ double Histogram::sum() const {
 
 double Histogram::min() const {
   std::lock_guard<std::mutex> lock(mu_);
-  if (samples_.empty()) return 0;
-  return *std::min_element(samples_.begin(), samples_.end());
+  return min_;
 }
 
 double Histogram::max() const {
   std::lock_guard<std::mutex> lock(mu_);
-  if (samples_.empty()) return 0;
-  return *std::max_element(samples_.begin(), samples_.end());
+  return max_;
+}
+
+size_t Histogram::retained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+size_t Histogram::sample_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.capacity() * sizeof(double);
 }
 
 void Histogram::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   samples_.clear();
+  samples_.shrink_to_fit();
+  count_ = 0;
   sum_ = 0;
+  min_ = 0;
+  max_ = 0;
 }
 
 double Histogram::percentile(double p) const {
@@ -60,6 +90,125 @@ double Histogram::percentile(double p) const {
   size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
   rank = std::min(std::max<size_t>(rank, 1), n);
   return sorted[rank - 1];
+}
+
+// ---- WindowHistogram ----
+
+WindowHistogram::WindowHistogram(double window_seconds)
+    : sub_seconds_(std::max(window_seconds, 1e-3) / static_cast<double>(kSubWindows)),
+      window_seconds_(std::max(window_seconds, 1e-3)) {}
+
+size_t WindowHistogram::bucket_of(double v) {
+  if (!(v > kBucketFloor)) return 0;  // underflow and non-finite land in [0]
+  const double idx = std::floor(std::log(v / kBucketFloor) / std::log(kBucketGrowth)) + 1.0;
+  if (idx >= static_cast<double>(kBuckets - 1)) return kBuckets - 1;
+  return static_cast<size_t>(idx);
+}
+
+double WindowHistogram::bucket_value(size_t bucket) {
+  if (bucket == 0) return kBucketFloor;
+  // Geometric midpoint of [floor * g^(b-1), floor * g^b).
+  return kBucketFloor * std::pow(kBucketGrowth, static_cast<double>(bucket) - 0.5);
+}
+
+WindowHistogram::Sub& WindowHistogram::sub_for_locked(double now) {
+  const int64_t slot = static_cast<int64_t>(std::floor(now / sub_seconds_));
+  Sub& s = subs_[static_cast<size_t>(slot % static_cast<int64_t>(kSubWindows))];
+  if (s.slot != slot) {
+    s.slot = slot;
+    s.total = 0;
+    s.sum = 0;
+    s.n.fill(0);
+  }
+  return s;
+}
+
+void WindowHistogram::record(double v) { record_at(v, ilps::wtime()); }
+
+void WindowHistogram::record_at(double v, double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Sub& s = sub_for_locked(now);
+  ++s.n[bucket_of(v)];
+  ++s.total;
+  s.sum += v;
+}
+
+namespace {
+
+// Nearest-rank percentile over merged bucket counts: returns the
+// representative value of the bucket holding the rank'th sample.
+double bucket_percentile(const std::array<uint64_t, WindowHistogram::kBuckets>& merged,
+                         uint64_t count, double p) {
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count)));
+  rank = std::min(std::max<uint64_t>(rank, 1), count);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < WindowHistogram::kBuckets; ++b) {
+    seen += merged[b];
+    if (seen >= rank) return WindowHistogram::bucket_value(b);
+  }
+  return WindowHistogram::bucket_value(WindowHistogram::kBuckets - 1);
+}
+
+}  // namespace
+
+WindowHistogram::Snapshot WindowHistogram::merged_locked(double now) const {
+  const int64_t cur = static_cast<int64_t>(std::floor(now / sub_seconds_));
+  const int64_t oldest = cur - static_cast<int64_t>(kSubWindows) + 1;
+  Snapshot out;
+  std::array<uint64_t, kBuckets> merged{};
+  for (const Sub& s : subs_) {
+    if (s.slot < oldest || s.slot > cur) continue;  // aged out or empty
+    out.count += s.total;
+    out.sum += s.sum;
+    for (size_t b = 0; b < kBuckets; ++b) merged[b] += s.n[b];
+  }
+  if (out.count == 0) return out;
+  out.p50 = bucket_percentile(merged, out.count, 50);
+  out.p90 = bucket_percentile(merged, out.count, 90);
+  out.p99 = bucket_percentile(merged, out.count, 99);
+  out.p999 = bucket_percentile(merged, out.count, 99.9);
+  return out;
+}
+
+WindowHistogram::Snapshot WindowHistogram::snapshot() const {
+  return snapshot_at(ilps::wtime());
+}
+
+WindowHistogram::Snapshot WindowHistogram::snapshot_at(double now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return merged_locked(now);
+}
+
+double WindowHistogram::percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double now = ilps::wtime();
+  const int64_t cur = static_cast<int64_t>(std::floor(now / sub_seconds_));
+  const int64_t oldest = cur - static_cast<int64_t>(kSubWindows) + 1;
+  std::array<uint64_t, kBuckets> merged{};
+  uint64_t count = 0;
+  for (const Sub& s : subs_) {
+    if (s.slot < oldest || s.slot > cur) continue;
+    count += s.total;
+    for (size_t b = 0; b < kBuckets; ++b) merged[b] += s.n[b];
+  }
+  if (count == 0) return 0;
+  return bucket_percentile(merged, count, p);
+}
+
+uint64_t WindowHistogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return merged_locked(ilps::wtime()).count;
+}
+
+void WindowHistogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Sub& s : subs_) {
+    s.slot = -1;
+    s.total = 0;
+    s.sum = 0;
+    s.n.fill(0);
+  }
 }
 
 // ---- Metrics ----
@@ -82,6 +231,13 @@ Histogram& Metrics::histogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+WindowHistogram& Metrics::window_histogram(const std::string& name, double window_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = window_histograms_[name];
+  if (!slot) slot = std::make_unique<WindowHistogram>(window_seconds);
   return *slot;
 }
 
@@ -109,16 +265,26 @@ std::vector<std::pair<std::string, const Histogram*>> Metrics::histograms() cons
   return out;
 }
 
+std::vector<std::pair<std::string, const WindowHistogram*>> Metrics::window_histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const WindowHistogram*>> out;
+  out.reserve(window_histograms_.size());
+  for (const auto& [name, h] : window_histograms_) out.emplace_back(name, h.get());
+  return out;
+}
+
 void Metrics::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  window_histograms_.clear();
 }
 
 void Metrics::reset_histograms() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, h] : window_histograms_) h->reset();
 }
 
 Metrics& metrics() {

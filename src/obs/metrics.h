@@ -10,6 +10,7 @@
 // reference (references are stable for the registry's lifetime).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -17,6 +18,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/rng.h"
 
 namespace ilps::obs {
 
@@ -39,11 +42,20 @@ class Gauge {
   std::atomic<uint64_t> bits_{0};  // IEEE-754 bit pattern
 };
 
-// Exact-percentile histogram: keeps raw samples (these are per-task and
-// per-checkpoint timings — thousands, not billions). percentile() uses
-// the nearest-rank definition: p in (0,100] maps to sorted[ceil(p/100*N)-1].
+// Percentile histogram over raw samples. count/sum/min/max are exact for
+// every sample ever recorded; raw-sample retention is capped at
+// kReservoirCap by uniform reservoir sampling (Vitter's Algorithm R, a
+// deterministic per-instance Rng), so a resident service can feed it
+// indefinitely under a fixed memory bound while percentiles stay an
+// unbiased estimate. Below the cap — every batch run, and per-task /
+// per-checkpoint timings generally — percentiles are exact. percentile()
+// uses the nearest-rank definition over the retained samples: p in
+// (0,100] maps to sorted[ceil(p/100*N)-1].
 class Histogram {
  public:
+  // Retention cap: 64k doubles = 512 KiB worst case per histogram.
+  static constexpr size_t kReservoirCap = 65536;
+
   void record(double v);
 
   uint64_t count() const;
@@ -52,6 +64,13 @@ class Histogram {
   double max() const;
   double percentile(double p) const;  // 0 -> min, 100 -> max; 0 if empty
 
+  // Samples currently retained (== count() until the reservoir fills).
+  size_t retained() const;
+  // Resident bytes attributable to retained samples (regression tests
+  // bound this; it never exceeds kReservoirCap * sizeof(double) plus
+  // vector growth slack).
+  size_t sample_bytes() const;
+
   // Drops every sample in place (the histogram object stays registered,
   // so cached references remain valid).
   void reset();
@@ -59,7 +78,72 @@ class Histogram {
  private:
   mutable std::mutex mu_;
   std::vector<double> samples_;
+  uint64_t count_ = 0;
   double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  Rng rng_{0x1175C0FFEEull};
+};
+
+// Memory-bounded rolling-window histogram for long-lived series
+// (serve.request_seconds and friends): a ring of kSubWindows sub-windows,
+// each a fixed array of kBuckets log-spaced counters, covering the last
+// window_seconds. record() lands in the sub-window owning `now`; querying
+// merges every sub-window still inside the window, so results cover
+// between (kSubWindows-1)/kSubWindows and the full window of history and
+// old samples age out in sub-window granularity. Memory is fixed:
+// kSubWindows * kBuckets counters (~6 KiB), independent of rate and
+// uptime. Percentiles are bucket-resolution (log-spaced ~1.26x from 1us),
+// exact enough for SLO p50/p99/p999 readouts.
+class WindowHistogram {
+ public:
+  static constexpr size_t kBuckets = 96;     // [0]=underflow, then log-spaced
+  static constexpr size_t kSubWindows = 8;
+  static constexpr double kBucketFloor = 1e-6;  // seconds; bucket 1 starts here
+  static constexpr double kBucketGrowth = 1.2589254117941673;  // 10^(1/10)
+
+  explicit WindowHistogram(double window_seconds = 60.0);
+
+  void record(double v);            // at the current time
+  void record_at(double v, double now);  // explicit clock (tests)
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0;
+    double p50 = 0;
+    double p90 = 0;
+    double p99 = 0;
+    double p999 = 0;
+  };
+
+  Snapshot snapshot() const;        // over the live window
+  Snapshot snapshot_at(double now) const;
+  double percentile(double p) const;
+  uint64_t count() const;           // samples in the live window
+  double window_seconds() const { return window_seconds_; }
+
+  void reset();
+
+  // Bucket index for a value and the representative (geometric-mid) value
+  // reported for a bucket; exposed for tests.
+  static size_t bucket_of(double v);
+  static double bucket_value(size_t bucket);
+
+ private:
+  struct Sub {
+    int64_t slot = -1;  // floor(now / sub_seconds) when live, -1 when empty
+    uint64_t total = 0;
+    double sum = 0;
+    std::array<uint64_t, kBuckets> n{};
+  };
+
+  Sub& sub_for_locked(double now);
+  Snapshot merged_locked(double now) const;
+
+  mutable std::mutex mu_;
+  std::array<Sub, kSubWindows> subs_;
+  double sub_seconds_;
+  double window_seconds_;
 };
 
 class Metrics {
@@ -67,19 +151,24 @@ class Metrics {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+  // The rolling-window companion; window_seconds applies on first creation
+  // only (later lookups return the existing window unchanged).
+  WindowHistogram& window_histogram(const std::string& name, double window_seconds = 60.0);
 
   // Name-sorted snapshots for exporters. Histogram pointers stay valid
   // for the registry's lifetime (entries are never removed, only cleared).
   std::vector<std::pair<std::string, uint64_t>> counters() const;
   std::vector<std::pair<std::string, double>> gauges() const;
   std::vector<std::pair<std::string, const Histogram*>> histograms() const;
+  std::vector<std::pair<std::string, const WindowHistogram*>> window_histograms() const;
 
   void clear();  // drop every metric (tests / fresh runs)
 
-  // Resets every histogram's samples without unregistering the entries.
-  // Used by run_with_faults between restart attempts: the final attempt's
-  // timings must not accumulate samples from aborted attempts, and the
-  // registered objects must survive because rank loops cache references.
+  // Resets every histogram's samples (exact and windowed) without
+  // unregistering the entries. Used by run_with_faults between restart
+  // attempts: the final attempt's timings must not accumulate samples from
+  // aborted attempts, and the registered objects must survive because rank
+  // loops cache references.
   void reset_histograms();
 
  private:
@@ -87,6 +176,7 @@ class Metrics {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowHistogram>> window_histograms_;
 };
 
 // The process-wide registry.

@@ -1,0 +1,194 @@
+#include "obs/telemetry.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+
+#include "common/log.h"
+#include "common/timer.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace ilps::obs {
+
+TelemetryFlusher::Config TelemetryFlusher::Config::from_env() {
+  Config cfg;
+  const char* dir = std::getenv("ILPS_TELEMETRY_DIR");
+  if (dir != nullptr && dir[0] != '\0') cfg.dir = dir;
+  const char* iv = std::getenv("ILPS_TELEMETRY_INTERVAL_MS");
+  if (iv != nullptr && iv[0] != '\0') {
+    long n = std::strtol(iv, nullptr, 10);
+    cfg.interval_ms = n > 0 ? static_cast<int>(n) : 0;
+  }
+  return cfg;
+}
+
+TelemetryFlusher::TelemetryFlusher(Config cfg) : cfg_(std::move(cfg)) {}
+
+TelemetryFlusher::~TelemetryFlusher() { stop(); }
+
+void TelemetryFlusher::set_status_provider(std::function<std::string()> provider) {
+  status_provider_ = std::move(provider);
+}
+
+void TelemetryFlusher::start() {
+  if (!cfg_.enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(cfg_.dir, ec);  // best effort; opens report failure
+  metrics_out_.open(fs::path(cfg_.dir) / "telemetry.jsonl",
+                    std::ios::binary | std::ios::trunc);
+  requests_out_.open(fs::path(cfg_.dir) / "requests.jsonl",
+                     std::ios::binary | std::ios::trunc);
+  if (!metrics_out_ || !requests_out_) {
+    log::warn("telemetry: cannot open JSONL files in ", cfg_.dir, "; flusher disabled");
+    metrics_out_.close();
+    requests_out_.close();
+    return;
+  }
+  running_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void TelemetryFlusher::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  flush_now();  // final snapshot + drain after the loop exits
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_out_.close();
+  requests_out_.close();
+  running_ = false;
+}
+
+bool TelemetryFlusher::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_ && !stop_;
+}
+
+void TelemetryFlusher::enqueue_request(RequestRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!running_ || stop_) return;
+  if (queue_.size() >= kMaxQueuedRequests) {
+    ++dropped_;
+    return;
+  }
+  queue_.push_back(std::move(rec));
+}
+
+void TelemetryFlusher::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(cfg_.interval_ms),
+                 [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    flush_now();
+    lock.lock();
+  }
+}
+
+void TelemetryFlusher::flush_now() {
+  // The queue is swapped out and formatting happens without the lock so
+  // enqueue_request never blocks behind string building; the file writes
+  // retake it briefly (stream flushes are fast relative to the interval).
+  std::deque<RequestRecord> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!metrics_out_.is_open()) return;
+    drained.swap(queue_);
+  }
+  const std::string snapshot = metrics_snapshot_line();
+  std::vector<std::string> lines;
+  lines.reserve(drained.size());
+  for (const RequestRecord& rec : drained) lines.push_back(request_line(rec));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!metrics_out_.is_open()) return;
+  metrics_out_ << snapshot << "\n";
+  metrics_out_.flush();
+  ++snapshots_;
+  for (const std::string& line : lines) {
+    requests_out_ << line << "\n";
+    ++written_;
+  }
+  if (!lines.empty()) requests_out_.flush();
+}
+
+uint64_t TelemetryFlusher::snapshots_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshots_;
+}
+
+uint64_t TelemetryFlusher::requests_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return written_;
+}
+
+uint64_t TelemetryFlusher::requests_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string TelemetryFlusher::metrics_snapshot_line() const {
+  const Metrics& m = metrics();
+  std::string out = "{\"type\":\"metrics\",\"t\":" + json_num(ilps::wtime());
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : m.counters()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : m.gauges()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":" + json_num(v);
+  }
+  out += "},\"windows\":{";
+  first = true;
+  for (const auto& [name, w] : m.window_histograms()) {
+    const WindowHistogram::Snapshot s = w->snapshot();
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":{\"window_s\":" + json_num(w->window_seconds()) +
+           ",\"count\":" + std::to_string(s.count) + ",\"sum\":" + json_num(s.sum) +
+           ",\"p50\":" + json_num(s.p50) + ",\"p90\":" + json_num(s.p90) +
+           ",\"p99\":" + json_num(s.p99) + ",\"p999\":" + json_num(s.p999) + "}";
+  }
+  out += "}";
+  if (status_provider_) out += ",\"service\":" + status_provider_();
+  out += "}";
+  return out;
+}
+
+std::string TelemetryFlusher::request_line(const RequestRecord& rec) {
+  std::string out = "{\"type\":\"request\",\"id\":" + std::to_string(rec.id) +
+                    ",\"failed\":" + (rec.failed ? "true" : "false") +
+                    ",\"slow\":" + (rec.slow ? "true" : "false") +
+                    ",\"latency_s\":" + json_num(rec.latency_seconds) + ",\"events\":[";
+  bool first = true;
+  for (const Event& e : rec.events) {
+    if (!first) out += ",";
+    first = false;
+    const char* ph = e.ph == Phase::kBegin ? "B" : e.ph == Phase::kEnd ? "E" : "i";
+    out += "{\"t\":" + json_num(e.t) + ",\"name\":\"" + kind_name(e.kind) +
+           "\",\"cat\":\"" + kind_category(e.kind) + "\",\"ph\":\"" + ph +
+           "\",\"rank\":" + std::to_string(e.rank) + ",\"a\":" + std::to_string(e.a) +
+           ",\"b\":" + std::to_string(e.b) + ",\"req\":" + std::to_string(e.req) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ilps::obs

@@ -1,0 +1,108 @@
+// ilps::obs — streaming telemetry export for resident services. Batch
+// runs export once at end of run (export.h); a service that never exits
+// needs its metrics and completed request traces streamed while it runs.
+// TelemetryFlusher owns a background thread that, every interval:
+//
+//   - appends one {"type":"metrics",...} snapshot line to
+//     <dir>/telemetry.jsonl — counters, gauges, and rolling-window
+//     histogram percentiles (p50/p90/p99/p999 over the window), plus an
+//     optional embedded "service" object from the status provider
+//     (serve::Service wires status_json() in);
+//   - drains the bounded completed-request queue into
+//     <dir>/requests.jsonl, one {"type":"request",...} line per request
+//     carrying its stitched cross-rank event trace.
+//
+// Both files are line-oriented JSON so `tail -f` and stdlib-only tooling
+// (tools/trace_report.py --request, ilps --serve-status) can consume them
+// live. Gated by ILPS_TELEMETRY_DIR (+ optional ILPS_TELEMETRY_INTERVAL_MS,
+// default 1000); when unset nothing starts and nothing is paid.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ilps::obs {
+
+class TelemetryFlusher {
+ public:
+  struct Config {
+    std::string dir;       // output directory; empty disables
+    int interval_ms = 1000;
+
+    // ILPS_TELEMETRY_DIR / ILPS_TELEMETRY_INTERVAL_MS.
+    static Config from_env();
+    bool enabled() const { return !dir.empty() && interval_ms > 0; }
+  };
+
+  // One completed request, queued for streaming to requests.jsonl.
+  struct RequestRecord {
+    int64_t id = 0;
+    bool failed = false;
+    bool slow = false;  // exceeded the slow-request threshold
+    double latency_seconds = 0;
+    std::vector<Event> events;  // stitched capture (may be empty)
+  };
+
+  explicit TelemetryFlusher(Config cfg);
+  ~TelemetryFlusher();  // stop()
+
+  TelemetryFlusher(const TelemetryFlusher&) = delete;
+  TelemetryFlusher& operator=(const TelemetryFlusher&) = delete;
+
+  // Opens the JSONL files (truncating) and launches the flusher thread.
+  // No-op when the config is disabled. Idempotent.
+  void start();
+  // Final snapshot + drain, then joins the thread. Idempotent.
+  void stop();
+  bool running() const;
+
+  // Embeds the returned JSON object string as the "service" field of each
+  // metrics snapshot line (serve::Service::status_json). Must be set
+  // before start().
+  void set_status_provider(std::function<std::string()> provider);
+
+  // Queues a completed request for the next flush. The queue is bounded
+  // (kMaxQueuedRequests); overflow drops the new record and counts it.
+  void enqueue_request(RequestRecord rec);
+
+  // Forces one flush now (tests; also used by stop()).
+  void flush_now();
+
+  uint64_t snapshots_written() const;
+  uint64_t requests_written() const;
+  uint64_t requests_dropped() const;
+
+  static constexpr size_t kMaxQueuedRequests = 1024;
+
+ private:
+  void loop();
+  std::string metrics_snapshot_line() const;
+  static std::string request_line(const RequestRecord& rec);
+
+  Config cfg_;
+  std::function<std::string()> status_provider_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<RequestRecord> queue_;
+  bool running_ = false;
+  bool stop_ = false;
+  uint64_t snapshots_ = 0;
+  uint64_t written_ = 0;
+  uint64_t dropped_ = 0;
+
+  std::ofstream metrics_out_;
+  std::ofstream requests_out_;
+  std::thread thread_;
+};
+
+}  // namespace ilps::obs

@@ -3,10 +3,17 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 
 namespace ilps::obs {
 
 thread_local Tracer* tls_tracer = nullptr;
+
+namespace detail {
+std::atomic<bool> g_req_capture{false};
+}  // namespace detail
 
 namespace {
 
@@ -44,6 +51,52 @@ std::string output_dir() {
   return (v != nullptr && v[0] != '\0') ? v : ".";
 }
 
+// ---- request capture ----
+
+namespace {
+
+std::mutex g_capture_mu;
+std::unordered_map<int64_t, std::vector<Event>> g_captures;
+
+}  // namespace
+
+void req_capture_begin(int64_t req) {
+  if (req == 0) return;
+  std::lock_guard<std::mutex> lock(g_capture_mu);
+  g_captures.try_emplace(req);
+  detail::g_req_capture.store(true, std::memory_order_relaxed);
+}
+
+void req_capture_note(const Event& e) {
+  std::lock_guard<std::mutex> lock(g_capture_mu);
+  auto it = g_captures.find(e.req);
+  if (it == g_captures.end()) return;
+  if (it->second.size() < kReqCaptureCap) it->second.push_back(e);
+}
+
+void req_capture_note_off_rank(int64_t req, EventKind k, Phase ph, int64_t a, int64_t b) {
+  Event e;
+  e.t = ilps::wtime();
+  e.a = a;
+  e.b = b;
+  e.req = req;
+  e.rank = -1;
+  e.kind = k;
+  e.ph = ph;
+  req_capture_note(e);
+}
+
+std::vector<Event> req_capture_take(int64_t req) {
+  std::lock_guard<std::mutex> lock(g_capture_mu);
+  auto it = g_captures.find(req);
+  if (it == g_captures.end()) return {};
+  std::vector<Event> out = std::move(it->second);
+  g_captures.erase(it);
+  if (g_captures.empty()) detail::g_req_capture.store(false, std::memory_order_relaxed);
+  std::sort(out.begin(), out.end(), [](const Event& x, const Event& y) { return x.t < y.t; });
+  return out;
+}
+
 // ---- kind tables ----
 
 const char* kind_name(EventKind k) {
@@ -73,6 +126,9 @@ const char* kind_name(EventKind k) {
     case EventKind::kRuleFired: return "rule.fired";
     case EventKind::kRuleStuck: return "rule.stuck";
     case EventKind::kDatumStuck: return "data.stuck";
+    case EventKind::kReqSubmit: return "req.submit";
+    case EventKind::kReqBegin: return "req.begin";
+    case EventKind::kReqDone: return "req.done";
   }
   return "unknown";
 }
@@ -104,6 +160,9 @@ const char* kind_category(EventKind k) {
     case EventKind::kRuleFired:
     case EventKind::kRuleStuck: return "engine";
     case EventKind::kDatumStuck: return "data";
+    case EventKind::kReqSubmit:
+    case EventKind::kReqBegin:
+    case EventKind::kReqDone: return "serve";
   }
   return "misc";
 }

@@ -18,11 +18,13 @@
 // Tests toggle collection programmatically with set_trace_enabled().
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/log.h"
 #include "common/timer.h"
 
 namespace ilps::obs {
@@ -64,6 +66,10 @@ enum class EventKind : uint16_t {
   kRuleFired,    // a=task type
   kRuleStuck,    // pending at termination (deadlock)  a=rule id b=waiting inputs
   kDatumStuck,   // unclosed datum with subscribers at shutdown  a=datum id b=subscribers
+  // serve request lifecycle (request-scoped tracing; src/serve)
+  kReqSubmit,  // request admitted by Service::submit   a=request id
+  kReqBegin,   // owner engine began evaluating it      a=request id
+  kReqDone,    // completion notice reached the hub     a=request id b=failed
 };
 
 enum class Phase : uint8_t { kBegin = 0, kEnd = 1, kInstant = 2 };
@@ -72,6 +78,7 @@ struct Event {
   double t = 0;  // seconds on the ilps::wtime() monotonic epoch
   int64_t a = 0;
   int64_t b = 0;
+  int64_t req = 0;  // serve request id in scope when emitted (0 = none)
   int32_t rank = -1;
   EventKind kind{};
   Phase ph{};
@@ -90,15 +97,21 @@ class Tracer {
  public:
   void init(int rank, size_t capacity);
 
-  void emit(EventKind k, Phase ph, int64_t a, int64_t b) {
+  // Stamps the calling thread's request id (log::thread_request) into the
+  // event and returns a reference to the stored slot so the shared emit
+  // path can forward it to the request-capture registry without a second
+  // timestamp read.
+  const Event& emit(EventKind k, Phase ph, int64_t a, int64_t b) {
     Event& e = buf_[static_cast<size_t>(count_ % cap_)];
     e.t = ilps::wtime();
     e.a = a;
     e.b = b;
+    e.req = ilps::log::thread_request();
     e.rank = rank_;
     e.kind = k;
     e.ph = ph;
     ++count_;
+    return e;
   }
 
   int rank() const { return rank_; }
@@ -142,6 +155,57 @@ bool export_requested();         // env ILPS_TRACE set: runner writes files
 size_t default_capacity();       // env ILPS_TRACE_BUF (events/rank), default 65536
 std::string output_dir();        // env ILPS_TRACE_DIR, default "."
 
+// ---- request-scoped tracing ----
+
+// Scopes the calling thread to a serve request id: the tracer stamps it
+// into every event emitted while the scope is live (and the log prefix
+// shows it). Nest-safe — restores the previous id on destruction. Cost is
+// two thread_local stores, so scopes are cheap enough for per-unit use in
+// the server dispatch path.
+class RequestScope {
+ public:
+  explicit RequestScope(int64_t req) : prev_(ilps::log::thread_request()) {
+    ilps::log::set_thread_request(req);
+  }
+  ~RequestScope() { ilps::log::set_thread_request(prev_); }
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+ private:
+  int64_t prev_;
+};
+
+inline int64_t current_request() { return ilps::log::thread_request(); }
+
+// Request-capture registry: while a request id is registered, every traced
+// event carrying that id is also copied into a per-request buffer so the
+// full cross-rank trace can be stitched at completion (per-request
+// timeline in RequestResult, slow-request exemplars, requests.jsonl).
+// The gate is a relaxed atomic consulted only for events that are already
+// (a) traced and (b) inside a request scope, so untraced runs and
+// non-request events never touch it.
+namespace detail {
+extern std::atomic<bool> g_req_capture;
+}  // namespace detail
+
+inline bool req_capture_active() {
+  return detail::g_req_capture.load(std::memory_order_relaxed);
+}
+
+// Registers `req` for capture. Events accumulate until req_capture_take;
+// per-request retention is capped (kReqCaptureCap oldest-kept events).
+void req_capture_begin(int64_t req);
+// Copies `e` into the buffer of e.req if registered (called by emit()).
+void req_capture_note(const Event& e);
+// Appends an event on behalf of a thread with no attached tracer (e.g.
+// Service::submit on a user thread); stamps rank -1 and the current time.
+void req_capture_note_off_rank(int64_t req, EventKind k, Phase ph, int64_t a = 0, int64_t b = 0);
+// Removes and returns the captured events for `req` (empty if never
+// registered). Deactivates the gate when the registry empties.
+std::vector<Event> req_capture_take(int64_t req);
+// Events retained per request before the oldest are dropped.
+constexpr size_t kReqCaptureCap = 4096;
+
 // ---- the per-thread emit path ----
 
 extern thread_local Tracer* tls_tracer;
@@ -152,7 +216,10 @@ inline Tracer* current() { return tls_tracer; }
 
 inline void emit(EventKind k, Phase ph, int64_t a = 0, int64_t b = 0) {
 #ifndef ILPS_OBS_OFF
-  if (tls_tracer != nullptr) tls_tracer->emit(k, ph, a, b);
+  if (tls_tracer != nullptr) {
+    const Event& e = tls_tracer->emit(k, ph, a, b);
+    if (e.req != 0 && req_capture_active()) req_capture_note(e);
+  }
 #else
   (void)k;
   (void)ph;
@@ -166,13 +233,14 @@ inline void instant(EventKind k, int64_t a = 0, int64_t b = 0) {
 }
 
 // RAII Begin/End pair; arms only if a tracer is attached at construction.
+// Routed through emit() so request capture sees Begin/End pairs too.
 class Span {
  public:
   explicit Span(EventKind k, int64_t a = 0, int64_t b = 0) : k_(k) {
 #ifndef ILPS_OBS_OFF
     if (tls_tracer != nullptr) {
       armed_ = true;
-      tls_tracer->emit(k, Phase::kBegin, a, b);
+      emit(k, Phase::kBegin, a, b);
     }
 #else
     (void)a;
@@ -180,7 +248,7 @@ class Span {
 #endif
   }
   ~Span() {
-    if (armed_ && tls_tracer != nullptr) tls_tracer->emit(k_, Phase::kEnd, 0, 0);
+    if (armed_ && tls_tracer != nullptr) emit(k_, Phase::kEnd, 0, 0);
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;

@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "runtime/runner.h"
 #include "turbine/engine.h"
 
@@ -65,6 +67,43 @@ struct ServeConfig {
   // completed (queued + running).
   size_t max_inflight = 256;
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
+
+  // ---- live telemetry plane ----
+
+  // Streaming export: when enabled (dir set — defaults honor the
+  // ILPS_TELEMETRY_DIR / ILPS_TELEMETRY_INTERVAL_MS env vars), enter()
+  // starts a background flusher appending metrics snapshots to
+  // <dir>/telemetry.jsonl and completed request traces to
+  // <dir>/requests.jsonl while the service runs.
+  obs::TelemetryFlusher::Config telemetry = obs::TelemetryFlusher::Config::from_env();
+
+  // Slow-request exemplars: a completed request whose latency meets or
+  // exceeds this threshold (seconds) keeps its full result — including
+  // the stitched trace when captured — in a bounded exemplar ring
+  // (slow_exemplars()) and streams to requests.jsonl even when not
+  // sampled. 0 disables. ILPS_SLOW_REQUEST_MS overrides when set.
+  double slow_request_seconds = 0;
+
+  // Request-trace capture: when tracing is on (ILPS_TRACE /
+  // obs::set_trace_enabled), capture the full cross-rank event trace of
+  // every Nth admitted request (1 = all, 0 = none). Captured traces land
+  // in RequestResult::trace with a critical-path summary. Per-request
+  // retention is bounded (obs::kReqCaptureCap events).
+  int64_t trace_sample_every = 1;
+};
+
+// Critical-path digest of a captured request trace: what the request
+// actually did across the world, and where its latency went.
+struct RequestTraceSummary {
+  uint64_t events = 0;        // captured events (capped at kReqCaptureCap)
+  uint64_t tasks = 0;         // completed task.run spans (engine + worker)
+  uint64_t rule_fires = 0;    // dataflow rules released
+  uint64_t puts = 0;          // work units accepted by servers
+  uint64_t mpi_messages = 0;  // request-attributed sends
+  uint64_t mpi_bytes = 0;
+  double exec_seconds = 0;    // summed task.run durations
+  double queue_seconds = 0;   // submit -> the owner engine's req.begin
+  double span_seconds = 0;    // first -> last captured event
 };
 
 // The completion record a request's future carries.
@@ -88,6 +127,12 @@ struct RequestResult {
   uint64_t stuck_datums = 0;
 
   double latency_seconds = 0;  // submit -> completion
+
+  // Request-scoped trace (empty unless tracing was enabled and this
+  // request was sampled — ServeConfig::trace_sample_every): the stitched
+  // cross-rank event timeline, time-ordered, plus its digest.
+  std::vector<obs::Event> trace;
+  RequestTraceSummary trace_summary;
 
   bool ok() const { return kind == turbine::RequestErrorKind::kNone && !shed; }
 };
@@ -138,6 +183,8 @@ struct ServiceStats {
   uint64_t inflight = 0;   // admitted, not yet completed (snapshot)
   uint64_t programs_compiled = 0;
   uint64_t program_cache_hits = 0;
+  uint64_t slow_requests = 0;    // latency >= ServeConfig::slow_request_seconds
+  uint64_t traced_requests = 0;  // completed with a captured trace
 };
 
 class Service {
@@ -169,6 +216,17 @@ class Service {
   uint64_t datum_count();
 
   ServiceStats stats() const;
+
+  // Live introspection as one JSON object: uptime, inflight, admission
+  // counters, rolling-window latency percentiles (p50/p90/p99/p999 for
+  // serve.request_seconds), and per-rank busy-seconds gauges. Cheap and
+  // callable from any thread at any time; this is also what the telemetry
+  // flusher embeds in each snapshot line and what `ilps --serve-status`
+  // renders.
+  std::string status_json() const;
+
+  // The most recent slow-request exemplars (bounded ring, oldest first).
+  std::vector<RequestResult> slow_exemplars() const;
 
   bool entered() const;
 

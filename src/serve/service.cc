@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <future>
 #include <mutex>
@@ -16,7 +17,9 @@
 #include "adlb/server.h"
 #include "common/timer.h"
 #include "mpi/comm.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "swift/compiler.h"
 #include "turbine/context.h"
@@ -76,6 +79,7 @@ struct RequestEntry {
   int64_t id = 0;
   std::shared_ptr<CompiledProgram> prog;
   double submitted = 0;  // hub-clock time of admission
+  bool traced = false;   // trace capture registered for this request
   std::string partial;   // output fragment awaiting its newline
   bool done = false;
   RequestResult result;
@@ -118,13 +122,67 @@ std::string deadlock_message(int64_t req, const turbine::RequestOutcome& out) {
   return s.str();
 }
 
+// Digests a stitched (time-ordered) request trace into the critical-path
+// summary RequestResult carries: where the latency went and what the
+// request actually did across the world.
+RequestTraceSummary summarize_trace(const std::vector<obs::Event>& events) {
+  RequestTraceSummary s;
+  s.events = events.size();
+  if (events.empty()) return s;
+  double submit_t = 0;
+  double begin_t = 0;
+  // task.run spans nest per rank (engine locals run inside worker-style
+  // loops on the same thread), so match Begin/End with a per-rank stack.
+  std::unordered_map<int32_t, std::vector<double>> open_runs;
+  for (const obs::Event& e : events) {
+    switch (e.kind) {
+      case obs::EventKind::kReqSubmit:
+        if (submit_t == 0) submit_t = e.t;
+        break;
+      case obs::EventKind::kReqBegin:
+        if (begin_t == 0) begin_t = e.t;
+        break;
+      case obs::EventKind::kRuleFired:
+        ++s.rule_fires;
+        break;
+      case obs::EventKind::kAdlbPut:
+        ++s.puts;
+        break;
+      case obs::EventKind::kMpiSend:
+        ++s.mpi_messages;
+        s.mpi_bytes += static_cast<uint64_t>(e.b > 0 ? e.b : 0);
+        break;
+      case obs::EventKind::kTaskRun: {
+        auto& stack = open_runs[e.rank];
+        if (e.ph == obs::Phase::kBegin) {
+          stack.push_back(e.t);
+        } else if (e.ph == obs::Phase::kEnd && !stack.empty()) {
+          ++s.tasks;
+          s.exec_seconds += e.t - stack.back();
+          stack.pop_back();
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (submit_t > 0 && begin_t > submit_t) s.queue_seconds = begin_t - submit_t;
+  s.span_seconds = events.back().t - events.front().t;
+  return s;
+}
+
 // Shared rendezvous between the submission side (user threads) and the
 // world's rank threads. Owns admission state, per-request entries, the
 // ingress command queue, and the serve.* metrics. Reference-counted so
 // RequestHandles stay valid after the Service is gone.
 class Hub {
  public:
-  explicit Hub(bool echo) : echo_(echo) {
+  // How many slow-request exemplars the ring retains.
+  static constexpr size_t kMaxExemplars = 16;
+
+  Hub(bool echo, double slow_threshold, int64_t sample_every)
+      : slow_threshold_(slow_threshold), sample_every_(sample_every), echo_(echo) {
     if (obs::metrics_enabled()) {
       obs::Metrics& m = obs::metrics();
       m_admitted_ = &m.counter("serve.admitted");
@@ -132,8 +190,12 @@ class Hub {
       m_shed_ = &m.counter("serve.shed");
       m_completed_ = &m.counter("serve.completed");
       m_failed_ = &m.counter("serve.failed");
+      m_slow_ = &m.counter("serve.slow_requests");
       m_inflight_ = &m.gauge("serve.inflight");
       m_latency_ = &m.histogram("serve.request_seconds");
+      // The rolling-window twin: live p50/p99/p999 over the last minute,
+      // memory-bounded no matter how long the service stays up.
+      m_latency_window_ = &m.window_histogram("serve.request_seconds");
     }
   }
 
@@ -151,8 +213,24 @@ class Hub {
   uint64_t shed = 0;
   uint64_t completed = 0;
   uint64_t failed = 0;
+  uint64_t slow = 0;    // latency >= slow_threshold_
+  uint64_t traced = 0;  // completed with a captured trace
+
+  // Slow-request exemplar ring, oldest first (full results incl. trace).
+  std::deque<RequestResult> exemplars;
+
+  // Streaming export (set by Service::enter when telemetry is enabled;
+  // shared so the hub can outlive the Service).
+  std::shared_ptr<obs::TelemetryFlusher> flusher;
 
   Timer clock;  // service epoch: line_times and latencies count from here
+
+  double slow_threshold() const { return slow_threshold_; }
+
+  // Whether this admission should register trace capture.
+  bool should_trace(int64_t id) const {
+    return sample_every_ > 0 && obs::trace_enabled() && id % sample_every_ == 0;
+  }
 
   // Per-request output sink for every client rank (installed as
   // ContextConfig::serve_output). Splits fragments into lines on the
@@ -222,6 +300,39 @@ class Hub {
     if (was_failure && m_failed_ != nullptr) m_failed_->add();
     if (m_inflight_ != nullptr) m_inflight_->set(static_cast<double>(inflight.size()));
     if (m_latency_ != nullptr) m_latency_->record(e.result.latency_seconds);
+    if (m_latency_window_ != nullptr) m_latency_window_->record(e.result.latency_seconds);
+    if (e.traced) {
+      // Seal the capture: write the completion mark into the capture
+      // buffer first, then deregister and stitch. The rank-local ring gets
+      // its own req.done afterwards (post-deregistration, so exactly one
+      // copy lands in the capture).
+      obs::req_capture_note_off_rank(e.id, obs::EventKind::kReqDone, obs::Phase::kInstant, e.id,
+                                     was_failure ? 1 : 0);
+      e.result.trace = obs::req_capture_take(e.id);
+      e.result.trace_summary = detail::summarize_trace(e.result.trace);
+      ++traced;
+    }
+    {
+      obs::RequestScope rscope(e.id);
+      obs::instant(obs::EventKind::kReqDone, e.id, was_failure ? 1 : 0);
+    }
+    const bool is_slow =
+        slow_threshold_ > 0 && e.result.latency_seconds >= slow_threshold_;
+    if (is_slow) {
+      ++slow;
+      if (m_slow_ != nullptr) m_slow_->add();
+      exemplars.push_back(e.result);
+      if (exemplars.size() > kMaxExemplars) exemplars.pop_front();
+    }
+    if (flusher && (e.traced || is_slow)) {
+      obs::TelemetryFlusher::RequestRecord rec;
+      rec.id = e.id;
+      rec.failed = was_failure;
+      rec.slow = is_slow;
+      rec.latency_seconds = e.result.latency_seconds;
+      rec.events = e.result.trace;
+      flusher->enqueue_request(std::move(rec));
+    }
     cv_done.notify_all();
   }
 
@@ -231,10 +342,14 @@ class Hub {
   obs::Counter* m_shed_ = nullptr;
   obs::Counter* m_completed_ = nullptr;
   obs::Counter* m_failed_ = nullptr;
+  obs::Counter* m_slow_ = nullptr;
   obs::Gauge* m_inflight_ = nullptr;
   obs::Histogram* m_latency_ = nullptr;
+  obs::WindowHistogram* m_latency_window_ = nullptr;
 
  private:
+  double slow_threshold_ = 0;
+  int64_t sample_every_ = 1;
   bool echo_ = false;
 };
 
@@ -399,7 +514,13 @@ void Service::Impl::run_world() {
 
 Service::Service(ServeConfig cfg) : impl_(std::make_unique<Impl>()) {
   impl_->cfg = std::move(cfg);
-  impl_->hub = std::make_shared<Hub>(impl_->cfg.runtime.echo_output);
+  double slow_s = impl_->cfg.slow_request_seconds;
+  if (const char* env = std::getenv("ILPS_SLOW_REQUEST_MS")) {
+    const double ms = std::atof(env);
+    if (ms > 0) slow_s = ms / 1000.0;
+  }
+  impl_->hub = std::make_shared<Hub>(impl_->cfg.runtime.echo_output, slow_s,
+                                     impl_->cfg.trace_sample_every);
 }
 
 Service::~Service() {
@@ -421,6 +542,13 @@ void Service::enter() {
   if (rc.workers < 1) throw Error("serve: at least one worker rank is required");
   if (rc.servers < 1) throw Error("serve: at least one server rank is required");
   if (impl_->cfg.max_inflight < 1) throw Error("serve: max_inflight must be at least 1");
+  if (impl_->cfg.telemetry.enabled()) {
+    auto flusher = std::make_shared<obs::TelemetryFlusher>(impl_->cfg.telemetry);
+    flusher->set_status_provider([this] { return status_json(); });
+    flusher->start();
+    std::lock_guard<std::mutex> hub_lock(impl_->hub->mu);
+    impl_->hub->flusher = std::move(flusher);
+  }
   Impl* impl = impl_.get();
   impl_->world_thread = std::thread([impl] {
     try {
@@ -501,6 +629,15 @@ RequestHandle Service::submit(const std::string& swift_source) {
   entry->prog = std::move(prog);
   entry->submitted = hub->clock.elapsed();
   entry->result.id = entry->id;
+  if (hub->should_trace(entry->id)) {
+    // Register the request for cross-rank capture before any rank can
+    // emit on its behalf, and mark the submit itself (user thread, no
+    // attached tracer, hence off-rank).
+    entry->traced = true;
+    obs::req_capture_begin(entry->id);
+    obs::req_capture_note_off_rank(entry->id, obs::EventKind::kReqSubmit, obs::Phase::kInstant,
+                                   entry->id);
+  }
   hub->inflight.emplace(entry->id, entry);
   ++hub->admitted;
   if (hub->m_admitted_ != nullptr) hub->m_admitted_->add();
@@ -542,6 +679,15 @@ void Service::shutdown() {
   if (impl_->entered.load() && !impl_->joined) {
     impl_->world_thread.join();
     impl_->joined = true;
+    // Stop the flusher after the world joins so its final snapshot and
+    // request drain see the service's terminal state.
+    std::shared_ptr<obs::TelemetryFlusher> flusher;
+    {
+      std::lock_guard<std::mutex> lock(hub->mu);
+      flusher = std::move(hub->flusher);
+      hub->flusher.reset();
+    }
+    if (flusher) flusher->stop();
     if (impl_->world_error) std::rethrow_exception(impl_->world_error);
   }
 }
@@ -576,10 +722,89 @@ ServiceStats Service::stats() const {
     s.completed = hub->completed;
     s.failed = hub->failed;
     s.inflight = hub->inflight.size();
+    s.slow_requests = hub->slow;
+    s.traced_requests = hub->traced;
   }
   s.programs_compiled = impl_->cache.compiled();
   s.program_cache_hits = impl_->cache.hits();
   return s;
+}
+
+std::vector<RequestResult> Service::slow_exemplars() const {
+  std::shared_ptr<Hub> hub = impl_->hub;
+  std::lock_guard<std::mutex> lock(hub->mu);
+  return {hub->exemplars.begin(), hub->exemplars.end()};
+}
+
+std::string Service::status_json() const {
+  std::shared_ptr<Hub> hub = impl_->hub;
+  // Snapshot the hub under its lock, then format and query the metrics
+  // registry with the lock released (the telemetry flusher calls this
+  // from its own thread; keep the lock scopes disjoint).
+  uint64_t admitted, rejected, shed, completed, failed, slow, traced, inflight;
+  double uptime;
+  std::shared_ptr<obs::TelemetryFlusher> flusher;
+  {
+    std::lock_guard<std::mutex> lock(hub->mu);
+    admitted = hub->admitted;
+    rejected = hub->rejected;
+    shed = hub->shed;
+    completed = hub->completed;
+    failed = hub->failed;
+    slow = hub->slow;
+    traced = hub->traced;
+    inflight = hub->inflight.size();
+    uptime = hub->clock.elapsed();
+    flusher = hub->flusher;
+  }
+  std::ostringstream s;
+  s << "{\"uptime_s\":" << obs::json_num(uptime);
+  s << ",\"inflight\":" << inflight;
+  s << ",\"admitted\":" << admitted << ",\"rejected\":" << rejected << ",\"shed\":" << shed;
+  s << ",\"completed\":" << completed << ",\"failed\":" << failed;
+  s << ",\"slow_requests\":" << slow << ",\"traced_requests\":" << traced;
+  s << ",\"programs_compiled\":" << impl_->cache.compiled();
+  s << ",\"program_cache_hits\":" << impl_->cache.hits();
+  if (obs::metrics_enabled()) {
+    // Rolling-window latency percentiles: what the service is doing *now*,
+    // not since boot.
+    obs::WindowHistogram& w = obs::metrics().window_histogram("serve.request_seconds");
+    const obs::WindowHistogram::Snapshot snap = w.snapshot();
+    s << ",\"window\":{\"window_s\":" << obs::json_num(w.window_seconds());
+    s << ",\"count\":" << snap.count << ",\"sum\":" << obs::json_num(snap.sum);
+    s << ",\"p50\":" << obs::json_num(snap.p50) << ",\"p90\":" << obs::json_num(snap.p90);
+    s << ",\"p99\":" << obs::json_num(snap.p99) << ",\"p999\":" << obs::json_num(snap.p999);
+    s << "}";
+    // Per-rank utilization: cumulative busy-seconds gauges set by the
+    // engine, worker, and server loops; consumers diff successive
+    // snapshots against uptime for live utilization.
+    const int engines = impl_->cfg.runtime.engines;
+    const int workers = impl_->cfg.runtime.workers;
+    const int ingress = engines + workers;
+    s << ",\"ranks\":[";
+    bool first = true;
+    for (const auto& [name, value] : obs::metrics().gauges()) {
+      constexpr const char* kPrefix = "rank.busy_seconds.r";
+      if (name.rfind(kPrefix, 0) != 0) continue;
+      const int rank = std::atoi(name.c_str() + std::char_traits<char>::length(kPrefix));
+      const char* role = rank < engines  ? "engine"
+                         : rank < ingress ? "worker"
+                         : rank == ingress ? "ingress"
+                                           : "server";
+      if (!first) s << ",";
+      first = false;
+      s << "{\"rank\":" << rank << ",\"role\":\"" << role
+        << "\",\"busy_s\":" << obs::json_num(value) << "}";
+    }
+    s << "]";
+  }
+  if (flusher) {
+    s << ",\"telemetry\":{\"snapshots\":" << flusher->snapshots_written()
+      << ",\"requests\":" << flusher->requests_written()
+      << ",\"dropped\":" << flusher->requests_dropped() << "}";
+  }
+  s << "}";
+  return s.str();
 }
 
 // ---- batch mode ----

@@ -387,14 +387,19 @@ void Context::register_commands() {
 // ---- serve helpers ----
 
 Context::ReqScope::ReqScope(Context& ctx, int64_t req, int owner, int64_t prog)
-    : ctx_(ctx), prev_(ctx.client_.serve_ctx()), prev_req_(ctx.cur_req_) {
+    : ctx_(ctx),
+      prev_(ctx.client_.serve_ctx()),
+      prev_req_(ctx.cur_req_),
+      prev_thread_req_(log::thread_request()) {
   ctx_.client_.set_serve_ctx({req, owner, prog});
   ctx_.cur_req_ = req;
+  log::set_thread_request(req);
 }
 
 Context::ReqScope::~ReqScope() {
   ctx_.client_.set_serve_ctx(prev_);
   ctx_.cur_req_ = prev_req_;
+  log::set_thread_request(prev_thread_req_);
 }
 
 void Context::load_program(int64_t prog) {
@@ -474,6 +479,15 @@ size_t Context::run_engine(const std::string& main_script) {
   if (engine_ == nullptr) throw Error("run_engine called without an Engine");
   if (!main_script.empty()) interp_.eval(main_script);
 
+  // Live utilization: cumulative non-blocked seconds, published as a
+  // gauge so the telemetry plane can report per-rank busy fractions while
+  // the service runs (the trace-based table needs the run to end first).
+  obs::Gauge* busy_gauge =
+      obs::metrics_enabled()
+          ? &obs::metrics().gauge("rank.busy_seconds.r" + std::to_string(client_.rank()))
+          : nullptr;
+  double busy_total = 0;
+
   auto drain_local = [this] {
     while (!engine_->local_ready().empty()) {
       LocalAction local = std::move(engine_->local_ready().front());
@@ -491,6 +505,7 @@ size_t Context::run_engine(const std::string& main_script) {
   sweep_completed();
 
   while (auto unit = client_.get(adlb::kTypeControl)) {
+    const double started = busy_gauge != nullptr ? ilps::wtime() : 0;
     if ((unit->flags & adlb::kUnitServeCtl) != 0) {
       // Serve bookkeeping notice — C++ dispatch, never a task.
       handle_serve_notice(*unit);
@@ -503,6 +518,8 @@ size_t Context::run_engine(const std::string& main_script) {
       engine_->begin_request(unit->req, unit->prog);
       ++stats_.tasks;
       {
+        obs::RequestScope rscope(unit->req);
+        obs::instant(obs::EventKind::kReqBegin, unit->req);
         obs::Span span(obs::EventKind::kTaskRun, unit->id);
         load_program(unit->prog);
         eval_for_request(unit->req, client_.rank(), unit->prog, unit->payload);
@@ -513,6 +530,7 @@ size_t Context::run_engine(const std::string& main_script) {
       // A request-tagged control action (owner affinity: it is ours).
       ++stats_.tasks;
       {
+        obs::RequestScope rscope(unit->req);
         obs::Span span(obs::EventKind::kTaskRun, unit->id);
         load_program(unit->prog);
         eval_for_request(unit->req, client_.rank(), unit->prog, unit->payload);
@@ -529,20 +547,40 @@ size_t Context::run_engine(const std::string& main_script) {
     }
     drain_local();
     sweep_completed();
+    if (busy_gauge != nullptr) {
+      busy_total += ilps::wtime() - started;
+      busy_gauge->set(busy_total);
+    }
   }
   return engine_->pending_rules();
 }
 
 void Context::run_worker() {
   // Resolved once; the registry lookup takes a lock, the record does not.
+  // task.seconds keeps both views: the exact (reservoir-capped) histogram
+  // and the rolling window the live telemetry plane reads.
   obs::Histogram* task_seconds =
       obs::metrics_enabled() ? &obs::metrics().histogram("task.seconds") : nullptr;
+  obs::WindowHistogram* task_seconds_window =
+      obs::metrics_enabled() ? &obs::metrics().window_histogram("task.seconds") : nullptr;
+  obs::Gauge* busy_gauge =
+      obs::metrics_enabled()
+          ? &obs::metrics().gauge("rank.busy_seconds.r" + std::to_string(client_.rank()))
+          : nullptr;
+  double busy_total = 0;
   while (auto unit = client_.get(adlb::kTypeWork)) {
     ++stats_.tasks;
     const double started = ilps::wtime();
     const bool serve = unit->req != 0;
+    const auto account_busy = [&] {
+      if (busy_gauge != nullptr) {
+        busy_total += ilps::wtime() - started;
+        busy_gauge->set(busy_total);
+      }
+    };
     try {
       {
+        obs::RequestScope rscope(serve ? unit->req : 0);
         obs::Span span(obs::EventKind::kTaskRun, unit->id);
         if (serve) {
           load_program(unit->prog);
@@ -552,7 +590,9 @@ void Context::run_worker() {
           interp_.eval(unit->payload);
         }
       }
-      if (task_seconds != nullptr) task_seconds->record(ilps::wtime() - started);
+      const double took = ilps::wtime() - started;
+      if (task_seconds != nullptr) task_seconds->record(took);
+      if (task_seconds_window != nullptr) task_seconds_window->record(took);
     } catch (const Error& e) {
       // A leaf-task failure is typed and attributed (rank, task id), not
       // a raw string on stdout. Under fault tolerance it goes back to the
@@ -561,6 +601,7 @@ void Context::run_worker() {
       end_task();
       if (cfg_.ft) {
         client_.task_failed(*unit, e.what());
+        account_busy();
         continue;
       }
       std::string message = "task <" + std::to_string(unit->id) + "> failed on rank " +
@@ -569,12 +610,14 @@ void Context::run_worker() {
         send_serve_notice(unit->req, unit->owner,
                           "E" + std::to_string(static_cast<int>(RequestErrorKind::kTask)) +
                               ":" + message);
+        account_busy();
         continue;
       }
       throw TaskError(message);
     }
     end_task();
     if (serve) send_serve_notice(unit->req, unit->owner, "-");
+    account_busy();
   }
 }
 

@@ -98,8 +98,9 @@ class Context {
 
  private:
   // RAII request scope: installs the ambient serve context on the client
-  // (so puts/creates are stamped and counted) and tags emitted output
-  // with the request. Restores the previous scope on exit.
+  // (so puts/creates are stamped and counted), tags emitted output with
+  // the request, and binds the thread's request id (log prefix + trace
+  // event attribution). Restores the previous scope on exit.
   class ReqScope {
    public:
     ReqScope(Context& ctx, int64_t req, int owner, int64_t prog);
@@ -109,6 +110,7 @@ class Context {
     Context& ctx_;
     adlb::Client::ServeCtx prev_;
     int64_t prev_req_;
+    int64_t prev_thread_req_;
   };
 
   void register_commands();

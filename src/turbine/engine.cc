@@ -152,6 +152,9 @@ std::vector<StuckRule> Engine::stuck_report() const {
 
 void Engine::release(Rule&& rule) {
   ++stats_.rules_fired;
+  // Fires triggered by close notifications run outside any request scope,
+  // so attribute the fire (and the put it causes) to the rule's request.
+  obs::RequestScope rscope(rule.req);
   obs::instant(obs::EventKind::kRuleFired, static_cast<int64_t>(rule.type));
   if (rule.type == TaskType::kLocal) {
     if (rule.req != 0) {

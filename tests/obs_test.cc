@@ -4,9 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/timer.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -344,4 +349,232 @@ TEST(ObsMetrics, RegistryCountersAndGauges) {
   EXPECT_EQ(counters[0].first, "a.count");
   m.clear();
   EXPECT_TRUE(m.counters().empty());
+}
+
+// A resident service feeds its latency histograms indefinitely; retention
+// must be bounded no matter the sample count. 10M samples is hours of a
+// saturated service — the reservoir has to hold them under a fixed byte
+// budget while count/sum/min/max stay exact.
+TEST(ObsMetrics, ReservoirBoundsMemoryUnderTenMillionSamples) {
+  obs::Histogram h;
+  constexpr uint64_t kSamples = 10'000'000;
+  for (uint64_t i = 0; i < kSamples; ++i) {
+    h.record(static_cast<double>(i % 1000) * 1e-6);
+  }
+  EXPECT_EQ(h.count(), kSamples);
+  EXPECT_LE(h.retained(), obs::Histogram::kReservoirCap);
+  // The budget: the full reservoir plus vector growth slack, and not one
+  // byte per excess sample.
+  EXPECT_LE(h.sample_bytes(), obs::Histogram::kReservoirCap * sizeof(double) * 2);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), static_cast<double>(999) * 1e-6);
+  EXPECT_NEAR(h.sum(), kSamples * 499.5e-6, kSamples * 1e-12);
+  // Percentiles stay a sane estimate of the (uniform 0..999us) input.
+  const double p50 = h.percentile(50);
+  EXPECT_GT(p50, 400e-6);
+  EXPECT_LT(p50, 600e-6);
+}
+
+// ---- rolling-window histograms ----
+
+TEST(ObsMetrics, WindowHistogramBucketMapping) {
+  EXPECT_EQ(obs::WindowHistogram::bucket_of(0.0), 0u);
+  EXPECT_EQ(obs::WindowHistogram::bucket_of(obs::WindowHistogram::kBucketFloor), 0u);
+  EXPECT_EQ(obs::WindowHistogram::bucket_of(1e12), obs::WindowHistogram::kBuckets - 1);
+  size_t prev = 0;
+  for (double v = 2e-6; v < 10.0; v *= 2) {
+    const size_t b = obs::WindowHistogram::bucket_of(v);
+    EXPECT_GE(b, prev);
+    EXPECT_LT(b, obs::WindowHistogram::kBuckets);
+    prev = b;
+    // The bucket's representative (geometric mid) stays within one growth
+    // factor of any value mapped into it.
+    const double rep = obs::WindowHistogram::bucket_value(b);
+    EXPECT_GT(rep, v / obs::WindowHistogram::kBucketGrowth);
+    EXPECT_LT(rep, v * obs::WindowHistogram::kBucketGrowth);
+  }
+}
+
+TEST(ObsMetrics, WindowHistogramRotationAgesOutOldSamples) {
+  obs::WindowHistogram w(/*window_seconds=*/8.0);  // 1 s sub-windows
+  for (int i = 0; i < 100; ++i) w.record_at(0.010, /*now=*/100.0);
+  EXPECT_EQ(w.snapshot_at(100.0).count, 100u);
+  // Still visible just inside the window...
+  EXPECT_EQ(w.snapshot_at(107.0).count, 100u);
+  // ...gone once the window rotates past its sub-window.
+  EXPECT_EQ(w.snapshot_at(109.0).count, 0u);
+
+  // Partial aging: two bursts in different sub-windows age out separately.
+  w.reset();
+  for (int i = 0; i < 10; ++i) w.record_at(0.001, 200.0);
+  for (int i = 0; i < 5; ++i) w.record_at(0.002, 205.0);
+  EXPECT_EQ(w.snapshot_at(205.0).count, 15u);
+  EXPECT_EQ(w.snapshot_at(208.5).count, 5u);   // first burst aged out
+  EXPECT_EQ(w.snapshot_at(213.5).count, 0u);
+
+  // Sub-window slots are reused in place: a long-running recorder never
+  // grows the structure.
+  for (double now = 300.0; now < 400.0; now += 0.25) w.record_at(0.001, now);
+  EXPECT_LE(w.snapshot_at(399.75).count,
+            4 * 8 + 4u);  // at most one window's worth visible
+}
+
+TEST(ObsMetrics, WindowHistogramPercentilesWithinBucketResolution) {
+  obs::WindowHistogram w;  // default 60 s window
+  for (int i = 1; i <= 1000; ++i) w.record_at(i * 1e-3, /*now=*/10.0);
+  const obs::WindowHistogram::Snapshot s = w.snapshot_at(10.0);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_NEAR(s.sum, 500.5, 1e-9);
+  // Log-spaced buckets: each percentile lands within one growth factor of
+  // the exact value (uniform 1ms..1000ms input).
+  const double g = obs::WindowHistogram::kBucketGrowth;
+  EXPECT_GT(s.p50, 0.500 / g);
+  EXPECT_LT(s.p50, 0.500 * g);
+  EXPECT_GT(s.p99, 0.990 / g);
+  EXPECT_LT(s.p99, 0.990 * g);
+  EXPECT_GT(s.p999, 0.999 / g);
+  EXPECT_LT(s.p999, 0.999 * g);
+
+  obs::WindowHistogram empty;
+  const obs::WindowHistogram::Snapshot e = empty.snapshot_at(1.0);
+  EXPECT_EQ(e.count, 0u);
+  EXPECT_DOUBLE_EQ(e.p50, 0.0);
+}
+
+TEST(ObsMetrics, RegistryWindowHistogramsAreSharedByName) {
+  obs::Metrics m;
+  obs::WindowHistogram& w1 = m.window_histogram("x.seconds", 30.0);
+  obs::WindowHistogram& w2 = m.window_histogram("x.seconds", 99.0);  // window from first creation
+  EXPECT_EQ(&w1, &w2);
+  EXPECT_DOUBLE_EQ(w2.window_seconds(), 30.0);
+  w1.record_at(0.5, 1.0);
+  EXPECT_EQ(m.window_histograms().size(), 1u);
+  m.reset_histograms();
+  EXPECT_EQ(w1.snapshot_at(1.0).count, 0u);
+}
+
+// ---- request-scoped capture ----
+
+TEST(ObsRequestCapture, ScopedEventsAreCapturedAndStitched) {
+  TraceOn on;
+  obs::Tracer t;
+  t.init(/*rank=*/2, /*capacity=*/64);
+  obs::attach(&t);
+  obs::req_capture_begin(42);
+  EXPECT_TRUE(obs::req_capture_active());
+  // Submit happens on a user thread with no tracer: off-rank note.
+  obs::req_capture_note_off_rank(42, obs::EventKind::kReqSubmit, obs::Phase::kInstant, 42);
+  {
+    obs::RequestScope rs(42);
+    obs::instant(obs::EventKind::kRuleFired, 1);
+    obs::Span span(obs::EventKind::kTaskRun, 7);
+  }
+  obs::instant(obs::EventKind::kRuleFired, 2);  // outside any scope: ring only
+  {
+    obs::RequestScope rs(7);  // scoped but never registered: ring only
+    obs::instant(obs::EventKind::kRuleFired, 3);
+  }
+  obs::detach();
+
+  std::vector<obs::Event> trace = obs::req_capture_take(42);
+  ASSERT_EQ(trace.size(), 4u);  // submit + rule fire + task Begin/End
+  EXPECT_EQ(trace.front().kind, obs::EventKind::kReqSubmit);
+  EXPECT_EQ(trace.front().rank, -1);
+  for (const obs::Event& e : trace) EXPECT_EQ(e.req, 42);
+  for (size_t i = 1; i < trace.size(); ++i) EXPECT_GE(trace[i].t, trace[i - 1].t);
+  // Ring events outside the registered scope kept their own attribution.
+  auto ring = t.events();
+  ASSERT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.back().req, 7);
+
+  // take() drains: the registry empties and the fast-path gate drops.
+  EXPECT_FALSE(obs::req_capture_active());
+  EXPECT_TRUE(obs::req_capture_take(42).empty());
+  EXPECT_STREQ(obs::kind_name(obs::EventKind::kReqSubmit), "req.submit");
+  EXPECT_STREQ(obs::kind_category(obs::EventKind::kReqDone), "serve");
+}
+
+TEST(ObsRequestCapture, PerRequestRetentionIsCapped) {
+  TraceOn on;
+  obs::Tracer t;
+  t.init(0, 16);
+  obs::attach(&t);
+  obs::req_capture_begin(5);
+  {
+    obs::RequestScope rs(5);
+    for (size_t i = 0; i < obs::kReqCaptureCap + 100; ++i) {
+      obs::instant(obs::EventKind::kAdlbPut, static_cast<int64_t>(i));
+    }
+  }
+  obs::detach();
+  std::vector<obs::Event> trace = obs::req_capture_take(5);
+  EXPECT_EQ(trace.size(), obs::kReqCaptureCap);
+  EXPECT_EQ(trace.front().a, 0);  // oldest kept; overflow drops the newest
+}
+
+// ---- concurrency (exercised under TSAN in CI) ----
+
+// Snapshot readers race registry mutation: new metrics registered by name
+// while counters/gauges/histograms are being snapshotted and queried.
+TEST(ObsMetrics, ConcurrentRegistrySnapshotWhileMutating) {
+  obs::Metrics m;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&m, w] {
+      for (int i = 0; i < 4000; ++i) {
+        m.counter("c." + std::to_string(i % 8)).add();
+        m.gauge("g." + std::to_string(w)).set(i);
+        m.histogram("h.lat").record(i * 1e-6);
+        m.window_histogram("w.lat").record(i * 1e-6);
+      }
+    });
+  }
+  std::thread reader([&m, &stop] {
+    while (!stop.load()) {
+      (void)m.counters();
+      (void)m.gauges();
+      for (const auto& [name, h] : m.histograms()) {
+        (void)name;
+        (void)h->percentile(99);
+        (void)h->count();
+      }
+      for (const auto& [name, w] : m.window_histograms()) {
+        (void)name;
+        (void)w->snapshot();
+      }
+    }
+  });
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(m.counter("c.0").value(), 3u * 4000u / 8u);
+  EXPECT_EQ(m.histogram("h.lat").count(), 3u * 4000u);
+}
+
+// Recorders race snapshots across real sub-window rotations (a tiny
+// window forces slot reuse while readers merge).
+TEST(ObsMetrics, ConcurrentWindowHistogramRotation) {
+  obs::WindowHistogram w(/*window_seconds=*/0.04);  // 5 ms sub-windows
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      (void)w.snapshot();
+      (void)w.percentile(99);
+      (void)w.count();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int i = 0; i < 3; ++i) {
+    writers.emplace_back([&w] {
+      Timer t;
+      while (t.elapsed() < 0.12) w.record(0.001);  // spans ~24 rotations
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  // Whatever remains is at most one window of the most recent records.
+  (void)w.snapshot();
+  SUCCEED();
 }

@@ -5,11 +5,17 @@
 // sequential requests (namespace GC returns the store to baseline).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/serve.h"
 
 namespace ilps::serve {
@@ -21,6 +27,28 @@ ServeConfig small_config(int engines = 1, int workers = 2, int servers = 1) {
   cfg.runtime.workers = workers;
   cfg.runtime.servers = servers;
   return cfg;
+}
+
+// Enables tracing + metrics for one test body and restores the
+// env-derived defaults, so test order never leaks state. Must be alive
+// before the Service is constructed (the hub resolves its metric handles
+// in its constructor).
+struct ObsOn {
+  bool prev_trace = obs::trace_enabled();
+  bool prev_metrics = obs::metrics_enabled();
+  ObsOn() {
+    obs::set_trace_enabled(true);
+    obs::set_metrics_enabled(true);
+  }
+  ~ObsOn() {
+    obs::set_trace_enabled(prev_trace);
+    obs::set_metrics_enabled(prev_metrics);
+  }
+};
+
+size_t count_kind(const std::vector<obs::Event>& trace, obs::EventKind k) {
+  return static_cast<size_t>(std::count_if(
+      trace.begin(), trace.end(), [&](const obs::Event& e) { return e.kind == k; }));
 }
 
 TEST(Serve, SingleRequestLifecycle) {
@@ -259,6 +287,171 @@ TEST(Serve, ManyConcurrentMixedPrograms) {
   }
   EXPECT_EQ(failures, 0);
   service.shutdown();
+}
+
+// ---- live telemetry plane ----
+
+TEST(ServeTelemetry, TracedRequestCarriesStitchedCrossRankTrace) {
+  ObsOn on;
+  ServeConfig cfg = small_config();
+  cfg.trace_sample_every = 1;  // capture every request
+  Service service(cfg);
+  service.enter();
+  const RequestResult r = service.submit(R"(printf("t=%d", 6 * 7);)").get();
+  service.shutdown();
+  ASSERT_EQ(r.lines.at(0), "t=42");
+
+  // The stitched cross-rank timeline: submit (user thread, rank -1) ->
+  // owner engine begins -> rule fires / puts -> task runs -> completion.
+  ASSERT_FALSE(r.trace.empty());
+  EXPECT_EQ(count_kind(r.trace, obs::EventKind::kReqSubmit), 1u);
+  EXPECT_EQ(count_kind(r.trace, obs::EventKind::kReqBegin), 1u);
+  EXPECT_EQ(count_kind(r.trace, obs::EventKind::kReqDone), 1u);
+  EXPECT_EQ(r.trace.front().kind, obs::EventKind::kReqSubmit);
+  EXPECT_EQ(r.trace.front().rank, -1);
+  EXPECT_EQ(r.trace.back().kind, obs::EventKind::kReqDone);
+  for (const obs::Event& e : r.trace) EXPECT_EQ(e.req, r.id);
+  for (size_t i = 1; i < r.trace.size(); ++i) EXPECT_GE(r.trace[i].t, r.trace[i - 1].t);
+  // Events from more than one rank: the engine's req.begin plus wherever
+  // the work ran, stitched with the off-rank submit.
+  std::vector<int32_t> ranks;
+  for (const obs::Event& e : r.trace) ranks.push_back(e.rank);
+  std::sort(ranks.begin(), ranks.end());
+  ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+  EXPECT_GE(ranks.size(), 2u);
+
+  // The critical-path digest agrees with the timeline.
+  EXPECT_EQ(r.trace_summary.events, r.trace.size());
+  EXPECT_GE(r.trace_summary.rule_fires, 1u);
+  EXPECT_GE(r.trace_summary.tasks, 1u);
+  EXPECT_GT(r.trace_summary.exec_seconds, 0.0);
+  EXPECT_GE(r.trace_summary.queue_seconds, 0.0);
+  EXPECT_GT(r.trace_summary.span_seconds, 0.0);
+  EXPECT_LE(r.trace_summary.queue_seconds, r.trace_summary.span_seconds);
+  EXPECT_EQ(service.stats().traced_requests, 1u);
+}
+
+TEST(ServeTelemetry, TraceSamplingCapturesEveryNth) {
+  ObsOn on;
+  ServeConfig cfg = small_config();
+  cfg.trace_sample_every = 2;  // even request ids only
+  Service service(cfg);
+  service.enter();
+  size_t traced = 0;
+  for (int i = 0; i < 4; ++i) {
+    const RequestResult r = service.submit(R"(printf("n=%d", 1);)").get();
+    if (!r.trace.empty()) ++traced;
+    EXPECT_EQ(r.trace.empty(), r.id % 2 != 0) << "request " << r.id;
+  }
+  service.shutdown();
+  EXPECT_EQ(traced, 2u);
+  EXPECT_EQ(service.stats().traced_requests, 2u);
+}
+
+TEST(ServeTelemetry, UntracedRunsCarryNoTrace) {
+  // Tracing off (the default): no capture registration, empty traces, and
+  // the per-request cost is the untouched fast path.
+  ServeConfig cfg = small_config();
+  cfg.trace_sample_every = 1;
+  Service service(cfg);
+  service.enter();
+  const RequestResult r = service.submit(R"(printf("q=%d", 2);)").get();
+  service.shutdown();
+  EXPECT_TRUE(r.trace.empty());
+  EXPECT_EQ(r.trace_summary.events, 0u);
+  EXPECT_EQ(service.stats().traced_requests, 0u);
+}
+
+TEST(ServeTelemetry, SlowRequestExemplarsAreKept) {
+  ObsOn on;
+  ServeConfig cfg = small_config();
+  cfg.slow_request_seconds = 1e-9;  // everything is "slow"
+  cfg.trace_sample_every = 1;
+  Service service(cfg);
+  service.enter();
+  for (int i = 0; i < 3; ++i) service.submit(R"(printf("s=%d", 1);)").get();
+  service.shutdown();
+  ServiceStats s = service.stats();
+  EXPECT_EQ(s.slow_requests, 3u);
+  std::vector<RequestResult> ex = service.slow_exemplars();
+  ASSERT_EQ(ex.size(), 3u);
+  // Oldest-first, full results including the captured trace.
+  EXPECT_LT(ex.front().id, ex.back().id);
+  for (const RequestResult& r : ex) {
+    EXPECT_GE(r.latency_seconds, 1e-9);
+    EXPECT_FALSE(r.trace.empty());
+  }
+}
+
+TEST(ServeTelemetry, StatusJsonReportsLiveWindowAndRanks) {
+  ObsOn on;
+  obs::metrics().clear();  // a clean registry isolates this test's gauges
+  Service service(small_config());
+  service.enter();
+  for (int i = 0; i < 4; ++i) service.submit(R"(printf("w=%d", 1);)").get();
+  const std::string json = service.status_json();
+  service.shutdown();
+  // Shape: admission counters, the rolling-window percentiles for
+  // serve.request_seconds, and per-rank busy-seconds with roles.
+  EXPECT_NE(json.find("\"uptime_s\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"admitted\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"completed\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"inflight\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"window\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ranks\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"role\":\"engine\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"role\":\"worker\""), std::string::npos) << json;
+  // The window saw the 4 completions.
+  const size_t wpos = json.find("\"window\":{");
+  ASSERT_NE(wpos, std::string::npos);
+  EXPECT_NE(json.find("\"count\":4", wpos), std::string::npos) << json;
+}
+
+TEST(ServeTelemetry, FlusherStreamsSnapshotsAndRequestTraces) {
+  ObsOn on;
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "ilps_serve_telemetry_test";
+  fs::remove_all(dir);
+  ServeConfig cfg = small_config();
+  cfg.telemetry.dir = dir.string();
+  cfg.telemetry.interval_ms = 10;
+  cfg.trace_sample_every = 1;
+  Service service(cfg);
+  service.enter();
+  for (int i = 0; i < 6; ++i) service.submit(R"(printf("f=%d", 1);)").get();
+  // Give the background flusher at least one interval while live.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  service.shutdown();  // final flush drains everything queued
+
+  auto read_lines = [](const fs::path& p) {
+    std::ifstream in(p);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+    return lines;
+  };
+  std::vector<std::string> snaps = read_lines(dir / "telemetry.jsonl");
+  ASSERT_FALSE(snaps.empty());
+  for (const std::string& line : snaps) {
+    EXPECT_NE(line.find("\"type\":\"metrics\""), std::string::npos);
+  }
+  // The final snapshot embeds the service status with the rolling window.
+  EXPECT_NE(snaps.back().find("\"serve.request_seconds\""), std::string::npos);
+  EXPECT_NE(snaps.back().find("\"service\":{"), std::string::npos);
+  EXPECT_NE(snaps.back().find("\"completed\":6"), std::string::npos) << snaps.back();
+
+  std::vector<std::string> reqs = read_lines(dir / "requests.jsonl");
+  ASSERT_EQ(reqs.size(), 6u);  // every request sampled and streamed
+  for (const std::string& line : reqs) {
+    EXPECT_NE(line.find("\"type\":\"request\""), std::string::npos);
+    EXPECT_NE(line.find("\"events\":["), std::string::npos);
+    EXPECT_NE(line.find("\"name\":\"req.submit\""), std::string::npos);
+    EXPECT_NE(line.find("\"name\":\"req.done\""), std::string::npos);
+  }
+  fs::remove_all(dir);
 }
 
 // Batch mode through the same module: run_batch must preserve the legacy

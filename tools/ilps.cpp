@@ -11,7 +11,11 @@
 //   --emit-tcl        print the compiled Turbine code and exit
 //   --lint            run swift-verify only; print diagnostics and exit
 //   --stats           print runtime statistics after the program output
+//   --serve-status [dir]  render the latest live-telemetry snapshot a
+//                     resident service streamed to <dir>/telemetry.jsonl
+//                     (default "."; see ILPS_TELEMETRY_DIR) and exit
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -29,7 +33,104 @@ void usage() {
                "usage: ilps [options] program.swift\n"
                "  --engines N --workers N --servers N\n"
                "  --policy retain|reinit   --restricted-os\n"
-               "  --emit-tcl  --lint       --stats\n");
+               "  --emit-tcl  --lint       --stats\n"
+               "  --serve-status [dir]\n");
+}
+
+// Pulls the first numeric value following "<key>": out of a JSON line.
+// The telemetry stream is machine-written line JSON with known keys, so a
+// substring scan is enough — no parser dependency for the status view.
+double json_field(const std::string& hay, const char* key, double missing = -1) {
+  const std::string pat = std::string("\"") + key + "\":";
+  const size_t pos = hay.find(pat);
+  if (pos == std::string::npos) return missing;
+  return std::atof(hay.c_str() + pos + pat.size());
+}
+
+// `ilps --serve-status [dir]`: the last metrics snapshot a resident
+// service flushed, rendered as a terminal status line. Works on a live
+// service (tail of an actively-appended file) or post-mortem.
+int serve_status(const std::string& dir) {
+  const std::string path = dir + "/telemetry.jsonl";
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr,
+                 "ilps: cannot open %s\n"
+                 "  (start the service with ILPS_TELEMETRY_DIR=%s to stream telemetry)\n",
+                 path.c_str(), dir.c_str());
+    return 1;
+  }
+  std::string line;
+  std::string last;
+  size_t snapshots = 0;
+  while (std::getline(in, line)) {
+    if (line.find("\"type\":\"metrics\"") != std::string::npos) {
+      last = std::move(line);
+      ++snapshots;
+    }
+  }
+  if (last.empty()) {
+    std::fprintf(stderr, "ilps: %s holds no metrics snapshots yet\n", path.c_str());
+    return 1;
+  }
+  size_t streamed_requests = 0;
+  {
+    std::ifstream reqs(dir + "/requests.jsonl");
+    while (std::getline(reqs, line)) {
+      if (!line.empty()) ++streamed_requests;
+    }
+  }
+  // The embedded "service" object (serve::Service::status_json) carries
+  // the authoritative serve-side fields; scope scans to it so its keys
+  // don't collide with the raw counter dump earlier in the line.
+  const size_t svc_pos = last.find("\"service\":");
+  const std::string svc = svc_pos == std::string::npos ? last : last.substr(svc_pos);
+
+  std::printf("%s: %zu snapshot(s), %zu streamed request record(s)\n", path.c_str(), snapshots,
+              streamed_requests);
+  std::printf("  uptime %.1fs, %.0f inflight | admitted %.0f, completed %.0f, failed %.0f, "
+              "rejected %.0f, shed %.0f\n",
+              json_field(svc, "uptime_s", 0), json_field(svc, "inflight", 0),
+              json_field(svc, "admitted", 0), json_field(svc, "completed", 0),
+              json_field(svc, "failed", 0), json_field(svc, "rejected", 0),
+              json_field(svc, "shed", 0));
+  std::printf("  slow %.0f, traced %.0f | programs compiled %.0f (cache hits %.0f)\n",
+              json_field(svc, "slow_requests", 0), json_field(svc, "traced_requests", 0),
+              json_field(svc, "programs_compiled", 0), json_field(svc, "program_cache_hits", 0));
+  const size_t win_pos = svc.find("\"window\":");
+  if (win_pos != std::string::npos) {
+    const std::string win = svc.substr(win_pos);
+    std::printf("  last %.0fs: n=%.0f p50=%.3fms p90=%.3fms p99=%.3fms p999=%.3fms\n",
+                json_field(win, "window_s", 0), json_field(win, "count", 0),
+                json_field(win, "p50", 0) * 1e3, json_field(win, "p90", 0) * 1e3,
+                json_field(win, "p99", 0) * 1e3, json_field(win, "p999", 0) * 1e3);
+  }
+  // Per-rank busy seconds: scan the "ranks":[...] array element-wise.
+  const size_t ranks_pos = svc.find("\"ranks\":[");
+  if (ranks_pos != std::string::npos) {
+    size_t cur = ranks_pos + std::strlen("\"ranks\":[");
+    const size_t end = svc.find(']', cur);
+    std::printf("  per-rank busy seconds:");
+    bool any = false;
+    while (cur < end) {
+      const size_t open = svc.find('{', cur);
+      if (open == std::string::npos || open > end) break;
+      const size_t close = svc.find('}', open);
+      const std::string obj = svc.substr(open, close - open);
+      std::string role = "?";
+      const size_t rpos = obj.find("\"role\":\"");
+      if (rpos != std::string::npos) {
+        const size_t rstart = rpos + std::strlen("\"role\":\"");
+        role = obj.substr(rstart, obj.find('"', rstart) - rstart);
+      }
+      std::printf(" r%.0f/%s=%.2f", json_field(obj, "rank", -1), role.c_str(),
+                  json_field(obj, "busy_s", 0));
+      any = true;
+      cur = close + 1;
+    }
+    std::printf(any ? "\n" : " (none)\n");
+  }
+  return 0;
 }
 
 }  // namespace
@@ -72,6 +173,10 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--restricted-os") {
       cfg.restricted_os = true;
+    } else if (arg == "--serve-status") {
+      std::string dir = ".";
+      if (i + 1 < argc && argv[i + 1][0] != '-') dir = argv[i + 1];
+      return serve_status(dir);
     } else if (arg == "--emit-tcl") {
       emit_tcl = true;
     } else if (arg == "--lint") {

@@ -9,6 +9,13 @@ Reads the Chrome-trace file written by a run with ILPS_TRACE=1 and prints:
 
 Usage:
   tools/trace_report.py [trace.json] [--top N]
+  tools/trace_report.py [trace.json|requests.jsonl] --request ID
+
+--request renders one serve request's cross-rank span tree (submit ->
+rule fires -> task puts -> worker execution -> completion) from either a
+request-stamped Chrome trace (trace.json, events carrying args.req) or
+the live requests.jsonl stream a resident service writes under
+ILPS_TELEMETRY_DIR.
 
 No dependencies beyond the standard library.
 """
@@ -130,16 +137,122 @@ def report(trace_path, top_n):
                   f"p99={h['p99']:.6f} max={h['max']:.6f}")
 
 
+def request_events(path, req_id):
+    """Normalized events for one request: (t_s, rank, name, ph, a, b).
+
+    Accepts either a requests.jsonl stream (one {"type":"request",...}
+    line per completed request, seconds-based timestamps) or a Chrome
+    trace.json whose events carry args.req (microsecond timestamps).
+    """
+    if path.endswith(".jsonl"):
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                rec = json.loads(line)
+                if rec.get("type") != "request" or rec.get("id") != req_id:
+                    continue
+                evs = [(e["t"], e["rank"], e["name"], e["ph"],
+                        e.get("a", 0), e.get("b", 0)) for e in rec["events"]]
+                return rec, sorted(evs, key=lambda e: e[0])
+        return None, []
+    events = load_events(path)
+    names = thread_names(events)
+    evs = []
+    for e in events:
+        if e.get("ph") not in ("B", "E", "i"):
+            continue
+        args = e.get("args", {})
+        if args.get("req") != req_id:
+            continue
+        rank_name = names.get(e["tid"], f"rank {e['tid']}")
+        try:
+            rank = int(rank_name.split()[-1])
+        except ValueError:
+            rank = e["tid"]
+        evs.append((e["ts"] / 1e6, rank, e["name"], e["ph"],
+                    args.get("a", 0), args.get("b", 0)))
+    return None, sorted(evs, key=lambda e: e[0])
+
+
+def report_request(path, req_id):
+    rec, evs = request_events(path, req_id)
+    if not evs:
+        sys.exit(f"{path}: no events for request {req_id} "
+                 "(was it sampled? see ServeConfig::trace_sample_every)")
+    t0 = evs[0][0]
+    header = f"request {req_id}: {len(evs)} events"
+    if rec is not None:
+        header += (f", latency {rec['latency_s'] * 1e3:.3f} ms"
+                   f"{', FAILED' if rec.get('failed') else ''}"
+                   f"{', slow' if rec.get('slow') else ''}")
+    print(header)
+
+    # Chronological span tree: indent by per-rank span depth so nested
+    # Begin/End pairs (worker task.run inside server dispatch windows)
+    # read as a tree; instants print at the current depth.
+    depth = {}
+    open_at = {}  # (rank, name) -> begin stack
+    tasks = rules = puts = 0
+    exec_s = 0.0
+    for t, rank, name, ph, a, b in evs:
+        rel_ms = (t - t0) * 1e3
+        where = "client" if rank < 0 else f"r{rank}"
+        pad = "  " * depth.get(rank, 0)
+        if ph == "B":
+            print(f"  {rel_ms:9.3f}ms {where:>7} {pad}{name} a={a} ...")
+            depth[rank] = depth.get(rank, 0) + 1
+            open_at.setdefault((rank, name), []).append(t)
+        elif ph == "E":
+            depth[rank] = max(depth.get(rank, 1) - 1, 0)
+            pad = "  " * depth[rank]
+            stack = open_at.get((rank, name), [])
+            dur = f" ({(t - stack.pop()) * 1e3:.3f}ms)" if stack else ""
+            print(f"  {rel_ms:9.3f}ms {where:>7} {pad}{name} end{dur}")
+            if name == "task.run":
+                tasks += 1
+        else:
+            print(f"  {rel_ms:9.3f}ms {where:>7} {pad}{name} a={a} b={b}")
+            if name == "rule.fired":
+                rules += 1
+            elif name == "adlb.put":
+                puts += 1
+    # Wall summary from the span extent plus matched task.run pairs.
+    exec_s = sum(pair_request_runs(evs))
+    print(f"  summary: span {(evs[-1][0] - t0) * 1e3:.3f} ms, "
+          f"{tasks} task(s) ({exec_s * 1e3:.3f} ms exec), "
+          f"{rules} rule fire(s), {puts} put(s)")
+
+
+def pair_request_runs(evs):
+    """Durations of matched task.run Begin/End pairs, per rank."""
+    stacks = {}
+    for t, rank, name, ph, _, _ in evs:
+        if name != "task.run":
+            continue
+        if ph == "B":
+            stacks.setdefault(rank, []).append(t)
+        elif ph == "E" and stacks.get(rank):
+            yield t - stacks[rank].pop()
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("trace", nargs="?", default="trace.json")
     ap.add_argument("--top", type=int, default=10, metavar="N",
                     help="how many slowest tasks to list (default 10)")
+    ap.add_argument("--request", type=int, default=None, metavar="ID",
+                    help="render one serve request's cross-rank span tree "
+                         "(from trace.json or a requests.jsonl stream)")
     args = ap.parse_args()
     if not os.path.exists(args.trace):
         sys.exit(f"{args.trace} not found (run with ILPS_TRACE=1 first)")
-    report(args.trace, args.top)
+    if args.request is not None:
+        report_request(args.trace, args.request)
+    else:
+        report(args.trace, args.top)
 
 
 if __name__ == "__main__":
