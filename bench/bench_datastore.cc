@@ -129,11 +129,19 @@ int main(int argc, char** argv) {
                 "bottleneck; sharding over more servers sustains throughput");
 
   const int clients = 8;
+  // Best-of-N elapsed per configuration: a min-time estimator strips
+  // scheduler noise (this is a threads-as-ranks world, so an unlucky
+  // preemption inflates a single run by tens of percent), which the CI
+  // scaling assertion on these numbers depends on.
+  const int reps = smoke ? 3 : 5;
   {
-    const int ops = smoke ? 100 : 400;  // x3 RPCs each (create/store/retrieve)
+    const int ops = smoke ? 100 : 400;  // x3 data ops each (create/store/retrieve)
     bench::Table t({"servers", "clients", "data_ops", "elapsed_s", "ops/s"});
     for (int servers : {1, 2, 4}) {
       double elapsed = run_data_ops(clients, servers, ops);
+      for (int rep = 1; rep < reps; ++rep) {
+        elapsed = std::min(elapsed, run_data_ops(clients, servers, ops));
+      }
       double total = 3.0 * ops * clients;
       bench::JsonLine("datastore_data_ops")
           .add("servers", servers)
@@ -153,6 +161,9 @@ int main(int argc, char** argv) {
     bench::Table t({"servers", "clients", "task_put+get", "elapsed_s", "tasks/s"});
     for (int servers : {1, 2, 4}) {
       double elapsed = run_task_ops(clients, servers, tasks);
+      for (int rep = 1; rep < reps; ++rep) {
+        elapsed = std::min(elapsed, run_task_ops(clients, servers, tasks));
+      }
       double total = static_cast<double>(tasks) * clients;
       bench::JsonLine("datastore_task_ops")
           .add("servers", servers)

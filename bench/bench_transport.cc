@@ -6,8 +6,16 @@
 //  - stream: one-way throughput, pooled move-sends vs copying span-sends;
 //  - fan-in: many senders, one receiver, exact vs wildcard matching (the
 //    ADLB server's recv loop is the wildcard case);
-//  - barrier: collective rounds/s (binomial tree fan-in/fan-out).
+//  - barrier: collective rounds/s (shared-memory sense-reversing barrier).
+//
+// One-way flows (stream, fan-in) recycle consumed buffers back to the
+// *origin* rank: there is no reply message to carry the buffer home, so
+// without recycle(Message&&) the sender allocates every message while the
+// receiver's pool sits full — the pool_hits: 0 pathology this bench used
+// to report.
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -54,6 +62,14 @@ CaseResult run_pingpong(int rounds) {
   return {elapsed, w.stats()};
 }
 
+// Outstanding-message window for one-way flows. Eager sends never block,
+// so an unwindowed stream lets the sender run arbitrarily far ahead of the
+// receiver — in-flight buffers then exceed any bounded freelist and
+// recycling can never reach steady state. A credit ack every kWindow
+// messages bounds in-flight below the pool cap (the same discipline the
+// ADLB client's pipelined datum window applies).
+constexpr int kStreamWindow = 32;
+
 CaseResult run_stream(int count, bool pooled) {
   mpi::World w(2);
   double elapsed = 0;
@@ -70,6 +86,10 @@ CaseResult run_stream(int count, bool pooled) {
           msg.put_i32(i);
           c.send(1, 1, msg);  // span overload: heap copy per message
         }
+        if ((i + 1) % kStreamWindow == 0) {
+          mpi::Message ack = c.recv(1, 3);
+          c.recycle(std::move(ack));  // ack buffer goes home to the receiver
+        }
       }
       // Handshake so elapsed covers delivery, not just posting.
       mpi::Message done = c.recv(1, 2);
@@ -78,7 +98,12 @@ CaseResult run_stream(int count, bool pooled) {
     } else {
       for (int i = 0; i < count; ++i) {
         mpi::Message m = c.recv(0, 1);
-        c.recycle(std::move(m.data));
+        c.recycle(std::move(m));  // back to the sender's freelist
+        if ((i + 1) % kStreamWindow == 0) {
+          ser::Writer ack = c.writer();
+          ack.put_i32(i);
+          c.send(0, 3, std::move(ack));
+        }
       }
       c.send_str(0, 2, "done");
     }
@@ -92,28 +117,37 @@ CaseResult run_stream(int count, bool pooled) {
 CaseResult run_fan_in(int ranks, int per_sender, bool wildcard) {
   mpi::World w(ranks);
   double elapsed = 0;
+  const int ack_tag = ranks + 1;
   w.run([&](mpi::Comm& c) {
     if (c.rank() != 0) {
       for (int i = 0; i < per_sender; ++i) {
         ser::Writer msg = c.writer();
         msg.put_i32(i);
         c.send(0, c.rank(), std::move(msg));
+        if ((i + 1) % kStreamWindow == 0) {
+          mpi::Message ack = c.recv(0, ack_tag);
+          c.recycle(std::move(ack));  // ack buffer goes home to the receiver
+        }
       }
       return;
     }
     const int total = (ranks - 1) * per_sender;
+    std::vector<int> seen(static_cast<size_t>(ranks), 0);
+    auto consume = [&](mpi::Message&& m) {
+      const int src = m.source;
+      c.recycle(std::move(m));  // back to the sender's freelist
+      if (++seen[static_cast<size_t>(src)] % kStreamWindow == 0) {
+        ser::Writer ack = c.writer();
+        ack.put_i32(seen[static_cast<size_t>(src)]);
+        c.send(src, ack_tag, std::move(ack));
+      }
+    };
     double t0 = wtime();
     if (wildcard) {
-      for (int i = 0; i < total; ++i) {
-        mpi::Message m = c.recv(mpi::ANY_SOURCE, mpi::ANY_TAG);
-        c.recycle(std::move(m.data));
-      }
+      for (int i = 0; i < total; ++i) consume(c.recv(mpi::ANY_SOURCE, mpi::ANY_TAG));
     } else {
       for (int i = 0; i < per_sender; ++i) {
-        for (int src = 1; src < ranks; ++src) {
-          mpi::Message m = c.recv(src, src);
-          c.recycle(std::move(m.data));
-        }
+        for (int src = 1; src < ranks; ++src) consume(c.recv(src, src));
       }
     }
     elapsed = wtime() - t0;
@@ -144,7 +178,20 @@ void emit(const char* name, const CaseResult& r, int units, const char* unit_nam
       .add("wakeups_suppressed", r.stats.wakeups_suppressed)
       .add("pool_hits", r.stats.pool_hits)
       .add("pool_misses", r.stats.pool_misses)
+      .add("barrier_fastpath", r.stats.barrier_fastpath)
+      .add("collective_wakeups", r.stats.collective_wakeups)
       .print();
+}
+
+// Pooled one-way flows must reach a recycling steady state: after the
+// freelist primes, nearly every send reuses a returned buffer.
+void require_steady_state_hits(const char* name, const CaseResult& r) {
+  if (r.stats.pool_hits <= r.stats.pool_misses) {
+    std::fprintf(stderr, "FAIL %s: pool never reached steady state (hits=%llu misses=%llu)\n",
+                 name, static_cast<unsigned long long>(r.stats.pool_hits),
+                 static_cast<unsigned long long>(r.stats.pool_misses));
+    std::exit(1);
+  }
 }
 
 }  // namespace
@@ -174,6 +221,7 @@ int main() {
     for (bool pooled : {false, true}) {
       CaseResult r = run_stream(count, pooled);
       emit(pooled ? "stream_pooled" : "stream_copy", r, count, "msgs");
+      if (pooled) require_steady_state_hits("stream_pooled", r);
       t.row({pooled ? "stream pooled" : "stream copy", std::to_string(count),
              bench::fmt("%.3f", r.elapsed), bench::fmt("%.0f", count / r.elapsed),
              std::to_string(r.stats.pool_hits), std::to_string(r.stats.pool_misses)});
@@ -191,6 +239,7 @@ int main() {
         int total = (ranks - 1) * per_sender;
         emit(wildcard ? "fanin_wildcard" : "fanin_exact", r, total, "msgs",
              {{"ranks", ranks}});
+        require_steady_state_hits(wildcard ? "fanin_wildcard" : "fanin_exact", r);
         t.row({wildcard ? "fan-in wildcard" : "fan-in exact", std::to_string(ranks),
                std::to_string(total), bench::fmt("%.3f", r.elapsed),
                bench::fmt("%.0f", total / r.elapsed)});

@@ -24,6 +24,9 @@ Client::Client(mpi::Comm& comm, const Config& cfg) : comm_(comm), cfg_(cfg) {
   // under ft that would shift the FaultPlan's send-count triggers and the
   // server's per-RPC liveness bookkeeping, so the fast paths switch off.
   batching_ = !cfg_.ft && cfg_.put_batch > 1;
+  // Same reasoning for the write-behind datum pipeline: window 1 restores
+  // one blocking round-trip per op.
+  pipeline_window_ = (!cfg_.ft && cfg_.pipeline_window > 1) ? cfg_.pipeline_window : 1;
   // The datum cache elides whole retrieve RPCs, so it switches off under
   // ft for the same reason.
   long long mb = cfg_.data_cache_mb;
@@ -39,6 +42,9 @@ Client::Client(mpi::Comm& comm, const Config& cfg) : comm_(comm), cfg_(cfg) {
 ser::Reader Client::rpc(int server, ser::Writer&& request) {
   flush_puts();
   comm_.send(server, kTagRequest, std::move(request));
+  // Outstanding kAckBatch replies from this server were queued ahead of
+  // the real reply (per-(source, tag) FIFO): drain them first.
+  pipeline_drain(server);
   mpi::Message reply = comm_.recv(server, kTagResponse);
   // The previous reply has been fully consumed by now; its buffer feeds
   // the freelist the next writer() draws from.
@@ -46,7 +52,92 @@ ser::Reader Client::rpc(int server, ser::Writer&& request) {
   reply_ = std::move(reply.data);
   ser::Reader r(reply_);
   apply_invalidations(r);
+  maybe_throw_deferred();
   return r;
+}
+
+// ---- write-behind datum pipeline ----
+
+namespace {
+// Sub-ops accumulated per owning server before a kDataBatch ships on its
+// own (any synchronous exchange also ships partial batches).
+constexpr uint32_t kDataBatchOps = 16;
+}  // namespace
+
+ser::Writer& Client::pipeline_writer(int server) {
+  Pipe& p = pipes_[server];
+  if (p.count == 0) {
+    p.buf = comm_.writer();
+    p.buf.put_u8(static_cast<uint8_t>(Op::kDataBatch));
+    p.buf.put_u64(0);  // placeholder; count rides separately
+  }
+  return p.buf;
+}
+
+void Client::pipeline_note_op(int server) {
+  ++pipeline_stats_.ops;
+  if (++pipes_[server].count >= kDataBatchOps) pipeline_ship(server);
+}
+
+void Client::pipeline_ship(int server) {
+  Pipe& p = pipes_[server];
+  if (p.count == 0) return;
+  // Bounded outstanding window: past it, receive the oldest ack before
+  // shipping more (the flow control that keeps in-flight buffers below
+  // the transport freelist cap and ft-style accounting sane).
+  if (p.unacked >= pipeline_window_) {
+    ++pipeline_stats_.stalls;
+    pipeline_drain_one(server);
+  }
+  std::vector<std::byte> buf = p.buf.take();
+  const uint64_t n = p.count;
+  std::memcpy(buf.data() + 1, &n, sizeof n);
+  p.count = 0;
+  comm_.send(server, kTagRequest, std::move(buf));
+  ++p.unacked;
+  ++pipeline_stats_.flushes;
+}
+
+void Client::pipeline_ship_all() {
+  for (auto& [server, p] : pipes_) {
+    if (p.count > 0) pipeline_ship(server);
+  }
+}
+
+void Client::pipeline_drain_one(int server) {
+  mpi::Message reply = comm_.recv(server, kTagResponse);
+  comm_.recycle(std::move(reply_));
+  reply_ = std::move(reply.data);
+  ser::Reader r(reply_);
+  apply_invalidations(r);
+  Op op = static_cast<Op>(r.get_u8());
+  if (op != Op::kAckBatch) throw CommError("adlb: expected AckBatch reply");
+  if (!r.get_bool()) {
+    std::string err = r.get_str();
+    if (deferred_error_.empty()) deferred_error_ = std::move(err);
+  }
+  --pipes_[server].unacked;
+}
+
+void Client::pipeline_drain(int server) {
+  auto it = pipes_.find(server);
+  if (it == pipes_.end()) return;
+  while (it->second.unacked > 0) pipeline_drain_one(server);
+}
+
+void Client::pipeline_sync() {
+  pipeline_ship_all();
+  for (auto& [server, p] : pipes_) {
+    while (p.unacked > 0) pipeline_drain_one(server);
+  }
+  maybe_throw_deferred();
+}
+
+void Client::maybe_throw_deferred() {
+  if (deferred_error_.empty()) return;
+  std::string err = std::move(deferred_error_);
+  deferred_error_.clear();
+  throw DataError(std::move(err));
 }
 
 // ---- datum cache ----
@@ -67,6 +158,13 @@ void Client::apply_invalidations(ser::Reader& r) {
 }
 
 const Client::CacheEntry* Client::cache_lookup(int64_t id, EntryKind kind) {
+  // Coherence against the write-behind pipeline: an outstanding kAckBatch
+  // from this id's owner may carry the invalidation that kills the cached
+  // entry. Apply everything the owner has already replied (acks drain
+  // FIFO) before trusting a hit — restoring the synchronous-mode
+  // invariant that every received invalidation is applied before any
+  // consult. No-op unless a shipped batch to that owner is unacked.
+  if (pipeline_window_ > 1) pipeline_drain(owner_server(id, comm_.size(), cfg_));
   auto it = cache_.find(id);
   if (it == cache_.end()) return nullptr;
   if (it->second.kind != kind) return nullptr;
@@ -182,6 +280,11 @@ void Client::put(const WorkUnit& unit_in) {
 }
 
 void Client::flush_puts() {
+  // Buffered datum batches ship first: a put's eventual consumer may
+  // retrieve the datums it references, and the causal chain through the
+  // task only orders that read correctly if the owning shard received the
+  // sub-ops before the put left this rank.
+  pipeline_ship_all();
   if (pending_put_count_ == 0) return;
   // Rewrite the count placeholder (u64 directly after the opcode byte),
   // then do the exchange directly — not via rpc(), which would recurse
@@ -191,11 +294,13 @@ void Client::flush_puts() {
   std::memcpy(buf.data() + 1, &n, sizeof n);
   pending_put_count_ = 0;
   comm_.send(home_, kTagRequest, std::move(buf));
+  pipeline_drain(home_);
   mpi::Message reply = comm_.recv(home_, kTagResponse);
   ser::Reader r(reply.data);
   apply_invalidations(r);
   expect_ack(r);
   comm_.recycle(std::move(reply.data));
+  maybe_throw_deferred();
 }
 
 std::optional<WorkUnit> Client::get(int type) {
@@ -211,6 +316,13 @@ std::optional<WorkUnit> Client::get(int type) {
     }
     flush_prefetch();
   }
+  // A parked client must have nothing in flight anywhere — not just at
+  // its home server. An unprocessed kDataBatch sitting in another shard's
+  // mailbox is invisible to the token ring (client->server traffic is not
+  // counted), so parking with one outstanding could let the ring conclude
+  // termination while that batch still has notifications to spawn. Ship
+  // and drain everything before blocking.
+  pipeline_sync();
   ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kGet));
   w.put_i32(type);
@@ -256,6 +368,16 @@ int64_t Client::unique() {
 }
 
 void Client::create(int64_t id, DataType type) {
+  const int server = owner_server(id, comm_.size(), cfg_);
+  if (pipeline_active()) {
+    ser::Writer& w = pipeline_writer(server);
+    w.put_u8(static_cast<uint8_t>(Op::kCreate));
+    w.put_i64(id);
+    w.put_u8(static_cast<uint8_t>(type));
+    w.put_i64(serve_.req);
+    pipeline_note_op(server);
+    return;
+  }
   ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kCreate));
   w.put_i64(id);
@@ -263,16 +385,29 @@ void Client::create(int64_t id, DataType type) {
   // Datums created while a request evaluates here belong to its
   // namespace: the owning shard indexes them for kFreeNamespace.
   w.put_i64(serve_.req);
-  expect_ack(rpc(owner_server(id, comm_.size(), cfg_), std::move(w)));
+  expect_ack(rpc(server, std::move(w)));
 }
 
 void Client::store(int64_t id, std::string_view value, bool close) {
+  const int server = owner_server(id, comm_.size(), cfg_);
+  // pipeline_active() implies no serve request context, so the ACK's
+  // self-notification count (consumed only by serve accounting) can be
+  // coalesced away with the rest of the reply.
+  if (pipeline_active()) {
+    ser::Writer& w = pipeline_writer(server);
+    w.put_u8(static_cast<uint8_t>(Op::kStore));
+    w.put_i64(id);
+    w.put_bool(close);
+    w.put_str(value);
+    pipeline_note_op(server);
+    return;
+  }
   ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kStore));
   w.put_i64(id);
   w.put_bool(close);
   w.put_str(value);
-  uint32_t n = expect_ack(rpc(owner_server(id, comm_.size(), cfg_), std::move(w)));
+  uint32_t n = expect_ack(rpc(server, std::move(w)));
   if (n > 0 && serve_.req != 0 && on_self_notify_) on_self_notify_(serve_.req, id, n);
 }
 
@@ -399,10 +534,18 @@ DataType Client::type_of(int64_t id) {
 }
 
 void Client::close(int64_t id) {
+  const int server = owner_server(id, comm_.size(), cfg_);
+  if (pipeline_active()) {
+    ser::Writer& w = pipeline_writer(server);
+    w.put_u8(static_cast<uint8_t>(Op::kCloseDatum));
+    w.put_i64(id);
+    pipeline_note_op(server);
+    return;
+  }
   ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kCloseDatum));
   w.put_i64(id);
-  uint32_t n = expect_ack(rpc(owner_server(id, comm_.size(), cfg_), std::move(w)));
+  uint32_t n = expect_ack(rpc(server, std::move(w)));
   if (n > 0 && serve_.req != 0 && on_self_notify_) on_self_notify_(serve_.req, id, n);
 }
 
@@ -423,29 +566,57 @@ void Client::ref_incr(int64_t id, int delta) {
   // copy up front rather than waiting for the piggybacked invalidation
   // that follows if this decrement turns out to be the last.
   if (delta < 0) cache_erase(id);
+  const int server = owner_server(id, comm_.size(), cfg_);
+  if (pipeline_active()) {
+    ser::Writer& w = pipeline_writer(server);
+    w.put_u8(static_cast<uint8_t>(Op::kRefIncr));
+    w.put_i64(id);
+    w.put_i32(delta);
+    pipeline_note_op(server);
+    return;
+  }
   ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kRefIncr));
   w.put_i64(id);
   w.put_i32(delta);
-  expect_ack(rpc(owner_server(id, comm_.size(), cfg_), std::move(w)));
+  expect_ack(rpc(server, std::move(w)));
 }
 
 void Client::write_incr(int64_t id, int delta) {
+  const int server = owner_server(id, comm_.size(), cfg_);
+  if (pipeline_active()) {
+    ser::Writer& w = pipeline_writer(server);
+    w.put_u8(static_cast<uint8_t>(Op::kWriteIncr));
+    w.put_i64(id);
+    w.put_i32(delta);
+    pipeline_note_op(server);
+    return;
+  }
   ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kWriteIncr));
   w.put_i64(id);
   w.put_i32(delta);
-  uint32_t n = expect_ack(rpc(owner_server(id, comm_.size(), cfg_), std::move(w)));
+  uint32_t n = expect_ack(rpc(server, std::move(w)));
   if (n > 0 && serve_.req != 0 && on_self_notify_) on_self_notify_(serve_.req, id, n);
 }
 
 void Client::insert(int64_t container_id, std::string_view key, std::string_view value) {
+  const int server = owner_server(container_id, comm_.size(), cfg_);
+  if (pipeline_active()) {
+    ser::Writer& w = pipeline_writer(server);
+    w.put_u8(static_cast<uint8_t>(Op::kInsert));
+    w.put_i64(container_id);
+    w.put_str(key);
+    w.put_str(value);
+    pipeline_note_op(server);
+    return;
+  }
   ser::Writer w = comm_.writer();
   w.put_u8(static_cast<uint8_t>(Op::kInsert));
   w.put_i64(container_id);
   w.put_str(key);
   w.put_str(value);
-  expect_ack(rpc(owner_server(container_id, comm_.size(), cfg_), std::move(w)));
+  expect_ack(rpc(server, std::move(w)));
 }
 
 std::optional<std::string> Client::lookup(int64_t container_id, std::string_view key) {

@@ -37,6 +37,22 @@ struct DataCacheStats {
   }
 };
 
+// Activity counters for the write-behind datum pipeline (published as the
+// adlb.pipeline_* metrics). All zero when pipelining is off (window <= 1,
+// or ft).
+struct DataPipelineStats {
+  uint64_t ops = 0;      // ack-only datum ops that were buffered
+  uint64_t flushes = 0;  // kDataBatch messages shipped
+  uint64_t stalls = 0;   // ships that had to drain an ack first (window full)
+
+  DataPipelineStats& operator+=(const DataPipelineStats& o) {
+    ops += o.ops;
+    flushes += o.flushes;
+    stalls += o.stalls;
+    return *this;
+  }
+};
+
 class Client {
  public:
   Client(mpi::Comm& comm, const Config& cfg);
@@ -113,6 +129,8 @@ class Client {
   bool cache_enabled() const { return cache_enabled_; }
   size_t cache_bytes() const { return cache_bytes_; }
 
+  const DataPipelineStats& pipeline_stats() const { return pipeline_stats_; }
+
   // Maps a datum id to a human-readable source description ("variable
   // \"x\" (line 3)") for DataError messages; empty string = no name.
   // Installed by turbine::Context from the compiler's symbol map.
@@ -169,6 +187,28 @@ class Client {
   ser::Reader rpc(int server, ser::Writer&& request);
   void flush_puts();
 
+  // ---- write-behind datum pipeline (Config::pipeline_window) ----
+  // Ack-only datum ops are appended to a per-owning-server kDataBatch
+  // buffer instead of doing a blocking round-trip each. Buffers ship
+  // before any synchronous exchange leaves this client (flush_puts /
+  // rpc), and every outstanding kAckBatch is drained before Get parks
+  // this rank, so neither task causality nor the termination detector's
+  // "parked clients have nothing in flight" invariant ever observes a
+  // buffered op. Batched server errors surface as a DataError thrown at
+  // the next synchronous boundary (rpc / flush_puts / get).
+  bool pipeline_active() const { return pipeline_window_ > 1 && serve_.req == 0; }
+  // Returns the batch buffer for `server`, opening a new kDataBatch frame
+  // if needed; the caller appends one sub-op then calls pipeline_note_op.
+  ser::Writer& pipeline_writer(int server);
+  void pipeline_note_op(int server);
+  void pipeline_ship(int server);       // send the buffered batch, windowed
+  void pipeline_ship_all();
+  void pipeline_drain_one(int server);  // consume one outstanding kAckBatch
+  void pipeline_drain(int server);      // ... all of them for one server
+  void pipeline_sync();                 // ship + drain everywhere, then
+                                        // surface any deferred error
+  void maybe_throw_deferred();
+
   // ---- cache internals ----
   // Drains the invalidation header every reply starts with (protocol.h).
   void apply_invalidations(ser::Reader& r);
@@ -193,6 +233,17 @@ class Client {
   ser::Writer pending_puts_;     // serialized units, shipped as kPutBatch
   std::deque<WorkUnit> prefetched_;  // surplus units from kGotWorkBatch
   std::vector<std::byte> reply_;     // last RPC's reply storage
+
+  // ---- datum pipeline state ----
+  struct Pipe {
+    ser::Writer buf;     // open kDataBatch frame (valid when count > 0)
+    uint32_t count = 0;  // sub-ops buffered in buf
+    int unacked = 0;     // shipped batches whose kAckBatch is still due
+  };
+  int pipeline_window_ = 1;               // effective window (1 = off)
+  std::unordered_map<int, Pipe> pipes_;   // owning server rank -> state
+  std::string deferred_error_;            // first batched failure, pending
+  DataPipelineStats pipeline_stats_;
 
   // ---- datum cache state (empty when cache_enabled_ is false) ----
   bool cache_enabled_ = false;

@@ -54,6 +54,19 @@ struct Config {
   // type in one kGotWorkBatch reply; the client runs them off a local
   // prefetch queue, skipping whole round trips per task.
   int get_batch = 4;
+  // Ack-only datum ops (create/store/close/ref_incr/write_incr/insert) are
+  // write-behind: buffered per owning server into kDataBatch requests and
+  // shipped with up to this many unacked batches outstanding per server,
+  // each answered by one coalesced kAckBatch. Every batch is shipped
+  // before any other RPC leaves this client (so cross-client read-after-
+  // write still holds through task causality), and every outstanding ack
+  // is drained before a Get parks the client (so the termination detector
+  // never sees a parked client with an unprocessed batch in flight).
+  // Server errors surface as DataError at the next synchronous boundary.
+  // <= 1 restores one blocking round-trip per op; forced to 1 under ft
+  // and for any op issued inside a serve request context (src/serve
+  // accounting consumes per-op ack payloads).
+  int pipeline_window = 8;
 
   // ---- client-side datum cache (disabled automatically under ft, like
   // the batching fast paths: a cache hit elides the retrieve RPC, which
@@ -185,6 +198,10 @@ enum class Op : uint8_t {
   kTaskFailed = 3,  // worker reports a leaf-task eval failure (unit + why);
                     // the server requeues it or aborts the run
   kPutBatch = 4,    // u64 count + that many units, acked once
+  kDataBatch = 5,   // u64 count + that many ack-only datum sub-ops (each a
+                    // u8 opcode + its usual body), answered by one
+                    // kAckBatch; the client pipelines these write-behind
+                    // (Config::pipeline_window)
   kCreate = 10,
   kStore = 11,
   kRetrieve = 12,
@@ -213,6 +230,9 @@ enum class Op : uint8_t {
   kValue = 44,
   kNoValue = 45,
   kGotWorkBatch = 46,  // u64 count + that many units of the Get's type
+  kAckBatch = 47,      // acks one whole kDataBatch: bool ok, else the first
+                       // failing sub-op's error string (surfaced client-side
+                       // as a deferred DataError at the next sync point)
 
   // server <-> server
   kForwardPut = 60,  // targeted or rebalanced work moving between servers

@@ -1,6 +1,7 @@
 #include "adlb/server.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 
 #include "ckpt/ckpt.h"
@@ -105,6 +106,10 @@ void Server::dispatch(const mpi::Message& m) {
 }
 
 void Server::after_dispatch() {
+  // Coalesced forwards leave before any token decision: quiet() treats a
+  // non-empty outbox as pending work, so flushing here keeps Safra's
+  // bookkeeping exact (the flush itself counts as basic traffic).
+  flush_forwards();
   evaluate_hunger();
   if (pending_token_) try_forward_token();
   if (index_ == 0 && !token_outstanding_ && quiet()) initiate_token();
@@ -158,6 +163,31 @@ void Server::handle_request(const mpi::Message& m) {
       } else {
         reply_error(m.source, error);
       }
+      break;
+    }
+    case Op::kDataBatch: {
+      // Pipelined ack-only datum sub-ops. Failures are collected, not
+      // fatal to the batch: each sub-op reads its arguments fully before
+      // it can throw, so parsing stays aligned and later sub-ops still
+      // apply (mirroring what independent single-op RPCs would do). One
+      // kAckBatch answers the whole batch; the first error rides along
+      // and surfaces client-side as a deferred DataError.
+      uint64_t n = r.get_u64();
+      std::string error;
+      for (uint64_t i = 0; i < n; ++i) {
+        Op sub = static_cast<Op>(r.get_u8());
+        ++stats_.data_ops;
+        try {
+          apply_data_mutation(m.source, sub, r);
+        } catch (const DataError& e) {
+          if (error.empty()) error = e.what();
+        }
+      }
+      ser::Writer w = reply_writer(m.source);
+      w.put_u8(static_cast<uint8_t>(Op::kAckBatch));
+      w.put_bool(error.empty());
+      if (!error.empty()) w.put_str(error);
+      comm_.send(m.source, kTagResponse, std::move(w));
       break;
     }
     case Op::kGet: {
@@ -246,13 +276,8 @@ void Server::accept_unit(WorkUnit unit) {
     }
     int home = home_server(unit.target, size, cfg_);
     if (home != comm_.rank()) {
-      // Relay to the target's home server.
-      ser::Writer w;
-      w.put_u8(static_cast<uint8_t>(Op::kForwardPut));
-      w.put_u64(1);
-      write_work_unit(w, unit);
-      send_basic(home, w);
-      ++stats_.forwards;
+      // Relay to the target's home server (coalesced per destination).
+      forward_unit(home, unit);
       return;
     }
     // Match to the target if it is parked with the right type. The index
@@ -290,12 +315,7 @@ void Server::accept_unit(WorkUnit unit) {
   if (!hungry.empty()) {
     int peer = hungry.front();
     hungry.pop_front();
-    ser::Writer w;
-    w.put_u8(static_cast<uint8_t>(Op::kForwardPut));
-    w.put_u64(1);
-    write_work_unit(w, unit);
-    send_basic(peer, w);
-    ++stats_.forwards;
+    forward_unit(peer, unit);
     return;
   }
   untargeted_[static_cast<size_t>(unit.type)].emplace(
@@ -650,7 +670,46 @@ void Server::send_batch(int peer, int type) {
   send_basic(peer, w);
   ++stats_.batches_sent;
   stats_.units_rebalanced += take;
+  ++stats_.steal_batches;
+  stats_.steal_batch_units += take;
   obs::instant(obs::EventKind::kSteal, peer, static_cast<int64_t>(take));
+}
+
+void Server::forward_unit(int dest, const WorkUnit& unit) {
+  ++stats_.forwards;
+  if (cfg_.ft) {
+    // One message per unit: the FaultPlan's send-count triggers and the
+    // per-RPC liveness bookkeeping assume it.
+    ser::Writer w;
+    w.put_u8(static_cast<uint8_t>(Op::kForwardPut));
+    w.put_u64(1);
+    write_work_unit(w, unit);
+    send_basic(dest, w);
+    return;
+  }
+  ForwardBatch& batch = forward_outbox_[dest];
+  if (batch.n == 0) {
+    batch.w = ser::Writer();
+    batch.w.put_u8(static_cast<uint8_t>(Op::kForwardPut));
+    batch.w.put_u64(0);  // placeholder; count rides separately
+  }
+  write_work_unit(batch.w, unit);
+  ++batch.n;
+}
+
+void Server::flush_forwards() {
+  if (forward_outbox_.empty()) return;
+  for (auto& [dest, batch] : forward_outbox_) {
+    if (batch.n == 0) continue;
+    std::vector<std::byte> buf = batch.w.take();
+    const uint64_t n = batch.n;
+    std::memcpy(buf.data() + 1, &n, sizeof n);
+    ++basic_count_;  // send_basic's accounting, for the buffer overload
+    comm_.send(dest, kTagServer, std::move(buf));
+    ++stats_.steal_batches;
+    stats_.steal_batch_units += n;
+  }
+  forward_outbox_.clear();
 }
 
 // ---- server <-> server ----
@@ -772,48 +831,129 @@ void Server::gc_datum(int64_t id) {
   store_.erase(id);
 }
 
+// The ack-only mutations, shared verbatim between single-op RPCs (which
+// wrap the returned count in a kAck) and kDataBatch (which coalesces the
+// whole batch into one kAckBatch). Every case reads its full argument
+// list before any validation can throw — the batch loop relies on that to
+// keep parsing past a failed sub-op.
+uint32_t Server::apply_data_mutation(int source, Op op, ser::Reader& r) {
+  switch (op) {
+    case Op::kCreate: {
+      int64_t id = r.get_i64();
+      auto type = static_cast<DataType>(r.get_u8());
+      int64_t req = r.get_i64();
+      if (store_.count(id) > 0) {
+        // Replay (restart or retried task): re-creating the same id
+        // with the same type is idempotent under fault tolerance.
+        if (cfg_.ft && store_[id].type == type) return 0;
+        throw DataError("create: datum <" + std::to_string(id) + "> already exists");
+      }
+      Datum d;
+      d.type = type;
+      store_.emplace(id, std::move(d));
+      if (req != 0) req_index_[req].push_back(id);
+      return 0;
+    }
+    case Op::kStore: {
+      int64_t id = r.get_i64();
+      bool close = r.get_bool();
+      std::string value = r.get_str();
+      Datum& d = find_datum(id, "store");
+      if (d.closed) {
+        // Replay writing back the identical value is idempotent; a
+        // different value is still a real double assignment.
+        if (cfg_.ft && d.has_value && d.value == value) return 0;
+        throw DataError("store: datum <" + std::to_string(id) +
+                        "> already closed (double assignment)");
+      }
+      d.value = std::move(value);
+      d.has_value = true;
+      return close ? do_close(id, d, source) : 0;
+    }
+    case Op::kCloseDatum: {
+      int64_t id = r.get_i64();
+      Datum& d = find_datum(id, "close");
+      if (d.closed) {
+        if (cfg_.ft) return 0;  // replayed close of a void future
+        throw DataError("close: datum <" + std::to_string(id) + "> already closed");
+      }
+      return do_close(id, d, source);
+    }
+    case Op::kRefIncr: {
+      int64_t id = r.get_i64();
+      int delta = r.get_i32();
+      Datum& d = find_datum(id, "refcount");
+      d.read_refs += delta;
+      if (d.read_refs < 0) {
+        // Replayed decrements may overshoot; clamp instead of failing.
+        if (cfg_.ft) {
+          d.read_refs = 0;
+        } else {
+          throw DataError("refcount: datum <" + std::to_string(id) + "> underflow");
+        }
+      }
+      // Under fault tolerance the datum is kept as a tombstone: a
+      // restart replays reads that the refcounts say already happened.
+      if (d.read_refs == 0 && !cfg_.ft) gc_datum(id);
+      return 0;
+    }
+    case Op::kWriteIncr: {
+      int64_t id = r.get_i64();
+      int delta = r.get_i32();
+      Datum& d = find_datum(id, "write refcount");
+      if (d.closed) {
+        if (cfg_.ft) return 0;  // replayed decrement after the close already happened
+        throw DataError("write refcount: datum <" + std::to_string(id) + "> already closed");
+      }
+      d.write_refs += delta;
+      if (d.write_refs < 0) {
+        throw DataError("write refcount: datum <" + std::to_string(id) + "> underflow");
+      }
+      return d.write_refs == 0 ? do_close(id, d, source) : 0;
+    }
+    case Op::kInsert: {
+      int64_t id = r.get_i64();
+      std::string key = r.get_str();
+      std::string value = r.get_str();
+      Datum& d = find_datum(id, "insert");
+      if (d.type != DataType::kContainer) {
+        throw DataError("insert: datum <" + std::to_string(id) + "> is not a container");
+      }
+      {
+        // Replayed insert of the identical (key, value) is idempotent,
+        // even after the container closed.
+        auto prev = d.entries.find(key);
+        if (cfg_.ft && prev != d.entries.end() && prev->second == value) return 0;
+      }
+      if (d.closed) {
+        throw DataError("insert: container <" + std::to_string(id) + "> is closed");
+      }
+      if (d.entries.count(key) > 0) {
+        throw DataError("insert: container <" + std::to_string(id) + "> already has key \"" +
+                        key + "\"");
+      }
+      d.entries.emplace(std::move(key), std::move(value));
+      return 0;
+    }
+    default:
+      // Not an ack-only opcode: the batch framing itself is corrupt, and
+      // the reader can no longer be trusted to stay aligned.
+      throw CommError("adlb: opcode " + std::to_string(static_cast<int>(op)) +
+                      " is not batchable");
+  }
+}
+
 void Server::handle_data_op(int source, Op op, ser::Reader& r) {
   ++stats_.data_ops;
   try {
     switch (op) {
-      case Op::kCreate: {
-        int64_t id = r.get_i64();
-        auto type = static_cast<DataType>(r.get_u8());
-        int64_t req = r.get_i64();
-        if (store_.count(id) > 0) {
-          // Replay (restart or retried task): re-creating the same id
-          // with the same type is idempotent under fault tolerance.
-          if (cfg_.ft && store_[id].type == type) {
-            reply_ack(source);
-            return;
-          }
-          throw DataError("create: datum <" + std::to_string(id) + "> already exists");
-        }
-        Datum d;
-        d.type = type;
-        store_.emplace(id, std::move(d));
-        if (req != 0) req_index_[req].push_back(id);
-        reply_ack(source);
-        return;
-      }
-      case Op::kStore: {
-        int64_t id = r.get_i64();
-        bool close = r.get_bool();
-        std::string value = r.get_str();
-        Datum& d = find_datum(id, "store");
-        if (d.closed) {
-          // Replay writing back the identical value is idempotent; a
-          // different value is still a real double assignment.
-          if (cfg_.ft && d.has_value && d.value == value) {
-            reply_ack(source);
-            return;
-          }
-          throw DataError("store: datum <" + std::to_string(id) +
-                          "> already closed (double assignment)");
-        }
-        d.value = std::move(value);
-        d.has_value = true;
-        reply_ack(source, close ? do_close(id, d, source) : 0);
+      case Op::kCreate:
+      case Op::kStore:
+      case Op::kCloseDatum:
+      case Op::kRefIncr:
+      case Op::kWriteIncr:
+      case Op::kInsert: {
+        reply_ack(source, apply_data_mutation(source, op, r));
         return;
       }
       case Op::kRetrieve: {
@@ -871,19 +1011,6 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
         comm_.send(source, kTagResponse, std::move(w));
         return;
       }
-      case Op::kCloseDatum: {
-        int64_t id = r.get_i64();
-        Datum& d = find_datum(id, "close");
-        if (d.closed) {
-          if (cfg_.ft) {  // replayed close of a void future
-            reply_ack(source);
-            return;
-          }
-          throw DataError("close: datum <" + std::to_string(id) + "> already closed");
-        }
-        reply_ack(source, do_close(id, d, source));
-        return;
-      }
       case Op::kSubscribe: {
         int64_t id = r.get_i64();
         int notify_type = r.get_i32();
@@ -896,71 +1023,6 @@ void Server::handle_data_op(int source, Op op, ser::Reader& r) {
           d.subscribers.emplace_back(source, notify_type);
         }
         comm_.send(source, kTagResponse, std::move(w));
-        return;
-      }
-      case Op::kRefIncr: {
-        int64_t id = r.get_i64();
-        int delta = r.get_i32();
-        Datum& d = find_datum(id, "refcount");
-        d.read_refs += delta;
-        if (d.read_refs < 0) {
-          // Replayed decrements may overshoot; clamp instead of failing.
-          if (cfg_.ft) {
-            d.read_refs = 0;
-          } else {
-            throw DataError("refcount: datum <" + std::to_string(id) + "> underflow");
-          }
-        }
-        // Under fault tolerance the datum is kept as a tombstone: a
-        // restart replays reads that the refcounts say already happened.
-        if (d.read_refs == 0 && !cfg_.ft) gc_datum(id);
-        reply_ack(source);
-        return;
-      }
-      case Op::kWriteIncr: {
-        int64_t id = r.get_i64();
-        int delta = r.get_i32();
-        Datum& d = find_datum(id, "write refcount");
-        if (d.closed) {
-          if (cfg_.ft) {  // replayed decrement after the close already happened
-            reply_ack(source);
-            return;
-          }
-          throw DataError("write refcount: datum <" + std::to_string(id) + "> already closed");
-        }
-        d.write_refs += delta;
-        if (d.write_refs < 0) {
-          throw DataError("write refcount: datum <" + std::to_string(id) + "> underflow");
-        }
-        reply_ack(source, d.write_refs == 0 ? do_close(id, d, source) : 0);
-        return;
-      }
-      case Op::kInsert: {
-        int64_t id = r.get_i64();
-        std::string key = r.get_str();
-        std::string value = r.get_str();
-        Datum& d = find_datum(id, "insert");
-        if (d.type != DataType::kContainer) {
-          throw DataError("insert: datum <" + std::to_string(id) + "> is not a container");
-        }
-        {
-          // Replayed insert of the identical (key, value) is idempotent,
-          // even after the container closed.
-          auto prev = d.entries.find(key);
-          if (cfg_.ft && prev != d.entries.end() && prev->second == value) {
-            reply_ack(source);
-            return;
-          }
-        }
-        if (d.closed) {
-          throw DataError("insert: container <" + std::to_string(id) + "> is closed");
-        }
-        if (d.entries.count(key) > 0) {
-          throw DataError("insert: container <" + std::to_string(id) + "> already has key \"" +
-                          key + "\"");
-        }
-        d.entries.emplace(std::move(key), std::move(value));
-        reply_ack(source);
         return;
       }
       case Op::kLookup: {
@@ -1066,6 +1128,8 @@ bool Server::quiet() const {
   }
   if (accounted != my_clients_.size()) return false;
   if (!deferred_.empty()) return false;  // a requeued unit is pending work
+  // Coalesced forwards not yet flushed are messages Safra hasn't counted.
+  if (!forward_outbox_.empty()) return false;
   for (const auto& queue : untargeted_) {
     if (!queue.empty()) return false;
   }

@@ -47,6 +47,8 @@ struct ServerStats {
   uint64_t hungry_notices = 0;   // notices broadcast by this server
   uint64_t batches_sent = 0;     // rebalance batches shipped to peers
   uint64_t units_rebalanced = 0; // work units inside those batches
+  uint64_t steal_batches = 0;      // multi-unit kForwardPut messages sent
+  uint64_t steal_batch_units = 0;  // work units inside those messages
   uint64_t notifications = 0;    // close notifications produced
   uint64_t data_ops = 0;
   uint64_t tokens = 0;           // termination tokens handled
@@ -133,9 +135,23 @@ class Server {
   void handle_get(int source, int type);
   void evaluate_hunger();
   void send_batch(int peer, int type);
+  // Cross-server forwards (targeted relays, hungry-peer handoffs) are
+  // coalesced per destination into one kForwardPut and flushed at the end
+  // of the dispatch cycle — unit-at-a-time forwarding is the per-message
+  // cost the steal path used to pay. Under ft every forward goes out
+  // immediately (one message per unit, as the FaultPlan's send-count
+  // triggers assume).
+  void forward_unit(int dest, const WorkUnit& unit);
+  void flush_forwards();
 
   // ---- data ----
   void handle_data_op(int source, Op op, ser::Reader& r);
+  // Performs one ack-only mutation (create/store/close/ref_incr/
+  // write_incr/insert) without replying; returns the self-notification
+  // count the single-op ACK would carry. Throws DataError on failure —
+  // always after fully consuming the sub-op's arguments, so a kDataBatch
+  // loop can catch and keep parsing.
+  uint32_t apply_data_mutation(int source, Op op, ser::Reader& r);
   Datum& find_datum(int64_t id, const char* op);
   // Closes the datum and queues one notification unit per subscriber.
   // Returns how many of those notifications target `rpc_source` itself:
@@ -181,6 +197,14 @@ class Server {
   std::unordered_map<int, int> parked_clients_;  // client -> type it waits for
   std::vector<bool> announced_;                 // [type] hungry notice outstanding
   std::vector<std::deque<int>> hungry_peers_;   // [type] server ranks
+  struct ForwardBatch {
+    ser::Writer w;    // open kForwardPut frame
+    uint64_t n = 0;   // units appended
+  };
+  // Coalesced cross-server forwards, flushed by flush_forwards() before
+  // any termination-token handling (quiet() counts a non-empty outbox as
+  // pending work).
+  std::map<int, ForwardBatch> forward_outbox_;
 
   // Data store shard.
   std::unordered_map<int64_t, Datum> store_;

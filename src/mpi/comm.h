@@ -145,6 +145,13 @@ struct TrafficStats {
   // buffer, pool_misses counts sends that had to allocate.
   uint64_t pool_hits = 0;
   uint64_t pool_misses = 0;
+  // Shared-memory collectives. `barrier_fastpath` counts rank-crossings of
+  // the sense-reversing barrier that completed without sleeping on the
+  // condition variable; `collective_wakeups` counts the notify episodes the
+  // barrier releaser had to issue (each one wakes every sleeper at once,
+  // replacing the per-edge message wakeups of the old binomial tree).
+  uint64_t barrier_fastpath = 0;
+  uint64_t collective_wakeups = 0;
 };
 
 class World;
@@ -173,6 +180,12 @@ class Comm {
   // recycled by the server comes back to the client inside a reply.
   ser::Writer writer() { return ser::Writer(acquire_buffer()); }
   void recycle(std::vector<std::byte>&& buf);
+  // Recycle a consumed message back to the rank that allocated it (the
+  // sender). One-way flows (streams, fan-in) never send a reply that could
+  // carry the buffer home, so without this the receiver's pool grows while
+  // the sender allocates every message; routing the empty buffer to the
+  // origin's return box primes the sender's freelist instead.
+  void recycle(Message&& m);
 
   Message recv(int source = ANY_SOURCE, int tag = ANY_TAG);
 
@@ -263,13 +276,16 @@ class World {
   std::optional<Message> wait_match_for(int self, int source, int tag, double seconds);
   std::optional<Message> match_now(int self, int source, int tag);
   bool probe(int self, int source, int tag, int* out_source, int* out_tag);
-  // The one matching routine (mailbox lock held by the caller): pops the
-  // oldest message matching (source, tag) or returns nullopt. Every recv
-  // variant — blocking, timed (including its post-timeout rescan), and
-  // non-blocking — goes through here, so the paths cannot drift.
-  static std::optional<Message> take_locked(Mailbox& box, int source, int tag);
-  static bool probe_locked(const Mailbox& box, int source, int tag, int* out_source,
-                           int* out_tag);
+  // The one matching routine (owner thread only, after draining the
+  // per-source lanes into the private buckets): pops the oldest message
+  // matching (source, tag) or returns nullopt. Every recv variant —
+  // blocking, timed (including its post-timeout rescan), and non-blocking
+  // — goes through here, so the paths cannot drift.
+  static std::optional<Message> take_now(Mailbox& box, int source, int tag);
+  static bool probe_now(const Mailbox& box, int source, int tag, int* out_source,
+                        int* out_tag);
+  void recycle_to_origin(int origin, std::vector<std::byte>&& buf);
+  void barrier_cross(int self);
   void abort(const std::string& why);
   bool aborted() const;
 

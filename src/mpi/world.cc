@@ -16,12 +16,20 @@
 namespace ilps::mpi {
 
 namespace {
-// Internal tags for collectives, outside the user range.
-constexpr int kTagBarrierUp = kMaxUserTag + 1;
-constexpr int kTagBarrierDown = kMaxUserTag + 2;
+// Internal tags for collectives, outside the user range. The barrier has a
+// shared-memory fast path and sends no messages; the data-carrying
+// collectives (broadcast/reduce/gather) still move payloads point-to-point.
 constexpr int kTagBcast = kMaxUserTag + 3;
 constexpr int kTagReduce = kMaxUserTag + 4;
 constexpr int kTagGather = kMaxUserTag + 5;
+
+// Send-buffer freelist cap, shared by the owner pool and the return box.
+constexpr size_t kMaxPooled = 64;
+
+// Bounded yield-spin before a barrier waiter sleeps on the condition
+// variable. Ranks are threads (often oversubscribed on few cores), so the
+// spin must yield the CPU rather than burn it.
+constexpr int kBarrierSpins = 32;
 
 // Wildcard semantics: ANY_TAG covers user tags only, so a plain recv can
 // never swallow a collective payload or a death notice racing past it;
@@ -37,18 +45,30 @@ bool envelope_matches(int want_source, int want_tag, int source, int tag) {
 }
 }  // namespace
 
-// Tag-indexed mailbox: one FIFO bucket per (source, tag) pair, each entry
-// stamped with a mailbox-wide arrival number. An exact-envelope recv is an
-// O(1) hash lookup + pop; a wildcard recv takes the lowest arrival number
-// among matching bucket fronts, which is exactly the message a linear scan
-// of a single arrival-ordered queue would have returned — so MPI matching
-// and per-(source, tag) ordering semantics are preserved verbatim.
+// Lock-light mailbox: producers never touch shared matching state. Each
+// (source → dest) pair has its own SPSC staging lane; a post locks only
+// that lane (contended at worst with the consumer's drain, never with
+// other producers). The owner drains lanes into consumer-private
+// per-(source, tag) FIFO buckets and matches there with no lock at all.
 //
-// Wakeup protocol: the owning rank registers the envelope it is blocked on
-// (waiting/want_*); post() signals the condition variable only when the
-// new message matches that envelope, and uses notify_one (there is exactly
-// one possible waiter — the mailbox owner). Everything else is a
-// suppressed wakeup: no syscall, no context switch.
+// Ordering: every item is stamped from a mailbox-wide atomic arrival
+// counter at post time. Items from one source are stamped in program
+// order, so each bucket (fed by exactly one lane) stays seq-sorted and a
+// wildcard recv — which takes the lowest seq among matching bucket fronts
+// — returns exactly the message a single arrival-ordered queue would
+// have. Causally ordered posts from different sources get increasing
+// seqs because the fetch_add on the arrival counter is part of the
+// happens-before chain.
+//
+// Wakeup protocol (eventcount): the owner registers the envelope it is
+// about to block on under wake_mu, publishes `maybe_waiting` with seq_cst,
+// then re-drains every lane before sleeping. A producer stamps its lane
+// (seq_cst flag inside the lane critical section), then checks
+// `maybe_waiting` with seq_cst: either the producer observes the waiter
+// (and signals under wake_mu), or the waiter's re-drain observes the
+// item — the classic Dekker store-buffering argument, so no wakeup is
+// ever lost while producers that find no waiter skip the syscall
+// entirely.
 struct World::Mailbox {
   struct Item {
     uint64_t seq;
@@ -63,17 +83,49 @@ struct World::Mailbox {
            static_cast<uint32_t>(tag);
   }
 
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::unordered_map<uint64_t, Bucket> buckets;
-  uint64_t next_seq = 0;
+  // One SPSC staging lane per source rank.
+  struct Lane {
+    std::mutex mu;
+    std::vector<Item> staged;
+    std::atomic<bool> has_items{false};
+  };
+  std::vector<std::unique_ptr<Lane>> lanes;
+  std::atomic<uint64_t> next_seq{0};
 
-  // Waiter registration (guarded by mutex). Only the owning rank blocks on
-  // its own mailbox, so one slot suffices.
+  // Consumer-private matching state: only the owning rank thread touches
+  // the buckets, after draining the lanes.
+  std::unordered_map<uint64_t, Bucket> buckets;
+
+  // Eventcount wakeup state (wake_mu guards everything but maybe_waiting).
+  std::atomic<bool> maybe_waiting{false};
+  std::mutex wake_mu;
+  std::condition_variable cv;
   bool waiting = false;
   bool notified = false;
   int want_source = ANY_SOURCE;
   int want_tag = ANY_TAG;
+
+  // Return box: peers deposit consumed message buffers here so one-way
+  // flows prime the *sender's* freelist (see Comm::recycle(Message&&)).
+  std::mutex ret_mu;
+  std::vector<std::vector<std::byte>> returns;
+
+  // Owner thread only: move staged items into the private buckets.
+  void drain() {
+    for (auto& lp : lanes) {
+      Lane& lane = *lp;
+      if (!lane.has_items.load(std::memory_order_seq_cst)) continue;
+      std::vector<Item> got;
+      {
+        std::lock_guard<std::mutex> lock(lane.mu);
+        got.swap(lane.staged);
+        lane.has_items.store(false, std::memory_order_relaxed);
+      }
+      for (auto& it : got) {
+        buckets[key(it.msg.source, it.msg.tag)].q.push_back(std::move(it));
+      }
+    }
+  }
 };
 
 struct WorldState {
@@ -86,6 +138,24 @@ struct WorldState {
   std::atomic<uint64_t> wakeups_suppressed{0};
   std::atomic<uint64_t> pool_hits{0};
   std::atomic<uint64_t> pool_misses{0};
+  std::atomic<uint64_t> barrier_fastpath{0};
+  std::atomic<uint64_t> collective_wakeups{0};
+
+  // Sense-reversing shared-memory barrier. Ranks are threads in one
+  // process, so a barrier needs no messages at all: arrive on an atomic
+  // counter, the last arriver flips the generation, everyone else
+  // yield-spins briefly and then sleeps on one condition variable. The
+  // sleeper count and the generation flip form a Dekker pair (both
+  // seq_cst), so the releaser either sees the sleeper (and notifies under
+  // the mutex) or the sleeper's predicate sees the new generation.
+  struct BarrierSync {
+    std::atomic<int> arrived{0};
+    std::atomic<uint64_t> generation{0};
+    std::atomic<int> sleepers{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  BarrierSync bar;
 
   // ---- fault injection ----
   FaultPlan plan;
@@ -103,7 +173,12 @@ struct WorldState {
 World::World(int size) : size_(size), state_(std::make_unique<WorldState>()) {
   if (size <= 0) throw CommError("world size must be positive");
   boxes_.reserve(static_cast<size_t>(size));
-  for (int i = 0; i < size; ++i) boxes_.push_back(std::make_unique<Mailbox>());
+  for (int i = 0; i < size; ++i) {
+    auto box = std::make_unique<Mailbox>();
+    box->lanes.reserve(static_cast<size_t>(size));
+    for (int s = 0; s < size; ++s) box->lanes.push_back(std::make_unique<Mailbox::Lane>());
+    boxes_.push_back(std::move(box));
+  }
 }
 
 World::~World() = default;
@@ -124,6 +199,9 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
     state_->dead.assign(static_cast<size_t>(size_), 0);
     state_->doomed.assign(static_cast<size_t>(size_), 0);
   }
+  state_->bar.arrived.store(0);
+  state_->bar.generation.store(0);
+  state_->bar.sleepers.store(0);
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
@@ -154,11 +232,23 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
 
   // Clear mailboxes so a World can host several independent runs.
   for (auto& box : boxes_) {
-    std::lock_guard<std::mutex> lock(box->mutex);
+    for (auto& lane : box->lanes) {
+      std::lock_guard<std::mutex> lock(lane->mu);
+      lane->staged.clear();
+      lane->has_items.store(false);
+    }
     box->buckets.clear();
-    box->next_seq = 0;
-    box->waiting = false;
-    box->notified = false;
+    box->next_seq.store(0);
+    box->maybe_waiting.store(false);
+    {
+      std::lock_guard<std::mutex> lock(box->wake_mu);
+      box->waiting = false;
+      box->notified = false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(box->ret_mu);
+      box->returns.clear();
+    }
   }
   if (first_error) std::rethrow_exception(first_error);
   if (state_->aborted.load()) {
@@ -172,7 +262,9 @@ TrafficStats World::stats() const {
                       state_->wakeups.load(),
                       state_->wakeups_suppressed.load(),
                       state_->pool_hits.load(),
-                      state_->pool_misses.load()};
+                      state_->pool_misses.load(),
+                      state_->barrier_fastpath.load(),
+                      state_->collective_wakeups.load()};
 }
 
 void World::post(int source, int dest, int tag, std::vector<std::byte>&& data) {
@@ -182,30 +274,41 @@ void World::post(int source, int dest, int tag, std::vector<std::byte>&& data) {
   state_->messages.fetch_add(1, std::memory_order_relaxed);
   state_->bytes.fetch_add(data.size(), std::memory_order_relaxed);
   Mailbox& box = *boxes_[static_cast<size_t>(dest)];
-  bool wake = false;
+  Mailbox::Lane& lane = *box.lanes[static_cast<size_t>(source)];
   {
-    std::lock_guard<std::mutex> lock(box.mutex);
-    Mailbox::Bucket& b = box.buckets[Mailbox::key(source, tag)];
-    b.q.push_back(Mailbox::Item{box.next_seq++, Message{source, tag, std::move(data)}});
-    if (box.waiting && !box.notified &&
-        envelope_matches(box.want_source, box.want_tag, source, tag)) {
-      box.notified = true;
-      wake = true;
+    std::lock_guard<std::mutex> lock(lane.mu);
+    lane.staged.push_back(Mailbox::Item{
+        box.next_seq.fetch_add(1, std::memory_order_acq_rel),
+        Message{source, tag, std::move(data)}});
+    lane.has_items.store(true, std::memory_order_seq_cst);
+  }
+  // Dekker partner of the consumer's register-then-redrain: the seq_cst
+  // flag store above and this seq_cst load mean either we see the waiter
+  // or its re-drain sees our item.
+  if (box.maybe_waiting.load(std::memory_order_seq_cst)) {
+    bool wake = false;
+    {
+      std::lock_guard<std::mutex> lock(box.wake_mu);
+      if (box.waiting && !box.notified &&
+          envelope_matches(box.want_source, box.want_tag, source, tag)) {
+        box.notified = true;
+        wake = true;
+      }
+    }
+    if (wake) {
+      state_->wakeups.fetch_add(1, std::memory_order_relaxed);
+      box.cv.notify_one();
+      return;
     }
   }
-  if (wake) {
-    state_->wakeups.fetch_add(1, std::memory_order_relaxed);
-    box.cv.notify_one();
-  } else {
-    state_->wakeups_suppressed.fetch_add(1, std::memory_order_relaxed);
-  }
+  state_->wakeups_suppressed.fetch_add(1, std::memory_order_relaxed);
 }
 
 void World::post(int source, int dest, int tag, std::span<const std::byte> data) {
   post(source, dest, tag, std::vector<std::byte>(data.begin(), data.end()));
 }
 
-std::optional<Message> World::take_locked(Mailbox& box, int source, int tag) {
+std::optional<Message> World::take_now(Mailbox& box, int source, int tag) {
   if (source != ANY_SOURCE && tag >= 0) {
     // Exact envelope: O(1) bucket lookup.
     auto it = box.buckets.find(Mailbox::key(source, tag));
@@ -234,8 +337,8 @@ std::optional<Message> World::take_locked(Mailbox& box, int source, int tag) {
   return m;
 }
 
-bool World::probe_locked(const Mailbox& box, int source, int tag, int* out_source,
-                         int* out_tag) {
+bool World::probe_now(const Mailbox& box, int source, int tag, int* out_source,
+                      int* out_tag) {
   if (source != ANY_SOURCE && tag >= 0) {
     auto it = box.buckets.find(Mailbox::key(source, tag));
     if (it == box.buckets.end() || it->second.q.empty()) return false;
@@ -258,17 +361,17 @@ bool World::probe_locked(const Mailbox& box, int source, int tag, int* out_sourc
 
 std::optional<Message> World::match_now(int self, int source, int tag) {
   Mailbox& box = *boxes_[static_cast<size_t>(self)];
-  std::lock_guard<std::mutex> lock(box.mutex);
-  return take_locked(box, source, tag);
+  box.drain();
+  return take_now(box, source, tag);
 }
 
 Message World::wait_match(int self, int source, int tag) {
   Mailbox& box = *boxes_[static_cast<size_t>(self)];
   const bool is_doomed = doomed(self);
   bool parked = false;
-  std::unique_lock<std::mutex> lock(box.mutex);
   while (true) {
-    if (auto m = take_locked(box, source, tag)) {
+    box.drain();
+    if (auto m = take_now(box, source, tag)) {
       if (parked) {
         std::lock_guard<std::mutex> fl(state_->fin_mutex);
         --state_->parked_faulty;
@@ -290,18 +393,46 @@ Message World::wait_match(int self, int source, int tag) {
         }
         if (state_->finished + state_->parked_faulty >= size_) throw RankKilled{self};
       }
-      // Poll: finish_rank() notifies box cvs without holding box.mutex, so
-      // a timed wait avoids any lost-wakeup ordering subtleties.
+      // Poll: finish_rank() notifies box cvs without holding wake_mu, so a
+      // timed wait avoids any lost-wakeup ordering subtleties.
+      std::unique_lock<std::mutex> lock(box.wake_mu);
       box.cv.wait_for(lock, std::chrono::milliseconds(5));
-    } else {
+      continue;
+    }
+    // Register the envelope, publish the flag, then re-drain before
+    // sleeping (the Dekker pair of post()'s flag-store / flag-load).
+    {
+      std::lock_guard<std::mutex> lock(box.wake_mu);
       box.waiting = true;
       box.want_source = source;
       box.want_tag = tag;
       box.notified = false;
-      box.cv.wait(lock, [&box] { return box.notified; });
+    }
+    box.maybe_waiting.store(true, std::memory_order_seq_cst);
+    box.drain();
+    if (auto m = take_now(box, source, tag)) {
+      box.maybe_waiting.store(false, std::memory_order_seq_cst);
+      {
+        std::lock_guard<std::mutex> lock(box.wake_mu);
+        box.waiting = false;
+        box.notified = false;
+      }
+      if (parked) {
+        std::lock_guard<std::mutex> fl(state_->fin_mutex);
+        --state_->parked_faulty;
+      }
+      return std::move(*m);
+    }
+    {
+      // The predicate re-checks `aborted`: an abort that completed between
+      // the loop-top check and our registration has already overwritten
+      // and consumed its `notified = true`, and will never notify again.
+      std::unique_lock<std::mutex> lock(box.wake_mu);
+      box.cv.wait(lock, [this, &box] { return box.notified || state_->aborted.load(); });
       box.waiting = false;
       box.notified = false;
     }
+    box.maybe_waiting.store(false, std::memory_order_seq_cst);
   }
 }
 
@@ -309,31 +440,50 @@ std::optional<Message> World::wait_match_for(int self, int source, int tag, doub
   Mailbox& box = *boxes_[static_cast<size_t>(self)];
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::duration<double>(seconds);
-  std::unique_lock<std::mutex> lock(box.mutex);
   while (true) {
-    if (auto m = take_locked(box, source, tag)) return m;
+    box.drain();
+    if (auto m = take_now(box, source, tag)) return m;
     if (state_->aborted.load()) {
       throw CommError("recv interrupted: world aborted (" + state_->abort_reason + ")");
     }
-    box.waiting = true;
-    box.want_source = source;
-    box.want_tag = tag;
-    box.notified = false;
-    const bool signalled = box.cv.wait_until(lock, deadline, [&box] { return box.notified; });
-    box.waiting = false;
-    box.notified = false;
+    {
+      std::lock_guard<std::mutex> lock(box.wake_mu);
+      box.waiting = true;
+      box.want_source = source;
+      box.want_tag = tag;
+      box.notified = false;
+    }
+    box.maybe_waiting.store(true, std::memory_order_seq_cst);
+    box.drain();
+    if (auto m = take_now(box, source, tag)) {
+      box.maybe_waiting.store(false, std::memory_order_seq_cst);
+      std::lock_guard<std::mutex> lock(box.wake_mu);
+      box.waiting = false;
+      box.notified = false;
+      return m;
+    }
+    bool signalled = false;
+    {
+      std::unique_lock<std::mutex> lock(box.wake_mu);
+      signalled = box.cv.wait_until(
+          lock, deadline, [this, &box] { return box.notified || state_->aborted.load(); });
+      box.waiting = false;
+      box.notified = false;
+    }
+    box.maybe_waiting.store(false, std::memory_order_seq_cst);
     if (!signalled) {
       // Timed out; one final pass through the same matching helper in case
       // a post raced the deadline.
-      return take_locked(box, source, tag);
+      box.drain();
+      return take_now(box, source, tag);
     }
   }
 }
 
 bool World::probe(int self, int source, int tag, int* out_source, int* out_tag) {
   Mailbox& box = *boxes_[static_cast<size_t>(self)];
-  std::lock_guard<std::mutex> lock(box.mutex);
-  return probe_locked(box, source, tag, out_source, out_tag);
+  box.drain();
+  return probe_now(box, source, tag, out_source, out_tag);
 }
 
 void World::abort(const std::string& why) {
@@ -344,15 +494,65 @@ void World::abort(const std::string& why) {
   state_->aborted.store(true);
   for (auto& box : boxes_) {
     {
-      std::lock_guard<std::mutex> lock(box->mutex);
+      std::lock_guard<std::mutex> lock(box->wake_mu);
       // Release waiters past their predicate so they observe the abort.
       box->notified = true;
     }
     box->cv.notify_all();
   }
+  {
+    std::lock_guard<std::mutex> lock(state_->bar.mu);
+  }
+  state_->bar.cv.notify_all();
 }
 
 bool World::aborted() const { return state_->aborted.load(); }
+
+// ---- barrier ----
+
+void World::barrier_cross(int self) {
+  auto& st = *state_;
+  auto& bar = st.bar;
+  const uint64_t gen = bar.generation.load(std::memory_order_acquire);
+  const int pos = bar.arrived.fetch_add(1, std::memory_order_acq_rel);
+  if (pos + 1 == size_) {
+    // Last arriver: reset for the next episode, flip the generation, and
+    // wake sleepers only if there are any (Dekker pair with the sleeper
+    // increment below).
+    bar.arrived.store(0, std::memory_order_relaxed);
+    bar.generation.store(gen + 1, std::memory_order_seq_cst);
+    st.barrier_fastpath.fetch_add(1, std::memory_order_relaxed);
+    if (bar.sleepers.load(std::memory_order_seq_cst) > 0) {
+      {
+        std::lock_guard<std::mutex> lock(bar.mu);
+      }
+      bar.cv.notify_all();
+      st.collective_wakeups.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  for (int spin = 0; spin < kBarrierSpins; ++spin) {
+    if (bar.generation.load(std::memory_order_acquire) != gen) {
+      st.barrier_fastpath.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (st.aborted.load()) {
+      throw CommError("barrier interrupted: world aborted (" + st.abort_reason + ")");
+    }
+    std::this_thread::yield();
+  }
+  bar.sleepers.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::unique_lock<std::mutex> lock(bar.mu);
+    bar.cv.wait(lock, [&] {
+      return bar.generation.load(std::memory_order_acquire) != gen || st.aborted.load();
+    });
+  }
+  bar.sleepers.fetch_sub(1, std::memory_order_seq_cst);
+  if (bar.generation.load(std::memory_order_acquire) == gen) {
+    throw CommError("barrier interrupted: world aborted (" + st.abort_reason + ")");
+  }
+}
 
 // ---- fault injection ----
 
@@ -465,6 +665,14 @@ FaultPlan FaultPlan::random_kill(uint64_t seed, int first_rank, int last_rank,
   return plan;
 }
 
+// ---- buffer recycling ----
+
+void World::recycle_to_origin(int origin, std::vector<std::byte>&& buf) {
+  Mailbox& box = *boxes_[static_cast<size_t>(origin)];
+  std::lock_guard<std::mutex> lock(box.ret_mu);
+  if (box.returns.size() < kMaxPooled) box.returns.push_back(std::move(buf));
+}
+
 // ---- Comm ----
 
 int Comm::size() const { return world_->size(); }
@@ -491,6 +699,12 @@ void Comm::send(int dest, int tag, std::vector<std::byte>&& data) {
 }
 
 std::vector<std::byte> Comm::acquire_buffer() {
+  if (pool_.empty()) {
+    // Pull home any buffers peers deposited in our return box.
+    auto& box = *world_->boxes_[static_cast<size_t>(rank_)];
+    std::lock_guard<std::mutex> lock(box.ret_mu);
+    if (!box.returns.empty()) pool_.swap(box.returns);
+  }
   if (!pool_.empty()) {
     std::vector<std::byte> buf = std::move(pool_.back());
     pool_.pop_back();
@@ -504,8 +718,15 @@ std::vector<std::byte> Comm::acquire_buffer() {
 void Comm::recycle(std::vector<std::byte>&& buf) {
   // Small bounded freelist; beyond the cap buffers are just freed. Owned
   // by this rank's thread, so no lock.
-  constexpr size_t kMaxPooled = 64;
   if (pool_.size() < kMaxPooled) pool_.push_back(std::move(buf));
+}
+
+void Comm::recycle(Message&& m) {
+  if (m.source >= 0 && m.source < world_->size() && m.source != rank_) {
+    world_->recycle_to_origin(m.source, std::move(m.data));
+  } else {
+    recycle(std::move(m.data));
+  }
 }
 
 Message Comm::recv(int source, int tag) {
@@ -530,25 +751,7 @@ bool Comm::iprobe(int source, int tag, int* out_source, int* out_tag) {
   return world_->probe(rank_, source, tag, out_source, out_tag);
 }
 
-void Comm::barrier() {
-  // Binomial fan-in to rank 0, then binomial fan-out: O(log n) rounds on
-  // the critical path instead of O(n) sequential messages through rank 0.
-  const std::vector<std::byte> empty;
-  int mask = 1;
-  while (mask < size()) {
-    if (rank_ & mask) break;
-    if (rank_ + mask < size()) world_->wait_match(rank_, rank_ + mask, kTagBarrierUp);
-    mask <<= 1;
-  }
-  if (rank_ != 0) {
-    // mask is the lowest set bit of rank_: the binomial-tree parent link.
-    world_->post(rank_, rank_ - mask, kTagBarrierUp, empty);
-    world_->wait_match(rank_, rank_ - mask, kTagBarrierDown);
-  }
-  for (mask >>= 1; mask > 0; mask >>= 1) {
-    if (rank_ + mask < size()) world_->post(rank_, rank_ + mask, kTagBarrierDown, empty);
-  }
-}
+void Comm::barrier() { world_->barrier_cross(rank_); }
 
 void Comm::broadcast(std::vector<std::byte>& data, int root) {
   // Binomial tree rooted at `root` (ranks taken relative to the root, as

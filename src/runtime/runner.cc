@@ -95,6 +95,8 @@ RunResult run_ft_attempt(const Config& cfg, const std::string& program, mpi::Wor
       result.server_stats.hungry_notices += s.hungry_notices;
       result.server_stats.batches_sent += s.batches_sent;
       result.server_stats.units_rebalanced += s.units_rebalanced;
+      result.server_stats.steal_batches += s.steal_batches;
+      result.server_stats.steal_batch_units += s.steal_batch_units;
       result.server_stats.notifications += s.notifications;
       result.server_stats.data_ops += s.data_ops;
       result.server_stats.tokens += s.tokens;
@@ -152,6 +154,7 @@ RunResult run_ft_attempt(const Config& cfg, const std::string& program, mpi::Wor
       result.worker_stats.app_execs += ws.app_execs;
       result.worker_stats.interpreter_resets += ws.interpreter_resets;
       result.cache_stats += client.cache_stats();
+      result.pipeline_stats += client.pipeline_stats();
     } else {
       turbine::Context ctx(client, nullptr, ccfg);
       if (has_main) ctx.interp().eval(program);
@@ -164,6 +167,7 @@ RunResult run_ft_attempt(const Config& cfg, const std::string& program, mpi::Wor
       result.worker_stats.app_execs += ws.app_execs;
       result.worker_stats.interpreter_resets += ws.interpreter_resets;
       result.cache_stats += client.cache_stats();
+      result.pipeline_stats += client.pipeline_stats();
     }
   };
   try {
@@ -203,6 +207,8 @@ void publish_metrics(const RunResult& r) {
   m.counter("adlb.hungry_notices").set(s.hungry_notices);
   m.counter("adlb.batches_sent").set(s.batches_sent);
   m.counter("adlb.units_rebalanced").set(s.units_rebalanced);
+  m.counter("adlb.steal_batches").set(s.steal_batches);
+  m.counter("adlb.steal_batch_units").set(s.steal_batch_units);
   m.counter("adlb.notifications").set(s.notifications);
   m.counter("adlb.data_ops").set(s.data_ops);
   m.counter("adlb.tokens").set(s.tokens);
@@ -218,6 +224,10 @@ void publish_metrics(const RunResult& r) {
   m.counter("adlb.cache_misses").set(c.misses);
   m.counter("adlb.cache_evictions").set(c.evictions);
   m.counter("adlb.cache_invalidations").set(c.invalidations);
+  const adlb::DataPipelineStats& p = r.pipeline_stats;
+  m.counter("adlb.pipeline_ops").set(p.ops);
+  m.counter("adlb.pipeline_flushes").set(p.flushes);
+  m.counter("adlb.pipeline_stalls").set(p.stalls);
   const turbine::EngineStats& e = r.engine_stats;
   m.counter("engine.rules_created").set(e.rules_created);
   m.counter("engine.rules_fired").set(e.rules_fired);
@@ -237,6 +247,8 @@ void publish_metrics(const RunResult& r) {
   m.counter("mpi.wakeups_suppressed").set(r.traffic.wakeups_suppressed);
   m.counter("mpi.pool_hits").set(r.traffic.pool_hits);
   m.counter("mpi.pool_misses").set(r.traffic.pool_misses);
+  m.counter("mpi.barrier_fastpath").set(r.traffic.barrier_fastpath);
+  m.counter("mpi.collective_wakeups").set(r.traffic.collective_wakeups);
   m.counter("run.attempts").set(static_cast<uint64_t>(r.ft.attempts));
   m.counter("run.dead_ranks").set(r.ft.dead_ranks.size());
   m.counter("run.unfired_rules").set(r.unfired_rules);

@@ -85,6 +85,7 @@ struct RunResult {
   turbine::WorkerStats worker_stats;
   adlb::ServerStats server_stats;
   adlb::DataCacheStats cache_stats;  // summed across all client ranks
+  adlb::DataPipelineStats pipeline_stats;  // summed across all client ranks
   mpi::TrafficStats traffic;
   FtStats ft;
   double elapsed_seconds = 0;

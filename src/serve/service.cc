@@ -853,6 +853,8 @@ runtime::RunResult Service::run_batch(const runtime::Config& cfg, const std::str
       result.server_stats.hungry_notices += s.hungry_notices;
       result.server_stats.batches_sent += s.batches_sent;
       result.server_stats.units_rebalanced += s.units_rebalanced;
+      result.server_stats.steal_batches += s.steal_batches;
+      result.server_stats.steal_batch_units += s.steal_batch_units;
       result.server_stats.notifications += s.notifications;
       result.server_stats.data_ops += s.data_ops;
       result.server_stats.tokens += s.tokens;
@@ -909,6 +911,7 @@ runtime::RunResult Service::run_batch(const runtime::Config& cfg, const std::str
       result.worker_stats.app_execs += ws.app_execs;
       result.worker_stats.interpreter_resets += ws.interpreter_resets;
       result.cache_stats += client.cache_stats();
+      result.pipeline_stats += client.pipeline_stats();
     } else {
       turbine::Context ctx(client, nullptr, ccfg);
       if (has_main) ctx.interp().eval(program);
@@ -921,6 +924,7 @@ runtime::RunResult Service::run_batch(const runtime::Config& cfg, const std::str
       result.worker_stats.app_execs += ws.app_execs;
       result.worker_stats.interpreter_resets += ws.interpreter_resets;
       result.cache_stats += client.cache_stats();
+      result.pipeline_stats += client.pipeline_stats();
     }
   };
   mpi::World world(cfg.total_ranks());

@@ -18,12 +18,8 @@ namespace {
 
 // Runs a world where every server rank serves and every client rank runs
 // `client_main`. Returns after global termination.
-void run(int nclients, int nservers, const std::function<void(Client&)>& client_main,
-         int ntypes = 2) {
-  Config cfg;
-  cfg.nservers = nservers;
-  cfg.ntypes = ntypes;
-  mpi::World world(nclients + nservers);
+void run_cfg(Config cfg, int nclients, const std::function<void(Client&)>& client_main) {
+  mpi::World world(nclients + cfg.nservers);
   world.run([&](mpi::Comm& comm) {
     if (is_server(comm.rank(), comm.size(), cfg)) {
       Server server(comm, cfg);
@@ -33,6 +29,28 @@ void run(int nclients, int nservers, const std::function<void(Client&)>& client_
       client_main(client);
     }
   });
+}
+
+void run(int nclients, int nservers, const std::function<void(Client&)>& client_main,
+         int ntypes = 2) {
+  Config cfg;
+  cfg.nservers = nservers;
+  cfg.ntypes = ntypes;
+  run_cfg(cfg, nclients, client_main);
+}
+
+// Like run(), but with the write-behind datum pipeline off (window 1):
+// every data op is a blocking RPC whose error throws at the call site.
+// Tests that pin exact throw sites use this; with pipelining on, batched
+// failures surface later, as a deferred DataError at the next sync point
+// (see AdlbData.PipelinedErrorsSurfaceDeferred).
+void run_sync(int nclients, int nservers, const std::function<void(Client&)>& client_main,
+              int ntypes = 2) {
+  Config cfg;
+  cfg.nservers = nservers;
+  cfg.ntypes = ntypes;
+  cfg.pipeline_window = 1;
+  run_cfg(cfg, nclients, client_main);
 }
 
 // A client that only drains work of one type until shutdown, recording
@@ -240,7 +258,7 @@ TEST(AdlbData, UniqueIdsDisjointAcrossRanks) {
 }
 
 TEST(AdlbData, ErrorPaths) {
-  run(1, 1, [](Client& c) {
+  run_sync(1, 1, [](Client& c) {
     int64_t id = c.unique();
     EXPECT_THROW(c.retrieve(id), DataError);        // missing
     c.create(id, DataType::kInteger);
@@ -297,7 +315,7 @@ TEST(AdlbData, SubscribeAcrossRanks) {
 }
 
 TEST(AdlbData, ReadRefcountDeletes) {
-  run(1, 1, [](Client& c) {
+  run_sync(1, 1, [](Client& c) {
     int64_t id = c.unique();
     c.create(id, DataType::kString);
     c.store(id, "v");
@@ -310,7 +328,7 @@ TEST(AdlbData, ReadRefcountDeletes) {
 }
 
 TEST(AdlbData, WriteRefcountClosesContainer) {
-  run(1, 1, [](Client& c) {
+  run_sync(1, 1, [](Client& c) {
     int64_t id = c.unique();
     c.create(id, DataType::kContainer);
     c.write_incr(id, 1);  // writers: 2
@@ -332,7 +350,7 @@ TEST(AdlbData, WriteRefcountClosesContainer) {
 }
 
 TEST(AdlbData, ContainerLookup) {
-  run(1, 1, [](Client& c) {
+  run_sync(1, 1, [](Client& c) {
     int64_t id = c.unique();
     c.create(id, DataType::kContainer);
     c.insert(id, "k", "v");
@@ -345,6 +363,55 @@ TEST(AdlbData, ContainerLookup) {
     EXPECT_THROW(c.lookup(scalar, "k"), DataError);
     EXPECT_THROW(c.enumerate(scalar), DataError);
     EXPECT_FALSE(c.get(kTypeWork).has_value());
+  });
+}
+
+// With the write-behind pipeline on (the default), a batched sub-op's
+// failure surfaces as a DataError at the next synchronous boundary rather
+// than at the buffered call itself — and later independent sub-ops in the
+// same batch still apply, exactly as separate RPCs would.
+TEST(AdlbData, PipelinedErrorsSurfaceDeferred) {
+  run(1, 1, [](Client& c) {
+    int64_t a = c.unique();
+    int64_t b = c.unique();
+    c.create(a, DataType::kInteger);
+    c.store(a, "1");
+    c.store(a, "2");  // double assignment: buffered, no throw here
+    c.create(b, DataType::kInteger);
+    c.store(b, "42");  // later sub-op, unaffected by the failure
+    // The next sync point (any blocking RPC) surfaces the batched error.
+    EXPECT_THROW(c.retrieve(a), DataError);
+    // ... exactly once: the pipeline is clean again afterwards.
+    EXPECT_EQ(c.retrieve(a), "1");
+    EXPECT_EQ(c.retrieve(b), "42");
+    EXPECT_FALSE(c.get(kTypeWork).has_value());
+  });
+}
+
+// Read-after-write through the pipeline: buffered ops ship before any
+// synchronous RPC leaves the client, so a retrieve right after a buffered
+// create/store sees the datum (same-client), and a put's consumer sees
+// datums stored before the put (cross-client, via task causality).
+TEST(AdlbData, PipelinedOpsVisibleAcrossClients) {
+  run(2, 2, [](Client& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 40; ++i) {
+        int64_t id = c.unique();
+        c.create(id, DataType::kString);
+        c.store(id, "v" + std::to_string(i));
+        c.put({kTypeWork, 0, 1, kAnyRank, std::to_string(id) + ":" + std::to_string(i)});
+      }
+      EXPECT_FALSE(c.get(kTypeControl).has_value());
+    } else {
+      int seen = 0;
+      while (auto unit = c.get(kTypeWork)) {
+        auto colon = unit->payload.find(':');
+        int64_t id = std::stoll(unit->payload.substr(0, colon));
+        EXPECT_EQ(c.retrieve(id), "v" + unit->payload.substr(colon + 1));
+        ++seen;
+      }
+      EXPECT_EQ(seen, 40);
+    }
   });
 }
 
