@@ -5,8 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
+#include "common/sync.h"
 #include "common/timer.h"
 
 namespace ilps::log {
@@ -23,14 +23,15 @@ Level initial_level() {
   return Level::kOff;
 }
 
-std::atomic<Level> g_level{initial_level()};
-std::mutex g_mutex;
+ilps::Atomic<Level> g_level{initial_level()};
+// Serializes stderr writes only; no fields are guarded by it.
+ilps::Mutex g_mutex;
 thread_local int t_rank = -1;
 
 // flush-on-warn rate limit: a hot warning inside the data plane must not
 // serialize every rank thread behind fflush. Warnings flush at most once
 // per interval; errors always flush.
-std::atomic<int64_t> g_last_flush_us{-1000000};
+ilps::Atomic<int64_t> g_last_flush_us{-1000000};
 constexpr int64_t kFlushIntervalUs = 50000;
 
 char letter(Level level) {
@@ -50,9 +51,16 @@ namespace detail {
 thread_local int64_t t_request = 0;
 }  // namespace detail
 
-Level level() { return g_level.load(std::memory_order_relaxed); }
+Level level() {
+  // ordering: relaxed — the level is an independent configuration cell;
+  // no other memory is published through it.
+  return g_level.load(std::memory_order_relaxed);
+}
 
-void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+void set_level(Level level) {
+  // ordering: relaxed — see level(); a late level change is acceptable.
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 void set_thread_rank(int rank) { t_rank = rank; }
 
@@ -64,8 +72,11 @@ bool should_flush(Level level) {
   if (level >= Level::kError) return true;
   if (level < Level::kWarn) return false;
   const int64_t now = static_cast<int64_t>(ilps::wtime() * 1e6);
+  // ordering: relaxed — the rate-limit stamp guards nothing but itself;
+  // losing the CAS race just means another thread flushes instead.
   int64_t last = g_last_flush_us.load(std::memory_order_relaxed);
   while (now - last >= kFlushIntervalUs) {
+    // ordering: relaxed — same single-cell contract as the load above.
     if (g_last_flush_us.compare_exchange_weak(last, now, std::memory_order_relaxed)) {
       return true;
     }
@@ -91,7 +102,7 @@ void write(Level level, const std::string& message) {
     std::snprintf(prefix, sizeof prefix, "[ilps %.3fs %c]", ilps::wtime(), letter(level));
   }
   const bool flush = should_flush(level);
-  std::lock_guard<std::mutex> lock(g_mutex);
+  ilps::LockGuard lock(g_mutex);
   std::fprintf(stderr, "%s %s\n", prefix, message.c_str());
   if (flush) std::fflush(stderr);
 }

@@ -1,7 +1,5 @@
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -9,6 +7,7 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "common/rng.h"
+#include "common/sync.h"
 #include "common/timer.h"
 #include "mpi/comm.h"
 #include "obs/trace.h"
@@ -85,30 +84,35 @@ struct World::Mailbox {
 
   // One SPSC staging lane per source rank.
   struct Lane {
-    std::mutex mu;
-    std::vector<Item> staged;
-    std::atomic<bool> has_items{false};
+    ilps::Mutex mu;
+    std::vector<Item> staged ILPS_GUARDED_BY(mu);
+    // Dekker-side flag: deliberately read/written outside mu by design
+    // (see the wakeup-protocol comment above), so it must not be
+    // GUARDED_BY.
+    ilps::Atomic<bool> has_items{false};
   };
   std::vector<std::unique_ptr<Lane>> lanes;
-  std::atomic<uint64_t> next_seq{0};
+  ilps::Atomic<uint64_t> next_seq{0};
 
   // Consumer-private matching state: only the owning rank thread touches
   // the buckets, after draining the lanes.
   std::unordered_map<uint64_t, Bucket> buckets;
 
-  // Eventcount wakeup state (wake_mu guards everything but maybe_waiting).
-  std::atomic<bool> maybe_waiting{false};
-  std::mutex wake_mu;
-  std::condition_variable cv;
-  bool waiting = false;
-  bool notified = false;
-  int want_source = ANY_SOURCE;
-  int want_tag = ANY_TAG;
+  // Eventcount wakeup state (wake_mu guards everything but maybe_waiting,
+  // whose whole job is to be checked without the lock — the Dekker
+  // partner of the consumer's register-then-redrain).
+  ilps::Atomic<bool> maybe_waiting{false};
+  ilps::Mutex wake_mu;
+  ilps::CondVar cv;
+  bool waiting ILPS_GUARDED_BY(wake_mu) = false;
+  bool notified ILPS_GUARDED_BY(wake_mu) = false;
+  int want_source ILPS_GUARDED_BY(wake_mu) = ANY_SOURCE;
+  int want_tag ILPS_GUARDED_BY(wake_mu) = ANY_TAG;
 
   // Return box: peers deposit consumed message buffers here so one-way
   // flows prime the *sender's* freelist (see Comm::recycle(Message&&)).
-  std::mutex ret_mu;
-  std::vector<std::vector<std::byte>> returns;
+  ilps::Mutex ret_mu;
+  std::vector<std::vector<std::byte>> returns ILPS_GUARDED_BY(ret_mu);
 
   // Owner thread only: move staged items into the private buckets.
   void drain() {
@@ -117,8 +121,12 @@ struct World::Mailbox {
       if (!lane.has_items.load(std::memory_order_seq_cst)) continue;
       std::vector<Item> got;
       {
-        std::lock_guard<std::mutex> lock(lane.mu);
+        ilps::LockGuard lock(lane.mu);
         got.swap(lane.staged);
+        // ordering: relaxed is enough — the flag only changes inside
+        // lane.mu's critical section here, and a producer that races the
+        // clear re-stores true (seq_cst) after its push under the same
+        // lock, so no set flag is ever lost.
         lane.has_items.store(false, std::memory_order_relaxed);
       }
       for (auto& it : got) {
@@ -129,17 +137,30 @@ struct World::Mailbox {
 };
 
 struct WorldState {
-  std::atomic<bool> aborted{false};
-  std::mutex abort_mutex;
-  std::string abort_reason;
-  std::atomic<uint64_t> messages{0};
-  std::atomic<uint64_t> bytes{0};
-  std::atomic<uint64_t> wakeups{0};
-  std::atomic<uint64_t> wakeups_suppressed{0};
-  std::atomic<uint64_t> pool_hits{0};
-  std::atomic<uint64_t> pool_misses{0};
-  std::atomic<uint64_t> barrier_fastpath{0};
-  std::atomic<uint64_t> collective_wakeups{0};
+  ilps::Atomic<bool> aborted{false};
+  ilps::Mutex abort_mutex;
+  std::string abort_reason ILPS_GUARDED_BY(abort_mutex);
+
+  // First writer wins; readers take the (cold-path) lock so the string
+  // read needs no publication argument.
+  void set_abort_reason(const std::string& why) {
+    ilps::LockGuard lock(abort_mutex);
+    if (abort_reason.empty()) abort_reason = why;
+  }
+  std::string copy_abort_reason() {
+    ilps::LockGuard lock(abort_mutex);
+    return abort_reason;
+  }
+
+  // Traffic / wakeup / pool tallies: pure stats, no protocol reads them.
+  ilps::RelaxedCounter messages;
+  ilps::RelaxedCounter bytes;
+  ilps::RelaxedCounter wakeups;
+  ilps::RelaxedCounter wakeups_suppressed;
+  ilps::RelaxedCounter pool_hits;
+  ilps::RelaxedCounter pool_misses;
+  ilps::RelaxedCounter barrier_fastpath;
+  ilps::RelaxedCounter collective_wakeups;
 
   // Sense-reversing shared-memory barrier. Ranks are threads in one
   // process, so a barrier needs no messages at all: arrive on an atomic
@@ -147,27 +168,28 @@ struct WorldState {
   // yield-spins briefly and then sleeps on one condition variable. The
   // sleeper count and the generation flip form a Dekker pair (both
   // seq_cst), so the releaser either sees the sleeper (and notifies under
-  // the mutex) or the sleeper's predicate sees the new generation.
+  // the mutex) or the sleeper's predicate sees the new generation. The
+  // atomics are read outside bar.mu by design and must not be GUARDED_BY.
   struct BarrierSync {
-    std::atomic<int> arrived{0};
-    std::atomic<uint64_t> generation{0};
-    std::atomic<int> sleepers{0};
-    std::mutex mu;
-    std::condition_variable cv;
+    ilps::Atomic<int> arrived{0};
+    ilps::Atomic<uint64_t> generation{0};
+    ilps::Atomic<int> sleepers{0};
+    ilps::Mutex mu;
+    ilps::CondVar cv;
   };
   BarrierSync bar;
 
   // ---- fault injection ----
   FaultPlan plan;
-  std::vector<std::unique_ptr<std::atomic<bool>>> fired;  // parallel to plan.actions
+  std::vector<std::unique_ptr<ilps::Atomic<bool>>> fired;  // parallel to plan.actions
   std::vector<char> dead;    // written by the dying thread, read after run()
   std::vector<char> doomed;  // only the owning rank reads/writes its slot
   // Drain bookkeeping: hung/doomed ranks are released (and killed) once
   // every other rank has finished, so run() can always join its threads.
-  std::mutex fin_mutex;
-  std::condition_variable fin_cv;
-  int finished = 0;
-  int parked_faulty = 0;
+  ilps::Mutex fin_mutex;
+  ilps::CondVar fin_cv;
+  int finished ILPS_GUARDED_BY(fin_mutex) = 0;
+  int parked_faulty ILPS_GUARDED_BY(fin_mutex) = 0;
 };
 
 World::World(int size) : size_(size), state_(std::make_unique<WorldState>()) {
@@ -193,7 +215,7 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
   {
     // Reset per-run fault bookkeeping (fired flags persist across runs so a
     // restart driver can inspect them; they are reset by set_fault_plan).
-    std::lock_guard<std::mutex> lock(state_->fin_mutex);
+    ilps::LockGuard lock(state_->fin_mutex);
     state_->finished = 0;
     state_->parked_faulty = 0;
     state_->dead.assign(static_cast<size_t>(size_), 0);
@@ -203,7 +225,7 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
   state_->bar.generation.store(0);
   state_->bar.sleepers.store(0);
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  ilps::Mutex error_mutex;
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(size_));
@@ -218,7 +240,7 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
         on_rank_dead(r);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(error_mutex);
+          ilps::LockGuard lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
         abort("rank " + std::to_string(r) + " threw");
@@ -233,7 +255,7 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
   // Clear mailboxes so a World can host several independent runs.
   for (auto& box : boxes_) {
     for (auto& lane : box->lanes) {
-      std::lock_guard<std::mutex> lock(lane->mu);
+      ilps::LockGuard lock(lane->mu);
       lane->staged.clear();
       lane->has_items.store(false);
     }
@@ -241,18 +263,18 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
     box->next_seq.store(0);
     box->maybe_waiting.store(false);
     {
-      std::lock_guard<std::mutex> lock(box->wake_mu);
+      ilps::LockGuard lock(box->wake_mu);
       box->waiting = false;
       box->notified = false;
     }
     {
-      std::lock_guard<std::mutex> lock(box->ret_mu);
+      ilps::LockGuard lock(box->ret_mu);
       box->returns.clear();
     }
   }
   if (first_error) std::rethrow_exception(first_error);
   if (state_->aborted.load()) {
-    throw CommError("world aborted: " + state_->abort_reason);
+    throw CommError("world aborted: " + state_->copy_abort_reason());
   }
 }
 
@@ -271,12 +293,16 @@ void World::post(int source, int dest, int tag, std::vector<std::byte>&& data) {
   if (dest < 0 || dest >= size_) {
     throw CommError("send to invalid rank " + std::to_string(dest));
   }
-  state_->messages.fetch_add(1, std::memory_order_relaxed);
-  state_->bytes.fetch_add(data.size(), std::memory_order_relaxed);
+  state_->messages.add(1);
+  state_->bytes.add(data.size());
   Mailbox& box = *boxes_[static_cast<size_t>(dest)];
   Mailbox::Lane& lane = *box.lanes[static_cast<size_t>(source)];
   {
-    std::lock_guard<std::mutex> lock(lane.mu);
+    ilps::LockGuard lock(lane.mu);
+    // ordering: acq_rel keeps the arrival counter a causal chain — a post
+    // that happens-after another (same source, or via any cross-rank
+    // synchronization) reads the later counter value, which is what makes
+    // wildcard matching equal to a single arrival-ordered queue.
     lane.staged.push_back(Mailbox::Item{
         box.next_seq.fetch_add(1, std::memory_order_acq_rel),
         Message{source, tag, std::move(data)}});
@@ -288,7 +314,7 @@ void World::post(int source, int dest, int tag, std::vector<std::byte>&& data) {
   if (box.maybe_waiting.load(std::memory_order_seq_cst)) {
     bool wake = false;
     {
-      std::lock_guard<std::mutex> lock(box.wake_mu);
+      ilps::LockGuard lock(box.wake_mu);
       if (box.waiting && !box.notified &&
           envelope_matches(box.want_source, box.want_tag, source, tag)) {
         box.notified = true;
@@ -296,12 +322,12 @@ void World::post(int source, int dest, int tag, std::vector<std::byte>&& data) {
       }
     }
     if (wake) {
-      state_->wakeups.fetch_add(1, std::memory_order_relaxed);
+      state_->wakeups.add(1);
       box.cv.notify_one();
       return;
     }
   }
-  state_->wakeups_suppressed.fetch_add(1, std::memory_order_relaxed);
+  state_->wakeups_suppressed.add(1);
 }
 
 void World::post(int source, int dest, int tag, std::span<const std::byte> data) {
@@ -373,19 +399,20 @@ Message World::wait_match(int self, int source, int tag) {
     box.drain();
     if (auto m = take_now(box, source, tag)) {
       if (parked) {
-        std::lock_guard<std::mutex> fl(state_->fin_mutex);
+        ilps::LockGuard fl(state_->fin_mutex);
         --state_->parked_faulty;
       }
       return std::move(*m);
     }
     if (state_->aborted.load()) {
-      throw CommError("recv interrupted: world aborted (" + state_->abort_reason + ")");
+      throw CommError("recv interrupted: world aborted (" + state_->copy_abort_reason() +
+                      ")");
     }
     if (is_doomed) {
       // A doomed rank (its request was dropped) will never get a reply.
       // Count it as parked so quiescent peers can drain, then kill it.
       {
-        std::lock_guard<std::mutex> fl(state_->fin_mutex);
+        ilps::LockGuard fl(state_->fin_mutex);
         if (!parked) {
           ++state_->parked_faulty;
           parked = true;
@@ -395,14 +422,14 @@ Message World::wait_match(int self, int source, int tag) {
       }
       // Poll: finish_rank() notifies box cvs without holding wake_mu, so a
       // timed wait avoids any lost-wakeup ordering subtleties.
-      std::unique_lock<std::mutex> lock(box.wake_mu);
+      ilps::UniqueLock lock(box.wake_mu);
       box.cv.wait_for(lock, std::chrono::milliseconds(5));
       continue;
     }
     // Register the envelope, publish the flag, then re-drain before
     // sleeping (the Dekker pair of post()'s flag-store / flag-load).
     {
-      std::lock_guard<std::mutex> lock(box.wake_mu);
+      ilps::LockGuard lock(box.wake_mu);
       box.waiting = true;
       box.want_source = source;
       box.want_tag = tag;
@@ -413,22 +440,22 @@ Message World::wait_match(int self, int source, int tag) {
     if (auto m = take_now(box, source, tag)) {
       box.maybe_waiting.store(false, std::memory_order_seq_cst);
       {
-        std::lock_guard<std::mutex> lock(box.wake_mu);
+        ilps::LockGuard lock(box.wake_mu);
         box.waiting = false;
         box.notified = false;
       }
       if (parked) {
-        std::lock_guard<std::mutex> fl(state_->fin_mutex);
+        ilps::LockGuard fl(state_->fin_mutex);
         --state_->parked_faulty;
       }
       return std::move(*m);
     }
     {
-      // The predicate re-checks `aborted`: an abort that completed between
+      // The wait loop re-checks `aborted`: an abort that completed between
       // the loop-top check and our registration has already overwritten
       // and consumed its `notified = true`, and will never notify again.
-      std::unique_lock<std::mutex> lock(box.wake_mu);
-      box.cv.wait(lock, [this, &box] { return box.notified || state_->aborted.load(); });
+      ilps::UniqueLock lock(box.wake_mu);
+      while (!box.notified && !state_->aborted.load()) box.cv.wait(lock);
       box.waiting = false;
       box.notified = false;
     }
@@ -444,10 +471,11 @@ std::optional<Message> World::wait_match_for(int self, int source, int tag, doub
     box.drain();
     if (auto m = take_now(box, source, tag)) return m;
     if (state_->aborted.load()) {
-      throw CommError("recv interrupted: world aborted (" + state_->abort_reason + ")");
+      throw CommError("recv interrupted: world aborted (" + state_->copy_abort_reason() +
+                      ")");
     }
     {
-      std::lock_guard<std::mutex> lock(box.wake_mu);
+      ilps::LockGuard lock(box.wake_mu);
       box.waiting = true;
       box.want_source = source;
       box.want_tag = tag;
@@ -457,16 +485,21 @@ std::optional<Message> World::wait_match_for(int self, int source, int tag, doub
     box.drain();
     if (auto m = take_now(box, source, tag)) {
       box.maybe_waiting.store(false, std::memory_order_seq_cst);
-      std::lock_guard<std::mutex> lock(box.wake_mu);
+      ilps::LockGuard lock(box.wake_mu);
       box.waiting = false;
       box.notified = false;
       return m;
     }
     bool signalled = false;
     {
-      std::unique_lock<std::mutex> lock(box.wake_mu);
-      signalled = box.cv.wait_until(
-          lock, deadline, [this, &box] { return box.notified || state_->aborted.load(); });
+      ilps::UniqueLock lock(box.wake_mu);
+      // Timed wait loop: leave on a signal (or abort), or report a timeout
+      // with the final state of the predicate, exactly like the
+      // predicate-taking std overload.
+      while (!box.notified && !state_->aborted.load()) {
+        if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      }
+      signalled = box.notified || state_->aborted.load();
       box.waiting = false;
       box.notified = false;
     }
@@ -487,21 +520,18 @@ bool World::probe(int self, int source, int tag, int* out_source, int* out_tag) 
 }
 
 void World::abort(const std::string& why) {
-  {
-    std::lock_guard<std::mutex> lock(state_->abort_mutex);
-    if (state_->abort_reason.empty()) state_->abort_reason = why;
-  }
+  state_->set_abort_reason(why);
   state_->aborted.store(true);
   for (auto& box : boxes_) {
     {
-      std::lock_guard<std::mutex> lock(box->wake_mu);
+      ilps::LockGuard lock(box->wake_mu);
       // Release waiters past their predicate so they observe the abort.
       box->notified = true;
     }
     box->cv.notify_all();
   }
   {
-    std::lock_guard<std::mutex> lock(state_->bar.mu);
+    ilps::LockGuard lock(state_->bar.mu);
   }
   state_->bar.cv.notify_all();
 }
@@ -510,47 +540,61 @@ bool World::aborted() const { return state_->aborted.load(); }
 
 // ---- barrier ----
 
-void World::barrier_cross(int self) {
+void World::barrier_cross(int /*self*/) {
   auto& st = *state_;
   auto& bar = st.bar;
+  // ordering: acquire pairs with the releaser's seq_cst generation flip,
+  // so everything the previous episode's ranks wrote before arriving is
+  // visible once we observe the flip.
   const uint64_t gen = bar.generation.load(std::memory_order_acquire);
+  // ordering: acq_rel chains every arrival, so the last arriver's flip
+  // happens-after all pre-barrier writes of every rank.
   const int pos = bar.arrived.fetch_add(1, std::memory_order_acq_rel);
   if (pos + 1 == size_) {
     // Last arriver: reset for the next episode, flip the generation, and
     // wake sleepers only if there are any (Dekker pair with the sleeper
     // increment below).
+    // ordering: relaxed — only the last arriver writes, and the next
+    // episode's arrivals are ordered behind the seq_cst flip below.
     bar.arrived.store(0, std::memory_order_relaxed);
     bar.generation.store(gen + 1, std::memory_order_seq_cst);
-    st.barrier_fastpath.fetch_add(1, std::memory_order_relaxed);
+    st.barrier_fastpath.add(1);
     if (bar.sleepers.load(std::memory_order_seq_cst) > 0) {
       {
-        std::lock_guard<std::mutex> lock(bar.mu);
+        ilps::LockGuard lock(bar.mu);
       }
       bar.cv.notify_all();
-      st.collective_wakeups.fetch_add(1, std::memory_order_relaxed);
+      st.collective_wakeups.add(1);
     }
     return;
   }
   for (int spin = 0; spin < kBarrierSpins; ++spin) {
+    // ordering: acquire — observing the flip must also publish the other
+    // ranks' pre-barrier writes to this rank.
     if (bar.generation.load(std::memory_order_acquire) != gen) {
-      st.barrier_fastpath.fetch_add(1, std::memory_order_relaxed);
+      st.barrier_fastpath.add(1);
       return;
     }
     if (st.aborted.load()) {
-      throw CommError("barrier interrupted: world aborted (" + st.abort_reason + ")");
+      throw CommError("barrier interrupted: world aborted (" + st.copy_abort_reason() +
+                      ")");
     }
     std::this_thread::yield();
   }
   bar.sleepers.fetch_add(1, std::memory_order_seq_cst);
   {
-    std::unique_lock<std::mutex> lock(bar.mu);
-    bar.cv.wait(lock, [&] {
-      return bar.generation.load(std::memory_order_acquire) != gen || st.aborted.load();
-    });
+    ilps::UniqueLock lock(bar.mu);
+    // ordering: acquire — same edge as the spin loop above, re-checked
+    // under the wakeup mutex.
+    while (bar.generation.load(std::memory_order_acquire) == gen && !st.aborted.load()) {
+      bar.cv.wait(lock);
+    }
   }
   bar.sleepers.fetch_sub(1, std::memory_order_seq_cst);
+  // ordering: acquire — distinguishes a real release from an abort wakeup
+  // while keeping the publication edge on the release path.
   if (bar.generation.load(std::memory_order_acquire) == gen) {
-    throw CommError("barrier interrupted: world aborted (" + st.abort_reason + ")");
+    throw CommError("barrier interrupted: world aborted (" + st.copy_abort_reason() + ")");
   }
 }
 
@@ -560,7 +604,7 @@ void World::set_fault_plan(FaultPlan plan) {
   state_->plan = std::move(plan);
   state_->fired.clear();
   for (size_t i = 0; i < state_->plan.actions.size(); ++i) {
-    state_->fired.push_back(std::make_unique<std::atomic<bool>>(false));
+    state_->fired.push_back(std::make_unique<ilps::Atomic<bool>>(false));
   }
 }
 
@@ -631,7 +675,7 @@ void World::on_rank_dead(int rank) {
 
 void World::finish_rank() {
   {
-    std::lock_guard<std::mutex> lock(state_->fin_mutex);
+    ilps::LockGuard lock(state_->fin_mutex);
     ++state_->finished;
     state_->fin_cv.notify_all();
   }
@@ -643,12 +687,12 @@ void World::finish_rank() {
 
 void World::park_until_drained(int rank) {
   {
-    std::unique_lock<std::mutex> lock(state_->fin_mutex);
+    ilps::UniqueLock lock(state_->fin_mutex);
     ++state_->parked_faulty;
     state_->fin_cv.notify_all();
-    state_->fin_cv.wait(lock, [this] {
-      return state_->finished + state_->parked_faulty >= size_;
-    });
+    while (state_->finished + state_->parked_faulty < size_) {
+      state_->fin_cv.wait(lock);
+    }
   }
   throw RankKilled{rank};
 }
@@ -669,7 +713,7 @@ FaultPlan FaultPlan::random_kill(uint64_t seed, int first_rank, int last_rank,
 
 void World::recycle_to_origin(int origin, std::vector<std::byte>&& buf) {
   Mailbox& box = *boxes_[static_cast<size_t>(origin)];
-  std::lock_guard<std::mutex> lock(box.ret_mu);
+  ilps::LockGuard lock(box.ret_mu);
   if (box.returns.size() < kMaxPooled) box.returns.push_back(std::move(buf));
 }
 
@@ -702,16 +746,16 @@ std::vector<std::byte> Comm::acquire_buffer() {
   if (pool_.empty()) {
     // Pull home any buffers peers deposited in our return box.
     auto& box = *world_->boxes_[static_cast<size_t>(rank_)];
-    std::lock_guard<std::mutex> lock(box.ret_mu);
+    ilps::LockGuard lock(box.ret_mu);
     if (!box.returns.empty()) pool_.swap(box.returns);
   }
   if (!pool_.empty()) {
     std::vector<std::byte> buf = std::move(pool_.back());
     pool_.pop_back();
-    world_->state_->pool_hits.fetch_add(1, std::memory_order_relaxed);
+    world_->state_->pool_hits.add(1);
     return buf;
   }
-  world_->state_->pool_misses.fetch_add(1, std::memory_order_relaxed);
+  world_->state_->pool_misses.add(1);
   return {};
 }
 

@@ -9,17 +9,20 @@
 namespace ilps::obs {
 
 void Gauge::set(double v) {
+  // ordering: relaxed — a gauge is a standalone last-writer-wins cell;
+  // no reader infers other memory state from it.
   bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
 }
 
 double Gauge::value() const {
+  // ordering: relaxed — see set(); stale reads are acceptable.
   return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
 }
 
 // ---- Histogram ----
 
 void Histogram::record(double v) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   if (count_ == 0) {
     min_ = v;
     max_ = v;
@@ -41,37 +44,37 @@ void Histogram::record(double v) {
 }
 
 uint64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   return count_;
 }
 
 double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   return sum_;
 }
 
 double Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   return min_;
 }
 
 double Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   return max_;
 }
 
 size_t Histogram::retained() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   return samples_.size();
 }
 
 size_t Histogram::sample_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   return samples_.capacity() * sizeof(double);
 }
 
 void Histogram::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   samples_.clear();
   samples_.shrink_to_fit();
   count_ = 0;
@@ -81,7 +84,7 @@ void Histogram::reset() {
 }
 
 double Histogram::percentile(double p) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   if (samples_.empty()) return 0;
   std::vector<double> sorted = samples_;
   std::sort(sorted.begin(), sorted.end());
@@ -126,7 +129,7 @@ WindowHistogram::Sub& WindowHistogram::sub_for_locked(double now) {
 void WindowHistogram::record(double v) { record_at(v, ilps::wtime()); }
 
 void WindowHistogram::record_at(double v, double now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   Sub& s = sub_for_locked(now);
   ++s.n[bucket_of(v)];
   ++s.total;
@@ -176,12 +179,12 @@ WindowHistogram::Snapshot WindowHistogram::snapshot() const {
 }
 
 WindowHistogram::Snapshot WindowHistogram::snapshot_at(double now) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   return merged_locked(now);
 }
 
 double WindowHistogram::percentile(double p) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   const double now = ilps::wtime();
   const int64_t cur = static_cast<int64_t>(std::floor(now / sub_seconds_));
   const int64_t oldest = cur - static_cast<int64_t>(kSubWindows) + 1;
@@ -197,12 +200,12 @@ double WindowHistogram::percentile(double p) const {
 }
 
 uint64_t WindowHistogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   return merged_locked(ilps::wtime()).count;
 }
 
 void WindowHistogram::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   for (Sub& s : subs_) {
     s.slot = -1;
     s.total = 0;
@@ -214,35 +217,35 @@ void WindowHistogram::reset() {
 // ---- Metrics ----
 
 Counter& Metrics::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Metrics::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& Metrics::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 WindowHistogram& Metrics::window_histogram(const std::string& name, double window_seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   auto& slot = window_histograms_[name];
   if (!slot) slot = std::make_unique<WindowHistogram>(window_seconds);
   return *slot;
 }
 
 std::vector<std::pair<std::string, uint64_t>> Metrics::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   std::vector<std::pair<std::string, uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
@@ -250,7 +253,7 @@ std::vector<std::pair<std::string, uint64_t>> Metrics::counters() const {
 }
 
 std::vector<std::pair<std::string, double>> Metrics::gauges() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   std::vector<std::pair<std::string, double>> out;
   out.reserve(gauges_.size());
   for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
@@ -258,7 +261,7 @@ std::vector<std::pair<std::string, double>> Metrics::gauges() const {
 }
 
 std::vector<std::pair<std::string, const Histogram*>> Metrics::histograms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   std::vector<std::pair<std::string, const Histogram*>> out;
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
@@ -266,7 +269,7 @@ std::vector<std::pair<std::string, const Histogram*>> Metrics::histograms() cons
 }
 
 std::vector<std::pair<std::string, const WindowHistogram*>> Metrics::window_histograms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   std::vector<std::pair<std::string, const WindowHistogram*>> out;
   out.reserve(window_histograms_.size());
   for (const auto& [name, h] : window_histograms_) out.emplace_back(name, h.get());
@@ -274,7 +277,7 @@ std::vector<std::pair<std::string, const WindowHistogram*>> Metrics::window_hist
 }
 
 void Metrics::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
@@ -282,7 +285,7 @@ void Metrics::clear() {
 }
 
 void Metrics::reset_histograms() {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   for (auto& [name, h] : histograms_) h->reset();
   for (auto& [name, h] : window_histograms_) h->reset();
 }

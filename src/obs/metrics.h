@@ -5,32 +5,34 @@
 // runtime at end of run, so one metrics.json exposes every layer's
 // counters under stable dotted names (docs/observability.md).
 //
-// Counters and gauges are lock-free atomics; name lookup takes a mutex,
+// Counters and gauges are lock-free relaxed atomics; name lookup takes a mutex,
 // so instrumentation sites should resolve a metric once and keep the
 // reference (references are stable for the registry's lifetime).
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/sync.h"
 
 namespace ilps::obs {
 
+// A relaxed stats tally (see ilps::RelaxedCounter for the ordering
+// contract: readers may observe slightly stale values, nothing is
+// published through it).
 class Counter {
  public:
-  void add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
-  void set(uint64_t n) { v_.store(n, std::memory_order_relaxed); }
-  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void add(uint64_t n = 1) { v_.add(n); }
+  void set(uint64_t n) { v_.store(n); }
+  uint64_t value() const { return v_.load(); }
 
  private:
-  std::atomic<uint64_t> v_{0};
+  ilps::RelaxedCounter v_;
 };
 
 class Gauge {
@@ -39,7 +41,7 @@ class Gauge {
   double value() const;
 
  private:
-  std::atomic<uint64_t> bits_{0};  // IEEE-754 bit pattern
+  ilps::Atomic<uint64_t> bits_{0};  // IEEE-754 bit pattern
 };
 
 // Percentile histogram over raw samples. count/sum/min/max are exact for
@@ -76,13 +78,13 @@ class Histogram {
   void reset();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> samples_;
-  uint64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
-  Rng rng_{0x1175C0FFEEull};
+  mutable ilps::Mutex mu_;
+  std::vector<double> samples_ ILPS_GUARDED_BY(mu_);
+  uint64_t count_ ILPS_GUARDED_BY(mu_) = 0;
+  double sum_ ILPS_GUARDED_BY(mu_) = 0;
+  double min_ ILPS_GUARDED_BY(mu_) = 0;
+  double max_ ILPS_GUARDED_BY(mu_) = 0;
+  Rng rng_ ILPS_GUARDED_BY(mu_){0x1175C0FFEEull};
 };
 
 // Memory-bounded rolling-window histogram for long-lived series
@@ -137,13 +139,13 @@ class WindowHistogram {
     std::array<uint64_t, kBuckets> n{};
   };
 
-  Sub& sub_for_locked(double now);
-  Snapshot merged_locked(double now) const;
+  Sub& sub_for_locked(double now) ILPS_REQUIRES(mu_);
+  Snapshot merged_locked(double now) const ILPS_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::array<Sub, kSubWindows> subs_;
-  double sub_seconds_;
-  double window_seconds_;
+  mutable ilps::Mutex mu_;
+  std::array<Sub, kSubWindows> subs_ ILPS_GUARDED_BY(mu_);
+  double sub_seconds_;     // immutable after construction
+  double window_seconds_;  // immutable after construction
 };
 
 class Metrics {
@@ -172,11 +174,12 @@ class Metrics {
   void reset_histograms();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::unique_ptr<WindowHistogram>> window_histograms_;
+  mutable ilps::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ ILPS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ ILPS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ ILPS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<WindowHistogram>> window_histograms_
+      ILPS_GUARDED_BY(mu_);
 };
 
 // The process-wide registry.

@@ -34,7 +34,7 @@ void TelemetryFlusher::set_status_provider(std::function<std::string()> provider
 
 void TelemetryFlusher::start() {
   if (!cfg_.enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   if (running_) return;
   namespace fs = std::filesystem;
   std::error_code ec;
@@ -56,26 +56,26 @@ void TelemetryFlusher::start() {
 
 void TelemetryFlusher::stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ilps::LockGuard lock(mu_);
     if (!running_) return;
     stop_ = true;
   }
   cv_.notify_all();
   if (thread_.joinable()) thread_.join();
   flush_now();  // final snapshot + drain after the loop exits
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   metrics_out_.close();
   requests_out_.close();
   running_ = false;
 }
 
 bool TelemetryFlusher::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   return running_ && !stop_;
 }
 
 void TelemetryFlusher::enqueue_request(RequestRecord rec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   if (!running_ || stop_) return;
   if (queue_.size() >= kMaxQueuedRequests) {
     ++dropped_;
@@ -85,10 +85,14 @@ void TelemetryFlusher::enqueue_request(RequestRecord rec) {
 }
 
 void TelemetryFlusher::loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  ilps::UniqueLock lock(mu_);
   while (!stop_) {
-    cv_.wait_for(lock, std::chrono::milliseconds(cfg_.interval_ms),
-                 [this] { return stop_; });
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(cfg_.interval_ms);
+    // Sleep out the interval; only a stop() signal ends the wait early
+    // (spurious wakeups go back to sleep until the deadline).
+    while (!stop_ && cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+    }
     if (stop_) break;
     lock.unlock();
     flush_now();
@@ -102,7 +106,7 @@ void TelemetryFlusher::flush_now() {
   // retake it briefly (stream flushes are fast relative to the interval).
   std::deque<RequestRecord> drained;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ilps::LockGuard lock(mu_);
     if (!metrics_out_.is_open()) return;
     drained.swap(queue_);
   }
@@ -111,7 +115,7 @@ void TelemetryFlusher::flush_now() {
   lines.reserve(drained.size());
   for (const RequestRecord& rec : drained) lines.push_back(request_line(rec));
 
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   if (!metrics_out_.is_open()) return;
   metrics_out_ << snapshot << "\n";
   metrics_out_.flush();
@@ -124,17 +128,17 @@ void TelemetryFlusher::flush_now() {
 }
 
 uint64_t TelemetryFlusher::snapshots_written() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   return snapshots_;
 }
 
 uint64_t TelemetryFlusher::requests_written() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   return written_;
 }
 
 uint64_t TelemetryFlusher::requests_dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ilps::LockGuard lock(mu_);
   return dropped_;
 }
 

@@ -18,16 +18,15 @@
 // default 1000); when unset nothing starts and nothing is paid.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <fstream>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/trace.h"
 
 namespace ilps::obs {
@@ -88,20 +87,24 @@ class TelemetryFlusher {
   std::string metrics_snapshot_line() const;
   static std::string request_line(const RequestRecord& rec);
 
+  // Immutable after construction / set before start(): no lock needed.
   Config cfg_;
   std::function<std::string()> status_provider_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<RequestRecord> queue_;
-  bool running_ = false;
-  bool stop_ = false;
-  uint64_t snapshots_ = 0;
-  uint64_t written_ = 0;
-  uint64_t dropped_ = 0;
+  mutable ilps::Mutex mu_;
+  ilps::CondVar cv_;
+  std::deque<RequestRecord> queue_ ILPS_GUARDED_BY(mu_);
+  bool running_ ILPS_GUARDED_BY(mu_) = false;
+  bool stop_ ILPS_GUARDED_BY(mu_) = false;
+  uint64_t snapshots_ ILPS_GUARDED_BY(mu_) = 0;
+  uint64_t written_ ILPS_GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ ILPS_GUARDED_BY(mu_) = 0;
 
-  std::ofstream metrics_out_;
-  std::ofstream requests_out_;
+  std::ofstream metrics_out_ ILPS_GUARDED_BY(mu_);
+  std::ofstream requests_out_ ILPS_GUARDED_BY(mu_);
+  // Written by start() (under mu_, before the thread exists) and joined
+  // by stop() strictly after the loop observed stop_; joining must not
+  // hold mu_, so the handle itself stays unguarded.
   std::thread thread_;
 };
 

@@ -3,16 +3,17 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
+
+#include "common/sync.h"
 
 namespace ilps::obs {
 
 thread_local Tracer* tls_tracer = nullptr;
 
 namespace detail {
-std::atomic<bool> g_req_capture{false};
+ilps::Atomic<bool> g_req_capture{false};
 }  // namespace detail
 
 namespace {
@@ -22,18 +23,29 @@ bool env_truthy(const char* name) {
   return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
 }
 
-std::atomic<bool> g_trace{env_truthy("ILPS_TRACE")};
-std::atomic<bool> g_metrics{env_truthy("ILPS_METRICS")};
+ilps::Atomic<bool> g_trace{env_truthy("ILPS_TRACE")};
+ilps::Atomic<bool> g_metrics{env_truthy("ILPS_METRICS")};
 
 }  // namespace
 
-bool trace_enabled() { return g_trace.load(std::memory_order_relaxed); }
-void set_trace_enabled(bool on) { g_trace.store(on, std::memory_order_relaxed); }
+bool trace_enabled() {
+  // ordering: relaxed — an independent configuration gate; tests that
+  // flip it synchronize through thread create/join, not through the gate.
+  return g_trace.load(std::memory_order_relaxed);
+}
+void set_trace_enabled(bool on) {
+  // ordering: relaxed — see trace_enabled().
+  g_trace.store(on, std::memory_order_relaxed);
+}
 
 bool metrics_enabled() {
+  // ordering: relaxed — same contract as the trace gate.
   return g_metrics.load(std::memory_order_relaxed) || trace_enabled();
 }
-void set_metrics_enabled(bool on) { g_metrics.store(on, std::memory_order_relaxed); }
+void set_metrics_enabled(bool on) {
+  // ordering: relaxed — see trace_enabled().
+  g_metrics.store(on, std::memory_order_relaxed);
+}
 
 bool export_requested() { return env_truthy("ILPS_TRACE"); }
 
@@ -55,20 +67,22 @@ std::string output_dir() {
 
 namespace {
 
-std::mutex g_capture_mu;
-std::unordered_map<int64_t, std::vector<Event>> g_captures;
+ilps::Mutex g_capture_mu;
+std::unordered_map<int64_t, std::vector<Event>> g_captures ILPS_GUARDED_BY(g_capture_mu);
 
 }  // namespace
 
 void req_capture_begin(int64_t req) {
   if (req == 0) return;
-  std::lock_guard<std::mutex> lock(g_capture_mu);
+  ilps::LockGuard lock(g_capture_mu);
   g_captures.try_emplace(req);
+  // ordering: relaxed — the gate only prompts a consult of g_captures,
+  // and every consult takes g_capture_mu (see req_capture_active()).
   detail::g_req_capture.store(true, std::memory_order_relaxed);
 }
 
 void req_capture_note(const Event& e) {
-  std::lock_guard<std::mutex> lock(g_capture_mu);
+  ilps::LockGuard lock(g_capture_mu);
   auto it = g_captures.find(e.req);
   if (it == g_captures.end()) return;
   if (it->second.size() < kReqCaptureCap) it->second.push_back(e);
@@ -87,11 +101,13 @@ void req_capture_note_off_rank(int64_t req, EventKind k, Phase ph, int64_t a, in
 }
 
 std::vector<Event> req_capture_take(int64_t req) {
-  std::lock_guard<std::mutex> lock(g_capture_mu);
+  ilps::LockGuard lock(g_capture_mu);
   auto it = g_captures.find(req);
   if (it == g_captures.end()) return {};
   std::vector<Event> out = std::move(it->second);
   g_captures.erase(it);
+  // ordering: relaxed — turning the gate off is a pure optimization; a
+  // stale true costs one locked lookup that finds nothing.
   if (g_captures.empty()) detail::g_req_capture.store(false, std::memory_order_relaxed);
   std::sort(out.begin(), out.end(), [](const Event& x, const Event& y) { return x.t < y.t; });
   return out;

@@ -18,13 +18,13 @@
 // Tests toggle collection programmatically with set_trace_enabled().
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/log.h"
+#include "common/sync.h"
 #include "common/timer.h"
 
 namespace ilps::obs {
@@ -185,10 +185,13 @@ inline int64_t current_request() { return ilps::log::thread_request(); }
 // (a) traced and (b) inside a request scope, so untraced runs and
 // non-request events never touch it.
 namespace detail {
-extern std::atomic<bool> g_req_capture;
+extern ilps::Atomic<bool> g_req_capture;
 }  // namespace detail
 
 inline bool req_capture_active() {
+  // ordering: relaxed — a pure fast-path gate. Registration happens
+  // under g_capture_mu before any event of the new request can exist, so
+  // a stale false only skips events that predate the registration.
   return detail::g_req_capture.load(std::memory_order_relaxed);
 }
 

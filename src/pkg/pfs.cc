@@ -28,7 +28,7 @@ std::vector<std::string> FileTree::list_dir(const std::string& dir) const {
 }
 
 std::optional<std::string> PfsModel::read(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ilps::LockGuard lock(mutex_);
   // Metadata cost: base latency plus contention from concurrent clients.
   // in_flight_ approximates concurrency: it counts clients that arrived
   // while the lock was contended in this window.
@@ -50,17 +50,17 @@ std::optional<std::string> PfsModel::read(const std::string& path) {
 }
 
 double PfsModel::simulated_time_us() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ilps::LockGuard lock(mutex_);
   return stats_.busy_us;
 }
 
 PfsStats PfsModel::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ilps::LockGuard lock(mutex_);
   return stats_;
 }
 
 std::optional<std::string> StaticPackage::read(const std::string& path) const {
-  reads_.fetch_add(1, std::memory_order_relaxed);
+  reads_.add(1);
   const std::string* contents = tree_.get(path);
   if (contents == nullptr) return std::nullopt;
   return *contents;

@@ -16,17 +16,16 @@
 // wall-clock speed.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/error.h"
+#include "common/sync.h"
 
 namespace ilps::tcl {
 class Interp;
@@ -84,9 +83,9 @@ class PfsModel {
  private:
   FileTree tree_;
   PfsConfig cfg_;
-  mutable std::mutex mutex_;
-  PfsStats stats_;
-  int in_flight_ = 0;
+  mutable ilps::Mutex mutex_;
+  PfsStats stats_ ILPS_GUARDED_BY(mutex_);
+  int in_flight_ ILPS_GUARDED_BY(mutex_) = 0;
 };
 
 // A static package image: every file of a FileTree frozen into memory.
@@ -100,12 +99,12 @@ class StaticPackage {
   static StaticPackage build(const FileTree& tree) { return StaticPackage(tree); }
 
   std::optional<std::string> read(const std::string& path) const;
-  uint64_t reads() const { return reads_.load(); }
+  uint64_t reads() const { return reads_.load(); }  // stats-only tally
   size_t file_count() const { return tree_.file_count(); }
 
  private:
   FileTree tree_;
-  mutable std::atomic<uint64_t> reads_{0};
+  mutable ilps::RelaxedCounter reads_;
 };
 
 // ---- Tcl integration ----

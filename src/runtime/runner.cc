@@ -1,7 +1,6 @@
 #include "runtime/runner.h"
 
 #include <cstdio>
-#include <mutex>
 #include <sstream>
 
 #include "adlb/client.h"
@@ -9,6 +8,7 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "common/strings.h"
+#include "common/sync.h"
 #include "common/timer.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -66,13 +66,13 @@ RunResult run_ft_attempt(const Config& cfg, const std::string& program, mpi::Wor
   acfg.ckpt_dir = cfg.ckpt_dir;
 
   RunResult result;
-  std::mutex mu;
+  ilps::Mutex mu;  // guards result + pending across rank threads
   std::string pending;  // partial line accumulator across emits
   Timer timer;
 
   auto sink = [&](int rank, const std::string& text) {
     (void)rank;
-    std::lock_guard<std::mutex> lock(mu);
+    ilps::LockGuard lock(mu);
     if (cfg.echo_output) std::fwrite(text.data(), 1, text.size(), stdout);
     pending += text;
     size_t pos;
@@ -86,7 +86,7 @@ RunResult run_ft_attempt(const Config& cfg, const std::string& program, mpi::Wor
     if (adlb::is_server(comm.rank(), comm.size(), acfg)) {
       adlb::Server server(comm, acfg, restore);
       server.serve();
-      std::lock_guard<std::mutex> lock(mu);
+      ilps::LockGuard lock(mu);
       const adlb::ServerStats& s = server.stats();
       result.server_stats.puts += s.puts;
       result.server_stats.gets += s.gets;
@@ -138,7 +138,7 @@ RunResult run_ft_attempt(const Config& cfg, const std::string& program, mpi::Wor
                        static_cast<int64_t>(rule.waiting.size()));
         }
       }
-      std::lock_guard<std::mutex> lock(mu);
+      ilps::LockGuard lock(mu);
       result.unfired_rules += unfired;
       for (auto& rule : stuck) result.stuck.push_back(std::move(rule));
       const turbine::EngineStats& es = engine.stats();
@@ -159,7 +159,7 @@ RunResult run_ft_attempt(const Config& cfg, const std::string& program, mpi::Wor
       turbine::Context ctx(client, nullptr, ccfg);
       if (has_main) ctx.interp().eval(program);
       ctx.run_worker();
-      std::lock_guard<std::mutex> lock(mu);
+      ilps::LockGuard lock(mu);
       const turbine::WorkerStats& ws = ctx.stats();
       result.worker_stats.tasks += ws.tasks;
       result.worker_stats.python_evals += ws.python_evals;

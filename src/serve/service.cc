@@ -1,13 +1,10 @@
 #include "serve/serve.h"
 
 #include <algorithm>
-#include <atomic>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
@@ -15,6 +12,7 @@
 
 #include "adlb/client.h"
 #include "adlb/server.h"
+#include "common/sync.h"
 #include "common/timer.h"
 #include "mpi/comm.h"
 #include "obs/export.h"
@@ -44,37 +42,59 @@ struct CompiledProgram {
 class ProgramCache {
  public:
   std::shared_ptr<CompiledProgram> get(const std::string& source) {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = by_source_.find(source);
-    if (it != by_source_.end()) {
-      ++hits_;
-      return it->second;
+    uint64_t ns_id = 0;
+    {
+      ilps::LockGuard lock(mu_);
+      auto it = by_source_.find(source);
+      if (it != by_source_.end()) {
+        ++hits_;
+        return it->second;
+      }
+      ns_id = next_ns_++;
     }
-    const std::string ns = "p" + std::to_string(by_source_.size()) + ":";
+    // Compile outside mu_: swift::compile is arbitrarily slow, and holding
+    // the cache lock across it serialized concurrent submitters of
+    // *distinct* programs behind one compile. The namespace id is reserved
+    // above so racing first-compiles of different sources never collide.
+    const std::string ns = "p" + std::to_string(ns_id) + ":";
     auto prog = std::make_shared<CompiledProgram>();
     prog->tcl = swift::compile(source, ns);  // parse + verify + codegen
     prog->entry = ns + "swift:main";
+    ilps::LockGuard lock(mu_);
+    auto [it, inserted] = by_source_.emplace(source, prog);
+    if (!inserted) {
+      // Lost a duplicate-compile race for the same source: adopt the
+      // winner so every caller shares one CompiledProgram (and one
+      // resident store copy), and count this call as the hit it is.
+      ++hits_;
+      return it->second;
+    }
     ++compiled_;
-    by_source_.emplace(source, prog);
     return prog;
   }
 
   uint64_t compiled() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    ilps::LockGuard lock(mu_);
     return compiled_;
   }
   uint64_t hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    ilps::LockGuard lock(mu_);
     return hits_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<CompiledProgram>> by_source_;
-  uint64_t compiled_ = 0;
-  uint64_t hits_ = 0;
+  mutable ilps::Mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<CompiledProgram>> by_source_
+      ILPS_GUARDED_BY(mu_);
+  uint64_t next_ns_ ILPS_GUARDED_BY(mu_) = 0;  // namespace ids, incl. failed compiles
+  uint64_t compiled_ ILPS_GUARDED_BY(mu_) = 0;
+  uint64_t hits_ ILPS_GUARDED_BY(mu_) = 0;
 };
 
+// Every field except the construction-time id/prog/submitted/traced is
+// guarded by the owning Hub's mu (a cross-object contract clang's
+// analysis cannot express on a free struct; ilps-lint's scope rules and
+// the Hub's annotations cover the accesses).
 struct RequestEntry {
   int64_t id = 0;
   std::shared_ptr<CompiledProgram> prog;
@@ -199,31 +219,33 @@ class Hub {
     }
   }
 
-  std::mutex mu;
-  std::condition_variable cv_done;  // completion: wakes wait()/drain()/kBlock
-  std::condition_variable cv_cmd;   // new command: wakes the ingress rank
+  ilps::Mutex mu;
+  ilps::CondVar cv_done;  // completion: wakes wait()/drain()/kBlock
+  ilps::CondVar cv_cmd;   // new command: wakes the ingress rank
 
-  std::deque<Command> commands;
-  std::unordered_map<int64_t, std::shared_ptr<RequestEntry>> inflight;
-  int64_t next_id = 1;
-  bool stopping = false;  // shutdown() called; no further admissions
+  std::deque<Command> commands ILPS_GUARDED_BY(mu);
+  std::unordered_map<int64_t, std::shared_ptr<RequestEntry>> inflight ILPS_GUARDED_BY(mu);
+  int64_t next_id ILPS_GUARDED_BY(mu) = 1;
+  bool stopping ILPS_GUARDED_BY(mu) = false;  // shutdown() called; no further admissions
 
-  uint64_t admitted = 0;
-  uint64_t rejected = 0;
-  uint64_t shed = 0;
-  uint64_t completed = 0;
-  uint64_t failed = 0;
-  uint64_t slow = 0;    // latency >= slow_threshold_
-  uint64_t traced = 0;  // completed with a captured trace
+  uint64_t admitted ILPS_GUARDED_BY(mu) = 0;
+  uint64_t rejected ILPS_GUARDED_BY(mu) = 0;
+  uint64_t shed ILPS_GUARDED_BY(mu) = 0;
+  uint64_t completed ILPS_GUARDED_BY(mu) = 0;
+  uint64_t failed ILPS_GUARDED_BY(mu) = 0;
+  uint64_t slow ILPS_GUARDED_BY(mu) = 0;    // latency >= slow_threshold_
+  uint64_t traced ILPS_GUARDED_BY(mu) = 0;  // completed with a captured trace
 
   // Slow-request exemplar ring, oldest first (full results incl. trace).
-  std::deque<RequestResult> exemplars;
+  std::deque<RequestResult> exemplars ILPS_GUARDED_BY(mu);
 
   // Streaming export (set by Service::enter when telemetry is enabled;
   // shared so the hub can outlive the Service).
-  std::shared_ptr<obs::TelemetryFlusher> flusher;
+  std::shared_ptr<obs::TelemetryFlusher> flusher ILPS_GUARDED_BY(mu);
 
-  Timer clock;  // service epoch: line_times and latencies count from here
+  // Service epoch: line_times and latencies count from here. Immutable
+  // after construction (elapsed() only reads the start point).
+  Timer clock;
 
   double slow_threshold() const { return slow_threshold_; }
 
@@ -238,7 +260,7 @@ class Hub {
   // under echo.
   void emit(int64_t req, int rank, const std::string& text) {
     (void)rank;
-    std::lock_guard<std::mutex> lock(mu);
+    ilps::LockGuard lock(mu);
     if (echo_) std::fwrite(text.data(), 1, text.size(), stdout);
     if (req == 0) return;
     auto it = inflight.find(req);
@@ -256,7 +278,7 @@ class Hub {
   // Completion callback from an owner engine (ContextConfig::serve_complete):
   // the accounting proved the request finished and its namespace is GC'd.
   void complete(turbine::RequestOutcome&& out) {
-    std::unique_lock<std::mutex> lock(mu);
+    ilps::LockGuard lock(mu);
     auto it = inflight.find(out.req);
     if (it == inflight.end()) return;  // shed before it ran
     std::shared_ptr<RequestEntry> e = std::move(it->second);
@@ -275,7 +297,7 @@ class Hub {
   // Marks every live request failed (the world died under them); called
   // with the world's terminal error so waiters see a cause, not a hang.
   void fail_all(const std::string& why) {
-    std::lock_guard<std::mutex> lock(mu);
+    ilps::LockGuard lock(mu);
     for (auto& [id, e] : inflight) {
       e->result.kind = turbine::RequestErrorKind::kGeneric;
       e->result.error = why;
@@ -286,7 +308,7 @@ class Hub {
   }
 
   // Caller holds mu. Seals the entry's result and publishes metrics.
-  void finish_locked(RequestEntry& e, bool was_failure) {
+  void finish_locked(RequestEntry& e, bool was_failure) ILPS_REQUIRES(mu) {
     if (!e.partial.empty()) {
       e.result.lines.push_back(std::move(e.partial));
       e.result.line_times.push_back(clock.elapsed());
@@ -336,7 +358,9 @@ class Hub {
     cv_done.notify_all();
   }
 
-  // Metric handles (null when metrics are disabled); resolved once.
+  // Metric handles (null when metrics are disabled); resolved once in the
+  // constructor and immutable afterwards, so reads need no lock. The
+  // pointees are internally synchronized (obs::Counter/Gauge/Histogram).
   obs::Counter* m_admitted_ = nullptr;
   obs::Counter* m_rejected_ = nullptr;
   obs::Counter* m_shed_ = nullptr;
@@ -348,6 +372,7 @@ class Hub {
   obs::WindowHistogram* m_latency_window_ = nullptr;
 
  private:
+  // Immutable after construction: no lock needed.
   double slow_threshold_ = 0;
   int64_t sample_every_ = 1;
   bool echo_ = false;
@@ -366,14 +391,14 @@ int64_t RequestHandle::id() const { return entry_ ? entry_->id : 0; }
 
 bool RequestHandle::done() const {
   if (!entry_) return false;
-  std::lock_guard<std::mutex> lock(hub_->mu);
+  ilps::LockGuard lock(hub_->mu);
   return entry_->done;
 }
 
 RequestResult RequestHandle::wait() const {
   if (!entry_) throw Error("serve: wait on an empty RequestHandle");
-  std::unique_lock<std::mutex> lock(hub_->mu);
-  hub_->cv_done.wait(lock, [&] { return entry_->done; });
+  ilps::UniqueLock lock(hub_->mu);
+  while (!entry_->done) hub_->cv_done.wait(lock);
   return entry_->result;
 }
 
@@ -411,11 +436,14 @@ struct Service::Impl {
   std::shared_ptr<Hub> hub;
   detail::ProgramCache cache;
 
-  std::mutex lifecycle_mu;  // serializes enter()/shutdown()
-  std::thread world_thread;
-  std::atomic<bool> entered{false};
-  bool joined = false;
-  std::exception_ptr world_error;  // terminal failure of the world itself
+  ilps::Mutex lifecycle_mu;  // serializes enter()/shutdown()
+  std::thread world_thread ILPS_GUARDED_BY(lifecycle_mu);
+  ilps::Atomic<bool> entered{false};
+  bool joined ILPS_GUARDED_BY(lifecycle_mu) = false;
+  // Terminal failure of the world itself: written only by the world
+  // thread, read only after world_thread.join() — synchronized by the
+  // join, not by a lock.
+  std::exception_ptr world_error;
 
   void run_world();
   void ingress_loop(adlb::Client& client);
@@ -431,8 +459,8 @@ void Service::Impl::ingress_loop(adlb::Client& client) {
   for (;;) {
     Command cmd;
     {
-      std::unique_lock<std::mutex> lock(hub->mu);
-      hub->cv_cmd.wait(lock, [&] { return !hub->commands.empty(); });
+      ilps::UniqueLock lock(hub->mu);
+      while (hub->commands.empty()) hub->cv_cmd.wait(lock);
       cmd = std::move(hub->commands.front());
       hub->commands.pop_front();
     }
@@ -535,7 +563,7 @@ Service::~Service() {
 bool Service::entered() const { return impl_->entered.load(); }
 
 void Service::enter() {
-  std::lock_guard<std::mutex> lock(impl_->lifecycle_mu);
+  ilps::LockGuard lock(impl_->lifecycle_mu);
   if (impl_->entered.load()) return;
   const runtime::Config& rc = impl_->cfg.runtime;
   if (rc.engines < 1) throw Error("serve: at least one engine rank is required");
@@ -546,7 +574,7 @@ void Service::enter() {
     auto flusher = std::make_shared<obs::TelemetryFlusher>(impl_->cfg.telemetry);
     flusher->set_status_provider([this] { return status_json(); });
     flusher->start();
-    std::lock_guard<std::mutex> hub_lock(impl_->hub->mu);
+    ilps::LockGuard hub_lock(impl_->hub->mu);
     impl_->hub->flusher = std::move(flusher);
   }
   Impl* impl = impl_.get();
@@ -577,7 +605,7 @@ RequestHandle Service::submit(const std::string& swift_source) {
   std::shared_ptr<CompiledProgram> prog = impl_->cache.get(swift_source);
 
   std::shared_ptr<Hub> hub = impl_->hub;
-  std::unique_lock<std::mutex> lock(hub->mu);
+  ilps::UniqueLock lock(hub->mu);
   if (hub->stopping) throw ServeError(ServeError::kShutdown, "serve: submit after shutdown");
   if (hub->inflight.size() >= impl_->cfg.max_inflight) {
     switch (impl_->cfg.admission) {
@@ -590,9 +618,9 @@ RequestHandle Service::submit(const std::string& swift_source) {
                              std::to_string(impl_->cfg.max_inflight) + ")");
       }
       case AdmissionPolicy::kBlock: {
-        hub->cv_done.wait(lock, [&] {
-          return hub->stopping || hub->inflight.size() < impl_->cfg.max_inflight;
-        });
+        while (!hub->stopping && hub->inflight.size() >= impl_->cfg.max_inflight) {
+          hub->cv_done.wait(lock);
+        }
         if (hub->stopping) {
           throw ServeError(ServeError::kShutdown, "serve: submit after shutdown");
         }
@@ -655,15 +683,15 @@ RequestHandle Service::submit(const std::string& swift_source) {
 void Service::drain() {
   if (!impl_->entered.load()) throw Error("serve: drain called before enter");
   std::shared_ptr<Hub> hub = impl_->hub;
-  std::unique_lock<std::mutex> lock(hub->mu);
-  hub->cv_done.wait(lock, [&] { return hub->inflight.empty(); });
+  ilps::UniqueLock lock(hub->mu);
+  while (!hub->inflight.empty()) hub->cv_done.wait(lock);
 }
 
 void Service::shutdown() {
-  std::lock_guard<std::mutex> lifecycle(impl_->lifecycle_mu);
+  ilps::LockGuard lifecycle(impl_->lifecycle_mu);
   std::shared_ptr<Hub> hub = impl_->hub;
   {
-    std::lock_guard<std::mutex> lock(hub->mu);
+    ilps::LockGuard lock(hub->mu);
     if (!hub->stopping) {
       hub->stopping = true;
       // The stop sentinel queues *behind* every admitted request, so the
@@ -677,13 +705,16 @@ void Service::shutdown() {
     }
   }
   if (impl_->entered.load() && !impl_->joined) {
-    impl_->world_thread.join();
+    // Joining under lifecycle_mu is safe: the world thread never takes
+    // lifecycle_mu (it only touches hub->mu, which is not held here), and
+    // holding it is what makes concurrent shutdown() calls idempotent.
+    impl_->world_thread.join();  // ilps-lint: allow(no-blocking-under-lock) -- see above
     impl_->joined = true;
     // Stop the flusher after the world joins so its final snapshot and
     // request drain see the service's terminal state.
     std::shared_ptr<obs::TelemetryFlusher> flusher;
     {
-      std::lock_guard<std::mutex> lock(hub->mu);
+      ilps::LockGuard lock(hub->mu);
       flusher = std::move(hub->flusher);
       hub->flusher.reset();
     }
@@ -698,7 +729,7 @@ uint64_t Service::datum_count() {
   std::future<uint64_t> value = promise->get_future();
   std::shared_ptr<Hub> hub = impl_->hub;
   {
-    std::lock_guard<std::mutex> lock(hub->mu);
+    ilps::LockGuard lock(hub->mu);
     if (hub->stopping) {
       throw ServeError(ServeError::kShutdown, "serve: datum_count after shutdown");
     }
@@ -715,7 +746,7 @@ ServiceStats Service::stats() const {
   std::shared_ptr<Hub> hub = impl_->hub;
   ServiceStats s;
   {
-    std::lock_guard<std::mutex> lock(hub->mu);
+    ilps::LockGuard lock(hub->mu);
     s.admitted = hub->admitted;
     s.rejected = hub->rejected;
     s.shed = hub->shed;
@@ -732,7 +763,7 @@ ServiceStats Service::stats() const {
 
 std::vector<RequestResult> Service::slow_exemplars() const {
   std::shared_ptr<Hub> hub = impl_->hub;
-  std::lock_guard<std::mutex> lock(hub->mu);
+  ilps::LockGuard lock(hub->mu);
   return {hub->exemplars.begin(), hub->exemplars.end()};
 }
 
@@ -745,7 +776,7 @@ std::string Service::status_json() const {
   double uptime;
   std::shared_ptr<obs::TelemetryFlusher> flusher;
   {
-    std::lock_guard<std::mutex> lock(hub->mu);
+    ilps::LockGuard lock(hub->mu);
     admitted = hub->admitted;
     rejected = hub->rejected;
     shed = hub->shed;
@@ -824,13 +855,13 @@ runtime::RunResult Service::run_batch(const runtime::Config& cfg, const std::str
   adlb::Config acfg = cfg.adlb();
 
   runtime::RunResult result;
-  std::mutex mu;
+  ilps::Mutex mu;  // guards result + pending across rank threads
   std::string pending;  // partial line accumulator across emits
   Timer timer;
 
   auto sink = [&](int rank, const std::string& text) {
     (void)rank;
-    std::lock_guard<std::mutex> lock(mu);
+    ilps::LockGuard lock(mu);
     if (cfg.echo_output) std::fwrite(text.data(), 1, text.size(), stdout);
     pending += text;
     size_t pos;
@@ -844,7 +875,7 @@ runtime::RunResult Service::run_batch(const runtime::Config& cfg, const std::str
     if (adlb::is_server(comm.rank(), comm.size(), acfg)) {
       adlb::Server server(comm, acfg, nullptr);
       server.serve();
-      std::lock_guard<std::mutex> lock(mu);
+      ilps::LockGuard lock(mu);
       const adlb::ServerStats& s = server.stats();
       result.server_stats.puts += s.puts;
       result.server_stats.gets += s.gets;
@@ -895,7 +926,7 @@ runtime::RunResult Service::run_batch(const runtime::Config& cfg, const std::str
                        static_cast<int64_t>(rule.waiting.size()));
         }
       }
-      std::lock_guard<std::mutex> lock(mu);
+      ilps::LockGuard lock(mu);
       result.unfired_rules += unfired;
       for (auto& rule : stuck) result.stuck.push_back(std::move(rule));
       const turbine::EngineStats& es = engine.stats();
@@ -916,7 +947,7 @@ runtime::RunResult Service::run_batch(const runtime::Config& cfg, const std::str
       turbine::Context ctx(client, nullptr, ccfg);
       if (has_main) ctx.interp().eval(program);
       ctx.run_worker();
-      std::lock_guard<std::mutex> lock(mu);
+      ilps::LockGuard lock(mu);
       const turbine::WorkerStats& ws = ctx.stats();
       result.worker_stats.tasks += ws.tasks;
       result.worker_stats.python_evals += ws.python_evals;

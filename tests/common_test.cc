@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <thread>
+#include <vector>
 
 #include "common/buffer.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "common/sync.h"
 #include "common/timer.h"
 
 namespace ilps {
@@ -227,6 +231,95 @@ TEST(Timer, Advances) {
   EXPECT_GT(t.elapsed(), a);
   double w1 = wtime();
   EXPECT_GE(wtime(), w1);
+}
+
+// ---- annotated sync primitives (common/sync.h) ----
+
+TEST(Sync, MutexGuardsSharedCounterAcrossThreads) {
+  ilps::Mutex mu;
+  int count = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        ilps::LockGuard lock(mu);
+        ++count;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(count, kThreads * kIters);
+}
+
+TEST(Sync, TryLockReportsContention) {
+  ilps::Mutex mu;
+  mu.lock();
+  EXPECT_FALSE(mu.try_lock());
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(Sync, CondVarManualLoopHandoff) {
+  ilps::Mutex mu;
+  ilps::CondVar cv;
+  bool ready = false;
+  int seen = 0;
+  std::thread consumer([&] {
+    ilps::UniqueLock lock(mu);
+    while (!ready) cv.wait(lock);
+    seen = 1;
+  });
+  {
+    ilps::LockGuard lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  consumer.join();
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(Sync, CondVarWaitUntilTimesOut) {
+  ilps::Mutex mu;
+  ilps::CondVar cv;
+  ilps::UniqueLock lock(mu);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  // Nobody notifies: the wait must come back with timeout, lock re-held.
+  while (cv.wait_until(lock, deadline) != std::cv_status::timeout) {
+  }
+  EXPECT_TRUE(lock.owns_lock());
+}
+
+TEST(Sync, UniqueLockExplicitWindow) {
+  ilps::Mutex mu;
+  ilps::UniqueLock lock(mu);
+  EXPECT_TRUE(lock.owns_lock());
+  lock.unlock();
+  EXPECT_FALSE(lock.owns_lock());
+  EXPECT_TRUE(mu.try_lock());  // really released
+  mu.unlock();
+  lock.lock();
+  EXPECT_TRUE(lock.owns_lock());
+}
+
+TEST(Sync, RelaxedCounterTalliesConcurrently) {
+  ilps::RelaxedCounter c;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) c.add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.load(), static_cast<uint64_t>(kThreads * kIters));
+  c.store(7);
+  EXPECT_EQ(c.load(), 7u);
 }
 
 }  // namespace

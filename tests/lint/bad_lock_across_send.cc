@@ -1,0 +1,22 @@
+// ilps-lint fixture: blocking transport calls inside a lock scope.
+// Expected findings: no-blocking-under-lock (x3).
+// Not compiled — consumed by tests/lint/lint_selftest.py only.
+#include "common/sync.h"
+
+void ship(ilps::Mutex& mu, Comm& comm, Client& client, Payload p) {
+  ilps::LockGuard lock(mu);
+  comm.send(1, kTagWork, p.bytes);  // BAD: send while holding `lock`
+  client.put(p.unit);               // BAD: ADLB put while holding `lock`
+}
+
+void sync_world(ilps::Mutex& mu, Comm& comm) {
+  ilps::UniqueLock lock(mu);
+  comm.barrier();  // BAD: collective while holding `lock`
+  lock.unlock();
+  comm.barrier();  // fine: explicit unlock() window
+}
+
+void wait_ok(ilps::Mutex& mu, ilps::CondVar& cv, bool& ready) {
+  ilps::UniqueLock lock(mu);
+  while (!ready) cv.wait(lock);  // fine: CondVar waits release the lock
+}

@@ -1,0 +1,14 @@
+// ilps-lint fixture: declared lock hierarchy with a cycle.
+// Expected findings: lock-order-cycle (>= 1).
+// Not compiled — consumed by tests/lint/lint_selftest.py only.
+//
+// The three edges below form a < b < c < a:
+//
+// ILPS_LOCK_ORDER: fixture.a < fixture.b
+// ILPS_LOCK_ORDER: fixture.b < fixture.c
+// ILPS_LOCK_ORDER: fixture.c < fixture.a
+#include "common/sync.h"
+
+ilps::Mutex a;
+ilps::Mutex b;
+ilps::Mutex c;

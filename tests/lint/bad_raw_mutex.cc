@@ -1,0 +1,18 @@
+// ilps-lint fixture: raw std:: sync primitives declared outside
+// src/common instead of the annotated ilps:: wrappers.
+// Expected findings: raw-sync-outside-common (x4).
+// Not compiled — consumed by tests/lint/lint_selftest.py only.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+struct Queue {
+  std::mutex mu;                       // BAD: raw mutex outside src/common
+  std::condition_variable cv;          // BAD: raw condvar
+  std::atomic<bool> stop{false};       // BAD: raw atomic (use ilps::Atomic)
+};
+
+void drain(Queue& q) {
+  std::lock_guard<std::mutex> lock(q.mu);  // BAD: raw lock scope
+  q.stop.store(true);
+}

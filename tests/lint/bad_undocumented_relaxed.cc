@@ -1,0 +1,27 @@
+// ilps-lint fixture: explicit non-seq_cst memory orders without an
+// `// ordering:` justification comment.
+// Expected findings: undocumented-ordering (x2).
+// Not compiled — consumed by tests/lint/lint_selftest.py only.
+#include "common/sync.h"
+
+ilps::Atomic<bool> g_flag{false};
+ilps::Atomic<int> g_data{0};
+
+void publish(int v) {
+  g_data.store(v, std::memory_order_relaxed);  // BAD: no ordering comment
+  g_flag.store(true, std::memory_order_seq_cst);
+}
+
+int consume() {
+  while (!g_flag.load(std::memory_order_acquire)) {  // BAD: no ordering comment
+  }
+  if (g_flag.load()) return g_data.load();  // fine: seq_cst default is exempt
+  return 0;
+}
+
+void publish_documented(int v) {
+  g_data.store(v, std::memory_order_seq_cst);
+  // ordering: release publishes g_data to whoever observes the flag set
+  // (no acquire partner in this fixture; the comment is what matters).
+  g_flag.store(true, std::memory_order_release);  // fine: documented
+}

@@ -1,0 +1,47 @@
+// ilps-lint fixture: idiomatic annotated code that every rule must pass.
+// Expected findings: none.
+// Not compiled — consumed by tests/lint/lint_selftest.py only.
+#include "common/sync.h"
+
+// ILPS_LOCK_ORDER: fixture.outer < fixture.inner
+
+class Box {
+ public:
+  void push(int v) {
+    {
+      ilps::LockGuard lock(mu_);
+      items_.push_back(v);
+    }
+    cv_.notify_one();
+  }
+
+  int pop_send(Comm& comm) {
+    int v = 0;
+    {
+      ilps::UniqueLock lock(mu_);
+      while (items_.empty()) cv_.wait(lock);
+      v = items_.back();
+      items_.pop_back();
+    }
+    comm.send(0, kTagWork, v);  // lock scope closed above
+    return v;
+  }
+
+  void mark() {
+    // ordering: release pairs with the acquire load in marked(), so the
+    // items pushed before mark() are visible to whoever observes it.
+    flag_.store(true, std::memory_order_release);
+  }
+
+  bool marked() const {
+    // ordering: acquire side of the mark() release — see mark().
+    return flag_.load(std::memory_order_acquire);
+  }
+
+ private:
+  ilps::Mutex mu_;
+  std::vector<int> items_ ILPS_GUARDED_BY(mu_);
+  ilps::CondVar cv_;
+  ilps::Atomic<bool> flag_{false};
+  ilps::RelaxedCounter pushes_;  // blessed wrapper: no comments needed
+};

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Self-test for tools/ilps_lint.py: every rule must fire on its known-bad
+fixture (at the expected count) and stay silent on the clean one.
+
+Run directly or via ctest (`lint_selftest`):
+  python3 tests/lint/lint_selftest.py
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+LINT = os.path.join(REPO, "tools", "ilps_lint.py")
+
+# fixture -> {rule: expected finding count}
+EXPECT = {
+    "bad_lock_across_send.cc": {"no-blocking-under-lock": 3},
+    "bad_undocumented_relaxed.cc": {"undocumented-ordering": 2},
+    "bad_raw_mutex.cc": {"raw-sync-outside-common": 4},
+    "bad_lock_order_cycle.cc": {"lock-order-cycle": 1},
+    "good_clean.cc": {},
+}
+
+
+def run_lint(fixture: str):
+    proc = subprocess.run(
+        [sys.executable, LINT, os.path.join(HERE, fixture)],
+        capture_output=True,
+        text=True,
+    )
+    counts: dict[str, int] = {}
+    for line in proc.stdout.splitlines():
+        for rule in (
+            "no-blocking-under-lock",
+            "undocumented-ordering",
+            "raw-sync-outside-common",
+            "lock-order-cycle",
+        ):
+            if f"[{rule}]" in line:
+                counts[rule] = counts.get(rule, 0) + 1
+    return proc.returncode, counts, proc.stdout
+
+
+def main() -> int:
+    failures = []
+    for fixture, expected in EXPECT.items():
+        rc, counts, out = run_lint(fixture)
+        want_rc = 1 if expected else 0
+        if rc != want_rc:
+            failures.append(f"{fixture}: exit {rc}, want {want_rc}\n{out}")
+        if counts != expected:
+            failures.append(f"{fixture}: findings {counts}, want {expected}\n{out}")
+        status = "ok" if not failures or failures[-1].split(":")[0] != fixture else "FAIL"
+        print(f"  {fixture}: {status} ({counts or 'clean'})")
+
+    # The acceptance bar: the real runtime sources are clean. Prefer the
+    # compile db (exact TU list) and fall back to a src/ walk so the test
+    # works from any build layout.
+    db = os.path.join(REPO, "build", "compile_commands.json")
+    if os.path.exists(db):
+        args = [sys.executable, LINT, "-p", db]
+    else:
+        srcs = []
+        for root, _dirs, files in os.walk(os.path.join(REPO, "src")):
+            srcs.extend(
+                os.path.join(root, f) for f in files if f.endswith((".cc", ".h"))
+            )
+        args = [sys.executable, LINT] + sorted(srcs)
+    proc = subprocess.run(args, capture_output=True, text=True)
+    if proc.returncode != 0:
+        failures.append(f"src/ is not lint-clean:\n{proc.stdout}{proc.stderr}")
+    print(f"  src/: {'ok' if proc.returncode == 0 else 'FAIL'}")
+
+    if failures:
+        print("\nlint_selftest: FAILED", file=sys.stderr)
+        for f in failures:
+            print(f, file=sys.stderr)
+        return 1
+    print("lint_selftest: all rules fire on bad fixtures; src/ clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

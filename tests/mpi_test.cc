@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "common/error.h"
@@ -237,6 +239,43 @@ TEST(World, RankExceptionPropagatesAndUnblocksPeers) {
     // A peer's abort exception may win the race; that is acceptable only
     // if it mentions the aborting rank.
     SUCCEED();
+  }
+}
+
+// Regression for the abort-reason publication fix: abort_reason used to
+// be written under a mutex but read lock-free by every rank that noticed
+// the abort flag, so a reader racing the writer could observe a torn or
+// partially-constructed string. With all ranks aborting at once with
+// long distinct reasons, whatever error surfaces must embed exactly one
+// complete reason — never an interleaving.
+TEST(World, ConcurrentAbortReasonsSurfaceIntact) {
+  constexpr int kRanks = 4;
+  std::vector<std::string> reasons;
+  reasons.reserve(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    reasons.push_back("rank" + std::to_string(r) + "-" +
+                      std::string(256, static_cast<char>('a' + r)));
+  }
+  for (int iter = 0; iter < 8; ++iter) {
+    World w(kRanks);
+    try {
+      w.run([&](Comm& c) { throw ScriptError(reasons[static_cast<size_t>(c.rank())]); });
+      FAIL() << "expected exception";
+    } catch (const ScriptError& e) {
+      // The winning rank's own exception: must be one reason, verbatim.
+      const std::string got = e.what();
+      EXPECT_NE(std::find(reasons.begin(), reasons.end(), got), reasons.end())
+          << "torn reason: " << got;
+    } catch (const CommError& e) {
+      // A peer surfaced the abort: the message embeds the stored reason,
+      // which must be exactly one of the complete originals.
+      const std::string got = e.what();
+      int complete = 0;
+      for (const auto& reason : reasons) {
+        if (got.find(reason) != std::string::npos) ++complete;
+      }
+      EXPECT_EQ(complete, 1) << "torn reason in: " << got;
+    }
   }
 }
 

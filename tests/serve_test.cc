@@ -257,6 +257,46 @@ TEST(Serve, MemoryBoundedAcrossManySequentialRequests) {
   EXPECT_EQ(s.failed, 0u);
 }
 
+// Regression for the ProgramCache compile-under-lock fix: racing submits
+// of the same source must compile it exactly once (losers adopt the
+// winner and count as hits), and distinct sources must never share a
+// namespace. Compiling outside the cache lock is what lets the distinct
+// submits proceed concurrently at all; the counts below are deterministic
+// whichever thread wins each race.
+TEST(Serve, ConcurrentSubmitsCompileEachProgramOnce) {
+  ServeConfig cfg = small_config(/*engines=*/2, /*workers=*/2);
+  cfg.max_inflight = 64;
+  Service service(cfg);
+  service.enter();
+  constexpr int kThreads = 8;
+  const std::string shared = R"(printf("same=%d", 7);)";
+  std::vector<RequestHandle> handles(kThreads * 2);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        handles[static_cast<size_t>(t) * 2] = service.submit(shared);
+        handles[static_cast<size_t>(t) * 2 + 1] =
+            service.submit("printf(\"d=%d\", " + std::to_string(t) + ");");
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  for (size_t i = 0; i < handles.size(); ++i) {
+    const RequestResult r = handles[i].wait();
+    EXPECT_TRUE(r.ok()) << "request " << i << ": " << r.error;
+    ASSERT_EQ(r.lines.size(), 1u);
+  }
+  service.shutdown();
+  const ServiceStats s = service.stats();
+  // One compile for the shared source + one per distinct source; every
+  // repeat submit of the shared source counts as a hit, including any
+  // duplicate-compile race losers.
+  EXPECT_EQ(s.programs_compiled, 1u + kThreads);
+  EXPECT_EQ(s.program_cache_hits, static_cast<uint64_t>(kThreads - 1));
+}
+
 TEST(Serve, ManyConcurrentMixedPrograms) {
   ServeConfig cfg = small_config(/*engines=*/2, /*workers=*/2);
   cfg.max_inflight = 64;

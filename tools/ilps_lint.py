@@ -1,0 +1,514 @@
+#!/usr/bin/env python3
+"""ilps-lint: project-specific concurrency invariant checker for the ILPS runtime.
+
+Four rules that neither the compiler nor generic linters can see:
+
+  R1 no-blocking-under-lock
+     No blocking transport call (send/recv/barrier/park/get/put/serve,
+     condvar-free sleeps, future waits) while any ilps::LockGuard /
+     ilps::UniqueLock scope is active. Blocking while holding a lock
+     couples unrelated threads to transport latency and is the classic
+     distributed-deadlock shape. CondVar waits are exempt: they release
+     the lock while sleeping.
+
+  R2 undocumented-ordering
+     Every explicit memory_order_relaxed / _acquire / _release /
+     _acq_rel / _consume operation must carry an `// ordering:` comment
+     on the same line or within the 6 lines above it, stating which
+     happens-before edge it provides (or why none is needed).
+     memory_order_seq_cst is exempt (the conservative default).
+     Blessed wrapper: ilps::RelaxedCounter (src/common/sync.h).
+
+  R3 raw-sync-outside-common
+     No raw std::mutex / std::condition_variable / std::atomic /
+     std::lock_guard / std::unique_lock / std::scoped_lock /
+     std::shared_mutex / std::recursive_mutex declarations outside
+     src/common. Use ilps::Mutex / ilps::CondVar / ilps::LockGuard /
+     ilps::UniqueLock / ilps::Atomic<T> / ilps::RelaxedCounter so the
+     clang thread-safety analysis sees every lock scope.
+
+  R4 lock-order-cycle
+     The declared lock hierarchy — `// ILPS_LOCK_ORDER: a < b` comment
+     lines plus ILPS_ACQUIRED_BEFORE/AFTER attribute arguments — must
+     form a DAG. A cycle means two threads can acquire the same pair of
+     locks in opposite orders.
+
+Usage:
+  tools/ilps_lint.py -p build/compile_commands.json   # lint the project
+  tools/ilps_lint.py src/mpi/world.cc ...             # lint named files
+  tools/ilps_lint.py --list-rules
+
+Suppression: append `// ilps-lint: allow(<rule>)` to the offending line,
+with a reason, e.g. `// ilps-lint: allow(no-blocking-under-lock) -- <why>`.
+
+Exit status: 0 clean, 1 findings, 2 usage/IO error. Pure stdlib (no
+libclang): a comment/string-aware lexer plus brace-depth lock-scope
+tracking, deliberately conservative in what it recognizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+RULES = {
+    "no-blocking-under-lock": "blocking transport call while a lock scope is active",
+    "undocumented-ordering": "explicit non-seq_cst memory order without an `// ordering:` comment",
+    "raw-sync-outside-common": "raw std:: sync primitive declared outside src/common",
+    "lock-order-cycle": "declared lock hierarchy (ILPS_LOCK_ORDER / ACQUIRED_BEFORE) has a cycle",
+}
+
+# Blocking calls by method name, matched only when the receiver looks
+# like a transport endpoint or thread (see TRANSPORT_RECEIVER_RE) so that
+# unrelated `ptr.get()` / `map.put()` style calls don't trip the rule.
+# These park the calling thread on transport or scheduling progress.
+BLOCKING_METHODS = {
+    "send",
+    "recv",
+    "recv_for",
+    "recv_any",
+    "barrier",
+    "broadcast",
+    "gather",
+    "reduce_sum",
+    "allreduce_sum",
+    "exchange",
+    "put",
+    "get",
+    "run",
+    "wait_match",
+    "park_until_drained",
+    "serve",
+    "join",
+}
+# Receiver names that mark a call as transport/thread-blocking. Deliberately
+# conservative: a blocking call on an unrecognizably-named receiver is
+# missed rather than spamming false positives on containers and smart
+# pointers.
+TRANSPORT_RECEIVER_RE = re.compile(
+    r"(client|comm|world|server|channel|sock|transport|thread)", re.IGNORECASE
+)
+# Blocking free/namespaced calls (flagged under any receiver-less form).
+BLOCKING_FREE = {
+    "std::this_thread::sleep_for",
+    "std::this_thread::sleep_until",
+}
+
+# Lock scopes R1 tracks. CondVar waits release the lock, so cv.wait()
+# under a UniqueLock is fine; the UniqueLock scope itself still counts
+# for every other statement in it.
+LOCK_SCOPE_RE = re.compile(
+    r"\b(?:ilps::)?(LockGuard|UniqueLock)\s+(\w+)\s*[({]"
+)
+STD_LOCK_SCOPE_RE = re.compile(
+    r"\bstd::(?:lock_guard|unique_lock|scoped_lock)\s*<[^;]*>\s*(\w+)\s*[({]"
+)
+
+ORDER_RE = re.compile(
+    r"\bmemory_order_(relaxed|acquire|release|acq_rel|consume)\b"
+)
+ORDER_COMMENT_RE = re.compile(r"//\s*ordering:")
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(mutex|condition_variable(?:_any)?|atomic(?:_flag)?|lock_guard|"
+    r"unique_lock|scoped_lock|shared_mutex|shared_lock|recursive_mutex|"
+    r"counting_semaphore|binary_semaphore|latch|barrier)\b"
+)
+
+LOCK_ORDER_RE = re.compile(
+    r"//\s*ILPS_LOCK_ORDER:\s*([\w.]+)\s*<\s*([\w.]+)"
+)
+ACQ_BEFORE_RE = re.compile(r"\bILPS_ACQUIRED_BEFORE\s*\(([^)]*)\)")
+ACQ_AFTER_RE = re.compile(r"\bILPS_ACQUIRED_AFTER\s*\(([^)]*)\)")
+
+SUPPRESS_RE = re.compile(r"//\s*ilps-lint:\s*allow\(([\w-]+(?:\s*,\s*[\w-]+)*)\)")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str):
+    """Return (code, comments) where each is a list of per-line strings.
+
+    `code` has comments and string/char literal *contents* blanked (so
+    regexes never match inside them) but line structure preserved;
+    `comments` holds only the comment text per line (for ordering-comment
+    and suppression lookups).
+    """
+    n = len(text)
+    code_chars: list[str] = []
+    comment_chars: list[str] = []
+    i = 0
+    state = "code"  # code | line_comment | block_comment | string | char | raw_string
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                comment_chars.append("//")
+                code_chars.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                comment_chars.append("/*")
+                code_chars.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # raw string literal?
+                m = re.match(r'R"([^(\s]{0,16})\(', text[i - 1 : i + 20]) if i > 0 and text[i - 1] == "R" else None
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = "raw_string"
+                    code_chars.append('"')
+                    i += 1
+                    continue
+                state = "string"
+                code_chars.append('"')
+                comment_chars.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                code_chars.append("'")
+                comment_chars.append(" ")
+                i += 1
+                continue
+            code_chars.append(c)
+            comment_chars.append("\n" if c == "\n" else " ")
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                code_chars.append("\n")
+                comment_chars.append("\n")
+            else:
+                code_chars.append(" ")
+                comment_chars.append(c)
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                code_chars.append("  ")
+                comment_chars.append("*/")
+                i += 2
+                continue
+            code_chars.append("\n" if c == "\n" else " ")
+            comment_chars.append(c)
+            i += 1
+        elif state == "string":
+            if c == "\\":
+                code_chars.append("  ")
+                comment_chars.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+                code_chars.append('"')
+            else:
+                code_chars.append("\n" if c == "\n" else " ")
+            comment_chars.append(" ")
+            i += 1
+        elif state == "char":
+            if c == "\\":
+                code_chars.append("  ")
+                comment_chars.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+                code_chars.append("'")
+            else:
+                code_chars.append(" ")
+            comment_chars.append(" ")
+            i += 1
+        elif state == "raw_string":
+            if text.startswith(raw_delim, i):
+                state = "code"
+                code_chars.append('"' + " " * (len(raw_delim) - 1))
+                comment_chars.append(" " * len(raw_delim))
+                i += len(raw_delim)
+                continue
+            code_chars.append("\n" if c == "\n" else " ")
+            comment_chars.append("\n" if c == "\n" else " ")
+            i += 1
+    code = "".join(code_chars).split("\n")
+    comments = "".join(comment_chars).split("\n")
+    # Comment buffer loses newlines consumed inside multi-char tokens;
+    # normalize lengths defensively.
+    while len(comments) < len(code):
+        comments.append("")
+    return code, comments
+
+
+def suppressed(rule: str, comments: list[str], line_idx: int) -> bool:
+    m = SUPPRESS_RE.search(comments[line_idx]) if line_idx < len(comments) else None
+    if not m:
+        return False
+    allowed = {r.strip() for r in m.group(1).split(",")}
+    return rule in allowed
+
+
+def check_blocking_under_lock(path, code, comments, findings):
+    """R1: track active lock scopes by brace depth; flag blocking calls inside."""
+    depth = 0
+    scopes: list[list] = []  # [entry_depth, var, held]
+    blocking_call = re.compile(
+        r"(\w+)\s*(?:\.|->)\s*(" + "|".join(sorted(BLOCKING_METHODS)) + r")\s*\("
+    )
+    blocking_free = re.compile(
+        "(" + "|".join(re.escape(f) for f in sorted(BLOCKING_FREE)) + r")\s*\("
+    )
+    cv_wait = re.compile(r"[.>]\s*(wait|wait_for|wait_until)\s*\(")
+    for idx, line in enumerate(code):
+        held = [s for s in scopes if s[2]]
+        if held and not cv_wait.search(line):
+            name = None
+            m = blocking_call.search(line)
+            if m and TRANSPORT_RECEIVER_RE.search(m.group(1)):
+                name = m.group(2)
+            else:
+                m = blocking_free.search(line)
+                if m:
+                    name = m.group(1)
+            if name and not suppressed("no-blocking-under-lock", comments, idx):
+                locks = ", ".join(s[1] for s in held)
+                findings.append(
+                    Finding(
+                        path,
+                        idx + 1,
+                        "no-blocking-under-lock",
+                        f"blocking call `{name}` while holding lock scope(s) {locks}",
+                    )
+                )
+        for mm in LOCK_SCOPE_RE.finditer(line):
+            scopes.append([depth, mm.group(2), True])
+        for mm in STD_LOCK_SCOPE_RE.finditer(line):
+            scopes.append([depth, mm.group(1), True])
+        for s in scopes:
+            if re.search(rf"\b{re.escape(s[1])}\s*\.\s*unlock\s*\(", line):
+                s[2] = False
+            elif re.search(rf"\b{re.escape(s[1])}\s*\.\s*lock\s*\(", line):
+                s[2] = True
+        for c in line:
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                scopes = [s for s in scopes if s[0] <= depth]
+
+
+def check_ordering_comments(path, code, comments, findings):
+    for idx, line in enumerate(code):
+        m = ORDER_RE.search(line)
+        if not m:
+            continue
+        window = comments[max(0, idx - 6) : idx + 1]
+        if any(ORDER_COMMENT_RE.search(c) for c in window):
+            continue
+        if suppressed("undocumented-ordering", comments, idx):
+            continue
+        findings.append(
+            Finding(
+                path,
+                idx + 1,
+                "undocumented-ordering",
+                f"memory_order_{m.group(1)} without an `// ordering:` comment "
+                "on the same line or the 6 lines above",
+            )
+        )
+
+
+def check_raw_sync(path, code, comments, findings):
+    rel = os.path.relpath(path)
+    norm = rel.replace(os.sep, "/")
+    if "src/common/" in norm or norm.startswith("common/"):
+        return  # the wrappers themselves live here
+    for idx, line in enumerate(code):
+        m = RAW_SYNC_RE.search(line)
+        if not m:
+            continue
+        # `std::atomic` inside a template alias/using from sync.h is only in
+        # src/common; here any textual use in code counts, including
+        # includes? No: includes are allowed (they may be transitively
+        # needed); only declarations/uses in code lines matter. #include
+        # lines contain the header name inside <>, not std:: tokens, so
+        # nothing to special-case.
+        if suppressed("raw-sync-outside-common", comments, idx):
+            continue
+        findings.append(
+            Finding(
+                path,
+                idx + 1,
+                "raw-sync-outside-common",
+                f"raw std::{m.group(1)} outside src/common — use the ilps:: "
+                "wrappers from common/sync.h",
+            )
+        )
+
+
+def split_args(arglist: str) -> list[str]:
+    return [a.strip() for a in arglist.split(",") if a.strip()]
+
+
+def collect_lock_order_edges(path, code, comments, edges):
+    for idx, cline in enumerate(comments):
+        m = LOCK_ORDER_RE.search(cline)
+        if m:
+            edges.append((m.group(1), m.group(2), path, idx + 1))
+    for idx, line in enumerate(code):
+        for m in ACQ_BEFORE_RE.finditer(line):
+            for other in split_args(m.group(1)):
+                edges.append(("<attr-site>", other, path, idx + 1))
+        for m in ACQ_AFTER_RE.finditer(line):
+            for other in split_args(m.group(1)):
+                edges.append((other, "<attr-site>", path, idx + 1))
+
+
+def check_lock_order_cycles(edges, findings):
+    graph: dict[str, list[tuple[str, str, int]]] = {}
+    for a, b, path, line in edges:
+        if a == "<attr-site>" or b == "<attr-site>":
+            continue  # attribute sites without a global name cannot cycle here
+        graph.setdefault(a, []).append((b, path, line))
+        graph.setdefault(b, [])
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in graph}
+    stack: list[str] = []
+
+    def dfs(n: str):
+        color[n] = GRAY
+        stack.append(n)
+        for b, path, line in graph[n]:
+            if color[b] == GRAY:
+                cycle = stack[stack.index(b) :] + [b]
+                findings.append(
+                    Finding(
+                        path,
+                        line,
+                        "lock-order-cycle",
+                        "lock hierarchy cycle: " + " < ".join(cycle),
+                    )
+                )
+            elif color[b] == WHITE:
+                dfs(b)
+        stack.pop()
+        color[n] = BLACK
+
+    for n in sorted(graph):
+        if color[n] == WHITE:
+            dfs(n)
+
+
+def lint_files(paths: list[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    edges: list[tuple[str, str, str, int]] = []
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"ilps-lint: cannot read {path}: {e}", file=sys.stderr)
+            sys.exit(2)
+        code, comments = strip_comments_and_strings(text)
+        check_blocking_under_lock(path, code, comments, findings)
+        check_ordering_comments(path, code, comments, findings)
+        check_raw_sync(path, code, comments, findings)
+        collect_lock_order_edges(path, code, comments, edges)
+    check_lock_order_cycles(edges, findings)
+    return findings
+
+
+def files_from_compile_db(db_path: str) -> list[str]:
+    try:
+        with open(db_path, encoding="utf-8") as f:
+            db = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"ilps-lint: cannot load {db_path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    seen = set()
+    out = []
+    for entry in db:
+        f = entry.get("file", "")
+        if not f:
+            continue
+        path = f if os.path.isabs(f) else os.path.join(entry.get("directory", "."), f)
+        path = os.path.normpath(path)
+        norm = path.replace(os.sep, "/")
+        if "/src/" not in norm and not norm.startswith("src/"):
+            continue  # lint covers the runtime, not tests/benches/third-party
+        if path in seen or not path.endswith((".cc", ".cpp", ".cxx", ".c")):
+            continue
+        seen.add(path)
+        out.append(path)
+        # Companion header, if any.
+        for ext in (".h", ".hpp"):
+            h = os.path.splitext(path)[0] + ext
+            if os.path.exists(h) and h not in seen:
+                seen.add(h)
+                out.append(h)
+    # Headers with no .cc twin (e.g. sync.h) — walk each src dir seen.
+    src_dirs = sorted({os.path.dirname(p) for p in out})
+    for d in src_dirs:
+        try:
+            names = os.listdir(d)
+        except OSError:
+            continue
+        for name in sorted(names):
+            if name.endswith((".h", ".hpp")):
+                h = os.path.join(d, name)
+                if h not in seen:
+                    seen.add(h)
+                    out.append(h)
+    return sorted(out)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(prog="ilps-lint", description=__doc__.split("\n")[0])
+    ap.add_argument("files", nargs="*", help="files to lint")
+    ap.add_argument("-p", "--compile-db", metavar="DB",
+                    help="compile_commands.json (lints every src/ TU + headers)")
+    ap.add_argument("--list-rules", action="store_true", help="list rules and exit")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule}: {desc}")
+        return 0
+
+    paths = list(args.files)
+    if args.compile_db:
+        paths.extend(files_from_compile_db(args.compile_db))
+    if not paths:
+        ap.print_usage(sys.stderr)
+        print("ilps-lint: no input files (pass files or -p compile_commands.json)",
+              file=sys.stderr)
+        return 2
+
+    findings = lint_files(paths)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"ilps-lint: {len(findings)} finding(s) in {len(paths)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"ilps-lint: clean ({len(paths)} file(s))", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
