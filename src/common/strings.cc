@@ -79,6 +79,25 @@ std::string to_upper(std::string_view s) {
 std::optional<int64_t> parse_int(std::string_view s) {
   s = trim(s);
   if (s.empty()) return std::nullopt;
+  // Fast path: plain decimal with no leading zero (a leading zero selects
+  // strtoll's octal interpretation) and few enough digits that overflow is
+  // impossible. Everything else — hex, octal, 19+ digits — takes the
+  // strtoll path below, which needs a NUL-terminated copy.
+  {
+    size_t i = (s[0] == '+' || s[0] == '-') ? 1 : 0;
+    size_t ndigits = s.size() - i;
+    if (ndigits > 0 && ndigits <= 18 && (s[i] != '0' || ndigits == 1)) {
+      int64_t v = 0;
+      size_t j = i;
+      for (; j < s.size(); ++j) {
+        unsigned d = static_cast<unsigned>(s[j]) - '0';
+        if (d > 9) break;
+        v = v * 10 + static_cast<int64_t>(d);
+      }
+      if (j == s.size()) return s[0] == '-' ? -v : v;
+      return std::nullopt;  // digit run stopped early: not an integer
+    }
+  }
   std::string buf(s);
   errno = 0;
   char* end = nullptr;
@@ -91,6 +110,13 @@ std::optional<int64_t> parse_int(std::string_view s) {
 std::optional<double> parse_double(std::string_view s) {
   s = trim(s);
   if (s.empty()) return std::nullopt;
+  // Fast rejection: strtod accepts nothing that starts outside this set
+  // (digits, sign, decimal point, inf/nan in either case).
+  char c0 = s[0];
+  if (!((c0 >= '0' && c0 <= '9') || c0 == '+' || c0 == '-' || c0 == '.' || c0 == 'i' ||
+        c0 == 'I' || c0 == 'n' || c0 == 'N')) {
+    return std::nullopt;
+  }
   std::string buf(s);
   errno = 0;
   char* end = nullptr;

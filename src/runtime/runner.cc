@@ -155,6 +155,11 @@ RunResult run_ft_attempt(const Config& cfg, const std::string& program, mpi::Wor
       result.worker_stats.interpreter_resets += ws.interpreter_resets;
       result.cache_stats += client.cache_stats();
       result.pipeline_stats += client.pipeline_stats();
+      const tcl::Interp::CompileStats& cs = ctx.interp().compile_stats();
+      result.tcl_stats.hits += cs.hits;
+      result.tcl_stats.misses += cs.misses;
+      result.tcl_stats.bailouts += cs.bailouts;
+      result.tcl_units_cached += ctx.units_cached();
     } else {
       turbine::Context ctx(client, nullptr, ccfg);
       if (has_main) ctx.interp().eval(program);
@@ -168,6 +173,11 @@ RunResult run_ft_attempt(const Config& cfg, const std::string& program, mpi::Wor
       result.worker_stats.interpreter_resets += ws.interpreter_resets;
       result.cache_stats += client.cache_stats();
       result.pipeline_stats += client.pipeline_stats();
+      const tcl::Interp::CompileStats& cs = ctx.interp().compile_stats();
+      result.tcl_stats.hits += cs.hits;
+      result.tcl_stats.misses += cs.misses;
+      result.tcl_stats.bailouts += cs.bailouts;
+      result.tcl_units_cached += ctx.units_cached();
     }
   };
   try {
@@ -241,6 +251,11 @@ void publish_metrics(const RunResult& r) {
   m.counter("worker.r_evals").set(w.r_evals);
   m.counter("worker.app_execs").set(w.app_execs);
   m.counter("worker.interpreter_resets").set(w.interpreter_resets);
+  const tcl::Interp::CompileStats& t = r.tcl_stats;
+  m.counter("tcl.compile_hits").set(t.hits);
+  m.counter("tcl.compile_misses").set(t.misses);
+  m.counter("tcl.compile_bailouts").set(t.bailouts);
+  m.counter("tcl.units_cached").set(r.tcl_units_cached);
   m.counter("mpi.messages").set(r.traffic.messages);
   m.counter("mpi.bytes").set(r.traffic.bytes);
   m.counter("mpi.wakeups").set(r.traffic.wakeups);

@@ -86,6 +86,10 @@ struct RunResult {
   adlb::ServerStats server_stats;
   adlb::DataCacheStats cache_stats;  // summed across all client ranks
   adlb::DataPipelineStats pipeline_stats;  // summed across all client ranks
+  // MiniTcl bytecode layer (tcl.compile_* metrics): unit reuses, compiles,
+  // and raw-source tail bailouts, summed across all client ranks.
+  tcl::Interp::CompileStats tcl_stats;
+  uint64_t tcl_units_cached = 0;  // live action-cache entries at teardown
   mpi::TrafficStats traffic;
   FtStats ft;
   double elapsed_seconds = 0;

@@ -185,6 +185,12 @@ struct ServiceStats {
   uint64_t program_cache_hits = 0;
   uint64_t slow_requests = 0;    // latency >= ServeConfig::slow_request_seconds
   uint64_t traced_requests = 0;  // completed with a captured trace
+  // MiniTcl bytecode layer, harvested from every client rank's context at
+  // resident-world teardown (zeros while the world is still up).
+  uint64_t tcl_compile_hits = 0;
+  uint64_t tcl_compile_misses = 0;
+  uint64_t tcl_compile_bailouts = 0;
+  uint64_t tcl_units_cached = 0;  // live action-cache entries (LRU-bounded)
 };
 
 class Service {

@@ -236,6 +236,21 @@ class Hub {
   uint64_t slow ILPS_GUARDED_BY(mu) = 0;    // latency >= slow_threshold_
   uint64_t traced ILPS_GUARDED_BY(mu) = 0;  // completed with a captured trace
 
+  // MiniTcl bytecode-layer totals, deposited by each client rank when the
+  // resident world tears down (Context lifetime = world lifetime).
+  uint64_t tcl_hits ILPS_GUARDED_BY(mu) = 0;
+  uint64_t tcl_misses ILPS_GUARDED_BY(mu) = 0;
+  uint64_t tcl_bailouts ILPS_GUARDED_BY(mu) = 0;
+  uint64_t tcl_units ILPS_GUARDED_BY(mu) = 0;
+
+  void note_tcl(const tcl::Interp::CompileStats& cs, size_t units) {
+    ilps::LockGuard lock(mu);
+    tcl_hits += cs.hits;
+    tcl_misses += cs.misses;
+    tcl_bailouts += cs.bailouts;
+    tcl_units += units;
+  }
+
   // Slow-request exemplar ring, oldest first (full results incl. trace).
   std::deque<RequestResult> exemplars ILPS_GUARDED_BY(mu);
 
@@ -532,9 +547,11 @@ void Service::Impl::run_world() {
       ccfg.serve_complete = [h](turbine::RequestOutcome&& out) { h->complete(std::move(out)); };
       turbine::Context ctx(client, &engine, ccfg);
       ctx.run_engine("");
+      h->note_tcl(ctx.interp().compile_stats(), ctx.units_cached());
     } else {
       turbine::Context ctx(client, nullptr, ccfg);
       ctx.run_worker();
+      h->note_tcl(ctx.interp().compile_stats(), ctx.units_cached());
     }
   };
   world.run(body);
@@ -755,6 +772,10 @@ ServiceStats Service::stats() const {
     s.inflight = hub->inflight.size();
     s.slow_requests = hub->slow;
     s.traced_requests = hub->traced;
+    s.tcl_compile_hits = hub->tcl_hits;
+    s.tcl_compile_misses = hub->tcl_misses;
+    s.tcl_compile_bailouts = hub->tcl_bailouts;
+    s.tcl_units_cached = hub->tcl_units;
   }
   s.programs_compiled = impl_->cache.compiled();
   s.program_cache_hits = impl_->cache.hits();
@@ -773,6 +794,7 @@ std::string Service::status_json() const {
   // registry with the lock released (the telemetry flusher calls this
   // from its own thread; keep the lock scopes disjoint).
   uint64_t admitted, rejected, shed, completed, failed, slow, traced, inflight;
+  uint64_t tcl_hits, tcl_misses, tcl_bailouts, tcl_units;
   double uptime;
   std::shared_ptr<obs::TelemetryFlusher> flusher;
   {
@@ -785,6 +807,10 @@ std::string Service::status_json() const {
     slow = hub->slow;
     traced = hub->traced;
     inflight = hub->inflight.size();
+    tcl_hits = hub->tcl_hits;
+    tcl_misses = hub->tcl_misses;
+    tcl_bailouts = hub->tcl_bailouts;
+    tcl_units = hub->tcl_units;
     uptime = hub->clock.elapsed();
     flusher = hub->flusher;
   }
@@ -796,6 +822,8 @@ std::string Service::status_json() const {
   s << ",\"slow_requests\":" << slow << ",\"traced_requests\":" << traced;
   s << ",\"programs_compiled\":" << impl_->cache.compiled();
   s << ",\"program_cache_hits\":" << impl_->cache.hits();
+  s << ",\"tcl\":{\"compile_hits\":" << tcl_hits << ",\"compile_misses\":" << tcl_misses
+    << ",\"compile_bailouts\":" << tcl_bailouts << ",\"units_cached\":" << tcl_units << "}";
   if (obs::metrics_enabled()) {
     // Rolling-window latency percentiles: what the service is doing *now*,
     // not since boot.
@@ -943,6 +971,11 @@ runtime::RunResult Service::run_batch(const runtime::Config& cfg, const std::str
       result.worker_stats.interpreter_resets += ws.interpreter_resets;
       result.cache_stats += client.cache_stats();
       result.pipeline_stats += client.pipeline_stats();
+      const tcl::Interp::CompileStats& cs = ctx.interp().compile_stats();
+      result.tcl_stats.hits += cs.hits;
+      result.tcl_stats.misses += cs.misses;
+      result.tcl_stats.bailouts += cs.bailouts;
+      result.tcl_units_cached += ctx.units_cached();
     } else {
       turbine::Context ctx(client, nullptr, ccfg);
       if (has_main) ctx.interp().eval(program);
@@ -956,6 +989,11 @@ runtime::RunResult Service::run_batch(const runtime::Config& cfg, const std::str
       result.worker_stats.interpreter_resets += ws.interpreter_resets;
       result.cache_stats += client.cache_stats();
       result.pipeline_stats += client.pipeline_stats();
+      const tcl::Interp::CompileStats& cs = ctx.interp().compile_stats();
+      result.tcl_stats.hits += cs.hits;
+      result.tcl_stats.misses += cs.misses;
+      result.tcl_stats.bailouts += cs.bailouts;
+      result.tcl_units_cached += ctx.units_cached();
     }
   };
   mpi::World world(cfg.total_ranks());

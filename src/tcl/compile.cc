@@ -1,0 +1,846 @@
+// The MiniTcl bytecode compiler and executor (see compile.h / docs/interp.md).
+//
+// The compiler mirrors Interp::eval_until's word grammar exactly (sharing
+// its character classes and braced-word scanner via parse_internal.h) but
+// builds thunks instead of evaluating. Anything it cannot compile — always
+// a parse error in the remainder — becomes the unit's raw-source tail,
+// which the executor hands back to Interp::eval so side-effect-before-
+// syntax-error ordering is reproduced exactly.
+//
+// The executor is a set of Interp member functions so compiled code runs
+// against the same frames, variables, and command tables as direct eval,
+// and increments commands_evaluated_ with identical cadence (the
+// differential fuzzer in tests/expr_fuzz_test.cc asserts this).
+#include "tcl/compile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+#include "tcl/interp.h"
+#include "tcl/parse_internal.h"
+
+namespace ilps::tcl {
+
+using parse::is_cmd_end;
+using parse::is_word_space;
+using parse::is_name_char;
+using parse::scan_braced;
+
+namespace {
+
+// Accumulates the parts of one word, merging adjacent literal runs.
+struct WordBuilder {
+  CompiledWord w;
+
+  void lit(std::string_view text) {
+    if (!w.parts.empty() && w.parts.back().kind == CompiledPart::Kind::kLiteral) {
+      w.parts.back().text += text;
+    } else {
+      CompiledPart p;
+      p.text = std::string(text);
+      w.parts.push_back(std::move(p));
+    }
+  }
+  void lit_char(char c) { lit(std::string_view(&c, 1)); }
+  void part(CompiledPart p) {
+    if (p.kind == CompiledPart::Kind::kLiteral) {
+      lit(p.text);
+    } else {
+      w.parts.push_back(std::move(p));
+    }
+  }
+};
+
+class Compiler {
+ public:
+  explicit Compiler(SymbolTable& syms) : syms_(syms) {}
+
+  std::shared_ptr<const CompiledUnit> compile_top(std::string_view src) {
+    size_t i = 0;
+    std::shared_ptr<CompiledUnit> unit = compile_until(src, i, '\0', /*allow_tail=*/true);
+    unit->source_bytes = src.size();
+    return unit;
+  }
+
+ private:
+  // Mirrors Interp::eval_until. With allow_tail (top level only), a parse
+  // error turns the remainder — from the start of the offending command —
+  // into the unit's tail; inside brackets errors propagate so the whole
+  // enclosing command bails out.
+  std::shared_ptr<CompiledUnit> compile_until(std::string_view s, size_t& i, char terminator,
+                                              bool allow_tail) {
+    if (++depth_ > parse::kMaxEvalDepth) {
+      --depth_;
+      throw TclError("too many nested evaluations (infinite recursion?)");
+    }
+    struct DepthGuard {
+      int* d;
+      ~DepthGuard() { --*d; }
+    } dguard{&depth_};
+
+    auto unit = std::make_shared<CompiledUnit>();
+    const size_t n = s.size();
+    while (i <= n) {
+      while (i < n && (is_word_space(s[i]) || is_cmd_end(s[i]))) ++i;
+      if (i < n && s[i] == '#') {
+        // Comment to end of line; backslash-newline continues it.
+        while (i < n && s[i] != '\n') {
+          if (s[i] == '\\' && i + 1 < n) ++i;
+          ++i;
+        }
+        continue;
+      }
+      if (i >= n) {
+        if (terminator != '\0') throw TclError("missing close-bracket");
+        break;
+      }
+      if (terminator != '\0' && s[i] == terminator) {
+        ++i;
+        return unit;
+      }
+
+      size_t cmd_start = i;
+      try {
+        CompiledCommand cmd = compile_command(s, i, terminator);
+        if (!cmd.words.empty()) unit->cmds.push_back(std::move(cmd));
+      } catch (const ScriptError&) {
+        if (!allow_tail) throw;
+        unit->has_tail = true;
+        unit->tail = std::string(s.substr(cmd_start));
+        i = n;
+        return unit;
+      }
+
+      if (i < n && is_cmd_end(s[i])) {
+        ++i;
+        continue;
+      }
+      if (i < n && terminator != '\0' && s[i] == terminator) {
+        ++i;
+        return unit;
+      }
+      if (i >= n) {
+        if (terminator != '\0') throw TclError("missing close-bracket");
+        break;
+      }
+    }
+    return unit;
+  }
+
+  // Mirrors the words loop of eval_until.
+  CompiledCommand compile_command(std::string_view s, size_t& i, char terminator) {
+    CompiledCommand cmd;
+    const size_t n = s.size();
+    while (true) {
+      while (i < n && is_word_space(s[i])) ++i;
+      if (i >= n || is_cmd_end(s[i]) || (terminator != '\0' && s[i] == terminator)) break;
+
+      bool expand = false;
+      if (s.substr(i).starts_with("{*}") && i + 3 < n && !is_word_space(s[i + 3]) &&
+          !is_cmd_end(s[i + 3])) {
+        expand = true;
+        i += 3;
+      }
+
+      WordBuilder b;
+      b.w.expand = expand;
+      char c = s[i];
+      if (c == '{') {
+        b.lit(scan_braced(s, i));
+        if (i < n && !is_word_space(s[i]) && !is_cmd_end(s[i]) &&
+            !(terminator != '\0' && s[i] == terminator)) {
+          throw TclError("extra characters after close-brace");
+        }
+      } else if (c == '"') {
+        ++i;
+        while (i < n && s[i] != '"') {
+          char q = s[i];
+          if (q == '$') {
+            ++i;
+            b.part(compile_dollar(s, i));
+          } else if (q == '[') {
+            b.part(compile_bracket(s, i));
+          } else if (q == '\\') {
+            b.lit(backslash_escape(s, i));
+          } else {
+            b.lit_char(q);
+            ++i;
+          }
+        }
+        if (i >= n) throw TclError("missing \"");
+        ++i;  // closing quote
+        if (i < n && !is_word_space(s[i]) && !is_cmd_end(s[i]) &&
+            !(terminator != '\0' && s[i] == terminator)) {
+          throw TclError("extra characters after close-quote");
+        }
+      } else {
+        // Bare word with substitutions.
+        while (i < n && !is_word_space(s[i]) && !is_cmd_end(s[i]) &&
+               !(terminator != '\0' && s[i] == terminator)) {
+          char q = s[i];
+          if (q == '$') {
+            ++i;
+            b.part(compile_dollar(s, i));
+          } else if (q == '[') {
+            b.part(compile_bracket(s, i));
+          } else if (q == '\\') {
+            if (i + 1 < n && s[i + 1] == '\n') break;  // line continuation ends word
+            b.lit(backslash_escape(s, i));
+          } else {
+            b.lit_char(q);
+            ++i;
+          }
+        }
+        // Swallow a line continuation between words.
+        if (i + 1 < n && s[i] == '\\' && s[i + 1] == '\n') {
+          size_t j = i;
+          backslash_escape(s, j);
+          i = j;
+        }
+      }
+
+      finalize_word(b.w);
+      cmd.words.push_back(std::move(b.w));
+    }
+
+    if (!cmd.words.empty() && cmd.words[0].pure_literal && !cmd.words[0].expand) {
+      const std::string& name = cmd.words[0].parts[0].text;
+      cmd.name_sym = syms_.intern(name);
+      cmd.words[0].lit = Value::symbol(cmd.name_sym, name);
+      specialize(cmd);
+    }
+    return cmd;
+  }
+
+  void finalize_word(CompiledWord& w) {
+    if (w.parts.empty()) w.parts.emplace_back();  // empty literal word
+    w.pure_literal = w.parts.size() == 1 && w.parts[0].kind == CompiledPart::Kind::kLiteral;
+    if (!w.pure_literal) return;
+    const std::string& t = w.parts[0].text;
+    // Tag canonical integers (exact round-trip only — "007" stays text).
+    if (auto v = str::parse_int(t); v && std::to_string(*v) == t) w.lit = Value::from_int(*v);
+    if (w.expand) {
+      // May throw (unbalanced braces): that bails the whole command out,
+      // and the tail reproduces the error at run time.
+      w.pre_split = list_split(t);
+      w.pre_split_valid = true;
+    }
+  }
+
+  // Mirrors Interp::parse_dollar (i just past the '$').
+  CompiledPart compile_dollar(std::string_view s, size_t& i) {
+    CompiledPart p;
+    if (i < s.size() && s[i] == '{') {
+      size_t end = s.find('}', i + 1);
+      if (end == std::string_view::npos) throw TclError("missing close-brace for variable name");
+      p.kind = CompiledPart::Kind::kVar;
+      p.text = std::string(s.substr(i + 1, end - i - 1));
+      i = end + 1;
+      return p;
+    }
+    size_t start = i;
+    while (i < s.size() && (is_name_char(s[i]) || s[i] == ':')) ++i;
+    if (i == start) {
+      p.text = "$";  // lone dollar is literal
+      return p;
+    }
+    p.text = std::string(s.substr(start, i - start));
+    if (i < s.size() && s[i] == '(') {
+      // Array element: the index undergoes substitution.
+      ++i;
+      WordBuilder idx;
+      while (i < s.size() && s[i] != ')') {
+        char c = s[i];
+        if (c == '$') {
+          ++i;
+          idx.part(compile_dollar(s, i));
+        } else if (c == '[') {
+          idx.part(compile_bracket(s, i));
+        } else if (c == '\\') {
+          idx.lit(backslash_escape(s, i));
+        } else {
+          idx.lit_char(c);
+          ++i;
+        }
+      }
+      if (i >= s.size()) throw TclError("missing ) for array index");
+      ++i;  // consume ')'
+      p.kind = CompiledPart::Kind::kVarIndexed;
+      p.index = std::move(idx.w.parts);
+      return p;
+    }
+    p.kind = CompiledPart::Kind::kVar;
+    return p;
+  }
+
+  // i at '['. Compiles the embedded script up to the matching ']'.
+  CompiledPart compile_bracket(std::string_view s, size_t& i) {
+    ++i;  // past '['
+    CompiledPart p;
+    p.kind = CompiledPart::Kind::kScript;
+    p.script = compile_until(s, i, ']', /*allow_tail=*/false);
+    return p;
+  }
+
+  // ---- Specialized forms ----
+
+  std::shared_ptr<const CompiledUnit> try_sub(const std::string& text) {
+    try {
+      size_t i = 0;
+      return compile_until(text, i, '\0', /*allow_tail=*/true);
+    } catch (const ScriptError&) {
+      return nullptr;  // compiler depth guard; fall back to generic
+    }
+  }
+
+  // Installs a specialized opcode when the command's literal structure
+  // provably matches the builtin's happy path. Anything else stays
+  // kGeneric, whose dispatch reaches the real builtin — so argument-count
+  // errors, lazy `if` structure checks, and {*} surprises keep their exact
+  // runtime behavior.
+  void specialize(CompiledCommand& cmd) {
+    for (const CompiledWord& w : cmd.words) {
+      if (w.expand) return;
+    }
+    const std::string& name = cmd.words[0].parts[0].text;
+    const size_t n = cmd.words.size();
+    auto lit = [&](size_t k) { return cmd.words[k].pure_literal; };
+    auto text = [&](size_t k) -> const std::string& { return cmd.words[k].parts[0].text; };
+
+    using Op = CompiledCommand::Op;
+    if (name == "set" && (n == 2 || n == 3)) {
+      cmd.op = Op::kSet;
+    } else if (name == "incr" && (n == 2 || n == 3)) {
+      cmd.op = Op::kIncr;
+    } else if (name == "break" && n == 1) {
+      cmd.op = Op::kBreak;
+    } else if (name == "continue" && n == 1) {
+      cmd.op = Op::kContinue;
+    } else if (name == "return" && (n == 1 || n == 2)) {
+      cmd.op = Op::kReturn;
+    } else if (name == "expr" && n >= 2) {
+      bool all_lit = true;
+      for (size_t k = 1; k < n; ++k) {
+        if (!lit(k)) {
+          all_lit = false;
+          break;
+        }
+      }
+      if (!all_lit) {
+        specialize_expr_template(cmd);
+        return;
+      }
+      std::string joined;
+      for (size_t k = 1; k < n; ++k) {
+        if (k > 1) joined += ' ';
+        joined += text(k);
+      }
+      cmd.op = Op::kExpr;
+      cmd.expr_ir = expr_ir_compile(joined);
+      cmd.expr_text = std::move(joined);
+    } else if (name == "while" && n == 3 && lit(1) && lit(2)) {
+      if (auto body = try_sub(text(2))) {
+        cmd.op = Op::kWhile;
+        cmd.expr_text = text(1);
+        cmd.expr_ir = expr_ir_compile(cmd.expr_text);
+        cmd.body = std::move(body);
+      }
+    } else if (name == "for" && n == 5 && lit(1) && lit(2) && lit(3) && lit(4)) {
+      auto init = try_sub(text(1));
+      auto next = try_sub(text(3));
+      auto body = try_sub(text(4));
+      if (init && next && body) {
+        cmd.op = Op::kFor;
+        cmd.init = std::move(init);
+        cmd.expr_text = text(2);
+        cmd.expr_ir = expr_ir_compile(cmd.expr_text);
+        cmd.next = std::move(next);
+        cmd.body = std::move(body);
+      }
+    } else if (name == "catch" && (n == 2 || n == 3) && lit(1)) {
+      if (auto body = try_sub(text(1))) {
+        cmd.op = Op::kCatch;
+        cmd.body = std::move(body);
+      }
+    } else if (name == "foreach" && n >= 4 && (n - 2) % 2 == 0) {
+      std::vector<std::vector<std::string>> groups;
+      for (size_t k = 1; k + 1 < n; k += 2) {
+        if (!lit(k)) return;
+        std::vector<std::string> vars;
+        try {
+          vars = list_split(text(k));
+        } catch (const ScriptError&) {
+          return;  // runtime cmd_foreach raises the identical error
+        }
+        if (vars.empty()) return;
+        groups.push_back(std::move(vars));
+      }
+      if (!lit(n - 1)) return;
+      auto body = try_sub(text(n - 1));
+      if (!body) return;
+      cmd.op = Op::kForeach;
+      cmd.loop_vars = std::move(groups);
+      cmd.body = std::move(body);
+    } else if (name == "if" && n >= 3) {
+      specialize_if(cmd);
+    }
+  }
+
+  // `expr` with substituted arguments: reassemble the expression text the
+  // builtin would see, with each non-literal fragment replaced by an
+  // eager-leaf marker, and compile that. At execution the leaves evaluate
+  // once in substitution order; values that round-trip as canonical
+  // numbers are provably splice-equivalent and feed the IR's eager slots,
+  // anything else splices the raw strings back into text and evaluates it
+  // (the uncompiled path, with the thunks' side effects already done).
+  void specialize_expr_template(CompiledCommand& cmd) {
+    std::vector<std::string> segs;
+    std::vector<CompiledPart> leaves;
+    std::string cur;
+    for (size_t k = 1; k < cmd.words.size(); ++k) {
+      if (k > 1) cur += ' ';
+      for (const CompiledPart& p : cmd.words[k].parts) {
+        if (p.kind == CompiledPart::Kind::kLiteral) {
+          // A stray marker byte in user text would collide with our
+          // leaf encoding; such programs stay on the generic path.
+          if (p.text.find('\x01') != std::string::npos) return;
+          cur += p.text;
+        } else {
+          segs.push_back(cur);
+          cur.clear();
+          leaves.push_back(p);
+        }
+      }
+    }
+    segs.push_back(std::move(cur));
+    if (leaves.empty()) return;  // all-literal is handled by kExpr
+    std::string text;
+    for (size_t k = 0; k < leaves.size(); ++k) {
+      text += segs[k];
+      text += '\x01';
+      text += std::to_string(k);
+      text += '\x01';
+    }
+    text += segs.back();
+    auto ir = expr_ir_compile(text, /*allow_markers=*/true);
+    if (!ir) return;
+    cmd.op = CompiledCommand::Op::kExprTemplate;
+    cmd.expr_ir = std::move(ir);
+    cmd.expr_segments = std::move(segs);
+    cmd.expr_leaves = std::move(leaves);
+  }
+
+  // Statically walks cmd_if's cond/then/elseif/else structure. Bails to
+  // generic on anything irregular — cmd_if checks its structure lazily
+  // (a true condition hides malformed trailing clauses), and only the
+  // interpreter reproduces that faithfully.
+  void specialize_if(CompiledCommand& cmd) {
+    const size_t n = cmd.words.size();
+    auto lit = [&](size_t k) { return cmd.words[k].pure_literal; };
+    auto text = [&](size_t k) -> const std::string& { return cmd.words[k].parts[0].text; };
+    for (size_t k = 1; k < n; ++k) {
+      if (!lit(k)) return;
+    }
+
+    std::vector<CompiledCommand::IfArm> arms;
+    std::shared_ptr<const CompiledUnit> else_body;
+    size_t i = 1;
+    while (true) {
+      if (i + 1 >= n) return;
+      size_t body_index = i + 1;
+      if (text(body_index) == "then") ++body_index;
+      if (body_index >= n) return;
+      auto body = try_sub(text(body_index));
+      if (!body) return;
+      CompiledCommand::IfArm arm;
+      arm.cond = text(i);
+      arm.cond_ir = expr_ir_compile(arm.cond);
+      arm.body = std::move(body);
+      arms.push_back(std::move(arm));
+      i = body_index + 1;
+      if (i >= n) break;  // chain ends with no else
+      if (text(i) == "elseif") {
+        ++i;
+        continue;
+      }
+      if (text(i) == "else") {
+        if (i + 1 >= n) return;
+        else_body = try_sub(text(i + 1));
+        if (!else_body) return;
+        break;  // cmd_if ignores words past the else body
+      }
+      // Bare trailing body acts as else (Tcl allows this).
+      else_body = try_sub(text(i));
+      if (!else_body) return;
+      break;
+    }
+    cmd.op = CompiledCommand::Op::kIf;
+    cmd.arms = std::move(arms);
+    cmd.else_body = std::move(else_body);
+  }
+
+  SymbolTable& syms_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+// ---- Interp: compile entry point ----
+
+std::shared_ptr<const CompiledUnit> Interp::compile(std::string_view source) {
+  ++compile_stats_.misses;
+  Compiler compiler(symbols_);
+  return compiler.compile_top(source);
+}
+
+// ---- Interp: executor ----
+
+std::string Interp::exec(const CompiledUnit& unit) { return exec_body(unit); }
+
+std::string Interp::exec_body(const CompiledUnit& unit) {
+  if (++depth_ > parse::kMaxEvalDepth) {
+    --depth_;
+    throw TclError("too many nested evaluations (infinite recursion?)");
+  }
+  struct DepthGuard {
+    int* d;
+    ~DepthGuard() { --*d; }
+  } dguard{&depth_};
+
+  std::string result;
+  for (const CompiledCommand& cmd : unit.cmds) {
+    bool invoked = false;
+    std::string r = exec_command(cmd, &invoked);
+    if (invoked) result = std::move(r);
+  }
+  if (unit.has_tail) {
+    ++compile_stats_.bailouts;
+    // Run the tail in the unit's own depth slot, exactly where eval()
+    // would be, so recursion-limit behavior is unchanged.
+    --depth_;
+    struct Restore {
+      int* d;
+      ~Restore() { ++*d; }
+    } restore{&depth_};
+    uint64_t before = commands_evaluated_;
+    std::string r = eval(unit.tail);
+    if (commands_evaluated_ != before) result = std::move(r);
+  }
+  return result;
+}
+
+std::string Interp::exec_part(const CompiledPart& part) {
+  switch (part.kind) {
+    case CompiledPart::Kind::kLiteral:
+      return part.text;
+    case CompiledPart::Kind::kVar:
+      return get_var(part.text);
+    case CompiledPart::Kind::kVarIndexed: {
+      std::string index;
+      for (const CompiledPart& ip : part.index) index += exec_part(ip);
+      return get_var(part.text + "(" + index + ")");
+    }
+    case CompiledPart::Kind::kScript:
+      return exec_body(*part.script);
+  }
+  return "";
+}
+
+std::string Interp::word_value(const CompiledWord& word) {
+  if (word.pure_literal) return word.parts[0].text;
+  if (word.parts.size() == 1) return exec_part(word.parts[0]);
+  std::string out;
+  for (const CompiledPart& p : word.parts) out += exec_part(p);
+  return out;
+}
+
+void Interp::append_word(const CompiledWord& word, std::vector<std::string>& out) {
+  if (!word.expand) {
+    out.push_back(word_value(word));
+    return;
+  }
+  if (word.pre_split_valid) {
+    out.insert(out.end(), word.pre_split.begin(), word.pre_split.end());
+    return;
+  }
+  std::string value = word_value(word);
+  for (std::string& e : list_split(value)) out.push_back(std::move(e));
+}
+
+// A loop/if condition through the compiled expression: expr_bool minus the
+// text re-parse. The int fast path mirrors expr_bool exactly — as_string
+// of an int always re-parses as that number, so parse_bool reduces to a
+// nonzero test.
+bool Interp::exec_cond(const ExprIr& ir) {
+  Value v = expr_ir_eval(*this, ir, nullptr);
+  if (v.is_int()) return v.as_int() != 0;
+  std::string s = v.as_string();
+  auto b = parse_bool(s);
+  if (!b) throw TclError("expected boolean value but got \"" + s + "\"");
+  return *b;
+}
+
+// `expr` with substituted arguments. Every leaf evaluates exactly once, in
+// the same order direct evaluation substitutes the command's words; the
+// round-trip guard then decides whether the classified values are provably
+// splice-equivalent to their raw texts. On any guard failure the raws are
+// spliced back into the expression text and evaluated — bit-for-bit the
+// uncompiled path, with no thunk re-run.
+std::string Interp::exec_expr_template(const CompiledCommand& cmd) {
+  const size_t nleaves = cmd.expr_leaves.size();
+  std::vector<std::string> raws(nleaves);
+  for (size_t k = 0; k < nleaves; ++k) raws[k] = exec_part(cmd.expr_leaves[k]);
+  // Leaf thunks substituted; now the expr command itself counts, exactly
+  // where direct evaluation would invoke it.
+  ++commands_evaluated_;
+  std::vector<Value> vals(nleaves);
+  bool exact = true;
+  for (size_t k = 0; k < nleaves; ++k) {
+    vals[k] = Value::classify(raws[k]);
+    bool ok = vals[k].is_numeric() && vals[k].as_string() == raws[k];
+    // Two canonical numerics re-parse differently when spliced as text:
+    // inf/nan classify as doubles but read back as boolean words, and
+    // INT64_MIN reads back as unary minus on an overflowing literal
+    // (which falls to double). Both take the text path.
+    if (ok && vals[k].is_double() && !std::isfinite(vals[k].as_double())) ok = false;
+    if (ok && vals[k].is_int() && vals[k].as_int() == std::numeric_limits<int64_t>::min()) {
+      ok = false;
+    }
+    if (!ok) {
+      exact = false;
+      break;
+    }
+  }
+  if (!exact) {
+    std::string text = cmd.expr_segments[0];
+    for (size_t k = 0; k < nleaves; ++k) {
+      text += raws[k];
+      text += cmd.expr_segments[k + 1];
+    }
+    return expr(text);
+  }
+  return expr_ir_eval(*this, *cmd.expr_ir, &vals).as_string();
+}
+
+const Interp::ResolveEntry& Interp::resolve_symbol(uint32_t sym) {
+  if (sym >= resolve_cache_.size()) resolve_cache_.resize(symbols_.size());
+  ResolveEntry& e = resolve_cache_[sym];
+  if (e.epoch == mutation_epoch_) return e;
+  const std::string& name = symbols_.name(sym);
+  e.epoch = mutation_epoch_;
+  e.fn = nullptr;
+  e.proc = nullptr;
+  if (auto it = commands_.find(name); it != commands_.end()) {
+    e.kind = ResolveEntry::Kind::kBuiltin;
+    e.fn = &it->second;
+  } else if (auto it = procs_.find(name); it != procs_.end()) {
+    e.kind = ResolveEntry::Kind::kProc;
+    e.proc = &it->second;
+  } else {
+    e.kind = ResolveEntry::Kind::kMissing;
+  }
+  return e;
+}
+
+std::string Interp::exec_generic(const CompiledCommand& cmd, bool* invoked) {
+  std::vector<std::string> words;
+  words.reserve(cmd.words.size());
+  for (const CompiledWord& w : cmd.words) append_word(w, words);
+  if (words.empty()) {
+    *invoked = false;
+    return "";
+  }
+  *invoked = true;
+  ++commands_evaluated_;
+  if (cmd.name_sym != kNoSymbol) {
+    const ResolveEntry& e = resolve_symbol(cmd.name_sym);
+    if (e.kind == ResolveEntry::Kind::kBuiltin) return (*e.fn)(*this, words);
+    if (e.kind == ResolveEntry::Kind::kProc) {
+      // Keep the definition alive: the body may redefine or remove it.
+      std::shared_ptr<ProcData> proc = *e.proc;
+      return call_proc(words[0], *proc, words);
+    }
+    throw TclError("invalid command name \"" + words[0] + "\"");
+  }
+  const std::string& name = words[0];
+  if (auto it = commands_.find(name); it != commands_.end()) {
+    return it->second(*this, words);
+  }
+  if (auto it = procs_.find(name); it != procs_.end()) {
+    std::shared_ptr<ProcData> proc = it->second;
+    return call_proc(name, *proc, words);
+  }
+  throw TclError("invalid command name \"" + name + "\"");
+}
+
+std::string Interp::exec_command(const CompiledCommand& cmd, bool* invoked) {
+  using Op = CompiledCommand::Op;
+  // If any specialized builtin was re-registered, only generic dispatch
+  // (which resolves through the live command tables) is trustworthy.
+  if (cmd.op == Op::kGeneric || specials_retouched_) return exec_generic(cmd, invoked);
+  *invoked = true;
+  // Count cadence matches direct evaluation exactly: argument words
+  // substitute first (running — and counting — any nested [scripts]),
+  // and only then is the command itself counted. A throwing thunk must
+  // leave this command uncounted, as it leaves it uninvoked in eval().
+  switch (cmd.op) {
+    case Op::kSet: {
+      if (cmd.words.size() == 3) {
+        std::string name = word_value(cmd.words[1]);
+        std::string value = word_value(cmd.words[2]);
+        ++commands_evaluated_;
+        set_var(name, value);
+        return value;
+      }
+      std::string name = word_value(cmd.words[1]);
+      ++commands_evaluated_;
+      return get_var(name);
+    }
+    case Op::kIncr: {
+      std::string name = word_value(cmd.words[1]);
+      bool thunked_delta = cmd.words.size() == 3 && !cmd.words[2].lit.is_int();
+      std::string d;
+      if (thunked_delta) d = word_value(cmd.words[2]);
+      ++commands_evaluated_;
+      int64_t delta = 1;
+      if (cmd.words.size() == 3) {
+        if (cmd.words[2].lit.is_int()) {
+          delta = cmd.words[2].lit.as_int();
+        } else {
+          auto pd = str::parse_int(d);
+          if (!pd) throw TclError("expected integer but got \"" + d + "\"");
+          delta = *pd;
+        }
+      }
+      int64_t value = 0;
+      if (auto cur = get_var_opt(name)) {
+        auto v = str::parse_int(*cur);
+        if (!v) throw TclError("expected integer but got \"" + *cur + "\"");
+        value = *v;
+      }
+      value += delta;
+      std::string out = std::to_string(value);
+      set_var(name, out);
+      return out;
+    }
+    case Op::kExpr:
+      ++commands_evaluated_;
+      if (cmd.expr_ir) return expr_ir_eval(*this, *cmd.expr_ir, nullptr).as_string();
+      return expr(cmd.expr_text);
+    case Op::kExprTemplate:
+      // Counts itself after its leaf thunks have evaluated.
+      return exec_expr_template(cmd);
+    case Op::kIf: {
+      ++commands_evaluated_;
+      for (const CompiledCommand::IfArm& arm : cmd.arms) {
+        bool taken = arm.cond_ir ? exec_cond(*arm.cond_ir) : expr_bool(arm.cond);
+        if (taken) return exec_body(*arm.body);
+      }
+      if (cmd.else_body) return exec_body(*cmd.else_body);
+      return "";
+    }
+    case Op::kWhile: {
+      ++commands_evaluated_;
+      while (cmd.expr_ir ? exec_cond(*cmd.expr_ir) : expr_bool(cmd.expr_text)) {
+        try {
+          exec_body(*cmd.body);
+        } catch (BreakSignal&) {
+          break;
+        } catch (ContinueSignal&) {
+          continue;
+        }
+      }
+      return "";
+    }
+    case Op::kFor: {
+      ++commands_evaluated_;
+      exec_body(*cmd.init);
+      while (cmd.expr_ir ? exec_cond(*cmd.expr_ir) : expr_bool(cmd.expr_text)) {
+        try {
+          exec_body(*cmd.body);
+        } catch (BreakSignal&) {
+          break;
+        } catch (ContinueSignal&) {
+          // fall through to next
+        }
+        exec_body(*cmd.next);
+      }
+      return "";
+    }
+    case Op::kForeach: {
+      // Mirror cmd_foreach: all value words substitute first (left to
+      // right), then each group's values are split.
+      const size_t ngroups = cmd.loop_vars.size();
+      std::vector<std::string> raw(ngroups);
+      for (size_t g = 0; g < ngroups; ++g) raw[g] = word_value(cmd.words[2 + 2 * g]);
+      ++commands_evaluated_;
+      std::vector<std::vector<std::string>> values(ngroups);
+      size_t iterations = 0;
+      for (size_t g = 0; g < ngroups; ++g) {
+        values[g] = list_split(raw[g]);
+        const size_t nvars = cmd.loop_vars[g].size();
+        size_t iters = (values[g].size() + nvars - 1) / nvars;
+        iterations = std::max(iterations, iters);
+      }
+      for (size_t iter = 0; iter < iterations; ++iter) {
+        for (size_t g = 0; g < ngroups; ++g) {
+          const auto& vars = cmd.loop_vars[g];
+          for (size_t v = 0; v < vars.size(); ++v) {
+            size_t idx = iter * vars.size() + v;
+            set_var(vars[v], idx < values[g].size() ? values[g][idx] : "");
+          }
+        }
+        try {
+          exec_body(*cmd.body);
+        } catch (BreakSignal&) {
+          return "";
+        } catch (ContinueSignal&) {
+          continue;
+        }
+      }
+      return "";
+    }
+    case Op::kCatch: {
+      // The result-variable word substitutes before the script runs, as
+      // in direct evaluation.
+      std::string result_var;
+      if (cmd.words.size() == 3) result_var = word_value(cmd.words[2]);
+      ++commands_evaluated_;
+      int code = kTclOk;
+      std::string result;
+      try {
+        result = exec_body(*cmd.body);
+      } catch (TclError& e) {
+        code = kTclErrorCode;
+        result = e.what();
+      } catch (ReturnSignal& r) {
+        code = kTclReturn;
+        result = std::move(r.value);
+      } catch (BreakSignal&) {
+        code = kTclBreak;
+      } catch (ContinueSignal&) {
+        code = kTclContinue;
+      }
+      if (cmd.words.size() == 3) set_var(result_var, result);
+      return std::to_string(code);
+    }
+    case Op::kBreak:
+      ++commands_evaluated_;
+      throw BreakSignal{};
+    case Op::kContinue:
+      ++commands_evaluated_;
+      throw ContinueSignal{};
+    case Op::kReturn: {
+      std::string value = cmd.words.size() > 1 ? word_value(cmd.words[1]) : "";
+      ++commands_evaluated_;
+      throw ReturnSignal{std::move(value)};
+    }
+    case Op::kGeneric:
+      break;  // unreachable
+  }
+  return exec_generic(cmd, invoked);
+}
+
+}  // namespace ilps::tcl

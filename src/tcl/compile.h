@@ -1,0 +1,136 @@
+// The MiniTcl bytecode layer: a compiled unit is the word structure of a
+// script, parsed once — literal words, variable-reference thunks, nested
+// [script] slots — plus specialized forms for the control-flow builtins so
+// loop bodies and conditions are not re-tokenized per iteration.
+//
+// Units are a rank-local cache, never shipped: only source text crosses
+// ranks (the paper's shippable-text property), and any construct the
+// compiler cannot prove equivalent is kept as raw source in `tail`, which
+// the executor hands back to Interp::eval. See docs/interp.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tcl/value.h"
+
+namespace ilps::tcl {
+
+class Interp;
+struct CompiledUnit;
+struct ExprIr;
+
+inline constexpr uint32_t kNoSymbol = 0xffffffff;
+
+// ---- Compiled expr sublanguage ----
+// An ExprIr is the expr grammar parsed once into a small tree: constant
+// operands are pre-classified Values, $var / [cmd] operands stay lazy
+// thunks evaluated per execution (matching the parser's left-to-right,
+// short-circuit-aware evaluation order exactly). The compiler is strictly
+// conservative: any construct whose scanning could diverge from the live
+// parser (braces or escapes inside bracket spans, substituted array
+// indices, ...) fails compilation, and callers keep evaluating the source
+// text — the general path stays authoritative.
+//
+// Returns nullptr when the expression cannot be compiled (including any
+// syntax error, so error positions/messages stay with the live parser).
+// `allow_markers` admits \x01<k>\x01 eager-leaf markers, used only by the
+// kExprTemplate specialization below.
+std::shared_ptr<const ExprIr> expr_ir_compile(std::string_view text, bool allow_markers = false);
+
+// Evaluates a compiled expression against the interp. `eager` supplies the
+// pre-evaluated leaf values for a template expression (null otherwise).
+Value expr_ir_eval(Interp& interp, const ExprIr& ir, const std::vector<Value>* eager);
+
+// One fragment of a word: a literal run, a scalar variable reference, an
+// array-element reference (whose index is itself a fragment sequence), or
+// a nested [script] whose result is spliced in.
+struct CompiledPart {
+  enum class Kind : uint8_t { kLiteral, kVar, kVarIndexed, kScript };
+  Kind kind = Kind::kLiteral;
+  std::string text;                     // kLiteral: text; kVar*: variable base name
+  std::vector<CompiledPart> index;      // kVarIndexed: array index fragments
+  std::shared_ptr<const CompiledUnit> script;  // kScript
+};
+
+// One word of a command. Backslash escapes are already resolved into the
+// literal fragments (they are pure text transforms).
+struct CompiledWord {
+  bool expand = false;        // {*}-prefixed
+  bool pure_literal = false;  // exactly one kLiteral part
+  std::vector<CompiledPart> parts;
+  // Tagged view of a pure literal: kInt when the text is a canonical
+  // integer (round-trips exactly), kSymbol for interned command names.
+  // parts[0].text remains the authoritative exact text.
+  Value lit;
+  // {*} on a pure literal: elements pre-split at compile time.
+  bool pre_split_valid = false;
+  std::vector<std::string> pre_split;
+};
+
+// One command: its words, plus (when the command name is a literal and the
+// shape matches) a specialized opcode with pre-compiled sub-parts. The
+// generic word list is always retained — specialized execution degrades to
+// generic dispatch if a specialized builtin is ever re-registered.
+struct CompiledCommand {
+  enum class Op : uint8_t {
+    kGeneric,
+    kSet,       // set name ?value?
+    kIncr,      // incr name ?delta?
+    kExpr,      // expr with all-literal args (pre-joined)
+    kExprTemplate,  // expr with substituted args (eager leaves + ExprIr)
+    kIf,        // literal cond/body chain
+    kWhile,     // literal cond + body
+    kFor,       // literal init/cond/next/body
+    kForeach,   // literal varlists + body (value lists stay thunks)
+    kCatch,     // literal script
+    kBreak,
+    kContinue,
+    kReturn,    // return ?value? (not the -code forms)
+  };
+  Op op = Op::kGeneric;
+  std::vector<CompiledWord> words;
+  // Interned command name when words[0] is a non-expand pure literal.
+  uint32_t name_sym = kNoSymbol;
+
+  // Specialized payloads (set only for the matching op).
+  struct IfArm {
+    std::string cond;  // literal expr text, fed to expr_bool like cmd_if
+    std::shared_ptr<const ExprIr> cond_ir;  // compiled cond (null = eval text)
+    std::shared_ptr<const CompiledUnit> body;
+  };
+  std::vector<IfArm> arms;                         // kIf
+  std::shared_ptr<const CompiledUnit> else_body;   // kIf; may be null
+  std::string expr_text;                           // kExpr / kWhile / kFor cond
+  std::shared_ptr<const ExprIr> expr_ir;           // compiled expr_text / template
+  std::shared_ptr<const CompiledUnit> body;        // kWhile/kFor/kForeach/kCatch
+  std::shared_ptr<const CompiledUnit> init;        // kFor
+  std::shared_ptr<const CompiledUnit> next;        // kFor
+  std::vector<std::vector<std::string>> loop_vars;  // kForeach var groups
+
+  // kExprTemplate: the expr text reassembled around its substituted
+  // fragments. segments[k] is the literal text before leaf k (one extra
+  // trailing segment); leaves[k] is the fragment's thunk. At execution the
+  // leaves evaluate once, in substitution order; values that round-trip as
+  // canonical numbers feed the ExprIr's eager slots, and anything else
+  // falls back to splicing the raw strings into text and evaluating it —
+  // bit-for-bit the uncompiled path, with no re-run of the thunks.
+  std::vector<std::string> expr_segments;          // kExprTemplate
+  std::vector<CompiledPart> expr_leaves;           // kExprTemplate
+};
+
+struct CompiledUnit {
+  std::vector<CompiledCommand> cmds;
+  // Raw source from the first construct the compiler could not compile
+  // (always a parse error in the remainder). The executor evaluates it
+  // with Interp::eval after `cmds`, which reproduces the interpreter's
+  // interleaved parse/execute semantics — side effects before the error,
+  // then the identical error — exactly.
+  bool has_tail = false;
+  std::string tail;
+  size_t source_bytes = 0;  // compile-input size (cache budgeting/metrics)
+};
+
+}  // namespace ilps::tcl

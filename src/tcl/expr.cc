@@ -6,65 +6,28 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <memory>
 #include <string>
-#include <variant>
 #include <vector>
 
 #include "common/strings.h"
+#include "tcl/compile.h"
 #include "tcl/interp.h"
 
 namespace ilps::tcl {
 
 namespace {
 
-struct Value {
-  std::variant<int64_t, double, std::string> v;
-
-  bool is_int() const { return std::holds_alternative<int64_t>(v); }
-  bool is_double() const { return std::holds_alternative<double>(v); }
-  bool is_string() const { return std::holds_alternative<std::string>(v); }
-  bool is_numeric() const { return !is_string(); }
-
-  int64_t as_int() const {
-    if (is_int()) return std::get<int64_t>(v);
-    if (is_double()) return static_cast<int64_t>(std::get<double>(v));
-    throw TclError("expected integer but got \"" + std::get<std::string>(v) + "\"");
-  }
-  int64_t require_int(const char* op) const {
-    if (is_int()) return std::get<int64_t>(v);
-    throw TclError(std::string("operand of ") + op + " must be an integer");
-  }
-  double as_double() const {
-    if (is_int()) return static_cast<double>(std::get<int64_t>(v));
-    if (is_double()) return std::get<double>(v);
-    throw TclError("expected number but got \"" + std::get<std::string>(v) + "\"");
-  }
-  std::string as_string() const {
-    if (is_int()) return std::to_string(std::get<int64_t>(v));
-    if (is_double()) return str::format_double(std::get<double>(v));
-    return std::get<std::string>(v);
-  }
-  bool truthy() const {
-    if (is_int()) return std::get<int64_t>(v) != 0;
-    if (is_double()) return std::get<double>(v) != 0.0;
-    auto b = parse_bool(std::get<std::string>(v));
-    if (!b) throw TclError("expected boolean value but got \"" + std::get<std::string>(v) + "\"");
-    return *b;
-  }
-};
-
-Value make_int(int64_t x) { return Value{x}; }
-Value make_double(double x) { return Value{x}; }
-Value make_bool(bool b) { return Value{static_cast<int64_t>(b ? 1 : 0)}; }
-Value make_string(std::string s) { return Value{std::move(s)}; }
+// Expression values are the tagged tcl::Value (value.h); these wrappers
+// keep the parser code in its historical shape.
+Value make_int(int64_t x) { return Value::from_int(x); }
+Value make_double(double x) { return Value::from_double(x); }
+Value make_bool(bool b) { return Value::from_bool(b); }
+Value make_string(std::string s) { return Value::from_string(std::move(s)); }
 
 // Converts raw text (from a $var or [cmd]) into the narrowest numeric
 // value, or keeps it as a string.
-Value classify(std::string raw) {
-  if (auto i = str::parse_int(raw)) return make_int(*i);
-  if (auto d = str::parse_double(raw)) return make_double(*d);
-  return make_string(std::move(raw));
-}
+Value classify(std::string raw) { return Value::classify(std::move(raw)); }
 
 int64_t floor_div(int64_t a, int64_t b) {
   if (b == 0) throw TclError("divide by zero");
@@ -78,6 +41,141 @@ int64_t floor_mod(int64_t a, int64_t b) {
   int64_t r = a % b;
   if (r != 0 && ((r < 0) != (b < 0))) r += b;
   return r;
+}
+
+// Operator semantics shared by the live parser (ExprParser) and the
+// compiled-expression evaluator (ExprIrEval). Both paths MUST produce
+// identical values and identical error messages; sharing the definitions
+// is what makes that hold by construction.
+
+// Numeric compare when both operands look numeric (Tcl reclassifies
+// string operands that parse as numbers), else string compare.
+int expr_compare(const Value& a0, const Value& b0) {
+  Value a = a0.is_string() ? classify(a0.str()) : a0;
+  Value b = b0.is_string() ? classify(b0.str()) : b0;
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.is_int() && b.is_int()) {
+      int64_t x = a.as_int();
+      int64_t y = b.as_int();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    double x = a.as_double();
+    double y = b.as_double();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  std::string x = a.as_string();
+  std::string y = b.as_string();
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+Value expr_arith(const Value& a, const Value& b, char op) {
+  if (a.is_int() && b.is_int()) {
+    int64_t x = a.as_int();
+    int64_t y = b.as_int();
+    switch (op) {
+      case '+': return make_int(x + y);
+      case '-': return make_int(x - y);
+      case '*': return make_int(x * y);
+      case '/': return make_int(floor_div(x, y));
+    }
+  }
+  double x = a.as_double();
+  double y = b.as_double();
+  switch (op) {
+    case '+': return make_double(x + y);
+    case '-': return make_double(x - y);
+    case '*': return make_double(x * y);
+    case '/':
+      if (y == 0.0) throw TclError("divide by zero");
+      return make_double(x / y);
+  }
+  throw TclError("bad arithmetic operator");
+}
+
+bool expr_list_contains(const std::string& list, const std::string& item) {
+  for (const auto& e : list_split(list)) {
+    if (e == item) return true;
+  }
+  return false;
+}
+
+Value expr_call_function(Interp& in, const std::string& name, std::vector<Value>& fn_args) {
+  auto need = [&](size_t n) {
+    if (fn_args.size() != n) {
+      throw TclError("wrong # args to math function " + name);
+    }
+  };
+  auto f1 = [&](double (*fn)(double)) {
+    need(1);
+    return make_double(fn(fn_args[0].as_double()));
+  };
+  if (name == "abs") {
+    need(1);
+    if (fn_args[0].is_int()) {
+      int64_t v = fn_args[0].as_int();
+      return make_int(v < 0 ? -v : v);
+    }
+    return make_double(std::fabs(fn_args[0].as_double()));
+  }
+  if (name == "int") {
+    need(1);
+    return make_int(static_cast<int64_t>(fn_args[0].as_double()));
+  }
+  if (name == "double") {
+    need(1);
+    return make_double(fn_args[0].as_double());
+  }
+  if (name == "round") {
+    need(1);
+    return make_int(static_cast<int64_t>(std::llround(fn_args[0].as_double())));
+  }
+  if (name == "floor") return f1(std::floor);
+  if (name == "ceil") return f1(std::ceil);
+  if (name == "sqrt") return f1(std::sqrt);
+  if (name == "exp") return f1(std::exp);
+  if (name == "log") return f1(std::log);
+  if (name == "log10") return f1(std::log10);
+  if (name == "sin") return f1(std::sin);
+  if (name == "cos") return f1(std::cos);
+  if (name == "tan") return f1(std::tan);
+  if (name == "asin") return f1(std::asin);
+  if (name == "acos") return f1(std::acos);
+  if (name == "atan") return f1(std::atan);
+  if (name == "pow") {
+    need(2);
+    return make_double(std::pow(fn_args[0].as_double(), fn_args[1].as_double()));
+  }
+  if (name == "atan2") {
+    need(2);
+    return make_double(std::atan2(fn_args[0].as_double(), fn_args[1].as_double()));
+  }
+  if (name == "hypot") {
+    need(2);
+    return make_double(std::hypot(fn_args[0].as_double(), fn_args[1].as_double()));
+  }
+  if (name == "fmod") {
+    need(2);
+    return make_double(std::fmod(fn_args[0].as_double(), fn_args[1].as_double()));
+  }
+  if (name == "min" || name == "max") {
+    if (fn_args.empty()) throw TclError(name + " requires at least one argument");
+    Value best = fn_args[0];
+    for (size_t k = 1; k < fn_args.size(); ++k) {
+      int c = expr_compare(fn_args[k], best);
+      if ((name == "min" && c < 0) || (name == "max" && c > 0)) best = fn_args[k];
+    }
+    return best;
+  }
+  if (name == "rand") {
+    need(0);
+    return make_double(in.rng().next_double());
+  }
+  if (name == "srand") {
+    need(1);
+    in.rng() = Rng(static_cast<uint64_t>(fn_args[0].as_int()));
+    return make_double(0.0);
+  }
+  throw TclError("unknown math function \"" + name + "\"");
 }
 
 }  // namespace
@@ -195,10 +293,10 @@ class ExprParser {
       skip_ws();
       if (eat("==")) {
         Value rhs = relational(live);
-        if (live) lhs = make_bool(compare(lhs, rhs) == 0);
+        if (live) lhs = make_bool(expr_compare(lhs, rhs) == 0);
       } else if (eat("!=")) {
         Value rhs = relational(live);
-        if (live) lhs = make_bool(compare(lhs, rhs) != 0);
+        if (live) lhs = make_bool(expr_compare(lhs, rhs) != 0);
       } else if (eat("eq")) {
         Value rhs = relational(live);
         if (live) lhs = make_bool(lhs.as_string() == rhs.as_string());
@@ -207,21 +305,14 @@ class ExprParser {
         if (live) lhs = make_bool(lhs.as_string() != rhs.as_string());
       } else if (eat("in")) {
         Value rhs = relational(live);
-        if (live) lhs = make_bool(list_contains(rhs.as_string(), lhs.as_string()));
+        if (live) lhs = make_bool(expr_list_contains(rhs.as_string(), lhs.as_string()));
       } else if (eat("ni")) {
         Value rhs = relational(live);
-        if (live) lhs = make_bool(!list_contains(rhs.as_string(), lhs.as_string()));
+        if (live) lhs = make_bool(!expr_list_contains(rhs.as_string(), lhs.as_string()));
       } else {
         return lhs;
       }
     }
-  }
-
-  static bool list_contains(const std::string& list, const std::string& item) {
-    for (const auto& e : list_split(list)) {
-      if (e == item) return true;
-    }
-    return false;
   }
 
   Value relational(bool live) {
@@ -242,7 +333,7 @@ class ExprParser {
       }
       Value rhs = shift(live);
       if (!live) continue;
-      int c = compare(lhs, rhs);
+      int c = expr_compare(lhs, rhs);
       switch (op) {
         case 0: lhs = make_bool(c <= 0); break;
         case 1: lhs = make_bool(c >= 0); break;
@@ -250,26 +341,6 @@ class ExprParser {
         case 3: lhs = make_bool(c > 0); break;
       }
     }
-  }
-
-  // Numeric compare when both operands look numeric (Tcl reclassifies
-  // string operands that parse as numbers), else string compare.
-  static int compare(const Value& a0, const Value& b0) {
-    Value a = a0.is_string() ? classify(std::get<std::string>(a0.v)) : a0;
-    Value b = b0.is_string() ? classify(std::get<std::string>(b0.v)) : b0;
-    if (a.is_numeric() && b.is_numeric()) {
-      if (a.is_int() && b.is_int()) {
-        int64_t x = a.as_int();
-        int64_t y = b.as_int();
-        return x < y ? -1 : (x > y ? 1 : 0);
-      }
-      double x = a.as_double();
-      double y = b.as_double();
-      return x < y ? -1 : (x > y ? 1 : 0);
-    }
-    std::string x = a.as_string();
-    std::string y = b.as_string();
-    return x < y ? -1 : (x > y ? 1 : 0);
   }
 
   Value shift(bool live) {
@@ -293,10 +364,10 @@ class ExprParser {
       skip_ws();
       if (eat("+")) {
         Value rhs = multiplicative(live);
-        if (live) lhs = arith(lhs, rhs, '+');
+        if (live) lhs = expr_arith(lhs, rhs, '+');
       } else if (eat("-")) {
         Value rhs = multiplicative(live);
-        if (live) lhs = arith(lhs, rhs, '-');
+        if (live) lhs = expr_arith(lhs, rhs, '-');
       } else {
         return lhs;
       }
@@ -309,10 +380,10 @@ class ExprParser {
       skip_ws();
       if (eat("*")) {
         Value rhs = unary(live);
-        if (live) lhs = arith(lhs, rhs, '*');
+        if (live) lhs = expr_arith(lhs, rhs, '*');
       } else if (eat("/")) {
         Value rhs = unary(live);
-        if (live) lhs = arith(lhs, rhs, '/');
+        if (live) lhs = expr_arith(lhs, rhs, '/');
       } else if (eat("%")) {
         Value rhs = unary(live);
         if (live) lhs = make_int(floor_mod(lhs.require_int("%"), rhs.require_int("%")));
@@ -320,30 +391,6 @@ class ExprParser {
         return lhs;
       }
     }
-  }
-
-  static Value arith(const Value& a, const Value& b, char op) {
-    if (a.is_int() && b.is_int()) {
-      int64_t x = a.as_int();
-      int64_t y = b.as_int();
-      switch (op) {
-        case '+': return make_int(x + y);
-        case '-': return make_int(x - y);
-        case '*': return make_int(x * y);
-        case '/': return make_int(floor_div(x, y));
-      }
-    }
-    double x = a.as_double();
-    double y = b.as_double();
-    switch (op) {
-      case '+': return make_double(x + y);
-      case '-': return make_double(x - y);
-      case '*': return make_double(x * y);
-      case '/':
-        if (y == 0.0) throw TclError("divide by zero");
-        return make_double(x / y);
-    }
-    throw TclError("bad arithmetic operator");
   }
 
   Value unary(bool live) {
@@ -474,7 +521,7 @@ class ExprParser {
           }
         }
         if (!live) return make_int(0);
-        return call_function(word, fn_args);
+        return expr_call_function(in_, word, fn_args);
       }
       auto b = parse_bool(word);
       if (b) return make_bool(*b);
@@ -532,85 +579,6 @@ class ExprParser {
     throw TclError("missing close-bracket in expression");
   }
 
-  Value call_function(const std::string& name, std::vector<Value>& fn_args) {
-    auto need = [&](size_t n) {
-      if (fn_args.size() != n) {
-        throw TclError("wrong # args to math function " + name);
-      }
-    };
-    auto f1 = [&](double (*fn)(double)) {
-      need(1);
-      return make_double(fn(fn_args[0].as_double()));
-    };
-    if (name == "abs") {
-      need(1);
-      if (fn_args[0].is_int()) {
-        int64_t v = fn_args[0].as_int();
-        return make_int(v < 0 ? -v : v);
-      }
-      return make_double(std::fabs(fn_args[0].as_double()));
-    }
-    if (name == "int") {
-      need(1);
-      return make_int(static_cast<int64_t>(fn_args[0].as_double()));
-    }
-    if (name == "double") {
-      need(1);
-      return make_double(fn_args[0].as_double());
-    }
-    if (name == "round") {
-      need(1);
-      return make_int(static_cast<int64_t>(std::llround(fn_args[0].as_double())));
-    }
-    if (name == "floor") return f1(std::floor);
-    if (name == "ceil") return f1(std::ceil);
-    if (name == "sqrt") return f1(std::sqrt);
-    if (name == "exp") return f1(std::exp);
-    if (name == "log") return f1(std::log);
-    if (name == "log10") return f1(std::log10);
-    if (name == "sin") return f1(std::sin);
-    if (name == "cos") return f1(std::cos);
-    if (name == "tan") return f1(std::tan);
-    if (name == "asin") return f1(std::asin);
-    if (name == "acos") return f1(std::acos);
-    if (name == "atan") return f1(std::atan);
-    if (name == "pow") {
-      need(2);
-      return make_double(std::pow(fn_args[0].as_double(), fn_args[1].as_double()));
-    }
-    if (name == "atan2") {
-      need(2);
-      return make_double(std::atan2(fn_args[0].as_double(), fn_args[1].as_double()));
-    }
-    if (name == "hypot") {
-      need(2);
-      return make_double(std::hypot(fn_args[0].as_double(), fn_args[1].as_double()));
-    }
-    if (name == "fmod") {
-      need(2);
-      return make_double(std::fmod(fn_args[0].as_double(), fn_args[1].as_double()));
-    }
-    if (name == "min" || name == "max") {
-      if (fn_args.empty()) throw TclError(name + " requires at least one argument");
-      Value best = fn_args[0];
-      for (size_t k = 1; k < fn_args.size(); ++k) {
-        int c = compare(fn_args[k], best);
-        if ((name == "min" && c < 0) || (name == "max" && c > 0)) best = fn_args[k];
-      }
-      return best;
-    }
-    if (name == "rand") {
-      need(0);
-      return make_double(in_.rng().next_double());
-    }
-    if (name == "srand") {
-      need(1);
-      in_.rng() = Rng(static_cast<uint64_t>(fn_args[0].as_int()));
-      return make_double(0.0);
-    }
-    throw TclError("unknown math function \"" + name + "\"");
-  }
-
   Interp& in_;
   std::string_view s_;
   size_t i_ = 0;
@@ -620,6 +588,660 @@ std::string Interp::expr(std::string_view expression) {
   ExprParser parser(*this, expression);
   Value v = parser.run();
   return v.as_string();
+}
+
+// ---- Compiled expressions (ExprIr) ----
+//
+// The IR is the ExprParser grammar parsed once into a node pool. Constant
+// operands (numbers, braced strings, boolean words) become pre-classified
+// Values; $var and [cmd] operands stay lazy thunks so each execution
+// re-reads live state in exactly the live parser's order, including
+// short-circuit and ternary dead branches (never evaluated — matching the
+// parser's live=false mode, which skips evaluation but, like compilation,
+// has already vetted the structure).
+
+struct ExprIr {
+  enum class K : uint8_t {
+    kConst,        // cval
+    kLazyVar,      // text = variable name, classified per eval
+    kLazyBracket,  // text = "[...]" span, evaluated + classified per eval
+    kQuoted,       // kids = fragments concatenated raw -> string value
+    kEager,        // eager_index into the template's pre-evaluated leaves
+    kUnary,        // op = Un, operand a
+    kBinary,       // op = Bin, operands a b (b lazy for kOr/kAnd)
+    kTernary,      // a ? b : c
+    kCall,         // text = math function name (resolved at eval), kids = args
+  };
+  enum class Un : uint8_t { kNot, kBitNot, kNeg, kPlus };
+  enum class Bin : uint8_t {
+    kOr, kAnd, kBitOr, kBitXor, kBitAnd,
+    kEq, kNe, kStrEq, kStrNe, kIn, kNi,
+    kLe, kGe, kLt, kGt, kShl, kShr,
+    kAdd, kSub, kMul, kDiv, kMod,
+  };
+  struct Node {
+    K kind = K::kConst;
+    uint8_t op = 0;              // Un / Bin payload
+    int a = -1, b = -1, c = -1;  // operand node indices
+    int eager_index = -1;        // kEager
+    Value cval;                  // kConst
+    std::string text;            // kLazyVar / kLazyBracket / kCall
+    std::vector<int> kids;       // kCall args / kQuoted fragments
+  };
+  std::vector<Node> nodes;
+  int root = -1;
+};
+
+namespace {
+
+using K = ExprIr::K;
+using Un = ExprIr::Un;
+using Bin = ExprIr::Bin;
+
+// The eager-leaf marker byte used by the kExprTemplate specialization
+// (compile.cc): \x01<k>\x01 stands for pre-evaluated leaf k. The byte
+// cannot appear in user text that reaches a template (the specializer
+// refuses), so the compiler rejects it everywhere except operand position.
+constexpr char kEagerMark = '\x01';
+
+// Mirrors ExprParser's grammar but builds nodes instead of evaluating.
+// Throws Bail on anything it cannot compile with provable equivalence —
+// including every syntax error, so error behavior stays with the live
+// parser via the caller's text fallback.
+class IrCompiler {
+ public:
+  struct Bail {};
+
+  IrCompiler(std::string_view s, bool allow_markers)
+      : s_(s), allow_markers_(allow_markers) {}
+
+  std::shared_ptr<const ExprIr> run() {
+    auto ir = std::make_shared<ExprIr>();
+    ir_ = ir.get();
+    try {
+      int root = ternary();
+      skip_ws();
+      if (i_ < s_.size()) return nullptr;  // live parser raises syntax error
+      ir->root = root;
+      return ir;
+    } catch (const Bail&) {
+      return nullptr;
+    } catch (const ScriptError&) {
+      return nullptr;  // e.g. malformed backslash escape
+    }
+  }
+
+ private:
+  // ---- node pool ----
+  int add(ExprIr::Node n) {
+    ir_->nodes.push_back(std::move(n));
+    return static_cast<int>(ir_->nodes.size()) - 1;
+  }
+  int konst(Value v) {
+    ExprIr::Node n;
+    n.kind = K::kConst;
+    n.cval = std::move(v);
+    return add(std::move(n));
+  }
+  int unary_node(Un op, int a) {
+    ExprIr::Node n;
+    n.kind = K::kUnary;
+    n.op = static_cast<uint8_t>(op);
+    n.a = a;
+    return add(std::move(n));
+  }
+  int binary_node(Bin op, int a, int b) {
+    ExprIr::Node n;
+    n.kind = K::kBinary;
+    n.op = static_cast<uint8_t>(op);
+    n.a = a;
+    n.b = b;
+    return add(std::move(n));
+  }
+
+  // ---- lexing: identical to ExprParser ----
+  void skip_ws() {
+    while (i_ < s_.size() &&
+           (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\n' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  bool eat(std::string_view op) {
+    skip_ws();
+    if (s_.substr(i_).starts_with(op)) {
+      char next = i_ + op.size() < s_.size() ? s_[i_ + op.size()] : '\0';
+      if (op == "<" && (next == '<' || next == '=')) return false;
+      if (op == ">" && (next == '>' || next == '=')) return false;
+      if (op == "=") return false;
+      if (op == "&" && next == '&') return false;
+      if (op == "|" && next == '|') return false;
+      if (op == "!" && next == '=') return false;
+      if ((op == "eq" || op == "ne" || op == "in" || op == "ni") && is_word_char(next)) {
+        return false;
+      }
+      i_ += op.size();
+      return true;
+    }
+    return false;
+  }
+
+  static bool is_word_char(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
+  }
+
+  // ---- grammar ----
+  int ternary() {
+    int cond = logical_or();
+    skip_ws();
+    if (eat("?")) {
+      int a = ternary();
+      skip_ws();
+      if (!eat(":")) throw Bail{};  // live: "missing : in ternary expression"
+      int b = ternary();
+      ExprIr::Node n;
+      n.kind = K::kTernary;
+      n.a = cond;
+      n.b = a;
+      n.c = b;
+      return add(std::move(n));
+    }
+    return cond;
+  }
+
+  int logical_or() {
+    int lhs = logical_and();
+    while (eat("||")) lhs = binary_node(Bin::kOr, lhs, logical_and());
+    return lhs;
+  }
+
+  int logical_and() {
+    int lhs = bit_or();
+    while (eat("&&")) lhs = binary_node(Bin::kAnd, lhs, bit_or());
+    return lhs;
+  }
+
+  int bit_or() {
+    int lhs = bit_xor();
+    while (eat("|")) lhs = binary_node(Bin::kBitOr, lhs, bit_xor());
+    return lhs;
+  }
+
+  int bit_xor() {
+    int lhs = bit_and();
+    while (eat("^")) lhs = binary_node(Bin::kBitXor, lhs, bit_and());
+    return lhs;
+  }
+
+  int bit_and() {
+    int lhs = equality();
+    while (eat("&")) lhs = binary_node(Bin::kBitAnd, lhs, equality());
+    return lhs;
+  }
+
+  int equality() {
+    int lhs = relational();
+    while (true) {
+      skip_ws();
+      if (eat("==")) {
+        lhs = binary_node(Bin::kEq, lhs, relational());
+      } else if (eat("!=")) {
+        lhs = binary_node(Bin::kNe, lhs, relational());
+      } else if (eat("eq")) {
+        lhs = binary_node(Bin::kStrEq, lhs, relational());
+      } else if (eat("ne")) {
+        lhs = binary_node(Bin::kStrNe, lhs, relational());
+      } else if (eat("in")) {
+        lhs = binary_node(Bin::kIn, lhs, relational());
+      } else if (eat("ni")) {
+        lhs = binary_node(Bin::kNi, lhs, relational());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  int relational() {
+    int lhs = shift();
+    while (true) {
+      skip_ws();
+      if (eat("<=")) {
+        lhs = binary_node(Bin::kLe, lhs, shift());
+      } else if (eat(">=")) {
+        lhs = binary_node(Bin::kGe, lhs, shift());
+      } else if (eat("<")) {
+        lhs = binary_node(Bin::kLt, lhs, shift());
+      } else if (eat(">")) {
+        lhs = binary_node(Bin::kGt, lhs, shift());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  int shift() {
+    int lhs = additive();
+    while (true) {
+      if (eat("<<")) {
+        lhs = binary_node(Bin::kShl, lhs, additive());
+      } else if (eat(">>")) {
+        lhs = binary_node(Bin::kShr, lhs, additive());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  int additive() {
+    int lhs = multiplicative();
+    while (true) {
+      skip_ws();
+      if (eat("+")) {
+        lhs = binary_node(Bin::kAdd, lhs, multiplicative());
+      } else if (eat("-")) {
+        lhs = binary_node(Bin::kSub, lhs, multiplicative());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  int multiplicative() {
+    int lhs = unary();
+    while (true) {
+      skip_ws();
+      if (eat("*")) {
+        lhs = binary_node(Bin::kMul, lhs, unary());
+      } else if (eat("/")) {
+        lhs = binary_node(Bin::kDiv, lhs, unary());
+      } else if (eat("%")) {
+        lhs = binary_node(Bin::kMod, lhs, unary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  int unary() {
+    skip_ws();
+    if (eat("!")) return unary_node(Un::kNot, unary());
+    if (eat("~")) return unary_node(Un::kBitNot, unary());
+    if (eat("-")) return unary_node(Un::kNeg, unary());
+    if (eat("+")) return unary_node(Un::kPlus, unary());
+    return primary();
+  }
+
+  int primary() {
+    skip_ws();
+    if (i_ >= s_.size()) throw Bail{};  // live: "premature end of expression"
+    char c = s_[i_];
+
+    if (c == kEagerMark) {
+      if (!allow_markers_) throw Bail{};
+      ++i_;
+      size_t start = i_;
+      while (i_ < s_.size() && s_[i_] >= '0' && s_[i_] <= '9') ++i_;
+      if (i_ == start || i_ >= s_.size() || s_[i_] != kEagerMark) throw Bail{};
+      int k = 0;
+      for (size_t j = start; j < i_; ++j) k = k * 10 + (s_[j] - '0');
+      ++i_;
+      ExprIr::Node n;
+      n.kind = K::kEager;
+      n.eager_index = k;
+      return add(std::move(n));
+    }
+
+    if (c == '(') {
+      ++i_;
+      int v = ternary();
+      skip_ws();
+      if (i_ >= s_.size() || s_[i_] != ')') throw Bail{};
+      ++i_;
+      return v;
+    }
+
+    if (c == '$') {
+      ++i_;
+      return lazy_var();
+    }
+
+    if (c == '[') return lazy_bracket();
+
+    if (c == '"') return quoted();
+
+    if (c == '{') {
+      int depth = 1;
+      size_t start = ++i_;
+      while (i_ < s_.size() && depth > 0) {
+        if (s_[i_] == '{') ++depth;
+        if (s_[i_] == '}') --depth;
+        ++i_;
+      }
+      if (depth != 0) throw Bail{};
+      std::string inner(s_.substr(start, i_ - start - 1));
+      if (inner.find(kEagerMark) != std::string::npos) throw Bail{};
+      return konst(make_string(std::move(inner)));
+    }
+
+    if ((c >= '0' && c <= '9') ||
+        (c == '.' && i_ + 1 < s_.size() && s_[i_ + 1] >= '0' && s_[i_ + 1] <= '9')) {
+      return number();
+    }
+
+    if (is_word_char(c)) {
+      size_t start = i_;
+      while (i_ < s_.size() && is_word_char(s_[i_])) ++i_;
+      std::string word(s_.substr(start, i_ - start));
+      skip_ws();
+      if (i_ < s_.size() && s_[i_] == '(') {
+        ++i_;
+        std::vector<int> args;
+        skip_ws();
+        if (i_ < s_.size() && s_[i_] == ')') {
+          ++i_;
+        } else {
+          while (true) {
+            args.push_back(ternary());
+            skip_ws();
+            if (i_ < s_.size() && s_[i_] == ',') {
+              ++i_;
+              continue;
+            }
+            if (i_ < s_.size() && s_[i_] == ')') {
+              ++i_;
+              break;
+            }
+            throw Bail{};
+          }
+        }
+        // Unknown functions error at eval time in the live parser (only a
+        // live branch calls them), so resolution stays an eval-time lookup.
+        ExprIr::Node n;
+        n.kind = K::kCall;
+        n.text = std::move(word);
+        n.kids = std::move(args);
+        return add(std::move(n));
+      }
+      auto b = parse_bool(word);
+      if (b) return konst(make_bool(*b));
+      throw Bail{};  // live: "unknown operand" — raised in dead branches too
+    }
+
+    throw Bail{};
+  }
+
+  int number() {
+    std::string buf(s_.substr(i_));
+    errno = 0;
+    char* int_end = nullptr;
+    long long iv = std::strtoll(buf.c_str(), &int_end, 0);
+    bool int_overflow = errno == ERANGE;
+    char* dbl_end = nullptr;
+    double dv = std::strtod(buf.c_str(), &dbl_end);
+    if (dbl_end > int_end || int_overflow) {
+      i_ += static_cast<size_t>(dbl_end - buf.c_str());
+      return konst(make_double(dv));
+    }
+    i_ += static_cast<size_t>(int_end - buf.c_str());
+    return konst(make_int(static_cast<int64_t>(iv)));
+  }
+
+  // A $var reference whose extent provably matches parse_dollar's: plain
+  // names, ${braced} names, and array elements with literal-only indices.
+  // Substituted indices bail out — their scan order is the live parser's
+  // business.
+  int lazy_var() {
+    std::string name;
+    if (i_ < s_.size() && s_[i_] == '{') {
+      size_t end = s_.find('}', i_ + 1);
+      if (end == std::string_view::npos) throw Bail{};
+      name = std::string(s_.substr(i_ + 1, end - i_ - 1));
+      i_ = end + 1;
+    } else {
+      size_t start = i_;
+      while (i_ < s_.size() && (is_word_char(s_[i_]) || s_[i_] == ':')) ++i_;
+      if (i_ == start) throw Bail{};  // lone '$' is literal text — too rare to model
+      name = std::string(s_.substr(start, i_ - start));
+      if (i_ < s_.size() && s_[i_] == '(') {
+        ++i_;
+        size_t istart = i_;
+        while (i_ < s_.size() && s_[i_] != ')') {
+          char q = s_[i_];
+          if (q == '$' || q == '[' || q == '\\' || q == kEagerMark) throw Bail{};
+          ++i_;
+        }
+        if (i_ >= s_.size()) throw Bail{};
+        name += '(';
+        name.append(s_.substr(istart, i_ - istart));
+        name += ')';
+        ++i_;
+      }
+    }
+    if (name.find(kEagerMark) != std::string::npos) throw Bail{};
+    ExprIr::Node n;
+    n.kind = K::kLazyVar;
+    n.text = std::move(name);
+    return add(std::move(n));
+  }
+
+  // A [cmd] span. Restricted to spans containing none of " { } \ # ( so
+  // that plain [/] depth counting — here, in skip_bracket, and in the real
+  // parse — provably finds the same extent; anything else bails to the
+  // text path.
+  int lazy_bracket() {
+    size_t start = i_;  // at '['
+    int depth = 0;
+    bool closed = false;
+    while (i_ < s_.size()) {
+      char c = s_[i_];
+      if (c == '"' || c == '{' || c == '}' || c == '\\' || c == '#' || c == '(' ||
+          c == kEagerMark) {
+        throw Bail{};
+      }
+      ++i_;
+      if (c == '[') ++depth;
+      if (c == ']') {
+        --depth;
+        if (depth == 0) {
+          closed = true;
+          break;
+        }
+      }
+    }
+    if (!closed) throw Bail{};
+    ExprIr::Node n;
+    n.kind = K::kLazyBracket;
+    n.text = std::string(s_.substr(start, i_ - start));
+    return add(std::move(n));
+  }
+
+  // A "quoted" operand: literal runs (escapes resolved now — they are pure
+  // text transforms) plus raw-substituting $var / [cmd] fragments.
+  int quoted() {
+    ++i_;  // past '"'
+    std::vector<int> kids;
+    std::string lit;
+    auto flush = [&] {
+      if (!lit.empty()) {
+        kids.push_back(konst(make_string(lit)));
+        lit.clear();
+      }
+    };
+    while (i_ < s_.size() && s_[i_] != '"') {
+      char q = s_[i_];
+      if (q == '\\') {
+        lit += backslash_escape(s_, i_);
+      } else if (q == '$') {
+        ++i_;
+        flush();
+        kids.push_back(lazy_var());
+      } else if (q == '[') {
+        flush();
+        kids.push_back(lazy_bracket());
+      } else if (q == kEagerMark) {
+        throw Bail{};
+      } else {
+        lit += q;
+        ++i_;
+      }
+    }
+    if (i_ >= s_.size()) throw Bail{};  // live: missing "
+    ++i_;
+    flush();
+    ExprIr::Node n;
+    n.kind = K::kQuoted;
+    n.kids = std::move(kids);
+    return add(std::move(n));
+  }
+
+  ExprIr* ir_ = nullptr;
+  std::string_view s_;
+  size_t i_ = 0;
+  bool allow_markers_;
+};
+
+}  // namespace
+
+// Tree-walking evaluator. A friend of Interp so lazy [cmd] thunks reach
+// parse_bracket — the exact function the live parser calls.
+class ExprIrEval {
+ public:
+  ExprIrEval(Interp& in, const ExprIr& ir, const std::vector<Value>* eager)
+      : in_(in), ir_(ir), eager_(eager) {}
+
+  Value eval(int idx) {
+    const ExprIr::Node& n = ir_.nodes[static_cast<size_t>(idx)];
+    switch (n.kind) {
+      case K::kConst:
+        return n.cval;
+      case K::kLazyVar:
+        return in_.read_var_value(n.text);
+      case K::kLazyBracket: {
+        size_t i = 1;  // past '['
+        return classify(in_.eval_until(n.text, i, ']'));
+      }
+      case K::kQuoted: {
+        std::string out;
+        for (int k : n.kids) out += raw(k);
+        return make_string(std::move(out));
+      }
+      case K::kEager:
+        if (!eager_ || n.eager_index < 0 ||
+            static_cast<size_t>(n.eager_index) >= eager_->size()) {
+          throw TclError("internal error: expr template leaf out of range");
+        }
+        return (*eager_)[static_cast<size_t>(n.eager_index)];
+      case K::kUnary: {
+        Value v = eval(n.a);
+        switch (static_cast<Un>(n.op)) {
+          case Un::kNot: return make_bool(!v.truthy());
+          case Un::kBitNot: return make_int(~v.require_int("~"));
+          case Un::kNeg:
+            if (v.is_int()) return make_int(-v.as_int());
+            return make_double(-v.as_double());
+          case Un::kPlus:
+            v.as_double();  // must be numeric
+            return v;
+        }
+        break;
+      }
+      case K::kBinary:
+        return binary(n);
+      case K::kTernary:
+        return eval(n.a).truthy() ? eval(n.b) : eval(n.c);
+      case K::kCall: {
+        std::vector<Value> args;
+        args.reserve(n.kids.size());
+        for (int k : n.kids) args.push_back(eval(k));
+        return expr_call_function(in_, n.text, args);
+      }
+    }
+    throw TclError("internal error: bad expr node");
+  }
+
+ private:
+  Value binary(const ExprIr::Node& n) {
+    Bin op = static_cast<Bin>(n.op);
+    // Short-circuit forms evaluate the rhs only when the lhs doesn't
+    // decide, exactly as the live parser's live-flag threading does.
+    if (op == Bin::kOr) {
+      if (eval(n.a).truthy()) return make_bool(true);
+      return make_bool(eval(n.b).truthy());
+    }
+    if (op == Bin::kAnd) {
+      if (!eval(n.a).truthy()) return make_bool(false);
+      return make_bool(eval(n.b).truthy());
+    }
+    // Everything else: lhs fully evaluates before the rhs (the parser
+    // evaluates operands in parse order).
+    Value L = eval(n.a);
+    Value R = eval(n.b);
+    switch (op) {
+      case Bin::kBitOr: return make_int(L.require_int("|") | R.require_int("|"));
+      case Bin::kBitXor: return make_int(L.require_int("^") ^ R.require_int("^"));
+      case Bin::kBitAnd: return make_int(L.require_int("&") & R.require_int("&"));
+      case Bin::kEq: return make_bool(expr_compare(L, R) == 0);
+      case Bin::kNe: return make_bool(expr_compare(L, R) != 0);
+      case Bin::kStrEq: return make_bool(L.as_string() == R.as_string());
+      case Bin::kStrNe: return make_bool(L.as_string() != R.as_string());
+      case Bin::kIn: return make_bool(expr_list_contains(R.as_string(), L.as_string()));
+      case Bin::kNi: return make_bool(!expr_list_contains(R.as_string(), L.as_string()));
+      case Bin::kLe: return make_bool(expr_compare(L, R) <= 0);
+      case Bin::kGe: return make_bool(expr_compare(L, R) >= 0);
+      case Bin::kLt: return make_bool(expr_compare(L, R) < 0);
+      case Bin::kGt: return make_bool(expr_compare(L, R) > 0);
+      case Bin::kShl: {
+        int64_t l = L.require_int("<<");
+        return make_int(l << R.require_int("<<"));
+      }
+      case Bin::kShr: {
+        int64_t l = L.require_int(">>");
+        return make_int(l >> R.require_int(">>"));
+      }
+      case Bin::kAdd: return expr_arith(L, R, '+');
+      case Bin::kSub: return expr_arith(L, R, '-');
+      case Bin::kMul: return expr_arith(L, R, '*');
+      case Bin::kDiv: return expr_arith(L, R, '/');
+      case Bin::kMod: {
+        int64_t l = L.require_int("%");
+        return make_int(floor_mod(l, R.require_int("%")));
+      }
+      case Bin::kOr:
+      case Bin::kAnd:
+        break;  // handled above
+    }
+    throw TclError("internal error: bad expr operator");
+  }
+
+  // Quoted-fragment context: substitutions splice raw text, not classified
+  // values (matching parse_dollar / parse_bracket inside quotes).
+  std::string raw(int idx) {
+    const ExprIr::Node& n = ir_.nodes[static_cast<size_t>(idx)];
+    switch (n.kind) {
+      case K::kConst:
+        return n.cval.str();
+      case K::kLazyVar:
+        return in_.get_var(n.text);
+      case K::kLazyBracket: {
+        size_t i = 1;  // past '['
+        return in_.eval_until(n.text, i, ']');
+      }
+      default:
+        throw TclError("internal error: bad quoted fragment");
+    }
+  }
+
+  Interp& in_;
+  const ExprIr& ir_;
+  const std::vector<Value>* eager_;
+};
+
+std::shared_ptr<const ExprIr> expr_ir_compile(std::string_view text, bool allow_markers) {
+  return IrCompiler(text, allow_markers).run();
+}
+
+Value expr_ir_eval(Interp& interp, const ExprIr& ir, const std::vector<Value>* eager) {
+  return ExprIrEval(interp, ir, eager).eval(ir.root);
 }
 
 }  // namespace ilps::tcl

@@ -1,21 +1,24 @@
 #include "tcl/interp.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "common/strings.h"
+#include "tcl/compile.h"
+#include "tcl/parse_internal.h"
 
 namespace ilps::tcl {
 
-namespace {
-constexpr int kMaxDepth = 800;
+using parse::is_cmd_end;
+using parse::is_name_char;
+using parse::is_word_space;
+using parse::scan_braced;
 
-bool is_word_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
-bool is_cmd_end(char c) { return c == '\n' || c == ';'; }
-bool is_name_char(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
-}
+namespace {
+constexpr int kMaxDepth = parse::kMaxEvalDepth;
 }  // namespace
 
 // A variable slot: scalar, array, or a link to a slot in another frame.
@@ -28,8 +31,69 @@ struct Interp::Var {
   std::string link_name;
 };
 
+// Per-frame variable storage. Frames are small — a proc's locals — and a
+// linear scan of a contiguous array beats a red-black tree there, which is
+// the hottest lookup in compiled execution. A frame that outgrows the flat
+// array (scripts accumulating hundreds of globals) spills into a map so
+// lookups stay logarithmic. Var pointers are only ever used transiently
+// (between two store operations), so flat-array reallocation is safe.
+class Interp::VarStore {
+ public:
+  Var* find(const std::string& key) {
+    if (spill_) {
+      auto it = spill_->find(key);
+      return it == spill_->end() ? nullptr : &it->second;
+    }
+    for (auto& e : flat_) {
+      if (e.first == key) return &e.second;
+    }
+    return nullptr;
+  }
+
+  Var* get_or_create(const std::string& key) {
+    if (Var* v = find(key)) return v;
+    if (!spill_ && flat_.size() >= kSpillAt) {
+      spill_ = std::make_unique<std::map<std::string, Var>>();
+      for (auto& e : flat_) (*spill_)[std::move(e.first)] = std::move(e.second);
+      flat_.clear();
+    }
+    if (spill_) return &(*spill_)[key];
+    flat_.emplace_back(key, Var{});
+    return &flat_.back().second;
+  }
+
+  bool erase(const std::string& key) {
+    if (spill_) return spill_->erase(key) > 0;
+    for (size_t i = 0; i < flat_.size(); ++i) {
+      if (flat_[i].first == key) {
+        flat_[i] = std::move(flat_.back());
+        flat_.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Names in sorted order (`info vars` kept the old map ordering).
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    if (spill_) {
+      for (const auto& [k, v] : *spill_) out.push_back(k);
+      return out;
+    }
+    for (const auto& e : flat_) out.push_back(e.first);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  static constexpr size_t kSpillAt = 32;
+  std::vector<std::pair<std::string, Var>> flat_;
+  std::unique_ptr<std::map<std::string, Var>> spill_;
+};
+
 struct Interp::Frame {
-  std::map<std::string, Var> vars;
+  VarStore vars;
   size_t parent = 0;  // call-chain parent (index into frames_)
   int level = 0;      // logical depth; 0 = global
 };
@@ -51,6 +115,12 @@ Interp::Interp() {
   register_list_builtins(*this);
   register_string_builtins(*this);
   register_misc_builtins(*this);
+  // The builtins registered above are the baseline the compiler's
+  // specialized forms were written against.
+  specials_retouched_ = false;
+  if (const char* e = std::getenv("ILPS_TCL_COMPILE")) {
+    compile_enabled_ = !(e[0] == '0' && e[1] == '\0');
+  }
 }
 
 Interp::~Interp() = default;
@@ -94,23 +164,33 @@ std::pair<std::string, std::optional<std::string>> Interp::split_name(const std:
 
 Interp::Var* Interp::lookup(const std::string& base, bool create) {
   size_t f = active_;
-  std::string key = base;
+  const std::string* key = &base;
   // Follow link chains across frames.
   for (int hops = 0; hops < 64; ++hops) {
     auto& vars = frames_[f]->vars;
-    auto it = vars.find(key);
-    if (it == vars.end()) {
+    Var* v = vars.find(*key);
+    if (v == nullptr) {
       if (!create) return nullptr;
-      return &vars[key];
+      return vars.get_or_create(*key);
     }
-    if (it->second.kind != Var::Kind::kLink) return &it->second;
-    f = it->second.link_frame;
-    key = it->second.link_name;
+    if (v->kind != Var::Kind::kLink) return v;
+    f = v->link_frame;
+    key = &v->link_name;
   }
   throw TclError("too many upvar links for \"" + base + "\"");
 }
 
 void Interp::set_var(const std::string& name, std::string value) {
+  // Plain (non-array) names skip split_name's base copy — the hot path.
+  if (name.empty() || name.back() != ')') {
+    Var* v = lookup(name, /*create=*/true);
+    if (v->kind == Var::Kind::kArray) {
+      throw TclError("can't set \"" + name + "\": variable is array");
+    }
+    v->kind = Var::Kind::kScalar;
+    v->scalar = std::move(value);
+    return;
+  }
   auto [base, elem] = split_name(name);
   Var* v = lookup(base, /*create=*/true);
   if (elem) {
@@ -129,6 +209,14 @@ void Interp::set_var(const std::string& name, std::string value) {
 }
 
 std::optional<std::string> Interp::get_var_opt(const std::string& name) {
+  if (name.empty() || name.back() != ')') {
+    Var* v = lookup(name, /*create=*/false);
+    if (v == nullptr) return std::nullopt;
+    if (v->kind == Var::Kind::kArray) {
+      throw TclError("can't read \"" + name + "\": variable is array");
+    }
+    return v->scalar;
+  }
   auto [base, elem] = split_name(name);
   Var* v = lookup(base, /*create=*/false);
   if (v == nullptr) return std::nullopt;
@@ -144,10 +232,22 @@ std::optional<std::string> Interp::get_var_opt(const std::string& name) {
   return v->scalar;
 }
 
+Value Interp::read_var_value(const std::string& name) {
+  if (name.empty() || name.back() != ')') {
+    Var* v = lookup(name, /*create=*/false);
+    if (v == nullptr) throw TclError("can't read \"" + name + "\": no such variable");
+    if (v->kind == Var::Kind::kArray) {
+      throw TclError("can't read \"" + name + "\": variable is array");
+    }
+    return Value::classify_view(v->scalar);
+  }
+  return Value::classify(get_var(name));
+}
+
 std::string Interp::get_var(const std::string& name) {
   auto v = get_var_opt(name);
   if (!v) throw TclError("can't read \"" + name + "\": no such variable");
-  return *v;
+  return std::move(*v);
 }
 
 bool Interp::var_exists(const std::string& name) {
@@ -162,22 +262,22 @@ bool Interp::unset_var(const std::string& name) {
   auto [base, elem] = split_name(name);
   // Unset removes the local binding (or the linked target's element).
   auto& vars = frames_[active_]->vars;
-  auto it = vars.find(base);
-  if (it == vars.end()) return false;
+  Var* local = vars.find(base);
+  if (local == nullptr) return false;
   if (elem) {
     Var* v = lookup(base, /*create=*/false);
     if (v == nullptr || v->kind != Var::Kind::kArray) return false;
     return v->array.erase(*elem) > 0;
   }
-  if (it->second.kind == Var::Kind::kLink) {
+  if (local->kind == Var::Kind::kLink) {
     // Unset through the link, then remove the link itself.
-    size_t f = it->second.link_frame;
-    std::string target = it->second.link_name;
-    vars.erase(it);
+    size_t f = local->link_frame;
+    std::string target = local->link_name;
+    vars.erase(base);
     frames_[f]->vars.erase(target);
     return true;
   }
-  vars.erase(it);
+  vars.erase(base);
   return true;
 }
 
@@ -188,7 +288,7 @@ void Interp::link_var(int levels_up, const std::string& other_name, const std::s
   link.kind = Var::Kind::kLink;
   link.link_frame = target;
   link.link_name = other_name;
-  frames_[active_]->vars[local_name] = std::move(link);
+  *frames_[active_]->vars.get_or_create(local_name) = std::move(link);
 }
 
 bool Interp::array_exists(const std::string& name) {
@@ -215,12 +315,7 @@ void Interp::array_set_entries(const std::string& name,
 }
 
 std::vector<std::string> Interp::var_names() const {
-  std::vector<std::string> out;
-  for (const auto& [name, var] : frames_[active_]->vars) {
-    (void)var;
-    out.push_back(name);
-  }
-  return out;
+  return frames_[active_]->vars.names();
 }
 
 std::string Interp::eval_up(int levels_up, std::string_view script) {
@@ -241,6 +336,23 @@ std::string Interp::eval_up(int levels_up, std::string_view script) {
 
 void Interp::register_command(const std::string& name, CommandFn fn) {
   commands_[name] = std::move(fn);
+  note_mutation(name);
+}
+
+// Invalidate cached name resolutions; if a builtin the compiler specializes
+// was replaced, compiled specialized forms fall back to generic dispatch
+// permanently (the retained word lists make that safe).
+void Interp::note_mutation(const std::string& name) {
+  ++mutation_epoch_;
+  static constexpr const char* kSpecials[] = {"set",     "incr",  "expr",     "if",
+                                              "while",   "for",   "foreach",  "catch",
+                                              "break",   "continue", "return"};
+  for (const char* s : kSpecials) {
+    if (name == s) {
+      specials_retouched_ = true;
+      return;
+    }
+  }
 }
 
 bool Interp::has_command(const std::string& name) const {
@@ -250,6 +362,7 @@ bool Interp::has_command(const std::string& name) const {
 void Interp::remove_command(const std::string& name) {
   commands_.erase(name);
   procs_.erase(name);
+  note_mutation(name);
 }
 
 std::vector<std::string> Interp::command_names() const {
@@ -266,12 +379,15 @@ std::vector<std::string> Interp::command_names() const {
 }
 
 void Interp::define_proc(const std::string& name, ProcInfo proc) {
-  procs_[name] = std::move(proc);
+  auto data = std::make_shared<ProcData>();
+  data->info = std::move(proc);
+  procs_[name] = std::move(data);  // redefinition drops the stale compiled body
+  note_mutation(name);
 }
 
 const Interp::ProcInfo* Interp::find_proc(const std::string& name) const {
   auto it = procs_.find(name);
-  return it == procs_.end() ? nullptr : &it->second;
+  return it == procs_.end() ? nullptr : &it->second->info;
 }
 
 std::vector<std::string> Interp::proc_names() const {
@@ -283,8 +399,9 @@ std::vector<std::string> Interp::proc_names() const {
   return out;
 }
 
-std::string Interp::call_proc(const std::string& name, const ProcInfo& proc,
+std::string Interp::call_proc(const std::string& name, ProcData& data,
                               std::vector<std::string>& words) {
+  const ProcInfo& proc = data.info;
   push_frame();
   struct FrameGuard {
     Interp* in;
@@ -313,6 +430,14 @@ std::string Interp::call_proc(const std::string& name, const ProcInfo& proc,
   }
 
   try {
+    if (compile_enabled_) {
+      if (!data.compiled) {
+        data.compiled = compile(proc.body);
+      } else {
+        ++compile_stats_.hits;
+      }
+      return exec(*data.compiled);
+    }
     return eval(proc.body);
   } catch (ReturnSignal& r) {
     return std::move(r.value);
@@ -327,9 +452,9 @@ std::string Interp::invoke(std::vector<std::string>& words) {
     return it->second(*this, words);
   }
   if (auto it = procs_.find(name); it != procs_.end()) {
-    // Copy the ProcInfo: the body may redefine or remove the proc itself.
-    ProcInfo proc = it->second;
-    return call_proc(name, proc, words);
+    // Keep the definition alive: the body may redefine or remove the proc.
+    std::shared_ptr<ProcData> proc = it->second;
+    return call_proc(name, *proc, words);
   }
   throw TclError("invalid command name \"" + name + "\"");
 }
@@ -401,43 +526,8 @@ std::string Interp::subst(std::string_view text) {
   return out;
 }
 
-namespace {
-
-// Scans a braced word starting at s[i]=='{'; returns the literal content.
-std::string scan_braced(std::string_view s, size_t& i) {
-  int depth = 1;
-  size_t start = ++i;
-  std::string out;
-  while (i < s.size()) {
-    char c = s[i];
-    if (c == '\\' && i + 1 < s.size()) {
-      if (s[i + 1] == '\n') {
-        // Backslash-newline is substituted even inside braces.
-        out += s.substr(start, i - start);
-        size_t j = i;
-        out += backslash_escape(s, j);
-        i = j;
-        start = i;
-        continue;
-      }
-      i += 2;
-      continue;
-    }
-    if (c == '{') ++depth;
-    if (c == '}') {
-      --depth;
-      if (depth == 0) {
-        out += s.substr(start, i - start);
-        ++i;
-        return out;
-      }
-    }
-    ++i;
-  }
-  throw TclError("missing close-brace");
-}
-
-}  // namespace
+// (The braced-word scanner lives in parse_internal.h, shared with the
+// bytecode compiler.)
 
 std::string Interp::eval_until(std::string_view s, size_t& i, char terminator) {
   if (++depth_ > kMaxDepth) {

@@ -31,15 +31,16 @@
 namespace ilps::tcl {
 
 class Interp;
+struct CompiledUnit;
+struct CompiledCommand;
+struct CompiledWord;
+struct CompiledPart;
+struct ExprIr;
 
 // A command implementation. args[0] is the command name, as in Tcl.
 using CommandFn = std::function<std::string(Interp&, std::vector<std::string>&)>;
 
-// Raised for Tcl-level errors (`error`, bad usage, unknown command).
-class TclError : public ScriptError {
- public:
-  explicit TclError(const std::string& what) : ScriptError(what) {}
-};
+// (TclError lives in tcl/value.h so the value layer can throw it too.)
 
 // Non-error control flow, caught by loops / proc calls / catch.
 struct BreakSignal {};
@@ -146,6 +147,31 @@ class Interp {
   void set_puts_handler(PutsFn fn);
   void do_puts(std::string_view text, bool newline);
 
+  // ---- Compiled execution (the bytecode layer; see docs/interp.md) ----
+  // Compilation is a pure rank-local cache: only source text ever crosses
+  // ranks. compile() builds a unit of pre-resolved command/argument thunks;
+  // exec() runs one with observable behavior identical to eval() of the
+  // unit's source (results, errors, commands_evaluated deltas). Constructs
+  // the compiler cannot prove equivalent become the unit's raw-source
+  // `tail`, which exec hands back to eval() — the general path stays
+  // authoritative.
+  struct CompileStats {
+    uint64_t hits = 0;      // cached-unit reuses (proc bodies, action cache)
+    uint64_t misses = 0;    // units compiled
+    uint64_t bailouts = 0;  // raw-source tail evaluations at exec time
+  };
+  // Defaults to on; ILPS_TCL_COMPILE=0 in the environment restores the
+  // pure-interpreter path bit-for-bit.
+  bool compile_enabled() const { return compile_enabled_; }
+  void set_compile_enabled(bool on) { compile_enabled_ = on; }
+  CompileStats& compile_stats() { return compile_stats_; }
+  const CompileStats& compile_stats() const { return compile_stats_; }
+  // Never throws on malformed source (parse errors surface at exec time,
+  // exactly where eval() would raise them). Counts one compile miss.
+  std::shared_ptr<const CompiledUnit> compile(std::string_view source);
+  // Executes a unit in the current frame. Throws like eval().
+  std::string exec(const CompiledUnit& unit);
+
   // ---- Introspection / instrumentation ----
   uint64_t commands_evaluated() const { return commands_evaluated_; }
   Rng& rng() { return rng_; }
@@ -157,8 +183,27 @@ class Interp {
 
  private:
   friend class ExprParser;
+  friend class ExprIrEval;  // compiled-expression evaluator (expr.cc)
   struct Frame;
   struct Var;
+  class VarStore;
+
+  // A proc's definition, shared so an in-flight body survives
+  // redefinition/removal of the proc and so the lazily compiled body is
+  // dropped naturally when the proc is redefined.
+  struct ProcData {
+    ProcInfo info;
+    std::shared_ptr<const CompiledUnit> compiled;  // built on first call
+  };
+
+  // Cached resolution of an interned command name, valid while the epoch
+  // matches (register_command / remove_command / define_proc bump it).
+  struct ResolveEntry {
+    uint64_t epoch = 0;  // 0 = never resolved; live epochs start at 1
+    enum class Kind : uint8_t { kBuiltin, kProc, kMissing } kind = Kind::kMissing;
+    const CommandFn* fn = nullptr;
+    const std::shared_ptr<ProcData>* proc = nullptr;
+  };
 
   // Core script evaluator: parses and runs commands in s starting at i;
   // stops at end of input or at an unescaped `terminator` (']' for command
@@ -170,19 +215,33 @@ class Interp {
   std::string parse_bracket(std::string_view s, size_t& i);
 
   // Variable plumbing.
+  // Reads a variable straight into a classified Value without the
+  // intermediate string copy (the compiled-expression $var fast path).
+  Value read_var_value(const std::string& name);
   Var* lookup(const std::string& base, bool create);
   static std::pair<std::string, std::optional<std::string>> split_name(const std::string& name);
   size_t frame_up(int levels_up) const;
 
   void push_frame();
   void pop_frame();
-  std::string call_proc(const std::string& name, const ProcInfo& proc,
-                        std::vector<std::string>& words);
+  std::string call_proc(const std::string& name, ProcData& proc, std::vector<std::string>& words);
+
+  // Compiled-unit executor (compile.cc).
+  std::string exec_body(const CompiledUnit& unit);
+  std::string exec_command(const CompiledCommand& cmd, bool* invoked);
+  std::string exec_generic(const CompiledCommand& cmd, bool* invoked);
+  std::string exec_expr_template(const CompiledCommand& cmd);
+  bool exec_cond(const ExprIr& ir);
+  std::string exec_part(const CompiledPart& part);
+  std::string word_value(const CompiledWord& word);
+  void append_word(const CompiledWord& word, std::vector<std::string>& out);
+  const ResolveEntry& resolve_symbol(uint32_t sym);
+  void note_mutation(const std::string& name);
 
   std::vector<std::unique_ptr<Frame>> frames_;
   size_t active_ = 0;
   std::map<std::string, CommandFn> commands_;
-  std::map<std::string, ProcInfo> procs_;
+  std::map<std::string, std::shared_ptr<ProcData>> procs_;
   std::map<std::string, std::string> provided_;
   std::map<std::string, std::pair<std::string, std::string>> ifneeded_;  // name -> (version, script)
   PackageUnknownFn package_unknown_;
@@ -192,6 +251,14 @@ class Interp {
   int depth_ = 0;
   Rng rng_{0x1234567};
   void* host_data_ = nullptr;
+
+  // Bytecode-layer state.
+  bool compile_enabled_ = true;
+  bool specials_retouched_ = false;  // a specialized builtin was re-registered
+  uint64_t mutation_epoch_ = 1;      // bumped on any command/proc mutation
+  CompileStats compile_stats_;
+  SymbolTable symbols_;
+  std::vector<ResolveEntry> resolve_cache_;  // indexed by symbol id
 };
 
 // Registers the built-in command set into an interp; called by the

@@ -1,0 +1,59 @@
+// Character classes and the braced-word scanner shared by the direct
+// evaluator (interp.cc) and the bytecode compiler (compile.cc). Both sides
+// MUST agree on the word grammar exactly — the compiler's equivalence
+// guarantee rests on reusing these definitions rather than mirroring them.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "tcl/value.h"
+
+namespace ilps::tcl::parse {
+
+// Recursion guard shared by eval_until and the compiler, so a compile-time
+// bailout at the limit reproduces the same runtime error.
+inline constexpr int kMaxEvalDepth = 800;
+
+inline bool is_word_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+inline bool is_cmd_end(char c) { return c == '\n' || c == ';'; }
+inline bool is_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+// Scans a braced word starting at s[i]=='{'; returns the literal content
+// (backslash-newline is substituted even inside braces, as in Tcl).
+inline std::string scan_braced(std::string_view s, size_t& i) {
+  int depth = 1;
+  size_t start = ++i;
+  std::string out;
+  while (i < s.size()) {
+    char c = s[i];
+    if (c == '\\' && i + 1 < s.size()) {
+      if (s[i + 1] == '\n') {
+        // Backslash-newline is substituted even inside braces.
+        out += s.substr(start, i - start);
+        size_t j = i;
+        out += backslash_escape(s, j);
+        i = j;
+        start = i;
+        continue;
+      }
+      i += 2;
+      continue;
+    }
+    if (c == '{') ++depth;
+    if (c == '}') {
+      --depth;
+      if (depth == 0) {
+        out += s.substr(start, i - start);
+        ++i;
+        return out;
+      }
+    }
+    ++i;
+  }
+  throw TclError("missing close-brace");
+}
+
+}  // namespace ilps::tcl::parse

@@ -23,6 +23,93 @@ int hex_digit(char c) {
 
 }  // namespace
 
+// ---- Value ----
+
+Value Value::from_int(int64_t v) {
+  Value out;
+  out.tag_ = Tag::kInt;
+  out.i_ = v;
+  return out;
+}
+
+Value Value::from_double(double v) {
+  Value out;
+  out.tag_ = Tag::kDouble;
+  out.d_ = v;
+  return out;
+}
+
+Value Value::from_bool(bool b) { return from_int(b ? 1 : 0); }
+
+Value Value::from_string(std::string s) {
+  Value out;
+  out.tag_ = Tag::kString;
+  out.s_ = std::move(s);
+  return out;
+}
+
+Value Value::symbol(uint32_t id, std::string name) {
+  Value out;
+  out.tag_ = Tag::kSymbol;
+  out.sym_ = id;
+  out.s_ = std::move(name);
+  return out;
+}
+
+Value Value::classify(std::string raw) {
+  if (auto i = str::parse_int(raw)) return from_int(*i);
+  if (auto d = str::parse_double(raw)) return from_double(*d);
+  return from_string(std::move(raw));
+}
+
+Value Value::classify_view(std::string_view raw) {
+  if (auto i = str::parse_int(raw)) return from_int(*i);
+  if (auto d = str::parse_double(raw)) return from_double(*d);
+  return from_string(std::string(raw));
+}
+
+int64_t Value::as_int() const {
+  if (tag_ == Tag::kInt) return i_;
+  if (tag_ == Tag::kDouble) return static_cast<int64_t>(d_);
+  throw TclError("expected integer but got \"" + s_ + "\"");
+}
+
+int64_t Value::require_int(const char* op) const {
+  if (tag_ == Tag::kInt) return i_;
+  throw TclError(std::string("operand of ") + op + " must be an integer");
+}
+
+double Value::as_double() const {
+  if (tag_ == Tag::kInt) return static_cast<double>(i_);
+  if (tag_ == Tag::kDouble) return d_;
+  throw TclError("expected number but got \"" + s_ + "\"");
+}
+
+std::string Value::as_string() const {
+  if (tag_ == Tag::kInt) return std::to_string(i_);
+  if (tag_ == Tag::kDouble) return str::format_double(d_);
+  return s_;
+}
+
+bool Value::truthy() const {
+  if (tag_ == Tag::kInt) return i_ != 0;
+  if (tag_ == Tag::kDouble) return d_ != 0.0;
+  auto b = parse_bool(s_);
+  if (!b) throw TclError("expected boolean value but got \"" + s_ + "\"");
+  return *b;
+}
+
+// ---- SymbolTable ----
+
+uint32_t SymbolTable::intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
 std::string backslash_escape(std::string_view s, size_t& i) {
   // i is at the backslash.
   ++i;

@@ -2,14 +2,92 @@
 // model: a value is a std::string, and a list is a string in Tcl list
 // syntax. These functions implement the list reader/writer and the boolean
 // reader used throughout the interpreter and by Swift/T type conversion.
+//
+// `Value` is the tagged representation used off the string rail: the expr
+// sublanguage computes with it, and the bytecode compiler (compile.h) tags
+// literal words with it so hot integers (datum ids, loop counts) and
+// interned command names stop round-tripping through std::string on every
+// execution.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "common/error.h"
+
 namespace ilps::tcl {
+
+// Raised for Tcl-level errors (`error`, bad usage, unknown command).
+class TclError : public ScriptError {
+ public:
+  explicit TclError(const std::string& what) : ScriptError(what) {}
+};
+
+// A tagged MiniTcl value: a small integer, a double, an interned symbol,
+// or a plain string. Everything still *prints* as a string (as_string()),
+// preserving the everything-is-a-string model; the tag is an internal
+// accelerator. Conversion errors throw TclError with the exact messages
+// the expr sublanguage has always produced.
+class Value {
+ public:
+  enum class Tag : uint8_t { kNone, kInt, kDouble, kString, kSymbol };
+
+  Value() = default;
+  static Value from_int(int64_t v);
+  static Value from_double(double v);
+  static Value from_bool(bool b);
+  static Value from_string(std::string s);
+  // An interned name: compares/prints as its string, carries the id.
+  static Value symbol(uint32_t id, std::string name);
+  // Converts raw text into the narrowest numeric value, or keeps it as a
+  // string (the expr operand classifier).
+  static Value classify(std::string raw);
+  // Same classification, but only allocates when the result stays a
+  // string — the numeric cases never copy the input.
+  static Value classify_view(std::string_view raw);
+
+  Tag tag() const { return tag_; }
+  bool is_none() const { return tag_ == Tag::kNone; }
+  bool is_int() const { return tag_ == Tag::kInt; }
+  bool is_double() const { return tag_ == Tag::kDouble; }
+  bool is_string() const { return tag_ == Tag::kString || tag_ == Tag::kSymbol; }
+  bool is_numeric() const { return tag_ == Tag::kInt || tag_ == Tag::kDouble; }
+  bool is_symbol() const { return tag_ == Tag::kSymbol; }
+
+  // Accessors with expr-compatible coercions and error messages.
+  int64_t as_int() const;                   // truncates doubles, rejects strings
+  int64_t require_int(const char* op) const;  // ints only ("operand of <op> ...")
+  double as_double() const;
+  std::string as_string() const;
+  const std::string& str() const { return s_; }  // kString/kSymbol payload
+  uint32_t symbol_id() const { return sym_; }
+  bool truthy() const;  // expr boolean coercion
+
+ private:
+  Tag tag_ = Tag::kNone;
+  int64_t i_ = 0;
+  double d_ = 0;
+  uint32_t sym_ = 0;
+  std::string s_;
+};
+
+// Interns strings to dense uint32 ids. Per-Interp: compiled units refer to
+// command and variable names by id, and the interp keeps a parallel
+// resolution cache indexed by id (see interp.h).
+class SymbolTable {
+ public:
+  uint32_t intern(std::string_view name);
+  const std::string& name(uint32_t id) const { return names_[id]; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> names_;
+};
 
 // Parses a Tcl list into its elements. Handles {braced}, "quoted" and bare
 // elements with backslash escapes. Throws ilps::ScriptError on unbalanced

@@ -1,6 +1,7 @@
 #include "turbine/context.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/strings.h"
 #include "common/timer.h"
@@ -61,6 +62,44 @@ Context::Context(adlb::Client& client, Engine* engine, const ContextConfig& cfg)
   blob::register_blobutils(interp_, blobs_);
   if (cfg_.setup_interp) cfg_.setup_interp(interp_);
   if (cfg_.setup_bindings) cfg_.setup_bindings(interp_, blobs_);
+  if (const char* e = std::getenv("ILPS_TCL_UNIT_CACHE")) {
+    if (auto n = str::parse_int(e); n && *n > 0) unit_cap_ = static_cast<size_t>(*n);
+  }
+}
+
+std::string Context::exec_action(const std::string& script) {
+  if (!interp_.compile_enabled()) return interp_.eval(script);
+  // FNV-1a over the action text: the unit key. Same text -> same unit on
+  // this rank, no matter which request or program shipped it.
+  uint64_t h = 1469598103934665603ull;
+  for (char c : script) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  auto it = unit_map_.find(h);
+  if (it != unit_map_.end() && it->second->source == script) {
+    unit_lru_.splice(unit_lru_.begin(), unit_lru_, it->second);
+    ++interp_.compile_stats().hits;
+    // Keep the unit alive across exec: a recursive exec_action (an action
+    // that evals further actions) may evict this entry meanwhile.
+    std::shared_ptr<const tcl::CompiledUnit> unit = unit_lru_.front().unit;
+    return interp_.exec(*unit);
+  }
+  std::shared_ptr<const tcl::CompiledUnit> unit = interp_.compile(script);
+  if (it != unit_map_.end()) {
+    // Hash collision with different source: replace the stale entry.
+    it->second->source = script;
+    it->second->unit = unit;
+    unit_lru_.splice(unit_lru_.begin(), unit_lru_, it->second);
+  } else {
+    unit_lru_.push_front(UnitEntry{h, script, unit});
+    unit_map_[h] = unit_lru_.begin();
+    if (unit_lru_.size() > unit_cap_) {
+      unit_map_.erase(unit_lru_.back().hash);
+      unit_lru_.pop_back();
+    }
+  }
+  return interp_.exec(*unit);
 }
 
 void Context::emit(const std::string& line) {
@@ -454,7 +493,7 @@ void Context::handle_serve_notice(const adlb::WorkUnit& unit) {
 void Context::eval_for_request(int64_t req, int owner, int64_t prog, const std::string& script) {
   ReqScope scope(*this, req, owner, prog);
   try {
-    interp_.eval(script);
+    exec_action(script);
   } catch (const Error& e) {
     // The request fails; the resident runtime does not. Outstanding units
     // keep draining and completion fires once the counts reach zero.
@@ -477,7 +516,7 @@ void Context::sweep_completed() {
 
 size_t Context::run_engine(const std::string& main_script) {
   if (engine_ == nullptr) throw Error("run_engine called without an Engine");
-  if (!main_script.empty()) interp_.eval(main_script);
+  if (!main_script.empty()) exec_action(main_script);
 
   // Live utilization: cumulative non-blocked seconds, published as a
   // gauge so the telemetry plane can report per-rank busy fractions while
@@ -497,7 +536,7 @@ size_t Context::run_engine(const std::string& main_script) {
                          local.action);
         engine_->local_done(local.req);
       } else {
-        interp_.eval(local.action);
+        exec_action(local.action);
       }
     }
   };
@@ -541,7 +580,7 @@ size_t Context::run_engine(const std::string& main_script) {
       ++stats_.tasks;
       {
         obs::Span span(obs::EventKind::kTaskRun, unit->id);
-        interp_.eval(unit->payload);
+        exec_action(unit->payload);
       }
       end_task();
     }
@@ -585,9 +624,9 @@ void Context::run_worker() {
         if (serve) {
           load_program(unit->prog);
           ReqScope scope(*this, unit->req, unit->owner, unit->prog);
-          interp_.eval(unit->payload);
+          exec_action(unit->payload);
         } else {
-          interp_.eval(unit->payload);
+          exec_action(unit->payload);
         }
       }
       const double took = ilps::wtime() - started;

@@ -10,9 +10,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "adlb/client.h"
@@ -84,6 +86,17 @@ class Context {
   // Applies the interpreter policy at a task boundary.
   void end_task();
 
+  // Evaluates an action script through the per-rank compiled-unit cache:
+  // content-hashed, LRU-bounded (ILPS_TCL_UNIT_CACHE, default 512), one
+  // compile per distinct action text. Observable behavior is identical to
+  // interp().eval(script); with ILPS_TCL_COMPILE=0 it IS interp().eval.
+  // Only source text ever crosses ranks — units are a rank-local cache.
+  std::string exec_action(const std::string& script);
+
+  // Live entries in the action-unit cache (bounded by capacity).
+  size_t units_cached() const { return unit_lru_.size(); }
+  size_t unit_cache_capacity() const { return unit_cap_; }
+
   // ---- rank loops ----
 
   // Engine rank: optionally evaluates the top-level program, then serves
@@ -140,6 +153,18 @@ class Context {
   WorkerStats stats_;
   int64_t cur_req_ = 0;  // request being evaluated on this rank right now
   std::unordered_set<int64_t> loaded_progs_;
+
+  // Action-unit cache: FNV-1a content hash -> LRU entry. Entries keep the
+  // source text so a hash collision degrades to a recompile, never to
+  // executing the wrong unit.
+  struct UnitEntry {
+    uint64_t hash = 0;
+    std::string source;
+    std::shared_ptr<const tcl::CompiledUnit> unit;
+  };
+  std::list<UnitEntry> unit_lru_;
+  std::unordered_map<uint64_t, std::list<UnitEntry>::iterator> unit_map_;
+  size_t unit_cap_ = 512;
 };
 
 }  // namespace ilps::turbine

@@ -115,6 +115,156 @@ TEST(ExprFuzzScript, BracedExprAgrees) {
   }
 }
 
+// ---- differential fuzz: direct eval vs compiled-unit execution ----
+//
+// The bytecode layer's contract (docs/interp.md): exec() of a compiled
+// unit is observably identical to eval() of its source — same results,
+// same errors, same commands_evaluated() deltas, same output. Randomly
+// generated scripts exercise the specialized opcodes (set/incr/expr/
+// if/while/for/foreach/catch), the compiled-expression IR, the expr
+// template guard (numeric and non-numeric leaf values), procs, and error
+// paths (divide by zero, unset variables, non-boolean conditions).
+
+struct Outcome {
+  bool error = false;
+  std::string result;  // last result, or the error message
+  std::string output;  // puts capture
+  uint64_t cmds = 0;   // commands_evaluated delta
+};
+
+Outcome run_script(const std::string& prog, bool compiled) {
+  Interp in;
+  in.set_compile_enabled(compiled);
+  Outcome o;
+  in.set_puts_handler([&o](std::string_view t, bool nl) {
+    o.output.append(t);
+    if (nl) o.output += '\n';
+  });
+  uint64_t before = in.commands_evaluated();
+  try {
+    if (compiled) {
+      auto unit = in.compile(prog);
+      o.result = in.exec(*unit);
+    } else {
+      o.result = in.eval(prog);
+    }
+  } catch (const TclError& e) {
+    o.error = true;
+    o.result = e.what();
+  }
+  o.cmds = in.commands_evaluated() - before;
+  return o;
+}
+
+// Renders a tree, substituting $pool-variable reads for some literals —
+// and, rarely, an unset variable so error parity is exercised too.
+std::string render_vars(const Node& n, const std::vector<std::string>& pool, Rng& rng) {
+  if (n.op == '#') {
+    if (!pool.empty() && rng.next_below(3) == 0) {
+      return "$" + pool[rng.next_below(pool.size())];
+    }
+    if (rng.next_below(40) == 0) return "$fuzz_unset";
+    return n.value < 0 ? "(" + std::to_string(n.value) + ")" : std::to_string(n.value);
+  }
+  if (n.op == 'n') return "(- " + render_vars(*n.a, pool, rng) + ")";
+  std::string op = n.op == '=' ? "==" : std::string(1, n.op);
+  return "(" + render_vars(*n.a, pool, rng) + " " + op + " " + render_vars(*n.b, pool, rng) + ")";
+}
+
+std::string gen_script(Rng& rng) {
+  std::ostringstream s;
+  std::vector<std::string> pool;
+  s << "set acc " << rng.next_range(-5, 5) << "\n";
+  pool.push_back("acc");
+  int nstmt = 3 + static_cast<int>(rng.next_below(8));
+  for (int i = 0; i < nstmt; ++i) {
+    auto tree = gen(rng, 2, false);
+    std::string e = render_vars(*tree, pool, rng);
+    std::string v = "v" + std::to_string(i);
+    switch (rng.next_below(10)) {
+      case 0:  // braced expr -> compiled IR
+        s << "set " << v << " [expr {" << e << "}]\n";
+        pool.push_back(v);
+        break;
+      case 1:  // unbraced expr -> template with eager leaves
+        s << "set " << v << " [expr " << e << "]\n";
+        pool.push_back(v);
+        break;
+      case 2:  // non-numeric value: template guard must splice, eq/ne IR
+        s << "set " << v << " \"s" << rng.next_below(10) << "\"\n"
+          << "set acc [expr {$acc + [string length $" << v << "]}]\n";
+        break;
+      case 3:
+        s << "if {" << e << " % 2 == 0} { set acc [expr {$acc + 1}] } else { incr acc -1 }\n";
+        break;
+      case 4:
+        s << "set w" << i << " 0\n"
+          << "while {$w" << i << " < " << rng.next_range(1, 4) << "} { incr w" << i
+          << "; set acc [expr {$acc + $w" << i << "}] }\n";
+        break;
+      case 5:
+        s << "for {set k 0} {$k < " << rng.next_range(1, 4) << "} {incr k} { set acc [expr {$acc ^ "
+          << e << "}] }\n";
+        break;
+      case 6:
+        s << "foreach f" << i << " {1 2 3} { incr acc $f" << i << " }\n";
+        break;
+      case 7:  // error paths behind catch: divide by zero, unset var
+        if (rng.next_below(2) == 0) {
+          s << "catch {expr {" << e << " / 0}} e" << i << "\n";
+        } else {
+          s << "catch {set acc [expr {$acc + $fuzz_unset}]} e" << i << "\n";
+        }
+        s << "set acc [expr {$acc + [string length $e" << i << "]}]\n";
+        break;
+      case 8:
+        s << "proc p" << i << " {a b} { return [expr {$a * $b + 1}] }\n"
+          << "set acc [p" << i << " $acc " << rng.next_range(-3, 3) << "]\n";
+        break;
+      case 9:
+        s << "puts \"acc=$acc\"\n";
+        break;
+    }
+  }
+  s << "set acc";
+  return s.str();
+}
+
+class CompiledDifferentialFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompiledDifferentialFuzz, ExecMatchesEval) {
+  Rng rng(GetParam() * 7919 + 17);
+  for (int round = 0; round < 120; ++round) {
+    std::string prog = gen_script(rng);
+    Outcome direct = run_script(prog, /*compiled=*/false);
+    Outcome comp = run_script(prog, /*compiled=*/true);
+    EXPECT_EQ(direct.error, comp.error) << prog;
+    EXPECT_EQ(direct.result, comp.result) << prog;
+    EXPECT_EQ(direct.output, comp.output) << prog;
+    EXPECT_EQ(direct.cmds, comp.cmds) << prog;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledDifferentialFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// The raw expression corpus from the reference-evaluator test also agrees
+// across the two paths, braced (compiled IR) and unbraced (template).
+TEST(CompiledDifferentialFuzz, ExpressionCorpusAgrees) {
+  Rng rng(998877);
+  for (int round = 0; round < 200; ++round) {
+    auto tree = gen(rng, 4, false);
+    std::string text = render(*tree);
+    for (std::string prog : {"expr {" + text + "}", "expr " + text}) {
+      Outcome direct = run_script(prog, false);
+      Outcome comp = run_script(prog, true);
+      EXPECT_EQ(direct.error, comp.error) << prog;
+      EXPECT_EQ(direct.result, comp.result) << prog;
+      EXPECT_EQ(direct.cmds, comp.cmds) << prog;
+    }
+  }
+}
+
 // ---- swift-verify soundness smoke over the fuzz corpus ----
 //
 // The analyzer's contract (src/analysis): it may only hard-error on

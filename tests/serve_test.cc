@@ -17,6 +17,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/serve.h"
+#include "tcl/interp.h"
 
 namespace ilps::serve {
 namespace {
@@ -255,6 +256,51 @@ TEST(Serve, MemoryBoundedAcrossManySequentialRequests) {
   ServiceStats s = service.stats();
   EXPECT_EQ(s.completed, static_cast<uint64_t>(kRequests) + 1);
   EXPECT_EQ(s.failed, 0u);
+}
+
+TEST(Serve, UnitCacheBoundedAcrossDistinctPrograms) {
+  // 10k requests, every one a distinct program (so every action text is
+  // new to the per-rank compiled-unit cache). The cache must stay within
+  // its LRU capacity on every rank, keep serving hits for the texts that
+  // do repeat (proc bodies, the repeated warm-up program), and namespace
+  // teardown must not strand units or datums.
+  if (!tcl::Interp().compile_enabled()) GTEST_SKIP() << "ILPS_TCL_COMPILE=0";
+  ::setenv("ILPS_TCL_UNIT_CACHE", "64", 1);
+  struct RestoreEnv {
+    ~RestoreEnv() { ::unsetenv("ILPS_TCL_UNIT_CACHE"); }
+  } restore;
+  ServeConfig cfg = small_config();
+  Service service(cfg);
+  service.enter();
+  // Repeats first: identical action texts re-fire on the same rank, so
+  // the unit cache must serve hits.
+  const std::string repeated = R"(printf("r=%d", 2 + 2);)";
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(service.submit(repeated).get().lines.at(0), "r=4");
+  }
+  service.drain();
+  const uint64_t baseline = service.datum_count();
+  constexpr int kRequests = 10000;
+  for (int i = 0; i < kRequests; ++i) {
+    std::string source = "printf(\"d=%d\", " + std::to_string(i) + " + 1);";
+    const RequestResult& r = service.submit(source).wait();
+    ASSERT_TRUE(r.ok()) << "request " << i << ": " << r.error;
+    ASSERT_EQ(r.leftover_data, 0u) << "request " << i;
+  }
+  service.drain();
+  // Namespaces swept: exactly the one resident program-cache copy per
+  // distinct source remains — no per-request datum survives.
+  EXPECT_EQ(service.datum_count(), baseline + kRequests);
+  service.shutdown();
+  ServiceStats s = service.stats();
+  EXPECT_EQ(s.failed, 0u);
+  // Bounded: live units never exceed capacity on any rank (engine +
+  // workers can each hold a cache).
+  const uint64_t ranks = static_cast<uint64_t>(cfg.runtime.engines + cfg.runtime.workers);
+  EXPECT_LE(s.tcl_units_cached, ranks * 64u);
+  EXPECT_GT(s.tcl_units_cached, 0u);
+  EXPECT_GT(s.tcl_compile_misses, static_cast<uint64_t>(kRequests));  // distinct programs compiled
+  EXPECT_GT(s.tcl_compile_hits, 0u);  // repeated texts served from cache
 }
 
 // Regression for the ProgramCache compile-under-lock fix: racing submits

@@ -1,0 +1,146 @@
+// The MiniTcl bytecode layer (src/tcl/compile.*, docs/interp.md): a
+// compiled unit must be observably identical to direct evaluation of its
+// source — results, errors, output, commands_evaluated() deltas — while
+// the compile_stats() family counts unit reuse, compiles, and raw-source
+// bailouts, and the per-rank action-unit cache stays LRU-bounded.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "runtime/runner.h"
+#include "tcl/compile.h"
+#include "tcl/interp.h"
+
+namespace ilps::tcl {
+namespace {
+
+struct Outcome {
+  bool error = false;
+  std::string result;
+  uint64_t cmds = 0;
+};
+
+Outcome run(const std::string& src, bool compiled) {
+  Interp in;
+  in.set_compile_enabled(compiled);
+  Outcome o;
+  uint64_t before = in.commands_evaluated();
+  try {
+    if (compiled) {
+      auto unit = in.compile(src);
+      o.result = in.exec(*unit);
+    } else {
+      o.result = in.eval(src);
+    }
+  } catch (const TclError& e) {
+    o.error = true;
+    o.result = e.what();
+  }
+  o.cmds = in.commands_evaluated() - before;
+  return o;
+}
+
+void expect_identical(const std::string& src) {
+  Outcome direct = run(src, false);
+  Outcome comp = run(src, true);
+  EXPECT_EQ(direct.error, comp.error) << src;
+  EXPECT_EQ(direct.result, comp.result) << src;
+  EXPECT_EQ(direct.cmds, comp.cmds) << src;
+}
+
+TEST(Compile, SpecializedOpsMatchEval) {
+  expect_identical("set a 5\nincr a 3\nexpr {$a * 2}");
+  expect_identical("set s 0\nfor {set i 0} {$i < 5} {incr i} { set s [expr {$s + $i}] }\nset s");
+  expect_identical("set i 0\nwhile {$i < 4} { incr i }\nset i");
+  expect_identical("if {1 + 1 == 2} { set r yes } else { set r no }");
+  expect_identical("set t 0\nforeach {a b} {1 2 3 4} { incr t $a; incr t $b }\nset t");
+  expect_identical("catch {expr {1 / 0}} e\nset e");
+  expect_identical("proc f {x} { return [expr {$x * $x}] }\nf 7");
+}
+
+TEST(Compile, ErrorsAndThrowingThunksMatchEval) {
+  // A throwing argument thunk must leave the enclosing command uncounted
+  // and raise the same error, in every specialized form.
+  expect_identical("set a [expr {$undefined + 1}]");
+  expect_identical("incr a [expr {$undefined}]");
+  expect_identical("catch {set a [expr {$undefined + 1}]} e\nset e");
+  expect_identical("foreach x [undefined_cmd] { set y $x }");
+  expect_identical("expr {2 +}");
+  expect_identical("while {\"notbool\"} { break }");
+}
+
+TEST(Compile, ExprTemplateGuardMatchesEval) {
+  // Unbraced expr substitutes its words first; the compiled template must
+  // agree whether the leaf values take the eager path (canonical numbers)
+  // or force the raw-splice fallback (strings, inf/nan, INT64_MIN).
+  expect_identical("set x 6\nset y 7\nexpr $x * $y");
+  expect_identical("set v abc\nexpr {$v eq \"abc\"}");
+  expect_identical("set v 2x\nexpr $v + 1");
+  expect_identical("set m -9223372036854775808\nexpr $m % 3");
+  expect_identical("set d 1e999\nexpr $d");
+  expect_identical("set b yes\nexpr $b && 0");
+}
+
+TEST(Compile, StatsCountCompilesReuseAndBailouts) {
+  Interp in;
+  in.set_compile_enabled(true);
+  // A proc body compiles on first call and is reused afterwards.
+  in.eval("proc g {x} { expr {$x + 1} }");
+  in.eval("g 1");
+  uint64_t misses_after_first = in.compile_stats().misses;
+  EXPECT_GT(misses_after_first, 0u);
+  in.eval("g 2");
+  in.eval("g 3");
+  EXPECT_EQ(in.compile_stats().misses, misses_after_first);  // body reused
+  EXPECT_GE(in.compile_stats().hits, 2u);
+
+  // A parse error in the remainder becomes a raw-source tail: exec runs
+  // the good prefix, then bails out to eval for the identical error.
+  auto unit = in.compile("set ok 1\nset bad [oops");
+  EXPECT_TRUE(unit->has_tail);
+  uint64_t bailouts_before = in.compile_stats().bailouts;
+  EXPECT_THROW(in.exec(*unit), TclError);
+  EXPECT_EQ(in.compile_stats().bailouts, bailouts_before + 1);
+  EXPECT_EQ(in.eval("set ok"), "1");  // prefix side effect applied
+}
+
+TEST(Compile, DisabledInterpKeepsStatsZero) {
+  Interp in;
+  in.set_compile_enabled(false);
+  in.eval("proc h {x} { expr {$x * 2} }");
+  EXPECT_EQ(in.eval("h 21"), "42");
+  EXPECT_EQ(in.compile_stats().hits, 0u);
+  EXPECT_EQ(in.compile_stats().misses, 0u);
+  EXPECT_EQ(in.compile_stats().bailouts, 0u);
+}
+
+TEST(Compile, ActionUnitCacheBoundedOnEngineRanks) {
+  // 300 rules with distinct action texts against a 16-entry cache: the
+  // engine must keep serving (evicting LRU units) and finish with at most
+  // `capacity` live units per rank — plus compile misses well above the
+  // cap, proving eviction rather than unbounded growth.
+  if (!Interp().compile_enabled()) GTEST_SKIP() << "ILPS_TCL_COMPILE=0";
+  ::setenv("ILPS_TCL_UNIT_CACHE", "16", 1);
+  struct RestoreEnv {
+    ~RestoreEnv() { ::unsetenv("ILPS_TCL_UNIT_CACHE"); }
+  } restore;
+  std::string prog =
+      "proc act {i} { expr {$i * $i} }\n"
+      "for {set i 0} {$i < 300} {incr i} {\n"
+      "  turbine::rule {} \"act $i\" type LOCAL\n"
+      "}\n";
+  runtime::Config cfg;
+  cfg.engines = 1;
+  cfg.workers = 1;
+  cfg.servers = 1;
+  auto r = runtime::run_program(cfg, prog);
+  // Two client contexts (engine + worker); only the engine caches actions.
+  EXPECT_LE(r.tcl_units_cached, 2u * 16u);
+  EXPECT_GT(r.tcl_units_cached, 0u);
+  EXPECT_GE(r.tcl_stats.misses, 300u);  // every distinct action compiled
+  EXPECT_GT(r.tcl_stats.hits, 0u);      // proc body reused across fires
+}
+
+}  // namespace
+}  // namespace ilps::tcl
